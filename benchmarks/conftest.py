@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper (see DESIGN.md's
+experiment index) at a reduced-but-stable default scale; set
+``REPRO_TRACES`` / ``REPRO_REQUESTS`` (or ``REPRO_FULL=1`` for the
+paper's 500 x 500) to scale up.  Rendered ASCII artefacts are written to
+``benchmarks/out/`` and echoed to the terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import HarnessScale
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> HarnessScale:
+    """Default: 5 traces x 120 requests per group (env-overridable).
+
+    Below ~100 requests per trace the platform never builds the backlog
+    that makes prediction matter, so smaller defaults would show flat
+    zero-gain artefacts.
+    """
+    return HarnessScale.from_env(default_traces=5, default_requests=120)
+
+
+@pytest.fixture(scope="session")
+def artefact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(artefact_dir):
+    """Write one experiment's rendered output and echo it."""
+
+    def _publish(name: str, rendered: str) -> None:
+        path = artefact_dir / f"{name}.txt"
+        path.write_text(rendered + "\n")
+        print(f"\n{rendered}\n[written to {path}]")
+
+    return _publish

@@ -1,0 +1,140 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper artefacts — these quantify how much each pinned-down semantic
+choice and extension matters on the VT workload:
+
+* migration charging for never-started tasks (DESIGN semantics item 3);
+* full remapping freedom vs sticky placements (Algorithm 1's power);
+* the lookahead-horizon extension (DESIGN semantics item 11).
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.heuristic import HeuristicResourceManager
+from repro.experiments.common import standard_platform, standard_traces
+from repro.experiments.runner import RunSpec, run_matrix
+from repro.predict.oracle import OraclePredictor
+from repro.sim.simulator import SimulationConfig
+from repro.util.tables import ascii_table
+from repro.workload.tracegen import DeadlineGroup
+
+
+@pytest.fixture(scope="module")
+def vt_traces(bench_scale):
+    return standard_traces(DeadlineGroup.VT, bench_scale)
+
+
+def test_bench_ablation_migration_policy(
+    benchmark, bench_scale, vt_traces, publish
+):
+    """Charging cm/em for never-started tasks restricts remapping; the
+    default (free unstarted remaps) must reject no more."""
+    specs = [
+        RunSpec(label="free-unstarted", strategy=HeuristicResourceManager),
+        RunSpec(
+            label="charged-unstarted",
+            strategy=HeuristicResourceManager,
+            sim_config=SimulationConfig(charge_unstarted_migration=True),
+        ),
+    ]
+    aggregates = benchmark.pedantic(
+        run_matrix,
+        args=(vt_traces, standard_platform(), specs),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [label, agg.mean_rejection, agg.mean_energy]
+        for label, agg in sorted(aggregates.items())
+    ]
+    publish(
+        "ablation_migration_policy",
+        ascii_table(
+            ["policy", "rejection %", "normalised energy"],
+            rows,
+            title="Ablation: migration charging for never-started tasks "
+            f"(VT, {bench_scale.n_traces}x{bench_scale.n_requests})",
+            float_digits=3,
+        ),
+    )
+    assert (
+        aggregates["free-unstarted"].mean_rejection
+        <= aggregates["charged-unstarted"].mean_rejection + 1.0
+    )
+
+
+def test_bench_ablation_remapping(benchmark, bench_scale, vt_traces, publish):
+    """How much of the RM's power is remapping (vs one-shot placement)?"""
+    specs = [
+        RunSpec(label="remap", strategy=HeuristicResourceManager),
+        RunSpec(
+            label="sticky",
+            strategy=lambda: HeuristicResourceManager(remap_existing=False),
+        ),
+    ]
+    aggregates = benchmark.pedantic(
+        run_matrix,
+        args=(vt_traces, standard_platform(), specs),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [label, agg.mean_rejection, agg.mean_energy]
+        for label, agg in sorted(aggregates.items())
+    ]
+    publish(
+        "ablation_remapping",
+        ascii_table(
+            ["mode", "rejection %", "normalised energy"],
+            rows,
+            title="Ablation: full remapping vs sticky placement "
+            f"(VT, {bench_scale.n_traces}x{bench_scale.n_requests})",
+            float_digits=3,
+        ),
+    )
+    assert (
+        aggregates["remap"].mean_rejection
+        <= aggregates["sticky"].mean_rejection + 1.0
+    )
+
+
+def test_bench_ablation_lookahead(benchmark, bench_scale, vt_traces, publish):
+    """The lookahead-horizon extension: planning with the next k oracle
+    predictions instead of one."""
+    specs = [RunSpec(label="off", strategy=HeuristicResourceManager)]
+    for horizon in (1, 2, 3):
+        specs.append(
+            RunSpec(
+                label=f"lookahead-{horizon}",
+                strategy=HeuristicResourceManager,
+                predictor=OraclePredictor,
+                sim_config=SimulationConfig(lookahead=horizon),
+            )
+        )
+    aggregates = benchmark.pedantic(
+        run_matrix,
+        args=(vt_traces, standard_platform(), specs),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [label, agg.mean_rejection, agg.mean_energy]
+        for label, agg in sorted(aggregates.items())
+    ]
+    publish(
+        "ablation_lookahead",
+        ascii_table(
+            ["configuration", "rejection %", "normalised energy"],
+            rows,
+            title="Ablation: oracle lookahead horizon "
+            f"(VT, {bench_scale.n_traces}x{bench_scale.n_requests})",
+            float_digits=3,
+        ),
+    )
+    # one-step lookahead must not be worse than no prediction (tolerance)
+    assert (
+        aggregates["lookahead-1"].mean_rejection
+        <= aggregates["off"].mean_rejection + 1.0
+    )

@@ -1,0 +1,43 @@
+"""E2 — Fig. 2: average rejection percentage with/without prediction.
+
+Paper shape: prediction lowers rejection for both RMs; the VT gain
+(paper: 9.17 pp MILP / 10.2 pp heuristic) far exceeds the LT gain
+(1 pp / 2.6 pp); the heuristic stays within a few points of the MILP.
+
+The same runs carry Fig. 3's energy numbers; ``test_bench_fig3`` renders
+those from its own (identical, cached-by-seed) runs.
+"""
+
+import pytest
+
+from repro.experiments.fig2_rejection import (
+    render_fig2,
+    run_prediction_impact,
+)
+from repro.workload.tracegen import DeadlineGroup
+
+
+@pytest.fixture(scope="module")
+def impact(bench_scale):
+    lt = run_prediction_impact(DeadlineGroup.LT, bench_scale)
+    vt = run_prediction_impact(DeadlineGroup.VT, bench_scale)
+    return lt, vt
+
+
+def test_bench_fig2_rejection(benchmark, bench_scale, publish):
+    lt, vt = benchmark.pedantic(
+        lambda: (
+            run_prediction_impact(DeadlineGroup.LT, bench_scale),
+            run_prediction_impact(DeadlineGroup.VT, bench_scale),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig2_rejection", render_fig2(lt, vt))
+    # Shape: VT rejects more than LT for both strategies...
+    for strategy in ("milp", "heuristic"):
+        assert vt.rejection(strategy, "off") >= lt.rejection(strategy, "off")
+    # ...the MILP rejects no more than the heuristic...
+    assert vt.rejection("milp", "off") <= vt.rejection("heuristic", "off") + 1e-9
+    # ...and prediction does not hurt the heuristic on VT.
+    assert vt.prediction_gain("heuristic") >= -1.0  # small-sample tolerance

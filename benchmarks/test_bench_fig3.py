@@ -1,0 +1,25 @@
+"""E3 — Fig. 3: average normalised energy of the Fig. 2 runs.
+
+Paper shape: energy follows acceptance — configurations that reject less
+execute more workload and dissipate more energy.
+"""
+
+from repro.experiments.fig2_rejection import run_prediction_impact
+from repro.experiments.fig3_energy import (
+    energy_follows_acceptance,
+    render_fig3,
+)
+from repro.workload.tracegen import DeadlineGroup
+
+
+def test_bench_fig3_energy(benchmark, bench_scale, publish):
+    lt, vt = benchmark.pedantic(
+        lambda: (
+            run_prediction_impact(DeadlineGroup.LT, bench_scale),
+            run_prediction_impact(DeadlineGroup.VT, bench_scale),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig3_energy", render_fig3(lt, vt))
+    assert energy_follows_acceptance(vt)

@@ -1,0 +1,27 @@
+"""E4/E5 — Fig. 4: rejection vs prediction accuracy (VT group).
+
+Paper shape: rejection rises monotonically as accuracy falls along both
+axes (task type, arrival time), approaching the predictor-off level; at
+accuracy 0.25 the benefit is essentially gone.
+"""
+
+from repro.experiments.fig4_accuracy import render_fig4, run_accuracy_sweep
+
+
+def test_bench_fig4_accuracy(benchmark, bench_scale, publish):
+    type_sweep, arrival_sweep = benchmark.pedantic(
+        lambda: (
+            run_accuracy_sweep("type", bench_scale),
+            run_accuracy_sweep("arrival", bench_scale),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig4_accuracy", render_fig4(type_sweep, arrival_sweep))
+    # Shape: low accuracy is never materially better than the off level
+    # (the paper's "0.25 offers no sensible benefit").
+    for sweep in (type_sweep, arrival_sweep):
+        for strategy in ("milp", "heuristic"):
+            worst = sweep.rejection(strategy, 0.25)
+            off = sweep.rejection(strategy, "off")
+            assert worst >= off - 2.5  # pp tolerance at bench scale

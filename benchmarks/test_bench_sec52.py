@@ -1,0 +1,19 @@
+"""E1 — Sec. 5.2: MILP vs heuristic without prediction.
+
+Paper reference values: mean rejection 24.5% (MILP) vs 31% (heuristic)
+over VT+LT; MILP acceptance >= heuristic on 88% of traces.  Shape to
+hold: the MILP rejects less on average, and wins on a large majority —
+but not all — of traces.
+"""
+
+from repro.experiments.sec52_milp_vs_heuristic import render_sec52, run_sec52
+
+
+def test_bench_sec52_milp_vs_heuristic(benchmark, bench_scale, publish):
+    result = benchmark.pedantic(
+        run_sec52, args=(bench_scale,), rounds=1, iterations=1
+    )
+    publish("sec52_milp_vs_heuristic", render_sec52(result))
+    # Shape assertions (the paper's direction, not its absolute values).
+    assert result.milp_mean <= result.heuristic_mean + 1e-9
+    assert result.milp_win_fraction >= 0.5

@@ -1,0 +1,29 @@
+"""Prediction-accuracy sweep (the Fig. 4 experiment, reduced scale).
+
+Degrades the oracle along the two axes the paper studies — task-type
+identity and arrival time — and shows how rejection climbs back towards
+the predictor-off level as accuracy falls.
+
+Run (a few minutes with the MILP; pass --fast for heuristic-only):
+    python examples/accuracy_sweep.py [--fast]
+"""
+
+import sys
+
+from repro.experiments.config import HarnessScale
+from repro.experiments.fig4_accuracy import render_fig4, run_accuracy_sweep
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    strategies = ("heuristic",) if fast else ("milp", "heuristic")
+    scale = HarnessScale(n_traces=4, n_requests=80, master_seed=7)
+    print(f"sweeping type/arrival accuracy over {scale.n_traces} VT traces "
+          f"x {scale.n_requests} requests ({', '.join(strategies)})\n")
+    type_sweep = run_accuracy_sweep("type", scale, strategies=strategies)
+    arrival_sweep = run_accuracy_sweep("arrival", scale, strategies=strategies)
+    print(render_fig4(type_sweep, arrival_sweep))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""The paper's motivational example (Sec. 3, Table 1, Fig. 1), end to end.
+
+Two CPUs + one GPU, two tasks.  Reproduces all four claims:
+
+* without prediction the RM gives the GPU to tau_1 and must reject tau_2
+  (acceptance 1/2);
+* with an accurate prediction it reserves the GPU and accepts both (2/2);
+* with a *wrong* prediction (tau_2 predicted at t=1 but arriving at t=3)
+  both tasks still meet their deadlines — but at 8.8 J instead of the
+  3.5 J the prediction-less manager achieves: prediction can be harmful.
+
+Run:
+    python examples/motivational_example.py [heuristic|milp|exact]
+"""
+
+import sys
+
+from repro import (
+    ExactResourceManager,
+    HeuristicResourceManager,
+    MilpResourceManager,
+)
+from repro.experiments.motivational import (
+    render_motivational,
+    run_motivational,
+)
+
+STRATEGIES = {
+    "heuristic": HeuristicResourceManager,
+    "milp": MilpResourceManager,
+    "exact": ExactResourceManager,
+}
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "heuristic"
+    try:
+        strategy = STRATEGIES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        )
+    print(f"strategy: {name}\n")
+    outcome = run_motivational(strategy)
+    print(render_motivational(outcome))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Learned (online) prediction on structured streams.
+
+The paper's evaluation emulates a predictor at a chosen accuracy; its
+premise (from the authors' prior work [12, 13]) is that real request
+streams contain learnable patterns.  This example closes that loop:
+
+1. generates a pattern-bearing stream (repeating type motif + bursty
+   inter-arrival phases, mimicking cluster traces);
+2. trains the online predictor (first-order Markov type chain + two-phase
+   inter-arrival model) on the fly and reports its accuracy — it lands in
+   the paper's quoted regime (80-95% type accuracy, small arrival error);
+3. uses that predictor *inside the resource manager* and compares the
+   rejection rate against predictor-off and the oracle upper bound.
+
+Run:
+    python examples/online_predictors.py
+"""
+
+import numpy as np
+
+from repro import (
+    ComposedPredictor,
+    HeuristicResourceManager,
+    NullPredictor,
+    OraclePredictor,
+    Platform,
+    evaluate_predictor,
+    generate_pattern_trace,
+    generate_task_set,
+    simulate,
+)
+from repro.workload.patterns import PatternConfig
+from repro.workload.tracegen import DeadlineGroup
+
+
+def main() -> None:
+    platform = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
+    tasks = generate_task_set(platform, rng=np.random.default_rng(1))
+    config = PatternConfig(
+        n_requests=300,
+        motif_length=6,
+        type_mutation_prob=0.08,
+        phases=((3.0, 0.25, 40), (6.5, 0.5, 20)),
+        group=DeadlineGroup.VT,
+    )
+    trace = generate_pattern_trace(tasks, config, rng=np.random.default_rng(2))
+    print(f"pattern stream: {trace}\n")
+
+    report = evaluate_predictor(ComposedPredictor(), trace)
+    print("online predictor quality on this stream "
+          "(paper's prior work: 80-95% type, <17% arrival error):")
+    print(f"  type accuracy : {100 * report.type_accuracy:.1f}%")
+    print(f"  arrival NRMSE : {100 * report.arrival_nrmse:.1f}%")
+    print(f"  coverage      : {100 * report.coverage:.1f}% "
+          f"({report.n_abstained} abstentions)\n")
+
+    configs = [
+        ("off", NullPredictor()),
+        ("learned", ComposedPredictor()),
+        ("oracle", OraclePredictor()),
+    ]
+    print("rejection with the heuristic RM:")
+    for label, predictor in configs:
+        result = simulate(
+            trace, platform, HeuristicResourceManager(), predictor
+        )
+        print(f"  predictor {label:8s}: {result.rejection_percentage:5.1f}% "
+              f"rejected, energy {result.normalized_energy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Prediction-overhead sweep (the Fig. 5 experiment, reduced scale).
+
+Predictions are perfectly accurate but each RM activation pays a
+decision delay proportional to the mean inter-arrival time.  The output
+includes the crossover coefficient at which prediction stops paying off
+— the paper's headline design guidance (2-4% there).
+
+Run:
+    python examples/overhead_sweep.py [--fast]
+"""
+
+import sys
+
+from repro.experiments.config import HarnessScale
+from repro.experiments.fig5_overhead import render_fig5, run_overhead_sweep
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    strategies = ("heuristic",) if fast else ("milp", "heuristic")
+    scale = HarnessScale(n_traces=4, n_requests=80, master_seed=7)
+    print(f"sweeping prediction overhead over {scale.n_traces} VT traces "
+          f"x {scale.n_requests} requests ({', '.join(strategies)})\n")
+    sweep = run_overhead_sweep(scale, strategies=strategies)
+    print(render_fig5(sweep))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: all metadata lives in pyproject.toml.
+
+Exists so editable installs work with older pip/setuptools combinations
+(offline environments without the `wheel` package).
+"""
+
+from setuptools import setup
+
+setup()

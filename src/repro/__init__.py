@@ -1,0 +1,125 @@
+"""Reproduction of *Runtime Resource Management with Workload Prediction*
+(Niknafs, Ukhov, Eles, Peng — DAC 2019).
+
+A prediction-aware, energy-minimising resource manager for heterogeneous
+embedded platforms, together with every substrate the paper's evaluation
+needs: workload generation, EDF scheduling, a MILP layer, predictors, a
+discrete-event simulator and the full experiment harness.
+
+Quick start::
+
+    from repro import (
+        Platform, TaskSetConfig, TraceConfig, DeadlineGroup,
+        generate_task_set, generate_trace,
+        HeuristicResourceManager, OraclePredictor, simulate,
+    )
+
+    platform = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
+    tasks = generate_task_set(platform)
+    trace = generate_trace(tasks, TraceConfig(group=DeadlineGroup.VT))
+    result = simulate(
+        trace, platform, HeuristicResourceManager(), OraclePredictor()
+    )
+    print(result.rejection_percentage, result.normalized_energy)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    PREDICTED_JOB_ID,
+    AdmissionController,
+    AdmissionOutcome,
+    ExactResourceManager,
+    HeuristicResourceManager,
+    MappingDecision,
+    MappingStrategy,
+    MilpResourceManager,
+    MilpValidationError,
+    PlannedTask,
+    RMContext,
+    mapping_energy,
+    mapping_feasible,
+)
+from repro.model import (
+    NOT_EXECUTABLE,
+    Platform,
+    PredictedRequest,
+    Request,
+    Resource,
+    TaskType,
+)
+from repro.predict import (
+    ArrivalNoisePredictor,
+    ComposedPredictor,
+    NullPredictor,
+    OraclePredictor,
+    Predictor,
+    TypeNoisePredictor,
+    evaluate_predictor,
+)
+from repro.sim import (
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    simulate,
+)
+from repro.workload import (
+    DeadlineGroup,
+    TaskSetConfig,
+    Trace,
+    TraceConfig,
+    generate_pattern_trace,
+    generate_task_set,
+    generate_trace,
+    generate_trace_group,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "Platform",
+    "Resource",
+    "TaskType",
+    "NOT_EXECUTABLE",
+    "Request",
+    "PredictedRequest",
+    # workload
+    "TaskSetConfig",
+    "TraceConfig",
+    "DeadlineGroup",
+    "Trace",
+    "generate_task_set",
+    "generate_trace",
+    "generate_trace_group",
+    "generate_pattern_trace",
+    # core
+    "PlannedTask",
+    "RMContext",
+    "PREDICTED_JOB_ID",
+    "MappingStrategy",
+    "MappingDecision",
+    "mapping_feasible",
+    "mapping_energy",
+    "HeuristicResourceManager",
+    "MilpResourceManager",
+    "MilpValidationError",
+    "ExactResourceManager",
+    "AdmissionController",
+    "AdmissionOutcome",
+    # predict
+    "Predictor",
+    "NullPredictor",
+    "OraclePredictor",
+    "TypeNoisePredictor",
+    "ArrivalNoisePredictor",
+    "ComposedPredictor",
+    "evaluate_predictor",
+    # sim
+    "Simulator",
+    "simulate",
+    "SimulationConfig",
+    "SimulationResult",
+]

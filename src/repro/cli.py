@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main entry points without writing
+Python::
+
+    python -m repro generate --group VT --traces 3 --requests 200 --out traces/
+    python -m repro simulate traces/vt_000.json --strategy heuristic \
+        --predictor oracle --overhead 0.05
+    python -m repro experiment fig2 --traces 5 --requests 120
+    python -m repro evaluate traces/vt_000.json --predictor learned
+
+All randomness is controlled by ``--seed``; outputs are plain text (and
+JSON where noted) so runs are scriptable and diffable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.exact import ExactResourceManager
+from repro.core.heuristic import HeuristicResourceManager
+from repro.core.milp_rm import MilpResourceManager
+from repro.experiments.config import HarnessScale
+from repro.predict.base import NullPredictor
+from repro.predict.markov import ComposedPredictor
+from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
+from repro.predict.oracle import OraclePredictor
+from repro.sim.simulator import SimulationConfig, simulate
+from repro.model.platform import Platform
+from repro.predict.metrics import evaluate_predictor
+from repro.util.rng import RngStreams
+from repro.workload.taskgen import generate_task_set
+from repro.workload.trace import Trace
+from repro.workload.tracegen import DeadlineGroup, TraceConfig, generate_trace
+
+__all__ = ["main", "build_parser"]
+
+_STRATEGIES = {
+    "heuristic": HeuristicResourceManager,
+    "milp": MilpResourceManager,
+    "exact": ExactResourceManager,
+}
+
+
+def _build_predictor(name: str, accuracy: float, seed: int):
+    if name == "off":
+        return NullPredictor()
+    if name == "oracle":
+        return OraclePredictor()
+    if name == "learned":
+        return ComposedPredictor()
+    if name == "type-noise":
+        return TypeNoisePredictor(accuracy, seed=seed)
+    if name == "arrival-noise":
+        return ArrivalNoisePredictor(accuracy, seed=seed)
+    raise ValueError(f"unknown predictor {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for shell-completion tools
+    and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Runtime Resource Management with Workload "
+            "Prediction' (DAC 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate workload traces")
+    gen.add_argument("--group", choices=["VT", "LT"], default="VT")
+    gen.add_argument("--traces", type=int, default=1)
+    gen.add_argument("--requests", type=int, default=500)
+    gen.add_argument("--cpus", type=int, default=5)
+    gen.add_argument("--gpus", type=int, default=1)
+    gen.add_argument("--arrival-scale", type=float, default=None)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", type=Path, required=True,
+                     help="output directory for trace JSON files")
+
+    run = sub.add_parser("simulate", help="replay a trace through an RM")
+    run.add_argument("trace", type=Path, help="trace JSON file")
+    run.add_argument("--cpus", type=int, default=5)
+    run.add_argument("--gpus", type=int, default=1)
+    run.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="heuristic"
+    )
+    run.add_argument(
+        "--predictor",
+        choices=["off", "oracle", "learned", "type-noise", "arrival-noise"],
+        default="off",
+    )
+    run.add_argument("--accuracy", type=float, default=0.75,
+                     help="accuracy level for the noise predictors")
+    run.add_argument("--overhead", type=float, default=0.0,
+                     help="prediction overhead (absolute time units)")
+    run.add_argument("--lookahead", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true",
+                     help="emit the result summary as JSON")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artefact")
+    exp.add_argument(
+        "id",
+        choices=["fig2", "fig3", "fig4", "fig5", "sec52", "motivational",
+                 "all"],
+    )
+    exp.add_argument("--traces", type=int, default=5)
+    exp.add_argument("--requests", type=int, default=120)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--out", type=Path, default=None,
+                     help="directory for the full report (id = all)")
+
+    ev = sub.add_parser("evaluate", help="score a predictor on a trace")
+    ev.add_argument("trace", type=Path)
+    ev.add_argument(
+        "--predictor",
+        choices=["oracle", "learned", "type-noise", "arrival-noise"],
+        default="learned",
+    )
+    ev.add_argument("--accuracy", type=float, default=0.75)
+    ev.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    args.out.mkdir(parents=True, exist_ok=True)
+    platform = Platform.cpu_gpu(args.cpus, args.gpus)
+    group = DeadlineGroup(args.group)
+    streams = RngStreams(args.seed)
+    config_kwargs = {"group": group, "n_requests": args.requests}
+    if args.arrival_scale is not None:
+        config_kwargs["arrival_scale"] = args.arrival_scale
+    config = TraceConfig(**config_kwargs)
+    for index in range(args.traces):
+        tasks = generate_task_set(
+            platform, rng=streams.fresh(f"tasks:{group.value}:{index}")
+        )
+        trace = generate_trace(
+            tasks,
+            config,
+            rng=streams.fresh(f"trace:{group.value}:{index}"),
+            seed=args.seed,
+        )
+        path = args.out / f"{group.value.lower()}_{index:03d}.json"
+        trace.save(path)
+        stats = trace.stats()
+        print(
+            f"{path}: {stats.n_requests} requests, mean inter-arrival "
+            f"{stats.mean_interarrival:.2f}"
+        )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = Trace.load(args.trace)
+    platform = Platform.cpu_gpu(args.cpus, args.gpus)
+    strategy = _STRATEGIES[args.strategy]()
+    predictor = _build_predictor(args.predictor, args.accuracy, args.seed)
+    config = SimulationConfig(
+        prediction_overhead=args.overhead, lookahead=args.lookahead
+    )
+    result = simulate(trace, platform, strategy, predictor, config)
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+        return 0
+    print(f"trace       : {args.trace} ({len(trace)} requests)")
+    print(f"strategy    : {args.strategy}, predictor: {args.predictor}")
+    print(f"rejection   : {result.rejection_percentage:.2f}% "
+          f"({result.n_rejected}/{result.n_requests})")
+    print(f"energy      : {result.total_energy:.2f} "
+          f"(normalised {result.normalized_energy:.4f})")
+    print(f"migrations  : {result.migration_count}, "
+          f"aborts: {result.abort_count}, "
+          f"wasted energy: {result.wasted_energy:.2f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    scale = HarnessScale(
+        n_traces=args.traces, n_requests=args.requests, master_seed=args.seed
+    )
+    if args.id == "all":
+        from repro.experiments.report_all import run_all
+
+        report = run_all(scale, progress=lambda name: print(f"... {name}"))
+        print(report.render())
+        if args.out is not None:
+            for path in report.save(args.out):
+                print(f"written: {path}")
+        return 0
+    if args.id == "motivational":
+        from repro.experiments.motivational import (
+            render_motivational,
+            run_motivational,
+        )
+
+        print(render_motivational(run_motivational()))
+        return 0
+    if args.id == "sec52":
+        from repro.experiments.sec52_milp_vs_heuristic import (
+            render_sec52,
+            run_sec52,
+        )
+
+        print(render_sec52(run_sec52(scale)))
+        return 0
+    if args.id in ("fig2", "fig3"):
+        from repro.experiments.fig2_rejection import (
+            render_fig2,
+            run_prediction_impact,
+        )
+        from repro.experiments.fig3_energy import render_fig3
+
+        lt = run_prediction_impact(DeadlineGroup.LT, scale)
+        vt = run_prediction_impact(DeadlineGroup.VT, scale)
+        print(render_fig2(lt, vt) if args.id == "fig2" else render_fig3(lt, vt))
+        return 0
+    if args.id == "fig4":
+        from repro.experiments.fig4_accuracy import (
+            render_fig4,
+            run_accuracy_sweep,
+        )
+
+        print(
+            render_fig4(
+                run_accuracy_sweep("type", scale),
+                run_accuracy_sweep("arrival", scale),
+            )
+        )
+        return 0
+    if args.id == "fig5":
+        from repro.experiments.fig5_overhead import (
+            render_fig5,
+            run_overhead_sweep,
+        )
+
+        print(render_fig5(run_overhead_sweep(scale)))
+        return 0
+    raise AssertionError(f"unhandled experiment {args.id}")  # pragma: no cover
+
+
+def _cmd_evaluate(args) -> int:
+    trace = Trace.load(args.trace)
+    predictor = _build_predictor(args.predictor, args.accuracy, args.seed)
+    report = evaluate_predictor(predictor, trace)
+    print(f"predictor     : {args.predictor}")
+    print(f"forecasts     : {report.n_predictions} "
+          f"(abstained {report.n_abstained})")
+    print(f"type accuracy : {100 * report.type_accuracy:.1f}%")
+    print(f"arrival NRMSE : {100 * report.arrival_nrmse:.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "evaluate": _cmd_evaluate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: prediction-aware resource managers.
+
+Three interchangeable mapping strategies solve each RM activation
+(map every task in ``S-bar`` to a resource, minimising remaining energy
+subject to all deadlines):
+
+* :class:`~repro.core.heuristic.HeuristicResourceManager` — the fast
+  knapsack-regret heuristic of Algorithm 1 (Sec. 4.3);
+* :class:`~repro.core.milp_rm.MilpResourceManager` — the exact MILP of
+  Sec. 4.2, eqs. (1)-(14);
+* :class:`~repro.core.exact.ExactResourceManager` — an independent
+  branch-and-bound over mappings used to cross-validate the MILP.
+
+:class:`~repro.core.admission.AdmissionController` adds the paper's
+admission protocol (try with the predicted task, retry without, reject).
+"""
+
+from repro.core.admission import AdmissionController, AdmissionOutcome
+from repro.core.base import (
+    MappingDecision,
+    MappingStrategy,
+    mapping_energy,
+    mapping_feasible,
+    resource_timeline,
+)
+from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
+from repro.core.exact import ExactResourceManager
+from repro.core.heuristic import HeuristicResourceManager
+from repro.core.milp_rm import MilpResourceManager, MilpValidationError
+
+__all__ = [
+    "PlannedTask",
+    "RMContext",
+    "PREDICTED_JOB_ID",
+    "MappingDecision",
+    "MappingStrategy",
+    "mapping_feasible",
+    "mapping_energy",
+    "resource_timeline",
+    "HeuristicResourceManager",
+    "MilpResourceManager",
+    "MilpValidationError",
+    "ExactResourceManager",
+    "AdmissionController",
+    "AdmissionOutcome",
+]

@@ -1,0 +1,92 @@
+"""Admission control: the paper's accept/reject protocol (Sec. 4.1).
+
+On each arrival the RM first tries to find a feasible mapping for the
+whole of ``S-bar`` *including* the predicted task.  If that fails, the
+arriving task is not immediately rejected: a solution *without* the
+predicted request is attempted, and only if that also fails is the new
+task rejected (the previously admitted tasks then keep their current
+mapping and schedule, which remains feasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import MappingDecision, MappingStrategy
+from repro.core.context import RMContext
+
+__all__ = ["AdmissionOutcome", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionOutcome:
+    """Result of one arrival's admission decision.
+
+    Attributes
+    ----------
+    admitted:
+        Whether the arriving task was admitted.
+    used_prediction:
+        Whether the applied mapping was planned with the predicted task
+        as a constraint (False when the prediction-constrained attempt
+        failed and the fallback succeeded, or when no prediction was
+        available).
+    decision:
+        The mapping applied to the platform; ``None`` when rejected (the
+        previous mapping stays in force).
+    solver_calls:
+        How many strategy invocations the decision took (1 or 2).
+    """
+
+    admitted: bool
+    used_prediction: bool
+    decision: MappingDecision | None
+    solver_calls: int
+
+
+class AdmissionController:
+    """Wraps a mapping strategy with the paper's admission protocol."""
+
+    def __init__(self, strategy: MappingStrategy) -> None:
+        self.strategy = strategy
+
+    def decide(self, context: RMContext) -> AdmissionOutcome:
+        """Decide admission for the activation described by ``context``.
+
+        ``context.tasks`` must contain the admitted unfinished tasks and
+        the new arrival; it may additionally contain one predicted task.
+        """
+        if context.predicted is not None:
+            with_prediction = self.strategy.solve(context)
+            if with_prediction.feasible:
+                return AdmissionOutcome(
+                    admitted=True,
+                    used_prediction=True,
+                    decision=with_prediction,
+                    solver_calls=1,
+                )
+            fallback = self.strategy.solve(context.without_prediction())
+            if fallback.feasible:
+                return AdmissionOutcome(
+                    admitted=True,
+                    used_prediction=False,
+                    decision=fallback,
+                    solver_calls=2,
+                )
+            return AdmissionOutcome(
+                admitted=False,
+                used_prediction=False,
+                decision=None,
+                solver_calls=2,
+            )
+        decision = self.strategy.solve(context)
+        if decision.feasible:
+            return AdmissionOutcome(
+                admitted=True,
+                used_prediction=False,
+                decision=decision,
+                solver_calls=1,
+            )
+        return AdmissionOutcome(
+            admitted=False, used_prediction=False, decision=None, solver_calls=1
+        )

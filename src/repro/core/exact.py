@@ -1,0 +1,140 @@
+"""Exact resource manager by branch-and-bound over mappings.
+
+Given a mapping, the schedule on every resource is fully determined by
+the EDF rules of Sec. 4.1, so the optimisation problem of Sec. 4.2 is a
+search over mapping vectors.  This strategy explores that space directly
+with depth-first branch-and-bound:
+
+* tasks are assigned most-constrained-first (fewest candidate resources);
+* after each assignment, the EDF timeline of the touched resource is
+  rebuilt — on preemptable resources adding work never repairs an
+  earlier deadline miss, so infeasible partial assignments prune
+  soundly;
+* on a *non-preemptable* resource that the predicted task may map to,
+  feasibility is NOT monotone: under non-preemptive EDF an added ready
+  job can create an earlier completion boundary at which the arrived
+  predicted task wins the queue, *improving* its start time.  Such
+  resources are therefore never pruned mid-search; their timelines are
+  verified only on complete assignments;
+* a lower bound (energy so far + each unassigned task's cheapest
+  candidate energy) prunes against the incumbent.
+
+The result is provably optimal and relies on *no* LP/MILP machinery,
+which makes it the independent reference the MILP formulation is
+cross-validated against in the test suite.  Complexity is exponential in
+``|S-bar|``, so it is intended for validation and for the small contexts
+typical of one activation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import (
+    MappingDecision,
+    MappingStrategy,
+    mapping_energy,
+    resource_timeline,
+)
+from repro.core.context import RMContext
+
+__all__ = ["ExactResourceManager"]
+
+
+class ExactResourceManager(MappingStrategy):
+    """Optimal mapping by exhaustive branch-and-bound.
+
+    Parameters
+    ----------
+    max_nodes:
+        Safety cap on search nodes; exceeding it raises ``RuntimeError``
+        (the strategy must never silently return a sub-optimal answer).
+    """
+
+    name = "exact"
+
+    def __init__(self, max_nodes: int = 2_000_000) -> None:
+        if max_nodes <= 0:
+            raise ValueError(f"max_nodes must be > 0, got {max_nodes}")
+        self.max_nodes = max_nodes
+
+    def solve(self, context: RMContext) -> MappingDecision:
+        """Find the provably energy-optimal feasible mapping (or report
+        infeasibility) by branch-and-bound over mapping vectors."""
+        tasks = list(context.tasks)
+        if not tasks:
+            return MappingDecision(feasible=True, mapping={}, energy=0.0)
+
+        candidates: dict[int, list[int]] = {}
+        for task in tasks:
+            cands = list(context.candidate_resources(task))
+            if not cands:
+                return MappingDecision.infeasible()
+            # Cheapest-energy first: good incumbents early.
+            cands.sort(key=lambda i: (context.energy(task, i), i))
+            candidates[task.job_id] = cands
+
+        # Most-constrained-first assignment order.
+        order = sorted(tasks, key=lambda t: (len(candidates[t.job_id]), t.job_id))
+        min_energy = [
+            min(context.energy(t, i) for i in candidates[t.job_id]) for t in order
+        ]
+        # Suffix sums of the per-task cheapest energies (lower bounds).
+        tail_bound = [0.0] * (len(order) + 1)
+        for position in range(len(order) - 1, -1, -1):
+            tail_bound[position] = tail_bound[position + 1] + min_energy[position]
+
+        # Resources where incremental pruning would be unsound (see the
+        # module docstring): non-preemptable, and reachable by any
+        # predicted task.
+        unsafe_resources = {
+            i
+            for predicted in context.predicted_tasks
+            for i in candidates[predicted.job_id]
+            if not context.platform.is_preemptable(i)
+        }
+
+        best_mapping: dict[int, int] | None = None
+        best_energy = math.inf
+        nodes = 0
+        mapping: dict[int, int] = {}
+
+        def dfs(position: int, energy_so_far: float) -> None:
+            nonlocal best_mapping, best_energy, nodes
+            nodes += 1
+            if nodes > self.max_nodes:
+                raise RuntimeError(
+                    f"exact search exceeded {self.max_nodes} nodes "
+                    f"({len(order)} tasks)"
+                )
+            if energy_so_far + tail_bound[position] >= best_energy - 1e-12:
+                return
+            if position == len(order):
+                if all(
+                    resource_timeline(context, mapping, r).feasible
+                    for r in unsafe_resources
+                ):
+                    best_energy = energy_so_far
+                    best_mapping = dict(mapping)
+                return
+            task = order[position]
+            for resource in candidates[task.job_id]:
+                mapping[task.job_id] = resource
+                if (
+                    resource in unsafe_resources
+                    or resource_timeline(context, mapping, resource).feasible
+                ):
+                    dfs(
+                        position + 1,
+                        energy_so_far + context.energy(task, resource),
+                    )
+                del mapping[task.job_id]
+
+        dfs(0, 0.0)
+        if best_mapping is None:
+            return MappingDecision.infeasible()
+        return MappingDecision(
+            feasible=True,
+            mapping=best_mapping,
+            energy=mapping_energy(context, best_mapping),
+        )

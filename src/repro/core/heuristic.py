@@ -1,0 +1,187 @@
+"""The paper's fast mapping heuristic (Algorithm 1, Sec. 4.3).
+
+Resources are treated as knapsacks whose capacity is the planning window
+``K-bar`` in processing time; tasks are items of weight ``cpm[j,i]``.
+Following Martello's knapsack heuristic, tasks are mapped in order of
+*regret*: at each step the unmapped task with the largest gap between its
+best and second-best desirability ``f[j,i]`` is placed on its most
+desirable schedulable resource.
+
+Desirability is the remaining energy plus migration overhead, with a
+large penalty ``M`` when the execution time exceeds the task's remaining
+deadline budget (line 6 of Algorithm 1).  Schedulability is checked with
+the exact EDF timeline of the target resource, including the predicted
+task's arrival and (on preemptable resources) its preemption —
+the ``IsSchedulable`` of the paper.
+
+Worst-case complexity is ``O(N * L * log L)`` per activation, with ``L``
+the size of ``S-bar``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import (
+    MappingDecision,
+    MappingStrategy,
+    mapping_energy,
+    resource_timeline,
+)
+from repro.core.context import PlannedTask, RMContext
+
+__all__ = ["HeuristicResourceManager"]
+
+_EPS = 1e-9
+
+
+class HeuristicResourceManager(MappingStrategy):
+    """Algorithm 1 of the paper.
+
+    Parameters
+    ----------
+    deadline_penalty:
+        The constant ``M`` added to ``f[j,i]`` when ``cpm[j,i]`` exceeds
+        ``t_left_j`` (making such mappings maximally undesirable without
+        excluding them from the knapsack filter, exactly as in the paper).
+    remap_existing:
+        When True (default), every task of ``S-bar`` is re-placed from
+        scratch at each activation (full remapping freedom).  When
+        False, already-mapped tasks keep their resource and only the new
+        arrival (and the predicted task) are placed — an ablation of how
+        much the RM's power comes from remapping versus placement.
+    """
+
+    name = "heuristic"
+
+    def __init__(
+        self,
+        deadline_penalty: float = 1e9,
+        *,
+        remap_existing: bool = True,
+    ) -> None:
+        if deadline_penalty <= 0:
+            raise ValueError(
+                f"deadline_penalty must be > 0, got {deadline_penalty}"
+            )
+        self.deadline_penalty = deadline_penalty
+        self.remap_existing = remap_existing
+
+    def solve(self, context: RMContext) -> MappingDecision:
+        """Run Algorithm 1 on one activation (see the class docstring)."""
+        tasks = list(context.tasks)
+        if not tasks:
+            return MappingDecision(feasible=True, mapping={}, energy=0.0)
+        n = context.platform.size
+        window = context.window
+        capacity = [window] * n
+
+        # Line 6: desirability f[j,i] = ep + em + M * (cpm > t_left).
+        desirability: dict[int, list[float]] = {}
+        exec_times: dict[int, list[float]] = {}
+        for task in tasks:
+            row_f: list[float] = []
+            row_c: list[float] = []
+            budget = self._deadline_budget(context, task)
+            for i in range(n):
+                cpm = context.cpm(task, i)
+                energy = context.energy(task, i)
+                if not math.isfinite(cpm):
+                    row_f.append(math.inf)
+                    row_c.append(math.inf)
+                    continue
+                penalty = self.deadline_penalty if cpm > budget + _EPS else 0.0
+                row_f.append(energy + penalty)
+                row_c.append(cpm)
+            desirability[task.job_id] = row_f
+            exec_times[task.job_id] = row_c
+
+        mapping: dict[int, int] = {}
+        unmapped = {task.job_id: task for task in tasks}
+
+        if not self.remap_existing:
+            # Pin already-mapped tasks to their current resource; their
+            # schedulability is re-verified by every IsSchedulable call
+            # on that resource (the timeline covers all tasks there).
+            for task in tasks:
+                if task.current_resource is None:
+                    continue
+                resource = task.current_resource
+                mapping[task.job_id] = resource
+                capacity[resource] -= exec_times[task.job_id][resource]
+                del unmapped[task.job_id]
+            for resource in range(n):
+                if any(m == resource for m in mapping.values()):
+                    if not resource_timeline(
+                        context, mapping, resource
+                    ).feasible:
+                        return MappingDecision.infeasible()
+
+        while unmapped:
+            # Lines 7-23: pick the unmapped task with the largest regret.
+            chosen: PlannedTask | None = None
+            chosen_candidates: list[int] = []
+            best_regret = -math.inf
+            for job_id in sorted(unmapped):
+                task = unmapped[job_id]
+                cpms = exec_times[job_id]
+                f_row = desirability[job_id]
+                candidates = [
+                    i
+                    for i in range(n)
+                    if cpms[i] <= capacity[i] + _EPS and math.isfinite(cpms[i])
+                ]
+                if not candidates:
+                    return MappingDecision.infeasible()  # line 22: exit
+                candidates.sort(key=lambda i: (f_row[i], i))
+                if len(candidates) == 1:
+                    regret = math.inf  # line 14: must place now
+                else:
+                    regret = f_row[candidates[1]] - f_row[candidates[0]]
+                if regret > best_regret:
+                    best_regret = regret
+                    chosen = task
+                    chosen_candidates = candidates
+
+            assert chosen is not None
+            # Lines 24-34: place on the most desirable schedulable resource.
+            placed = False
+            for resource in chosen_candidates:
+                if self._is_schedulable(context, mapping, chosen, resource):
+                    mapping[chosen.job_id] = resource
+                    capacity[resource] -= exec_times[chosen.job_id][resource]
+                    placed = True
+                    break
+            if not placed:
+                return MappingDecision.infeasible()  # line 32: exit
+            del unmapped[chosen.job_id]
+
+        return MappingDecision(
+            feasible=True,
+            mapping=mapping,
+            energy=mapping_energy(context, mapping),
+        )
+
+    @staticmethod
+    def _deadline_budget(context: RMContext, task: PlannedTask) -> float:
+        """``t_left_j``; for the predicted task, measured from its arrival."""
+        if task.is_predicted and task.arrival is not None:
+            return task.absolute_deadline - max(context.time, task.arrival)
+        return context.t_left(task)
+
+    @staticmethod
+    def _is_schedulable(
+        context: RMContext,
+        mapping: dict[int, int],
+        task: PlannedTask,
+        resource: int,
+    ) -> bool:
+        """The paper's ``IsSchedulable(j*, i*)``.
+
+        Checks the EDF timeline of ``resource`` with the tasks mapped
+        there so far plus ``task``; other resources are unaffected by the
+        placement (assignments only ever add work to one resource).
+        """
+        trial = dict(mapping)
+        trial[task.job_id] = resource
+        return resource_timeline(context, trial, resource).feasible

@@ -1,0 +1,75 @@
+"""Shared builders for the experiment modules.
+
+All experiments use the paper's platform (five CPUs + one GPU), the
+Sec. 5.1 generators with the calibrated inter-arrival scale, and the
+strategy registry below.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import MappingStrategy
+from repro.core.exact import ExactResourceManager
+from repro.core.heuristic import HeuristicResourceManager
+from repro.core.milp_rm import MilpResourceManager
+from repro.experiments.config import CALIBRATED_ARRIVAL_SCALE, HarnessScale
+from repro.model.platform import Platform
+from repro.workload.trace import Trace
+from repro.workload.tracegen import (
+    DeadlineGroup,
+    TraceConfig,
+    generate_trace_group,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "standard_platform",
+    "standard_traces",
+    "strategy_factory",
+]
+
+STRATEGIES: dict[str, Callable[[], MappingStrategy]] = {
+    "milp": MilpResourceManager,
+    "heuristic": HeuristicResourceManager,
+    "exact": ExactResourceManager,
+}
+"""Registry of mapping strategies selectable by name in experiments."""
+
+
+def standard_platform() -> Platform:
+    """The paper's experimental platform: five CPUs and one GPU."""
+    return Platform.cpu_gpu(n_cpus=5, n_gpus=1)
+
+
+def strategy_factory(name: str) -> Callable[[], MappingStrategy]:
+    """Look up a strategy factory by registry name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        ) from None
+
+
+def standard_traces(
+    group: DeadlineGroup,
+    scale: HarnessScale,
+    *,
+    arrival_scale: float = CALIBRATED_ARRIVAL_SCALE,
+) -> list[Trace]:
+    """The Sec. 5.1 trace group at the harness scale.
+
+    Fully determined by ``(scale.master_seed, group)``: every experiment
+    comparing configurations over the same group sees identical traces.
+    """
+    return generate_trace_group(
+        scale.n_traces,
+        group=group,
+        trace_config=TraceConfig(
+            group=group,
+            n_requests=scale.n_requests,
+            arrival_scale=arrival_scale,
+        ),
+        master_seed=scale.master_seed,
+    )

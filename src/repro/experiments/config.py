@@ -1,0 +1,62 @@
+"""Experiment-harness configuration.
+
+The paper runs 500 traces of 500 requests per group with an MILP solve at
+every activation — hours of compute.  The harness therefore supports a
+*scaled* configuration for routine runs and the full paper scale behind
+environment variables:
+
+* ``REPRO_TRACES`` — traces per group (default per experiment);
+* ``REPRO_REQUESTS`` — requests per trace (default per experiment);
+* ``REPRO_FULL=1`` — the paper's 500 x 500 (overrides both);
+* ``REPRO_SEED`` — master seed (default 0).
+
+EXPERIMENTS.md records which configuration produced the reported numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+from repro.workload.tracegen import DEFAULT_ARRIVAL_SCALE
+
+__all__ = ["HarnessScale", "CALIBRATED_ARRIVAL_SCALE"]
+
+CALIBRATED_ARRIVAL_SCALE: float = DEFAULT_ARRIVAL_SCALE
+"""Inter-arrival scale used by every experiment (see DESIGN.md item 2)."""
+
+
+@dataclass(frozen=True)
+class HarnessScale:
+    """How many traces/requests an experiment runs with.
+
+    Attributes
+    ----------
+    n_traces:
+        Traces per deadline group.
+    n_requests:
+        Requests per trace.
+    master_seed:
+        Seed of the experiment's RNG namespace.
+    """
+
+    n_traces: int
+    n_requests: int
+    master_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("n_traces", self.n_traces)
+        check_positive("n_requests", self.n_requests)
+
+    @classmethod
+    def from_env(
+        cls, *, default_traces: int, default_requests: int
+    ) -> "HarnessScale":
+        """Resolve the scale from the environment (see module docstring)."""
+        seed = int(os.environ.get("REPRO_SEED", "0"))
+        if os.environ.get("REPRO_FULL", "") == "1":
+            return cls(n_traces=500, n_requests=500, master_seed=seed)
+        traces = int(os.environ.get("REPRO_TRACES", str(default_traces)))
+        requests = int(os.environ.get("REPRO_REQUESTS", str(default_requests)))
+        return cls(n_traces=traces, n_requests=requests, master_seed=seed)

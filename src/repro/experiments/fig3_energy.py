@@ -1,0 +1,106 @@
+"""E3 — Fig. 3: average normalised energy consumption.
+
+Uses the same runs as Fig. 2 (see
+:func:`repro.experiments.fig2_rejection.run_prediction_impact`); this
+module only renders the energy view.
+
+Paper shape to reproduce: energy follows acceptance — a configuration
+that rejects less executes more workload and therefore consumes *more*
+energy; for VT, the MILP converts its acceptance advantage into energy
+more favourably than the heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2_rejection import PredictionImpactResult
+from repro.util.tables import ascii_bar_chart, ascii_table
+
+__all__ = ["render_fig3", "energy_follows_acceptance"]
+
+
+def render_fig3(
+    lt: PredictionImpactResult, vt: PredictionImpactResult
+) -> str:
+    """ASCII rendering of both panels of Fig. 3."""
+    parts = []
+    for panel, result in (("(a) LT", lt), ("(b) VT", vt)):
+        labels, values = [], []
+        for label, aggregate in sorted(result.aggregates.items()):
+            labels.append(label)
+            values.append(aggregate.mean_energy)
+        parts.append(
+            ascii_bar_chart(
+                labels,
+                values,
+                title=f"Fig. 3{panel}: average normalised energy "
+                f"({result.scale.n_traces} traces x "
+                f"{result.scale.n_requests} requests)",
+            )
+        )
+    rows = []
+    for result in (lt, vt):
+        for strategy in ("milp", "heuristic"):
+            if f"{strategy}-off" not in result.aggregates:
+                continue
+            rows.append(
+                [
+                    result.group.value,
+                    strategy,
+                    result.energy(strategy, "off"),
+                    result.energy(strategy, "on"),
+                    result.rejection(strategy, "off"),
+                    result.rejection(strategy, "on"),
+                ]
+            )
+    parts.append(
+        ascii_table(
+            [
+                "group",
+                "strategy",
+                "energy off",
+                "energy on",
+                "rejection off %",
+                "rejection on %",
+            ],
+            rows,
+            title="Energy follows acceptance (lower rejection => more "
+            "workload executed => more energy)",
+            float_digits=4,
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def energy_follows_acceptance(
+    result: PredictionImpactResult,
+    *,
+    rejection_tolerance: float = 0.5,
+    energy_tolerance: float = 0.005,
+) -> bool:
+    """The paper's qualitative claim for one group: for each strategy,
+    the configuration with materially lower rejection consumes at least
+    as much energy.
+
+    Tolerances ignore sub-noise differences (``rejection_tolerance`` in
+    percentage points — at small trace counts one admitted request moves
+    the mean by a few tenths — and ``energy_tolerance`` in normalised
+    energy units).
+    """
+    for strategy in ("milp", "heuristic"):
+        if f"{strategy}-off" not in result.aggregates:
+            continue
+        rej_gap = result.rejection(strategy, "off") - result.rejection(
+            strategy, "on"
+        )
+        energy_gap = result.energy(strategy, "on") - result.energy(
+            strategy, "off"
+        )
+        if abs(rej_gap) <= rejection_tolerance:
+            continue  # acceptance unchanged within noise
+        # materially lower rejection must not come with materially lower
+        # energy, and vice versa
+        if rej_gap > 0 and energy_gap < -energy_tolerance:
+            return False
+        if rej_gap < 0 and energy_gap > energy_tolerance:
+            return False
+    return True

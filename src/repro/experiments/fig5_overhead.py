@@ -1,0 +1,152 @@
+"""E6 — Fig. 5: rejection vs prediction overhead (VT group).
+
+Predictions are perfectly accurate, but each activation is charged a
+decision delay ``overhead = coefficient x mean inter-arrival time``
+(Sec. 5.5): the platform keeps executing the previous plan during the
+delay, and the newly arrived task loses that much deadline slack.
+
+Paper shape to reproduce: with overhead above roughly 2-4% of the mean
+inter-arrival time, the rejection rate with perfect prediction crosses
+*above* the predictor-off level — the crossover that tells designers how
+cheap the predictor must be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    standard_platform,
+    standard_traces,
+    strategy_factory,
+)
+from repro.experiments.config import HarnessScale
+from repro.experiments.runner import Aggregate, RunSpec, run_matrix
+from repro.predict.oracle import OraclePredictor
+from repro.sim.simulator import SimulationConfig
+from repro.util.tables import ascii_line_chart, ascii_table
+from repro.workload.tracegen import DeadlineGroup, TraceConfig
+
+__all__ = [
+    "OverheadSweepResult",
+    "DEFAULT_OVERHEAD_COEFFICIENTS",
+    "run_overhead_sweep",
+    "render_fig5",
+]
+
+DEFAULT_OVERHEAD_COEFFICIENTS: tuple[float, ...] = (
+    0.0,
+    0.02,
+    0.05,
+    0.10,
+    0.20,
+    0.30,
+    0.50,
+)
+"""Overhead as a fraction of the mean inter-arrival time (x-axis of
+Fig. 5 is this coefficient x 100).
+
+The paper sweeps 0-10% and finds the crossover at 2-4%; at this
+reproduction's load calibration the prediction benefit is smaller in
+absolute terms but so is the per-activation damage, and the crossover
+sits near 30% — the default sweep extends far enough to show it (see
+EXPERIMENTS.md)."""
+
+
+@dataclass
+class OverheadSweepResult:
+    """Rejection vs overhead coefficient."""
+
+    scale: HarnessScale
+    coefficients: tuple[float, ...]
+    mean_interarrival: float
+    aggregates: dict[str, Aggregate]  # f"{strategy}@{coeff}" / f"{strategy}@off"
+
+    def rejection(self, strategy: str, coeff: float | str) -> float:
+        if isinstance(coeff, str):
+            return self.aggregates[f"{strategy}@{coeff}"].mean_rejection
+        return self.aggregates[f"{strategy}@{coeff:g}"].mean_rejection
+
+    def crossover_coefficient(self, strategy: str) -> float | None:
+        """Smallest swept coefficient at which perfect prediction becomes
+        no better than the predictor being off (None if it never does)."""
+        off_level = self.rejection(strategy, "off")
+        for coeff in self.coefficients:
+            if self.rejection(strategy, coeff) >= off_level:
+                return coeff
+        return None
+
+
+def run_overhead_sweep(
+    scale: HarnessScale | None = None,
+    *,
+    coefficients: tuple[float, ...] = DEFAULT_OVERHEAD_COEFFICIENTS,
+    strategies: tuple[str, ...] = ("milp", "heuristic"),
+    group: DeadlineGroup = DeadlineGroup.VT,
+) -> OverheadSweepResult:
+    """Sweep the prediction-overhead coefficient over the VT group."""
+    scale = scale or HarnessScale.from_env(default_traces=6, default_requests=100)
+    platform = standard_platform()
+    traces = standard_traces(group, scale)
+    # The expected inter-arrival time of the generator (the paper defines
+    # the overhead against the average inter-arrival of the tasks).
+    mean_gap = TraceConfig(group=group).mean_interarrival
+    specs = []
+    for name in strategies:
+        factory = strategy_factory(name)
+        for coeff in coefficients:
+            specs.append(
+                RunSpec(
+                    label=f"{name}@{coeff:g}",
+                    strategy=factory,
+                    predictor=OraclePredictor,
+                    sim_config=SimulationConfig(
+                        prediction_overhead=coeff * mean_gap
+                    ),
+                )
+            )
+        specs.append(RunSpec(label=f"{name}@off", strategy=factory))
+    aggregates = run_matrix(traces, platform, specs)
+    return OverheadSweepResult(
+        scale=scale,
+        coefficients=tuple(coefficients),
+        mean_interarrival=mean_gap,
+        aggregates=aggregates,
+    )
+
+
+def render_fig5(sweep: OverheadSweepResult) -> str:
+    """ASCII rendering of Fig. 5."""
+    strategies = sorted({label.split("@")[0] for label in sweep.aggregates})
+    series = {
+        name: [sweep.rejection(name, coeff) for coeff in sweep.coefficients]
+        for name in strategies
+    }
+    parts = [
+        ascii_line_chart(
+            [100 * c for c in sweep.coefficients],
+            series,
+            title="Fig. 5: rejection %% vs prediction overhead "
+            "(x = coefficient x 100, perfect prediction, VT group, "
+            f"{sweep.scale.n_traces} traces x {sweep.scale.n_requests} "
+            "requests)",
+        )
+    ]
+    rows = []
+    for name in strategies:
+        row = [name]
+        row.extend(sweep.rejection(name, coeff) for coeff in sweep.coefficients)
+        row.append(sweep.rejection(name, "off"))
+        crossover = sweep.crossover_coefficient(name)
+        row.append("never" if crossover is None else f"{100 * crossover:g}%")
+        rows.append(row)
+    headers = ["strategy"] + [f"{100 * c:g}%" for c in sweep.coefficients]
+    headers += ["off", "crossover"]
+    parts.append(
+        ascii_table(
+            headers,
+            rows,
+            title="Paper: crossover at ~2-4% of the mean inter-arrival time",
+        )
+    )
+    return "\n\n".join(parts)

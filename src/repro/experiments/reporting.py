@@ -1,0 +1,42 @@
+"""Result persistence for the experiment harness.
+
+Experiments render human-readable ASCII (their ``render_*`` functions)
+and can additionally persist machine-readable JSON summaries here, which
+is what EXPERIMENTS.md is generated from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.experiments.runner import Aggregate
+
+__all__ = ["aggregates_to_dict", "save_report", "load_report"]
+
+
+def aggregates_to_dict(aggregates: Mapping[str, Aggregate]) -> dict:
+    """JSON-safe summary of a label -> aggregate mapping."""
+    return {
+        label: {
+            "n_traces": aggregate.n_traces,
+            "mean_rejection": aggregate.mean_rejection,
+            "stdev_rejection": aggregate.stdev_rejection,
+            "mean_energy": aggregate.mean_energy,
+            "rejections": aggregate.rejection_percentages,
+            "energies": aggregate.normalized_energies,
+        }
+        for label, aggregate in aggregates.items()
+    }
+
+
+def save_report(path: str | Path, experiment: str, payload: dict) -> None:
+    """Write one experiment's JSON report to ``path``."""
+    record = {"experiment": experiment, **payload}
+    Path(path).write_text(json.dumps(record, indent=2))
+
+
+def load_report(path: str | Path) -> dict:
+    """Read a report previously written by :func:`save_report`."""
+    return json.loads(Path(path).read_text())

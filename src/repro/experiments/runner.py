@@ -1,0 +1,119 @@
+"""Batch execution of simulations over trace groups.
+
+Every experiment in this package is "run a set of configurations over a
+set of traces and aggregate" — :func:`run_matrix` does exactly that, with
+deterministic per-trace seeding so results are exactly reproducible and
+directly comparable across configurations (each configuration sees the
+*same* traces).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.base import MappingStrategy
+from repro.model.platform import Platform
+from repro.predict.base import Predictor
+from repro.sim.result import SimulationResult
+from repro.sim.simulator import SimulationConfig, Simulator
+from repro.workload.trace import Trace
+
+__all__ = ["RunSpec", "Aggregate", "run_matrix"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One configuration of the (strategy, predictor, simulator) triple.
+
+    Factories (not instances) are taken so every trace gets fresh,
+    state-free objects — predictors learn online and must not leak state
+    across traces.
+    """
+
+    label: str
+    strategy: Callable[[], MappingStrategy]
+    predictor: Callable[[], Predictor | None] = lambda: None
+    sim_config: SimulationConfig = field(default_factory=SimulationConfig)
+
+
+@dataclass
+class Aggregate:
+    """Per-configuration aggregation over all traces."""
+
+    label: str
+    rejection_percentages: list[float] = field(default_factory=list)
+    normalized_energies: list[float] = field(default_factory=list)
+    results: list[SimulationResult] = field(default_factory=list)
+
+    def add(self, result: SimulationResult, *, keep_result: bool) -> None:
+        """Fold one simulation result into the aggregate."""
+        self.rejection_percentages.append(result.rejection_percentage)
+        self.normalized_energies.append(result.normalized_energy)
+        if keep_result:
+            self.results.append(result)
+
+    @property
+    def mean_rejection(self) -> float:
+        """Mean rejection percentage over all traces."""
+        return statistics.fmean(self.rejection_percentages)
+
+    @property
+    def mean_energy(self) -> float:
+        """Mean normalised energy over all traces."""
+        return statistics.fmean(self.normalized_energies)
+
+    @property
+    def stdev_rejection(self) -> float:
+        """Sample standard deviation of the rejection percentages."""
+        if len(self.rejection_percentages) < 2:
+            return 0.0
+        return statistics.stdev(self.rejection_percentages)
+
+    @property
+    def n_traces(self) -> int:
+        """How many traces have been aggregated."""
+        return len(self.rejection_percentages)
+
+
+def run_matrix(
+    traces: Sequence[Trace],
+    platform: Platform,
+    specs: Sequence[RunSpec],
+    *,
+    keep_results: bool = False,
+    progress: Callable[[str, int, int], None] | None = None,
+) -> dict[str, Aggregate]:
+    """Run every spec over every trace.
+
+    Parameters
+    ----------
+    traces:
+        The workload; every spec sees the same traces in the same order.
+    platform:
+        Platform shared by all runs.
+    specs:
+        Configurations to compare; labels must be unique.
+    keep_results:
+        Retain each :class:`SimulationResult` (memory-heavy) in addition
+        to the aggregated metrics.
+    progress:
+        Optional callback ``(label, trace_index, n_traces)`` invoked
+        before each simulation (for long-run reporting).
+    """
+    labels = [spec.label for spec in specs]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"duplicate spec labels: {labels}")
+    aggregates = {spec.label: Aggregate(spec.label) for spec in specs}
+    for spec in specs:
+        for index, trace in enumerate(traces):
+            if progress is not None:
+                progress(spec.label, index, len(traces))
+            simulator = Simulator(
+                platform, spec.strategy(), spec.predictor(), spec.sim_config
+            )
+            aggregates[spec.label].add(
+                simulator.run(trace), keep_result=keep_results
+            )
+    return aggregates

@@ -1,0 +1,197 @@
+"""Standalone SVG rendering of experiment figures.
+
+The ASCII artefacts are the primary output (terminal/CI friendly); this
+module additionally writes real graphics — dependency-free, generating
+SVG markup directly — so the paper's figures can be regenerated as
+images:
+
+* :func:`bar_chart_svg` — Fig. 2 / Fig. 3 style grouped bars;
+* :func:`line_chart_svg` — Fig. 4 / Fig. 5 style series over an x-axis.
+
+Colours follow a small colour-blind-safe palette.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+from repro.util.tables import format_float
+
+__all__ = ["bar_chart_svg", "line_chart_svg"]
+
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 56
+
+
+def _svg_header(width: int, height: int, title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<title>{escape(title)}</title>',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{escape(title)}</text>',
+    ]
+
+
+def _y_axis(
+    lines: list[str],
+    y_max: float,
+    plot_height: float,
+    plot_width: float,
+    unit: str,
+) -> None:
+    """Horizontal gridlines with value labels (4 divisions)."""
+    for step in range(5):
+        value = y_max * step / 4
+        y = _MARGIN_TOP + plot_height * (1 - step / 4)
+        lines.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_LEFT + plot_width:.1f}" y2="{y:.1f}" '
+            f'stroke="#dddddd"/>'
+        )
+        lines.append(
+            f'<text x="{_MARGIN_LEFT - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{format_float(value)}{escape(unit)}</text>'
+        )
+
+
+def bar_chart_svg(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str,
+    unit: str = "",
+    width: int = 480,
+    height: int = 320,
+    path: str | Path | None = None,
+) -> str:
+    """Render one bar per label; optionally write to ``path``."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must be equal-length, non-empty")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be >= 0")
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    y_max = max(max(values), 1e-12) * 1.1
+
+    lines = _svg_header(width, height, title)
+    _y_axis(lines, y_max, plot_height, plot_width, unit)
+    slot = plot_width / len(labels)
+    bar_width = slot * 0.6
+    for position, (label, value) in enumerate(zip(labels, values)):
+        x = _MARGIN_LEFT + slot * position + (slot - bar_width) / 2
+        bar_height = plot_height * value / y_max
+        y = _MARGIN_TOP + plot_height - bar_height
+        colour = PALETTE[position % len(PALETTE)]
+        lines.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{colour}"/>'
+        )
+        lines.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{y - 4:.1f}" '
+            f'text-anchor="middle">{format_float(value)}{escape(unit)}</text>'
+        )
+        lines.append(
+            f'<text x="{x + bar_width / 2:.1f}" '
+            f'y="{_MARGIN_TOP + plot_height + 16:.1f}" '
+            f'text-anchor="middle">{escape(str(label))}</text>'
+        )
+    lines.append("</svg>")
+    markup = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(markup)
+    return markup
+
+
+def line_chart_svg(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 520,
+    height: int = 340,
+    path: str | Path | None = None,
+) -> str:
+    """Render one polyline per series; optionally write to ``path``."""
+    if not series or not xs:
+        raise ValueError("need at least one series and one x value")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch with xs")
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    all_ys = [y for ys in series.values() for y in ys]
+    y_max = max(max(all_ys), 1e-12) * 1.1
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    def coords(x: float, y: float) -> tuple[float, float]:
+        px = _MARGIN_LEFT + plot_width * (x - x_min) / x_span
+        py = _MARGIN_TOP + plot_height * (1 - y / y_max)
+        return px, py
+
+    lines = _svg_header(width, height, title)
+    _y_axis(lines, y_max, plot_height, plot_width, "")
+    # x ticks at every data point (deduplicated when dense)
+    tick_every = max(1, len(xs) // 8)
+    for position, x in enumerate(xs):
+        if position % tick_every:
+            continue
+        px, _ = coords(x, 0.0)
+        lines.append(
+            f'<text x="{px:.1f}" y="{_MARGIN_TOP + plot_height + 16:.1f}" '
+            f'text-anchor="middle">{format_float(x)}</text>'
+        )
+    for index, (name, ys) in enumerate(series.items()):
+        colour = PALETTE[index % len(PALETTE)]
+        points = " ".join(
+            f"{coords(x, y)[0]:.1f},{coords(x, y)[1]:.1f}"
+            for x, y in zip(xs, ys)
+        )
+        lines.append(
+            f'<polyline points="{points}" fill="none" stroke="{colour}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            px, py = coords(x, y)
+            lines.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" '
+                f'fill="{colour}"/>'
+            )
+        # legend entry
+        legend_y = _MARGIN_TOP + 14 * index
+        legend_x = width - _MARGIN_RIGHT - 120
+        lines.append(
+            f'<rect x="{legend_x}" y="{legend_y - 8}" width="10" '
+            f'height="10" fill="{colour}"/>'
+        )
+        lines.append(
+            f'<text x="{legend_x + 14}" y="{legend_y + 1}">'
+            f'{escape(name)}</text>'
+        )
+    if x_label:
+        lines.append(
+            f'<text x="{_MARGIN_LEFT + plot_width / 2:.1f}" '
+            f'y="{height - 12}" text-anchor="middle">{escape(x_label)}</text>'
+        )
+    if y_label:
+        lines.append(
+            f'<text x="14" y="{_MARGIN_TOP + plot_height / 2:.1f}" '
+            f'text-anchor="middle" transform="rotate(-90 14 '
+            f'{_MARGIN_TOP + plot_height / 2:.1f})">{escape(y_label)}</text>'
+        )
+    lines.append("</svg>")
+    markup = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(markup)
+    return markup

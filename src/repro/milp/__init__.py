@@ -1,0 +1,35 @@
+"""A small mixed-integer linear programming layer.
+
+The paper's exact resource manager is a MILP (Sec. 4.2).  This package
+provides everything needed to express and solve it without external
+modelling libraries:
+
+* :class:`~repro.milp.model.Model` — variables, linear expressions,
+  constraints (with operator overloading) and big-M helpers;
+* :mod:`~repro.milp.scipy_backend` — solves a model with scipy's bundled
+  HiGHS solver;
+* :mod:`~repro.milp.bnb` — a pure-Python branch-and-bound solver over the
+  LP relaxation, used to cross-validate the HiGHS results in tests.
+"""
+
+from repro.milp.model import (
+    Constraint,
+    LinExpr,
+    Model,
+    Solution,
+    SolveStatus,
+    Variable,
+)
+from repro.milp.scipy_backend import solve_with_scipy
+from repro.milp.bnb import solve_with_bnb
+
+__all__ = [
+    "Model",
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "Solution",
+    "SolveStatus",
+    "solve_with_scipy",
+    "solve_with_bnb",
+]

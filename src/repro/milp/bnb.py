@@ -1,0 +1,167 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+Solves a :class:`~repro.milp.model.Model` by LP-relaxation branch-and-
+bound: the LP relaxations are solved with :func:`scipy.optimize.linprog`
+(HiGHS simplex/IPM), while all integrality handling — branching, bound
+management, pruning, incumbent tracking — is implemented here.
+
+This solver exists to *cross-validate* the one-shot
+:func:`~repro.milp.scipy_backend.solve_with_scipy` backend: the two take
+completely different integer search paths, so agreeing optima give high
+confidence in the model construction.  It is also the fallback if a scipy
+build lacks ``milp``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.milp.model import Model, Solution, SolveStatus
+
+__all__ = ["solve_with_bnb"]
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class _Node:
+    lb: np.ndarray
+    ub: np.ndarray
+    depth: int
+
+
+def _solve_relaxation(
+    c: np.ndarray,
+    a_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    a_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    lb: np.ndarray,
+    ub: np.ndarray,
+):
+    bounds = list(zip(lb, [None if math.isinf(u) else u for u in ub]))
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    return result
+
+
+def _build_arrays(model: Model):
+    n = model.n_variables
+    c = np.zeros(n)
+    for var, coeff in model.objective.terms.items():
+        c[var] = coeff
+    if model.sense == "max":
+        c = -c
+    ub_rows: list[np.ndarray] = []
+    ub_rhs: list[float] = []
+    eq_rows: list[np.ndarray] = []
+    eq_rhs: list[float] = []
+    for constraint in model.constraints:
+        row = np.zeros(n)
+        for var, coeff in constraint.expr.terms.items():
+            row[var] = coeff
+        lo, hi = constraint.lo, constraint.hi
+        if math.isfinite(lo) and math.isfinite(hi) and lo == hi:
+            eq_rows.append(row)
+            eq_rhs.append(lo)
+            continue
+        if math.isfinite(hi):
+            ub_rows.append(row)
+            ub_rhs.append(hi)
+        if math.isfinite(lo):
+            ub_rows.append(-row)
+            ub_rhs.append(-lo)
+    a_ub = np.vstack(ub_rows) if ub_rows else None
+    b_ub = np.array(ub_rhs) if ub_rows else None
+    a_eq = np.vstack(eq_rows) if eq_rows else None
+    b_eq = np.array(eq_rhs) if eq_rows else None
+    lb = np.array([v.lb for v in model.variables], dtype=float)
+    ub = np.array([v.ub for v in model.variables], dtype=float)
+    integers = [i for i, v in enumerate(model.variables) if v.integer]
+    return c, a_ub, b_ub, a_eq, b_eq, lb, ub, integers
+
+
+def solve_with_bnb(
+    model: Model,
+    *,
+    max_nodes: int = 200_000,
+) -> Solution:
+    """Solve ``model`` by branch-and-bound.
+
+    Parameters
+    ----------
+    max_nodes:
+        Safety cap on explored nodes; exceeding it returns
+        :data:`~repro.milp.model.SolveStatus.ERROR` with the incumbent (if
+        any) so callers can distinguish "proved" from "best effort".
+    """
+    if model.n_variables == 0:
+        return Solution(SolveStatus.OPTIMAL, model.objective.constant, [])
+    c, a_ub, b_ub, a_eq, b_eq, lb0, ub0, integers = _build_arrays(model)
+
+    best_values: np.ndarray | None = None
+    best_objective = math.inf
+    stack = [_Node(lb0.copy(), ub0.copy(), 0)]
+    explored = 0
+    exhausted = True
+
+    while stack:
+        if explored >= max_nodes:
+            exhausted = False
+            break
+        node = stack.pop()
+        explored += 1
+        result = _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, node.lb, node.ub)
+        if result.status == 3:  # unbounded relaxation at the root
+            if node.depth == 0 and not integers:
+                return Solution(SolveStatus.UNBOUNDED, -math.inf, [])
+            # With integer variables an unbounded relaxation still needs
+            # branching in general; treat as unbounded conservatively.
+            return Solution(SolveStatus.UNBOUNDED, -math.inf, [])
+        if result.status != 0:
+            continue  # infeasible subproblem: prune
+        if result.fun >= best_objective - 1e-9:
+            continue  # bound prune
+        x = result.x
+        fractional = [
+            (abs(x[i] - round(x[i])), i)
+            for i in integers
+            if abs(x[i] - round(x[i])) > _INT_TOL
+        ]
+        if not fractional:
+            best_objective = result.fun
+            best_values = x.copy()
+            for i in integers:
+                best_values[i] = round(best_values[i])
+            continue
+        # Branch on the most fractional variable.
+        _, branch_var = max(fractional)
+        floor_val = math.floor(x[branch_var])
+        left = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
+        left.ub[branch_var] = floor_val
+        right = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
+        right.lb[branch_var] = floor_val + 1
+        # Explore the side the relaxation leans towards first.
+        if x[branch_var] - floor_val > 0.5:
+            stack.extend([left, right])
+        else:
+            stack.extend([right, left])
+
+    if best_values is None:
+        status = SolveStatus.INFEASIBLE if exhausted else SolveStatus.ERROR
+        return Solution(status, math.inf, [])
+    values = [float(v) for v in best_values]
+    objective = model.objective.value(values)
+    status = SolveStatus.OPTIMAL if exhausted else SolveStatus.ERROR
+    return Solution(status, objective, values)

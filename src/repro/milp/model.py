@@ -1,0 +1,352 @@
+"""MILP modelling layer: variables, linear expressions, constraints.
+
+The layer is deliberately small: enough to express the paper's
+formulation (binary mapping variables, continuous chunk start/end times,
+big-M indicator disjunctions) with readable operator syntax::
+
+    m = Model("rm")
+    x = m.add_binary("x[1,2]")
+    t = m.add_var("start", lb=0.0)
+    m.add(t + 3.0 * x <= 10.0)
+    m.minimize(2.5 * x + t)
+    solution = m.solve()
+
+Solving dispatches to a backend (scipy/HiGHS by default, pure-Python
+branch-and-bound as an alternative).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "Model",
+    "Solution",
+    "SolveStatus",
+]
+
+
+def _to_expr(value: "Variable | LinExpr | float | int") -> "LinExpr":
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Variable):
+        return LinExpr({value.index: 1.0}, 0.0)
+    if isinstance(value, (int, float)):
+        return LinExpr({}, float(value))
+    raise TypeError(f"cannot use {type(value).__name__} in a linear expression")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable (handle into its :class:`Model`)."""
+
+    index: int
+    name: str
+    lb: float
+    ub: float
+    integer: bool
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: object) -> "LinExpr":
+        return _to_expr(self) + other  # type: ignore[operator]
+
+    def __radd__(self, other: object) -> "LinExpr":
+        return _to_expr(self) + other  # type: ignore[operator]
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return _to_expr(self) - other  # type: ignore[operator]
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return _to_expr(other) - _to_expr(self)  # type: ignore[arg-type]
+
+    def __mul__(self, coeff: float) -> "LinExpr":
+        return _to_expr(self) * coeff
+
+    def __rmul__(self, coeff: float) -> "LinExpr":
+        return _to_expr(self) * coeff
+
+    def __neg__(self) -> "LinExpr":
+        return _to_expr(self) * -1.0
+
+    # -- comparisons build constraints ----------------------------------
+    def __le__(self, other: object) -> "Constraint":
+        return _to_expr(self) <= other  # type: ignore[operator]
+
+    def __ge__(self, other: object) -> "Constraint":
+        return _to_expr(self) >= other  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        return _to_expr(self) == other  # type: ignore[operator]
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.name))
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self, terms: Mapping[int, float] | None = None, constant: float = 0.0
+    ) -> None:
+        self.terms: dict[int, float] = dict(terms or {})
+        self.constant = float(constant)
+
+    def copy(self) -> "LinExpr":
+        """An independent copy (terms dict not shared)."""
+        return LinExpr(self.terms, self.constant)
+
+    def __add__(self, other: object) -> "LinExpr":
+        other_expr = _to_expr(other)  # type: ignore[arg-type]
+        result = self.copy()
+        for var, coeff in other_expr.terms.items():
+            result.terms[var] = result.terms.get(var, 0.0) + coeff
+        result.constant += other_expr.constant
+        return result
+
+    def __radd__(self, other: object) -> "LinExpr":
+        return self + other
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self + (_to_expr(other) * -1.0)  # type: ignore[arg-type]
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return _to_expr(other) - self  # type: ignore[arg-type]
+
+    def __mul__(self, coeff: object) -> "LinExpr":
+        if not isinstance(coeff, (int, float)):
+            raise TypeError("expressions can only be scaled by numbers")
+        return LinExpr(
+            {var: c * float(coeff) for var, c in self.terms.items()},
+            self.constant * float(coeff),
+        )
+
+    def __rmul__(self, coeff: object) -> "LinExpr":
+        return self * coeff
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __le__(self, other: object) -> "Constraint":
+        diff = self - _to_expr(other)  # type: ignore[arg-type]
+        return Constraint(LinExpr(diff.terms), -math.inf, -diff.constant)
+
+    def __ge__(self, other: object) -> "Constraint":
+        diff = self - _to_expr(other)  # type: ignore[arg-type]
+        return Constraint(LinExpr(diff.terms), -diff.constant, math.inf)
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        diff = self - _to_expr(other)  # type: ignore[arg-type]
+        return Constraint(LinExpr(diff.terms), -diff.constant, -diff.constant)
+
+    def __hash__(self) -> int:  # expressions are mutable; identity hash
+        return id(self)
+
+    def value(self, assignment: Mapping[int, float] | list[float]) -> float:
+        """Evaluate under a variable assignment (by index)."""
+        total = self.constant
+        for var, coeff in self.terms.items():
+            total += coeff * assignment[var]
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*v{v}" for v, c in sorted(self.terms.items())]
+        parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+@dataclass
+class Constraint:
+    """``lo <= expr <= hi`` (one side may be infinite)."""
+
+    expr: LinExpr
+    lo: float
+    hi: float
+    name: str = ""
+
+    def violated_by(
+        self, assignment: Mapping[int, float] | list[float], tol: float = 1e-6
+    ) -> bool:
+        """Whether the assignment breaks this constraint beyond ``tol``."""
+        value = self.expr.value(assignment)
+        return value < self.lo - tol or value > self.hi + tol
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`Model`."""
+
+    status: SolveStatus
+    objective: float
+    values: list[float]
+
+    @property
+    def optimal(self) -> bool:
+        """Whether the solve proved optimality."""
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, variable: Variable) -> float:
+        """Value of one variable."""
+        return self.values[variable.index]
+
+    def binary(self, variable: Variable) -> bool:
+        """Value of a binary variable rounded to bool."""
+        return self.values[variable.index] > 0.5
+
+
+class Model:
+    """A MILP: variables, linear constraints and a linear objective."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.sense: str = "min"
+
+    # -- building --------------------------------------------------------
+    def add_var(
+        self,
+        name: str = "",
+        *,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = False,
+    ) -> Variable:
+        """Add a variable with bounds ``[lb, ub]``."""
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Variable(len(self.variables), name or f"v{len(self.variables)}",
+                       lb, ub, integer)
+        self.variables.append(var)
+        return var
+
+    def add_binary(self, name: str = "") -> Variable:
+        """Add a 0/1 variable."""
+        return self.add_var(name, lb=0.0, ub=1.0, integer=True)
+
+    def add(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built via ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add() expects a Constraint (use <=, >= or == on expressions); "
+                f"got {type(constraint).__name__}"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def minimize(self, expr: "LinExpr | Variable | float") -> None:
+        """Set a minimisation objective."""
+        self.objective = _to_expr(expr)
+        self.sense = "min"
+
+    def maximize(self, expr: "LinExpr | Variable | float") -> None:
+        """Set a maximisation objective."""
+        self.objective = _to_expr(expr)
+        self.sense = "max"
+
+    # -- big-M helpers ----------------------------------------------------
+    def add_implication(
+        self,
+        indicator: Variable,
+        constraint: Constraint,
+        big_m: float,
+        name: str = "",
+    ) -> None:
+        """Enforce ``constraint`` only when ``indicator == 1`` (big-M).
+
+        Both finite sides of the constraint are relaxed by
+        ``big_m * (1 - indicator)``.
+        """
+        if not indicator.integer or indicator.lb != 0.0 or indicator.ub != 1.0:
+            raise ValueError("indicator must be a binary variable")
+        if big_m <= 0:
+            raise ValueError(f"big_m must be > 0, got {big_m}")
+        slack = (1.0 - _to_expr(indicator)) * big_m
+        if math.isfinite(constraint.hi):
+            relaxed = constraint.expr - slack
+            self.add(
+                Constraint(LinExpr(relaxed.terms),
+                           -math.inf,
+                           constraint.hi - relaxed.constant),
+                name=f"{name}:ub" if name else "",
+            )
+        if math.isfinite(constraint.lo):
+            relaxed = constraint.expr + slack
+            self.add(
+                Constraint(LinExpr(relaxed.terms),
+                           constraint.lo - relaxed.constant,
+                           math.inf),
+                name=f"{name}:lb" if name else "",
+            )
+
+    def add_disjunction(
+        self,
+        first: Constraint,
+        second: Constraint,
+        big_m: float,
+        name: str = "",
+    ) -> Variable:
+        """Enforce ``first OR second`` via a fresh selector binary.
+
+        Returns the selector: 1 activates ``first``, 0 activates
+        ``second``.
+        """
+        selector = self.add_binary(f"{name or 'or'}:sel")
+        self.add_implication(selector, first, big_m, name=f"{name}:a")
+        complement = self.add_binary(f"{name or 'or'}:notsel")
+        self.add(
+            _to_expr(selector) + _to_expr(complement) == 1.0,
+            name=f"{name}:one",
+        )
+        self.add_implication(complement, second, big_m, name=f"{name}:b")
+        return selector
+
+    # -- inspection / solving ----------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    def check(self, values: list[float], tol: float = 1e-6) -> list[Constraint]:
+        """Constraints violated by ``values`` (empty list = feasible)."""
+        return [c for c in self.constraints if c.violated_by(values, tol)]
+
+    def solve(self, backend: str = "scipy", **options) -> Solution:
+        """Solve with the named backend (``"scipy"`` or ``"bnb"``)."""
+        if backend == "scipy":
+            from repro.milp.scipy_backend import solve_with_scipy
+
+            return solve_with_scipy(self, **options)
+        if backend == "bnb":
+            from repro.milp.bnb import solve_with_bnb
+
+            return solve_with_bnb(self, **options)
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name or 'unnamed'}: {self.n_variables} vars, "
+            f"{self.n_constraints} constraints)"
+        )

@@ -1,0 +1,120 @@
+"""Solve a :class:`~repro.milp.model.Model` with scipy's HiGHS MILP.
+
+scipy bundles the HiGHS solver behind :func:`scipy.optimize.milp`; this
+module translates our modelling layer into its matrix form and maps the
+result back.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import csr_matrix
+
+from repro.milp.model import Model, Solution, SolveStatus
+
+__all__ = ["solve_with_scipy"]
+
+
+def _build_matrices(model: Model):
+    n = model.n_variables
+    c = np.zeros(n)
+    for var, coeff in model.objective.terms.items():
+        c[var] = coeff
+    if model.sense == "max":
+        c = -c
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    lo = np.empty(len(model.constraints))
+    hi = np.empty(len(model.constraints))
+    for row, constraint in enumerate(model.constraints):
+        lo[row] = constraint.lo
+        hi[row] = constraint.hi
+        for var, coeff in constraint.expr.terms.items():
+            rows.append(row)
+            cols.append(var)
+            data.append(coeff)
+    matrix = csr_matrix((data, (rows, cols)), shape=(len(model.constraints), n))
+
+    lb = np.array([v.lb for v in model.variables])
+    ub = np.array([v.ub for v in model.variables])
+    integrality = np.array(
+        [1 if v.integer else 0 for v in model.variables], dtype=np.uint8
+    )
+    return c, matrix, lo, hi, lb, ub, integrality
+
+
+def solve_with_scipy(
+    model: Model,
+    *,
+    time_limit: float | None = None,
+    mip_rel_gap: float = 0.0,
+    presolve: bool = False,
+    mip_feasibility_tolerance: float = 1e-9,
+) -> Solution:
+    """Solve ``model`` to optimality with HiGHS.
+
+    Parameters
+    ----------
+    time_limit:
+        Optional wall-clock limit in seconds.
+    mip_rel_gap:
+        Relative MIP gap at which HiGHS may stop (0 = prove optimality).
+    presolve:
+        HiGHS presolve.  Disabled by default: on big-M models with
+        near-integral right-hand sides (exactly what the RM formulation
+        produces) the bundled HiGHS presolve can return sub-optimal
+        "optimal" solutions; see tests/milp/test_backends.py::
+        TestScipyBackend::test_presolve_regression.
+    mip_feasibility_tolerance:
+        HiGHS MIP feasibility/integrality tolerance.  Tightened from the
+        1e-6 default because a binary allowed to sit at 1e-6 leaks
+        ``1e-6 * big_M`` of slack through big-M constraints — enough to
+        "satisfy" a deadline constraint the schedule actually violates
+        (observed as ~1e-3 deadline misses before tightening).
+    """
+    if model.n_variables == 0:
+        return Solution(SolveStatus.OPTIMAL, model.objective.constant, [])
+    c, matrix, lo, hi, lb, ub, integrality = _build_matrices(model)
+    options: dict = {
+        "mip_rel_gap": mip_rel_gap,
+        "presolve": presolve,
+        # Forwarded verbatim to HiGHS (scipy warns about unknown keys).
+        "mip_feasibility_tolerance": mip_feasibility_tolerance,
+    }
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    constraints = (
+        [LinearConstraint(matrix, lo, hi)] if model.n_constraints else []
+    )
+    with warnings.catch_warnings():
+        # scipy warns that non-standard options are "passed to HiGHS
+        # verbatim" — which is exactly the intent.
+        warnings.filterwarnings(
+            "ignore", message="Unrecognized options", category=RuntimeWarning
+        )
+        result = milp(
+            c,
+            constraints=constraints,
+            bounds=Bounds(lb, ub),
+            integrality=integrality,
+            options=options,
+        )
+    if result.status == 0:
+        values = [float(v) for v in result.x]
+        objective = model.objective.value(values)
+        return Solution(SolveStatus.OPTIMAL, objective, values)
+    if result.status == 2:
+        return Solution(SolveStatus.INFEASIBLE, math.inf, [])
+    if result.status == 3:
+        return Solution(SolveStatus.UNBOUNDED, -math.inf, [])
+    # status 1 = iteration/time limit, 4 = other error
+    if result.x is not None:
+        values = [float(v) for v in result.x]
+        return Solution(SolveStatus.ERROR, model.objective.value(values), values)
+    return Solution(SolveStatus.ERROR, math.nan, [])

@@ -1,0 +1,152 @@
+"""Heterogeneous platform description.
+
+The paper considers a platform of ``N`` computation resources
+``r_1 .. r_N``.  Resources differ in speed and energy (captured per task in
+:class:`~repro.model.task.TaskType`) and in *preemptability*: tasks running
+on particular resources (e.g. GPUs) cannot be preempted — they must run to
+completion or be aborted and restarted from scratch (Sec. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Resource", "Platform"]
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One computation resource.
+
+    Attributes
+    ----------
+    index:
+        Position of the resource in the platform (0-based).  Task WCET and
+        energy vectors are indexed by this.
+    name:
+        Human-readable name, e.g. ``"cpu0"`` or ``"gpu0"``.
+    kind:
+        Free-form class label (``"cpu"``, ``"gpu"``, ``"dsp"`` ...); only
+        used for reporting.
+    preemptable:
+        Whether a task running here may be preempted and later resumed.
+        Non-preemptable resources follow the paper's GPU rules: running
+        tasks either finish or are aborted and restarted from the
+        beginning, and the predicted task never preempts here.
+    """
+
+    index: int
+    name: str
+    kind: str = "cpu"
+    preemptable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"resource index must be >= 0, got {self.index}")
+        if not self.name:
+            raise ValueError("resource name must be non-empty")
+
+
+class Platform:
+    """An ordered collection of :class:`Resource` objects.
+
+    The order defines the resource indices used by every
+    :class:`~repro.model.task.TaskType` vector, so a platform and its task
+    set must be built together (see :mod:`repro.workload.taskgen`).
+
+    Examples
+    --------
+    >>> platform = Platform.cpu_gpu(n_cpus=2, n_gpus=1)
+    >>> platform.size
+    3
+    >>> [r.preemptable for r in platform]
+    [True, True, False]
+    """
+
+    def __init__(self, resources: list[Resource] | tuple[Resource, ...]) -> None:
+        if not resources:
+            raise ValueError("a platform needs at least one resource")
+        for position, resource in enumerate(resources):
+            if resource.index != position:
+                raise ValueError(
+                    f"resource {resource.name!r} has index {resource.index} "
+                    f"but sits at position {position}"
+                )
+        names = [r.name for r in resources]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate resource names: {names}")
+        self._resources: tuple[Resource, ...] = tuple(resources)
+
+    @classmethod
+    def cpu_gpu(cls, n_cpus: int, n_gpus: int = 1) -> "Platform":
+        """The paper's architecture: ``n_cpus`` CPUs followed by GPUs.
+
+        The experimental sections use five CPUs and one GPU
+        (``Platform.cpu_gpu(5, 1)``); the motivational example uses two
+        CPUs and one GPU.
+        """
+        if n_cpus < 0 or n_gpus < 0 or n_cpus + n_gpus == 0:
+            raise ValueError(
+                f"need a non-empty platform, got {n_cpus} CPUs / {n_gpus} GPUs"
+            )
+        resources = [
+            Resource(index=i, name=f"cpu{i}", kind="cpu", preemptable=True)
+            for i in range(n_cpus)
+        ]
+        resources += [
+            Resource(
+                index=n_cpus + g, name=f"gpu{g}", kind="gpu", preemptable=False
+            )
+            for g in range(n_gpus)
+        ]
+        return cls(resources)
+
+    @property
+    def size(self) -> int:
+        """Number of resources ``N``."""
+        return len(self._resources)
+
+    @property
+    def resources(self) -> tuple[Resource, ...]:
+        return self._resources
+
+    @property
+    def preemptable_indices(self) -> tuple[int, ...]:
+        return tuple(r.index for r in self._resources if r.preemptable)
+
+    @property
+    def non_preemptable_indices(self) -> tuple[int, ...]:
+        return tuple(r.index for r in self._resources if not r.preemptable)
+
+    def is_preemptable(self, index: int) -> bool:
+        """Whether resource ``index`` allows preemption."""
+        return self._resources[index].preemptable
+
+    def by_name(self, name: str) -> Resource:
+        """Look a resource up by its name."""
+        for resource in self._resources:
+            if resource.name == name:
+                return resource
+        raise KeyError(f"no resource named {name!r}")
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self._resources)
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __getitem__(self, index: int) -> Resource:
+        return self._resources[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Platform):
+            return NotImplemented
+        return self._resources == other._resources
+
+    def __hash__(self) -> int:
+        return hash(self._resources)
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(f"{r.name}{'' if r.preemptable else '!'}" for r in self)
+        return f"Platform({kinds})"

@@ -1,0 +1,55 @@
+"""Workload predictors.
+
+The resource managers consume a
+:class:`~repro.model.request.PredictedRequest` describing the next
+expected request.  This package provides:
+
+* :class:`~repro.predict.oracle.OraclePredictor` — perfect prediction
+  (the paper's "predictor on" configuration);
+* :class:`~repro.predict.base.NullPredictor` — no prediction
+  ("predictor off");
+* :class:`~repro.predict.noisy.TypeNoisePredictor` /
+  :class:`~repro.predict.noisy.ArrivalNoisePredictor` — controlled
+  degradation for the accuracy sweeps of Fig. 4;
+* :class:`~repro.predict.markov.ComposedPredictor` — an actual online
+  learned predictor (Markov type chain + two-phase inter-arrival model)
+  in the spirit of the authors' prior work [12, 13];
+* :func:`~repro.predict.metrics.evaluate_predictor` — type accuracy and
+  normalised arrival error of any predictor over any trace.
+"""
+
+from repro.predict.base import NullPredictor, OnlinePredictor, Predictor
+from repro.predict.interarrival import (
+    EwmaInterarrival,
+    InterarrivalModel,
+    MeanInterarrival,
+    TwoPhaseInterarrival,
+)
+from repro.predict.markov import (
+    ComposedPredictor,
+    MarkovTypePredictor,
+    NGramTypePredictor,
+)
+from repro.predict.metrics import PredictionReport, evaluate_predictor
+from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
+from repro.predict.oracle import OraclePredictor
+from repro.predict.scripted import ScriptedPredictor
+
+__all__ = [
+    "Predictor",
+    "OnlinePredictor",
+    "NullPredictor",
+    "OraclePredictor",
+    "TypeNoisePredictor",
+    "ArrivalNoisePredictor",
+    "MarkovTypePredictor",
+    "NGramTypePredictor",
+    "ComposedPredictor",
+    "InterarrivalModel",
+    "MeanInterarrival",
+    "EwmaInterarrival",
+    "TwoPhaseInterarrival",
+    "ScriptedPredictor",
+    "PredictionReport",
+    "evaluate_predictor",
+]

@@ -1,0 +1,119 @@
+"""Predictor interface.
+
+The paper deliberately separates prediction from management: the RM
+consumes a :class:`~repro.model.request.PredictedRequest` describing the
+*next* expected request, however it was produced.  A
+:class:`Predictor` is queried right after request ``index`` of a trace
+arrives and returns its forecast of request ``index + 1`` (or ``None``
+for "no prediction", in which case the RM plans without one).
+
+Two families implement the interface:
+
+* emulated predictors (:mod:`repro.predict.oracle`,
+  :mod:`repro.predict.noisy`) that read the true next request and
+  degrade it to a target accuracy — the paper's experimental methodology
+  (Sec. 5.3-5.4);
+* online learned predictors (:mod:`repro.predict.markov`,
+  :mod:`repro.predict.interarrival`) in the spirit of the authors' prior
+  work [12, 13], which must only ever look at the *past* of the stream —
+  :class:`OnlinePredictor` enforces this by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.model.request import PredictedRequest, Request
+from repro.workload.trace import Trace
+
+__all__ = ["Predictor", "OnlinePredictor", "NullPredictor"]
+
+
+class Predictor(abc.ABC):
+    """Forecasts the next request of a trace."""
+
+    #: short identifier used in experiment reports
+    name: str = "predictor"
+
+    def reset(self) -> None:
+        """Clear any learned state before replaying a new trace."""
+
+    @abc.abstractmethod
+    def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
+        """Forecast request ``index + 1`` just after request ``index`` arrived.
+
+        ``index`` is the position of the request that triggered the
+        current RM activation.  Returns ``None`` when no forecast is
+        available (e.g. end of trace, or not enough history).
+        """
+
+    def predict_horizon(
+        self, trace: Trace, index: int, horizon: int
+    ) -> list[PredictedRequest]:
+        """Forecast up to ``horizon`` upcoming requests.
+
+        The paper predicts one request; a lookahead horizon is this
+        library's extension.  The default implementation returns just the
+        single-step forecast — predictors with genuine multi-step ability
+        (e.g. the oracle) override it.
+        """
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        prediction = self.predict(trace, index)
+        return [] if prediction is None else [prediction]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class OnlinePredictor(Predictor):
+    """A predictor that may only use the observed past of the stream.
+
+    Subclasses implement :meth:`observe` (called once per arrived
+    request, in order) and :meth:`forecast`.  The base class feeds them
+    exactly the prefix ``trace[0..index]`` and never the future, so
+    causality is guaranteed by construction rather than by convention.
+    """
+
+    def __init__(self) -> None:
+        self._next_to_observe = 0
+
+    def reset(self) -> None:
+        self._next_to_observe = 0
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        """Clear learned state (override as needed)."""
+
+    @abc.abstractmethod
+    def observe(self, request: Request) -> None:
+        """Ingest one arrived request (called in arrival order)."""
+
+    @abc.abstractmethod
+    def forecast(self, history: Sequence[Request]) -> PredictedRequest | None:
+        """Forecast the next request from the observed history."""
+
+    def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
+        if index < 0 or index >= len(trace):
+            raise IndexError(f"request index {index} out of range")
+        if index + 1 >= len(trace):
+            return None  # nothing follows; avoid predicting past the end
+        if self._next_to_observe > index + 1:
+            raise RuntimeError(
+                "online predictor replayed backwards; call reset() between "
+                "traces"
+            )
+        while self._next_to_observe <= index:
+            self.observe(trace[self._next_to_observe])
+            self._next_to_observe += 1
+        return self.forecast(trace.requests[: index + 1])
+
+
+class NullPredictor(Predictor):
+    """The "predictor off" configuration: never forecasts anything."""
+
+    name = "off"
+
+    def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
+        return None

@@ -1,0 +1,183 @@
+"""Online inter-arrival time models.
+
+Lightweight next-gap estimators in the spirit of the authors' prior work
+on inter-arrival prediction for runtime resource management [12]: small
+state, O(1) updates, usable inside an RM activation.
+
+Three models are provided:
+
+* :class:`MeanInterarrival` — running mean of all gaps;
+* :class:`EwmaInterarrival` — exponentially weighted moving average;
+* :class:`TwoPhaseInterarrival` — a two-phase scheme: phase one matches
+  the recent (quantised) gap history against a learned pattern table;
+  phase two falls back to an EWMA when the pattern is unknown.  This
+  mirrors the structure of the two-phase predictor of [12]: exploit
+  repeating patterns when present, degrade gracefully to smoothing when
+  not.
+"""
+
+from __future__ import annotations
+
+import abc
+import collections
+import math
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "InterarrivalModel",
+    "MeanInterarrival",
+    "EwmaInterarrival",
+    "TwoPhaseInterarrival",
+]
+
+
+class InterarrivalModel(abc.ABC):
+    """Online estimator of the next inter-arrival gap."""
+
+    @abc.abstractmethod
+    def update(self, gap: float) -> None:
+        """Ingest one observed gap (in arrival order)."""
+
+    @abc.abstractmethod
+    def forecast(self) -> float | None:
+        """Estimate the next gap; ``None`` before any observation."""
+
+    def reset(self) -> None:
+        """Clear learned state."""
+
+
+class MeanInterarrival(InterarrivalModel):
+    """Running mean of all observed gaps."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._total = 0.0
+
+    def reset(self) -> None:
+        self._count = 0
+        self._total = 0.0
+
+    def update(self, gap: float) -> None:
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        self._count += 1
+        self._total += gap
+
+    def forecast(self) -> float | None:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class EwmaInterarrival(InterarrivalModel):
+    """Exponentially weighted moving average of gaps.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing weight of the newest observation, in ``(0, 1]``.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=True)
+        if alpha == 0.0:
+            raise ValueError("alpha must be > 0")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    def reset(self) -> None:
+        self._value = None
+
+    def update(self, gap: float) -> None:
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        if self._value is None:
+            self._value = gap
+        else:
+            self._value = self.alpha * gap + (1.0 - self.alpha) * self._value
+
+    def forecast(self) -> float | None:
+        return self._value
+
+
+class TwoPhaseInterarrival(InterarrivalModel):
+    """Pattern table over quantised gaps, with an EWMA fallback.
+
+    Gaps are quantised to ``resolution``-sized bins.  The model keeps,
+    for every ``context_length``-gram of recent bins, a histogram of the
+    bin that followed; the forecast is the centre of the most frequent
+    successor bin.  When the current context has never been seen (or the
+    history is too short), the EWMA fallback answers instead.
+
+    Parameters
+    ----------
+    context_length:
+        Number of recent gaps forming the lookup key.
+    resolution:
+        Bin width of the quantisation, as a fraction of the running mean
+        gap (adaptive, so the table works across time scales).
+    fallback_alpha:
+        EWMA weight of the phase-two fallback.
+    """
+
+    def __init__(
+        self,
+        context_length: int = 3,
+        resolution: float = 0.25,
+        fallback_alpha: float = 0.3,
+    ) -> None:
+        check_positive("context_length", context_length)
+        check_positive("resolution", resolution)
+        self.context_length = context_length
+        self.resolution = resolution
+        self._fallback = EwmaInterarrival(fallback_alpha)
+        self._mean = MeanInterarrival()
+        self._recent: collections.deque[int] = collections.deque(
+            maxlen=context_length
+        )
+        self._table: dict[tuple[int, ...], collections.Counter] = {}
+
+    def reset(self) -> None:
+        self._fallback.reset()
+        self._mean.reset()
+        self._recent.clear()
+        self._table.clear()
+
+    def _bin_of(self, gap: float) -> int:
+        mean = self._mean.forecast() or gap or 1.0
+        width = max(self.resolution * mean, 1e-12)
+        return int(gap / width)
+
+    def _bin_centre(self, bin_index: int) -> float:
+        mean = self._mean.forecast() or 1.0
+        width = max(self.resolution * mean, 1e-12)
+        return (bin_index + 0.5) * width
+
+    def update(self, gap: float) -> None:
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        new_bin = self._bin_of(gap)
+        if len(self._recent) == self.context_length:
+            key = tuple(self._recent)
+            self._table.setdefault(key, collections.Counter())[new_bin] += 1
+        self._recent.append(new_bin)
+        self._fallback.update(gap)
+        self._mean.update(gap)
+
+    def forecast(self) -> float | None:
+        if len(self._recent) == self.context_length:
+            histogram = self._table.get(tuple(self._recent))
+            if histogram:
+                # Most frequent successor bin; ties to the smaller bin so
+                # the forecast is deterministic.
+                best_bin = min(
+                    histogram, key=lambda b: (-histogram[b], b)
+                )
+                return self._bin_centre(best_bin)
+        return self._fallback.forecast()
+
+    @property
+    def table_size(self) -> int:
+        """Number of learned contexts (diagnostics)."""
+        return len(self._table)

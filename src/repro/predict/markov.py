@@ -1,0 +1,188 @@
+"""Online task-type prediction and the composed learned predictor.
+
+:class:`MarkovTypePredictor` learns a first-order Markov chain over task
+types (the request-type prediction of the authors' prior work [13]
+operates at the same granularity: "which request type comes next").
+:class:`ComposedPredictor` assembles a full
+:class:`~repro.model.request.PredictedRequest` from
+
+* a type model (Markov chain),
+* an inter-arrival model (:mod:`repro.predict.interarrival`),
+* a per-type running mean of observed relative deadlines (the trace's
+  deadline field is tied to the task type through RWCET, so the type's
+  history is the natural estimator).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Sequence
+
+from repro.model.request import PredictedRequest, Request
+from repro.predict.base import OnlinePredictor
+from repro.predict.interarrival import InterarrivalModel, TwoPhaseInterarrival
+
+__all__ = ["MarkovTypePredictor", "NGramTypePredictor", "ComposedPredictor"]
+
+
+class MarkovTypePredictor:
+    """First-order Markov chain over task-type ids.
+
+    ``update`` feeds observed types in order; ``forecast`` returns the
+    most frequent successor of the latest type, falling back to the
+    globally most frequent type when the current type has never been
+    seen before (or at the start of the stream).
+    """
+
+    def __init__(self) -> None:
+        self._transitions: dict[int, collections.Counter] = {}
+        self._frequency: collections.Counter = collections.Counter()
+        self._last_type: int | None = None
+
+    def reset(self) -> None:
+        self._transitions.clear()
+        self._frequency.clear()
+        self._last_type = None
+
+    def update(self, type_id: int) -> None:
+        if self._last_type is not None:
+            self._transitions.setdefault(
+                self._last_type, collections.Counter()
+            )[type_id] += 1
+        self._frequency[type_id] += 1
+        self._last_type = type_id
+
+    def forecast(self) -> int | None:
+        if self._last_type is not None:
+            successors = self._transitions.get(self._last_type)
+            if successors:
+                return min(successors, key=lambda t: (-successors[t], t))
+        if self._frequency:
+            return min(self._frequency, key=lambda t: (-self._frequency[t], t))
+        return None
+
+
+class NGramTypePredictor:
+    """Order-``k`` type model with back-off.
+
+    Keeps successor counts for every context length from ``k`` down to 1
+    and predicts from the longest context that has been observed —
+    longer motifs beat a first-order chain on streams with repeating
+    patterns longer than a single transition (e.g. ``A B A C``: after
+    ``A`` alone the successor is ambiguous, after ``B A`` it is not).
+    """
+
+    def __init__(self, order: int = 3) -> None:
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = order
+        self._tables: list[dict[tuple[int, ...], collections.Counter]] = [
+            {} for _ in range(order)
+        ]
+        self._frequency: collections.Counter = collections.Counter()
+        self._recent: collections.deque[int] = collections.deque(maxlen=order)
+
+    def reset(self) -> None:
+        for table in self._tables:
+            table.clear()
+        self._frequency.clear()
+        self._recent.clear()
+
+    def update(self, type_id: int) -> None:
+        history = tuple(self._recent)
+        for length in range(1, min(len(history), self.order) + 1):
+            key = history[-length:]
+            self._tables[length - 1].setdefault(
+                key, collections.Counter()
+            )[type_id] += 1
+        self._frequency[type_id] += 1
+        self._recent.append(type_id)
+
+    def forecast(self) -> int | None:
+        history = tuple(self._recent)
+        for length in range(min(len(history), self.order), 0, -1):
+            successors = self._tables[length - 1].get(history[-length:])
+            if successors:
+                return min(successors, key=lambda t: (-successors[t], t))
+        if self._frequency:
+            return min(self._frequency, key=lambda t: (-self._frequency[t], t))
+        return None
+
+
+class ComposedPredictor(OnlinePredictor):
+    """A full next-request predictor from online type + gap models.
+
+    Parameters
+    ----------
+    interarrival:
+        The gap model (two-phase by default).
+    type_model:
+        The type model: anything with ``update(type_id)``, ``forecast()``
+        and ``reset()`` (first-order Markov by default; see
+        :class:`NGramTypePredictor` for longer contexts).
+    warmup:
+        Minimum number of observed requests before forecasting; below
+        it the predictor abstains (returns ``None``), which the RM
+        treats as "no prediction" — better than guessing from nothing.
+    """
+
+    name = "learned"
+
+    def __init__(
+        self,
+        interarrival: InterarrivalModel | None = None,
+        *,
+        type_model=None,
+        warmup: int = 5,
+    ) -> None:
+        super().__init__()
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        self.warmup = warmup
+        self._type_model = type_model or MarkovTypePredictor()
+        self._gap_model = interarrival or TwoPhaseInterarrival()
+        self._deadline_sum: collections.Counter = collections.Counter()
+        self._deadline_count: collections.Counter = collections.Counter()
+        self._global_deadline_sum = 0.0
+        self._observed = 0
+        self._last_arrival: float | None = None
+
+    def _reset_state(self) -> None:
+        self._type_model.reset()
+        self._gap_model.reset()
+        self._deadline_sum.clear()
+        self._deadline_count.clear()
+        self._global_deadline_sum = 0.0
+        self._observed = 0
+        self._last_arrival = None
+
+    def observe(self, request: Request) -> None:
+        self._type_model.update(request.type_id)
+        if self._last_arrival is not None:
+            self._gap_model.update(request.arrival - self._last_arrival)
+        self._last_arrival = request.arrival
+        self._deadline_sum[request.type_id] += request.deadline
+        self._deadline_count[request.type_id] += 1
+        self._global_deadline_sum += request.deadline
+        self._observed += 1
+
+    def _deadline_estimate(self, type_id: int) -> float:
+        if self._deadline_count[type_id]:
+            return self._deadline_sum[type_id] / self._deadline_count[type_id]
+        return self._global_deadline_sum / self._observed
+
+    def forecast(self, history: Sequence[Request]) -> PredictedRequest | None:
+        if self._observed < self.warmup:
+            return None
+        type_id = self._type_model.forecast()
+        gap = self._gap_model.forecast()
+        if type_id is None or gap is None or self._last_arrival is None:
+            return None
+        deadline = self._deadline_estimate(type_id)
+        if deadline <= 0:
+            return None
+        return PredictedRequest(
+            arrival=self._last_arrival + max(gap, 0.0),
+            type_id=type_id,
+            deadline=deadline,
+        )

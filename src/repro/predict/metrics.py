@@ -1,0 +1,87 @@
+"""Prediction-quality evaluation.
+
+Quantifies a predictor against a trace with the two measures the paper
+uses (Sec. 1 and Sec. 5.4): type accuracy and the normalised RMS error of
+the predicted arrival time (normalised by the trace's mean inter-arrival
+time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.predict.base import Predictor
+from repro.workload.trace import Trace
+
+__all__ = ["PredictionReport", "evaluate_predictor"]
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Accuracy measures of one predictor over one trace.
+
+    Attributes
+    ----------
+    n_predictions:
+        Steps at which the predictor produced a forecast.
+    n_abstained:
+        Steps at which it returned ``None`` (warm-up, end of trace...).
+    type_accuracy:
+        Fraction of forecasts whose type matched the actual next request.
+    arrival_nrmse:
+        RMS error of the predicted arrival, divided by the trace's mean
+        inter-arrival time (the paper's normalised error; 0 = perfect).
+    arrival_mean_abs_error:
+        Mean absolute arrival error, same normalisation.
+    """
+
+    n_predictions: int
+    n_abstained: int
+    type_accuracy: float
+    arrival_nrmse: float
+    arrival_mean_abs_error: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of steps with a forecast."""
+        total = self.n_predictions + self.n_abstained
+        return self.n_predictions / total if total else 0.0
+
+
+def evaluate_predictor(predictor: Predictor, trace: Trace) -> PredictionReport:
+    """Replay ``trace`` through ``predictor`` and score every forecast.
+
+    The predictor is reset first.  At each request ``i`` (except the
+    last) the forecast for ``i + 1`` is compared against the actual
+    request ``i + 1``.
+    """
+    predictor.reset()
+    mean_gap = trace.mean_interarrival()
+    n_predictions = 0
+    n_abstained = 0
+    type_hits = 0
+    squared_error = 0.0
+    abs_error = 0.0
+    for index in range(len(trace) - 1):
+        prediction = predictor.predict(trace, index)
+        if prediction is None:
+            n_abstained += 1
+            continue
+        n_predictions += 1
+        actual = trace[index + 1]
+        if prediction.type_id == actual.type_id:
+            type_hits += 1
+        error = prediction.arrival - actual.arrival
+        squared_error += error * error
+        abs_error += abs(error)
+    if n_predictions == 0:
+        return PredictionReport(0, n_abstained, 0.0, math.inf, math.inf)
+    norm = mean_gap if mean_gap > 0 else 1.0
+    return PredictionReport(
+        n_predictions=n_predictions,
+        n_abstained=n_abstained,
+        type_accuracy=type_hits / n_predictions,
+        arrival_nrmse=math.sqrt(squared_error / n_predictions) / norm,
+        arrival_mean_abs_error=abs_error / n_predictions / norm,
+    )

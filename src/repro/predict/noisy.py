@@ -1,0 +1,125 @@
+"""Noise-degraded predictors: the accuracy-sweep methodology of Sec. 5.4.
+
+The paper studies prediction quality by degrading a perfect prediction
+along the two axes the predictor provides:
+
+* **task type** (Fig. 4a): with probability ``1 - accuracy`` the
+  predicted request identity is wrong — replaced by a uniformly random
+  *different* type.  The arrival time stays exact.
+* **arrival time** (Fig. 4b): the predicted arrival carries Gaussian
+  noise scaled so that the expected normalised RMS error (normalised by
+  the trace's mean inter-arrival time) equals ``1 - accuracy``.  The
+  type stays exact.
+
+Both wrap an arbitrary base predictor (the oracle by default), so they
+also compose with learned predictors for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.request import PredictedRequest
+from repro.predict.base import Predictor
+from repro.predict.oracle import OraclePredictor
+from repro.util.validation import check_non_negative, check_probability
+from repro.workload.trace import Trace
+
+__all__ = ["TypeNoisePredictor", "ArrivalNoisePredictor"]
+
+
+class TypeNoisePredictor(Predictor):
+    """Mispredicts the task type with probability ``1 - accuracy``.
+
+    Parameters
+    ----------
+    accuracy:
+        Probability that the predicted type is correct at each step
+        (Fig. 4a's x-axis).
+    base:
+        The predictor being degraded (oracle by default).
+    seed:
+        Seed of the private noise stream.
+    """
+
+    def __init__(
+        self,
+        accuracy: float,
+        *,
+        base: Predictor | None = None,
+        seed: int = 0,
+    ) -> None:
+        check_probability("accuracy", accuracy)
+        self.accuracy = accuracy
+        self.base = base or OraclePredictor()
+        self.seed = seed
+        self.name = f"type-noise({accuracy:g})"
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._rng = np.random.default_rng(self.seed)
+
+    def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
+        prediction = self.base.predict(trace, index)
+        if prediction is None:
+            return None
+        if float(self._rng.random()) < self.accuracy:
+            return prediction
+        if len(trace.tasks) < 2:
+            return prediction  # no different type exists to be wrong with
+        wrong = int(self._rng.integers(0, len(trace.tasks) - 1))
+        if wrong >= prediction.type_id:
+            wrong += 1  # uniform over types != the true one
+        return PredictedRequest(
+            arrival=prediction.arrival,
+            type_id=wrong,
+            deadline=prediction.deadline,
+        )
+
+
+class ArrivalNoisePredictor(Predictor):
+    """Adds Gaussian noise to the predicted arrival time.
+
+    The noise standard deviation is ``(1 - accuracy) * mean_interarrival``
+    of the trace, so the expected normalised RMS error over the trace is
+    ``1 - accuracy`` — the paper's definition for Fig. 4b ("0.75 accuracy
+    value means that the normalised root mean square error for the
+    arrival time prediction over the corresponding trace is 0.25").
+
+    Predicted arrivals are clamped to be no earlier than the current
+    request's arrival (the prediction is made at that moment; a real
+    predictor cannot announce an arrival in its own past).
+    """
+
+    def __init__(
+        self,
+        accuracy: float,
+        *,
+        base: Predictor | None = None,
+        seed: int = 0,
+    ) -> None:
+        check_probability("accuracy", accuracy)
+        self.accuracy = accuracy
+        self.base = base or OraclePredictor()
+        self.seed = seed
+        self.name = f"arrival-noise({accuracy:g})"
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._rng = np.random.default_rng(self.seed)
+
+    def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
+        prediction = self.base.predict(trace, index)
+        if prediction is None:
+            return None
+        sigma = (1.0 - self.accuracy) * trace.mean_interarrival()
+        check_non_negative("noise sigma", sigma)
+        noise = float(self._rng.normal(0.0, sigma)) if sigma > 0 else 0.0
+        now = trace[index].arrival
+        return PredictedRequest(
+            arrival=max(prediction.arrival + noise, now),
+            type_id=prediction.type_id,
+            deadline=prediction.deadline,
+        )

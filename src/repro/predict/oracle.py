@@ -1,0 +1,47 @@
+"""Perfect prediction: the oracle.
+
+The paper's "accurate prediction" configuration (Sec. 5.3): the predictor
+knows the next request exactly — type, arrival time and deadline.  It is
+implemented by peeking one step ahead in the trace, which is the whole
+point: it upper-bounds what any real predictor could deliver.
+"""
+
+from __future__ import annotations
+
+from repro.model.request import PredictedRequest
+from repro.predict.base import Predictor
+from repro.workload.trace import Trace
+
+__all__ = ["OraclePredictor"]
+
+
+class OraclePredictor(Predictor):
+    """Returns the true next request of the trace."""
+
+    name = "oracle"
+
+    def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
+        if index < 0 or index >= len(trace):
+            raise IndexError(f"request index {index} out of range")
+        if index + 1 >= len(trace):
+            return None
+        nxt = trace[index + 1]
+        return PredictedRequest(
+            arrival=nxt.arrival, type_id=nxt.type_id, deadline=nxt.deadline
+        )
+
+    def predict_horizon(
+        self, trace: Trace, index: int, horizon: int
+    ) -> list[PredictedRequest]:
+        """The true next ``horizon`` requests (as many as remain)."""
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if index < 0 or index >= len(trace):
+            raise IndexError(f"request index {index} out of range")
+        upcoming = trace.requests[index + 1 : index + 1 + horizon]
+        return [
+            PredictedRequest(
+                arrival=r.arrival, type_id=r.type_id, deadline=r.deadline
+            )
+            for r in upcoming
+        ]

@@ -1,0 +1,36 @@
+"""Scripted predictions: exact control over what the RM is told.
+
+Used by the motivational-example reproduction (Fig. 1, scenario with an
+*inaccurate* prediction) and by tests that need a predictor to say one
+specific — possibly wrong — thing at one specific step.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.model.request import PredictedRequest
+from repro.predict.base import Predictor
+from repro.workload.trace import Trace
+
+__all__ = ["ScriptedPredictor"]
+
+
+class ScriptedPredictor(Predictor):
+    """Returns pre-scripted predictions keyed by request index.
+
+    Parameters
+    ----------
+    script:
+        ``index -> PredictedRequest`` returned when request ``index``
+        arrives; indices not in the script yield ``None`` (no
+        prediction).
+    """
+
+    name = "scripted"
+
+    def __init__(self, script: Mapping[int, PredictedRequest]) -> None:
+        self.script = dict(script)
+
+    def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
+        return self.script.get(index)

@@ -1,0 +1,39 @@
+"""Scheduling substrate: per-resource EDF timelines and feasibility.
+
+The resource managers in :mod:`repro.core` decide *mappings*; given a
+mapping, the schedule on each resource is fully determined by the rules of
+Sec. 4.1 of the paper:
+
+* tasks already admitted are all ready at the activation time ``t``;
+* each resource runs its tasks in EDF order (work-conserving);
+* the predicted task arrives in the future and — on preemptable
+  resources only — preempts the running task if its deadline is earlier;
+* on non-preemptable (GPU-like) resources the currently executing task
+  must run first and nothing is ever preempted.
+
+:func:`~repro.sched.timeline.build_timeline` simulates exactly these rules
+for one resource and reports per-task finish times, which is how both the
+heuristic's ``IsSchedulable`` and the validation of MILP solutions are
+implemented.
+"""
+
+from repro.sched.timeline import (
+    Chunk,
+    FutureJob,
+    ReadyJob,
+    ResourceTimeline,
+    build_timeline,
+)
+from repro.sched.feasibility import check_resource_feasible, latest_finish
+from repro.sched.edf import edf_order
+
+__all__ = [
+    "ReadyJob",
+    "FutureJob",
+    "Chunk",
+    "ResourceTimeline",
+    "build_timeline",
+    "check_resource_feasible",
+    "latest_finish",
+    "edf_order",
+]

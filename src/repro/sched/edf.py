@@ -1,0 +1,47 @@
+"""EDF ordering helpers.
+
+The paper's RM sorts the tasks mapped to each resource by absolute
+deadline (Sec. 4.1); ties are broken by job id so every consumer of the
+ordering agrees on one deterministic schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["edf_order", "edf_position"]
+
+
+def edf_order(
+    items: Iterable[T],
+    deadline: Callable[[T], float],
+    tiebreak: Callable[[T], object] | None = None,
+) -> list[T]:
+    """Sort ``items`` by (deadline, tiebreak).
+
+    ``tiebreak`` defaults to the item's position in the input, which keeps
+    the sort stable and deterministic for items without a natural key.
+    """
+    items = list(items)
+    if tiebreak is None:
+        index = {id(item): position for position, item in enumerate(items)}
+        return sorted(items, key=lambda it: (deadline(it), index[id(it)]))
+    return sorted(items, key=lambda it: (deadline(it), tiebreak(it)))
+
+
+def edf_position(
+    items: Iterable[T],
+    new_deadline: float,
+    deadline: Callable[[T], float],
+) -> int:
+    """Index at which a job with ``new_deadline`` would run in EDF order.
+
+    Existing jobs with an equal deadline keep priority (FIFO among equals).
+    """
+    position = 0
+    for item in items:
+        if deadline(item) <= new_deadline:
+            position += 1
+    return position

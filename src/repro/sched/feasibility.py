@@ -1,0 +1,56 @@
+"""Resource-level feasibility checks.
+
+Thin wrappers over :func:`repro.sched.timeline.build_timeline` used by the
+resource managers: the heuristic's ``IsSchedulable`` and the validation of
+MILP/branch-and-bound mappings both reduce to "does the EDF timeline of
+this resource meet every deadline?".
+"""
+
+from __future__ import annotations
+
+from repro.sched.timeline import (
+    FutureJob,
+    ReadyJob,
+    ResourceTimeline,
+    build_timeline,
+)
+
+__all__ = ["check_resource_feasible", "latest_finish"]
+
+
+def check_resource_feasible(
+    ready_jobs: list[ReadyJob],
+    future_jobs: list[FutureJob] | tuple[FutureJob, ...] = (),
+    *,
+    start_time: float,
+    preemptable: bool,
+) -> bool:
+    """True when every job on the resource meets its deadline.
+
+    This is the paper's ``IsSchedulable`` for one resource: EDF order,
+    non-preemptive on GPU-like resources, with the predicted task's
+    arrival (and its preemption, where allowed) taken into account.
+    """
+    timeline = build_timeline(
+        ready_jobs,
+        future_jobs,
+        start_time=start_time,
+        preemptable=preemptable,
+    )
+    return timeline.feasible
+
+
+def latest_finish(
+    ready_jobs: list[ReadyJob],
+    future_jobs: list[FutureJob] | tuple[FutureJob, ...] = (),
+    *,
+    start_time: float,
+    preemptable: bool,
+) -> ResourceTimeline:
+    """Build and return the full timeline (for callers needing times)."""
+    return build_timeline(
+        ready_jobs,
+        future_jobs,
+        start_time=start_time,
+        preemptable=preemptable,
+    )

@@ -1,0 +1,280 @@
+"""Single-resource EDF timeline construction.
+
+:func:`build_timeline` simulates one resource from an activation time
+``t`` forward, given
+
+* a set of *ready* jobs (all admitted tasks are ready at ``t``) and
+* a set of *future* jobs (the predicted task(s), arriving later),
+
+under work-conserving EDF.  On a preemptable resource a future arrival
+with an earlier deadline preempts the running job.  On a non-preemptable
+resource nothing is ever preempted and the currently executing job (if
+any) runs first: a future arrival joins the EDF queue and is considered
+only at job-completion boundaries (non-preemptive EDF) — it may run
+before queued later-deadline jobs but never interrupts the one executing.
+This reproduces the schedule semantics behind the paper's constraints
+(3)-(14) and its GPU rules ("preemption caused by the predicted task is
+considered except for nonpreemptable resources"):
+
+* predicted task with the latest deadline -> starts at ``max(s_p, q_i)``
+  (eqs. (4)/(5));
+* predicted task arriving before the earlier-deadline jobs finish ->
+  slots in after them with no preemption (eqs. (6)/(7));
+* predicted task arriving later, on a preemptable resource -> preempts
+  the running later-deadline job, splitting it into two chunks
+  (eqs. (8)-(14)); on a non-preemptable resource -> waits for the
+  completion boundary, then outranks queued later-deadline jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EPS",
+    "ReadyJob",
+    "FutureJob",
+    "Chunk",
+    "ResourceTimeline",
+    "build_timeline",
+]
+
+EPS: float = 1e-9
+"""Absolute tolerance for deadline/time comparisons."""
+
+
+@dataclass(frozen=True)
+class ReadyJob:
+    """A job that is ready to execute at the activation time.
+
+    Attributes
+    ----------
+    job_id:
+        Identifier, unique within one :func:`build_timeline` call.
+    exec_time:
+        Time the job still needs on *this* resource (``cpm[j,i]``:
+        remaining WCET plus any migration overhead).
+    deadline:
+        Absolute deadline.
+    must_run_first:
+        True when the job is currently executing on this resource and the
+        resource is non-preemptable: it must complete before anything else
+        starts.  At most one ready job may set this.
+    """
+
+    job_id: int
+    exec_time: float
+    deadline: float
+    must_run_first: bool = False
+
+    def __post_init__(self) -> None:
+        if self.exec_time <= 0:
+            raise ValueError(
+                f"job {self.job_id}: exec_time must be > 0, got {self.exec_time}"
+            )
+
+
+@dataclass(frozen=True)
+class FutureJob:
+    """A job that arrives after the activation time (the predicted task)."""
+
+    job_id: int
+    arrival: float
+    exec_time: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.exec_time <= 0:
+            raise ValueError(
+                f"job {self.job_id}: exec_time must be > 0, got {self.exec_time}"
+            )
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous execution interval of one job."""
+
+    job_id: int
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ResourceTimeline:
+    """Result of :func:`build_timeline`.
+
+    Attributes
+    ----------
+    chunks:
+        Execution intervals in time order; a preempted job contributes
+        multiple chunks.
+    finish_times:
+        Completion time of every job.
+    feasible:
+        True when every job finishes by its deadline (within :data:`EPS`).
+    misses:
+        Ids of jobs that miss their deadline, in completion order.
+    makespan:
+        Completion time of the last job (the activation time if there is
+        no work).
+    """
+
+    chunks: tuple[Chunk, ...]
+    finish_times: dict[int, float]
+    feasible: bool
+    misses: tuple[int, ...]
+    makespan: float
+
+    def chunks_of(self, job_id: int) -> tuple[Chunk, ...]:
+        """All execution intervals of one job."""
+        return tuple(c for c in self.chunks if c.job_id == job_id)
+
+    def start_time(self, job_id: int) -> float:
+        """First time the job executes."""
+        for chunk in self.chunks:
+            if chunk.job_id == job_id:
+                return chunk.start
+        raise KeyError(f"job {job_id} never executes")
+
+
+@dataclass
+class _JobState:
+    remaining: float
+    deadline: float
+    arrived: bool
+    future: bool = False
+
+
+def build_timeline(
+    ready_jobs: list[ReadyJob] | tuple[ReadyJob, ...],
+    future_jobs: list[FutureJob] | tuple[FutureJob, ...] = (),
+    *,
+    start_time: float = 0.0,
+    preemptable: bool = True,
+) -> ResourceTimeline:
+    """Simulate one resource under work-conserving EDF.
+
+    Parameters
+    ----------
+    ready_jobs:
+        Jobs ready at ``start_time`` (the admitted tasks mapped here).
+    future_jobs:
+        Jobs arriving later (the predicted task).  Arrivals before
+        ``start_time`` are treated as ready.
+    start_time:
+        The RM activation time ``t``.
+    preemptable:
+        Whether future arrivals may preempt the running job (CPU: yes,
+        GPU: no).
+
+    Ties in deadlines are broken by ``job_id`` so the schedule is fully
+    deterministic.
+    """
+    forced_ids = [j.job_id for j in ready_jobs if j.must_run_first]
+    if len(forced_ids) > 1:
+        raise ValueError(
+            f"at most one job may be must_run_first, got {forced_ids}"
+        )
+    forced_id = forced_ids[0] if forced_ids else None
+    if forced_id is not None and preemptable:
+        # On a preemptable resource the running job can be paused, so the
+        # flag is meaningless; ignore it for robustness.
+        forced_id = None
+
+    states: dict[int, _JobState] = {}
+    for job in ready_jobs:
+        if job.job_id in states:
+            raise ValueError(f"duplicate job_id {job.job_id}")
+        states[job.job_id] = _JobState(job.exec_time, job.deadline, arrived=True)
+    pending = sorted(future_jobs, key=lambda j: (j.arrival, j.job_id))
+    for job in pending:
+        if job.job_id in states:
+            raise ValueError(f"duplicate job_id {job.job_id}")
+        states[job.job_id] = _JobState(
+            job.exec_time,
+            job.deadline,
+            arrived=job.arrival <= start_time + EPS,
+            future=True,
+        )
+    pending = [j for j in pending if not states[j.job_id].arrived]
+
+    chunks: list[Chunk] = []
+    finish_times: dict[int, float] = {}
+    time = start_time
+
+    def mark_arrivals(now: float) -> None:
+        nonlocal pending
+        while pending and pending[0].arrival <= now + EPS:
+            states[pending[0].job_id].arrived = True
+            pending = pending[1:]
+
+    def pick() -> int | None:
+        candidates = [
+            (state.deadline, job_id)
+            for job_id, state in states.items()
+            if state.arrived and state.remaining > EPS
+        ]
+        if not candidates:
+            return None
+        if forced_id is not None and states[forced_id].remaining > EPS:
+            return forced_id
+        return min(candidates)[1]
+
+    def emit(job_id: int, start: float, end: float) -> None:
+        if end <= start + EPS:
+            return
+        if chunks and chunks[-1].job_id == job_id and chunks[-1].end >= start - EPS:
+            chunks[-1] = Chunk(job_id, chunks[-1].start, end)
+        else:
+            chunks.append(Chunk(job_id, start, end))
+
+    mark_arrivals(time)
+    while True:
+        current = pick()
+        if current is None:
+            if not pending:
+                break
+            time = max(time, pending[0].arrival)
+            mark_arrivals(time)
+            continue
+        state = states[current]
+        end = time + state.remaining
+        next_arrival = pending[0].arrival if pending else None
+        interrupt = (
+            next_arrival is not None
+            and next_arrival < end - EPS
+            and preemptable
+        )
+        if interrupt:
+            # Run until the arrival, then re-evaluate EDF; the arrival
+            # preempts only if its deadline is earlier (pick() decides).
+            run_until = max(next_arrival, time)
+            emit(current, time, run_until)
+            state.remaining -= run_until - time
+            time = run_until
+            mark_arrivals(time)
+            continue
+        # Non-preemptable or no interfering arrival: run to completion.
+        emit(current, time, end)
+        state.remaining = 0.0
+        finish_times[current] = end
+        time = end
+        mark_arrivals(time)
+
+    misses = tuple(
+        job_id
+        for job_id, finish in sorted(finish_times.items(), key=lambda kv: kv[1])
+        if finish > states[job_id].deadline + EPS
+    )
+    makespan = max(finish_times.values(), default=start_time)
+    return ResourceTimeline(
+        chunks=tuple(chunks),
+        finish_times=finish_times,
+        feasible=not misses,
+        misses=misses,
+        makespan=makespan,
+    )

@@ -1,0 +1,93 @@
+"""ASCII Gantt rendering of execution logs.
+
+Turns the :class:`~repro.sim.state.ExecutionSpan` log collected by the
+simulator into a per-resource timeline chart — the quickest way to *see*
+what the resource manager actually did (who got the GPU, where
+migrations landed, how a reservation played out).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.model.platform import Platform
+from repro.sim.state import ExecutionSpan
+from repro.util.tables import format_float
+
+__all__ = ["merge_spans", "render_gantt"]
+
+
+def merge_spans(spans: Sequence[ExecutionSpan]) -> list[ExecutionSpan]:
+    """Coalesce contiguous same-job, same-kind spans per resource."""
+    by_resource: dict[int, list[ExecutionSpan]] = {}
+    for span in spans:
+        by_resource.setdefault(span.resource, []).append(span)
+    merged: list[ExecutionSpan] = []
+    for resource in sorted(by_resource):
+        ordered = sorted(by_resource[resource], key=lambda s: s.start)
+        for span in ordered:
+            if (
+                merged
+                and merged[-1].resource == resource
+                and merged[-1].job_id == span.job_id
+                and merged[-1].kind == span.kind
+                and abs(merged[-1].end - span.start) <= 1e-9
+            ):
+                merged[-1] = ExecutionSpan(
+                    span.job_id,
+                    resource,
+                    merged[-1].start,
+                    span.end,
+                    span.kind,
+                )
+            else:
+                merged.append(span)
+    return merged
+
+
+def render_gantt(
+    spans: Sequence[ExecutionSpan],
+    platform: Platform,
+    *,
+    width: int = 72,
+    start: float | None = None,
+    end: float | None = None,
+) -> str:
+    """Render spans as one text row per resource.
+
+    Each character cell covers ``(end - start) / width`` time units and
+    shows the last digit of the occupying job's id (``.`` for idle,
+    ``~`` for migration overhead).  A legend maps digits back to jobs
+    when ten or fewer jobs appear.
+    """
+    if not spans:
+        return "(no execution recorded)"
+    spans = merge_spans(spans)
+    t0 = start if start is not None else min(s.start for s in spans)
+    t1 = end if end is not None else max(s.end for s in spans)
+    if t1 <= t0:
+        raise ValueError(f"empty time range [{t0}, {t1}]")
+    scale = width / (t1 - t0)
+
+    lines = [
+        f"gantt [{format_float(t0)}, {format_float(t1)}] "
+        f"({format_float((t1 - t0) / width, 4)} per cell; ~ = migration)"
+    ]
+    name_width = max(len(r.name) for r in platform)
+    for resource in platform:
+        cells = ["."] * width
+        for span in spans:
+            if span.resource != resource.index:
+                continue
+            first = max(0, int((span.start - t0) * scale))
+            last = min(width - 1, int((span.end - t0) * scale - 1e-12))
+            for cell in range(first, last + 1):
+                cells[cell] = (
+                    "~" if span.kind == "migration" else str(span.job_id % 10)
+                )
+        lines.append(f"{resource.name.rjust(name_width)} |{''.join(cells)}|")
+    jobs = sorted({s.job_id for s in spans})
+    if len(jobs) <= 10:
+        legend = ", ".join(f"{j % 10}=job{j}" for j in jobs)
+        lines.append(f"jobs: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Simulation results and per-activation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ActivationRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class ActivationRecord:
+    """What happened at one RM activation (one request arrival)."""
+
+    request_index: int
+    arrival: float
+    decision_time: float
+    admitted: bool
+    used_prediction: bool
+    had_prediction: bool
+    solver_calls: int
+    context_size: int
+    planned_energy: float
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying one trace through one resource manager.
+
+    Attributes
+    ----------
+    n_requests:
+        Total requests in the trace.
+    accepted, rejected:
+        Request indices by admission outcome.
+    total_energy:
+        Energy dissipated: executed work + migration overheads, including
+        work later wasted by aborts.
+    energy_demand:
+        The trace's configuration-independent normaliser (sum of each
+        request's mean task energy across resources).
+    wasted_energy, migration_energy:
+        Components of ``total_energy`` lost to aborts / migrations.
+    migration_count, abort_count:
+        Number of applied migrations and GPU abort-restarts.
+    prediction_overhead_total:
+        Total decision-delay time charged for running the predictor.
+    records:
+        Per-activation details (empty unless the simulator was asked to
+        collect them).
+    execution_log:
+        Execution spans for Gantt rendering (empty unless
+        ``collect_execution_log`` was set).
+    """
+
+    n_requests: int
+    accepted: list[int] = field(default_factory=list)
+    rejected: list[int] = field(default_factory=list)
+    total_energy: float = 0.0
+    energy_demand: float = 0.0
+    wasted_energy: float = 0.0
+    migration_energy: float = 0.0
+    migration_count: int = 0
+    abort_count: int = 0
+    prediction_overhead_total: float = 0.0
+    predictions_used: int = 0
+    records: list[ActivationRecord] = field(default_factory=list)
+    execution_log: list = field(default_factory=list)
+
+    @property
+    def n_accepted(self) -> int:
+        return len(self.accepted)
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of requests admitted."""
+        return self.n_accepted / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def rejection_percentage(self) -> float:
+        """The paper's headline metric, in percent."""
+        return 100.0 * self.n_rejected / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def normalized_energy(self) -> float:
+        """Total energy divided by the trace's energy demand (Fig. 3)."""
+        return self.total_energy / self.energy_demand if self.energy_demand else 0.0
+
+    def summary(self) -> dict:
+        """A JSON-friendly summary for experiment aggregation."""
+        return {
+            "n_requests": self.n_requests,
+            "n_accepted": self.n_accepted,
+            "n_rejected": self.n_rejected,
+            "rejection_percentage": self.rejection_percentage,
+            "total_energy": self.total_energy,
+            "normalized_energy": self.normalized_energy,
+            "wasted_energy": self.wasted_energy,
+            "migration_energy": self.migration_energy,
+            "migration_count": self.migration_count,
+            "abort_count": self.abort_count,
+            "predictions_used": self.predictions_used,
+        }

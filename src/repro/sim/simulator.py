@@ -1,0 +1,229 @@
+"""The trace-replay simulator.
+
+Drives one :class:`~repro.workload.trace.Trace` through an
+:class:`~repro.core.admission.AdmissionController` on a
+:class:`~repro.model.platform.Platform`:
+
+1. advance platform execution to each request's arrival;
+2. query the predictor for the next request (charging the configured
+   prediction overhead as a decision delay, Sec. 5.5);
+3. build the RM context (``S-bar`` = active jobs + new arrival +
+   predicted task) and run admission;
+4. apply the resulting mapping (migrations, aborts) or leave the old,
+   still-feasible plan in force on rejection;
+5. after the last arrival, drain the platform to completion.
+
+Admitted tasks never miss deadlines (firm real-time semantics are
+enforced by admission); the simulator asserts this invariant and raises
+:class:`~repro.sim.state.SimulationError` on any violation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.admission import AdmissionController
+from repro.core.base import MappingStrategy
+from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
+from repro.model.platform import Platform
+from repro.model.request import PredictedRequest
+from repro.predict.base import NullPredictor, Predictor
+from repro.sim.result import ActivationRecord, SimulationResult
+from repro.sim.state import PlatformState
+from repro.util.validation import check_non_negative
+from repro.workload.trace import Trace
+
+__all__ = ["SimulationConfig", "Simulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Simulator knobs.
+
+    Attributes
+    ----------
+    prediction_overhead:
+        Decision delay charged at every activation when a (non-null)
+        predictor is configured: the platform keeps executing the old
+        plan during ``[arrival, arrival + overhead]`` and the RM decides
+        at the end of the window (Sec. 5.5 methodology).
+    charge_unstarted_migration:
+        Whether remapping a never-started task pays migration overhead
+        (DESIGN.md semantics item 3).
+    collect_records:
+        Keep one :class:`~repro.sim.result.ActivationRecord` per arrival.
+    collect_execution_log:
+        Record every execution span for Gantt rendering
+        (:func:`repro.sim.gantt.render_gantt`).
+    lookahead:
+        How many upcoming requests the RM plans with (the paper: 1).
+        Values above 1 require a multi-step-capable predictor (e.g. the
+        oracle) and a strategy that accepts several predicted tasks
+        (heuristic or exact search; the MILP follows the paper and
+        rejects horizons > 1).
+    """
+
+    prediction_overhead: float = 0.0
+    charge_unstarted_migration: bool = False
+    collect_records: bool = False
+    lookahead: int = 1
+    collect_execution_log: bool = False
+
+    def __post_init__(self) -> None:
+        check_non_negative("prediction_overhead", self.prediction_overhead)
+        if self.lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {self.lookahead}")
+
+
+class Simulator:
+    """Replays traces through a mapping strategy with admission control."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        strategy: MappingStrategy,
+        predictor: Predictor | None = None,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.strategy = strategy
+        self.predictor = predictor or NullPredictor()
+        self.config = config or SimulationConfig()
+        self._admission = AdmissionController(strategy)
+
+    @property
+    def prediction_enabled(self) -> bool:
+        """Whether a real (non-null) predictor is configured."""
+        return not isinstance(self.predictor, NullPredictor)
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate one trace end-to-end and return the metrics."""
+        if trace.n_resources != self.platform.size:
+            raise ValueError(
+                f"trace built for {trace.n_resources} resources, platform "
+                f"has {self.platform.size}"
+            )
+        self.predictor.reset()
+        state = PlatformState(
+            self.platform,
+            charge_unstarted_migration=self.config.charge_unstarted_migration,
+            log_execution=self.config.collect_execution_log,
+        )
+        result = SimulationResult(
+            n_requests=len(trace), energy_demand=trace.stats().energy_demand
+        )
+
+        for index, request in enumerate(trace):
+            # With a decision overhead, the previous activation may have
+            # finished *after* this request arrived; the RM handles
+            # arrivals in order, so this decision starts no earlier.
+            decision_time = max(request.arrival, state.time)
+            state.advance(decision_time)
+            predictions = self.predictor.predict_horizon(
+                trace, index, self.config.lookahead
+            )
+            if self.prediction_enabled and self.config.prediction_overhead > 0:
+                decision_time += self.config.prediction_overhead
+                state.advance(decision_time)
+                result.prediction_overhead_total += (
+                    self.config.prediction_overhead
+                )
+
+            new_task = PlannedTask(
+                job_id=request.index,
+                task=trace.task_of(request),
+                absolute_deadline=request.absolute_deadline,
+            )
+            tasks = state.active_views() + [new_task]
+            predicted_views = [
+                self._predicted_view(trace, p, decision_time, offset)
+                for offset, p in enumerate(predictions)
+            ]
+            tasks.extend(predicted_views)
+            context = RMContext(
+                time=decision_time,
+                platform=self.platform,
+                tasks=tuple(tasks),
+                charge_unstarted_migration=(
+                    self.config.charge_unstarted_migration
+                ),
+            )
+            outcome = self._admission.decide(context)
+            if outcome.admitted:
+                assert outcome.decision is not None
+                state.admit(request, trace.task_of(request))
+                real_mapping = {
+                    job_id: resource
+                    for job_id, resource in outcome.decision.mapping.items()
+                    if job_id < PREDICTED_JOB_ID
+                }
+                state.apply_mapping(real_mapping)
+                result.accepted.append(index)
+                if outcome.used_prediction:
+                    result.predictions_used += 1
+            else:
+                result.rejected.append(index)
+            if self.config.collect_records:
+                result.records.append(
+                    ActivationRecord(
+                        request_index=index,
+                        arrival=request.arrival,
+                        decision_time=decision_time,
+                        admitted=outcome.admitted,
+                        used_prediction=outcome.used_prediction,
+                        had_prediction=bool(predicted_views),
+                        solver_calls=outcome.solver_calls,
+                        context_size=len(context.tasks),
+                        planned_energy=(
+                            outcome.decision.energy
+                            if outcome.decision is not None
+                            else math.inf
+                        ),
+                    )
+                )
+
+        state.advance(state.completion_horizon())
+        if state.jobs:  # pragma: no cover - invariant
+            raise RuntimeError(
+                f"jobs left unfinished after drain: {sorted(state.jobs)}"
+            )
+        result.total_energy = state.total_energy
+        result.execution_log = state.execution_log or []
+        result.wasted_energy = state.wasted_energy
+        result.migration_energy = state.migration_energy
+        result.migration_count = state.migration_count
+        result.abort_count = state.abort_count
+        return result
+
+    def _predicted_view(
+        self,
+        trace: Trace,
+        prediction: PredictedRequest,
+        decision_time: float,
+        offset: int = 0,
+    ) -> PlannedTask:
+        """Convert a prediction into the RM's planning task."""
+        if not 0 <= prediction.type_id < len(trace.tasks):
+            raise ValueError(
+                f"predicted type {prediction.type_id} outside the task set"
+            )
+        arrival = max(prediction.arrival, decision_time)
+        return PlannedTask(
+            job_id=PREDICTED_JOB_ID + offset,
+            task=trace.tasks[prediction.type_id],
+            absolute_deadline=arrival + prediction.deadline,
+            is_predicted=True,
+            arrival=arrival,
+        )
+
+
+def simulate(
+    trace: Trace,
+    platform: Platform,
+    strategy: MappingStrategy,
+    predictor: Predictor | None = None,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    return Simulator(platform, strategy, predictor, config).run(trace)

@@ -1,0 +1,328 @@
+"""Runtime platform state: job execution, migration, energy accounting.
+
+The simulator keeps one :class:`JobState` per admitted-but-unfinished
+task and advances all resources between RM activations.  Between
+activations nothing arrives, so each resource simply executes its queue
+in EDF order (the currently executing job first on non-preemptable
+resources) — exactly the schedule every mapping strategy validated
+against.
+
+Accounting rules (DESIGN.md semantics):
+
+* work executes for its WCET and dissipates its average energy pro-rata;
+* migration *energy* ``em`` is charged when the RM applies a remap;
+  migration *time* ``cm`` becomes a debt the target resource pays before
+  the job's work continues (no energy accrues during the debt);
+* aborting a job running on a non-preemptable resource resets its work
+  to scratch; the energy already dissipated stays on the meter and is
+  additionally tracked as ``wasted_energy``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.context import PlannedTask
+from repro.model.platform import Platform
+from repro.model.request import Request
+from repro.model.task import TaskType
+
+__all__ = ["JobState", "PlatformState", "SimulationError", "ExecutionSpan"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ExecutionSpan:
+    """One contiguous interval of platform activity (for Gantt logs).
+
+    ``kind`` is ``"work"`` for task execution or ``"migration"`` for the
+    time a resource spends absorbing a migration's ``cm`` overhead.
+    """
+
+    job_id: int
+    resource: int
+    start: float
+    end: float
+    kind: str = "work"
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+class SimulationError(RuntimeError):
+    """An internal invariant was violated (e.g. an admitted task missed
+    its deadline) — always a bug, never a legitimate simulation outcome."""
+
+
+@dataclass
+class JobState:
+    """Mutable runtime state of one admitted job."""
+
+    request: Request
+    task: TaskType
+    remaining_fraction: float = 1.0
+    resource: int | None = None
+    started: bool = False
+    running_non_preemptable: bool = False
+    pending_migration_time: float = 0.0
+    completed: bool = False
+    completion_time: float | None = None
+    energy_consumed: float = 0.0
+    energy_this_attempt: float = 0.0
+    migrations: int = 0
+    aborts: int = 0
+
+    @property
+    def job_id(self) -> int:
+        return self.request.index
+
+    @property
+    def absolute_deadline(self) -> float:
+        return self.request.absolute_deadline
+
+    def remaining_time(self) -> float:
+        """Work + migration debt left on the current resource."""
+        if self.resource is None:
+            raise SimulationError(f"job {self.job_id} has no resource")
+        return (
+            self.remaining_fraction * self.task.wcet[self.resource]
+            + self.pending_migration_time
+        )
+
+    def planned_view(self) -> PlannedTask:
+        """The RM's view of this job (see :class:`PlannedTask`)."""
+        return PlannedTask(
+            job_id=self.job_id,
+            task=self.task,
+            absolute_deadline=self.absolute_deadline,
+            remaining_fraction=self.remaining_fraction,
+            current_resource=self.resource,
+            started=self.started,
+            running_non_preemptable=self.running_non_preemptable,
+            pending_migration_time=self.pending_migration_time,
+        )
+
+
+class PlatformState:
+    """All runtime state of the platform during one simulation."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        charge_unstarted_migration: bool = False,
+        log_execution: bool = False,
+    ) -> None:
+        self.platform = platform
+        self.charge_unstarted_migration = charge_unstarted_migration
+        self.time = 0.0
+        self.jobs: dict[int, JobState] = {}  # unfinished admitted jobs
+        self.finished: list[JobState] = []
+        self.total_energy = 0.0
+        self.migration_energy = 0.0
+        self.wasted_energy = 0.0
+        self.migration_count = 0
+        self.abort_count = 0
+        self.execution_log: list[ExecutionSpan] | None = (
+            [] if log_execution else None
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def active_views(self) -> list[PlannedTask]:
+        """Planned views of all unfinished jobs (the RM's ``S-bar`` base)."""
+        return [job.planned_view() for job in self.jobs.values()]
+
+    def queue_of(self, resource: int) -> list[JobState]:
+        """Execution order of one resource: running-first (if it must),
+        then EDF."""
+        assigned = [
+            job
+            for job in self.jobs.values()
+            if job.resource == resource and not job.completed
+        ]
+        running_first = [
+            job
+            for job in assigned
+            if job.running_non_preemptable
+            and not self.platform.is_preemptable(resource)
+        ]
+        if len(running_first) > 1:
+            raise SimulationError(
+                f"resource {resource} has {len(running_first)} running "
+                "non-preemptable jobs"
+            )
+        rest = [job for job in assigned if job not in running_first]
+        rest.sort(key=lambda j: (j.absolute_deadline, j.job_id))
+        return running_first + rest
+
+    def completion_horizon(self) -> float:
+        """Earliest time by which every current job will have finished."""
+        horizon = self.time
+        for resource in range(self.platform.size):
+            backlog = sum(job.remaining_time() for job in self.queue_of(resource))
+            horizon = max(horizon, self.time + backlog)
+        return horizon
+
+    # ------------------------------------------------------------------
+    # Admission / mapping
+    # ------------------------------------------------------------------
+
+    def admit(self, request: Request, task: TaskType) -> JobState:
+        """Register a newly admitted job (unmapped until the RM places it)."""
+        if request.index in self.jobs:
+            raise SimulationError(f"job {request.index} admitted twice")
+        job = JobState(request=request, task=task)
+        self.jobs[request.index] = job
+        return job
+
+    def apply_mapping(self, mapping: dict[int, int]) -> None:
+        """Apply an RM decision: (re)place every unfinished job.
+
+        Charges migration energy, sets migration-time debts, and performs
+        abort-restarts for jobs moved off non-preemptable resources.
+        """
+        for job_id, resource in mapping.items():
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise SimulationError(f"mapping refers to unknown job {job_id}")
+            if not job.task.executable_on(resource):
+                raise SimulationError(
+                    f"job {job_id} mapped to resource {resource} where it "
+                    "cannot execute"
+                )
+            old = job.resource
+            if old == resource:
+                continue
+            if old is None:
+                job.resource = resource
+                continue
+            if job.running_non_preemptable:
+                # Abort & restart from scratch: no state to migrate.
+                self.wasted_energy += job.energy_this_attempt
+                job.remaining_fraction = 1.0
+                job.energy_this_attempt = 0.0
+                job.pending_migration_time = 0.0
+                job.running_non_preemptable = False
+                job.aborts += 1
+                self.abort_count += 1
+                job.resource = resource
+                continue
+            if job.started or self.charge_unstarted_migration:
+                overhead = job.task.em(old, resource)
+                job.pending_migration_time = job.task.cm(old, resource)
+                job.energy_consumed += overhead
+                self.total_energy += overhead
+                self.migration_energy += overhead
+                job.migrations += 1
+                self.migration_count += 1
+            else:
+                job.pending_migration_time = 0.0
+            job.running_non_preemptable = False
+            job.resource = resource
+        for job in self.jobs.values():
+            if job.resource is None:
+                raise SimulationError(
+                    f"job {job.job_id} left unmapped by the RM decision"
+                )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def advance(self, until: float) -> list[JobState]:
+        """Execute every resource's queue from ``self.time`` to ``until``.
+
+        Returns the jobs that completed, in completion order.  Raises
+        :class:`SimulationError` if an admitted job misses its deadline —
+        admission control guarantees this never happens, so a miss is an
+        internal inconsistency.
+        """
+        if until < self.time - _EPS:
+            raise SimulationError(
+                f"cannot advance backwards: {self.time} -> {until}"
+            )
+        completed: list[JobState] = []
+        for resource in range(self.platform.size):
+            completed.extend(self._advance_resource(resource, until))
+        completed.sort(key=lambda j: (j.completion_time, j.job_id))
+        for job in completed:
+            del self.jobs[job.job_id]
+            self.finished.append(job)
+        self.time = max(self.time, until)
+        return completed
+
+    def _log(
+        self, job_id: int, resource: int, start: float, end: float, kind: str
+    ) -> None:
+        """Append an execution span, merging with a contiguous same-kind
+        predecessor of the same job on the same resource."""
+        if self.execution_log is None or end <= start + _EPS:
+            return
+        if self.execution_log:
+            last = self.execution_log[-1]
+            if (
+                last.job_id == job_id
+                and last.resource == resource
+                and last.kind == kind
+                and abs(last.end - start) <= _EPS
+            ):
+                self.execution_log[-1] = ExecutionSpan(
+                    job_id, resource, last.start, end, kind
+                )
+                return
+        self.execution_log.append(
+            ExecutionSpan(job_id, resource, start, end, kind)
+        )
+
+    def _advance_resource(self, resource: int, until: float) -> list[JobState]:
+        completed: list[JobState] = []
+        now = self.time
+        queue = self.queue_of(resource)
+        for job in queue:
+            if now >= until - _EPS:
+                break
+            available = until - now
+            # Pay any migration debt first (no energy, no work progress).
+            if job.pending_migration_time > 0:
+                debt = min(job.pending_migration_time, available)
+                job.pending_migration_time -= debt
+                self._log(job.job_id, resource, now, now + debt, "migration")
+                now += debt
+                available -= debt
+                if available <= _EPS:
+                    break
+            wcet = job.task.wcet[resource]
+            energy = job.task.energy[resource]
+            work_needed = job.remaining_fraction * wcet
+            run = min(work_needed, available)
+            if run > 0:
+                job.started = True
+                if not self.platform.is_preemptable(resource):
+                    job.running_non_preemptable = True
+                delta_energy = energy * run / wcet
+                job.energy_consumed += delta_energy
+                job.energy_this_attempt += delta_energy
+                self.total_energy += delta_energy
+                job.remaining_fraction -= run / wcet
+                self._log(job.job_id, resource, now, now + run, "work")
+                now += run
+            if job.remaining_fraction <= _EPS / max(wcet, 1.0):
+                job.remaining_fraction = 0.0
+                job.completed = True
+                job.running_non_preemptable = False
+                job.completion_time = now
+                if now > job.absolute_deadline + 1e-6:
+                    raise SimulationError(
+                        f"admitted job {job.job_id} missed its deadline: "
+                        f"finished {now}, deadline {job.absolute_deadline}"
+                    )
+                completed.append(job)
+            else:
+                break  # ran out of time mid-job; nothing behind it runs
+        return completed

@@ -1,0 +1,36 @@
+"""Shared utilities: seeded RNG streams, validation and ASCII reporting.
+
+These helpers are deliberately dependency-light so every other subpackage
+can import them without cycles.
+"""
+
+from repro.util.rng import RngStreams, derive_seed
+from repro.util.stats import (
+    Interval,
+    binomial_confidence_interval,
+    mean_confidence_interval,
+    paired_difference,
+)
+from repro.util.tables import ascii_bar_chart, ascii_table, format_float
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "ascii_table",
+    "ascii_bar_chart",
+    "format_float",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_finite",
+    "Interval",
+    "mean_confidence_interval",
+    "paired_difference",
+    "binomial_confidence_interval",
+]

@@ -1,0 +1,116 @@
+"""Statistics for experiment aggregation.
+
+The paper reports means over hundreds of traces; at the reduced scales a
+reproduction typically runs, point estimates deserve error bars.  This
+module provides the small amount of inference the harness needs:
+
+* :func:`mean_confidence_interval` — Student-t interval on a mean;
+* :func:`paired_difference` — CI on a paired difference (the natural
+  analysis for "prediction on vs off on the *same* traces");
+* :func:`binomial_confidence_interval` — Wilson interval for proportions
+  (e.g. the Sec. 5.2 "MILP wins on 88% of traces" statistic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+from repro.util.validation import check_in_range, check_non_empty
+
+__all__ = [
+    "Interval",
+    "mean_confidence_interval",
+    "paired_difference",
+    "binomial_confidence_interval",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.3g} "
+            f"[{self.low:.3g}, {self.high:.3g}]@{self.confidence:.0%}"
+        )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Interval:
+    """Student-t confidence interval on the mean of ``values``.
+
+    A single observation yields a degenerate interval at the value.
+    """
+    check_non_empty("values", values)
+    check_in_range("confidence", confidence, 0.0, 1.0, inclusive=False)
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Interval(mean, mean, mean, confidence)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    half = t_crit * sem
+    return Interval(mean, mean - half, mean + half, confidence)
+
+
+def paired_difference(
+    first: Sequence[float],
+    second: Sequence[float],
+    confidence: float = 0.95,
+) -> Interval:
+    """CI on the mean of ``first[i] - second[i]``.
+
+    Pairing removes the between-trace variance, which dominates when two
+    configurations are run over the same workloads — exactly the design
+    of every comparison in this harness.
+    """
+    if len(first) != len(second):
+        raise ValueError(
+            f"paired samples must have equal length, got "
+            f"{len(first)} vs {len(second)}"
+        )
+    differences = [a - b for a, b in zip(first, second)]
+    return mean_confidence_interval(differences, confidence)
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Interval:
+    """Wilson score interval for a proportion."""
+    if trials <= 0:
+        raise ValueError(f"trials must be > 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    check_in_range("confidence", confidence, 0.0, 1.0, inclusive=False)
+    z = float(_scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return Interval(p, max(0.0, centre - half), min(1.0, centre + half),
+                    confidence)

@@ -1,0 +1,153 @@
+"""ASCII rendering of experiment results.
+
+The experiment harness reports every table and figure of the paper as
+plain-text tables and bar charts so results are readable directly from a
+terminal or a CI log (no plotting dependency required).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_float", "ascii_table", "ascii_bar_chart", "ascii_line_chart"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float compactly: integers lose the trailing ``.0``.
+
+    >>> format_float(3.0)
+    '3'
+    >>> format_float(3.14159, 3)
+    '3.142'
+    """
+    text = f"{value:.{digits}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_digits: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table.
+
+    Floats are formatted with :func:`format_float`; everything else via
+    ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return format_float(cell, float_digits)
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(fill: str, joint: str) -> str:
+        return joint + joint.join(fill * (w + 2) for w in widths) + joint
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line("-", "+"))
+    parts.append(fmt(list(headers)))
+    parts.append(line("=", "+"))
+    for row in text_rows:
+        parts.append(fmt(row))
+    parts.append(line("-", "+"))
+    return "\n".join(parts)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart (one bar per label).
+
+    Bars are scaled so the maximum value spans ``width`` characters.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        raise ValueError("nothing to chart")
+    vmax = max(max(values), 0.0)
+    label_w = max(len(str(lbl)) for lbl in labels)
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    for label, value in zip(labels, values):
+        if vmax > 0:
+            bar = "#" * max(0, round(width * value / vmax))
+        else:
+            bar = ""
+        parts.append(
+            f"{str(label).rjust(label_w)} | {bar} {format_float(value)}{unit}"
+        )
+    return "\n".join(parts)
+
+
+def ascii_line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render one or more series as a coarse ASCII scatter/line chart.
+
+    Each series gets a distinct marker; points are binned onto a
+    ``width``×``height`` character grid.  Intended for quick visual checks
+    of trends (e.g. rejection vs accuracy) in terminal output.
+    """
+    if not series:
+        raise ValueError("no series to chart")
+    markers = "*o+x@%&$"
+    all_ys = [y for ys in series.values() for y in ys]
+    if not all_ys:
+        raise ValueError("series are empty")
+    ymin, ymax = min(all_ys), max(all_ys)
+    xmin, xmax = min(xs), max(xs)
+    yspan = (ymax - ymin) or 1.0
+    xspan = (xmax - xmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), markers):
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch with xs")
+        for x, y in zip(xs, ys):
+            col = round((x - xmin) / xspan * (width - 1))
+            row = height - 1 - round((y - ymin) / yspan * (height - 1))
+            grid[row][col] = marker
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(f"y: {format_float(ymin)} .. {format_float(ymax)}")
+    for row in grid:
+        parts.append("|" + "".join(row))
+    parts.append("+" + "-" * width)
+    parts.append(f"x: {format_float(xmin)} .. {format_float(xmax)}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    parts.append(legend)
+    return "\n".join(parts)

@@ -1,0 +1,212 @@
+"""Trace interchange: CSV round-trip and cluster-event-log import.
+
+Two interoperability paths beyond the native JSON format of
+:class:`~repro.workload.trace.Trace`:
+
+* :func:`export_requests_csv` / :func:`import_requests_csv` — the request
+  stream as a flat CSV (``index,arrival,type_id,deadline``), convenient
+  for spreadsheets and external tools.  The task set travels separately
+  (JSON), since it is not tabular.
+* :func:`import_cluster_events` — an adapter for *task-event logs* in the
+  style of the Google cluster-usage traces the paper's prior work [12-14]
+  builds on: one row per scheduler event with a timestamp, a job
+  identifier, an event type and resource-request columns.  SUBMIT events
+  become requests; the event's resource-request signature is hashed onto
+  the local task set (documented, deterministic), and deadlines are drawn
+  with the Sec. 5.1 rule since cluster logs carry no deadlines.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.request import Request
+from repro.model.task import TaskType
+from repro.util.validation import check_non_empty, check_positive
+from repro.workload.trace import Trace
+from repro.workload.tracegen import DeadlineGroup, _draw_deadline
+
+__all__ = [
+    "export_requests_csv",
+    "import_requests_csv",
+    "ClusterEventSchema",
+    "import_cluster_events",
+]
+
+_CSV_HEADER = ["index", "arrival", "type_id", "deadline"]
+
+
+def export_requests_csv(trace: Trace, path: str | Path) -> None:
+    """Write the request stream of ``trace`` as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for request in trace:
+            writer.writerow(
+                [request.index, request.arrival, request.type_id,
+                 request.deadline]
+            )
+
+
+def import_requests_csv(
+    path: str | Path,
+    tasks: list[TaskType],
+    *,
+    group: str = "",
+) -> Trace:
+    """Read a request stream written by :func:`export_requests_csv`.
+
+    ``tasks`` supplies the task set the ``type_id`` column refers to.
+    """
+    check_non_empty("tasks", tasks)
+    requests: list[Request] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _CSV_HEADER:
+            raise ValueError(
+                f"unexpected CSV header {header!r}; expected {_CSV_HEADER}"
+            )
+        for row in reader:
+            if not row:
+                continue
+            requests.append(
+                Request(
+                    index=int(row[0]),
+                    arrival=float(row[1]),
+                    type_id=int(row[2]),
+                    deadline=float(row[3]),
+                )
+            )
+    return Trace(tasks, requests, group=group)
+
+
+@dataclass(frozen=True)
+class ClusterEventSchema:
+    """Column layout of a cluster task-event CSV.
+
+    Defaults follow the Google cluster-usage *task events* table:
+    column 0 is a microsecond timestamp, column 2 the job id, column 5
+    the event type (0 = SUBMIT), and columns 9/10 the CPU/memory request
+    (fractions of machine capacity).  Adjust the indices for other logs.
+    """
+
+    timestamp_column: int = 0
+    job_id_column: int = 2
+    event_type_column: int = 5
+    cpu_request_column: int = 9
+    memory_request_column: int = 10
+    submit_event_type: str = "0"
+    timestamp_unit: float = 1e-6
+    """Multiplier converting raw timestamps to the simulator's time unit
+    (Google traces: microseconds)."""
+
+
+def _signature_type(
+    cpu: str, memory: str, n_types: int
+) -> int:
+    """Deterministically map a resource-request signature to a task type.
+
+    Requests are rounded to two decimals so near-identical submissions of
+    the same program (the repetition the predictors exploit) land on the
+    same type.
+    """
+    def round2(text: str) -> str:
+        try:
+            return f"{float(text):.2f}"
+        except ValueError:
+            return text
+    payload = f"{round2(cpu)}|{round2(memory)}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:4], "big") % n_types
+
+
+def import_cluster_events(
+    path: str | Path,
+    tasks: list[TaskType],
+    *,
+    schema: ClusterEventSchema | None = None,
+    group: DeadlineGroup = DeadlineGroup.VT,
+    max_requests: int | None = None,
+    deadline_rng: np.random.Generator | None = None,
+) -> Trace:
+    """Convert a cluster task-event log into a :class:`Trace`.
+
+    Parameters
+    ----------
+    path:
+        CSV file of scheduler events (no header row, per the Google
+        trace format).
+    tasks:
+        The local task set submissions are mapped onto (see
+        :func:`_signature_type`).
+    schema:
+        Column layout (defaults to the Google task-events table).
+    group:
+        Deadline-tightness rule used to synthesise the deadlines the log
+        does not contain.
+    max_requests:
+        Optional cap on imported SUBMIT events.
+    deadline_rng:
+        Generator for the deadline draws (seeded default if omitted).
+    """
+    check_non_empty("tasks", tasks)
+    if max_requests is not None:
+        check_positive("max_requests", max_requests)
+    schema = schema or ClusterEventSchema()
+    rng = (
+        deadline_rng
+        if deadline_rng is not None
+        else np.random.default_rng(0)
+    )
+    rows: list[tuple[float, int]] = []  # (arrival, type_id)
+    needed = max(
+        schema.timestamp_column,
+        schema.event_type_column,
+        schema.cpu_request_column,
+        schema.memory_request_column,
+    )
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if len(row) <= needed:
+                continue
+            if row[schema.event_type_column].strip() != schema.submit_event_type:
+                continue
+            raw_timestamp = row[schema.timestamp_column].strip()
+            if not raw_timestamp:
+                continue
+            arrival = float(raw_timestamp) * schema.timestamp_unit
+            type_id = _signature_type(
+                row[schema.cpu_request_column],
+                row[schema.memory_request_column],
+                len(tasks),
+            )
+            rows.append((arrival, type_id))
+            if max_requests is not None and len(rows) >= max_requests:
+                break
+    if not rows:
+        raise ValueError(f"no SUBMIT events found in {path}")
+    rows.sort(key=lambda r: r[0])
+    origin = rows[0][0]
+    requests = []
+    previous = -1.0
+    for index, (arrival, type_id) in enumerate(rows):
+        # Strictly increasing arrivals (simultaneous submissions are
+        # nudged by a nanosecond so EDF stays deterministic).
+        moment = max(arrival - origin, previous + 1e-9)
+        previous = moment
+        deadline = _draw_deadline(rng, tasks[type_id], group)
+        requests.append(
+            Request(
+                index=index,
+                arrival=moment,
+                type_id=type_id,
+                deadline=deadline,
+            )
+        )
+    return Trace(tasks, requests, group=f"cluster-{group.value}")

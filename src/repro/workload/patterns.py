@@ -1,0 +1,127 @@
+"""Pattern-bearing synthetic request streams.
+
+The paper's prediction premise (from the authors' prior work [12, 13]) is
+that real request streams — e.g. the Google cluster traces — contain
+patterns in *which* task types arrive and in their *inter-arrival times*,
+and that lightweight online predictors can exploit them (80-95% type
+accuracy, <17% arrival error).
+
+The Gaussian traces of Sec. 5.1 are deliberately pattern-free (types are
+uniform i.i.d.), which is fine for the paper's accuracy-sweep methodology
+(the predictor is emulated at a chosen accuracy) but gives learned
+predictors nothing to learn.  This module generates streams with
+controllable structure so the online predictors in :mod:`repro.predict`
+can be exercised end-to-end:
+
+* task types follow a hidden repeating *motif* (e.g. ``A B C A B D``)
+  with a configurable mutation probability;
+* inter-arrival times cycle through *phases* (e.g. bursty vs idle), each
+  phase with its own Gaussian, mimicking diurnal/bursty cluster load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.request import Request
+from repro.model.task import TaskType
+from repro.util.validation import check_positive, check_probability
+from repro.workload.tracegen import DeadlineGroup, _draw_deadline
+from repro.workload.trace import Trace
+
+__all__ = ["PatternConfig", "generate_pattern_trace"]
+
+
+@dataclass(frozen=True)
+class PatternConfig:
+    """Parameters of the pattern stream generator.
+
+    Attributes
+    ----------
+    n_requests:
+        Stream length.
+    motif_length:
+        Length of the hidden repeating type motif.
+    type_mutation_prob:
+        Probability that a request deviates from the motif (uniform random
+        type instead).  ``0.1`` yields streams where a first-order
+        predictor can reach ~90% accuracy.
+    phases:
+        Inter-arrival phases as ``(mean, std, length)`` tuples: the stream
+        draws ``length`` gaps from ``Gaussian(mean, std^2)`` then moves to
+        the next phase, cycling.
+    group:
+        Deadline group used to draw relative deadlines (same rule as
+        Sec. 5.1).
+    min_interarrival:
+        Floor for gap draws.
+    """
+
+    n_requests: int = 500
+    motif_length: int = 8
+    type_mutation_prob: float = 0.1
+    phases: tuple[tuple[float, float, int], ...] = (
+        (3.0, 0.3, 40),
+        (8.0, 0.8, 20),
+    )
+    group: DeadlineGroup = DeadlineGroup.VT
+    min_interarrival: float = 1e-3
+
+    def __post_init__(self) -> None:
+        check_positive("n_requests", self.n_requests)
+        check_positive("motif_length", self.motif_length)
+        check_probability("type_mutation_prob", self.type_mutation_prob)
+        if not self.phases:
+            raise ValueError("at least one inter-arrival phase is required")
+        for mean, std, length in self.phases:
+            check_positive("phase mean", mean)
+            if std < 0:
+                raise ValueError(f"phase std must be >= 0, got {std}")
+            check_positive("phase length", length)
+        check_positive("min_interarrival", self.min_interarrival)
+
+
+def generate_pattern_trace(
+    tasks: list[TaskType],
+    config: PatternConfig | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> Trace:
+    """Generate a structured stream over ``tasks``.
+
+    The hidden motif is drawn once (uniformly over task types) and then
+    repeated with per-request mutation; inter-arrival phases cycle as
+    configured.  The returned trace is a drop-in replacement for the
+    Sec. 5.1 traces everywhere in the library.
+    """
+    if not tasks:
+        raise ValueError("task set must be non-empty")
+    config = config or PatternConfig()
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    motif = [int(rng.integers(0, len(tasks))) for _ in range(config.motif_length)]
+
+    # Pre-compute the phase schedule: which (mean, std) applies to each gap.
+    phase_cycle: list[tuple[float, float]] = []
+    for mean, std, length in config.phases:
+        phase_cycle.extend([(mean, std)] * int(length))
+
+    requests: list[Request] = []
+    arrival = 0.0
+    for index in range(config.n_requests):
+        if index > 0:
+            mean, std = phase_cycle[(index - 1) % len(phase_cycle)]
+            gap = float(rng.normal(mean, std))
+            arrival += max(gap, config.min_interarrival)
+        type_id = motif[index % config.motif_length]
+        if float(rng.random()) < config.type_mutation_prob:
+            type_id = int(rng.integers(0, len(tasks)))
+        deadline = _draw_deadline(rng, tasks[type_id], config.group)
+        requests.append(
+            Request(
+                index=index, arrival=arrival, type_id=type_id, deadline=deadline
+            )
+        )
+    return Trace(tasks, requests, group=f"pattern-{config.group.value}", seed=seed)

@@ -1,0 +1,190 @@
+"""Task-set generation (Sec. 5.1 of the paper).
+
+The paper creates 100 task types for a platform of five CPUs and one GPU:
+
+* WCET on each CPU drawn from ``Gaussian(40, 9^2)``;
+* energy on each CPU drawn from ``Gaussian(15, 3^2)``;
+* GPU WCET / energy = the CPU averages divided by a random factor in
+  ``[2, 10]``;
+* migration overhead (time, energy) drawn uniformly in ``[0.1, 0.2]`` of
+  the task's average WCET / energy over all resources.
+
+All parameters are exposed through :class:`TaskSetConfig` so ablations
+(e.g. slower GPUs, partially GPU-incompatible task sets) are one-liners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.platform import Platform
+from repro.model.task import NOT_EXECUTABLE, TaskType
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = ["TaskSetConfig", "generate_task_set"]
+
+
+@dataclass(frozen=True)
+class TaskSetConfig:
+    """Parameters of the paper's task-set generator.
+
+    The defaults reproduce Sec. 5.1 exactly.
+
+    Attributes
+    ----------
+    n_tasks:
+        Number of task types (paper: 100).
+    cpu_wcet_mean, cpu_wcet_std:
+        Gaussian parameters for per-CPU WCET (paper: 40, 9).
+    cpu_energy_mean, cpu_energy_std:
+        Gaussian parameters for per-CPU energy (paper: 15, 3).
+    accel_speedup_range:
+        The non-preemptable (GPU-like) resources receive
+        ``cpu_average / Uniform(range)`` for both WCET and energy
+        (paper: 2-10).
+    migration_fraction_range:
+        Migration overhead as a fraction of the task's mean WCET/energy
+        over all resources (paper: 0.1-0.2); drawn independently per
+        (source, destination) resource pair.
+    accel_incompatible_fraction:
+        Fraction of task types that cannot run on the non-preemptable
+        resources at all (an extension beyond the paper; default 0).
+    min_wcet, min_energy:
+        Truncation floors for the Gaussians, so degenerate non-positive
+        draws are re-sampled.
+    """
+
+    n_tasks: int = 100
+    cpu_wcet_mean: float = 40.0
+    cpu_wcet_std: float = 9.0
+    cpu_energy_mean: float = 15.0
+    cpu_energy_std: float = 3.0
+    accel_speedup_range: tuple[float, float] = (2.0, 10.0)
+    migration_fraction_range: tuple[float, float] = (0.1, 0.2)
+    accel_incompatible_fraction: float = 0.0
+    min_wcet: float = 1.0
+    min_energy: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("n_tasks", self.n_tasks)
+        check_positive("cpu_wcet_mean", self.cpu_wcet_mean)
+        check_non_negative("cpu_wcet_std", self.cpu_wcet_std)
+        check_positive("cpu_energy_mean", self.cpu_energy_mean)
+        check_non_negative("cpu_energy_std", self.cpu_energy_std)
+        lo, hi = self.accel_speedup_range
+        check_positive("accel_speedup_range low", lo)
+        check_in_range("accel_speedup_range", hi, lo, float("inf"))
+        mlo, mhi = self.migration_fraction_range
+        check_non_negative("migration_fraction_range low", mlo)
+        check_in_range("migration_fraction_range", mhi, mlo, float("inf"))
+        check_probability(
+            "accel_incompatible_fraction", self.accel_incompatible_fraction
+        )
+        check_positive("min_wcet", self.min_wcet)
+        check_positive("min_energy", self.min_energy)
+
+
+def _truncated_normal(
+    rng: np.random.Generator, mean: float, std: float, floor: float
+) -> float:
+    """One Gaussian draw, re-sampled until it clears ``floor``."""
+    for _ in range(1000):
+        value = float(rng.normal(mean, std))
+        if value >= floor:
+            return value
+    # Pathological configuration (mean far below floor): clamp.
+    return floor
+
+
+def generate_task_set(
+    platform: Platform,
+    config: TaskSetConfig | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+) -> list[TaskType]:
+    """Generate a task set for ``platform`` per :class:`TaskSetConfig`.
+
+    Preemptable resources are treated as CPUs (independent Gaussian draws
+    per resource); non-preemptable resources as accelerators (GPU rule:
+    the CPU average divided by a uniform speedup factor, one factor per
+    task applied to both time and energy).
+
+    Returns a list of :class:`~repro.model.task.TaskType` whose vectors
+    are indexed by ``platform`` resource indices.
+    """
+    config = config or TaskSetConfig()
+    rng = rng if rng is not None else np.random.default_rng()
+    cpu_idx = platform.preemptable_indices
+    accel_idx = platform.non_preemptable_indices
+    if not cpu_idx:
+        raise ValueError(
+            "the paper's generator needs at least one preemptable (CPU) resource"
+        )
+    lo_speed, hi_speed = config.accel_speedup_range
+    lo_mig, hi_mig = config.migration_fraction_range
+    n = platform.size
+    tasks: list[TaskType] = []
+    for type_id in range(config.n_tasks):
+        wcet = [0.0] * n
+        energy = [0.0] * n
+        for i in cpu_idx:
+            wcet[i] = _truncated_normal(
+                rng, config.cpu_wcet_mean, config.cpu_wcet_std, config.min_wcet
+            )
+            energy[i] = _truncated_normal(
+                rng, config.cpu_energy_mean, config.cpu_energy_std, config.min_energy
+            )
+        cpu_wcet_avg = sum(wcet[i] for i in cpu_idx) / len(cpu_idx)
+        cpu_energy_avg = sum(energy[i] for i in cpu_idx) / len(cpu_idx)
+        incompatible = (
+            bool(accel_idx)
+            and float(rng.random()) < config.accel_incompatible_fraction
+        )
+        for i in accel_idx:
+            if incompatible:
+                wcet[i] = NOT_EXECUTABLE
+                energy[i] = NOT_EXECUTABLE
+            else:
+                speedup = float(rng.uniform(lo_speed, hi_speed))
+                wcet[i] = max(cpu_wcet_avg / speedup, config.min_wcet * 1e-3)
+                energy[i] = max(cpu_energy_avg / speedup, 0.0)
+        finite_wcet = [c for c in wcet if c != NOT_EXECUTABLE]
+        finite_energy = [e for e in energy if e != NOT_EXECUTABLE]
+        mean_wcet = sum(finite_wcet) / len(finite_wcet)
+        mean_energy = sum(finite_energy) / len(finite_energy)
+        mig_time = [
+            [
+                0.0
+                if k == i
+                else float(rng.uniform(lo_mig, hi_mig)) * mean_wcet
+                for i in range(n)
+            ]
+            for k in range(n)
+        ]
+        mig_energy = [
+            [
+                0.0
+                if k == i
+                else float(rng.uniform(lo_mig, hi_mig)) * mean_energy
+                for i in range(n)
+            ]
+            for k in range(n)
+        ]
+        tasks.append(
+            TaskType(
+                type_id=type_id,
+                name=f"task{type_id}",
+                wcet=tuple(wcet),
+                energy=tuple(energy),
+                migration_time=tuple(tuple(row) for row in mig_time),
+                migration_energy=tuple(tuple(row) for row in mig_energy),
+            )
+        )
+    return tasks

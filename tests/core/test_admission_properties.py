@@ -1,0 +1,110 @@
+"""Property tests of the admission protocol (Sec. 4.1).
+
+The retry-without-prediction rule has a clean invariant: *prediction can
+never reduce admission* — anything admittable with the prediction
+constraint is admittable without it, and the fallback covers the rest.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionController
+from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
+from repro.core.exact import ExactResourceManager
+from repro.core.heuristic import HeuristicResourceManager
+from repro.model.platform import Platform
+from repro.model.task import TaskType
+
+PLATFORM = Platform.cpu_gpu(2, 1)
+
+
+@st.composite
+def admission_case(draw):
+    """A small activation: 0-2 active tasks + new arrival + prediction."""
+    def draw_task():
+        wcet = [draw(st.floats(min_value=1.0, max_value=15.0)) for _ in range(3)]
+        energy = [draw(st.floats(min_value=0.1, max_value=8.0)) for _ in range(3)]
+        if draw(st.booleans()):
+            wcet[0] = wcet[1] = math.inf
+            energy[0] = energy[1] = math.inf
+        return TaskType(type_id=0, wcet=tuple(wcet), energy=tuple(energy))
+
+    tasks = []
+    for job_id in range(draw(st.integers(min_value=0, max_value=2))):
+        tasks.append(
+            PlannedTask(
+                job_id=job_id,
+                task=draw_task(),
+                absolute_deadline=draw(st.floats(min_value=5.0, max_value=50.0)),
+                current_resource=draw(st.integers(min_value=0, max_value=2)),
+            )
+        )
+    # fix current resources onto executable ones
+    fixed = []
+    for t in tasks:
+        if not t.task.executable_on(t.current_resource):
+            fixed.append(
+                PlannedTask(
+                    job_id=t.job_id,
+                    task=t.task,
+                    absolute_deadline=t.absolute_deadline,
+                    current_resource=t.task.executable_resources[0],
+                )
+            )
+        else:
+            fixed.append(t)
+    tasks = fixed
+    new_task = PlannedTask(
+        job_id=10,
+        task=draw_task(),
+        absolute_deadline=draw(st.floats(min_value=2.0, max_value=40.0)),
+    )
+    pred = PlannedTask(
+        job_id=PREDICTED_JOB_ID,
+        task=draw_task(),
+        absolute_deadline=draw(st.floats(min_value=3.0, max_value=60.0)),
+        is_predicted=True,
+        arrival=draw(st.floats(min_value=0.0, max_value=20.0)),
+    )
+    return RMContext(time=0.0, platform=PLATFORM, tasks=tuple(tasks) + (new_task, pred))
+
+
+@given(admission_case(), st.sampled_from(["heuristic", "exact"]))
+@settings(max_examples=80, deadline=None)
+def test_prediction_never_reduces_admission(context, strategy_name):
+    strategy = (
+        HeuristicResourceManager()
+        if strategy_name == "heuristic"
+        else ExactResourceManager()
+    )
+    controller = AdmissionController(strategy)
+    with_prediction = controller.decide(context)
+    without_prediction = controller.decide(context.without_prediction())
+    if without_prediction.admitted:
+        # the fallback guarantees admission whenever the prediction-less
+        # problem is solvable by the same strategy
+        assert with_prediction.admitted
+    if with_prediction.admitted and with_prediction.used_prediction:
+        # a prediction-constrained solution is a fortiori a solution of
+        # the relaxed problem for exact strategies
+        if strategy_name == "exact":
+            assert without_prediction.admitted
+
+
+@given(admission_case())
+@settings(max_examples=50, deadline=None)
+def test_outcome_bookkeeping_consistent(context):
+    controller = AdmissionController(ExactResourceManager())
+    outcome = controller.decide(context)
+    if outcome.admitted:
+        assert outcome.decision is not None
+        assert outcome.decision.feasible
+        assert outcome.solver_calls in (1, 2)
+        if outcome.used_prediction:
+            assert outcome.solver_calls == 1
+    else:
+        assert outcome.decision is None
+        assert outcome.solver_calls == 2  # tried with, then without

@@ -1,0 +1,172 @@
+"""Tests for the multi-step lookahead extension.
+
+The paper plans with one predicted request; this library additionally
+supports a horizon of several.  These tests pin the plumbing (predictor
+horizon API, simulator wiring, strategy support) and the semantics
+(multiple future jobs in the timeline, MILP's explicit refusal).
+"""
+
+import math
+
+import pytest
+
+from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
+from repro.core.exact import ExactResourceManager
+from repro.core.heuristic import HeuristicResourceManager
+from repro.core.milp_rm import MilpResourceManager
+from repro.model.platform import Platform
+from repro.predict.oracle import OraclePredictor
+from repro.sim.simulator import SimulationConfig, Simulator, simulate
+from tests.conftest import make_task, make_trace
+
+
+def gpu_only_task():
+    return make_task(
+        wcet=(math.inf, math.inf, 4.0), energy=(math.inf, math.inf, 1.0)
+    )
+
+
+def predicted(offset, arrival, deadline, task=None):
+    return PlannedTask(
+        job_id=PREDICTED_JOB_ID + offset,
+        task=task or gpu_only_task(),
+        absolute_deadline=arrival + deadline,
+        is_predicted=True,
+        arrival=arrival,
+    )
+
+
+class TestPredictorHorizon:
+    def test_oracle_horizon(self, tiny_trace):
+        oracle = OraclePredictor()
+        predictions = oracle.predict_horizon(tiny_trace, 0, 3)
+        assert len(predictions) == 3
+        for k, prediction in enumerate(predictions, start=1):
+            assert prediction.arrival == tiny_trace[k].arrival
+            assert prediction.type_id == tiny_trace[k].type_id
+
+    def test_oracle_horizon_truncates_at_end(self, tiny_trace):
+        oracle = OraclePredictor()
+        last = len(tiny_trace) - 2
+        assert len(oracle.predict_horizon(tiny_trace, last, 5)) == 1
+        assert oracle.predict_horizon(tiny_trace, last + 1, 5) == []
+
+    def test_default_horizon_single_step(self, tiny_trace):
+        from repro.predict.noisy import TypeNoisePredictor
+
+        noisy = TypeNoisePredictor(0.5, seed=1)
+        predictions = noisy.predict_horizon(tiny_trace, 0, 4)
+        assert len(predictions) == 1
+
+    def test_invalid_horizon(self, tiny_trace):
+        with pytest.raises(ValueError):
+            OraclePredictor().predict_horizon(tiny_trace, 0, 0)
+
+
+class TestStrategiesWithHorizon:
+    def ctx(self, tasks):
+        return RMContext(
+            time=0.0, platform=Platform.cpu_gpu(2, 1), tasks=tuple(tasks)
+        )
+
+    def test_heuristic_reserves_for_two_predictions(self):
+        # Two GPU-only predictions back to back: the current task must
+        # leave the GPU free for both.
+        new_task = PlannedTask(
+            job_id=0, task=make_task(), absolute_deadline=40.0
+        )
+        context = self.ctx(
+            [new_task, predicted(0, 2.0, 5.0), predicted(1, 6.0, 5.0)]
+        )
+        decision = HeuristicResourceManager().solve(context)
+        assert decision.feasible
+        assert decision.mapping[0] in (0, 1)
+        assert decision.mapping[PREDICTED_JOB_ID] == 2
+        assert decision.mapping[PREDICTED_JOB_ID + 1] == 2
+
+    def test_exact_matches_heuristic_feasibility_here(self):
+        new_task = PlannedTask(
+            job_id=0, task=make_task(), absolute_deadline=40.0
+        )
+        context = self.ctx(
+            [new_task, predicted(0, 2.0, 5.0), predicted(1, 6.0, 5.0)]
+        )
+        decision = ExactResourceManager().solve(context)
+        assert decision.feasible
+        assert decision.mapping[0] in (0, 1)
+
+    def test_two_colliding_predictions_infeasible(self):
+        # Both predicted GPU-only tasks need the GPU at once.
+        context = self.ctx(
+            [predicted(0, 1.0, 4.5), predicted(1, 1.5, 4.5)]
+        )
+        assert not ExactResourceManager().solve(context).feasible
+        assert not HeuristicResourceManager().solve(context).feasible
+
+    def test_milp_refuses_horizons_above_one(self):
+        context = self.ctx([predicted(0, 1.0, 9.0), predicted(1, 2.0, 9.0)])
+        with pytest.raises(NotImplementedError, match="single predicted"):
+            MilpResourceManager().solve(context)
+
+
+class TestSimulatorLookahead:
+    def test_lookahead_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(lookahead=0)
+
+    def test_lookahead_changes_planning(self, platform, tiny_trace):
+        base = simulate(
+            tiny_trace,
+            platform,
+            HeuristicResourceManager(),
+            OraclePredictor(),
+            SimulationConfig(lookahead=1),
+        )
+        deep = simulate(
+            tiny_trace,
+            platform,
+            HeuristicResourceManager(),
+            OraclePredictor(),
+            SimulationConfig(lookahead=3),
+        )
+        # both must run cleanly; outcomes may differ either way
+        assert base.n_requests == deep.n_requests
+
+    def test_lookahead_reservation_end_to_end(self):
+        """Lookahead 2 rescues a rejection that lookahead 1 cannot see:
+        two GPU-only tasks arrive soon; only planning for both keeps the
+        first placement off the GPU."""
+        platform = Platform.cpu_gpu(2, 1)
+        flexible = make_task(
+            type_id=0,
+            wcet=(6.0, 6.0, 5.0),
+            energy=(5.0, 5.0, 1.0),
+            migration_time=50.0,  # effectively unmigratable once placed
+            migration_energy=50.0,
+        )
+        gpu_only = make_task(
+            type_id=1,
+            wcet=(math.inf, math.inf, 4.0),
+            energy=(math.inf, math.inf, 1.0),
+        )
+        trace = make_trace(
+            [flexible, gpu_only],
+            [
+                (0.0, 0, 12.0),   # flexible task; GPU is its cheap choice
+                (1.0, 0, 12.0),   # second flexible task
+                (2.0, 1, 11.0),   # GPU-only, needs GPU by 13 - 4 = 9
+                (3.0, 1, 11.5),   # GPU-only, queued behind the other
+            ],
+        )
+        results = {}
+        for k in (1, 2, 3):
+            result = simulate(
+                trace,
+                platform,
+                ExactResourceManager(),
+                OraclePredictor(),
+                SimulationConfig(lookahead=k),
+            )
+            results[k] = result.n_rejected
+        # deeper lookahead can only help on this crafted stream
+        assert results[3] <= results[2] <= results[1]

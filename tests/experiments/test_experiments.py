@@ -1,0 +1,253 @@
+"""Tests for the experiment harness (config, runner, figure modules).
+
+Figure modules run at a deliberately tiny scale here — these tests pin
+the *plumbing* (labels, aggregation, rendering, determinism); the
+benchmark harness regenerates the actual paper artefacts.
+"""
+
+import statistics
+
+import pytest
+
+from repro.experiments.config import HarnessScale
+from repro.experiments.fig2_rejection import run_prediction_impact
+from repro.experiments.fig3_energy import (
+    energy_follows_acceptance,
+    render_fig3,
+)
+from repro.experiments.fig4_accuracy import (
+    run_accuracy_sweep,
+    render_fig4,
+)
+from repro.experiments.fig5_overhead import (
+    run_overhead_sweep,
+    render_fig5,
+)
+from repro.experiments.motivational import (
+    render_motivational,
+    run_motivational,
+)
+from repro.experiments.runner import RunSpec, run_matrix
+from repro.experiments.sec52_milp_vs_heuristic import render_sec52, run_sec52
+from repro.experiments.common import (
+    standard_platform,
+    standard_traces,
+    strategy_factory,
+)
+from repro.core.heuristic import HeuristicResourceManager
+from repro.experiments.fig2_rejection import render_fig2
+from repro.predict.oracle import OraclePredictor
+from repro.workload.tracegen import DeadlineGroup
+
+TINY = HarnessScale(n_traces=2, n_requests=25, master_seed=3)
+
+
+class TestHarnessScale:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarnessScale(n_traces=0, n_requests=10)
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_TRACES", raising=False)
+        monkeypatch.delenv("REPRO_REQUESTS", raising=False)
+        scale = HarnessScale.from_env(default_traces=7, default_requests=42)
+        assert (scale.n_traces, scale.n_requests) == (7, 42)
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACES", "3")
+        monkeypatch.setenv("REPRO_REQUESTS", "9")
+        monkeypatch.setenv("REPRO_SEED", "5")
+        scale = HarnessScale.from_env(default_traces=7, default_requests=42)
+        assert (scale.n_traces, scale.n_requests, scale.master_seed) == (3, 9, 5)
+
+    def test_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.setenv("REPRO_TRACES", "3")
+        scale = HarnessScale.from_env(default_traces=7, default_requests=42)
+        assert (scale.n_traces, scale.n_requests) == (500, 500)
+
+
+class TestCommon:
+    def test_standard_platform(self):
+        platform = standard_platform()
+        assert platform.size == 6
+        assert len(platform.non_preemptable_indices) == 1
+
+    def test_standard_traces_deterministic(self):
+        a = standard_traces(DeadlineGroup.VT, TINY)
+        b = standard_traces(DeadlineGroup.VT, TINY)
+        assert len(a) == 2
+        for ta, tb in zip(a, b):
+            assert [r.arrival for r in ta] == [r.arrival for r in tb]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            strategy_factory("quantum")
+
+
+class TestRunMatrix:
+    def test_aggregation(self):
+        traces = standard_traces(DeadlineGroup.VT, TINY)
+        specs = [
+            RunSpec(label="off", strategy=HeuristicResourceManager),
+            RunSpec(
+                label="on",
+                strategy=HeuristicResourceManager,
+                predictor=OraclePredictor,
+            ),
+        ]
+        aggregates = run_matrix(traces, standard_platform(), specs)
+        assert set(aggregates) == {"off", "on"}
+        assert aggregates["off"].n_traces == 2
+        assert aggregates["off"].mean_rejection == pytest.approx(
+            statistics.fmean(aggregates["off"].rejection_percentages)
+        )
+
+    def test_duplicate_labels_rejected(self):
+        specs = [
+            RunSpec(label="x", strategy=HeuristicResourceManager),
+            RunSpec(label="x", strategy=HeuristicResourceManager),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_matrix([], standard_platform(), specs)
+
+    def test_keep_results(self):
+        traces = standard_traces(DeadlineGroup.VT, TINY)
+        specs = [RunSpec(label="h", strategy=HeuristicResourceManager)]
+        aggregates = run_matrix(
+            traces, standard_platform(), specs, keep_results=True
+        )
+        assert len(aggregates["h"].results) == 2
+
+    def test_progress_callback(self):
+        calls = []
+        traces = standard_traces(DeadlineGroup.VT, TINY)
+        specs = [RunSpec(label="h", strategy=HeuristicResourceManager)]
+        run_matrix(
+            traces,
+            standard_platform(),
+            specs,
+            progress=lambda label, i, n: calls.append((label, i, n)),
+        )
+        assert calls == [("h", 0, 2), ("h", 1, 2)]
+
+
+class TestFig2Fig3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        lt = run_prediction_impact(
+            DeadlineGroup.LT, TINY, strategies=("heuristic",)
+        )
+        vt = run_prediction_impact(
+            DeadlineGroup.VT, TINY, strategies=("heuristic",)
+        )
+        return lt, vt
+
+    def test_labels(self, results):
+        lt, _ = results
+        assert set(lt.aggregates) == {"heuristic-off", "heuristic-on"}
+
+    def test_accessors(self, results):
+        _, vt = results
+        off = vt.rejection("heuristic", "off")
+        on = vt.rejection("heuristic", "on")
+        assert vt.prediction_gain("heuristic") == pytest.approx(off - on)
+
+    def test_render_fig2(self, results):
+        out = render_fig2(*results)
+        assert "Fig. 2(a)" in out and "Fig. 2(b)" in out
+        assert "heuristic-off" in out
+
+    def test_render_fig3(self, results):
+        out = render_fig3(*results)
+        assert "Fig. 3(a)" in out
+        assert "normalised energy" in out
+
+    def test_energy_follows_acceptance_predicate(self, results):
+        lt, vt = results
+        # the predicate must at least run and return a bool
+        assert isinstance(energy_follows_acceptance(vt), bool)
+
+
+class TestFig4:
+    def test_sweep_structure(self):
+        sweep = run_accuracy_sweep(
+            "type", TINY, levels=(1.0, 0.5), strategies=("heuristic",)
+        )
+        assert set(sweep.aggregates) == {
+            "heuristic@1",
+            "heuristic@0.5",
+            "heuristic@off",
+        }
+        assert sweep.rejection("heuristic", 1.0) >= 0.0
+        assert isinstance(sweep.monotone_non_decreasing("heuristic", 5.0), bool)
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            run_accuracy_sweep("quantum", TINY)
+
+    def test_render(self):
+        type_sweep = run_accuracy_sweep(
+            "type", TINY, levels=(1.0, 0.5), strategies=("heuristic",)
+        )
+        arrival_sweep = run_accuracy_sweep(
+            "arrival", TINY, levels=(1.0, 0.5), strategies=("heuristic",)
+        )
+        out = render_fig4(type_sweep, arrival_sweep)
+        assert "Fig. 4(a)" in out and "Fig. 4(b)" in out
+
+
+class TestFig5:
+    def test_sweep_structure(self):
+        sweep = run_overhead_sweep(
+            TINY, coefficients=(0.0, 0.05), strategies=("heuristic",)
+        )
+        assert "heuristic@0" in sweep.aggregates
+        assert "heuristic@off" in sweep.aggregates
+        crossover = sweep.crossover_coefficient("heuristic")
+        assert crossover is None or crossover in (0.0, 0.05)
+
+    def test_render(self):
+        sweep = run_overhead_sweep(
+            TINY, coefficients=(0.0, 0.05), strategies=("heuristic",)
+        )
+        out = render_fig5(sweep)
+        assert "Fig. 5" in out and "crossover" in out
+
+
+class TestSec52:
+    def test_runs_and_renders(self):
+        result = run_sec52(HarnessScale(n_traces=2, n_requests=25))
+        assert len(result.milp_rejections) == 4  # 2 traces x 2 groups
+        assert 0.0 <= result.milp_win_fraction <= 1.0
+        out = render_sec52(result)
+        assert "24.5" in out and "88" in out
+
+    def test_win_fraction_definition(self):
+        result = run_sec52(HarnessScale(n_traces=2, n_requests=25))
+        manual = statistics.fmean(
+            1.0 if m <= h else 0.0
+            for m, h in zip(result.milp_rejections, result.heuristic_rejections)
+        )
+        assert result.milp_win_fraction == pytest.approx(manual)
+        assert result.milp_strict_loss_fraction == pytest.approx(1 - manual)
+
+
+class TestMotivational:
+    def test_matches_paper_for_all_strategies(self):
+        from repro.core.exact import ExactResourceManager
+        from repro.core.milp_rm import MilpResourceManager
+
+        for strategy in (
+            HeuristicResourceManager,
+            MilpResourceManager,
+            ExactResourceManager,
+        ):
+            outcome = run_motivational(strategy)
+            assert outcome.matches_paper(), strategy
+
+    def test_render(self):
+        out = render_motivational(run_motivational())
+        assert "match the paper" in out
+        assert "8.8" in out and "3.5" in out

@@ -1,0 +1,44 @@
+"""Tests for the one-call full-evaluation driver."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import HarnessScale
+from repro.experiments.report_all import run_all
+
+TINY = HarnessScale(n_traces=1, n_requests=20, master_seed=2)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_all(TINY, strategies=("heuristic",))
+
+
+class TestRunAll:
+    def test_all_sections_present(self, report):
+        names = "\n".join(report.sections)
+        for marker in ("E1", "E2", "E3", "E4/E5", "E6", "E7"):
+            assert marker in names
+
+    def test_motivational_payload(self, report):
+        assert report.payloads["motivational"]["matches_paper"] is True
+
+    def test_render_contains_configuration(self, report):
+        rendered = report.render()
+        assert "1 traces x 20 requests" in rendered
+        assert "Fig. 5" in rendered
+
+    def test_save_writes_report_and_json(self, report, tmp_path):
+        written = report.save(tmp_path / "out")
+        names = {p.name for p in written}
+        assert "report.txt" in names
+        assert "sec52.json" in names
+        payload = json.loads((tmp_path / "out" / "sec52.json").read_text())
+        assert payload["experiment"] == "sec52"
+
+    def test_progress_callback(self):
+        seen = []
+        run_all(TINY, strategies=("heuristic",), progress=seen.append)
+        assert any("fig5" in s for s in seen)
+        assert len(seen) >= 5

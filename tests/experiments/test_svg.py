@@ -1,0 +1,105 @@
+"""Tests for the SVG figure exporter."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.svg import bar_chart_svg, line_chart_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(markup: str) -> ET.Element:
+    return ET.fromstring(markup)
+
+
+class TestBarChart:
+    def test_well_formed_xml(self):
+        markup = bar_chart_svg(["a", "b"], [1.0, 2.0], title="T")
+        root = parse(markup)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_bar_plus_background(self):
+        markup = bar_chart_svg(["a", "b", "c"], [1.0, 2.0, 3.0], title="T")
+        rects = parse(markup).findall(f".//{SVG_NS}rect")
+        assert len(rects) == 4  # background + 3 bars
+
+    def test_labels_and_values_present(self):
+        markup = bar_chart_svg(["off", "on"], [12.5, 10.0], title="Fig")
+        assert "off" in markup and "on" in markup
+        assert "12.5" in markup
+
+    def test_title_escaped(self):
+        markup = bar_chart_svg(["a"], [1.0], title="a < b & c")
+        parse(markup)  # must stay well-formed
+        assert "a &lt; b &amp; c" in markup
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        bar_chart_svg(["a"], [1.0], title="T", path=path)
+        assert path.read_text().startswith("<svg")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg([], [], title="T")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg(["a"], [-1.0], title="T")
+
+    def test_zero_values_ok(self):
+        parse(bar_chart_svg(["a", "b"], [0.0, 0.0], title="T"))
+
+
+class TestLineChart:
+    def test_well_formed(self):
+        markup = line_chart_svg(
+            [0, 1, 2],
+            {"milp": [1.0, 2.0, 3.0], "heuristic": [2.0, 3.0, 4.0]},
+            title="Fig. 5",
+        )
+        parse(markup)
+
+    def test_one_polyline_per_series(self):
+        markup = line_chart_svg(
+            [0, 1], {"a": [1.0, 2.0], "b": [2.0, 1.0]}, title="T"
+        )
+        polylines = parse(markup).findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_markers_per_point(self):
+        markup = line_chart_svg([0, 1, 2], {"a": [1.0, 2.0, 3.0]}, title="T")
+        circles = parse(markup).findall(f".//{SVG_NS}circle")
+        assert len(circles) == 3
+
+    def test_legend_names_present(self):
+        markup = line_chart_svg(
+            [0, 1], {"series-x": [1.0, 2.0]}, title="T"
+        )
+        assert "series-x" in markup
+
+    def test_axis_labels(self):
+        markup = line_chart_svg(
+            [0, 1],
+            {"a": [1.0, 2.0]},
+            title="T",
+            x_label="overhead %",
+            y_label="rejection %",
+        )
+        assert "overhead %" in markup and "rejection %" in markup
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            line_chart_svg([0, 1], {"a": [1.0]}, title="T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart_svg([], {}, title="T")
+
+    def test_constant_x_no_crash(self):
+        parse(line_chart_svg([5.0], {"a": [2.0]}, title="T"))
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "line.svg"
+        line_chart_svg([0, 1], {"a": [1.0, 2.0]}, title="T", path=path)
+        assert path.exists()

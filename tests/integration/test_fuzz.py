@@ -1,0 +1,104 @@
+"""Whole-stack fuzzing: random workloads through every configuration.
+
+The simulator raises :class:`~repro.sim.state.SimulationError` whenever
+an admitted task misses a deadline or internal accounting goes
+inconsistent, so a clean replay *is* the assertion: it proves the
+planner's feasibility semantics and the executor's EDF semantics agree
+on that workload.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import ExactResourceManager
+from repro.core.heuristic import HeuristicResourceManager
+from repro.core.milp_rm import MilpResourceManager
+from repro.model.platform import Platform
+from repro.predict.markov import ComposedPredictor
+from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
+from repro.predict.oracle import OraclePredictor
+from repro.sim.simulator import SimulationConfig, simulate
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+from repro.workload.tracegen import DeadlineGroup, TraceConfig, generate_trace
+
+PLATFORM = Platform.cpu_gpu(2, 1)
+
+
+def build_workload(seed: int, n_requests: int, scale: float, group):
+    tasks = generate_task_set(
+        PLATFORM,
+        TaskSetConfig(n_tasks=8),
+        rng=np.random.default_rng(seed),
+    )
+    return generate_trace(
+        tasks,
+        TraceConfig(group=group, n_requests=n_requests, arrival_scale=scale),
+        rng=np.random.default_rng(seed + 10_000),
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    scale=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+    group=st.sampled_from([DeadlineGroup.VT, DeadlineGroup.LT]),
+    predictor_kind=st.sampled_from(
+        ["none", "oracle", "type-noise", "arrival-noise", "learned"]
+    ),
+    overhead=st.sampled_from([0.0, 0.1, 1.0]),
+    charge=st.booleans(),
+    lookahead=st.sampled_from([1, 2]),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_heuristic_simulation_never_violates_invariants(
+    seed, scale, group, predictor_kind, overhead, charge, lookahead
+):
+    trace = build_workload(seed, n_requests=25, scale=scale, group=group)
+    predictor = {
+        "none": lambda: None,
+        "oracle": OraclePredictor,
+        "type-noise": lambda: TypeNoisePredictor(0.5, seed=seed),
+        "arrival-noise": lambda: ArrivalNoisePredictor(0.5, seed=seed),
+        "learned": ComposedPredictor,
+    }[predictor_kind]()
+    config = SimulationConfig(
+        prediction_overhead=overhead,
+        charge_unstarted_migration=charge,
+        lookahead=lookahead,
+        collect_records=True,
+    )
+    result = simulate(
+        trace, PLATFORM, HeuristicResourceManager(), predictor, config
+    )
+
+    # Accounting invariants.
+    assert sorted(result.accepted + result.rejected) == list(range(25))
+    assert result.total_energy >= 0.0
+    assert result.wasted_energy >= 0.0
+    assert result.migration_energy >= 0.0
+    assert (
+        result.wasted_energy + result.migration_energy
+        <= result.total_energy + 1e-9
+    )
+    assert len(result.records) == 25
+    if predictor is None:
+        assert result.predictions_used == 0
+
+
+@given(seed=st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=15, deadline=None)
+def test_exact_strategies_agree_on_whole_traces(seed):
+    """MILP and B&B search replay the same trace without invariant
+    violations; their rejection counts stay close (they may differ when
+    equal-energy optima tie-break differently, changing future state)."""
+    trace = build_workload(seed, n_requests=12, scale=2.0, group=DeadlineGroup.VT)
+    milp = simulate(trace, PLATFORM, MilpResourceManager(), OraclePredictor())
+    exact = simulate(trace, PLATFORM, ExactResourceManager(), OraclePredictor())
+    assert abs(milp.n_rejected - exact.n_rejected) <= 3

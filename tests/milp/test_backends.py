@@ -1,0 +1,189 @@
+"""Tests for the scipy/HiGHS backend, the branch-and-bound solver, and
+their agreement on random MILPs (the cross-validation property)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp.bnb import solve_with_bnb
+from repro.milp.model import Model, SolveStatus
+from repro.milp.scipy_backend import solve_with_scipy
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    load = None
+    gain = None
+    for x, v, w in zip(xs, values, weights):
+        load = x * w if load is None else load + x * w
+        gain = x * v if gain is None else gain + x * v
+    m.add(load <= capacity)
+    m.maximize(gain)
+    return m, xs
+
+
+class TestScipyBackend:
+    def test_simple_lp(self):
+        m = Model()
+        x = m.add_var("x", ub=4.0)
+        y = m.add_var("y", ub=4.0)
+        m.add(x + y <= 5.0)
+        m.maximize(x + 2.0 * y)
+        sol = solve_with_scipy(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(9.0)  # y=4, x=1
+
+    def test_integrality_enforced(self):
+        m = Model()
+        x = m.add_var("x", ub=10.0, integer=True)
+        m.add(2.0 * x <= 7.0)
+        m.maximize(x + 0.0)
+        sol = solve_with_scipy(m)
+        assert sol.value(x) == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var("x", lb=0.0, ub=1.0)
+        m.add(x + 0.0 >= 2.0)
+        sol = solve_with_scipy(m)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var("x")  # ub = +inf
+        m.maximize(x + 0.0)
+        sol = solve_with_scipy(m)
+        assert sol.status is SolveStatus.UNBOUNDED
+
+    def test_knapsack(self):
+        m, xs = knapsack_model([10, 13, 7], [5, 6, 4], 10)
+        sol = solve_with_scipy(m)
+        # best: items 1+2 (weight 10, value 20)
+        assert sol.objective == pytest.approx(20.0)
+        assert sol.binary(xs[1]) and sol.binary(xs[2])
+
+    def test_no_constraints(self):
+        m = Model()
+        x = m.add_var("x", lb=1.0, ub=3.0)
+        m.minimize(x + 0.0)
+        sol = solve_with_scipy(m)
+        assert sol.objective == pytest.approx(1.0)
+
+
+class TestBnbBackend:
+    def test_knapsack(self):
+        m, _ = knapsack_model([10, 13, 7], [5, 6, 4], 10)
+        sol = solve_with_bnb(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(20.0)
+
+    def test_integrality(self):
+        m = Model()
+        x = m.add_var("x", ub=10.0, integer=True)
+        m.add(2.0 * x <= 7.0)
+        m.maximize(x + 0.0)
+        sol = solve_with_bnb(m)
+        assert sol.value(x) == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        m = Model()
+        b = m.add_binary("b")
+        m.add(b + 0.0 >= 0.5)
+        m.add(b + 0.0 <= 0.4)
+        sol = solve_with_bnb(m)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_equality_constraints(self):
+        m = Model()
+        x = m.add_var("x", ub=10.0)
+        y = m.add_var("y", ub=10.0, integer=True)
+        m.add(x + y == 7.5)
+        m.minimize(x + 0.0)
+        sol = solve_with_bnb(m)
+        # y integer, maximal y = 7 -> x = 0.5
+        assert sol.value(y) == pytest.approx(7.0)
+        assert sol.value(x) == pytest.approx(0.5)
+
+    def test_node_cap_reports_error(self):
+        m, _ = knapsack_model(
+            list(range(1, 13)), list(range(1, 13)), 30
+        )
+        sol = solve_with_bnb(m, max_nodes=2)
+        assert sol.status is SolveStatus.ERROR
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        x = m.add_var("x", ub=5.0)
+        b = m.add_binary("b")
+        m.add(x - 4.0 * b <= 0.0)
+        m.maximize(x - 0.5 * b)
+        sol = solve_with_bnb(m)
+        assert sol.objective == pytest.approx(3.5)  # b=1, x=4
+
+
+@st.composite
+def random_knapsack(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    values = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=30), min_size=n, max_size=n
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=15), min_size=n, max_size=n
+        )
+    )
+    capacity = draw(st.integers(min_value=0, max_value=40))
+    return values, weights, capacity
+
+
+class TestBackendAgreement:
+    @given(random_knapsack())
+    @settings(max_examples=60, deadline=None)
+    def test_same_optimum_on_random_knapsacks(self, problem):
+        values, weights, capacity = problem
+        m1, _ = knapsack_model(values, weights, capacity)
+        m2, _ = knapsack_model(values, weights, capacity)
+        scipy_sol = solve_with_scipy(m1)
+        bnb_sol = solve_with_bnb(m2)
+        assert scipy_sol.status is SolveStatus.OPTIMAL
+        assert bnb_sol.status is SolveStatus.OPTIMAL
+        assert scipy_sol.objective == pytest.approx(
+            bnb_sol.objective, abs=1e-6
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=9),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_problems_agree(self, rows, cap):
+        """Small set-partition-like models: both backends agree."""
+        m1 = Model()
+        m2 = Model()
+        for m in (m1, m2):
+            xs = [m.add_binary(f"x{i}") for i in range(len(rows))]
+            total = None
+            cost = None
+            for x, (w, c) in zip(xs, rows):
+                total = x * w if total is None else total + x * w
+                cost = x * c if cost is None else cost + x * c
+            m.add(total <= cap)
+            m.add(total >= min(cap, min(w for w, _ in rows)))
+            m.minimize(cost)
+        s1 = solve_with_scipy(m1)
+        s2 = solve_with_bnb(m2)
+        assert s1.status == s2.status
+        if s1.status is SolveStatus.OPTIMAL:
+            assert s1.objective == pytest.approx(s2.objective, abs=1e-6)

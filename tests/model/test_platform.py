@@ -1,0 +1,73 @@
+"""Tests for the platform model."""
+
+import pytest
+
+from repro.model.platform import Platform, Resource
+
+
+class TestResource:
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(index=-1, name="cpu0")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(index=0, name="")
+
+    def test_defaults(self):
+        r = Resource(index=0, name="cpu0")
+        assert r.preemptable and r.kind == "cpu"
+
+
+class TestPlatform:
+    def test_cpu_gpu_layout(self):
+        p = Platform.cpu_gpu(n_cpus=2, n_gpus=1)
+        assert p.size == 3
+        assert [r.name for r in p] == ["cpu0", "cpu1", "gpu0"]
+        assert p.preemptable_indices == (0, 1)
+        assert p.non_preemptable_indices == (2,)
+
+    def test_paper_platform(self):
+        p = Platform.cpu_gpu(5, 1)
+        assert p.size == 6
+        assert p.is_preemptable(0) and not p.is_preemptable(5)
+
+    def test_no_gpus(self):
+        p = Platform.cpu_gpu(2, 0)
+        assert p.non_preemptable_indices == ()
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError):
+            Platform.cpu_gpu(0, 0)
+        with pytest.raises(ValueError):
+            Platform([])
+
+    def test_index_position_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="position"):
+            Platform([Resource(index=1, name="cpu0")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Platform(
+                [Resource(index=0, name="x"), Resource(index=1, name="x")]
+            )
+
+    def test_by_name(self):
+        p = Platform.cpu_gpu(1, 1)
+        assert p.by_name("gpu0").index == 1
+        with pytest.raises(KeyError):
+            p.by_name("tpu0")
+
+    def test_getitem_and_len(self):
+        p = Platform.cpu_gpu(3, 0)
+        assert len(p) == 3
+        assert p[1].name == "cpu1"
+
+    def test_equality_and_hash(self):
+        assert Platform.cpu_gpu(2, 1) == Platform.cpu_gpu(2, 1)
+        assert Platform.cpu_gpu(2, 1) != Platform.cpu_gpu(1, 2)
+        assert hash(Platform.cpu_gpu(2, 1)) == hash(Platform.cpu_gpu(2, 1))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Platform.cpu_gpu(-1, 1)

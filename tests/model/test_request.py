@@ -1,0 +1,46 @@
+"""Tests for requests and predicted requests."""
+
+import pytest
+
+from repro.model.request import PredictedRequest, Request
+
+
+class TestRequest:
+    def test_absolute_deadline(self):
+        r = Request(index=0, arrival=3.0, type_id=1, deadline=5.0)
+        assert r.absolute_deadline == 8.0
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Request(index=0, arrival=-1.0, type_id=0, deadline=1.0)
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Request(index=0, arrival=0.0, type_id=0, deadline=0.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Request(index=-1, arrival=0.0, type_id=0, deadline=1.0)
+
+    def test_negative_type_rejected(self):
+        with pytest.raises(ValueError):
+            Request(index=0, arrival=0.0, type_id=-1, deadline=1.0)
+
+    def test_frozen(self):
+        r = Request(index=0, arrival=0.0, type_id=0, deadline=1.0)
+        with pytest.raises(AttributeError):
+            r.arrival = 5.0
+
+
+class TestPredictedRequest:
+    def test_absolute_deadline(self):
+        p = PredictedRequest(arrival=2.0, type_id=0, deadline=3.0)
+        assert p.absolute_deadline == 5.0
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            PredictedRequest(arrival=0.0, type_id=0, deadline=-1.0)
+
+    def test_negative_type_rejected(self):
+        with pytest.raises(ValueError):
+            PredictedRequest(arrival=0.0, type_id=-2, deadline=1.0)

@@ -1,0 +1,130 @@
+"""Tests for the task-type model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.task import NOT_EXECUTABLE, TaskType
+
+
+def task(**kwargs):
+    defaults = dict(type_id=0, wcet=(10.0, 4.0), energy=(5.0, 1.0))
+    defaults.update(kwargs)
+    return TaskType(**defaults)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = task()
+        assert t.n_resources == 2
+        assert t.wcet == (10.0, 4.0)
+
+    def test_empty_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            TaskType(type_id=0, wcet=(), energy=())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            TaskType(type_id=0, wcet=(1.0, 2.0), energy=(1.0,))
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            task(wcet=(0.0, 4.0))
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            task(energy=(-1.0, 1.0))
+
+    def test_partial_not_executable_pair_rejected(self):
+        # wcet finite but energy infinite (or vice versa) is inconsistent
+        with pytest.raises(ValueError, match="both"):
+            task(wcet=(10.0, NOT_EXECUTABLE), energy=(5.0, 1.0))
+
+    def test_nowhere_executable_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            task(
+                wcet=(NOT_EXECUTABLE, NOT_EXECUTABLE),
+                energy=(NOT_EXECUTABLE, NOT_EXECUTABLE),
+            )
+
+
+class TestExecutability:
+    def test_executable_on(self):
+        t = task(
+            wcet=(10.0, NOT_EXECUTABLE), energy=(5.0, NOT_EXECUTABLE)
+        )
+        assert t.executable_on(0)
+        assert not t.executable_on(1)
+        assert t.executable_resources == (0,)
+
+    def test_means_skip_not_executable(self):
+        t = task(
+            wcet=(10.0, NOT_EXECUTABLE), energy=(5.0, NOT_EXECUTABLE)
+        )
+        assert t.mean_wcet() == 10.0
+        assert t.mean_energy() == 5.0
+
+    def test_min_values(self):
+        t = task()
+        assert t.min_wcet() == 4.0
+        assert t.min_energy() == 1.0
+
+
+class TestMigrationMatrices:
+    def test_scalar_broadcast(self):
+        t = task(migration_time=2.0, migration_energy=0.5)
+        assert t.cm(0, 1) == 2.0
+        assert t.cm(1, 0) == 2.0
+        assert t.em(0, 1) == 0.5
+
+    def test_diagonal_zero(self):
+        t = task(migration_time=2.0)
+        assert t.cm(0, 0) == 0.0
+        assert t.cm(1, 1) == 0.0
+
+    def test_default_zero(self):
+        t = task()
+        assert t.cm(0, 1) == 0.0
+        assert t.em(0, 1) == 0.0
+
+    def test_full_matrix(self):
+        t = task(migration_time=((0.0, 3.0), (4.0, 0.0)))
+        assert t.cm(0, 1) == 3.0
+        assert t.cm(1, 0) == 4.0
+
+    def test_matrix_diagonal_forced_zero(self):
+        t = task(migration_time=((9.0, 3.0), (4.0, 9.0)))
+        assert t.cm(0, 0) == 0.0
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="matrix"):
+            task(migration_time=((0.0, 1.0),))
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ValueError):
+            task(migration_time=((0.0, -1.0), (1.0, 0.0)))
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=100.0), min_size=1, max_size=6
+        )
+    )
+    def test_mean_between_min_and_max(self, wcets):
+        t = TaskType(
+            type_id=0,
+            wcet=tuple(wcets),
+            energy=tuple(1.0 for _ in wcets),
+        )
+        assert min(wcets) - 1e-9 <= t.mean_wcet() <= max(wcets) + 1e-9
+
+    def test_frozen(self):
+        t = task()
+        with pytest.raises(AttributeError):
+            t.type_id = 5
+
+    def test_repr_uses_name(self):
+        assert "myname" in repr(task(name="myname"))

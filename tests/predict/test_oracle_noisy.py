@@ -1,0 +1,167 @@
+"""Tests for the oracle, the null predictor, the scripted predictor and
+the noise-degraded wrappers (the Fig. 4 methodology)."""
+
+import math
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.model.request import PredictedRequest
+from repro.predict.base import NullPredictor
+from repro.predict.metrics import evaluate_predictor
+from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
+from repro.predict.oracle import OraclePredictor
+from repro.predict.scripted import ScriptedPredictor
+
+
+class TestOracle:
+    def test_predicts_exact_next_request(self, tiny_trace):
+        oracle = OraclePredictor()
+        for index in range(len(tiny_trace) - 1):
+            prediction = oracle.predict(tiny_trace, index)
+            nxt = tiny_trace[index + 1]
+            assert prediction.arrival == nxt.arrival
+            assert prediction.type_id == nxt.type_id
+            assert prediction.deadline == nxt.deadline
+
+    def test_no_prediction_at_end(self, tiny_trace):
+        assert OraclePredictor().predict(tiny_trace, len(tiny_trace) - 1) is None
+
+    def test_out_of_range_rejected(self, tiny_trace):
+        with pytest.raises(IndexError):
+            OraclePredictor().predict(tiny_trace, len(tiny_trace))
+
+    def test_perfect_scores(self, tiny_trace):
+        report = evaluate_predictor(OraclePredictor(), tiny_trace)
+        assert report.type_accuracy == 1.0
+        assert report.arrival_nrmse == pytest.approx(0.0, abs=1e-12)
+        assert report.coverage == 1.0
+
+
+class TestNullPredictor:
+    def test_always_none(self, tiny_trace):
+        null = NullPredictor()
+        assert all(
+            null.predict(tiny_trace, i) is None for i in range(len(tiny_trace))
+        )
+
+    def test_metrics_report_abstention(self, tiny_trace):
+        report = evaluate_predictor(NullPredictor(), tiny_trace)
+        assert report.n_predictions == 0
+        assert report.coverage == 0.0
+        assert math.isinf(report.arrival_nrmse)
+
+
+class TestScriptedPredictor:
+    def test_returns_script_entries(self, tiny_trace):
+        p = PredictedRequest(arrival=5.0, type_id=1, deadline=3.0)
+        scripted = ScriptedPredictor({0: p})
+        assert scripted.predict(tiny_trace, 0) is p
+        assert scripted.predict(tiny_trace, 1) is None
+
+
+class TestTypeNoise:
+    def test_accuracy_one_is_oracle(self, tiny_trace):
+        report = evaluate_predictor(TypeNoisePredictor(1.0), tiny_trace)
+        assert report.type_accuracy == 1.0
+
+    def test_accuracy_zero_never_correct(self, tiny_trace):
+        report = evaluate_predictor(TypeNoisePredictor(0.0, seed=1), tiny_trace)
+        assert report.type_accuracy == 0.0
+
+    def test_intermediate_accuracy_statistics(self, platform):
+        import numpy as np
+
+        from repro.workload.taskgen import TaskSetConfig, generate_task_set
+        from repro.workload.tracegen import TraceConfig, generate_trace
+
+        tasks = generate_task_set(
+            platform, TaskSetConfig(n_tasks=50), rng=np.random.default_rng(0)
+        )
+        trace = generate_trace(
+            tasks, TraceConfig(n_requests=600), rng=np.random.default_rng(1)
+        )
+        report = evaluate_predictor(
+            TypeNoisePredictor(0.75, seed=2), trace
+        )
+        assert report.type_accuracy == pytest.approx(0.75, abs=0.06)
+
+    def test_arrival_untouched(self, tiny_trace):
+        noisy = TypeNoisePredictor(0.0, seed=3)
+        for index in range(len(tiny_trace) - 1):
+            prediction = noisy.predict(tiny_trace, index)
+            assert prediction.arrival == tiny_trace[index + 1].arrival
+
+    def test_wrong_type_is_different(self, tiny_trace):
+        noisy = TypeNoisePredictor(0.0, seed=4)
+        for index in range(len(tiny_trace) - 1):
+            prediction = noisy.predict(tiny_trace, index)
+            assert prediction.type_id != tiny_trace[index + 1].type_id
+            assert 0 <= prediction.type_id < len(tiny_trace.tasks)
+
+    def test_reset_reproducible(self, tiny_trace):
+        noisy = TypeNoisePredictor(0.5, seed=5)
+        first = [
+            noisy.predict(tiny_trace, i).type_id
+            for i in range(len(tiny_trace) - 1)
+        ]
+        noisy.reset()
+        second = [
+            noisy.predict(tiny_trace, i).type_id
+            for i in range(len(tiny_trace) - 1)
+        ]
+        assert first == second
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            TypeNoisePredictor(1.5)
+
+
+class TestArrivalNoise:
+    def test_accuracy_one_is_exact(self, tiny_trace):
+        report = evaluate_predictor(ArrivalNoisePredictor(1.0), tiny_trace)
+        assert report.arrival_nrmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_nrmse_matches_target(self, platform):
+        from repro.workload.taskgen import TaskSetConfig, generate_task_set
+        from repro.workload.tracegen import TraceConfig, generate_trace
+
+        tasks = generate_task_set(
+            platform, TaskSetConfig(n_tasks=50), rng=np.random.default_rng(0)
+        )
+        trace = generate_trace(
+            tasks, TraceConfig(n_requests=800), rng=np.random.default_rng(1)
+        )
+        for accuracy in (0.75, 0.5):
+            report = evaluate_predictor(
+                ArrivalNoisePredictor(accuracy, seed=6), trace
+            )
+            assert report.arrival_nrmse == pytest.approx(
+                1.0 - accuracy, abs=0.08
+            )
+
+    def test_type_untouched(self, tiny_trace):
+        noisy = ArrivalNoisePredictor(0.25, seed=7)
+        for index in range(len(tiny_trace) - 1):
+            prediction = noisy.predict(tiny_trace, index)
+            assert prediction.type_id == tiny_trace[index + 1].type_id
+
+    def test_never_predicts_the_past(self, tiny_trace):
+        noisy = ArrivalNoisePredictor(0.0, seed=8)  # huge noise
+        for index in range(len(tiny_trace) - 1):
+            prediction = noisy.predict(tiny_trace, index)
+            assert prediction.arrival >= tiny_trace[index].arrival
+
+    def test_reset_reproducible(self, tiny_trace):
+        noisy = ArrivalNoisePredictor(0.5, seed=9)
+        first = [
+            noisy.predict(tiny_trace, i).arrival
+            for i in range(len(tiny_trace) - 1)
+        ]
+        noisy.reset()
+        second = [
+            noisy.predict(tiny_trace, i).arrival
+            for i in range(len(tiny_trace) - 1)
+        ]
+        assert first == second

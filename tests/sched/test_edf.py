@@ -1,0 +1,37 @@
+"""Tests for EDF ordering helpers."""
+
+from repro.sched.edf import edf_order, edf_position
+
+
+class TestEdfOrder:
+    def test_sorts_by_deadline(self):
+        items = [(3, "c"), (1, "a"), (2, "b")]
+        ordered = edf_order(items, deadline=lambda it: it[0])
+        assert [it[1] for it in ordered] == ["a", "b", "c"]
+
+    def test_stable_on_ties(self):
+        items = [(1, "first"), (1, "second")]
+        ordered = edf_order(items, deadline=lambda it: it[0])
+        assert [it[1] for it in ordered] == ["first", "second"]
+
+    def test_custom_tiebreak(self):
+        items = [(1, 9), (1, 2)]
+        ordered = edf_order(
+            items, deadline=lambda it: it[0], tiebreak=lambda it: it[1]
+        )
+        assert [it[1] for it in ordered] == [2, 9]
+
+    def test_empty(self):
+        assert edf_order([], deadline=lambda it: it) == []
+
+
+class TestEdfPosition:
+    def test_position_in_sorted_list(self):
+        deadlines = [2.0, 5.0, 9.0]
+        assert edf_position(deadlines, 1.0, deadline=lambda d: d) == 0
+        assert edf_position(deadlines, 6.0, deadline=lambda d: d) == 2
+        assert edf_position(deadlines, 99.0, deadline=lambda d: d) == 3
+
+    def test_equal_deadline_goes_after(self):
+        deadlines = [5.0]
+        assert edf_position(deadlines, 5.0, deadline=lambda d: d) == 1

@@ -1,0 +1,45 @@
+"""Tests for the feasibility wrappers."""
+
+from repro.sched.feasibility import check_resource_feasible, latest_finish
+from repro.sched.timeline import FutureJob, ReadyJob
+
+
+class TestCheckResourceFeasible:
+    def test_feasible(self):
+        assert check_resource_feasible(
+            [ReadyJob(0, 2.0, 5.0)], start_time=0.0, preemptable=True
+        )
+
+    def test_infeasible(self):
+        assert not check_resource_feasible(
+            [ReadyJob(0, 6.0, 5.0)], start_time=0.0, preemptable=True
+        )
+
+    def test_start_time_shifts_window(self):
+        # 2 units of work, absolute deadline 5, starting at 4: misses
+        assert not check_resource_feasible(
+            [ReadyJob(0, 2.0, 5.0)], start_time=4.0, preemptable=True
+        )
+
+    def test_future_preemption_feasibility_differs_by_resource_kind(self):
+        ready = [ReadyJob(0, 10.0, 30.0)]
+        fut = [FutureJob(1, 4.0, 2.0, 8.0)]
+        # preemptable: p preempts at 4, finishes 6 <= 8
+        assert check_resource_feasible(
+            ready, fut, start_time=0.0, preemptable=True
+        )
+        # non-preemptable: p waits until 10, misses 8
+        assert not check_resource_feasible(
+            ready, fut, start_time=0.0, preemptable=False
+        )
+
+
+class TestLatestFinish:
+    def test_returns_full_timeline(self):
+        tl = latest_finish(
+            [ReadyJob(0, 2.0, 5.0), ReadyJob(1, 3.0, 9.0)],
+            start_time=1.0,
+            preemptable=True,
+        )
+        assert tl.makespan == 6.0
+        assert tl.finish_times == {0: 3.0, 1: 6.0}

@@ -1,0 +1,353 @@
+"""Tests for the single-resource EDF timeline — the semantic core.
+
+The paper's constraints (3)-(14) are all expressed through this
+simulation, so it gets the heaviest property testing in the suite.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.timeline import (
+    EPS,
+    Chunk,
+    FutureJob,
+    ReadyJob,
+    build_timeline,
+)
+
+
+def ready(job_id, exec_time, deadline, first=False):
+    return ReadyJob(job_id, exec_time, deadline, must_run_first=first)
+
+
+def future(job_id, arrival, exec_time, deadline):
+    return FutureJob(job_id, arrival, exec_time, deadline)
+
+
+class TestBasicSequencing:
+    def test_single_job(self):
+        tl = build_timeline([ready(0, 5.0, 10.0)], start_time=2.0)
+        assert tl.finish_times[0] == 7.0
+        assert tl.feasible
+        assert tl.makespan == 7.0
+
+    def test_edf_order(self):
+        tl = build_timeline(
+            [ready(0, 3.0, 20.0), ready(1, 2.0, 5.0)], start_time=0.0
+        )
+        # job 1 has the earlier deadline and runs first
+        assert tl.start_time(1) == 0.0
+        assert tl.finish_times[1] == 2.0
+        assert tl.finish_times[0] == 5.0
+
+    def test_deadline_tie_broken_by_job_id(self):
+        tl = build_timeline(
+            [ready(5, 2.0, 10.0), ready(3, 2.0, 10.0)], start_time=0.0
+        )
+        assert tl.start_time(3) == 0.0
+        assert tl.start_time(5) == 2.0
+
+    def test_empty(self):
+        tl = build_timeline([], start_time=4.0)
+        assert tl.feasible
+        assert tl.makespan == 4.0
+        assert tl.chunks == ()
+
+    def test_miss_detected(self):
+        tl = build_timeline([ready(0, 5.0, 3.0)], start_time=0.0)
+        assert not tl.feasible
+        assert tl.misses == (0,)
+
+    def test_miss_ordering_by_completion(self):
+        tl = build_timeline(
+            [ready(0, 5.0, 1.0), ready(1, 5.0, 0.5)], start_time=0.0
+        )
+        assert tl.misses == (1, 0)
+
+    def test_zero_exec_time_rejected(self):
+        with pytest.raises(ValueError):
+            ready(0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            future(0, 0.0, 0.0, 1.0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            build_timeline([ready(0, 1.0, 2.0), ready(0, 1.0, 3.0)])
+        with pytest.raises(ValueError, match="duplicate"):
+            build_timeline([ready(0, 1.0, 2.0)], [future(0, 1.0, 1.0, 9.0)])
+
+
+class TestFutureOnPreemptable:
+    def test_future_preempts_later_deadline_job(self):
+        tl = build_timeline(
+            [ready(0, 10.0, 30.0)],
+            [future(1, 4.0, 2.0, 8.0)],
+            start_time=0.0,
+            preemptable=True,
+        )
+        # job 0 runs [0,4], preempted; job 1 runs [4,6]; job 0 resumes [6,12]
+        assert tl.chunks_of(0) == (Chunk(0, 0.0, 4.0), Chunk(0, 6.0, 12.0))
+        assert tl.chunks_of(1) == (Chunk(1, 4.0, 6.0),)
+        assert tl.feasible
+
+    def test_future_with_later_deadline_waits(self):
+        tl = build_timeline(
+            [ready(0, 10.0, 12.0)],
+            [future(1, 4.0, 2.0, 30.0)],
+            start_time=0.0,
+            preemptable=True,
+        )
+        # eqs (4)/(5): starts at max(s_p, q_i) = 10
+        assert tl.start_time(1) == 10.0
+        assert tl.chunks_of(0) == (Chunk(0, 0.0, 10.0),)
+
+    def test_future_starts_at_arrival_when_idle(self):
+        tl = build_timeline(
+            [ready(0, 2.0, 5.0)],
+            [future(1, 6.0, 1.0, 9.0)],
+            start_time=0.0,
+            preemptable=True,
+        )
+        assert tl.start_time(1) == 6.0
+
+    def test_future_arriving_before_start_treated_ready(self):
+        tl = build_timeline(
+            [ready(0, 5.0, 20.0)],
+            [future(1, 1.0, 2.0, 6.0)],
+            start_time=3.0,
+            preemptable=True,
+        )
+        # already arrived at t=3; earliest deadline -> runs first
+        assert tl.start_time(1) == 3.0
+
+    def test_sl1_runs_before_future_then_sl2_absorbs(self):
+        # SL1 (earlier deadline), SL2 (later), future in between (eq. (7))
+        tl = build_timeline(
+            [ready(0, 4.0, 5.0), ready(1, 4.0, 50.0)],
+            [future(2, 2.0, 3.0, 10.0)],
+            start_time=0.0,
+            preemptable=True,
+        )
+        assert tl.finish_times[0] == 4.0  # SL1 first
+        assert tl.finish_times[2] == 7.0  # p right after SL1 (arrived at 2)
+        assert tl.finish_times[1] == 11.0  # SL2 absorbs p's 3 units
+
+    def test_two_futures_edf_among_them(self):
+        tl = build_timeline(
+            [],
+            [future(0, 1.0, 2.0, 20.0), future(1, 1.5, 2.0, 5.0)],
+            start_time=0.0,
+            preemptable=True,
+        )
+        # job 0 runs [1, 1.5]; job 1 (earlier deadline) preempts at 1.5,
+        # runs [1.5, 3.5]; job 0 resumes [3.5, 5.0]
+        assert tl.finish_times[1] == 3.5
+        assert tl.finish_times[0] == 5.0
+        assert tl.chunks_of(0) == (Chunk(0, 1.0, 1.5), Chunk(0, 3.5, 5.0))
+
+
+class TestNonPreemptable:
+    def test_running_job_not_preempted(self):
+        tl = build_timeline(
+            [ready(0, 10.0, 30.0)],
+            [future(1, 4.0, 2.0, 8.0)],
+            start_time=0.0,
+            preemptable=False,
+        )
+        # job 0 runs to completion despite job 1's earlier deadline
+        assert tl.chunks_of(0) == (Chunk(0, 0.0, 10.0),)
+        assert tl.start_time(1) == 10.0
+        assert not tl.feasible  # job 1 misses its deadline 8
+
+    def test_future_jumps_queued_jobs_at_boundary(self):
+        # Non-preemptive EDF: at the completion boundary, the arrived
+        # future job outranks a queued later-deadline job.
+        tl = build_timeline(
+            [ready(0, 5.0, 100.0), ready(1, 5.0, 90.0)],
+            [future(2, 3.0, 2.0, 9.0)],
+            start_time=0.0,
+            preemptable=False,
+        )
+        # job 1 (deadline 90) runs first among ready; at t=5 the future
+        # job (deadline 9) beats job 0 (deadline 100)
+        assert tl.start_time(2) == 5.0
+        assert tl.finish_times[2] == 7.0
+        assert tl.finish_times[0] == 12.0
+
+    def test_forced_first_overrides_edf(self):
+        tl = build_timeline(
+            [ready(0, 4.0, 100.0, first=True), ready(1, 2.0, 3.0)],
+            start_time=0.0,
+            preemptable=False,
+        )
+        assert tl.start_time(0) == 0.0
+        assert tl.finish_times[1] == 6.0
+        assert not tl.feasible  # job 1 misses deadline 3
+
+    def test_two_forced_rejected(self):
+        with pytest.raises(ValueError, match="must_run_first"):
+            build_timeline(
+                [ready(0, 1.0, 9.0, first=True), ready(1, 1.0, 9.0, first=True)],
+                preemptable=False,
+            )
+
+    def test_forced_ignored_on_preemptable(self):
+        tl = build_timeline(
+            [ready(0, 4.0, 100.0, first=True), ready(1, 2.0, 3.0)],
+            start_time=0.0,
+            preemptable=True,
+        )
+        # preemptable: plain EDF, job 1 first
+        assert tl.start_time(1) == 0.0
+        assert tl.feasible
+
+
+class TestChunks:
+    def test_chunks_merge_when_no_preemption_happens(self):
+        # future arrives mid-run but has later deadline: current job's
+        # chunks must merge into one
+        tl = build_timeline(
+            [ready(0, 10.0, 15.0)],
+            [future(1, 4.0, 1.0, 30.0)],
+            start_time=0.0,
+            preemptable=True,
+        )
+        assert tl.chunks_of(0) == (Chunk(0, 0.0, 10.0),)
+
+    def test_chunk_length(self):
+        assert Chunk(0, 2.0, 5.0).length == 3.0
+
+    def test_start_time_unknown_job(self):
+        tl = build_timeline([ready(0, 1.0, 5.0)])
+        with pytest.raises(KeyError):
+            tl.start_time(99)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+ready_jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=20.0),  # exec
+        st.floats(min_value=0.1, max_value=100.0),  # deadline
+    ),
+    min_size=0,
+    max_size=6,
+)
+future_jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0),  # arrival
+        st.floats(min_value=0.1, max_value=20.0),  # exec
+        st.floats(min_value=0.1, max_value=150.0),  # deadline
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+@given(ready_jobs_strategy, future_jobs_strategy, st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_timeline_invariants(ready_spec, future_spec, preemptable):
+    ready_jobs = [
+        ReadyJob(i, exec_time, deadline)
+        for i, (exec_time, deadline) in enumerate(ready_spec)
+    ]
+    future_jobs = [
+        FutureJob(100 + i, arrival, exec_time, arrival + deadline)
+        for i, (arrival, exec_time, deadline) in enumerate(future_spec)
+    ]
+    tl = build_timeline(
+        ready_jobs, future_jobs, start_time=0.0, preemptable=preemptable
+    )
+    all_jobs = {j.job_id: j.exec_time for j in ready_jobs}
+    all_jobs.update({j.job_id: j.exec_time for j in future_jobs})
+
+    # 1. every job completes and executes exactly its exec_time
+    assert set(tl.finish_times) == set(all_jobs)
+    for job_id, exec_time in all_jobs.items():
+        total = sum(c.length for c in tl.chunks_of(job_id))
+        assert total == pytest.approx(exec_time, abs=1e-6)
+
+    # 2. chunks are ordered and non-overlapping
+    for a, b in zip(tl.chunks, tl.chunks[1:]):
+        assert a.end <= b.start + EPS
+
+    # 3. no job executes before its arrival / the start time
+    arrivals = {j.job_id: j.arrival for j in future_jobs}
+    for chunk in tl.chunks:
+        assert chunk.start >= arrivals.get(chunk.job_id, 0.0) - EPS
+
+    # 4. finish time = end of the job's last chunk
+    for job_id, finish in tl.finish_times.items():
+        assert finish == pytest.approx(tl.chunks_of(job_id)[-1].end)
+
+    # 5. feasibility flag consistent with misses
+    assert tl.feasible == (len(tl.misses) == 0)
+
+    # 6. makespan is the max finish time
+    if all_jobs:
+        assert tl.makespan == pytest.approx(max(tl.finish_times.values()))
+
+    # 7. work conservation: the machine never idles while ready work
+    #    exists.  Gaps may only appear when all remaining jobs are
+    #    future jobs that have not arrived yet.
+    previous_end = 0.0
+    for chunk in tl.chunks:
+        if chunk.start > previous_end + EPS:
+            # every job unfinished at previous_end must be a future job
+            # arriving exactly at the gap's end
+            assert chunk.start == pytest.approx(
+                min(
+                    a
+                    for j, a in arrivals.items()
+                    if tl.finish_times[j] > previous_end + EPS
+                ),
+                abs=1e-6,
+            )
+        previous_end = max(previous_end, chunk.end)
+
+
+@given(ready_jobs_strategy)
+@settings(max_examples=100, deadline=None)
+def test_edf_feasibility_matches_cumulative_check(ready_spec):
+    """Without future jobs, timeline feasibility on any resource equals
+    the classic EDF cumulative-work check (constraint (3) of the paper)."""
+    jobs = [
+        ReadyJob(i, exec_time, deadline)
+        for i, (exec_time, deadline) in enumerate(ready_spec)
+    ]
+    tl = build_timeline(jobs, start_time=0.0, preemptable=True)
+    ordered = sorted(jobs, key=lambda j: (j.deadline, j.job_id))
+    cumulative = 0.0
+    expected_feasible = True
+    for job in ordered:
+        cumulative += job.exec_time
+        if cumulative > job.deadline + EPS:
+            expected_feasible = False
+            break
+    assert tl.feasible == expected_feasible
+
+
+@given(ready_jobs_strategy, st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_adding_work_never_helps(ready_spec, preemptable):
+    """Monotonicity used by the exact search: adding a job never improves
+    any existing job's finish time."""
+    jobs = [
+        ReadyJob(i, exec_time, deadline)
+        for i, (exec_time, deadline) in enumerate(ready_spec)
+    ]
+    extra = ReadyJob(999, 1.0, 50.0)
+    before = build_timeline(jobs, start_time=0.0, preemptable=preemptable)
+    after = build_timeline(
+        jobs + [extra], start_time=0.0, preemptable=preemptable
+    )
+    for job in jobs:
+        assert (
+            after.finish_times[job.job_id]
+            >= before.finish_times[job.job_id] - EPS
+        )

@@ -1,0 +1,113 @@
+"""Tests for the execution log and Gantt rendering."""
+
+import pytest
+
+from repro.core.heuristic import HeuristicResourceManager
+from repro.model.platform import Platform
+from repro.sim.gantt import merge_spans, render_gantt
+from repro.sim.simulator import SimulationConfig, simulate
+from repro.sim.state import ExecutionSpan
+from tests.conftest import make_task, make_trace
+
+
+@pytest.fixture
+def platform3():
+    return Platform.cpu_gpu(2, 1)
+
+
+def run_logged(trace, platform, **config_kwargs):
+    return simulate(
+        trace,
+        platform,
+        HeuristicResourceManager(),
+        None,
+        SimulationConfig(collect_execution_log=True, **config_kwargs),
+    )
+
+
+class TestExecutionLog:
+    def test_log_covers_all_work(self, platform3):
+        trace = make_trace(
+            [make_task()], [(0.0, 0, 40.0), (1.0, 0, 40.0)]
+        )
+        result = run_logged(trace, platform3)
+        work = [s for s in result.execution_log if s.kind == "work"]
+        # each accepted job's logged work equals its WCET on its resource
+        for job_id in result.accepted:
+            spans = [s for s in work if s.job_id == job_id]
+            total = sum(s.length for s in spans)
+            resource = spans[0].resource
+            assert total == pytest.approx(
+                trace.task_of(trace[job_id]).wcet[resource]
+            )
+
+    def test_migration_spans_logged(self, platform3):
+        # Force a migration: two jobs pile on the GPU, the heuristic
+        # later rebalances a started one... simpler: craft via state API.
+        from repro.model.request import Request
+        from repro.sim.state import PlatformState
+
+        state = PlatformState(platform3, log_execution=True)
+        job = state.admit(
+            Request(index=0, arrival=0.0, type_id=0, deadline=100.0),
+            make_task(),
+        )
+        state.apply_mapping({0: 0})
+        state.advance(5.0)
+        state.apply_mapping({0: 1})  # migration: cm = 1.0
+        state.advance(20.0)
+        kinds = {s.kind for s in state.execution_log}
+        assert "migration" in kinds
+        migration = [s for s in state.execution_log if s.kind == "migration"]
+        assert sum(s.length for s in migration) == pytest.approx(1.0)
+
+    def test_log_off_by_default(self, platform3):
+        trace = make_trace([make_task()], [(0.0, 0, 40.0)])
+        result = simulate(trace, platform3, HeuristicResourceManager())
+        assert result.execution_log == []
+
+    def test_contiguous_spans_merge(self, platform3):
+        trace = make_trace([make_task()], [(0.0, 0, 40.0)])
+        result = run_logged(trace, platform3)
+        merged = merge_spans(result.execution_log)
+        # single job on one resource: exactly one work span
+        assert len([s for s in merged if s.kind == "work"]) == 1
+
+
+class TestRenderGantt:
+    def test_empty(self, platform3):
+        assert "no execution" in render_gantt([], platform3)
+
+    def test_rows_per_resource(self, platform3):
+        spans = [ExecutionSpan(0, 0, 0.0, 5.0), ExecutionSpan(1, 2, 1.0, 3.0)]
+        out = render_gantt(spans, platform3, width=20)
+        assert "cpu0" in out and "cpu1" in out and "gpu0" in out
+        lines = out.splitlines()
+        assert any("0" in l for l in lines if l.strip().startswith("cpu0"))
+
+    def test_migration_marker(self, platform3):
+        spans = [ExecutionSpan(0, 0, 0.0, 5.0, kind="migration")]
+        out = render_gantt(spans, platform3, width=10)
+        assert "~" in out
+
+    def test_legend(self, platform3):
+        spans = [ExecutionSpan(7, 0, 0.0, 2.0)]
+        out = render_gantt(spans, platform3, width=10)
+        assert "7=job7" in out
+
+    def test_invalid_range(self, platform3):
+        spans = [ExecutionSpan(0, 0, 0.0, 5.0)]
+        with pytest.raises(ValueError):
+            render_gantt(spans, platform3, start=5.0, end=5.0)
+
+    def test_end_to_end(self, platform3):
+        trace = make_trace(
+            [make_task()], [(0.0, 0, 40.0), (2.0, 0, 40.0), (4.0, 0, 50.0)]
+        )
+        result = run_logged(trace, platform3)
+        out = render_gantt(result.execution_log, platform3, width=40)
+        assert "gantt" in out
+        # all three jobs appear somewhere
+        body = "\n".join(out.splitlines()[1:])
+        for job_id in result.accepted:
+            assert str(job_id % 10) in body

@@ -1,0 +1,237 @@
+"""Tests for the trace-replay simulator."""
+
+import math
+
+import pytest
+
+from repro.core.exact import ExactResourceManager
+from repro.core.heuristic import HeuristicResourceManager
+from repro.model.platform import Platform
+from repro.model.request import PredictedRequest
+from repro.predict.base import NullPredictor
+from repro.predict.oracle import OraclePredictor
+from repro.predict.scripted import ScriptedPredictor
+from repro.sim.simulator import SimulationConfig, Simulator, simulate
+from repro.sim.state import SimulationError
+from tests.conftest import make_task, make_trace
+
+
+@pytest.fixture
+def platform3():
+    return Platform.cpu_gpu(2, 1)
+
+
+def easy_tasks():
+    return [make_task(type_id=0), make_task(type_id=1, wcet=(8.0, 9.0, 3.0),
+                                            energy=(4.0, 4.5, 0.9))]
+
+
+class TestBasicRuns:
+    def test_all_accepted_when_easy(self, platform3):
+        trace = make_trace(
+            easy_tasks(),
+            [(0.0, 0, 50.0), (5.0, 1, 50.0), (11.0, 0, 60.0)],
+        )
+        result = simulate(trace, platform3, HeuristicResourceManager())
+        assert result.n_accepted == 3
+        assert result.rejected == []
+        assert result.acceptance_rate == 1.0
+        assert result.rejection_percentage == 0.0
+
+    def test_total_energy_accumulates(self, platform3):
+        trace = make_trace(easy_tasks(), [(0.0, 0, 50.0)])
+        result = simulate(trace, platform3, HeuristicResourceManager())
+        # single task runs on the GPU: energy 1.0
+        assert result.total_energy == pytest.approx(1.0)
+        assert result.normalized_energy == pytest.approx(
+            1.0 / trace.stats().energy_demand
+        )
+
+    def test_impossible_task_rejected(self, platform3):
+        trace = make_trace(easy_tasks(), [(0.0, 0, 1.0)])  # deadline < all wcet
+        result = simulate(trace, platform3, HeuristicResourceManager())
+        assert result.rejected == [0]
+        assert result.total_energy == 0.0
+
+    def test_platform_mismatch_rejected(self):
+        trace = make_trace(easy_tasks(), [(0.0, 0, 50.0)])
+        with pytest.raises(ValueError, match="resources"):
+            simulate(trace, Platform.cpu_gpu(5, 1), HeuristicResourceManager())
+
+    def test_deterministic(self, platform3, tiny_trace):
+        platform = Platform.cpu_gpu(5, 1)
+        a = simulate(tiny_trace, platform, HeuristicResourceManager())
+        b = simulate(tiny_trace, platform, HeuristicResourceManager())
+        assert a.rejected == b.rejected
+        assert a.total_energy == pytest.approx(b.total_energy)
+
+
+class TestAdmissionDynamics:
+    def test_gpu_contention_rejection(self, platform3):
+        # two GPU-only tasks arriving closely: the second cannot fit
+        gpu_only = make_task(
+            wcet=(math.inf, math.inf, 10.0),
+            energy=(math.inf, math.inf, 1.0),
+        )
+        trace = make_trace(
+            [gpu_only], [(0.0, 0, 11.0), (1.0, 0, 11.0)]
+        )
+        result = simulate(trace, platform3, HeuristicResourceManager())
+        assert result.rejected == [1]
+
+    def test_rejected_task_leaves_no_trace(self, platform3):
+        gpu_only = make_task(
+            wcet=(math.inf, math.inf, 10.0),
+            energy=(math.inf, math.inf, 1.0),
+        )
+        trace = make_trace(
+            [gpu_only],
+            [(0.0, 0, 11.0), (1.0, 0, 11.0), (10.5, 0, 20.5)],
+        )
+        result = simulate(trace, platform3, HeuristicResourceManager())
+        # the third arrival fits right after the first completes
+        assert result.rejected == [1]
+        assert result.n_accepted == 2
+
+    def test_admitted_tasks_never_miss(self, platform, tiny_trace):
+        # SimulationError would be raised on a miss; a clean run proves
+        # the planner/executor semantics agree
+        simulate(tiny_trace, platform, HeuristicResourceManager())
+        simulate(tiny_trace, platform, HeuristicResourceManager(),
+                 OraclePredictor())
+
+
+class TestPredictionPlumbing:
+    def test_oracle_counts_predictions_used(self, platform, tiny_trace):
+        sim = Simulator(platform, HeuristicResourceManager(), OraclePredictor())
+        result = sim.run(tiny_trace)
+        assert result.predictions_used > 0
+
+    def test_null_predictor_equivalent_to_none(self, platform, tiny_trace):
+        with_none = simulate(tiny_trace, platform, HeuristicResourceManager())
+        with_null = simulate(
+            tiny_trace, platform, HeuristicResourceManager(), NullPredictor()
+        )
+        assert with_none.rejected == with_null.rejected
+        assert with_none.total_energy == pytest.approx(with_null.total_energy)
+
+    def test_bad_predicted_type_rejected(self, platform3):
+        trace = make_trace(easy_tasks(), [(0.0, 0, 50.0), (5.0, 1, 50.0)])
+        predictor = ScriptedPredictor(
+            {0: PredictedRequest(arrival=5.0, type_id=99, deadline=50.0)}
+        )
+        sim = Simulator(platform3, HeuristicResourceManager(), predictor)
+        with pytest.raises(ValueError, match="predicted type"):
+            sim.run(trace)
+
+    def test_stale_prediction_clamped_to_now(self, platform3):
+        # prediction in the past must not crash; it is clamped to the
+        # decision time
+        trace = make_trace(easy_tasks(), [(0.0, 0, 50.0), (5.0, 1, 50.0)])
+        predictor = ScriptedPredictor(
+            {1: PredictedRequest(arrival=1.0, type_id=0, deadline=50.0)}
+        )
+        result = Simulator(
+            platform3, HeuristicResourceManager(), predictor
+        ).run(trace)
+        assert result.n_accepted == 2
+
+    def test_records_collected(self, platform, tiny_trace):
+        sim = Simulator(
+            platform,
+            HeuristicResourceManager(),
+            OraclePredictor(),
+            SimulationConfig(collect_records=True),
+        )
+        result = sim.run(tiny_trace)
+        assert len(result.records) == len(tiny_trace)
+        record = result.records[0]
+        assert record.request_index == 0
+        assert record.had_prediction
+        assert record.context_size >= 2  # new task + predicted
+
+    def test_records_off_by_default(self, platform, tiny_trace):
+        result = simulate(tiny_trace, platform, HeuristicResourceManager())
+        assert result.records == []
+
+
+class TestPredictionOverhead:
+    def test_overhead_delays_decision(self, platform3):
+        trace = make_trace(easy_tasks(), [(0.0, 0, 50.0), (5.0, 1, 50.0)])
+        config = SimulationConfig(prediction_overhead=2.0)
+        sim = Simulator(
+            platform3, HeuristicResourceManager(), OraclePredictor(), config
+        )
+        result = sim.run(trace)
+        assert result.prediction_overhead_total == pytest.approx(4.0)
+
+    def test_overhead_not_charged_without_predictor(self, platform3):
+        trace = make_trace(easy_tasks(), [(0.0, 0, 50.0)])
+        config = SimulationConfig(prediction_overhead=2.0)
+        sim = Simulator(platform3, HeuristicResourceManager(), None, config)
+        result = sim.run(trace)
+        assert result.prediction_overhead_total == 0.0
+
+    def test_overhead_can_cause_rejection(self, platform3):
+        # deadline 10.5 on the GPU (wcet 10): any decision delay kills it
+        gpu_only = make_task(
+            wcet=(math.inf, math.inf, 10.0),
+            energy=(math.inf, math.inf, 1.0),
+        )
+        trace = make_trace([gpu_only], [(0.0, 0, 10.5), (20.0, 0, 10.5)])
+        no_overhead = simulate(
+            trace, platform3, HeuristicResourceManager(), OraclePredictor()
+        )
+        assert no_overhead.rejected == []
+        with_overhead = simulate(
+            trace,
+            platform3,
+            HeuristicResourceManager(),
+            OraclePredictor(),
+            SimulationConfig(prediction_overhead=1.0),
+        )
+        assert with_overhead.rejected == [0, 1]
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(prediction_overhead=-1.0)
+
+    def test_overhead_larger_than_interarrival(self, platform3):
+        """Regression: when the decision delay exceeds the gap to the
+        next arrival, decisions queue up instead of rewinding time."""
+        trace = make_trace(
+            easy_tasks(),
+            [(0.0, 0, 80.0), (0.5, 1, 80.0), (1.0, 0, 80.0), (1.2, 1, 80.0)],
+        )
+        result = simulate(
+            trace,
+            platform3,
+            HeuristicResourceManager(),
+            OraclePredictor(),
+            SimulationConfig(prediction_overhead=2.0),
+        )
+        assert result.n_accepted == 4
+        assert result.prediction_overhead_total == pytest.approx(8.0)
+
+
+class TestMotivationalDynamics:
+    """End-to-end re-check of the Sec. 3 example through the simulator
+    (the experiments module wraps this; here we pin the internals)."""
+
+    def test_wasteless_when_prediction_right(self, platform3):
+        from repro.experiments.motivational import build_trace
+
+        trace = build_trace(tau2_arrival=1.0)
+        result = simulate(
+            trace, platform3, ExactResourceManager(), OraclePredictor()
+        )
+        assert result.n_accepted == 2
+        assert result.abort_count == 0
+        assert result.total_energy == pytest.approx(8.8)
+
+    def test_summary_dict(self, platform3):
+        trace = make_trace(easy_tasks(), [(0.0, 0, 50.0)])
+        result = simulate(trace, platform3, HeuristicResourceManager())
+        summary = result.summary()
+        assert summary["n_accepted"] == 1
+        assert summary["rejection_percentage"] == 0.0

@@ -1,0 +1,212 @@
+"""Tests for the runtime platform state (execution, migration, energy)."""
+
+import math
+
+import pytest
+
+from repro.model.platform import Platform
+from repro.model.request import Request
+from repro.sim.state import JobState, PlatformState, SimulationError
+from tests.conftest import make_task
+
+
+@pytest.fixture
+def state():
+    return PlatformState(Platform.cpu_gpu(2, 1))
+
+
+def admit(state, index=0, arrival=0.0, deadline=100.0, task=None):
+    request = Request(index=index, arrival=arrival, type_id=0, deadline=deadline)
+    return state.admit(request, task or make_task())
+
+
+class TestAdmission:
+    def test_admit_and_map(self, state):
+        job = admit(state)
+        state.apply_mapping({0: 2})
+        assert job.resource == 2
+        assert not job.started
+
+    def test_double_admit_rejected(self, state):
+        admit(state)
+        with pytest.raises(SimulationError, match="twice"):
+            admit(state)
+
+    def test_unmapped_job_rejected(self, state):
+        admit(state)
+        with pytest.raises(SimulationError, match="unmapped"):
+            state.apply_mapping({})
+
+    def test_mapping_unknown_job_rejected(self, state):
+        with pytest.raises(SimulationError, match="unknown"):
+            state.apply_mapping({9: 0})
+
+    def test_mapping_to_non_executable_rejected(self, state):
+        task = make_task(
+            wcet=(10.0, 10.0, math.inf), energy=(5.0, 5.0, math.inf)
+        )
+        admit(state, task=task)
+        with pytest.raises(SimulationError, match="cannot execute"):
+            state.apply_mapping({0: 2})
+
+
+class TestExecution:
+    def test_work_and_energy_prorata(self, state):
+        job = admit(state)  # wcet 10 / energy 5 on cpu0
+        state.apply_mapping({0: 0})
+        state.advance(4.0)
+        assert job.remaining_fraction == pytest.approx(0.6)
+        assert job.energy_consumed == pytest.approx(2.0)
+        assert state.total_energy == pytest.approx(2.0)
+        assert job.started
+
+    def test_completion(self, state):
+        job = admit(state)
+        state.apply_mapping({0: 0})
+        completed = state.advance(12.0)
+        assert completed == [job]
+        assert job.completed
+        assert job.completion_time == pytest.approx(10.0)
+        assert 0 not in state.jobs
+        assert state.finished == [job]
+
+    def test_edf_order_on_resource(self, state):
+        late = admit(state, index=0, deadline=90.0)
+        early = admit(state, index=1, deadline=20.0)
+        state.apply_mapping({0: 0, 1: 0})
+        state.advance(5.0)
+        assert early.started and not late.started
+
+    def test_gpu_running_flag(self, state):
+        job = admit(state)
+        state.apply_mapping({0: 2})  # GPU, wcet 4
+        state.advance(1.0)
+        assert job.running_non_preemptable
+        state.advance(5.0)
+        assert not job.running_non_preemptable  # finished
+
+    def test_deadline_miss_raises(self, state):
+        admit(state, deadline=5.0)  # wcet 10 on cpu0
+        state.apply_mapping({0: 0})
+        with pytest.raises(SimulationError, match="missed"):
+            state.advance(20.0)
+
+    def test_advance_backwards_rejected(self, state):
+        state.advance(5.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            state.advance(1.0)
+
+    def test_completion_horizon(self, state):
+        admit(state, index=0)
+        admit(state, index=1)
+        state.apply_mapping({0: 0, 1: 0})
+        assert state.completion_horizon() == pytest.approx(20.0)
+        state.advance(state.completion_horizon())
+        assert not state.jobs
+
+
+class TestMigration:
+    def test_started_migration_charges_energy_and_debt(self, state):
+        job = admit(state)
+        state.apply_mapping({0: 0})
+        state.advance(5.0)  # half done
+        state.apply_mapping({0: 1})
+        assert job.pending_migration_time == pytest.approx(1.0)  # cm
+        assert state.migration_energy == pytest.approx(0.5)  # em
+        assert state.migration_count == 1
+        assert job.migrations == 1
+
+    def test_migrated_work_scales(self, state):
+        job = admit(state)
+        state.apply_mapping({0: 0})
+        state.advance(5.0)  # fraction 0.5
+        state.apply_mapping({0: 1})
+        # remaining on cpu1: debt 1.0 + 0.5 * 12 = 7 units
+        assert job.remaining_time() == pytest.approx(7.0)
+        completed = state.advance(5.0 + 7.0)
+        assert completed == [job]
+        # energy: 2.5 (cpu0 half) + 0.5 (em) + 3.0 (cpu1 half) = 6.0
+        assert state.total_energy == pytest.approx(6.0)
+
+    def test_debt_pays_no_energy(self, state):
+        job = admit(state)
+        state.apply_mapping({0: 0})
+        state.advance(5.0)
+        state.apply_mapping({0: 1})
+        energy_before = state.total_energy
+        state.advance(5.5)  # only half of the 1.0 debt elapses
+        assert state.total_energy == pytest.approx(energy_before)
+        assert job.remaining_fraction == pytest.approx(0.5)
+
+    def test_unstarted_remap_free_by_default(self, state):
+        job = admit(state)
+        state.apply_mapping({0: 0})
+        state.apply_mapping({0: 1})
+        assert state.migration_count == 0
+        assert job.pending_migration_time == 0.0
+
+    def test_unstarted_remap_charged_when_configured(self):
+        state = PlatformState(
+            Platform.cpu_gpu(2, 1), charge_unstarted_migration=True
+        )
+        admit(state)
+        state.apply_mapping({0: 0})
+        state.apply_mapping({0: 1})
+        assert state.migration_count == 1
+
+    def test_same_resource_no_charge(self, state):
+        admit(state)
+        state.apply_mapping({0: 0})
+        state.advance(3.0)
+        state.apply_mapping({0: 0})
+        assert state.migration_count == 0
+
+
+class TestAbortRestart:
+    def test_abort_resets_work_and_tracks_waste(self, state):
+        job = admit(state, task=make_task(wcet=(10.0, 10.0, 8.0)))
+        state.apply_mapping({0: 2})
+        state.advance(4.0)  # half the GPU execution (energy 0.5)
+        assert job.running_non_preemptable
+        state.apply_mapping({0: 0})
+        assert job.remaining_fraction == 1.0
+        assert job.aborts == 1
+        assert state.abort_count == 1
+        assert state.wasted_energy == pytest.approx(0.5)
+        assert not job.running_non_preemptable
+        assert job.pending_migration_time == 0.0  # restart, not migration
+        assert state.migration_count == 0
+
+    def test_total_energy_includes_waste(self, state):
+        job = admit(state, task=make_task(wcet=(10.0, 10.0, 8.0)))
+        state.apply_mapping({0: 2})
+        state.advance(4.0)
+        state.apply_mapping({0: 0})
+        state.advance(4.0 + 10.0)
+        assert job.completed
+        # 0.5 wasted on GPU + 5.0 full cpu0 execution
+        assert state.total_energy == pytest.approx(5.5)
+
+    def test_queued_gpu_job_not_aborted(self, state):
+        running = admit(state, index=0, task=make_task(wcet=(10.0, 10.0, 8.0)))
+        queued = admit(state, index=1, deadline=200.0)
+        state.apply_mapping({0: 2, 1: 2})
+        state.advance(2.0)
+        assert running.running_non_preemptable
+        assert not queued.started
+        state.apply_mapping({0: 2, 1: 0})  # move the queued job away
+        assert state.abort_count == 0
+        assert queued.resource == 0
+
+
+class TestQueueOf:
+    def test_running_first_on_gpu(self, state):
+        first = admit(state, index=0, deadline=300.0)
+        second = admit(state, index=1, deadline=50.0)
+        state.apply_mapping({0: 2, 1: 2})
+        # EDF puts job 1 first initially
+        assert [j.job_id for j in state.queue_of(2)] == [1, 0]
+        state.advance(1.0)  # job 1 starts running (wcet 4 on gpu)
+        assert second.running_non_preemptable
+        # a later-deadline job never jumps ahead of the running one
+        assert [j.job_id for j in state.queue_of(2)] == [1, 0]

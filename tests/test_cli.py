@@ -1,0 +1,187 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """Generate one small trace via the CLI itself and return its path."""
+    out = tmp_path / "traces"
+    code = main(
+        [
+            "generate",
+            "--group",
+            "VT",
+            "--traces",
+            "1",
+            "--requests",
+            "20",
+            "--seed",
+            "3",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    files = list(out.glob("*.json"))
+    assert len(files) == 1
+    return files[0]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x"])
+        assert args.group == "VT"
+        assert args.requests == 500
+
+
+class TestGenerate:
+    def test_writes_trace_files(self, tmp_path, capsys):
+        out = tmp_path / "w"
+        code = main(
+            [
+                "generate",
+                "--group",
+                "LT",
+                "--traces",
+                "2",
+                "--requests",
+                "15",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        files = sorted(out.glob("*.json"))
+        assert [f.name for f in files] == ["lt_000.json", "lt_001.json"]
+        assert "lt_000.json" in capsys.readouterr().out
+
+    def test_deterministic_across_runs(self, tmp_path):
+        for name in ("a", "b"):
+            main(
+                [
+                    "generate",
+                    "--traces",
+                    "1",
+                    "--requests",
+                    "10",
+                    "--seed",
+                    "9",
+                    "--out",
+                    str(tmp_path / name),
+                ]
+            )
+        first = (tmp_path / "a" / "vt_000.json").read_text()
+        second = (tmp_path / "b" / "vt_000.json").read_text()
+        assert first == second
+
+    def test_arrival_scale_flag(self, tmp_path):
+        from repro.workload.trace import Trace
+
+        main(
+            [
+                "generate",
+                "--traces",
+                "1",
+                "--requests",
+                "50",
+                "--arrival-scale",
+                "10.0",
+                "--out",
+                str(tmp_path / "s"),
+            ]
+        )
+        trace = Trace.load(tmp_path / "s" / "vt_000.json")
+        assert trace.mean_interarrival() > 8.0
+
+
+class TestSimulate:
+    def test_text_output(self, trace_file, capsys):
+        code = main(["simulate", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rejection" in out and "energy" in out
+
+    def test_json_output(self, trace_file, capsys):
+        code = main(
+            [
+                "simulate",
+                str(trace_file),
+                "--predictor",
+                "oracle",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] == 20
+        assert "rejection_percentage" in payload
+
+    def test_all_predictors_run(self, trace_file, capsys):
+        for predictor in ("off", "oracle", "learned", "type-noise",
+                          "arrival-noise"):
+            assert main(
+                ["simulate", str(trace_file), "--predictor", predictor]
+            ) == 0
+
+    def test_exact_strategy(self, trace_file):
+        assert main(
+            ["simulate", str(trace_file), "--strategy", "exact"]
+        ) == 0
+
+    def test_lookahead_flag(self, trace_file):
+        assert main(
+            [
+                "simulate",
+                str(trace_file),
+                "--predictor",
+                "oracle",
+                "--lookahead",
+                "2",
+            ]
+        ) == 0
+
+
+class TestExperiment:
+    def test_motivational(self, capsys):
+        assert main(["experiment", "motivational"]) == 0
+        assert "match the paper" in capsys.readouterr().out
+
+    def test_fig2_tiny(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--traces", "1", "--requests", "15"]
+        )
+        assert code == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_fig5_tiny(self, capsys):
+        code = main(
+            ["experiment", "fig5", "--traces", "1", "--requests", "15"]
+        )
+        assert code == 0
+        assert "crossover" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_oracle_scores_perfect(self, trace_file, capsys):
+        assert main(
+            ["evaluate", str(trace_file), "--predictor", "oracle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "type accuracy : 100.0%" in out
+
+    def test_learned_runs(self, trace_file, capsys):
+        assert main(["evaluate", str(trace_file)]) == 0
+        assert "NRMSE" in capsys.readouterr().out

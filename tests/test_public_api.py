@@ -1,0 +1,82 @@
+"""The public API surface: everything advertised in ``repro.__all__``
+imports, and the README quickstart runs verbatim."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.model",
+            "repro.workload",
+            "repro.sched",
+            "repro.milp",
+            "repro.core",
+            "repro.predict",
+            "repro.sim",
+            "repro.experiments",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_readme_quickstart(self):
+        from repro import (
+            DeadlineGroup,
+            HeuristicResourceManager,
+            OraclePredictor,
+            Platform,
+            TraceConfig,
+            generate_task_set,
+            generate_trace,
+            simulate,
+        )
+
+        platform = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
+        tasks = generate_task_set(platform)
+        trace = generate_trace(
+            tasks, TraceConfig(group=DeadlineGroup.VT, n_requests=30)
+        )
+        off = simulate(trace, platform, HeuristicResourceManager())
+        on = simulate(
+            trace, platform, HeuristicResourceManager(), OraclePredictor()
+        )
+        assert 0.0 <= off.rejection_percentage <= 100.0
+        assert 0.0 <= on.rejection_percentage <= 100.0
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize(
+        "example",
+        [
+            "quickstart",
+            "motivational_example",
+            "custom_platform",
+            "online_predictors",
+            "accuracy_sweep",
+            "overhead_sweep",
+        ],
+    )
+    def test_example_compiles(self, example):
+        import pathlib
+        import py_compile
+
+        path = (
+            pathlib.Path(__file__).parent.parent / "examples" / f"{example}.py"
+        )
+        py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,83 @@
+"""Tests for the seeded RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "traces") == derive_seed(42, "traces")
+
+    def test_distinct_names_distinct_seeds(self):
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+
+    def test_distinct_masters_distinct_seeds(self):
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+
+    def test_negative_master_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1, "a")
+
+    def test_seed_fits_numpy(self):
+        seed = derive_seed(123456789, "stream")
+        np.random.default_rng(seed)  # must not raise
+        assert 0 <= seed < 2**63
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=30))
+    def test_always_valid_seed(self, master, name):
+        seed = derive_seed(master, name)
+        assert 0 <= seed < 2**63
+
+    def test_name_separator_not_ambiguous(self):
+        # "1" + ":2" vs "1:" + "2" style collisions
+        assert derive_seed(1, "2:x") != derive_seed(12, ":x")
+
+
+class TestRngStreams:
+    def test_same_name_same_generator_object(self):
+        streams = RngStreams(0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(5).get("workload").random(4)
+        b = RngStreams(5).get("workload").random(4)
+        assert list(a) == list(b)
+
+    def test_streams_are_independent(self):
+        streams = RngStreams(5)
+        first = streams.get("a").random(4)
+        # consuming "a" must not affect "b"
+        other = RngStreams(5)
+        other.get("b")  # create b first this time
+        second = other.get("a").random(4)
+        assert list(first) == list(second)
+
+    def test_fresh_restarts_stream(self):
+        streams = RngStreams(1)
+        first = float(streams.get("s").random())
+        fresh = float(streams.fresh("s").random())
+        assert first == fresh
+
+    def test_spawn_namespaces_differ(self):
+        parent = RngStreams(3)
+        child = parent.spawn("sub")
+        assert float(parent.get("x").random()) != float(child.get("x").random())
+
+    def test_spawn_deterministic(self):
+        a = RngStreams(3).spawn("sub").get("x").random(3)
+        b = RngStreams(3).spawn("sub").get("x").random(3)
+        assert list(a) == list(b)
+
+    def test_issued_names_sorted(self):
+        streams = RngStreams(0)
+        streams.get("b")
+        streams.get("a")
+        assert streams.issued_names() == ["a", "b"]
+
+    def test_negative_master_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(-2)

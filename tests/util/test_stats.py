@@ -1,0 +1,130 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    Interval,
+    binomial_confidence_interval,
+    mean_confidence_interval,
+    paired_difference,
+)
+
+
+class TestMeanConfidenceInterval:
+    def test_centre_is_mean(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert interval.estimate == pytest.approx(2.0)
+        assert interval.contains(2.0)
+
+    def test_symmetric(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert interval.estimate - interval.low == pytest.approx(
+            interval.high - interval.estimate
+        )
+
+    def test_single_value_degenerate(self):
+        interval = mean_confidence_interval([5.0])
+        assert (interval.low, interval.high) == (5.0, 5.0)
+
+    def test_zero_variance(self):
+        interval = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert interval.half_width == pytest.approx(0.0)
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 4.0, 8.0]
+        narrow = mean_confidence_interval(values, confidence=0.8)
+        wide = mean_confidence_interval(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(list(rng.normal(0, 1, 10)))
+        large = mean_confidence_interval(list(rng.normal(0, 1, 1000)))
+        assert large.half_width < small.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.0)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interval_always_contains_mean(self, values):
+        interval = mean_confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert interval.low - 1e-9 <= mean <= interval.high + 1e-9
+
+    def test_coverage_calibration(self):
+        """~95% of 95% intervals over N(0,1) samples contain 0."""
+        rng = np.random.default_rng(42)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = list(rng.normal(0.0, 1.0, 12))
+            if mean_confidence_interval(sample, 0.95).contains(0.0):
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+
+class TestPairedDifference:
+    def test_constant_shift_detected_exactly(self):
+        first = [10.0, 20.0, 30.0]
+        second = [8.0, 18.0, 28.0]
+        interval = paired_difference(first, second)
+        assert interval.estimate == pytest.approx(2.0)
+        assert interval.half_width == pytest.approx(0.0)
+
+    def test_pairing_beats_unpaired_variance(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(50, 20, 30)  # large between-trace variance
+        improvement = rng.normal(2, 0.5, 30)  # small, consistent gain
+        on = list(base - improvement)
+        off = list(base)
+        paired = paired_difference(off, on)
+        assert paired.low > 0  # the gain is significant when paired
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            paired_difference([1.0], [1.0, 2.0])
+
+
+class TestBinomialInterval:
+    def test_point_estimate(self):
+        interval = binomial_confidence_interval(88, 100)
+        assert interval.estimate == pytest.approx(0.88)
+        assert interval.contains(0.88)
+
+    def test_bounds_clamped(self):
+        all_wins = binomial_confidence_interval(10, 10)
+        assert all_wins.high <= 1.0
+        no_wins = binomial_confidence_interval(0, 10)
+        assert no_wins.low >= 0.0
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(0, 0)
+
+    def test_successes_out_of_range(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(11, 10)
+
+    def test_narrower_with_more_trials(self):
+        small = binomial_confidence_interval(8, 10)
+        large = binomial_confidence_interval(800, 1000)
+        assert large.half_width < small.half_width
+
+
+class TestInterval:
+    def test_str(self):
+        text = str(Interval(1.0, 0.5, 1.5, 0.95))
+        assert "95%" in text and "1" in text

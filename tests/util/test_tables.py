@@ -1,0 +1,98 @@
+"""Tests for ASCII table/chart rendering."""
+
+import pytest
+
+from repro.util.tables import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    ascii_table,
+    format_float,
+)
+
+
+class TestFormatFloat:
+    def test_strips_trailing_zeros(self):
+        assert format_float(3.0) == "3"
+        assert format_float(3.10, 2) == "3.1"
+
+    def test_rounds(self):
+        assert format_float(3.14159, 3) == "3.142"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_negative(self):
+        assert format_float(-2.50) == "-2.5"
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        out = ascii_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        assert "a" in out and "bb" in out
+        assert "2.5" in out and "x" in out
+
+    def test_title_on_first_line(self):
+        out = ascii_table(["h"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_alignment_uniform_width(self):
+        out = ascii_table(["col"], [["short"], ["a much longer cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_digits(self):
+        out = ascii_table(["x"], [[1.23456]], float_digits=4)
+        assert "1.2346" in out
+
+    def test_bool_rendered_as_text(self):
+        out = ascii_table(["x"], [[True]])
+        assert "True" in out
+
+
+class TestAsciiBarChart:
+    def test_scales_to_max(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])
+
+    def test_unit_suffix(self):
+        out = ascii_bar_chart(["a"], [5.0], unit="%")
+        assert "5%" in out
+
+
+class TestAsciiLineChart:
+    def test_renders_all_series_markers(self):
+        out = ascii_line_chart(
+            [0, 1, 2], {"s1": [1, 2, 3], "s2": [3, 2, 1]}
+        )
+        assert "*" in out and "o" in out
+        assert "s1" in out and "s2" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="s1"):
+            ascii_line_chart([0, 1], {"s1": [1]})
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([0], {})
+
+    def test_constant_series_no_crash(self):
+        out = ascii_line_chart([0, 1], {"flat": [5, 5]})
+        assert "flat" in out

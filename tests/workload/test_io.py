@@ -1,0 +1,187 @@
+"""Tests for trace CSV interchange and cluster-event import."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.workload.io import (
+    ClusterEventSchema,
+    export_requests_csv,
+    import_cluster_events,
+    import_requests_csv,
+)
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+from repro.workload.tracegen import DeadlineGroup, TraceConfig, generate_trace
+
+
+@pytest.fixture
+def tasks(platform):
+    return generate_task_set(
+        platform, TaskSetConfig(n_tasks=12), rng=np.random.default_rng(5)
+    )
+
+
+@pytest.fixture
+def trace(tasks):
+    return generate_trace(
+        tasks, TraceConfig(n_requests=40), rng=np.random.default_rng(6)
+    )
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, trace, tasks, tmp_path):
+        path = tmp_path / "requests.csv"
+        export_requests_csv(trace, path)
+        loaded = import_requests_csv(path, tasks, group="VT")
+        assert loaded.requests == trace.requests
+        assert loaded.group == "VT"
+
+    def test_header_written(self, trace, tmp_path):
+        path = tmp_path / "requests.csv"
+        export_requests_csv(trace, path)
+        with open(path) as handle:
+            header = handle.readline().strip()
+        assert header == "index,arrival,type_id,deadline"
+
+    def test_wrong_header_rejected(self, tasks, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            import_requests_csv(path, tasks)
+
+    def test_empty_task_set_rejected(self, trace, tmp_path):
+        path = tmp_path / "requests.csv"
+        export_requests_csv(trace, path)
+        with pytest.raises(ValueError):
+            import_requests_csv(path, [])
+
+
+def write_events(path, rows):
+    with open(path, "w", newline="") as handle:
+        csv.writer(handle).writerows(rows)
+
+
+def google_row(timestamp_us, event_type, cpu, mem, job_id="j1"):
+    # 13-column Google task-events layout (only the used columns matter)
+    row = [""] * 13
+    row[0] = str(timestamp_us)
+    row[2] = job_id
+    row[5] = event_type
+    row[9] = cpu
+    row[10] = mem
+    return row
+
+
+class TestClusterImport:
+    def test_submit_events_become_requests(self, tasks, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events(
+            path,
+            [
+                google_row(1_000_000, "0", "0.5", "0.25"),
+                google_row(1_500_000, "1", "0.5", "0.25"),  # not a submit
+                google_row(3_000_000, "0", "0.1", "0.1"),
+            ],
+        )
+        trace = import_cluster_events(path, tasks)
+        assert len(trace) == 2
+        # timestamps rebased to 0 and converted from microseconds
+        assert trace[0].arrival == pytest.approx(0.0)
+        assert trace[1].arrival == pytest.approx(2.0)
+        assert trace.group == "cluster-VT"
+
+    def test_same_signature_same_type(self, tasks, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events(
+            path,
+            [
+                google_row(0, "0", "0.5", "0.25"),
+                google_row(1_000_000, "0", "0.50", "0.250"),
+                google_row(2_000_000, "0", "0.9", "0.7"),
+            ],
+        )
+        trace = import_cluster_events(path, tasks)
+        assert trace[0].type_id == trace[1].type_id  # rounding unifies
+
+    def test_simultaneous_submissions_nudged(self, tasks, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events(
+            path,
+            [
+                google_row(5_000_000, "0", "0.5", "0.2"),
+                google_row(5_000_000, "0", "0.6", "0.3"),
+            ],
+        )
+        trace = import_cluster_events(path, tasks)
+        assert trace[1].arrival > trace[0].arrival
+
+    def test_max_requests_cap(self, tasks, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events(
+            path,
+            [google_row(i * 1_000_000, "0", "0.5", "0.2") for i in range(10)],
+        )
+        trace = import_cluster_events(path, tasks, max_requests=4)
+        assert len(trace) == 4
+
+    def test_no_submits_rejected(self, tasks, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events(path, [google_row(0, "1", "0.5", "0.2")])
+        with pytest.raises(ValueError, match="no SUBMIT"):
+            import_cluster_events(path, tasks)
+
+    def test_custom_schema(self, tasks, tmp_path):
+        path = tmp_path / "events.csv"
+        # tiny custom layout: time, kind, cpu, mem (seconds timestamps)
+        write_events(
+            path,
+            [
+                ["10", "SUBMIT", "1.0", "2.0"],
+                ["20", "KILL", "1.0", "2.0"],
+                ["30", "SUBMIT", "3.0", "4.0"],
+            ],
+        )
+        schema = ClusterEventSchema(
+            timestamp_column=0,
+            job_id_column=0,
+            event_type_column=1,
+            cpu_request_column=2,
+            memory_request_column=3,
+            submit_event_type="SUBMIT",
+            timestamp_unit=1.0,
+        )
+        trace = import_cluster_events(path, tasks, schema=schema)
+        assert len(trace) == 2
+        assert trace[1].arrival == pytest.approx(20.0)
+
+    def test_deadlines_follow_group_rule(self, tasks, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events(
+            path,
+            [google_row(i * 1_000_000, "0", str(i * 0.1), "0.2")
+             for i in range(30)],
+        )
+        trace = import_cluster_events(
+            path, tasks, group=DeadlineGroup.LT,
+            deadline_rng=np.random.default_rng(1),
+        )
+        for request in trace:
+            task = trace.task_of(request)
+            wcets = [task.wcet[i] for i in task.executable_resources]
+            assert 2.0 * min(wcets) - 1e-9 <= request.deadline
+            assert request.deadline <= 6.0 * max(wcets) + 1e-9
+
+    def test_imported_trace_simulates(self, tasks, tmp_path, platform):
+        from repro.core.heuristic import HeuristicResourceManager
+        from repro.sim.simulator import simulate
+
+        path = tmp_path / "events.csv"
+        write_events(
+            path,
+            [google_row(i * 3_000_000, "0", f"0.{i % 4}", "0.2")
+             for i in range(20)],
+        )
+        trace = import_cluster_events(path, tasks)
+        result = simulate(trace, platform, HeuristicResourceManager())
+        assert result.n_requests == 20

@@ -1,0 +1,119 @@
+"""Tests for the pattern-bearing stream generator."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.workload.patterns import PatternConfig, generate_pattern_trace
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+from repro.workload.tracegen import DeadlineGroup
+
+
+@pytest.fixture
+def tasks(platform):
+    return generate_task_set(
+        platform, TaskSetConfig(n_tasks=15), rng=np.random.default_rng(2)
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = PatternConfig()
+        assert cfg.motif_length == 8
+        assert cfg.type_mutation_prob == 0.1
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_requests", 0),
+            ("motif_length", 0),
+            ("type_mutation_prob", 1.5),
+            ("phases", ()),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            PatternConfig(**{field: value})
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            PatternConfig(phases=((0.0, 1.0, 5),))
+
+
+class TestGeneration:
+    def test_motif_repeats_without_mutation(self, tasks):
+        cfg = PatternConfig(
+            n_requests=64, motif_length=8, type_mutation_prob=0.0
+        )
+        trace = generate_pattern_trace(
+            tasks, cfg, rng=np.random.default_rng(3)
+        )
+        types = [r.type_id for r in trace]
+        for i in range(8, 64):
+            assert types[i] == types[i - 8]
+
+    def test_mutation_rate_roughly_honoured(self, tasks):
+        cfg = PatternConfig(
+            n_requests=500, motif_length=5, type_mutation_prob=0.3
+        )
+        rng = np.random.default_rng(4)
+        trace = generate_pattern_trace(tasks, cfg, rng=rng)
+        # regenerate the motif with the same seed to count deviations
+        motif_rng = np.random.default_rng(4)
+        motif = [int(motif_rng.integers(0, len(tasks))) for _ in range(5)]
+        deviations = sum(
+            1
+            for i, r in enumerate(trace)
+            if r.type_id != motif[i % 5]
+        )
+        # mutations may coincide with the motif type, so observed rate is
+        # slightly below 0.3
+        assert 0.15 < deviations / 500 < 0.40
+
+    def test_phases_shape_interarrivals(self, tasks):
+        cfg = PatternConfig(
+            n_requests=121,
+            phases=((2.0, 0.0, 3), (10.0, 0.0, 3)),
+            type_mutation_prob=0.0,
+        )
+        trace = generate_pattern_trace(
+            tasks, cfg, rng=np.random.default_rng(5)
+        )
+        gaps = [
+            b.arrival - a.arrival
+            for a, b in zip(trace.requests, trace.requests[1:])
+        ]
+        # gaps cycle 2,2,2,10,10,10,...
+        assert gaps[:6] == pytest.approx([2.0, 2.0, 2.0, 10.0, 10.0, 10.0])
+
+    def test_group_label(self, tasks):
+        trace = generate_pattern_trace(
+            tasks,
+            PatternConfig(n_requests=5, group=DeadlineGroup.LT),
+            rng=np.random.default_rng(6),
+        )
+        assert trace.group == "pattern-LT"
+
+    def test_arrivals_increase(self, tasks):
+        trace = generate_pattern_trace(
+            tasks, PatternConfig(n_requests=100), rng=np.random.default_rng(7)
+        )
+        arrivals = [r.arrival for r in trace]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_empty_task_set_rejected(self):
+        with pytest.raises(ValueError):
+            generate_pattern_trace([], PatternConfig())
+
+    def test_structured_stream_is_concentrated(self, tasks):
+        """A pattern stream uses few distinct types (the motif), unlike
+        the uniform Sec. 5.1 streams."""
+        trace = generate_pattern_trace(
+            tasks,
+            PatternConfig(n_requests=200, type_mutation_prob=0.05),
+            rng=np.random.default_rng(8),
+        )
+        counts = collections.Counter(r.type_id for r in trace)
+        top8 = sum(count for _, count in counts.most_common(8))
+        assert top8 / 200 > 0.85

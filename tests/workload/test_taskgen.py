@@ -1,0 +1,120 @@
+"""Tests for the Sec. 5.1 task-set generator."""
+
+import math
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.model.platform import Platform
+from repro.model.task import NOT_EXECUTABLE
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = TaskSetConfig()
+        assert cfg.n_tasks == 100
+        assert (cfg.cpu_wcet_mean, cfg.cpu_wcet_std) == (40.0, 9.0)
+        assert (cfg.cpu_energy_mean, cfg.cpu_energy_std) == (15.0, 3.0)
+        assert cfg.accel_speedup_range == (2.0, 10.0)
+        assert cfg.migration_fraction_range == (0.1, 0.2)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_tasks", 0),
+            ("cpu_wcet_mean", -1.0),
+            ("cpu_wcet_std", -0.1),
+            ("accel_incompatible_fraction", 1.5),
+            ("min_wcet", 0.0),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            TaskSetConfig(**{field: value})
+
+    def test_inverted_speedup_range_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSetConfig(accel_speedup_range=(10.0, 2.0))
+
+
+class TestGeneration:
+    def test_count_and_ids(self, platform, rng):
+        tasks = generate_task_set(platform, TaskSetConfig(n_tasks=10), rng=rng)
+        assert [t.type_id for t in tasks] == list(range(10))
+        assert all(t.n_resources == platform.size for t in tasks)
+
+    def test_reproducible(self, platform):
+        a = generate_task_set(platform, rng=np.random.default_rng(5))
+        b = generate_task_set(platform, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_cpu_statistics_near_config(self, platform, rng):
+        tasks = generate_task_set(platform, TaskSetConfig(n_tasks=200), rng=rng)
+        cpu_wcets = [t.wcet[i] for t in tasks for i in range(5)]
+        cpu_energies = [t.energy[i] for t in tasks for i in range(5)]
+        assert statistics.fmean(cpu_wcets) == pytest.approx(40.0, abs=1.5)
+        assert statistics.fmean(cpu_energies) == pytest.approx(15.0, abs=0.5)
+        assert statistics.stdev(cpu_wcets) == pytest.approx(9.0, abs=1.5)
+
+    def test_gpu_speedup_range(self, platform, rng):
+        tasks = generate_task_set(platform, TaskSetConfig(n_tasks=100), rng=rng)
+        for task in tasks:
+            cpu_avg_wcet = statistics.fmean(task.wcet[:5])
+            cpu_avg_energy = statistics.fmean(task.energy[:5])
+            time_ratio = cpu_avg_wcet / task.wcet[5]
+            energy_ratio = cpu_avg_energy / task.energy[5]
+            assert 2.0 <= time_ratio <= 10.0
+            # same divisor applies to time and energy
+            assert time_ratio == pytest.approx(energy_ratio, rel=1e-9)
+
+    def test_migration_fraction_range(self, platform, rng):
+        tasks = generate_task_set(platform, TaskSetConfig(n_tasks=30), rng=rng)
+        for task in tasks:
+            mean_wcet = task.mean_wcet()
+            mean_energy = task.mean_energy()
+            n = task.n_resources
+            for k in range(n):
+                for i in range(n):
+                    if k == i:
+                        continue
+                    assert 0.1 * mean_wcet <= task.cm(k, i) <= 0.2 * mean_wcet
+                    assert (
+                        0.1 * mean_energy
+                        <= task.em(k, i)
+                        <= 0.2 * mean_energy
+                    )
+
+    def test_incompatible_fraction(self, platform):
+        cfg = TaskSetConfig(n_tasks=200, accel_incompatible_fraction=0.5)
+        tasks = generate_task_set(platform, cfg, rng=np.random.default_rng(3))
+        incompatible = sum(
+            1 for t in tasks if t.wcet[5] == NOT_EXECUTABLE
+        )
+        assert 60 <= incompatible <= 140  # ~100 expected
+        for task in tasks:
+            assert any(math.isfinite(c) for c in task.wcet)
+
+    def test_positive_values(self, platform, rng):
+        cfg = TaskSetConfig(n_tasks=100, cpu_wcet_mean=2.0, cpu_wcet_std=5.0)
+        tasks = generate_task_set(platform, cfg, rng=rng)
+        for task in tasks:
+            for c in task.wcet:
+                assert c > 0
+
+    def test_all_gpu_platform_rejected(self):
+        gpu_only = Platform.cpu_gpu(0, 2)
+        with pytest.raises(ValueError, match="preemptable"):
+            generate_task_set(gpu_only, rng=np.random.default_rng(0))
+
+    def test_cpu_only_platform(self, cpu_platform, rng):
+        tasks = generate_task_set(
+            cpu_platform, TaskSetConfig(n_tasks=5), rng=rng
+        )
+        assert all(t.n_resources == 3 for t in tasks)

@@ -1,0 +1,128 @@
+"""Tests for the trace container and its serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.model.request import Request
+from repro.model.task import NOT_EXECUTABLE, TaskType
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+from repro.workload.trace import Trace
+from repro.workload.tracegen import TraceConfig, generate_trace
+
+
+def two_tasks():
+    return [
+        TaskType(type_id=0, wcet=(4.0, 2.0), energy=(2.0, 1.0)),
+        TaskType(
+            type_id=1,
+            wcet=(6.0, NOT_EXECUTABLE),
+            energy=(3.0, NOT_EXECUTABLE),
+            migration_time=0.5,
+        ),
+    ]
+
+
+def request(i, arrival, type_id=0, deadline=10.0):
+    return Request(index=i, arrival=arrival, type_id=type_id, deadline=deadline)
+
+
+class TestConstruction:
+    def test_basic(self):
+        trace = Trace(two_tasks(), [request(0, 0.0), request(1, 1.0, 1)])
+        assert len(trace) == 2
+        assert trace.n_resources == 2
+        assert trace.task_of(trace[1]).type_id == 1
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([], [])
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Trace(two_tasks(), [request(0, 5.0), request(1, 1.0)])
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            Trace(two_tasks(), [request(3, 0.0)])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown task type"):
+            Trace(two_tasks(), [request(0, 0.0, type_id=7)])
+
+    def test_mixed_resource_counts_rejected(self):
+        tasks = [
+            TaskType(type_id=0, wcet=(4.0,), energy=(2.0,)),
+            TaskType(type_id=1, wcet=(4.0, 5.0), energy=(2.0, 2.0)),
+        ]
+        with pytest.raises(ValueError, match="same resources"):
+            Trace(tasks, [])
+
+    def test_iteration(self):
+        trace = Trace(two_tasks(), [request(0, 0.0), request(1, 2.0)])
+        assert [r.arrival for r in trace] == [0.0, 2.0]
+
+
+class TestStats:
+    def test_mean_interarrival(self):
+        trace = Trace(
+            two_tasks(), [request(0, 0.0), request(1, 2.0), request(2, 6.0)]
+        )
+        assert trace.mean_interarrival() == pytest.approx(3.0)
+        assert trace.stats().span == pytest.approx(6.0)
+
+    def test_energy_demand(self):
+        trace = Trace(two_tasks(), [request(0, 0.0), request(1, 1.0, 1)])
+        # task 0 mean energy 1.5; task 1 mean energy 3.0 (GPU not executable)
+        assert trace.stats().energy_demand == pytest.approx(4.5)
+
+    def test_empty_request_stream(self):
+        stats = Trace(two_tasks(), []).stats()
+        assert stats.n_requests == 0
+        assert stats.energy_demand == 0.0
+
+    def test_single_request(self):
+        stats = Trace(two_tasks(), [request(0, 3.0)]).stats()
+        assert stats.mean_interarrival == 0.0
+
+
+class TestSerialisation:
+    def test_roundtrip_hand_built(self, tmp_path):
+        trace = Trace(
+            two_tasks(),
+            [request(0, 0.0), request(1, 1.5, 1, 7.5)],
+            group="VT",
+            seed=9,
+        )
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.group == "VT"
+        assert loaded.seed == 9
+        assert loaded.tasks == trace.tasks
+        assert loaded.requests == trace.requests
+
+    def test_roundtrip_preserves_not_executable(self, tmp_path):
+        trace = Trace(two_tasks(), [request(0, 0.0, 1)])
+        path = tmp_path / "t.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.tasks[1].wcet[1] == NOT_EXECUTABLE
+
+    def test_roundtrip_generated(self, tmp_path, platform):
+        tasks = generate_task_set(
+            platform, TaskSetConfig(n_tasks=10), rng=np.random.default_rng(1)
+        )
+        trace = generate_trace(
+            tasks, TraceConfig(n_requests=40), rng=np.random.default_rng(2)
+        )
+        path = tmp_path / "gen.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.tasks == trace.tasks
+        assert loaded.requests == trace.requests
+
+    def test_to_dict_json_safe(self):
+        import json
+
+        trace = Trace(two_tasks(), [request(0, 0.0, 1)])
+        json.dumps(trace.to_dict())  # must not raise

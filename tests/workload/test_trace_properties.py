@@ -1,0 +1,91 @@
+"""Property tests: trace serialisation round-trips and generator
+invariants under randomized configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.platform import Platform
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+from repro.workload.trace import Trace
+from repro.workload.tracegen import DeadlineGroup, TraceConfig, generate_trace
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_tasks=st.integers(min_value=1, max_value=15),
+    n_requests=st.integers(min_value=1, max_value=40),
+    group=st.sampled_from([DeadlineGroup.VT, DeadlineGroup.LT]),
+    n_cpus=st.integers(min_value=1, max_value=4),
+    n_gpus=st.integers(min_value=0, max_value=2),
+    incompatible=st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=60, deadline=None)
+def test_generated_trace_roundtrips_and_validates(
+    seed, n_tasks, n_requests, group, n_cpus, n_gpus, incompatible
+):
+    platform = Platform.cpu_gpu(n_cpus, n_gpus)
+    tasks = generate_task_set(
+        platform,
+        TaskSetConfig(
+            n_tasks=n_tasks, accel_incompatible_fraction=incompatible
+        ),
+        rng=np.random.default_rng(seed),
+    )
+    trace = generate_trace(
+        tasks,
+        TraceConfig(group=group, n_requests=n_requests),
+        rng=np.random.default_rng(seed + 1),
+        seed=seed,
+    )
+
+    # JSON round-trip is exact.
+    loaded = Trace.from_dict(trace.to_dict())
+    assert loaded.tasks == trace.tasks
+    assert loaded.requests == trace.requests
+    assert loaded.seed == seed
+
+    # Generator invariants.
+    arrivals = [r.arrival for r in trace]
+    assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+    assert all(r.deadline > 0 for r in trace)
+    for task in trace.tasks:
+        assert task.executable_resources  # never fully incompatible
+        for k in range(platform.size):
+            for i in range(platform.size):
+                expected = 0.0 if k == i else None
+                if expected is not None:
+                    assert task.cm(k, i) == expected
+                else:
+                    assert task.cm(k, i) >= 0.0
+
+    # Energy demand is positive and consistent with the stats object.
+    stats = trace.stats()
+    assert stats.energy_demand > 0
+    assert stats.n_requests == n_requests
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=30, deadline=None)
+def test_vt_stochastically_tighter_than_lt(seed):
+    """Same task set, same seed: the VT trace's mean relative deadline is
+    (almost surely) below the LT trace's for non-trivial lengths."""
+    platform = Platform.cpu_gpu(3, 1)
+    tasks = generate_task_set(
+        platform, TaskSetConfig(n_tasks=10), rng=np.random.default_rng(seed)
+    )
+    vt = generate_trace(
+        tasks,
+        TraceConfig(group=DeadlineGroup.VT, n_requests=60),
+        rng=np.random.default_rng(seed + 1),
+    )
+    lt = generate_trace(
+        tasks,
+        TraceConfig(group=DeadlineGroup.LT, n_requests=60),
+        rng=np.random.default_rng(seed + 1),
+    )
+    assert (
+        vt.stats().mean_relative_deadline
+        < lt.stats().mean_relative_deadline
+    )

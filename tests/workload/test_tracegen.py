@@ -1,0 +1,186 @@
+"""Tests for the Sec. 5.1 trace generator."""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.model.platform import Platform
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+from repro.workload.tracegen import (
+    DeadlineGroup,
+    TraceConfig,
+    generate_trace,
+    generate_trace_group,
+)
+
+
+@pytest.fixture
+def tasks(platform):
+    return generate_task_set(
+        platform, TaskSetConfig(n_tasks=30), rng=np.random.default_rng(1)
+    )
+
+
+class TestDeadlineGroup:
+    def test_coefficient_ranges(self):
+        assert DeadlineGroup.VT.coefficient_range == (1.5, 2.0)
+        assert DeadlineGroup.LT.coefficient_range == (2.0, 6.0)
+
+    def test_values(self):
+        assert DeadlineGroup.VT.value == "VT"
+        assert DeadlineGroup.LT.value == "LT"
+
+
+class TestTraceConfig:
+    def test_defaults_match_paper(self):
+        cfg = TraceConfig()
+        assert cfg.n_requests == 500
+        assert cfg.interarrival_mean == 1.2
+        assert cfg.interarrival_std == 0.4
+
+    def test_mean_interarrival_scaled(self):
+        cfg = TraceConfig(arrival_scale=5.0)
+        assert cfg.mean_interarrival == pytest.approx(6.0)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [("n_requests", 0), ("interarrival_mean", 0.0), ("arrival_scale", -1.0)],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            TraceConfig(**{field: value})
+
+
+class TestGenerateTrace:
+    def test_length_and_indices(self, tasks):
+        trace = generate_trace(
+            tasks, TraceConfig(n_requests=50), rng=np.random.default_rng(2)
+        )
+        assert len(trace) == 50
+        assert [r.index for r in trace] == list(range(50))
+
+    def test_first_arrival_at_zero(self, tasks):
+        trace = generate_trace(tasks, rng=np.random.default_rng(2))
+        assert trace[0].arrival == 0.0
+
+    def test_arrivals_strictly_increasing(self, tasks):
+        trace = generate_trace(
+            tasks, TraceConfig(n_requests=200), rng=np.random.default_rng(3)
+        )
+        arrivals = [r.arrival for r in trace]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_interarrival_statistics(self, tasks):
+        cfg = TraceConfig(n_requests=2000, arrival_scale=1.0)
+        trace = generate_trace(tasks, cfg, rng=np.random.default_rng(4))
+        gaps = [
+            b.arrival - a.arrival
+            for a, b in zip(trace.requests, trace.requests[1:])
+        ]
+        assert statistics.fmean(gaps) == pytest.approx(1.2, abs=0.05)
+        assert statistics.stdev(gaps) == pytest.approx(0.4, abs=0.05)
+
+    def test_vt_deadlines_within_coefficient_bounds(self, tasks):
+        cfg = TraceConfig(n_requests=300, group=DeadlineGroup.VT)
+        trace = generate_trace(tasks, cfg, rng=np.random.default_rng(5))
+        for request in trace:
+            task = trace.task_of(request)
+            wcets = [task.wcet[i] for i in task.executable_resources]
+            # d = RWCET * C with C in [1.5, 2]: bounded by the extremes
+            assert 1.5 * min(wcets) - 1e-9 <= request.deadline
+            assert request.deadline <= 2.0 * max(wcets) + 1e-9
+
+    def test_lt_deadlines_looser_on_average(self, tasks):
+        vt = generate_trace(
+            tasks,
+            TraceConfig(n_requests=400, group=DeadlineGroup.VT),
+            rng=np.random.default_rng(6),
+        )
+        lt = generate_trace(
+            tasks,
+            TraceConfig(n_requests=400, group=DeadlineGroup.LT),
+            rng=np.random.default_rng(6),
+        )
+        mean_vt = statistics.fmean(r.deadline for r in vt)
+        mean_lt = statistics.fmean(r.deadline for r in lt)
+        assert mean_lt > mean_vt
+
+    def test_types_cover_task_set(self, tasks):
+        trace = generate_trace(
+            tasks, TraceConfig(n_requests=500), rng=np.random.default_rng(7)
+        )
+        seen = {r.type_id for r in trace}
+        assert len(seen) > len(tasks) // 2  # uniform draw covers most types
+        assert all(0 <= t < len(tasks) for t in seen)
+
+    def test_group_label_stored(self, tasks):
+        trace = generate_trace(
+            tasks,
+            TraceConfig(group=DeadlineGroup.LT, n_requests=5),
+            rng=np.random.default_rng(8),
+        )
+        assert trace.group == "LT"
+
+    def test_empty_task_set_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace([], TraceConfig(n_requests=5))
+
+    def test_reproducible(self, tasks):
+        a = generate_trace(tasks, rng=np.random.default_rng(9))
+        b = generate_trace(tasks, rng=np.random.default_rng(9))
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        assert [r.type_id for r in a] == [r.type_id for r in b]
+
+
+class TestGenerateTraceGroup:
+    def test_group_generation(self):
+        traces = generate_trace_group(
+            3,
+            group=DeadlineGroup.VT,
+            trace_config=TraceConfig(n_requests=20, group=DeadlineGroup.VT),
+            master_seed=1,
+        )
+        assert len(traces) == 3
+        assert all(len(t) == 20 for t in traces)
+        assert all(t.group == "VT" for t in traces)
+
+    def test_traces_differ_within_group(self):
+        traces = generate_trace_group(
+            2,
+            group=DeadlineGroup.VT,
+            trace_config=TraceConfig(n_requests=20, group=DeadlineGroup.VT),
+        )
+        assert [r.type_id for r in traces[0]] != [r.type_id for r in traces[1]]
+
+    def test_deterministic_in_master_seed(self):
+        a = generate_trace_group(
+            2,
+            group=DeadlineGroup.LT,
+            trace_config=TraceConfig(n_requests=15, group=DeadlineGroup.LT),
+            master_seed=42,
+        )
+        b = generate_trace_group(
+            2,
+            group=DeadlineGroup.LT,
+            trace_config=TraceConfig(n_requests=15, group=DeadlineGroup.LT),
+            master_seed=42,
+        )
+        for ta, tb in zip(a, b):
+            assert [r.arrival for r in ta] == [r.arrival for r in tb]
+
+    def test_group_config_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            generate_trace_group(
+                1,
+                group=DeadlineGroup.VT,
+                trace_config=TraceConfig(group=DeadlineGroup.LT),
+            )
+
+    def test_task_sets_differ_between_traces(self):
+        traces = generate_trace_group(
+            2,
+            group=DeadlineGroup.VT,
+            trace_config=TraceConfig(n_requests=5, group=DeadlineGroup.VT),
+        )
+        assert traces[0].tasks != traces[1].tasks
