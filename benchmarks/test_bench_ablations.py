@@ -8,7 +8,6 @@ choice and extension matters on the VT workload:
 * the lookahead-horizon extension (DESIGN semantics item 11).
 """
 
-import statistics
 
 import pytest
 

@@ -11,8 +11,6 @@ Run:
 
 from repro import (
     DeadlineGroup,
-    HeuristicResourceManager,
-    OraclePredictor,
     Platform,
     TraceConfig,
     generate_task_set,
@@ -36,10 +34,10 @@ def main() -> None:
     print(f"workload: {trace}, mean inter-arrival "
           f"{trace.mean_interarrival():.2f}")
 
-    without = simulate(trace, platform, HeuristicResourceManager())
-    with_prediction = simulate(
-        trace, platform, HeuristicResourceManager(), OraclePredictor()
-    )
+    # Strategies and predictors resolve by registry name (repro.registry);
+    # passing constructed objects still works.
+    without = simulate(trace, platform, "heuristic")
+    with_prediction = simulate(trace, platform, "heuristic", "oracle")
 
     print(f"predictor off: rejection {without.rejection_percentage:5.1f}%  "
           f"normalised energy {without.normalized_energy:.3f}")

@@ -9,18 +9,19 @@ discrete-event simulator and the full experiment harness.
 Quick start::
 
     from repro import (
-        Platform, TaskSetConfig, TraceConfig, DeadlineGroup,
-        generate_task_set, generate_trace,
-        HeuristicResourceManager, OraclePredictor, simulate,
+        Platform, TraceConfig, DeadlineGroup,
+        generate_task_set, generate_trace, simulate,
     )
 
     platform = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
     tasks = generate_task_set(platform)
     trace = generate_trace(tasks, TraceConfig(group=DeadlineGroup.VT))
-    result = simulate(
-        trace, platform, HeuristicResourceManager(), OraclePredictor()
-    )
+    result = simulate(trace, platform, "heuristic", "oracle")
     print(result.rejection_percentage, result.normalized_energy)
+
+Strategies and predictors are resolvable by registry name
+(:mod:`repro.registry`), and experiment sweeps run in parallel with
+``run_matrix(..., parallel=ParallelConfig(jobs=N))``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -49,6 +50,8 @@ from repro.model import (
     Resource,
     TaskType,
 )
+from repro.experiments.executor import ParallelConfig
+from repro.experiments.runner import Aggregate, RunSpec, run_matrix
 from repro.predict import (
     ArrivalNoisePredictor,
     ComposedPredictor,
@@ -57,6 +60,12 @@ from repro.predict import (
     Predictor,
     TypeNoisePredictor,
     evaluate_predictor,
+)
+from repro.registry import (
+    register_predictor,
+    register_strategy,
+    resolve_predictor,
+    resolve_strategy,
 )
 from repro.sim import (
     SimulationConfig,
@@ -122,4 +131,14 @@ __all__ = [
     "simulate",
     "SimulationConfig",
     "SimulationResult",
+    # registry
+    "resolve_strategy",
+    "resolve_predictor",
+    "register_strategy",
+    "register_predictor",
+    # experiments
+    "RunSpec",
+    "Aggregate",
+    "run_matrix",
+    "ParallelConfig",
 ]

@@ -20,14 +20,14 @@ import json
 import sys
 from pathlib import Path
 
-from repro.core.exact import ExactResourceManager
-from repro.core.heuristic import HeuristicResourceManager
-from repro.core.milp_rm import MilpResourceManager
 from repro.experiments.config import HarnessScale
-from repro.predict.base import NullPredictor
-from repro.predict.markov import ComposedPredictor
-from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
-from repro.predict.oracle import OraclePredictor
+from repro.experiments.executor import ParallelConfig
+from repro.registry import (
+    predictor_names,
+    resolve_predictor,
+    resolve_strategy,
+    strategy_names,
+)
 from repro.sim.simulator import SimulationConfig, simulate
 from repro.model.platform import Platform
 from repro.predict.metrics import evaluate_predictor
@@ -38,25 +38,26 @@ from repro.workload.tracegen import DeadlineGroup, TraceConfig, generate_trace
 
 __all__ = ["main", "build_parser"]
 
-_STRATEGIES = {
-    "heuristic": HeuristicResourceManager,
-    "milp": MilpResourceManager,
-    "exact": ExactResourceManager,
-}
+#: Predictors whose constructors take the CLI's --accuracy/--seed knobs.
+_NOISE_PREDICTORS = ("type-noise", "arrival-noise")
 
 
-def _build_predictor(name: str, accuracy: float, seed: int):
-    if name == "off":
-        return NullPredictor()
-    if name == "oracle":
-        return OraclePredictor()
-    if name == "learned":
-        return ComposedPredictor()
-    if name == "type-noise":
-        return TypeNoisePredictor(accuracy, seed=seed)
-    if name == "arrival-noise":
-        return ArrivalNoisePredictor(accuracy, seed=seed)
-    raise ValueError(f"unknown predictor {name!r}")
+def _jobs_count(text: str) -> int:
+    """argparse type for --jobs: a non-negative worker count."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores; 1 = serial), got {value}"
+        )
+    return value
+
+
+def _cli_predictor(name: str, accuracy: float, seed: int):
+    """Resolve a predictor name, wiring in the noise knobs where they
+    apply."""
+    if name in _NOISE_PREDICTORS:
+        return resolve_predictor(name, accuracy=accuracy, seed=seed)
+    return resolve_predictor(name)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,12 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cpus", type=int, default=5)
     run.add_argument("--gpus", type=int, default=1)
     run.add_argument(
-        "--strategy", choices=sorted(_STRATEGIES), default="heuristic"
+        "--strategy", choices=strategy_names(), default="heuristic"
     )
     run.add_argument(
-        "--predictor",
-        choices=["off", "oracle", "learned", "type-noise", "arrival-noise"],
-        default="off",
+        "--predictor", choices=predictor_names(), default="off"
     )
     run.add_argument("--accuracy", type=float, default=0.75,
                      help="accuracy level for the noise predictors")
@@ -112,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--traces", type=int, default=5)
     exp.add_argument("--requests", type=int, default=120)
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--jobs", type=_jobs_count, default=1,
+                     help="worker processes for the experiment matrix "
+                     "(0 = all cores; 1 = serial)")
     exp.add_argument("--out", type=Path, default=None,
                      help="directory for the full report (id = all)")
 
@@ -119,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("trace", type=Path)
     ev.add_argument(
         "--predictor",
-        choices=["oracle", "learned", "type-noise", "arrival-noise"],
+        choices=[name for name in predictor_names() if name != "off"],
         default="learned",
     )
     ev.add_argument("--accuracy", type=float, default=0.75)
@@ -159,8 +161,8 @@ def _cmd_generate(args) -> int:
 def _cmd_simulate(args) -> int:
     trace = Trace.load(args.trace)
     platform = Platform.cpu_gpu(args.cpus, args.gpus)
-    strategy = _STRATEGIES[args.strategy]()
-    predictor = _build_predictor(args.predictor, args.accuracy, args.seed)
+    strategy = resolve_strategy(args.strategy)
+    predictor = _cli_predictor(args.predictor, args.accuracy, args.seed)
     config = SimulationConfig(
         prediction_overhead=args.overhead, lookahead=args.lookahead
     )
@@ -184,10 +186,17 @@ def _cmd_experiment(args) -> int:
     scale = HarnessScale(
         n_traces=args.traces, n_requests=args.requests, master_seed=args.seed
     )
+    # jobs == 1 keeps the historical in-process path; anything else goes
+    # through the parallel executor (0 = one worker per core).
+    parallel = None if args.jobs == 1 else ParallelConfig(jobs=args.jobs)
     if args.id == "all":
         from repro.experiments.report_all import run_all
 
-        report = run_all(scale, progress=lambda name: print(f"... {name}"))
+        report = run_all(
+            scale,
+            progress=lambda name: print(f"... {name}"),
+            parallel=parallel,
+        )
         print(report.render())
         if args.out is not None:
             for path in report.save(args.out):
@@ -199,7 +208,7 @@ def _cmd_experiment(args) -> int:
             run_motivational,
         )
 
-        print(render_motivational(run_motivational()))
+        print(render_motivational(run_motivational(parallel=parallel)))
         return 0
     if args.id == "sec52":
         from repro.experiments.sec52_milp_vs_heuristic import (
@@ -207,7 +216,7 @@ def _cmd_experiment(args) -> int:
             run_sec52,
         )
 
-        print(render_sec52(run_sec52(scale)))
+        print(render_sec52(run_sec52(scale, parallel=parallel)))
         return 0
     if args.id in ("fig2", "fig3"):
         from repro.experiments.fig2_rejection import (
@@ -216,8 +225,8 @@ def _cmd_experiment(args) -> int:
         )
         from repro.experiments.fig3_energy import render_fig3
 
-        lt = run_prediction_impact(DeadlineGroup.LT, scale)
-        vt = run_prediction_impact(DeadlineGroup.VT, scale)
+        lt = run_prediction_impact(DeadlineGroup.LT, scale, parallel=parallel)
+        vt = run_prediction_impact(DeadlineGroup.VT, scale, parallel=parallel)
         print(render_fig2(lt, vt) if args.id == "fig2" else render_fig3(lt, vt))
         return 0
     if args.id == "fig4":
@@ -228,8 +237,8 @@ def _cmd_experiment(args) -> int:
 
         print(
             render_fig4(
-                run_accuracy_sweep("type", scale),
-                run_accuracy_sweep("arrival", scale),
+                run_accuracy_sweep("type", scale, parallel=parallel),
+                run_accuracy_sweep("arrival", scale, parallel=parallel),
             )
         )
         return 0
@@ -239,14 +248,14 @@ def _cmd_experiment(args) -> int:
             run_overhead_sweep,
         )
 
-        print(render_fig5(run_overhead_sweep(scale)))
+        print(render_fig5(run_overhead_sweep(scale, parallel=parallel)))
         return 0
     raise AssertionError(f"unhandled experiment {args.id}")  # pragma: no cover
 
 
 def _cmd_evaluate(args) -> int:
     trace = Trace.load(args.trace)
-    predictor = _build_predictor(args.predictor, args.accuracy, args.seed)
+    predictor = _cli_predictor(args.predictor, args.accuracy, args.seed)
     report = evaluate_predictor(predictor, trace)
     print(f"predictor     : {args.predictor}")
     print(f"forecasts     : {report.n_predictions} "

@@ -14,7 +14,7 @@ import abc
 import math
 from dataclasses import dataclass, field
 
-from repro.core.context import PlannedTask, RMContext
+from repro.core.context import RMContext
 from repro.sched.timeline import FutureJob, ReadyJob, build_timeline
 
 __all__ = [

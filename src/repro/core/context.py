@@ -17,7 +17,7 @@ quantities; :class:`RMContext` bundles the full activation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.model.platform import Platform
 from repro.model.task import TaskType

@@ -33,7 +33,6 @@ experiment results.
 
 from __future__ import annotations
 
-import math
 
 from repro.core.base import (
     MappingDecision,

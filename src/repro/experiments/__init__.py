@@ -12,7 +12,11 @@ One module per table/figure (see DESIGN.md's experiment index):
 
 Every experiment accepts a :class:`~repro.experiments.config.HarnessScale`
 and defaults to a reduced configuration controlled by ``REPRO_TRACES`` /
-``REPRO_REQUESTS`` / ``REPRO_FULL`` / ``REPRO_SEED``.
+``REPRO_REQUESTS`` / ``REPRO_FULL`` / ``REPRO_SEED``.  Passing
+``parallel=ParallelConfig(jobs=N)`` (or ``--jobs N`` on the CLI) fans
+the (configuration x trace) matrix out over worker processes with
+results bit-identical to the serial path
+(:mod:`repro.experiments.executor`).
 """
 
 from repro.experiments.config import CALIBRATED_ARRIVAL_SCALE, HarnessScale
@@ -22,6 +26,7 @@ from repro.experiments.common import (
     standard_traces,
     strategy_factory,
 )
+from repro.experiments.executor import ParallelConfig, execute_matrix
 from repro.experiments.fig2_rejection import (
     PredictionImpactResult,
     render_fig2,
@@ -46,7 +51,13 @@ from repro.experiments.motivational import (
     run_motivational,
 )
 from repro.experiments.report_all import FullReport, run_all
-from repro.experiments.runner import Aggregate, RunSpec, run_matrix
+from repro.experiments.runner import (
+    Aggregate,
+    CellFailure,
+    CellStats,
+    RunSpec,
+    run_matrix,
+)
 from repro.experiments.sec52_milp_vs_heuristic import (
     Sec52Result,
     render_sec52,
@@ -62,6 +73,10 @@ __all__ = [
     "strategy_factory",
     "RunSpec",
     "Aggregate",
+    "CellFailure",
+    "CellStats",
+    "ParallelConfig",
+    "execute_matrix",
     "run_matrix",
     "run_all",
     "FullReport",

@@ -2,19 +2,16 @@
 
 All experiments use the paper's platform (five CPUs + one GPU), the
 Sec. 5.1 generators with the calibrated inter-arrival scale, and the
-strategy registry below.
+library-wide strategy registry (:mod:`repro.registry` — re-exported here
+for backwards compatibility; the experiments no longer keep a private
+copy).
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.core.base import MappingStrategy
-from repro.core.exact import ExactResourceManager
-from repro.core.heuristic import HeuristicResourceManager
-from repro.core.milp_rm import MilpResourceManager
 from repro.experiments.config import CALIBRATED_ARRIVAL_SCALE, HarnessScale
 from repro.model.platform import Platform
+from repro.registry import STRATEGIES, strategy_factory
 from repro.workload.trace import Trace
 from repro.workload.tracegen import (
     DeadlineGroup,
@@ -29,27 +26,10 @@ __all__ = [
     "strategy_factory",
 ]
 
-STRATEGIES: dict[str, Callable[[], MappingStrategy]] = {
-    "milp": MilpResourceManager,
-    "heuristic": HeuristicResourceManager,
-    "exact": ExactResourceManager,
-}
-"""Registry of mapping strategies selectable by name in experiments."""
-
 
 def standard_platform() -> Platform:
     """The paper's experimental platform: five CPUs and one GPU."""
     return Platform.cpu_gpu(n_cpus=5, n_gpus=1)
-
-
-def strategy_factory(name: str) -> Callable[[], MappingStrategy]:
-    """Look up a strategy factory by registry name."""
-    try:
-        return STRATEGIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
-        ) from None
 
 
 def standard_traces(

@@ -1,0 +1,395 @@
+"""Process-parallel execution of the (spec x trace) experiment matrix.
+
+The experiment harness is embarrassingly parallel: every (configuration,
+trace) cell is an independent simulation, fully determined by the spec's
+factories and the trace (all seeding happens at spec construction, never
+at run time).  :func:`execute_matrix` shards the matrix into work units,
+fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`,
+and folds the results back in stable spec-major order — so the returned
+aggregates are **bit-identical** to the serial path of
+:func:`repro.experiments.runner.run_matrix`.
+
+Robustness: a unit that raises inside a worker, times out, or loses its
+worker process (``BrokenProcessPool``) is retried up to
+``ParallelConfig.retries`` times; a unit that still fails is recorded as
+a :class:`~repro.experiments.runner.CellFailure` on its aggregate
+instead of killing the sweep.
+
+Work units must pickle, which is why :class:`RunSpec` factories are
+resolved *by registry name* (:meth:`RunSpec.from_names`,
+:mod:`repro.registry`) rather than closures; specs whose factories do
+not pickle are rejected with a diagnostic before any worker starts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.experiments.runner import (
+    Aggregate,
+    CellFailure,
+    CellStats,
+    RunSpec,
+)
+from repro.model.platform import Platform
+from repro.sim.result import SimulationResult
+from repro.sim.simulator import Simulator
+from repro.util.validation import check_non_negative
+from repro.workload.trace import Trace
+
+__all__ = ["ParallelConfig", "execute_matrix"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the parallel experiment executor.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes; ``0`` means ``os.cpu_count()``.
+    chunk_size:
+        Work units dispatched per task (amortises IPC overhead).
+        ``None`` picks ``ceil(n_units / (4 * jobs))``, capped at 8, so
+        every worker gets several chunks for load balancing.
+    timeout:
+        Optional per-unit wall-clock budget in seconds.  A unit over
+        budget is recorded as failed (and retried while attempts
+        remain); the busy worker is not killed — it frees its slot when
+        the simulation eventually returns.  Setting a timeout forces
+        ``chunk_size=1`` so budgets are per-unit, not per-chunk.
+    retries:
+        How many times a failed unit is re-submitted (0 = one attempt).
+    """
+
+    jobs: int = 0
+    chunk_size: int | None = None
+    timeout: float | None = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.timeout is not None:
+            check_non_negative("timeout", self.timeout)
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+    def resolved_jobs(self) -> int:
+        """The effective worker count."""
+        return self.jobs if self.jobs > 0 else (os.cpu_count() or 1)
+
+    def resolved_chunk_size(self, n_units: int) -> int:
+        """The effective units-per-dispatch."""
+        if self.timeout is not None:
+            return 1
+        if self.chunk_size is not None:
+            return self.chunk_size
+        jobs = self.resolved_jobs()
+        return max(1, min(8, -(-n_units // (4 * jobs))))
+
+
+@dataclass(frozen=True)
+class _UnitOutcome:
+    """What one (spec, trace) unit produced inside a worker."""
+
+    spec_index: int
+    trace_index: int
+    wall_time: float
+    result: SimulationResult | None = None
+    error: str | None = None
+
+
+# Worker-side state, set once per process by the pool initializer so
+# per-chunk submissions only carry small index tuples.
+_WORKER_STATE: tuple[Platform, Sequence[RunSpec], Sequence[Trace]] | None = None
+
+
+def _init_worker(
+    platform: Platform, specs: Sequence[RunSpec], traces: Sequence[Trace]
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (platform, specs, traces)
+
+
+def _run_chunk(units: Sequence[tuple[int, int]]) -> list[_UnitOutcome]:
+    """Execute a chunk of (spec_index, trace_index) units in a worker.
+
+    Exceptions are captured per unit so one bad cell cannot take down
+    the chunk (let alone the pool).
+    """
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    platform, specs, traces = _WORKER_STATE
+    outcomes = []
+    for spec_index, trace_index in units:
+        spec = specs[spec_index]
+        start = time.perf_counter()
+        try:
+            simulator = Simulator(
+                platform, spec.strategy(), spec.predictor(), spec.sim_config
+            )
+            result = simulator.run(traces[trace_index])
+        except Exception as exc:  # recorded, not raised: see CellFailure
+            outcomes.append(
+                _UnitOutcome(
+                    spec_index,
+                    trace_index,
+                    wall_time=time.perf_counter() - start,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            outcomes.append(
+                _UnitOutcome(
+                    spec_index,
+                    trace_index,
+                    wall_time=time.perf_counter() - start,
+                    result=result,
+                )
+            )
+    return outcomes
+
+
+def _check_picklable(specs: Sequence[RunSpec]) -> None:
+    """Fail fast, with the offending label, on unpicklable specs."""
+    for spec in specs:
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise ValueError(
+                f"spec {spec.label!r} does not pickle and cannot be "
+                f"dispatched to worker processes — build it with "
+                f"RunSpec.from_names() (registry-name factories) instead "
+                f"of closures/lambdas ({type(exc).__name__}: {exc})"
+            ) from exc
+
+
+def execute_matrix(
+    traces: Sequence[Trace],
+    platform: Platform,
+    specs: Sequence[RunSpec],
+    *,
+    keep_results: bool = False,
+    progress: Callable[[str, int, int], None] | None = None,
+    config: ParallelConfig | None = None,
+) -> dict[str, Aggregate]:
+    """Run the (spec x trace) matrix on a process pool.
+
+    Prefer calling :func:`repro.experiments.runner.run_matrix` with
+    ``parallel=``; this is the engine behind it.  Aggregates come back
+    in spec order with per-trace entries in trace order regardless of
+    completion order; failed cells land in ``Aggregate.failures``.
+    """
+    config = config or ParallelConfig()
+    aggregates = {spec.label: Aggregate(spec.label) for spec in specs}
+    if not traces or not specs:
+        return aggregates
+    _check_picklable(specs)
+
+    units = [
+        (spec_index, trace_index)
+        for spec_index in range(len(specs))
+        for trace_index in range(len(traces))
+    ]
+    chunk_size = config.resolved_chunk_size(len(units))
+    chunks = [
+        units[start:start + chunk_size]
+        for start in range(0, len(units), chunk_size)
+    ]
+    max_attempts = config.retries + 1
+
+    # (spec_index, trace_index) -> latest _UnitOutcome; attempts per unit.
+    outcomes: dict[tuple[int, int], _UnitOutcome] = {}
+    attempts: dict[tuple[int, int], int] = {unit: 0 for unit in units}
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(config.resolved_jobs(), len(chunks)),
+            initializer=_init_worker,
+            initargs=(platform, specs, traces),
+        )
+
+    def record(outcome: _UnitOutcome) -> None:
+        outcomes[(outcome.spec_index, outcome.trace_index)] = outcome
+        if progress is not None:
+            progress(
+                specs[outcome.spec_index].label,
+                outcome.trace_index,
+                len(traces),
+            )
+
+    pool = make_pool()
+    try:
+        pending: dict[Future, list[tuple[int, int]]] = {}
+        deadlines: dict[Future, float] = {}
+        queue = list(chunks)
+        while queue or pending:
+            while queue and len(pending) < 2 * config.resolved_jobs():
+                chunk = queue.pop(0)
+                for unit in chunk:
+                    attempts[unit] += 1
+                future = pool.submit(_run_chunk, chunk)
+                pending[future] = chunk
+                if config.timeout is not None:
+                    deadlines[future] = time.monotonic() + config.timeout
+            wait_budget = None
+            if deadlines:
+                wait_budget = max(
+                    0.0, min(deadlines.values()) - time.monotonic()
+                )
+            done, _ = wait(
+                pending, timeout=wait_budget, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            pool_broken = False
+            for future in done:
+                chunk = pending.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    chunk_outcomes = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (crash, OOM kill). The chunk's
+                    # units are retried or recorded; the pool is rebuilt
+                    # below once this batch of futures is drained.
+                    pool_broken = True
+                    queue.extend(
+                        _requeue_or_fail(
+                            chunk,
+                            attempts,
+                            max_attempts,
+                            "worker process crashed (BrokenProcessPool)",
+                            record,
+                        )
+                    )
+                    continue
+                except Exception as exc:
+                    queue.extend(
+                        _requeue_or_fail(
+                            chunk,
+                            attempts,
+                            max_attempts,
+                            f"{type(exc).__name__}: {exc}",
+                            record,
+                        )
+                    )
+                    continue
+                for outcome in chunk_outcomes:
+                    unit = (outcome.spec_index, outcome.trace_index)
+                    if (
+                        outcome.error is not None
+                        and attempts[unit] < max_attempts
+                    ):
+                        queue.append([unit])
+                        continue
+                    record(outcome)
+            if pool_broken:
+                # In-flight chunks are lost with the pool; requeue them
+                # without charging an attempt (not their failure).
+                for future, chunk in pending.items():
+                    future.cancel()
+                    for unit in chunk:
+                        attempts[unit] -= 1
+                    queue.append(chunk)
+                pending.clear()
+                deadlines.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = make_pool()
+                continue
+            expired = [
+                future
+                for future in list(pending)
+                if deadlines.get(future, now + 1) <= now
+            ]
+            for future in expired:
+                chunk = pending.pop(future)
+                deadlines.pop(future, None)
+                future.cancel()  # a running chunk keeps its slot; see docs
+                queue.extend(
+                    _requeue_or_fail(
+                        chunk,
+                        attempts,
+                        max_attempts,
+                        f"timed out after {config.timeout:g}s "
+                        "(worker still draining)",
+                        record,
+                    )
+                )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Fold in stable spec-major, trace-ascending order: identical floats,
+    # identical list order, identical dict order to the serial path.
+    for spec_index, spec in enumerate(specs):
+        aggregate = aggregates[spec.label]
+        for trace_index in range(len(traces)):
+            unit = (spec_index, trace_index)
+            outcome = outcomes.get(unit)
+            if outcome is None or outcome.error is not None:
+                aggregate.failures.append(
+                    CellFailure(
+                        label=spec.label,
+                        trace_index=trace_index,
+                        error=(
+                            outcome.error
+                            if outcome is not None
+                            else "unit never completed"
+                        ),
+                        attempts=attempts[unit],
+                    )
+                )
+                continue
+            assert outcome.result is not None
+            aggregate.add(outcome.result, keep_result=keep_results)
+            aggregate.cell_stats.append(
+                CellStats(
+                    label=spec.label,
+                    trace_index=trace_index,
+                    wall_time=outcome.wall_time,
+                    solver_calls=outcome.result.solver_calls_total,
+                    attempts=attempts[unit],
+                )
+            )
+    return aggregates
+
+
+def _requeue_or_fail(
+    chunk: Sequence[tuple[int, int]],
+    attempts: dict[tuple[int, int], int],
+    max_attempts: int,
+    error: str,
+    record: Callable[[_UnitOutcome], None],
+) -> list[list[tuple[int, int]]]:
+    """Split a failed chunk into retry singletons; record exhausted units.
+
+    Retrying units one-by-one isolates a poisonous cell from its chunk
+    mates on the second attempt.
+    """
+    retries = []
+    for unit in chunk:
+        if attempts[unit] < max_attempts:
+            retries.append([unit])
+        else:
+            record(
+                _UnitOutcome(
+                    spec_index=unit[0],
+                    trace_index=unit[1],
+                    wall_time=0.0,
+                    error=error,
+                )
+            )
+    return retries

@@ -17,14 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import (
-    standard_platform,
-    standard_traces,
-    strategy_factory,
-)
+from repro.experiments.common import standard_platform, standard_traces
 from repro.experiments.config import HarnessScale
+from repro.experiments.executor import ParallelConfig
 from repro.experiments.runner import Aggregate, RunSpec, run_matrix
-from repro.predict.oracle import OraclePredictor
 from repro.util.tables import ascii_bar_chart, ascii_table
 from repro.workload.tracegen import DeadlineGroup
 
@@ -57,6 +53,7 @@ def run_prediction_impact(
     scale: HarnessScale | None = None,
     *,
     strategies: tuple[str, ...] = ("milp", "heuristic"),
+    parallel: ParallelConfig | int | None = None,
 ) -> PredictionImpactResult:
     """Run {strategies} x {on, off} over one deadline group."""
     scale = scale or HarnessScale.from_env(default_traces=6, default_requests=100)
@@ -64,18 +61,11 @@ def run_prediction_impact(
     traces = standard_traces(group, scale)
     specs = []
     for name in strategies:
-        factory = strategy_factory(name)
+        specs.append(RunSpec.from_names(f"{name}-off", strategy=name))
         specs.append(
-            RunSpec(label=f"{name}-off", strategy=factory)
+            RunSpec.from_names(f"{name}-on", strategy=name, predictor="oracle")
         )
-        specs.append(
-            RunSpec(
-                label=f"{name}-on",
-                strategy=factory,
-                predictor=OraclePredictor,
-            )
-        )
-    aggregates = run_matrix(traces, platform, specs)
+    aggregates = run_matrix(traces, platform, specs, parallel=parallel)
     return PredictionImpactResult(group=group, scale=scale, aggregates=aggregates)
 
 

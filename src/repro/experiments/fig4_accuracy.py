@@ -14,14 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import (
-    standard_platform,
-    standard_traces,
-    strategy_factory,
-)
+from repro.experiments.common import standard_platform, standard_traces
 from repro.experiments.config import HarnessScale
+from repro.experiments.executor import ParallelConfig
 from repro.experiments.runner import Aggregate, RunSpec, run_matrix
-from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
 from repro.util.rng import derive_seed
 from repro.util.tables import ascii_line_chart, ascii_table
 from repro.workload.tracegen import DeadlineGroup
@@ -57,11 +53,9 @@ class AccuracySweepResult:
         return all(b >= a - tolerance for a, b in zip(series, series[1:]))
 
 
-def _noise_factory(axis: str, level: float, seed: int):
-    if axis == "type":
-        return lambda: TypeNoisePredictor(level, seed=seed)
-    if axis == "arrival":
-        return lambda: ArrivalNoisePredictor(level, seed=seed)
+def _noise_predictor_name(axis: str) -> str:
+    if axis in ("type", "arrival"):
+        return f"{axis}-noise"
     raise ValueError(f"unknown noise axis {axis!r}")
 
 
@@ -72,25 +66,27 @@ def run_accuracy_sweep(
     levels: tuple[float, ...] = DEFAULT_ACCURACY_LEVELS,
     strategies: tuple[str, ...] = ("milp", "heuristic"),
     group: DeadlineGroup = DeadlineGroup.VT,
+    parallel: ParallelConfig | int | None = None,
 ) -> AccuracySweepResult:
     """Sweep one noise axis over the VT group."""
+    predictor = _noise_predictor_name(axis)
     scale = scale or HarnessScale.from_env(default_traces=6, default_requests=100)
     platform = standard_platform()
     traces = standard_traces(group, scale)
     specs = []
     for name in strategies:
-        factory = strategy_factory(name)
         for level in levels:
             noise_seed = derive_seed(scale.master_seed, f"{axis}:{level}")
             specs.append(
-                RunSpec(
-                    label=f"{name}@{level:g}",
-                    strategy=factory,
-                    predictor=_noise_factory(axis, level, noise_seed),
+                RunSpec.from_names(
+                    f"{name}@{level:g}",
+                    strategy=name,
+                    predictor=predictor,
+                    predictor_kwargs={"accuracy": level, "seed": noise_seed},
                 )
             )
-        specs.append(RunSpec(label=f"{name}@off", strategy=factory))
-    aggregates = run_matrix(traces, platform, specs)
+        specs.append(RunSpec.from_names(f"{name}@off", strategy=name))
+    aggregates = run_matrix(traces, platform, specs, parallel=parallel)
     return AccuracySweepResult(
         axis=axis, scale=scale, levels=tuple(levels), aggregates=aggregates
     )

@@ -15,14 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import (
-    standard_platform,
-    standard_traces,
-    strategy_factory,
-)
+from repro.experiments.common import standard_platform, standard_traces
 from repro.experiments.config import HarnessScale
+from repro.experiments.executor import ParallelConfig
 from repro.experiments.runner import Aggregate, RunSpec, run_matrix
-from repro.predict.oracle import OraclePredictor
 from repro.sim.simulator import SimulationConfig
 from repro.util.tables import ascii_line_chart, ascii_table
 from repro.workload.tracegen import DeadlineGroup, TraceConfig
@@ -83,6 +79,7 @@ def run_overhead_sweep(
     coefficients: tuple[float, ...] = DEFAULT_OVERHEAD_COEFFICIENTS,
     strategies: tuple[str, ...] = ("milp", "heuristic"),
     group: DeadlineGroup = DeadlineGroup.VT,
+    parallel: ParallelConfig | int | None = None,
 ) -> OverheadSweepResult:
     """Sweep the prediction-overhead coefficient over the VT group."""
     scale = scale or HarnessScale.from_env(default_traces=6, default_requests=100)
@@ -93,20 +90,19 @@ def run_overhead_sweep(
     mean_gap = TraceConfig(group=group).mean_interarrival
     specs = []
     for name in strategies:
-        factory = strategy_factory(name)
         for coeff in coefficients:
             specs.append(
-                RunSpec(
-                    label=f"{name}@{coeff:g}",
-                    strategy=factory,
-                    predictor=OraclePredictor,
+                RunSpec.from_names(
+                    f"{name}@{coeff:g}",
+                    strategy=name,
+                    predictor="oracle",
                     sim_config=SimulationConfig(
                         prediction_overhead=coeff * mean_gap
                     ),
                 )
             )
-        specs.append(RunSpec(label=f"{name}@off", strategy=factory))
-    aggregates = run_matrix(traces, platform, specs)
+        specs.append(RunSpec.from_names(f"{name}@off", strategy=name))
+    aggregates = run_matrix(traces, platform, specs, parallel=parallel)
     return OverheadSweepResult(
         scale=scale,
         coefficients=tuple(coefficients),

@@ -29,14 +29,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.base import MappingStrategy
 from repro.core.heuristic import HeuristicResourceManager
+from repro.experiments.executor import ParallelConfig
+from repro.experiments.runner import RunSpec, run_matrix
 from repro.model.platform import Platform
 from repro.model.request import PredictedRequest, Request
 from repro.model.task import TaskType
 from repro.predict.oracle import OraclePredictor
 from repro.predict.scripted import ScriptedPredictor
-from repro.sim.simulator import simulate
 from repro.util.tables import ascii_table
 from repro.workload.trace import Trace
 
@@ -96,35 +96,65 @@ def build_trace(*, tau2_arrival: float = 1.0) -> Trace:
     return Trace(tasks, requests, group="motivational")
 
 
+def _wrong_predictor() -> ScriptedPredictor:
+    """Scenario (c)'s predictor: announces tau_2 at time 1 (it arrives at
+    3).  Module-level so the spec pickles for parallel execution."""
+    return ScriptedPredictor(
+        {0: PredictedRequest(arrival=1.0, type_id=1, deadline=5.0)}
+    )
+
+
 def run_motivational(
     strategy_factory=HeuristicResourceManager,
+    *,
+    parallel: ParallelConfig | int | None = None,
 ) -> MotivationalOutcome:
     """Run the three scenarios with the given strategy (heuristic by
     default; the exact/MILP managers give identical outcomes)."""
     platform = build_platform()
 
-    # (a) tau_2 at time 1, no prediction: tau_2 must be rejected.
+    # Scenarios (a)/(b): tau_2 at time 1, prediction off vs accurate —
+    # without prediction tau_2 must be rejected, with it both fit.
     trace_early = build_trace(tau2_arrival=1.0)
-    no_pred = simulate(trace_early, platform, strategy_factory())
-
-    # (b) accurate prediction: both admitted.
-    with_pred = simulate(
-        trace_early, platform, strategy_factory(), OraclePredictor()
+    early = run_matrix(
+        [trace_early],
+        platform,
+        [
+            RunSpec(label="no-prediction", strategy=strategy_factory),
+            RunSpec(
+                label="with-prediction",
+                strategy=strategy_factory,
+                predictor=OraclePredictor,
+            ),
+        ],
+        keep_results=True,
+        parallel=parallel,
     )
 
-    # (c) predicted at 1, actually arrives at 3.
+    # Scenario (c): predicted at 1, actually arrives at 3.
     trace_late = build_trace(tau2_arrival=3.0)
-    wrong_predictor = ScriptedPredictor(
-        {0: PredictedRequest(arrival=1.0, type_id=1, deadline=5.0)}
+    late = run_matrix(
+        [trace_late],
+        platform,
+        [
+            RunSpec(
+                label="wrong-prediction",
+                strategy=strategy_factory,
+                predictor=_wrong_predictor,
+            ),
+            RunSpec(label="late-no-prediction", strategy=strategy_factory),
+        ],
+        keep_results=True,
+        parallel=parallel,
     )
-    wrong = simulate(trace_late, platform, strategy_factory(), wrong_predictor)
-    late_no_pred = simulate(trace_late, platform, strategy_factory())
 
     return MotivationalOutcome(
-        accepted_without_prediction=no_pred.n_accepted,
-        accepted_with_prediction=with_pred.n_accepted,
-        energy_wrong_prediction=wrong.total_energy,
-        energy_no_prediction_late=late_no_pred.total_energy,
+        accepted_without_prediction=early["no-prediction"].results[0].n_accepted,
+        accepted_with_prediction=early["with-prediction"].results[0].n_accepted,
+        energy_wrong_prediction=late["wrong-prediction"].results[0].total_energy,
+        energy_no_prediction_late=(
+            late["late-no-prediction"].results[0].total_energy
+        ),
     )
 
 

@@ -131,11 +131,14 @@ def run_all(
     *,
     strategies: tuple[str, ...] = ("milp", "heuristic"),
     progress=None,
+    parallel=None,
 ) -> FullReport:
     """Run every experiment (E1–E7) and collect the rendered artefacts.
 
     ``progress`` is an optional ``callable(section_name)`` invoked before
-    each experiment (for console feedback on long runs).
+    each experiment (for console feedback on long runs).  ``parallel``
+    (a :class:`~repro.experiments.executor.ParallelConfig` or worker
+    count) fans each experiment's matrix out over worker processes.
     """
     scale = scale or HarnessScale.from_env(default_traces=5, default_requests=120)
     report = FullReport(scale=scale)
@@ -145,7 +148,7 @@ def run_all(
             progress(name)
 
     step("E7 motivational")
-    outcome = run_motivational()
+    outcome = run_motivational(parallel=parallel)
     report.sections["E7 motivational (Table 1 / Fig. 1)"] = (
         render_motivational(outcome)
     )
@@ -158,7 +161,7 @@ def run_all(
     }
 
     step("E1 sec52")
-    sec52 = run_sec52(scale)
+    sec52 = run_sec52(scale, parallel=parallel)
     report.sections["E1 Sec. 5.2 (MILP vs heuristic)"] = render_sec52(sec52)
     report.payloads["sec52"] = {
         "milp_mean": sec52.milp_mean,
@@ -169,8 +172,12 @@ def run_all(
     }
 
     step("E2/E3 fig2+fig3")
-    lt = run_prediction_impact(DeadlineGroup.LT, scale, strategies=strategies)
-    vt = run_prediction_impact(DeadlineGroup.VT, scale, strategies=strategies)
+    lt = run_prediction_impact(
+        DeadlineGroup.LT, scale, strategies=strategies, parallel=parallel
+    )
+    vt = run_prediction_impact(
+        DeadlineGroup.VT, scale, strategies=strategies, parallel=parallel
+    )
     report.sections["E2 Fig. 2 (rejection, prediction on/off)"] = render_fig2(
         lt, vt
     )
@@ -181,8 +188,12 @@ def run_all(
     }
 
     step("E4/E5 fig4")
-    type_sweep = run_accuracy_sweep("type", scale, strategies=strategies)
-    arrival_sweep = run_accuracy_sweep("arrival", scale, strategies=strategies)
+    type_sweep = run_accuracy_sweep(
+        "type", scale, strategies=strategies, parallel=parallel
+    )
+    arrival_sweep = run_accuracy_sweep(
+        "arrival", scale, strategies=strategies, parallel=parallel
+    )
     report.sections["E4/E5 Fig. 4 (accuracy sweeps)"] = render_fig4(
         type_sweep, arrival_sweep
     )
@@ -192,7 +203,7 @@ def run_all(
     }
 
     step("E6 fig5")
-    overhead = run_overhead_sweep(scale, strategies=strategies)
+    overhead = run_overhead_sweep(scale, strategies=strategies, parallel=parallel)
     report.sections["E6 Fig. 5 (overhead sweep)"] = render_fig5(overhead)
     report.payloads["fig5"] = aggregates_to_dict(overhead.aggregates)
 

@@ -5,22 +5,44 @@ set of traces and aggregate" — :func:`run_matrix` does exactly that, with
 deterministic per-trace seeding so results are exactly reproducible and
 directly comparable across configurations (each configuration sees the
 *same* traces).
+
+Passing ``parallel=`` fans the (spec x trace) matrix out over worker
+processes (see :mod:`repro.experiments.executor`); results are folded
+back in stable spec-major order, so the aggregates are bit-identical to
+the serial path.
 """
 
 from __future__ import annotations
 
 import statistics
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.core.base import MappingStrategy
 from repro.model.platform import Platform
 from repro.predict.base import Predictor
+from repro.registry import predictor_factory, strategy_factory
 from repro.sim.result import SimulationResult
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workload.trace import Trace
 
-__all__ = ["RunSpec", "Aggregate", "run_matrix"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.executor import ParallelConfig
+
+__all__ = [
+    "RunSpec",
+    "Aggregate",
+    "CellFailure",
+    "CellStats",
+    "run_matrix",
+]
+
+
+def _no_predictor() -> None:
+    """Default predictor factory: no prediction (module-level so
+    :class:`RunSpec` stays picklable)."""
+    return None
 
 
 @dataclass(frozen=True)
@@ -29,13 +51,71 @@ class RunSpec:
 
     Factories (not instances) are taken so every trace gets fresh,
     state-free objects — predictors learn online and must not leak state
-    across traces.
+    across traces.  For parallel execution the factories must pickle;
+    :meth:`from_names` builds specs from registry names, which always do.
     """
 
     label: str
     strategy: Callable[[], MappingStrategy]
-    predictor: Callable[[], Predictor | None] = lambda: None
+    predictor: Callable[[], Predictor | None] = _no_predictor
     sim_config: SimulationConfig = field(default_factory=SimulationConfig)
+
+    @classmethod
+    def from_names(
+        cls,
+        label: str,
+        strategy: str,
+        predictor: str | None = None,
+        *,
+        predictor_kwargs: Mapping[str, Any] | None = None,
+        sim_config: SimulationConfig | None = None,
+    ) -> "RunSpec":
+        """Build a picklable spec from registry names.
+
+        ``predictor=None`` (or ``"off"``) runs without prediction;
+        ``predictor_kwargs`` are forwarded to the predictor constructor
+        (e.g. ``{"accuracy": 0.75, "seed": 3}`` for the noise
+        predictors).  Names are validated eagerly so a typo fails at
+        spec-construction time, not inside a worker process.
+        """
+        pred_factory: Callable[[], Predictor | None]
+        if predictor is None:
+            if predictor_kwargs:
+                raise ValueError(
+                    "predictor_kwargs given without a predictor name"
+                )
+            pred_factory = _no_predictor
+        else:
+            pred_factory = predictor_factory(
+                predictor, **dict(predictor_kwargs or {})
+            )
+        return cls(
+            label=label,
+            strategy=strategy_factory(strategy),
+            predictor=pred_factory,
+            sim_config=sim_config or SimulationConfig(),
+        )
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Observability record for one executed (spec, trace) cell."""
+
+    label: str
+    trace_index: int
+    wall_time: float
+    solver_calls: int
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A (spec, trace) cell that failed after all retry attempts."""
+
+    label: str
+    trace_index: int
+    error: str
+    attempts: int
 
 
 @dataclass
@@ -46,6 +126,8 @@ class Aggregate:
     rejection_percentages: list[float] = field(default_factory=list)
     normalized_energies: list[float] = field(default_factory=list)
     results: list[SimulationResult] = field(default_factory=list)
+    cell_stats: list[CellStats] = field(default_factory=list)
+    failures: list[CellFailure] = field(default_factory=list)
 
     def add(self, result: SimulationResult, *, keep_result: bool) -> None:
         """Fold one simulation result into the aggregate."""
@@ -76,6 +158,21 @@ class Aggregate:
         """How many traces have been aggregated."""
         return len(self.rejection_percentages)
 
+    @property
+    def n_failures(self) -> int:
+        """How many cells failed (recorded, not aggregated)."""
+        return len(self.failures)
+
+    @property
+    def total_wall_time(self) -> float:
+        """Sum of per-cell wall times (compute cost, not elapsed time)."""
+        return sum(stats.wall_time for stats in self.cell_stats)
+
+    @property
+    def total_solver_calls(self) -> int:
+        """Sum of strategy invocations across all cells."""
+        return sum(stats.solver_calls for stats in self.cell_stats)
+
 
 def run_matrix(
     traces: Sequence[Trace],
@@ -84,6 +181,7 @@ def run_matrix(
     *,
     keep_results: bool = False,
     progress: Callable[[str, int, int], None] | None = None,
+    parallel: "ParallelConfig | int | None" = None,
 ) -> dict[str, Aggregate]:
     """Run every spec over every trace.
 
@@ -99,12 +197,33 @@ def run_matrix(
         Retain each :class:`SimulationResult` (memory-heavy) in addition
         to the aggregated metrics.
     progress:
-        Optional callback ``(label, trace_index, n_traces)`` invoked
-        before each simulation (for long-run reporting).
+        Optional callback ``(label, trace_index, n_traces)``.  Serially
+        it fires before each simulation; in parallel mode it fires as
+        cells *complete* (completion order is nondeterministic, the
+        folded aggregates are not).
+    parallel:
+        ``None`` runs in-process (the historical behaviour).  A
+        :class:`~repro.experiments.executor.ParallelConfig` (or a bare
+        worker count) fans cells out over a process pool; aggregates are
+        bit-identical to the serial path, and failing cells are recorded
+        in ``Aggregate.failures`` instead of aborting the sweep.
     """
     labels = [spec.label for spec in specs]
     if len(set(labels)) != len(labels):
         raise ValueError(f"duplicate spec labels: {labels}")
+    if parallel is not None:
+        from repro.experiments.executor import ParallelConfig, execute_matrix
+
+        if isinstance(parallel, int):
+            parallel = ParallelConfig(jobs=parallel)
+        return execute_matrix(
+            traces,
+            platform,
+            specs,
+            keep_results=keep_results,
+            progress=progress,
+            config=parallel,
+        )
     aggregates = {spec.label: Aggregate(spec.label) for spec in specs}
     for spec in specs:
         for index, trace in enumerate(traces):
@@ -113,7 +232,16 @@ def run_matrix(
             simulator = Simulator(
                 platform, spec.strategy(), spec.predictor(), spec.sim_config
             )
-            aggregates[spec.label].add(
-                simulator.run(trace), keep_result=keep_results
+            start = time.perf_counter()
+            result = simulator.run(trace)
+            aggregate = aggregates[spec.label]
+            aggregate.add(result, keep_result=keep_results)
+            aggregate.cell_stats.append(
+                CellStats(
+                    label=spec.label,
+                    trace_index=index,
+                    wall_time=time.perf_counter() - start,
+                    solver_calls=result.solver_calls_total,
+                )
             )
     return aggregates

@@ -14,12 +14,9 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
-from repro.experiments.common import (
-    standard_platform,
-    standard_traces,
-    strategy_factory,
-)
+from repro.experiments.common import standard_platform, standard_traces
 from repro.experiments.config import HarnessScale
+from repro.experiments.executor import ParallelConfig
 from repro.experiments.runner import RunSpec, run_matrix
 from repro.util.tables import ascii_table
 from repro.workload.tracegen import DeadlineGroup
@@ -62,19 +59,23 @@ class Sec52Result:
         return 1.0 - self.milp_win_fraction
 
 
-def run_sec52(scale: HarnessScale | None = None) -> Sec52Result:
+def run_sec52(
+    scale: HarnessScale | None = None,
+    *,
+    parallel: ParallelConfig | int | None = None,
+) -> Sec52Result:
     """Run both strategies, predictor off, over VT + LT."""
     scale = scale or HarnessScale.from_env(default_traces=5, default_requests=80)
     platform = standard_platform()
     specs = [
-        RunSpec(label="milp", strategy=strategy_factory("milp")),
-        RunSpec(label="heuristic", strategy=strategy_factory("heuristic")),
+        RunSpec.from_names("milp", strategy="milp"),
+        RunSpec.from_names("heuristic", strategy="heuristic"),
     ]
     milp: list[float] = []
     heuristic: list[float] = []
     for group in (DeadlineGroup.VT, DeadlineGroup.LT):
         traces = standard_traces(group, scale)
-        aggregates = run_matrix(traces, platform, specs)
+        aggregates = run_matrix(traces, platform, specs, parallel=parallel)
         milp.extend(aggregates["milp"].rejection_percentages)
         heuristic.extend(aggregates["heuristic"].rejection_percentages)
     return Sec52Result(

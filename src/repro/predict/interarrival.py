@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import abc
 import collections
-import math
 
 from repro.util.validation import check_in_range, check_positive
 

@@ -28,7 +28,7 @@ considered except for nonpreemptable resources"):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "EPS",

@@ -63,6 +63,7 @@ class SimulationResult:
     abort_count: int = 0
     prediction_overhead_total: float = 0.0
     predictions_used: int = 0
+    solver_calls_total: int = 0
     records: list[ActivationRecord] = field(default_factory=list)
     execution_log: list = field(default_factory=list)
 
@@ -103,4 +104,5 @@ class SimulationResult:
             "migration_count": self.migration_count,
             "abort_count": self.abort_count,
             "predictions_used": self.predictions_used,
+            "solver_calls_total": self.solver_calls_total,
         }

@@ -77,15 +77,29 @@ class SimulationConfig:
 
 
 class Simulator:
-    """Replays traces through a mapping strategy with admission control."""
+    """Replays traces through a mapping strategy with admission control.
+
+    ``strategy`` and ``predictor`` accept instances or registry names
+    (see :mod:`repro.registry`): ``Simulator(platform, "heuristic",
+    "oracle")`` is equivalent to building the objects by hand.
+    """
 
     def __init__(
         self,
         platform: Platform,
-        strategy: MappingStrategy,
-        predictor: Predictor | None = None,
+        strategy: MappingStrategy | str,
+        predictor: Predictor | str | None = None,
         config: SimulationConfig | None = None,
     ) -> None:
+        if isinstance(strategy, str) or isinstance(predictor, str):
+            # Imported lazily: the registry pulls in every strategy and
+            # predictor implementation, which this module must not.
+            from repro.registry import resolve_predictor, resolve_strategy
+
+            if isinstance(strategy, str):
+                strategy = resolve_strategy(strategy)
+            if isinstance(predictor, str):
+                predictor = resolve_predictor(predictor)
         self.platform = platform
         self.strategy = strategy
         self.predictor = predictor or NullPredictor()
@@ -150,6 +164,7 @@ class Simulator:
                 ),
             )
             outcome = self._admission.decide(context)
+            result.solver_calls_total += outcome.solver_calls
             if outcome.admitted:
                 assert outcome.decision is not None
                 state.admit(request, trace.task_of(request))
@@ -221,9 +236,14 @@ class Simulator:
 def simulate(
     trace: Trace,
     platform: Platform,
-    strategy: MappingStrategy,
-    predictor: Predictor | None = None,
+    strategy: MappingStrategy | str,
+    predictor: Predictor | str | None = None,
     config: SimulationConfig | None = None,
 ) -> SimulationResult:
-    """One-call convenience wrapper around :class:`Simulator`."""
+    """One-call convenience wrapper around :class:`Simulator`.
+
+    ``strategy`` and ``predictor`` may be registry names::
+
+        simulate(trace, platform, "heuristic", "oracle")
+    """
     return Simulator(platform, strategy, predictor, config).run(trace)

@@ -20,8 +20,7 @@ Accounting rules (DESIGN.md semantics):
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.context import PlannedTask
 from repro.model.platform import Platform

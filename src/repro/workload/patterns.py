@@ -21,7 +21,7 @@ can be exercised end-to-end:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -15,7 +15,7 @@ All parameters are exposed through :class:`TaskSetConfig` so ablations
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

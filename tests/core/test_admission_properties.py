@@ -7,7 +7,6 @@ constraint is admittable without it, and the fallback covers the rest.
 
 import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -16,7 +16,7 @@ from repro.core.heuristic import HeuristicResourceManager
 from repro.core.milp_rm import MilpResourceManager
 from repro.model.platform import Platform
 from repro.predict.oracle import OraclePredictor
-from repro.sim.simulator import SimulationConfig, Simulator, simulate
+from repro.sim.simulator import SimulationConfig, simulate
 from tests.conftest import make_task, make_trace
 
 

@@ -4,9 +4,7 @@ These pin the *size and shape* of the formulation — which constraints
 exist for which context — independently of solver behaviour.
 """
 
-import math
 
-import pytest
 
 from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
 from repro.core.milp_rm import MilpResourceManager

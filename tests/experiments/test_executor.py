@@ -1,0 +1,302 @@
+"""Tests for the parallel experiment executor.
+
+The core guarantee under test: ``run_matrix(..., parallel=...)`` returns
+aggregates *bit-identical* to the serial path (same floats, same list
+order, same dict order), while worker failures are recorded as failed
+cells instead of killing the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core.heuristic import HeuristicResourceManager
+from repro.experiments.common import standard_platform, standard_traces
+from repro.experiments.config import HarnessScale
+from repro.experiments.executor import ParallelConfig, execute_matrix
+from repro.experiments.fig2_rejection import run_prediction_impact
+from repro.experiments.motivational import run_motivational
+from repro.experiments.runner import RunSpec, run_matrix
+from repro.workload.tracegen import DeadlineGroup
+
+TINY = HarnessScale(n_traces=3, n_requests=20, master_seed=3)
+
+
+class ExplodingStrategy(HeuristicResourceManager):
+    """Raises on every solve — a deterministic in-worker failure."""
+
+    def solve(self, context):
+        raise RuntimeError("injected failure")
+
+
+@dataclass(frozen=True)
+class FlakyOnceStrategy:
+    """Factory whose strategies fail until a sentinel file exists.
+
+    The first attempt (per cell, via ``marker``) creates the sentinel
+    and raises; the retry finds it and succeeds — the executor's
+    bounded-retry path end to end.
+    """
+
+    marker_dir: str
+
+    def __call__(self) -> HeuristicResourceManager:
+        marker = Path(self.marker_dir) / "attempted"
+        if not marker.exists():
+            marker.write_text("first attempt")
+            raise RuntimeError("flaky first attempt")
+        return HeuristicResourceManager()
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    platform = standard_platform()
+    traces = standard_traces(DeadlineGroup.VT, TINY)
+    specs = [
+        RunSpec.from_names("h-off", strategy="heuristic"),
+        RunSpec.from_names("h-on", strategy="heuristic", predictor="oracle"),
+        RunSpec.from_names(
+            "h-noise",
+            strategy="heuristic",
+            predictor="type-noise",
+            predictor_kwargs={"accuracy": 0.5, "seed": 11},
+        ),
+    ]
+    return platform, traces, specs
+
+
+class TestParity:
+    def test_parallel_identical_to_serial(self, matrix):
+        platform, traces, specs = matrix
+        serial = run_matrix(traces, platform, specs)
+        par = run_matrix(
+            traces, platform, specs, parallel=ParallelConfig(jobs=2)
+        )
+        assert list(par) == list(serial)  # same labels, same dict order
+        for label in serial:
+            assert (
+                par[label].rejection_percentages
+                == serial[label].rejection_percentages
+            )
+            assert (
+                par[label].normalized_energies
+                == serial[label].normalized_energies
+            )
+            assert par[label].failures == []
+
+    def test_bare_int_jobs_accepted(self, matrix):
+        platform, traces, specs = matrix
+        serial = run_matrix(traces, platform, specs)
+        par = run_matrix(traces, platform, specs, parallel=2)
+        for label in serial:
+            assert (
+                par[label].rejection_percentages
+                == serial[label].rejection_percentages
+            )
+
+    def test_keep_results_parity(self, matrix):
+        platform, traces, specs = matrix
+        serial = run_matrix(traces, platform, specs[:1], keep_results=True)
+        par = run_matrix(
+            traces,
+            platform,
+            specs[:1],
+            keep_results=True,
+            parallel=ParallelConfig(jobs=2),
+        )
+        assert len(par["h-off"].results) == len(traces)
+        for mine, theirs in zip(par["h-off"].results, serial["h-off"].results):
+            assert mine.summary() == theirs.summary()
+
+    def test_fig2_harness_parity(self):
+        serial = run_prediction_impact(
+            DeadlineGroup.VT, TINY, strategies=("heuristic",)
+        )
+        par = run_prediction_impact(
+            DeadlineGroup.VT,
+            TINY,
+            strategies=("heuristic",),
+            parallel=ParallelConfig(jobs=2),
+        )
+        for label, aggregate in serial.aggregates.items():
+            assert (
+                par.aggregates[label].rejection_percentages
+                == aggregate.rejection_percentages
+            )
+            assert (
+                par.aggregates[label].normalized_energies
+                == aggregate.normalized_energies
+            )
+
+    def test_motivational_parallel(self):
+        assert run_motivational(parallel=ParallelConfig(jobs=2)).matches_paper()
+
+
+class TestObservability:
+    def test_cell_stats_recorded(self, matrix):
+        platform, traces, specs = matrix
+        for parallel in (None, ParallelConfig(jobs=2)):
+            aggregates = run_matrix(
+                traces, platform, specs[:1], parallel=parallel
+            )
+            stats = aggregates["h-off"].cell_stats
+            assert [s.trace_index for s in stats] == list(range(len(traces)))
+            assert all(s.wall_time > 0 for s in stats)
+            assert all(s.solver_calls > 0 for s in stats)
+            assert aggregates["h-off"].total_solver_calls == sum(
+                s.solver_calls for s in stats
+            )
+            assert aggregates["h-off"].total_wall_time > 0
+
+    def test_progress_fires_once_per_cell(self, matrix):
+        platform, traces, specs = matrix
+        calls = []
+        run_matrix(
+            traces,
+            platform,
+            specs,
+            progress=lambda label, i, n: calls.append((label, i, n)),
+            parallel=ParallelConfig(jobs=2),
+        )
+        assert len(calls) == len(specs) * len(traces)
+        assert set(calls) == {
+            (spec.label, i, len(traces))
+            for spec in specs
+            for i in range(len(traces))
+        }
+
+
+class TestRobustness:
+    def test_worker_exception_records_failed_cell(self, matrix):
+        platform, traces, _ = matrix
+        specs = [
+            RunSpec.from_names("good", strategy="heuristic"),
+            RunSpec(label="boom", strategy=ExplodingStrategy),
+        ]
+        aggregates = run_matrix(
+            traces,
+            platform,
+            specs,
+            parallel=ParallelConfig(jobs=2, retries=1),
+        )
+        # The sweep survived and the healthy spec is fully aggregated...
+        assert aggregates["good"].n_traces == len(traces)
+        assert aggregates["good"].failures == []
+        # ...while every exploding cell is recorded, with its retries.
+        boom = aggregates["boom"]
+        assert boom.n_traces == 0
+        assert boom.n_failures == len(traces)
+        for failure in boom.failures:
+            assert "injected failure" in failure.error
+            assert failure.attempts == 2  # 1 try + 1 retry
+        assert [f.trace_index for f in boom.failures] == list(
+            range(len(traces))
+        )
+
+    def test_retry_recovers_flaky_cell(self, matrix, tmp_path):
+        platform, traces, _ = matrix
+        specs = [
+            RunSpec(label="flaky", strategy=FlakyOnceStrategy(str(tmp_path)))
+        ]
+        aggregates = run_matrix(
+            traces[:1],
+            platform,
+            specs,
+            parallel=ParallelConfig(jobs=1, chunk_size=1, retries=2),
+        )
+        flaky = aggregates["flaky"]
+        assert flaky.failures == []
+        assert flaky.n_traces == 1
+        assert flaky.cell_stats[0].attempts >= 2
+
+    def test_retries_zero_fails_fast(self, matrix):
+        platform, traces, _ = matrix
+        specs = [RunSpec(label="boom", strategy=ExplodingStrategy)]
+        aggregates = run_matrix(
+            traces[:1],
+            platform,
+            specs,
+            parallel=ParallelConfig(jobs=1, retries=0),
+        )
+        assert aggregates["boom"].failures[0].attempts == 1
+
+    def test_unpicklable_spec_rejected_with_label(self, matrix):
+        platform, traces, _ = matrix
+        specs = [
+            RunSpec(
+                label="closure", strategy=lambda: HeuristicResourceManager()
+            )
+        ]
+        with pytest.raises(ValueError, match="closure.*from_names"):
+            run_matrix(
+                traces, platform, specs, parallel=ParallelConfig(jobs=2)
+            )
+
+    def test_serial_path_accepts_unpicklable_specs(self, matrix):
+        platform, traces, _ = matrix
+        specs = [
+            RunSpec(
+                label="closure", strategy=lambda: HeuristicResourceManager()
+            )
+        ]
+        aggregates = run_matrix(traces[:1], platform, specs)
+        assert aggregates["closure"].n_traces == 1
+
+
+class TestParallelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(jobs=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(retries=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(timeout=-1.0)
+
+    def test_resolved_jobs_defaults_to_cpu_count(self):
+        import os
+
+        assert ParallelConfig(jobs=0).resolved_jobs() == (os.cpu_count() or 1)
+        assert ParallelConfig(jobs=3).resolved_jobs() == 3
+
+    def test_timeout_forces_unit_chunks(self):
+        assert ParallelConfig(timeout=5.0).resolved_chunk_size(100) == 1
+        assert ParallelConfig(chunk_size=4).resolved_chunk_size(100) == 4
+
+    def test_empty_matrix(self):
+        aggregates = execute_matrix(
+            [], standard_platform(), [], config=ParallelConfig(jobs=2)
+        )
+        assert aggregates == {}
+
+
+class TestRunSpecFromNames:
+    def test_unknown_names_fail_eagerly(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            RunSpec.from_names("x", strategy="quantum")
+        with pytest.raises(ValueError, match="unknown predictor"):
+            RunSpec.from_names("x", strategy="milp", predictor="psychic")
+
+    def test_kwargs_without_predictor_rejected(self):
+        with pytest.raises(ValueError, match="predictor_kwargs"):
+            RunSpec.from_names(
+                "x", strategy="milp", predictor_kwargs={"seed": 1}
+            )
+
+    def test_specs_pickle(self):
+        import pickle
+
+        spec = RunSpec.from_names(
+            "x",
+            strategy="milp",
+            predictor="arrival-noise",
+            predictor_kwargs={"accuracy": 0.75, "seed": 4},
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.label == spec.label
+        assert type(clone.strategy()) is type(spec.strategy())
+        assert clone.predictor().accuracy == 0.75

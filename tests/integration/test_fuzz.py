@@ -7,10 +7,8 @@ planner's feasibility semantics and the executor's EDF semantics agree
 on that workload.
 """
 
-import math
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the scipy/HiGHS backend, the branch-and-bound solver, and
 their agreement on random MILPs (the cross-validation property)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.milp.model import Constraint, LinExpr, Model, SolveStatus
+from repro.milp.model import Constraint, Model, SolveStatus
 
 
 class TestLinExpr:

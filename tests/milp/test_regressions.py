@@ -1,6 +1,5 @@
 """Regression tests for solver-level bugs found by the property suite."""
 
-import numpy as np
 import pytest
 
 from repro.milp.model import Model
@@ -82,7 +81,6 @@ class TestBoundaryNonMonotonicity:
     def test_exact_search_handles_the_boundary_case(self):
         """End-to-end regression: the optimal mapping needs the boundary
         effect; pruning-based search used to miss it."""
-        import math
 
         from repro.core.context import (
             PREDICTED_JOB_ID,

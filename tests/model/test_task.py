@@ -1,6 +1,5 @@
 """Tests for the task-type model."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -4,7 +4,6 @@ inter-arrival models, composed predictor)."""
 import numpy as np
 import pytest
 
-from repro.model.request import Request
 from repro.predict.interarrival import (
     EwmaInterarrival,
     MeanInterarrival,

@@ -2,7 +2,6 @@
 the noise-degraded wrappers (the Fig. 4 methodology)."""
 
 import math
-import statistics
 
 import numpy as np
 import pytest

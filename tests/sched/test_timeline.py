@@ -4,7 +4,6 @@ The paper's constraints (3)-(14) are all expressed through this
 simulation, so it gets the heaviest property testing in the suite.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings

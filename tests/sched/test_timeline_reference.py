@@ -9,7 +9,6 @@ random job sets is strong evidence that the event-driven implementation
 realises the intended semantics.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -12,7 +12,6 @@ from repro.predict.base import NullPredictor
 from repro.predict.oracle import OraclePredictor
 from repro.predict.scripted import ScriptedPredictor
 from repro.sim.simulator import SimulationConfig, Simulator, simulate
-from repro.sim.state import SimulationError
 from tests.conftest import make_task, make_trace
 
 

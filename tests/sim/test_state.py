@@ -6,7 +6,7 @@ import pytest
 
 from repro.model.platform import Platform
 from repro.model.request import Request
-from repro.sim.state import JobState, PlatformState, SimulationError
+from repro.sim.state import PlatformState, SimulationError
 from tests.conftest import make_task
 
 

@@ -166,6 +166,17 @@ class TestExperiment:
         assert code == 0
         assert "Fig. 2" in capsys.readouterr().out
 
+    def test_fig2_parallel_jobs_matches_serial(self, capsys):
+        tiny = ["experiment", "fig2", "--traces", "2", "--requests", "15"]
+        assert main(tiny) == 0
+        serial = capsys.readouterr().out
+        assert main(tiny + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_flag_default_is_serial(self):
+        args = build_parser().parse_args(["experiment", "fig2"])
+        assert args.jobs == 1
+
     def test_fig5_tiny(self, capsys):
         code = main(
             ["experiment", "fig5", "--traces", "1", "--requests", "15"]

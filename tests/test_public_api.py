@@ -36,10 +36,9 @@ class TestPublicApi:
             assert hasattr(mod, name), f"{module}.{name}"
 
     def test_readme_quickstart(self):
+        # Keep this in sync with the README / package-docstring example.
         from repro import (
             DeadlineGroup,
-            HeuristicResourceManager,
-            OraclePredictor,
             Platform,
             TraceConfig,
             generate_task_set,
@@ -52,12 +51,27 @@ class TestPublicApi:
         trace = generate_trace(
             tasks, TraceConfig(group=DeadlineGroup.VT, n_requests=30)
         )
-        off = simulate(trace, platform, HeuristicResourceManager())
-        on = simulate(
-            trace, platform, HeuristicResourceManager(), OraclePredictor()
-        )
+        off = simulate(trace, platform, "heuristic")
+        on = simulate(trace, platform, "heuristic", "oracle")
         assert 0.0 <= off.rejection_percentage <= 100.0
         assert 0.0 <= on.rejection_percentage <= 100.0
+
+    def test_registry_and_executor_exported(self):
+        from repro import (
+            Aggregate,
+            ParallelConfig,
+            RunSpec,
+            resolve_predictor,
+            resolve_strategy,
+            run_matrix,
+        )
+
+        assert callable(run_matrix)
+        assert RunSpec.from_names("x", strategy="heuristic").label == "x"
+        assert ParallelConfig(jobs=2).resolved_jobs() == 2
+        assert Aggregate(label="x").n_traces == 0
+        assert resolve_strategy("heuristic") is not None
+        assert resolve_predictor("oracle") is not None
 
 
 class TestExamplesImportable:

@@ -1,6 +1,5 @@
 """Tests for the statistics helpers."""
 
-import math
 
 import numpy as np
 import pytest

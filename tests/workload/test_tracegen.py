@@ -5,7 +5,6 @@ import statistics
 import numpy as np
 import pytest
 
-from repro.model.platform import Platform
 from repro.workload.taskgen import TaskSetConfig, generate_task_set
 from repro.workload.tracegen import (
     DeadlineGroup,
