@@ -39,7 +39,7 @@ def main() -> None:
     except KeyError:
         raise SystemExit(
             f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
-        )
+        ) from None
     print(f"strategy: {name}\n")
     outcome = run_motivational(strategy)
     print(render_motivational(outcome))

@@ -50,6 +50,12 @@ from repro.model import (
     Resource,
     TaskType,
 )
+from repro.analysis.invariants import (
+    VerificationError,
+    VerificationReport,
+    Violation,
+    verify_result,
+)
 from repro.experiments.executor import ParallelConfig
 from repro.experiments.runner import Aggregate, RunSpec, run_matrix
 from repro.predict import (
@@ -141,4 +147,9 @@ __all__ = [
     "Aggregate",
     "run_matrix",
     "ParallelConfig",
+    # analysis
+    "verify_result",
+    "VerificationReport",
+    "VerificationError",
+    "Violation",
 ]

@@ -1,0 +1,57 @@
+"""Static and dynamic analysis of the reproduction itself.
+
+Two independent safety nets sit on top of the library:
+
+* :mod:`repro.analysis.invariants` — a schedule-invariant verifier that
+  replays a :class:`~repro.sim.result.SimulationResult` execution log
+  and re-checks the paper's MILP constraints (eqs. (1)-(14)) without
+  trusting the simulator's own bookkeeping.  Opt in with
+  ``SimulationConfig(verify=True)``, per-cell via the experiment
+  executor, or from the ``repro analyze`` CLI subcommand.
+* :mod:`repro.analysis.lint` — a custom AST lint pass encoding
+  repo-specific rules a generic linter cannot express: seeding
+  discipline, no wall-clock reads in deterministic logic, no registry
+  bypass, and pickle-safe :class:`~repro.experiments.runner.RunSpec`
+  construction.
+
+Both run in CI (the ``static-analysis`` job) and are exercised
+negatively by the test suite: every invariant and every lint rule has at
+least one test proving it fires.
+"""
+
+from repro.analysis.invariants import (
+    INVARIANTS,
+    VerificationError,
+    VerificationReport,
+    Violation,
+    verify_result,
+)
+from repro.analysis.lint import (
+    LINT_RULES,
+    LintConfig,
+    LintFinding,
+    lint_file,
+    lint_package,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from repro.analysis.smoke import SmokeReport, run_verified_smoke
+
+__all__ = [
+    "INVARIANTS",
+    "LINT_RULES",
+    "LintConfig",
+    "LintFinding",
+    "SmokeReport",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "lint_file",
+    "lint_package",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "run_verified_smoke",
+    "verify_result",
+]

@@ -1,0 +1,734 @@
+"""Schedule-invariant verifier: independent replay of a simulation.
+
+The simulator asserts some of its own invariants while it runs, but a
+bug in its bookkeeping would assert the bug, not the paper.  This module
+re-derives everything from the raw :class:`~repro.sim.state.ExecutionSpan`
+log — which resource executed which job when — and checks it against the
+MILP formulation's constraints (paper eqs. (1)-(14)) plus the reported
+totals, trusting nothing but the trace and the platform description.
+
+Checked invariants (codes double as :class:`Violation.code`):
+
+``overlap``
+    No two spans on one resource overlap in time (sequencing,
+    eqs. (3)-(6)).
+``not-executable``
+    Work only runs on resources where the task's WCET is finite (the
+    mapping domain, eq. (1)).
+``before-arrival``
+    No job activity before its request arrives (eq. (5)).
+``deadline-miss``
+    Every admitted job completes by its absolute deadline (eq. (2) —
+    firm real-time admission).
+``incomplete-job``
+    Every admitted job executes its full WCET (work conservation).
+``work-after-completion``
+    No activity after a job's work is done.
+``gpu-preemption``
+    On a non-preemptable resource a job's work, once started, is
+    contiguous until completion or abort-restart (eqs. (8)-(11)).
+``migration-debt``
+    The migration delay charged before resumed work matches the task's
+    ``cm`` matrix (eqs. (12)-(13)); partial payment never exceeds it.
+``migration-count``
+    The log never shows more migrations than the result reports
+    (remaps of still-queued jobs leave no trace, so this is a lower
+    bound, exact in the common all-started case).
+``abort-accounting``
+    Reconstructed GPU abort-restarts equal the reported count.
+``wasted-energy``
+    Energy sunk into aborted attempts equals the reported waste.
+``energy-balance``
+    Reported total energy equals executed work energy plus reported
+    migration energy (the objective's accounting, eq. (14)).
+``admission-partition``
+    Accepted/rejected indices partition the trace; rejected (or
+    unknown) jobs never execute (Sec. 4.1 admission semantics).
+``records-mismatch``
+    Per-activation records, when collected, reconcile with the
+    aggregate counters.
+``overhead-accounting``
+    Total prediction overhead equals activations times the configured
+    overhead (Sec. 5.5 methodology), when the caller states it.
+``malformed-span``
+    Log self-consistency (kinds, time ordering, resource range).
+
+Every failed check yields a structured :class:`Violation` rather than a
+boolean, so callers can report, count, and filter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.model.platform import Platform
+from repro.sim.result import SimulationResult
+from repro.sim.state import ExecutionSpan, SimulationError
+from repro.workload.trace import Trace
+
+__all__ = [
+    "INVARIANTS",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "verify_result",
+]
+
+#: Invariant code -> (paper reference, one-line description).
+INVARIANTS: Mapping[str, tuple[str, str]] = {
+    "overlap": ("eqs. (3)-(6)", "per-resource spans never overlap"),
+    "not-executable": ("eq. (1)", "work only on executable resources"),
+    "before-arrival": ("eq. (5)", "no activity before the request arrives"),
+    "deadline-miss": ("eq. (2)", "admitted jobs finish by their deadline"),
+    "incomplete-job": ("eq. (2)", "admitted jobs execute their full WCET"),
+    "work-after-completion": ("-", "no activity after completion"),
+    "gpu-preemption": (
+        "eqs. (8)-(11)",
+        "non-preemptable work is contiguous until completion or abort",
+    ),
+    "migration-debt": (
+        "eqs. (12)-(13)",
+        "migration delay matches the task's cm matrix",
+    ),
+    "migration-count": ("eq. (12)", "log migrations never exceed the count"),
+    "abort-accounting": ("eqs. (8)-(11)", "abort-restarts reconcile"),
+    "wasted-energy": ("-", "aborted-attempt energy equals reported waste"),
+    "energy-balance": (
+        "eq. (14)",
+        "total energy = executed work energy + migration energy",
+    ),
+    "admission-partition": (
+        "Sec. 4.1",
+        "accepted/rejected partition the trace; rejected jobs never run",
+    ),
+    "records-mismatch": ("-", "activation records reconcile with totals"),
+    "overhead-accounting": ("Sec. 5.5", "prediction overhead reconciles"),
+    "malformed-span": ("-", "execution log is self-consistent"),
+}
+
+#: Deadline slack mirroring the simulator's own completion assertion.
+_DEADLINE_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, anchored to a job/resource/time when known."""
+
+    code: str
+    message: str
+    job_id: int | None = None
+    resource: int | None = None
+    time: float | None = None
+
+    def render(self) -> str:
+        """A one-line human-readable rendering."""
+        where = []
+        if self.job_id is not None:
+            where.append(f"job {self.job_id}")
+        if self.resource is not None:
+            where.append(f"resource {self.resource}")
+        if self.time is not None:
+            where.append(f"t={self.time:g}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        return f"{self.code}: {self.message}{suffix}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification pass over a simulation result."""
+
+    violations: list[Violation] = field(default_factory=list)
+    n_spans: int = 0
+    n_jobs: int = 0
+    checks: tuple[str, ...] = tuple(INVARIANTS)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every checked invariant held."""
+        return not self.violations
+
+    def codes(self) -> list[str]:
+        """Distinct violated invariant codes, sorted."""
+        return sorted({v.code for v in self.violations})
+
+    def summary(self) -> dict[str, object]:
+        """A JSON-friendly summary."""
+        return {
+            "ok": self.ok,
+            "n_violations": len(self.violations),
+            "violated_codes": self.codes(),
+            "n_spans": self.n_spans,
+            "n_jobs": self.n_jobs,
+        }
+
+    def render(self) -> str:
+        """Multi-line rendering: verdict first, then every violation."""
+        head = (
+            f"schedule verification: "
+            f"{'OK' if self.ok else 'FAILED'} "
+            f"({self.n_jobs} jobs, {self.n_spans} spans, "
+            f"{len(self.checks)} invariants)"
+        )
+        lines = [head]
+        lines.extend(f"  {v.render()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class VerificationError(SimulationError):
+    """Raised by ``verify=True`` runs whose schedule broke an invariant."""
+
+    def __init__(self, report: VerificationReport) -> None:
+        self.report = report
+        codes = ", ".join(report.codes())
+        super().__init__(
+            f"schedule verification failed with "
+            f"{len(report.violations)} violation(s): {codes}"
+        )
+
+
+@dataclass
+class _JobReplay:
+    """Independent accounting of one admitted job, rebuilt from spans."""
+
+    job_id: int
+    arrival: float
+    absolute_deadline: float
+    wcet: tuple[float, ...]
+    energy: tuple[float, ...]
+    resource: int | None = None
+    fraction: float = 1.0
+    started: bool = False
+    ran_on_current: bool = False
+    attempt_energy: float = 0.0
+    completion_time: float | None = None
+    executed_energy: float = 0.0
+    migrations: int = 0
+    aborts: int = 0
+    wasted: float = 0.0
+    # Migration-debt tracking for the current placement: how much delay
+    # was paid, and whether a payment check is still pending.
+    debt_paid: float = 0.0
+    debt_open: bool = False
+    debt_chargeable: bool = True
+
+
+def verify_result(
+    trace: Trace,
+    platform: Platform,
+    result: SimulationResult,
+    *,
+    expected_overhead: float | None = None,
+    tol: float = 1e-6,
+) -> VerificationReport:
+    """Re-check ``result`` against the paper's schedule invariants.
+
+    Parameters
+    ----------
+    trace, platform:
+        The inputs the simulation ran on.
+    result:
+        The simulation outcome; its ``execution_log`` must have been
+        collected (``collect_execution_log=True`` or ``verify=True``),
+        unless nothing was admitted.
+    expected_overhead:
+        The per-activation prediction overhead the run was configured
+        with, if the caller knows it; enables the overhead-accounting
+        check.
+    tol:
+        Relative/absolute tolerance for floating-point reconciliation.
+
+    Returns
+    -------
+    VerificationReport
+        Structured violations; empty when the schedule is clean.
+    """
+    violations: list[Violation] = []
+    spans = sorted(
+        result.execution_log, key=lambda s: (s.start, s.end, s.resource)
+    )
+    if result.accepted and not spans:
+        raise ValueError(
+            "result has no execution log to verify; simulate with "
+            "collect_execution_log=True (or verify=True)"
+        )
+
+    accepted = set(result.accepted)
+    _check_partition(trace, result, violations)
+    _check_spans_well_formed(trace, platform, spans, accepted, violations)
+    replays = _replay_jobs(trace, platform, spans, accepted, violations, tol)
+    _check_totals(result, replays, violations, tol)
+    _check_non_overlap(platform, spans, violations, tol)
+    _check_records(result, violations)
+    if expected_overhead is not None:
+        _check_overhead(result, expected_overhead, violations, tol)
+
+    return VerificationReport(
+        violations=violations,
+        n_spans=len(spans),
+        n_jobs=len(accepted),
+    )
+
+
+def _close(a: float, b: float, tol: float) -> bool:
+    return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
+
+
+def _check_partition(
+    trace: Trace, result: SimulationResult, violations: list[Violation]
+) -> None:
+    """Sec. 4.1: every request is exactly one of accepted / rejected."""
+    accepted = set(result.accepted)
+    rejected = set(result.rejected)
+    if result.n_requests != len(trace):
+        violations.append(
+            Violation(
+                "admission-partition",
+                f"result covers {result.n_requests} requests, trace has "
+                f"{len(trace)}",
+            )
+        )
+    both = accepted & rejected
+    for job_id in sorted(both):
+        violations.append(
+            Violation(
+                "admission-partition",
+                "request is both accepted and rejected",
+                job_id=job_id,
+            )
+        )
+    missing = set(range(len(trace))) - accepted - rejected
+    for job_id in sorted(missing):
+        violations.append(
+            Violation(
+                "admission-partition",
+                "request neither accepted nor rejected",
+                job_id=job_id,
+            )
+        )
+    stray = (accepted | rejected) - set(range(len(trace)))
+    for job_id in sorted(stray):
+        violations.append(
+            Violation(
+                "admission-partition",
+                "admission outcome for an index outside the trace",
+                job_id=job_id,
+            )
+        )
+
+
+def _check_spans_well_formed(
+    trace: Trace,
+    platform: Platform,
+    spans: Sequence[ExecutionSpan],
+    accepted: set[int],
+    violations: list[Violation],
+) -> None:
+    """Span sanity, executability (eq. (1)) and arrival bounds (eq. (5))."""
+    for span in spans:
+        if span.kind not in ("work", "migration"):
+            violations.append(
+                Violation(
+                    "malformed-span",
+                    f"unknown span kind {span.kind!r}",
+                    job_id=span.job_id,
+                    resource=span.resource,
+                    time=span.start,
+                )
+            )
+        if span.end < span.start or span.start < 0:
+            violations.append(
+                Violation(
+                    "malformed-span",
+                    f"span runs backwards: [{span.start:g}, {span.end:g}]",
+                    job_id=span.job_id,
+                    resource=span.resource,
+                    time=span.start,
+                )
+            )
+        if not 0 <= span.resource < platform.size:
+            violations.append(
+                Violation(
+                    "malformed-span",
+                    f"span on unknown resource {span.resource}",
+                    job_id=span.job_id,
+                    time=span.start,
+                )
+            )
+            continue
+        if span.job_id not in accepted:
+            violations.append(
+                Violation(
+                    "admission-partition",
+                    "execution span for a job that was never admitted",
+                    job_id=span.job_id,
+                    resource=span.resource,
+                    time=span.start,
+                )
+            )
+            continue
+        request = trace[span.job_id]
+        if span.start < request.arrival - _DEADLINE_TOL:
+            violations.append(
+                Violation(
+                    "before-arrival",
+                    f"activity at {span.start:g} before arrival "
+                    f"{request.arrival:g}",
+                    job_id=span.job_id,
+                    resource=span.resource,
+                    time=span.start,
+                )
+            )
+        task = trace.task_of(request)
+        if span.kind == "work" and not task.executable_on(span.resource):
+            violations.append(
+                Violation(
+                    "not-executable",
+                    "work on a resource the task cannot execute on",
+                    job_id=span.job_id,
+                    resource=span.resource,
+                    time=span.start,
+                )
+            )
+
+
+def _check_non_overlap(
+    platform: Platform,
+    spans: Sequence[ExecutionSpan],
+    violations: list[Violation],
+    tol: float,
+) -> None:
+    """Eqs. (3)-(6): one resource executes at most one thing at a time."""
+    for resource in range(platform.size):
+        mine = [s for s in spans if s.resource == resource]
+        for prev, nxt in zip(mine, mine[1:], strict=False):
+            if nxt.start < prev.end - tol:
+                violations.append(
+                    Violation(
+                        "overlap",
+                        f"job {nxt.job_id} starts at {nxt.start:g} while "
+                        f"job {prev.job_id} runs until {prev.end:g}",
+                        job_id=nxt.job_id,
+                        resource=resource,
+                        time=nxt.start,
+                    )
+                )
+
+
+def _settle_debt(
+    replay: _JobReplay,
+    task_cm: tuple[tuple[float, ...], ...],
+    dst: int,
+    violations: list[Violation],
+    tol: float,
+    at: float,
+) -> None:
+    """Close the open migration-debt window at the first work on ``dst``.
+
+    The actual source resource of the last hop may be invisible (a
+    still-queued job can be remapped without leaving a span), so the
+    paid delay must match ``cm[k][dst]`` for *some* source ``k`` — and
+    ``0`` is additionally legal while the job has never started (an
+    unstarted remap may be uncharged).
+    """
+    if not replay.debt_open:
+        return
+    replay.debt_open = False
+    candidates = [
+        task_cm[k][dst] for k in range(len(task_cm)) if k != dst
+    ]
+    if not replay.debt_chargeable:
+        candidates.append(0.0)
+    if not any(_close(replay.debt_paid, c, tol) for c in candidates):
+        violations.append(
+            Violation(
+                "migration-debt",
+                f"paid migration delay {replay.debt_paid:g} matches no "
+                f"cm[*][{dst}] entry",
+                job_id=replay.job_id,
+                resource=dst,
+                time=at,
+            )
+        )
+    replay.debt_paid = 0.0
+
+
+def _replay_jobs(
+    trace: Trace,
+    platform: Platform,
+    spans: Sequence[ExecutionSpan],
+    accepted: set[int],
+    violations: list[Violation],
+    tol: float,
+) -> list[_JobReplay]:
+    """Rebuild every admitted job's life from its spans.
+
+    Checks deadlines (eq. (2)), work conservation, GPU non-preemption
+    (eqs. (8)-(11)) and migration-debt charging (eqs. (12)-(13)); the
+    returned replays carry the energy/migration/abort totals for the
+    global reconciliation checks.
+    """
+    by_job: dict[int, list[ExecutionSpan]] = {}
+    for span in spans:
+        if span.job_id in accepted and 0 <= span.resource < platform.size:
+            by_job.setdefault(span.job_id, []).append(span)
+
+    replays: list[_JobReplay] = []
+    for job_id in sorted(accepted):
+        request = trace[job_id] if 0 <= job_id < len(trace) else None
+        if request is None:
+            continue  # already reported by the partition check
+        task = trace.task_of(request)
+        replay = _JobReplay(
+            job_id=job_id,
+            arrival=request.arrival,
+            absolute_deadline=request.absolute_deadline,
+            wcet=task.wcet,
+            energy=task.energy,
+        )
+        replays.append(replay)
+        last_work_end: float | None = None
+        for span in by_job.get(job_id, []):
+            if replay.completion_time is not None:
+                violations.append(
+                    Violation(
+                        "work-after-completion",
+                        f"activity at {span.start:g} after completion at "
+                        f"{replay.completion_time:g}",
+                        job_id=job_id,
+                        resource=span.resource,
+                        time=span.start,
+                    )
+                )
+                break
+            if replay.resource is None:
+                replay.resource = span.resource
+                if span.kind == "migration":
+                    # Debt with no visible source hop: check it against
+                    # the cm matrix once work starts.
+                    replay.debt_open = True
+                    replay.debt_chargeable = False
+            elif span.resource != replay.resource:
+                src = replay.resource
+                if replay.debt_open and replay.debt_paid > (
+                    max(
+                        task.cm(k, src)
+                        for k in range(platform.size)
+                        if k != src
+                    )
+                    + tol
+                    if platform.size > 1
+                    else tol
+                ):
+                    violations.append(
+                        Violation(
+                            "migration-debt",
+                            f"paid delay {replay.debt_paid:g} exceeds every "
+                            f"cm[*][{src}] entry",
+                            job_id=job_id,
+                            resource=src,
+                            time=span.start,
+                        )
+                    )
+                if replay.ran_on_current and not platform.is_preemptable(src):
+                    # Abort-restart: work resets, attempt energy is waste.
+                    replay.aborts += 1
+                    replay.wasted += replay.attempt_energy
+                    replay.attempt_energy = 0.0
+                    replay.fraction = 1.0
+                    replay.debt_open = True
+                    replay.debt_chargeable = False  # aborts owe no delay
+                else:
+                    replay.migrations += 1
+                    replay.debt_open = True
+                    replay.debt_chargeable = replay.started
+                replay.debt_paid = 0.0
+                replay.resource = span.resource
+                replay.ran_on_current = False
+                last_work_end = None
+            if span.kind == "migration":
+                replay.debt_paid += span.length
+                continue
+            # Work span.
+            _settle_debt(
+                replay,
+                task.migration_time,
+                span.resource,
+                violations,
+                tol,
+                span.start,
+            )
+            if not task.executable_on(span.resource):
+                continue  # flagged as not-executable already
+            if (
+                not platform.is_preemptable(span.resource)
+                and replay.ran_on_current
+                and last_work_end is not None
+                and span.start > last_work_end + tol
+            ):
+                violations.append(
+                    Violation(
+                        "gpu-preemption",
+                        f"non-preemptable work interrupted: gap "
+                        f"[{last_work_end:g}, {span.start:g}] before "
+                        "completion",
+                        job_id=job_id,
+                        resource=span.resource,
+                        time=span.start,
+                    )
+                )
+            wcet = task.wcet[span.resource]
+            delta = span.length / wcet
+            energy = task.energy[span.resource] * delta
+            replay.fraction -= delta
+            replay.attempt_energy += energy
+            replay.executed_energy += energy
+            replay.started = True
+            replay.ran_on_current = True
+            last_work_end = span.end
+            if replay.fraction <= tol:
+                replay.completion_time = span.end
+                if span.end > replay.absolute_deadline + _DEADLINE_TOL:
+                    violations.append(
+                        Violation(
+                            "deadline-miss",
+                            f"finished at {span.end:g}, deadline "
+                            f"{replay.absolute_deadline:g}",
+                            job_id=job_id,
+                            resource=span.resource,
+                            time=span.end,
+                        )
+                    )
+        if replay.completion_time is None:
+            violations.append(
+                Violation(
+                    "incomplete-job",
+                    f"admitted job never completed: {replay.fraction:.6f} "
+                    "of its work remains",
+                    job_id=job_id,
+                    resource=replay.resource,
+                )
+            )
+    return replays
+
+
+def _check_totals(
+    result: SimulationResult,
+    replays: Sequence[_JobReplay],
+    violations: list[Violation],
+    tol: float,
+) -> None:
+    """Reconcile the result's aggregate counters with the replay."""
+    executed = sum(r.executed_energy for r in replays)
+    wasted = sum(r.wasted for r in replays)
+    aborts = sum(r.aborts for r in replays)
+    migrations = sum(r.migrations for r in replays)
+
+    expected_total = executed + result.migration_energy
+    if not _close(result.total_energy, expected_total, max(tol, tol * expected_total)):
+        violations.append(
+            Violation(
+                "energy-balance",
+                f"total energy {result.total_energy:g} != executed "
+                f"{executed:g} + migration {result.migration_energy:g}",
+            )
+        )
+    if not _close(result.wasted_energy, wasted, max(tol, tol * max(wasted, 1.0))):
+        violations.append(
+            Violation(
+                "wasted-energy",
+                f"reported waste {result.wasted_energy:g} != aborted-attempt "
+                f"energy {wasted:g}",
+            )
+        )
+    if aborts != result.abort_count:
+        violations.append(
+            Violation(
+                "abort-accounting",
+                f"log shows {aborts} abort-restarts, result reports "
+                f"{result.abort_count}",
+            )
+        )
+    if migrations > result.migration_count:
+        violations.append(
+            Violation(
+                "migration-count",
+                f"log shows {migrations} migrations, result reports only "
+                f"{result.migration_count}",
+            )
+        )
+
+
+def _check_records(
+    result: SimulationResult, violations: list[Violation]
+) -> None:
+    """Per-activation records, when collected, must match the totals."""
+    if not result.records:
+        return
+    if len(result.records) != result.n_requests:
+        violations.append(
+            Violation(
+                "records-mismatch",
+                f"{len(result.records)} records for {result.n_requests} "
+                "requests",
+            )
+        )
+    admitted = [r.request_index for r in result.records if r.admitted]
+    refused = [r.request_index for r in result.records if not r.admitted]
+    if admitted != result.accepted or refused != result.rejected:
+        violations.append(
+            Violation(
+                "records-mismatch",
+                "admission flags in records disagree with accepted/rejected "
+                "lists",
+            )
+        )
+    solver_calls = sum(r.solver_calls for r in result.records)
+    if solver_calls != result.solver_calls_total:
+        violations.append(
+            Violation(
+                "records-mismatch",
+                f"records sum to {solver_calls} solver calls, result "
+                f"reports {result.solver_calls_total}",
+            )
+        )
+    used = sum(1 for r in result.records if r.admitted and r.used_prediction)
+    if used != result.predictions_used:
+        violations.append(
+            Violation(
+                "records-mismatch",
+                f"records show {used} prediction-constrained admissions, "
+                f"result reports {result.predictions_used}",
+            )
+        )
+    for record in result.records:
+        if record.decision_time < record.arrival - _DEADLINE_TOL:
+            violations.append(
+                Violation(
+                    "records-mismatch",
+                    f"decision at {record.decision_time:g} precedes arrival "
+                    f"{record.arrival:g}",
+                    job_id=record.request_index,
+                    time=record.decision_time,
+                )
+            )
+
+
+def _check_overhead(
+    result: SimulationResult,
+    expected_overhead: float,
+    violations: list[Violation],
+    tol: float,
+) -> None:
+    """Sec. 5.5: overhead is charged once per activation, in full."""
+    expected = expected_overhead * result.n_requests
+    if not _close(result.prediction_overhead_total, expected, max(tol, tol * max(expected, 1.0))):
+        violations.append(
+            Violation(
+                "overhead-accounting",
+                f"prediction overhead total "
+                f"{result.prediction_overhead_total:g} != "
+                f"{result.n_requests} activations x {expected_overhead:g}",
+            )
+        )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the library's main entry points without writing
+Five subcommands cover the library's main entry points without writing
 Python::
 
     python -m repro generate --group VT --traces 3 --requests 200 --out traces/
@@ -8,6 +8,9 @@ Python::
         --predictor oracle --overhead 0.05
     python -m repro experiment fig2 --traces 5 --requests 120
     python -m repro evaluate traces/vt_000.json --predictor learned
+    python -m repro analyze --self          # lint the repro package
+    python -m repro analyze --smoke         # verified smoke simulation
+    python -m repro analyze traces/vt_000.json --strategy milp
 
 All randomness is controlled by ``--seed``; outputs are plain text (and
 JSON where noted) so runs are scriptable and diffable.
@@ -126,6 +129,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ev.add_argument("--accuracy", type=float, default=0.75)
     ev.add_argument("--seed", type=int, default=0)
+
+    an = sub.add_parser(
+        "analyze",
+        help="static lint / schedule-invariant verification",
+        description=(
+            "Static analysis entry point: lint the repo's own sources "
+            "(--self), lint arbitrary files (--lint), run a verified "
+            "smoke simulation (--smoke), or replay one trace with the "
+            "schedule-invariant verifier armed (positional TRACE).  "
+            "Exits 1 on any lint finding or invariant violation."
+        ),
+    )
+    an.add_argument(
+        "trace", type=Path, nargs="?", default=None,
+        help="trace JSON file to simulate with verification on",
+    )
+    an.add_argument(
+        "--self", dest="self_lint", action="store_true",
+        help="run the custom lint rules over the installed repro package",
+    )
+    an.add_argument(
+        "--lint", type=Path, nargs="+", default=None, metavar="PATH",
+        help="lint specific files or directories",
+    )
+    an.add_argument(
+        "--smoke", action="store_true",
+        help="run the verified fig2-shaped smoke grid",
+    )
+    an.add_argument("--traces", type=int, default=2,
+                    help="smoke grid: traces per cell")
+    an.add_argument("--requests", type=int, default=40,
+                    help="smoke grid: requests per trace")
+    an.add_argument("--group", choices=["VT", "LT"], default="VT",
+                    help="smoke grid: deadline group")
+    an.add_argument("--cpus", type=int, default=5)
+    an.add_argument("--gpus", type=int, default=1)
+    an.add_argument(
+        "--strategy", choices=strategy_names(), default="heuristic"
+    )
+    an.add_argument(
+        "--predictor", choices=predictor_names(), default="off"
+    )
+    an.add_argument("--accuracy", type=float, default=0.75)
+    an.add_argument("--overhead", type=float, default=0.0)
+    an.add_argument("--lookahead", type=int, default=1)
+    an.add_argument("--seed", type=int, default=0)
+    an.add_argument("--json", action="store_true",
+                    help="emit findings / the verification report as JSON")
     return parser
 
 
@@ -265,6 +316,122 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    # Imported here so the plain simulate/experiment paths never pay for
+    # the analysis package.
+    from repro.analysis import (
+        VerificationError,
+        lint_package,
+        lint_paths,
+        render_findings,
+        run_verified_smoke,
+    )
+
+    exit_code = 0
+    ran_anything = False
+
+    if args.self_lint or args.lint:
+        findings = []
+        if args.self_lint:
+            findings.extend(lint_package())
+        if args.lint:
+            findings.extend(lint_paths(args.lint))
+        ran_anything = True
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": str(f.path),
+                        "line": f.line,
+                        "col": f.col,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            ))
+        else:
+            print(render_findings(findings))
+        if findings:
+            exit_code = 1
+
+    if args.smoke:
+        ran_anything = True
+        scale = HarnessScale(
+            n_traces=args.traces,
+            n_requests=args.requests,
+            master_seed=args.seed,
+        )
+        report = run_verified_smoke(
+            scale,
+            group=DeadlineGroup(args.group),
+            progress=None if args.json else (
+                lambda label: print(f"... {label}")
+            ),
+        )
+        if args.json:
+            print(json.dumps(
+                {
+                    "ok": report.ok,
+                    "n_cells": len(report.cells),
+                    "n_violations": report.n_violations,
+                    "cells": [
+                        {
+                            "label": cell.label,
+                            "trace_index": cell.trace_index,
+                            "ok": cell.ok,
+                            "n_spans": cell.n_spans,
+                            "violations": [
+                                v.render() for v in cell.violations
+                            ],
+                        }
+                        for cell in report.cells
+                    ],
+                },
+                indent=2,
+            ))
+        else:
+            print(report.render())
+        if not report.ok:
+            exit_code = 1
+
+    if args.trace is not None:
+        ran_anything = True
+        trace = Trace.load(args.trace)
+        platform = Platform.cpu_gpu(args.cpus, args.gpus)
+        strategy = resolve_strategy(args.strategy)
+        predictor = _cli_predictor(args.predictor, args.accuracy, args.seed)
+        config = SimulationConfig(
+            prediction_overhead=args.overhead,
+            lookahead=args.lookahead,
+            collect_records=True,
+            verify=True,
+        )
+        try:
+            result = simulate(trace, platform, strategy, predictor, config)
+        except VerificationError as exc:
+            report = exc.report
+        else:
+            report = result.verification
+            assert report is not None  # verify=True guarantees it
+        if args.json:
+            print(json.dumps(report.summary(), indent=2))
+        else:
+            print(report.render())
+        if not report.ok:
+            exit_code = 1
+
+    if not ran_anything:
+        print(
+            "nothing to analyze: pass --self, --lint, --smoke, and/or a "
+            "trace file",
+            file=sys.stderr,
+        )
+        return 2
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -273,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
         "evaluate": _cmd_evaluate,
+        "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)
 

@@ -263,7 +263,7 @@ class MilpResourceManager(MappingStrategy):
 
         ordered = sorted(real, key=lambda t: (t.absolute_deadline, t.job_id))
         if forced is not None:
-            ordered = [forced] + [t for t in ordered if t is not forced]
+            ordered = [forced, *(t for t in ordered if t is not forced)]
 
         p_here = (
             predicted is not None

@@ -362,6 +362,11 @@ def execute_matrix(
                     wall_time=outcome.wall_time,
                     solver_calls=outcome.result.solver_calls_total,
                     attempts=attempts[unit],
+                    verified=(
+                        outcome.result.verification.ok
+                        if outcome.result.verification is not None
+                        else None
+                    ),
                 )
             )
     return aggregates

@@ -50,7 +50,10 @@ class AccuracySweepResult:
     def monotone_non_decreasing(self, strategy: str, tolerance: float = 0.0) -> bool:
         """Rejection does not drop as accuracy degrades (within tol)."""
         series = [self.rejection(strategy, level) for level in self.levels]
-        return all(b >= a - tolerance for a, b in zip(series, series[1:]))
+        return all(
+            b >= a - tolerance
+            for a, b in zip(series, series[1:], strict=False)
+        )
 
 
 def _noise_predictor_name(axis: str) -> str:
@@ -120,7 +123,7 @@ def render_fig4(
             row.extend(sweep.rejection(name, level) for level in sweep.levels)
             row.append(sweep.rejection(name, "off"))
             rows.append(row)
-        headers = ["strategy"] + [f"acc {level:g}" for level in sweep.levels]
+        headers = ["strategy", *(f"acc {level:g}" for level in sweep.levels)]
         headers.append("off")
         parts.append(ascii_table(headers, rows))
     return "\n\n".join(parts)

@@ -136,7 +136,7 @@ def render_fig5(sweep: OverheadSweepResult) -> str:
         crossover = sweep.crossover_coefficient(name)
         row.append("never" if crossover is None else f"{100 * crossover:g}%")
         rows.append(row)
-    headers = ["strategy"] + [f"{100 * c:g}%" for c in sweep.coefficients]
+    headers = ["strategy", *(f"{100 * c:g}%" for c in sweep.coefficients)]
     headers += ["off", "crossover"]
     parts.append(
         ascii_table(

@@ -99,13 +99,21 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class CellStats:
-    """Observability record for one executed (spec, trace) cell."""
+    """Observability record for one executed (spec, trace) cell.
+
+    ``verified`` is the invariant verifier's verdict when the spec ran
+    with ``SimulationConfig(verify=True)`` and ``None`` when
+    verification was off (a ``False`` can only appear through a
+    tampered-with report: a dirty run raises before reaching the
+    aggregate).
+    """
 
     label: str
     trace_index: int
     wall_time: float
     solver_calls: int
     attempts: int = 1
+    verified: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -172,6 +180,11 @@ class Aggregate:
     def total_solver_calls(self) -> int:
         """Sum of strategy invocations across all cells."""
         return sum(stats.solver_calls for stats in self.cell_stats)
+
+    @property
+    def n_verified(self) -> int:
+        """Cells whose schedule passed the invariant verifier."""
+        return sum(1 for stats in self.cell_stats if stats.verified)
 
 
 def run_matrix(
@@ -242,6 +255,11 @@ def run_matrix(
                     trace_index=index,
                     wall_time=time.perf_counter() - start,
                     solver_calls=result.solver_calls_total,
+                    verified=(
+                        result.verification.ok
+                        if result.verification is not None
+                        else None
+                    ),
                 )
             )
     return aggregates

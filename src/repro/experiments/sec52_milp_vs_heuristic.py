@@ -47,7 +47,9 @@ class Sec52Result:
         """Fraction of traces where the MILP's acceptance >= heuristic's."""
         wins = sum(
             1
-            for milp, heur in zip(self.milp_rejections, self.heuristic_rejections)
+            for milp, heur in zip(
+                self.milp_rejections, self.heuristic_rejections, strict=True
+            )
             if milp <= heur
         )
         return wins / len(self.milp_rejections)

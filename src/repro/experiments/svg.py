@@ -86,7 +86,9 @@ def bar_chart_svg(
     _y_axis(lines, y_max, plot_height, plot_width, unit)
     slot = plot_width / len(labels)
     bar_width = slot * 0.6
-    for position, (label, value) in enumerate(zip(labels, values)):
+    for position, (label, value) in enumerate(
+        zip(labels, values, strict=True)
+    ):
         x = _MARGIN_LEFT + slot * position + (slot - bar_width) / 2
         bar_height = plot_height * value / y_max
         y = _MARGIN_TOP + plot_height - bar_height
@@ -156,13 +158,13 @@ def line_chart_svg(
         colour = PALETTE[index % len(PALETTE)]
         points = " ".join(
             f"{coords(x, y)[0]:.1f},{coords(x, y)[1]:.1f}"
-            for x, y in zip(xs, ys)
+            for x, y in zip(xs, ys, strict=True)
         )
         lines.append(
             f'<polyline points="{points}" fill="none" stroke="{colour}" '
             f'stroke-width="2"/>'
         )
-        for x, y in zip(xs, ys):
+        for x, y in zip(xs, ys, strict=True):
             px, py = coords(x, y)
             lines.append(
                 f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" '

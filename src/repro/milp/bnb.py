@@ -43,7 +43,9 @@ def _solve_relaxation(
     lb: np.ndarray,
     ub: np.ndarray,
 ):
-    bounds = list(zip(lb, [None if math.isinf(u) else u for u in ub]))
+    bounds = list(
+        zip(lb, [None if math.isinf(u) else u for u in ub], strict=True)
+    )
     result = linprog(
         c,
         A_ub=a_ub,

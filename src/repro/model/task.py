@@ -93,7 +93,7 @@ class TaskType:
                 f"wcet has {len(wcet)} entries but energy has {len(energy)}"
             )
         n = len(wcet)
-        for i, (c, e) in enumerate(zip(wcet, energy)):
+        for i, (c, e) in enumerate(zip(wcet, energy, strict=True)):
             executable = math.isfinite(c)
             if executable != math.isfinite(e):
                 raise ValueError(

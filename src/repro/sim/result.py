@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.invariants import VerificationReport
 
 __all__ = ["ActivationRecord", "SimulationResult"]
 
@@ -50,6 +54,10 @@ class SimulationResult:
     execution_log:
         Execution spans for Gantt rendering (empty unless
         ``collect_execution_log`` was set).
+    verification:
+        The schedule-invariant verifier's report when the simulation ran
+        with ``verify=True`` (see :mod:`repro.analysis.invariants`);
+        ``None`` otherwise.
     """
 
     n_requests: int
@@ -66,6 +74,7 @@ class SimulationResult:
     solver_calls_total: int = 0
     records: list[ActivationRecord] = field(default_factory=list)
     execution_log: list = field(default_factory=list)
+    verification: "VerificationReport | None" = None
 
     @property
     def n_accepted(self) -> int:

@@ -62,6 +62,14 @@ class SimulationConfig:
         oracle) and a strategy that accepts several predicted tasks
         (heuristic or exact search; the MILP follows the paper and
         rejects horizons > 1).
+    verify:
+        Re-check the finished schedule with the independent invariant
+        verifier (:mod:`repro.analysis.invariants`).  The execution log
+        is collected internally (and dropped again unless
+        ``collect_execution_log`` is also set); a clean run attaches its
+        :class:`~repro.analysis.invariants.VerificationReport` to the
+        result, a dirty one raises
+        :class:`~repro.analysis.invariants.VerificationError`.
     """
 
     prediction_overhead: float = 0.0
@@ -69,6 +77,7 @@ class SimulationConfig:
     collect_records: bool = False
     lookahead: int = 1
     collect_execution_log: bool = False
+    verify: bool = False
 
     def __post_init__(self) -> None:
         check_non_negative("prediction_overhead", self.prediction_overhead)
@@ -122,7 +131,9 @@ class Simulator:
         state = PlatformState(
             self.platform,
             charge_unstarted_migration=self.config.charge_unstarted_migration,
-            log_execution=self.config.collect_execution_log,
+            log_execution=(
+                self.config.collect_execution_log or self.config.verify
+            ),
         )
         result = SimulationResult(
             n_requests=len(trace), energy_demand=trace.stats().energy_demand
@@ -149,7 +160,7 @@ class Simulator:
                 task=trace.task_of(request),
                 absolute_deadline=request.absolute_deadline,
             )
-            tasks = state.active_views() + [new_task]
+            tasks = [*state.active_views(), new_task]
             predicted_views = [
                 self._predicted_view(trace, p, decision_time, offset)
                 for offset, p in enumerate(predictions)
@@ -209,7 +220,30 @@ class Simulator:
         result.migration_energy = state.migration_energy
         result.migration_count = state.migration_count
         result.abort_count = state.abort_count
+        if self.config.verify:
+            self._verify(trace, result)
         return result
+
+    def _verify(self, trace: Trace, result: SimulationResult) -> None:
+        """Replay the execution log through the independent invariant
+        verifier; raise on any violation (see ``SimulationConfig.verify``)."""
+        # Imported lazily to keep the sim package import-light (the
+        # analysis package is optional at simulation time).
+        from repro.analysis.invariants import VerificationError, verify_result
+
+        overhead = (
+            self.config.prediction_overhead
+            if self.prediction_enabled and self.config.prediction_overhead > 0
+            else 0.0
+        )
+        report = verify_result(
+            trace, self.platform, result, expected_overhead=overhead
+        )
+        result.verification = report
+        if not self.config.collect_execution_log:
+            result.execution_log = []
+        if not report.ok:
+            raise VerificationError(report)
 
     def _predicted_view(
         self,

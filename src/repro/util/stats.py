@@ -88,7 +88,7 @@ def paired_difference(
             f"paired samples must have equal length, got "
             f"{len(first)} vs {len(second)}"
         )
-    differences = [a - b for a, b in zip(first, second)]
+    differences = [a - b for a, b in zip(first, second, strict=True)]
     return mean_confidence_interval(differences, confidence)
 
 

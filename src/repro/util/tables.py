@@ -60,7 +60,9 @@ def ascii_table(
         return joint + joint.join(fill * (w + 2) for w in widths) + joint
 
     def fmt(cells: Sequence[str]) -> str:
-        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+        return "| " + " | ".join(
+            c.ljust(w) for c, w in zip(cells, widths, strict=False)
+        ) + " |"
 
     parts: list[str] = []
     if title:
@@ -95,7 +97,7 @@ def ascii_bar_chart(
     parts: list[str] = []
     if title:
         parts.append(title)
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=False):
         if vmax > 0:
             bar = "#" * max(0, round(width * value / vmax))
         else:
@@ -131,7 +133,7 @@ def ascii_line_chart(
     yspan = (ymax - ymin) or 1.0
     xspan = (xmax - xmin) or 1.0
     grid = [[" "] * width for _ in range(height)]
-    for (name, ys), marker in zip(series.items(), markers):
+    for (name, ys), marker in zip(series.items(), markers, strict=False):
         if len(ys) != len(xs):
             raise ValueError(f"series {name!r} length mismatch with xs")
         for x, y in zip(xs, ys):
@@ -147,7 +149,8 @@ def ascii_line_chart(
     parts.append("+" + "-" * width)
     parts.append(f"x: {format_float(xmin)} .. {format_float(xmax)}")
     legend = "  ".join(
-        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+        f"{marker}={name}"
+        for (name, _), marker in zip(series.items(), markers, strict=False)
     )
     parts.append(legend)
     return "\n".join(parts)

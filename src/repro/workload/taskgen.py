@@ -118,9 +118,12 @@ def generate_task_set(
 
     Returns a list of :class:`~repro.model.task.TaskType` whose vectors
     are indexed by ``platform`` resource indices.
+
+    Omitting ``rng`` yields the fixed seed-0 stream: every call in the
+    repo must be deterministic, so there is no nondeterministic default.
     """
     config = config or TaskSetConfig()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     cpu_idx = platform.preemptable_indices
     accel_idx = platform.non_preemptable_indices
     if not cpu_idx:

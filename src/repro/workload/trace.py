@@ -67,7 +67,7 @@ class Trace:
                 raise ValueError(
                     "all task types in a trace must cover the same resources"
                 )
-        for prev, nxt in zip(requests, requests[1:]):
+        for prev, nxt in zip(requests, requests[1:], strict=False):
             if nxt.arrival < prev.arrival:
                 raise ValueError(
                     f"requests must be sorted by arrival "
@@ -111,7 +111,7 @@ class Trace:
         if not self.requests:
             return TraceStats(0, len(self.tasks), 0.0, 0.0, 0.0, 0.0)
         arrivals = [r.arrival for r in self.requests]
-        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:], strict=False)]
         mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
         mean_deadline = sum(r.deadline for r in self.requests) / len(self.requests)
         demand = sum(self.task_of(r).mean_energy() for r in self.requests)

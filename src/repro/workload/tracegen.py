@@ -141,12 +141,18 @@ def generate_trace(
         Generator to consume; a fresh default generator if omitted.
     seed:
         Provenance tag stored on the trace (not used for drawing when
-        ``rng`` is given).
+        ``rng`` is given).  Without ``rng`` it also seeds the default
+        generator; ``seed=None`` falls back to seed 0 so the default is
+        deterministic either way.
     """
     if not tasks:
         raise ValueError("task set must be non-empty")
     config = config or TraceConfig()
-    rng = rng if rng is not None else np.random.default_rng(seed)
+    rng = (
+        rng
+        if rng is not None
+        else np.random.default_rng(seed if seed is not None else 0)
+    )
     requests: list[Request] = []
     arrival = 0.0
     for index in range(config.n_requests):

@@ -1,0 +1,34 @@
+"""Lint fixture: every flavour of RPR001 (global-state randomness)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stdlib_global_state():
+    random.seed(42)
+    return random.random() + random.randint(0, 10)
+
+
+def numpy_legacy_global_state():
+    np.random.seed(42)
+    return np.random.rand(3)
+
+
+def unseeded_generators():
+    a = np.random.default_rng()
+    b = default_rng(None)
+    c = np.random.RandomState()
+    return a, b, c
+
+
+def seeded_generators_are_fine():
+    a = np.random.default_rng(0)
+    b = default_rng(seed=7)
+    c = np.random.SeedSequence(1)
+    return a, b, c
+
+
+def suppressed_finding():
+    return np.random.default_rng()  # noqa: RPR001

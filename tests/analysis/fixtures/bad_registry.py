@@ -1,0 +1,16 @@
+"""Lint fixture: RPR003 (registry bypass by direct construction)."""
+
+from repro.core.heuristic import HeuristicResourceManager
+from repro.predict.oracle import OraclePredictor
+
+
+def build_by_hand():
+    strategy = HeuristicResourceManager()
+    predictor = OraclePredictor()
+    return strategy, predictor
+
+
+def null_predictor_is_exempt():
+    from repro.predict.base import NullPredictor
+
+    return NullPredictor()

@@ -1,0 +1,18 @@
+"""Lint fixture: RPR004 (unpicklable RunSpec factories)."""
+
+from repro.experiments.runner import RunSpec
+
+
+def lambda_factories():
+    return RunSpec("bad", lambda: None, predictor=lambda: None)
+
+
+def closure_factory():
+    def make_strategy():
+        return None
+
+    return RunSpec("also-bad", make_strategy)
+
+
+def from_names_is_fine():
+    return RunSpec.from_names("good", "heuristic", "oracle")

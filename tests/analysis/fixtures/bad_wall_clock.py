@@ -1,0 +1,18 @@
+"""Lint fixture: RPR002 (wall-clock and misplaced monotonic reads)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def wall_clock_reads():
+    now = time.time()
+    stamp = datetime.now()
+    local = time.localtime()
+    return now, stamp, local
+
+
+def monotonic_outside_observability():
+    # Fine inside repro.experiments / repro.cli / repro.analysis, banned
+    # everywhere else (this fixture's module is neither).
+    return perf_counter() + time.monotonic()

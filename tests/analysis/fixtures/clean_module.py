@@ -1,0 +1,14 @@
+"""Lint fixture: idiomatic code that must produce zero findings."""
+
+import numpy as np
+
+from repro.registry import resolve_predictor, resolve_strategy
+
+
+def seeded_draws(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def by_name_construction():
+    return resolve_strategy("heuristic"), resolve_predictor("oracle")

@@ -1,0 +1,531 @@
+"""The schedule-invariant verifier must flag hand-crafted bad schedules.
+
+Every invariant gets at least one negative test: a deliberately broken
+schedule (overlapping spans, missed deadline, preempted GPU job,
+mis-charged migration, tampered totals, ...) that the verifier is
+required to catch, plus positive tests on clean hand-written and real
+simulated schedules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.invariants import (
+    INVARIANTS,
+    VerificationError,
+    VerificationReport,
+    Violation,
+    verify_result,
+)
+from repro.model.platform import Platform
+from repro.sim.result import ActivationRecord, SimulationResult
+from repro.sim.simulator import SimulationConfig, Simulator, simulate
+from repro.sim.state import ExecutionSpan
+from tests.conftest import make_task, make_trace
+
+# Platform under test: resources 0, 1 preemptable (CPU), 2 not (GPU).
+PLATFORM = Platform.cpu_gpu(n_cpus=2, n_gpus=1)
+
+# make_task defaults: wcet (10, 12, 4), energy (5, 6, 1),
+# migration_time 1.0, migration_energy 0.5 on every off-diagonal hop.
+TASK = make_task()
+
+
+def span(job_id, resource, start, end, kind="work"):
+    return ExecutionSpan(
+        job_id=job_id, resource=resource, start=start, end=end, kind=kind
+    )
+
+
+def one_job_trace(deadline=100.0, arrival=0.0, task=None):
+    return make_trace([task or TASK], [(arrival, 0, deadline)])
+
+
+def result_for(trace, spans, **overrides):
+    """A SimulationResult whose totals match a clean full-WCET run."""
+    fields = {
+        "n_requests": len(trace),
+        "accepted": list(range(len(trace))),
+        "rejected": [],
+        "execution_log": list(spans),
+    }
+    fields.update(overrides)
+    result = SimulationResult(fields.pop("n_requests"))
+    for name, value in fields.items():
+        setattr(result, name, value)
+    return result
+
+
+def codes_of(report: VerificationReport) -> list[str]:
+    return report.codes()
+
+
+class TestCleanSchedules:
+    def test_single_job_on_cpu_is_clean(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace, [span(0, 0, 0.0, 10.0)], total_energy=5.0
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert report.ok
+        assert report.n_jobs == 1
+        assert report.n_spans == 1
+
+    def test_single_job_on_gpu_is_clean(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace, [span(0, 2, 0.0, 4.0)], total_energy=1.0
+        )
+        assert verify_result(trace, PLATFORM, result).ok
+
+    def test_migrated_job_with_correct_debt_is_clean(self):
+        # Half the work on CPU 0, a 1.0 migration delay on CPU 1, the
+        # remaining half there: energy 2.5 + 3.0 (+ 0.5 migration).
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [
+                span(0, 0, 0.0, 5.0),
+                span(0, 1, 5.0, 6.0, kind="migration"),
+                span(0, 1, 6.0, 12.0),
+            ],
+            total_energy=6.0,
+            migration_energy=0.5,
+            migration_count=1,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert report.ok, report.render()
+
+    def test_rejected_job_without_spans_is_clean(self):
+        trace = make_trace([TASK], [(0.0, 0, 100.0), (1.0, 0, 100.0)])
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0)],
+            accepted=[0],
+            rejected=[1],
+            total_energy=5.0,
+        )
+        assert verify_result(trace, PLATFORM, result).ok
+
+    def test_empty_result_is_clean(self):
+        trace = make_trace([TASK], [(0.0, 0, 100.0)])
+        result = result_for(trace, [], accepted=[], rejected=[0])
+        assert verify_result(trace, PLATFORM, result).ok
+
+
+class TestOverlap:
+    def test_overlapping_spans_on_one_resource(self):
+        trace = make_trace([TASK], [(0.0, 0, 100.0), (0.0, 0, 100.0)])
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0), span(1, 0, 9.0, 19.0)],
+            total_energy=10.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "overlap" in codes_of(report)
+
+    def test_parallel_spans_on_distinct_resources_are_fine(self):
+        trace = make_trace([TASK], [(0.0, 0, 100.0), (0.0, 0, 100.0)])
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0), span(1, 1, 0.0, 12.0)],
+            total_energy=11.0,
+        )
+        assert verify_result(trace, PLATFORM, result).ok
+
+
+class TestDeadlines:
+    def test_missed_deadline_is_flagged(self):
+        trace = one_job_trace(deadline=5.0)  # absolute deadline 5 < 10
+        result = result_for(
+            trace, [span(0, 0, 0.0, 10.0)], total_energy=5.0
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "deadline-miss" in codes_of(report)
+        [violation] = [
+            v for v in report.violations if v.code == "deadline-miss"
+        ]
+        assert violation.job_id == 0
+        assert violation.time == pytest.approx(10.0)
+
+    def test_incomplete_job_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace, [span(0, 0, 0.0, 4.0)], total_energy=2.0
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "incomplete-job" in codes_of(report)
+
+    def test_work_after_completion_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0), span(0, 0, 11.0, 12.0)],
+            total_energy=5.5,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "work-after-completion" in codes_of(report)
+
+    def test_activity_before_arrival_is_flagged(self):
+        trace = one_job_trace(arrival=5.0)
+        result = result_for(
+            trace, [span(0, 0, 0.0, 10.0)], total_energy=5.0
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "before-arrival" in codes_of(report)
+
+
+class TestGpuSemantics:
+    def test_preempted_gpu_job_is_flagged(self):
+        # Work on the GPU with a gap: non-preemption broken.
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 2, 0.0, 2.0), span(0, 2, 3.0, 5.0)],
+            total_energy=1.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "gpu-preemption" in codes_of(report)
+
+    def test_preempted_cpu_job_is_fine(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 2.0), span(0, 0, 3.0, 11.0)],
+            total_energy=5.0,
+        )
+        assert verify_result(trace, PLATFORM, result).ok
+
+    def test_abort_restart_reconciles(self):
+        # 2 time units on the GPU (half its WCET, 0.5 energy wasted),
+        # abort to CPU 0, full restart there.
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 2, 0.0, 2.0), span(0, 0, 2.0, 12.0)],
+            total_energy=5.5,
+            wasted_energy=0.5,
+            abort_count=1,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert report.ok, report.render()
+
+    def test_unreported_abort_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 2, 0.0, 2.0), span(0, 0, 2.0, 12.0)],
+            total_energy=5.5,
+            wasted_energy=0.5,
+            abort_count=0,  # lie
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "abort-accounting" in codes_of(report)
+
+    def test_wrong_wasted_energy_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 2, 0.0, 2.0), span(0, 0, 2.0, 12.0)],
+            total_energy=5.5,
+            wasted_energy=0.0,  # lie: 0.5 was sunk into the aborted try
+            abort_count=1,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "wasted-energy" in codes_of(report)
+
+
+class TestMigrationAccounting:
+    def test_mischarged_migration_debt_is_flagged(self):
+        # Paid only 0.4 of the 1.0 migration delay before resuming.
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [
+                span(0, 0, 0.0, 5.0),
+                span(0, 1, 5.0, 5.4, kind="migration"),
+                span(0, 1, 5.4, 11.4),
+            ],
+            total_energy=6.0,
+            migration_energy=0.5,
+            migration_count=1,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "migration-debt" in codes_of(report)
+
+    def test_unreported_migration_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [
+                span(0, 0, 0.0, 5.0),
+                span(0, 1, 5.0, 6.0, kind="migration"),
+                span(0, 1, 6.0, 12.0),
+            ],
+            total_energy=6.0,
+            migration_energy=0.5,
+            migration_count=0,  # lie
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "migration-count" in codes_of(report)
+
+    def test_unstarted_remap_without_charge_is_clean(self):
+        # The job's first span already sits on its final resource with a
+        # zero-cost (uncharged) remap: legal under
+        # charge_unstarted_migration=False.
+        trace = one_job_trace()
+        result = result_for(
+            trace, [span(0, 1, 0.0, 12.0)], total_energy=6.0
+        )
+        assert verify_result(trace, PLATFORM, result).ok
+
+
+class TestTotals:
+    def test_tampered_total_energy_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace, [span(0, 0, 0.0, 10.0)], total_energy=4.0  # lie: 5.0
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "energy-balance" in codes_of(report)
+
+    def test_overhead_mismatch_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0)],
+            total_energy=5.0,
+            prediction_overhead_total=0.3,
+        )
+        report = verify_result(
+            trace, PLATFORM, result, expected_overhead=0.05
+        )
+        assert "overhead-accounting" in codes_of(report)
+
+    def test_overhead_match_is_clean(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0)],
+            total_energy=5.0,
+            prediction_overhead_total=0.05,
+        )
+        report = verify_result(
+            trace, PLATFORM, result, expected_overhead=0.05
+        )
+        assert report.ok
+
+
+class TestAdmissionPartition:
+    def test_span_for_unadmitted_job_is_flagged(self):
+        trace = make_trace([TASK], [(0.0, 0, 100.0), (0.0, 0, 100.0)])
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0), span(1, 1, 0.0, 12.0)],
+            accepted=[0],
+            rejected=[1],  # yet job 1 ran
+            total_energy=11.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "admission-partition" in codes_of(report)
+
+    def test_unclassified_request_is_flagged(self):
+        trace = make_trace([TASK], [(0.0, 0, 100.0), (0.0, 0, 100.0)])
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0)],
+            accepted=[0],
+            rejected=[],  # request 1 vanished
+            total_energy=5.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "admission-partition" in codes_of(report)
+
+    def test_double_classification_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0)],
+            accepted=[0],
+            rejected=[0],
+            total_energy=5.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "admission-partition" in codes_of(report)
+
+
+class TestMalformedSpans:
+    def test_backwards_span_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 10.0, 0.0), span(0, 0, 10.0, 20.0)],
+            total_energy=5.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "malformed-span" in codes_of(report)
+
+    def test_unknown_resource_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 7, 0.0, 10.0), span(0, 0, 10.0, 20.0)],
+            total_energy=5.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "malformed-span" in codes_of(report)
+
+    def test_unknown_kind_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [
+                ExecutionSpan(0, 0, 0.0, 10.0, kind="nap"),
+                span(0, 0, 10.0, 20.0),
+            ],
+            total_energy=5.0,
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "malformed-span" in codes_of(report)
+
+    def test_work_on_inexecutable_resource_is_flagged(self):
+        gpu_only = make_task(
+            wcet=(math.inf, math.inf, 4.0),
+            energy=(math.inf, math.inf, 1.0),
+        )
+        trace = one_job_trace(task=gpu_only)
+        result = result_for(
+            trace, [span(0, 0, 0.0, 10.0)], total_energy=5.0
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "not-executable" in codes_of(report)
+
+    def test_missing_log_raises(self):
+        trace = one_job_trace()
+        result = result_for(trace, [], total_energy=5.0)
+        with pytest.raises(ValueError, match="no execution log"):
+            verify_result(trace, PLATFORM, result)
+
+
+class TestRecords:
+    def _record(self, index, admitted=True, **overrides):
+        fields = {
+            "request_index": index,
+            "arrival": 0.0,
+            "decision_time": 0.0,
+            "admitted": admitted,
+            "used_prediction": False,
+            "had_prediction": False,
+            "solver_calls": 1,
+            "context_size": 1,
+            "planned_energy": 5.0,
+        }
+        fields.update(overrides)
+        return ActivationRecord(**fields)
+
+    def test_consistent_records_are_clean(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0)],
+            total_energy=5.0,
+            solver_calls_total=1,
+            records=[self._record(0)],
+        )
+        assert verify_result(trace, PLATFORM, result).ok
+
+    def test_admission_flag_disagreement_is_flagged(self):
+        trace = one_job_trace()
+        result = result_for(
+            trace,
+            [span(0, 0, 0.0, 10.0)],
+            total_energy=5.0,
+            solver_calls_total=1,
+            records=[self._record(0, admitted=False)],
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "records-mismatch" in codes_of(report)
+
+    def test_decision_before_arrival_is_flagged(self):
+        trace = one_job_trace(arrival=5.0)
+        result = result_for(
+            trace,
+            [span(0, 0, 5.0, 15.0)],
+            total_energy=5.0,
+            solver_calls_total=1,
+            records=[self._record(0, arrival=5.0, decision_time=2.0)],
+        )
+        report = verify_result(trace, PLATFORM, result)
+        assert "records-mismatch" in codes_of(report)
+
+
+class TestReportApi:
+    def test_every_code_is_documented(self):
+        # The INVARIANTS table is the contract: every code the checks can
+        # emit must map to a paper reference and description.
+        assert all(
+            isinstance(ref, str) and isinstance(desc, str)
+            for ref, desc in INVARIANTS.values()
+        )
+
+    def test_render_mentions_every_violation(self):
+        report = VerificationReport(
+            violations=[
+                Violation("overlap", "a", job_id=1, resource=0, time=2.0),
+                Violation("deadline-miss", "b", job_id=3),
+            ],
+            n_spans=5,
+            n_jobs=2,
+        )
+        text = report.render()
+        assert "FAILED" in text
+        assert "overlap" in text and "deadline-miss" in text
+        assert report.summary()["violated_codes"] == [
+            "deadline-miss",
+            "overlap",
+        ]
+
+    def test_verification_error_carries_report(self):
+        report = VerificationReport(
+            violations=[Violation("overlap", "boom")]
+        )
+        error = VerificationError(report)
+        assert error.report is report
+        assert "overlap" in str(error)
+
+
+class TestSimulatorIntegration:
+    def test_verify_true_attaches_clean_report(self, platform, tiny_trace):
+        config = SimulationConfig(verify=True, collect_records=True)
+        result = simulate(tiny_trace, platform, "heuristic", None, config)
+        assert result.verification is not None
+        assert result.verification.ok
+        # The log was collected only for verification and dropped again.
+        assert result.execution_log == []
+
+    def test_verify_true_keeps_requested_log(self, platform, tiny_trace):
+        config = SimulationConfig(verify=True, collect_execution_log=True)
+        result = simulate(tiny_trace, platform, "heuristic", None, config)
+        assert result.verification is not None
+        assert result.execution_log
+
+    def test_verify_with_prediction_overhead(self, platform, tiny_trace):
+        config = SimulationConfig(
+            verify=True, prediction_overhead=0.05, collect_records=True
+        )
+        result = simulate(
+            tiny_trace, platform, "heuristic", "oracle", config
+        )
+        assert result.verification is not None
+        assert result.verification.ok
+
+    def test_tampered_result_fails_verification(self, platform, tiny_trace):
+        config = SimulationConfig(verify=True, collect_execution_log=True)
+        simulator = Simulator(platform, "heuristic", None, config)
+        result = simulator.run(tiny_trace)
+        result.total_energy += 1.0
+        report = verify_result(tiny_trace, platform, result)
+        assert "energy-balance" in report.codes()

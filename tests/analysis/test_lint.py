@@ -1,0 +1,175 @@
+"""Each custom lint rule must fire on its fixture and stay quiet on
+clean code — including the repo's own sources."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    LINT_RULES,
+    LintConfig,
+    lint_file,
+    lint_package,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+def lines_of(findings, rule) -> list[int]:
+    return [f.line for f in findings if f.rule == rule]
+
+
+class TestRandomnessRule:
+    def test_fixture_trips_rpr001(self):
+        findings = lint_file(FIXTURES / "bad_randomness.py")
+        assert rules_of(findings) == {"RPR001"}
+        # stdlib seed/random/randint + numpy seed/rand + three unseeded
+        # generators; the seeded block and the noqa line stay silent.
+        assert len(findings) == 8
+
+    def test_unseeded_default_rng_flagged_inline(self):
+        findings = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_seeded_default_rng_is_clean(self):
+        findings = lint_source(
+            "import numpy as np\nrng = np.random.default_rng(7)\n"
+        )
+        assert findings == []
+
+    def test_alias_resolution(self):
+        findings = lint_source(
+            "from numpy import random as nprand\nnprand.shuffle([1])\n"
+        )
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_noqa_suppression(self):
+        findings = lint_source(
+            "import random\nrandom.random()  # noqa: RPR001\n"
+        )
+        assert findings == []
+
+    def test_bare_noqa_suppression(self):
+        findings = lint_source("import random\nrandom.random()  # noqa\n")
+        assert findings == []
+
+    def test_wrong_code_noqa_does_not_suppress(self):
+        findings = lint_source(
+            "import random\nrandom.random()  # noqa: RPR002\n"
+        )
+        assert rules_of(findings) == {"RPR001"}
+
+
+class TestWallClockRule:
+    def test_fixture_trips_rpr002(self):
+        findings = lint_file(FIXTURES / "bad_wall_clock.py")
+        assert rules_of(findings) == {"RPR002"}
+        # three wall-clock reads + two misplaced monotonic timers
+        assert len(findings) == 5
+
+    def test_monotonic_allowed_in_observability_modules(self):
+        source = "import time\nwall = time.perf_counter()\n"
+        assert lint_source(source, module="repro.experiments.runner") == []
+        assert lint_source(source, module="repro.cli") == []
+        assert rules_of(lint_source(source, module="repro.sim.state")) == {
+            "RPR002"
+        }
+
+    def test_wall_clock_banned_everywhere(self):
+        source = "import time\nnow = time.time()\n"
+        assert rules_of(
+            lint_source(source, module="repro.experiments.runner")
+        ) == {"RPR002"}
+
+    def test_datetime_alias(self):
+        findings = lint_source(
+            "from datetime import datetime as dt\nstamp = dt.now()\n"
+        )
+        assert rules_of(findings) == {"RPR002"}
+
+
+class TestRegistryRule:
+    def test_fixture_trips_rpr003(self):
+        findings = lint_file(FIXTURES / "bad_registry.py")
+        assert rules_of(findings) == {"RPR003"}
+        assert len(findings) == 2  # NullPredictor stays exempt
+
+    def test_defining_packages_are_exempt(self):
+        source = (
+            "from repro.core.heuristic import HeuristicResourceManager\n"
+            "s = HeuristicResourceManager()\n"
+        )
+        assert lint_source(source, module="repro.registry") == []
+        assert lint_source(source, module="repro.core.milp") == []
+        assert rules_of(
+            lint_source(source, module="repro.experiments.fig2_rejection")
+        ) == {"RPR003"}
+
+
+class TestRunSpecRule:
+    def test_fixture_trips_rpr004(self):
+        findings = lint_file(FIXTURES / "bad_runspec.py")
+        assert rules_of(findings) == {"RPR004"}
+        assert len(findings) == 3  # two lambdas + one closure
+
+    def test_module_level_factory_is_fine(self):
+        source = (
+            "from repro.experiments.runner import RunSpec\n"
+            "def factory():\n"
+            "    return None\n"
+            "spec = RunSpec('ok', factory)\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestInfrastructure:
+    def test_syntax_error_yields_rpr000(self):
+        findings = lint_source("def broken(:\n")
+        assert rules_of(findings) == {"RPR000"}
+
+    def test_rule_filtering(self):
+        config = LintConfig(rules=frozenset({"RPR002"}))
+        findings = lint_source(
+            "import random, time\nrandom.random()\ntime.time()\n",
+            config=config,
+        )
+        assert rules_of(findings) == {"RPR002"}
+
+    def test_lint_paths_walks_directories(self):
+        findings = lint_paths([FIXTURES])
+        assert {"RPR001", "RPR002", "RPR003", "RPR004"} <= rules_of(findings)
+
+    def test_clean_fixture_is_clean(self):
+        assert lint_file(FIXTURES / "clean_module.py") == []
+
+    def test_render_findings(self):
+        findings = lint_file(FIXTURES / "bad_registry.py")
+        text = render_findings(findings)
+        assert "RPR003" in text
+        assert f"{len(findings)} finding(s)" in text
+        assert render_findings([]) == "lint: clean (0 findings)"
+
+    def test_every_rule_has_a_description(self):
+        assert set(LINT_RULES) == {
+            "RPR000", "RPR001", "RPR002", "RPR003", "RPR004"
+        }
+        assert all(LINT_RULES.values())
+
+
+class TestSelfLint:
+    def test_repro_package_is_clean(self):
+        # The repo's own contract (and what CI enforces via
+        # ``repro analyze --self``).
+        findings = lint_package()
+        assert findings == [], render_findings(findings)

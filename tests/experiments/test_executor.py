@@ -108,7 +108,9 @@ class TestParity:
             parallel=ParallelConfig(jobs=2),
         )
         assert len(par["h-off"].results) == len(traces)
-        for mine, theirs in zip(par["h-off"].results, serial["h-off"].results):
+        for mine, theirs in zip(
+            par["h-off"].results, serial["h-off"].results, strict=True
+        ):
             assert mine.summary() == theirs.summary()
 
     def test_fig2_harness_parity(self):

@@ -78,7 +78,7 @@ class TestCommon:
         a = standard_traces(DeadlineGroup.VT, TINY)
         b = standard_traces(DeadlineGroup.VT, TINY)
         assert len(a) == 2
-        for ta, tb in zip(a, b):
+        for ta, tb in zip(a, b, strict=True):
             assert [r.arrival for r in ta] == [r.arrival for r in tb]
 
     def test_unknown_strategy(self):
@@ -228,7 +228,11 @@ class TestSec52:
         result = run_sec52(HarnessScale(n_traces=2, n_requests=25))
         manual = statistics.fmean(
             1.0 if m <= h else 0.0
-            for m, h in zip(result.milp_rejections, result.heuristic_rejections)
+            for m, h in zip(
+                result.milp_rejections,
+                result.heuristic_rejections,
+                strict=True,
+            )
         )
         assert result.milp_win_fraction == pytest.approx(manual)
         assert result.milp_strict_loss_fraction == pytest.approx(1 - manual)

@@ -13,7 +13,7 @@ from repro.sim.result import SimulationResult
 
 def make_aggregate(label, rejections, energies):
     aggregate = Aggregate(label)
-    for rejection, energy in zip(rejections, energies):
+    for rejection, energy in zip(rejections, energies, strict=True):
         result = SimulationResult(n_requests=100, energy_demand=1.0)
         result.rejected = list(range(int(rejection)))
         result.total_energy = energy

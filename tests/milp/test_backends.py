@@ -16,7 +16,7 @@ def knapsack_model(values, weights, capacity):
     xs = [m.add_binary(f"x{i}") for i in range(len(values))]
     load = None
     gain = None
-    for x, v, w in zip(xs, values, weights):
+    for x, v, w in zip(xs, values, weights, strict=True):
         load = x * w if load is None else load + x * w
         gain = x * v if gain is None else gain + x * v
     m.add(load <= capacity)
@@ -175,7 +175,7 @@ class TestBackendAgreement:
             xs = [m.add_binary(f"x{i}") for i in range(len(rows))]
             total = None
             cost = None
-            for x, (w, c) in zip(xs, rows):
+            for x, (w, c) in zip(xs, rows, strict=True):
                 total = x * w if total is None else total + x * w
                 cost = x * c if cost is None else cost + x * c
             m.add(total <= cap)

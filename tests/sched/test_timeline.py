@@ -272,7 +272,7 @@ def test_timeline_invariants(ready_spec, future_spec, preemptable):
         assert total == pytest.approx(exec_time, abs=1e-6)
 
     # 2. chunks are ordered and non-overlapping
-    for a, b in zip(tl.chunks, tl.chunks[1:]):
+    for a, b in zip(tl.chunks, tl.chunks[1:], strict=False):
         assert a.end <= b.start + EPS
 
     # 3. no job executes before its arrival / the start time

@@ -82,7 +82,7 @@ class TestGeneration:
         )
         gaps = [
             b.arrival - a.arrival
-            for a, b in zip(trace.requests, trace.requests[1:])
+            for a, b in zip(trace.requests, trace.requests[1:], strict=False)
         ]
         # gaps cycle 2,2,2,10,10,10,...
         assert gaps[:6] == pytest.approx([2.0, 2.0, 2.0, 10.0, 10.0, 10.0])
@@ -100,7 +100,7 @@ class TestGeneration:
             tasks, PatternConfig(n_requests=100), rng=np.random.default_rng(7)
         )
         arrivals = [r.arrival for r in trace]
-        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:], strict=False))
 
     def test_empty_task_set_rejected(self):
         with pytest.raises(ValueError):

@@ -47,7 +47,7 @@ def test_generated_trace_roundtrips_and_validates(
 
     # Generator invariants.
     arrivals = [r.arrival for r in trace]
-    assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+    assert all(b > a for a, b in zip(arrivals, arrivals[1:], strict=False))
     assert all(r.deadline > 0 for r in trace)
     for task in trace.tasks:
         assert task.executable_resources  # never fully incompatible

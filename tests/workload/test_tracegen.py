@@ -68,14 +68,14 @@ class TestGenerateTrace:
             tasks, TraceConfig(n_requests=200), rng=np.random.default_rng(3)
         )
         arrivals = [r.arrival for r in trace]
-        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:], strict=False))
 
     def test_interarrival_statistics(self, tasks):
         cfg = TraceConfig(n_requests=2000, arrival_scale=1.0)
         trace = generate_trace(tasks, cfg, rng=np.random.default_rng(4))
         gaps = [
             b.arrival - a.arrival
-            for a, b in zip(trace.requests, trace.requests[1:])
+            for a, b in zip(trace.requests, trace.requests[1:], strict=False)
         ]
         assert statistics.fmean(gaps) == pytest.approx(1.2, abs=0.05)
         assert statistics.stdev(gaps) == pytest.approx(0.4, abs=0.05)
@@ -165,7 +165,7 @@ class TestGenerateTraceGroup:
             trace_config=TraceConfig(n_requests=15, group=DeadlineGroup.LT),
             master_seed=42,
         )
-        for ta, tb in zip(a, b):
+        for ta, tb in zip(a, b, strict=True):
             assert [r.arrival for r in ta] == [r.arrival for r in tb]
 
     def test_group_config_mismatch_rejected(self):
