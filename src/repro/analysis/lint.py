@@ -141,6 +141,7 @@ class LintConfig:
         "repro.experiments",
         "repro.cli",
         "repro.analysis",
+        "repro.perf",
     )
     registry_allowed_prefixes: tuple[str, ...] = (
         "repro.registry",

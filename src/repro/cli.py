@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the library's main entry points without writing
+Six subcommands cover the library's main entry points without writing
 Python::
 
     python -m repro generate --group VT --traces 3 --requests 200 --out traces/
@@ -8,6 +8,7 @@ Python::
         --predictor oracle --overhead 0.05
     python -m repro experiment fig2 --traces 5 --requests 120
     python -m repro evaluate traces/vt_000.json --predictor learned
+    python -m repro bench --out BENCH.json  # deterministic perf suite
     python -m repro analyze --self          # lint the repro package
     python -m repro analyze --smoke         # verified smoke simulation
     python -m repro analyze traces/vt_000.json --strategy milp
@@ -129,6 +130,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ev.add_argument("--accuracy", type=float, default=0.75)
     ev.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the deterministic performance benchmarks",
+        description=(
+            "Time the simulation core's hot paths (EDF timelines, "
+            "heuristic admission, predictor updates, the simulator "
+            "event loop, and the fig2-scale macro grid) on fixed-seed "
+            "workloads and emit a machine-readable BENCH_*.json "
+            "trajectory file.  With --baseline the speedup ratios are "
+            "embedded in the output, and --fail-threshold turns any "
+            "ratio below the bar into a nonzero exit (perf regression "
+            "gate)."
+        ),
+    )
+    bench.add_argument("--traces", type=int, default=2,
+                       help="macro grid: traces per spec")
+    bench.add_argument("--requests", type=int, default=120,
+                       help="requests per trace")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--group", choices=["VT", "LT"], default="VT")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="timed repetitions per benchmark")
+    bench.add_argument("--only", nargs="+", default=None, metavar="NAME",
+                       help="run only the named benchmarks")
+    bench.add_argument("--no-alloc", action="store_true",
+                       help="skip the tracemalloc allocation pass")
+    bench.add_argument("--out", type=Path, default=None,
+                       help="write the BENCH_*.json payload here")
+    bench.add_argument("--baseline", type=Path, default=None,
+                       help="previous BENCH_*.json to compare against "
+                       "(embedded into the output)")
+    bench.add_argument("--fail-threshold", type=float, default=None,
+                       metavar="RATIO",
+                       help="exit 1 if any benchmark's events/sec falls "
+                       "below RATIO x the baseline's")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full payload as JSON")
 
     an = sub.add_parser(
         "analyze",
@@ -316,6 +355,75 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    # Imported here so the plain simulate/experiment paths never pay for
+    # the perf harness.
+    from repro.perf import (
+        BenchConfig,
+        attach_baseline,
+        load_payload,
+        run_suite,
+        write_payload,
+    )
+
+    if args.fail_threshold is not None and args.baseline is None:
+        print("--fail-threshold requires --baseline", file=sys.stderr)
+        return 2
+    config = BenchConfig(
+        n_traces=args.traces,
+        n_requests=args.requests,
+        seed=args.seed,
+        group=args.group,
+        repeats=args.repeats,
+        alloc=not args.no_alloc,
+    )
+    payload = run_suite(
+        config,
+        only=args.only,
+        progress=None if args.json else (
+            lambda name: print(f"... {name}")
+        ),
+    )
+    ratios: dict[str, float] = {}
+    if args.baseline is not None:
+        ratios = attach_baseline(
+            payload, load_payload(args.baseline), source=str(args.baseline)
+        )
+    if args.out is not None:
+        write_payload(payload, args.out)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, result in payload["benchmarks"].items():
+            line = (
+                f"{name:22s} p50 {result['p50'] * 1e3:9.2f} ms  "
+                f"p95 {result['p95'] * 1e3:9.2f} ms  "
+                f"{result['events_per_sec']:12.0f} events/s"
+            )
+            if result["alloc_peak_bytes"] is not None:
+                line += f"  peak {result['alloc_peak_bytes'] / 1024:.0f} KiB"
+            if name in ratios:
+                line += f"  [{ratios[name]:.2f}x baseline]"
+            print(line)
+        if args.out is not None:
+            print(f"written: {args.out}")
+    if args.fail_threshold is not None:
+        slow = {
+            name: ratio
+            for name, ratio in ratios.items()
+            if ratio < args.fail_threshold
+        }
+        if slow:
+            for name, ratio in slow.items():
+                print(
+                    f"REGRESSION: {name} at {ratio:.2f}x baseline "
+                    f"(threshold {args.fail_threshold:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     # Imported here so the plain simulate/experiment paths never pay for
     # the analysis package.
@@ -440,6 +548,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
         "evaluate": _cmd_evaluate,
+        "bench": _cmd_bench,
         "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)

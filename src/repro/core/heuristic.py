@@ -16,6 +16,25 @@ the ``IsSchedulable`` of the paper.
 
 Worst-case complexity is ``O(N * L * log L)`` per activation, with ``L``
 the size of ``S-bar``.
+
+Implementation notes (hot path; all bit-identical to the naive form and
+pinned by the golden-trace suite in ``tests/golden``):
+
+* the ``cpm``/``f`` rows inline :meth:`PlannedTask.exec_time_on` /
+  :meth:`~PlannedTask.energy_on` branch-for-branch (same operations in
+  the same order, so the floats are identical to the letter);
+* each task's resources are pre-sorted once by ``(f[j,i], i)``; the
+  per-round candidate list filters that fixed total order by remaining
+  capacity, which equals filtering-then-sorting;
+* the regret scan stops at the first ``inf`` regret: no later task can
+  exceed it under the strict ``>`` comparison, and a later task with *no*
+  candidates still drives the decision to infeasible on a subsequent
+  round (capacities only ever shrink), so the returned decision is
+  unchanged;
+* ``IsSchedulable`` keeps one incremental
+  :class:`~repro.sched.timeline.Timeline` per resource and probes it,
+  instead of replaying the whole resource with
+  :func:`~repro.core.base.resource_timeline` on every query.
 """
 
 from __future__ import annotations
@@ -26,13 +45,14 @@ from repro.core.base import (
     MappingDecision,
     MappingStrategy,
     mapping_energy,
-    resource_timeline,
 )
 from repro.core.context import PlannedTask, RMContext
+from repro.sched.timeline import Timeline
 
 __all__ = ["HeuristicResourceManager"]
 
 _EPS = 1e-9
+_INF = math.inf
 
 
 class HeuristicResourceManager(MappingStrategy):
@@ -72,29 +92,109 @@ class HeuristicResourceManager(MappingStrategy):
         tasks = list(context.tasks)
         if not tasks:
             return MappingDecision(feasible=True, mapping={}, energy=0.0)
-        n = context.platform.size
+        platform = context.platform
+        n = platform.size
         window = context.window
         capacity = [window] * n
+        time = context.time
+        charge_unstarted = context.charge_unstarted_migration
+        deadline_penalty = self.deadline_penalty
+        resources = range(n)
 
         # Line 6: desirability f[j,i] = ep + em + M * (cpm > t_left).
+        # The rows replicate PlannedTask.exec_time_on/energy_on inline
+        # (same arithmetic, same order); wcet and energy are finite on
+        # exactly the same resources (TaskType invariant), so one
+        # executability test covers both rows.
         desirability: dict[int, list[float]] = {}
         exec_times: dict[int, list[float]] = {}
+        # Per task: resources with finite cpm, pre-sorted by (f, i).
+        preference: dict[int, list[int]] = {}
         for task in tasks:
+            task_type = task.task
+            wcets = task_type.wcet
+            energies = task_type.energy
+            fraction = task.remaining_fraction
+            current = task.current_resource
+            run_np = task.running_non_preemptable
+            pending = task.pending_migration_time
+            migratable = (
+                current is not None
+                and not run_np
+                and (task.started or charge_unstarted)
+            )
+            cm_row = (
+                task_type.migration_time[current] if migratable else None
+            )
+            em_row = (
+                task_type.migration_energy[current] if migratable else None
+            )
+            budget = self._deadline_budget(context, task)
+            threshold = budget + _EPS
             row_f: list[float] = []
             row_c: list[float] = []
-            budget = self._deadline_budget(context, task)
-            for i in range(n):
-                cpm = context.cpm(task, i)
-                energy = context.energy(task, i)
-                if not math.isfinite(cpm):
-                    row_f.append(math.inf)
-                    row_c.append(math.inf)
+            for i in resources:
+                wcet = wcets[i]
+                if wcet == _INF:
+                    row_f.append(_INF)
+                    row_c.append(_INF)
                     continue
-                penalty = self.deadline_penalty if cpm > budget + _EPS else 0.0
+                if run_np and i != current:
+                    base_c = wcet
+                    base_e = energies[i]
+                else:
+                    base_c = wcet * fraction
+                    base_e = energies[i] * fraction
+                if cm_row is not None and i != current:
+                    cpm = base_c + cm_row[i]
+                    energy = base_e + em_row[i]  # type: ignore[index]
+                elif i == current:
+                    cpm = base_c + pending
+                    energy = base_e
+                else:
+                    cpm = base_c
+                    energy = base_e
+                penalty = deadline_penalty if cpm > threshold else 0.0
                 row_f.append(energy + penalty)
                 row_c.append(cpm)
-            desirability[task.job_id] = row_f
-            exec_times[task.job_id] = row_c
+            job_id = task.job_id
+            desirability[job_id] = row_f
+            exec_times[job_id] = row_c
+            preference[job_id] = [
+                i
+                for _, i in sorted(
+                    (row_f[i], i) for i in resources if row_c[i] != _INF
+                )
+            ]
+
+        # One incremental EDF timeline per resource: placements insert,
+        # IsSchedulable probes (no full replay per query).
+        timelines = [
+            Timeline(
+                start_time=time, preemptable=platform.is_preemptable(i)
+            )
+            for i in resources
+        ]
+
+        def place(task: PlannedTask, resource: int, exec_time: float) -> None:
+            if task.is_predicted:
+                timelines[resource].insert(
+                    task.job_id,
+                    exec_time,
+                    task.absolute_deadline,
+                    arrival=max(task.arrival or time, time),
+                )
+            else:
+                timelines[resource].insert(
+                    task.job_id,
+                    exec_time,
+                    task.absolute_deadline,
+                    must_run_first=(
+                        task.running_non_preemptable
+                        and task.current_resource == resource
+                        and not platform.is_preemptable(resource)
+                    ),
+                )
 
         mapping: dict[int, int] = {}
         unmapped = {task.job_id: task for task in tasks}
@@ -107,54 +207,88 @@ class HeuristicResourceManager(MappingStrategy):
                 if task.current_resource is None:
                     continue
                 resource = task.current_resource
+                exec_time = exec_times[task.job_id][resource]
+                if exec_time == _INF:
+                    raise ValueError(
+                        f"job {task.job_id} mapped to resource {resource} "
+                        "where it is not executable"
+                    )
                 mapping[task.job_id] = resource
-                capacity[resource] -= exec_times[task.job_id][resource]
+                capacity[resource] -= exec_time
+                place(task, resource, exec_time)
                 del unmapped[task.job_id]
-            for resource in range(n):
-                if any(m == resource for m in mapping.values()):
-                    if not resource_timeline(
-                        context, mapping, resource
-                    ).feasible:
-                        return MappingDecision.infeasible()
+            for resource in resources:
+                if len(timelines[resource]) and not timelines[
+                    resource
+                ].feasible():
+                    return MappingDecision.infeasible()
 
+        sorted_ids = sorted(unmapped)
+        # Candidate lists (resources with capacity left, in preference
+        # order), maintained incrementally: capacities only ever shrink,
+        # and only the placed-on resource shrinks per round, so pruning
+        # that one resource from every list reproduces the per-round
+        # filter exactly.
+        candidates_of = {
+            job_id: [
+                i
+                for i in preference[job_id]
+                if exec_times[job_id][i] <= capacity[i] + _EPS
+            ]
+            for job_id in sorted_ids
+        }
         while unmapped:
             # Lines 7-23: pick the unmapped task with the largest regret.
             chosen: PlannedTask | None = None
             chosen_candidates: list[int] = []
-            best_regret = -math.inf
-            for job_id in sorted(unmapped):
-                task = unmapped[job_id]
-                cpms = exec_times[job_id]
-                f_row = desirability[job_id]
-                candidates = [
-                    i
-                    for i in range(n)
-                    if cpms[i] <= capacity[i] + _EPS and math.isfinite(cpms[i])
-                ]
+            best_regret = -_INF
+            for job_id in sorted_ids:
+                candidates = candidates_of[job_id]
                 if not candidates:
                     return MappingDecision.infeasible()  # line 22: exit
-                candidates.sort(key=lambda i: (f_row[i], i))
+                f_row = desirability[job_id]
                 if len(candidates) == 1:
-                    regret = math.inf  # line 14: must place now
+                    regret = _INF  # line 14: must place now
                 else:
                     regret = f_row[candidates[1]] - f_row[candidates[0]]
                 if regret > best_regret:
                     best_regret = regret
-                    chosen = task
+                    chosen = unmapped[job_id]
                     chosen_candidates = candidates
+                    if regret == _INF:
+                        # Nothing can beat inf under the strict `>`;
+                        # skipping the rest of the scan is decision-
+                        # preserving (see the module docstring).
+                        break
 
             assert chosen is not None
             # Lines 24-34: place on the most desirable schedulable resource.
             placed = False
+            chosen_exec = exec_times[chosen.job_id]
             for resource in chosen_candidates:
-                if self._is_schedulable(context, mapping, chosen, resource):
+                exec_time = chosen_exec[resource]
+                if self._is_schedulable(
+                    timelines[resource], context, chosen, resource, exec_time
+                ):
                     mapping[chosen.job_id] = resource
-                    capacity[resource] -= exec_times[chosen.job_id][resource]
+                    capacity[resource] -= exec_time
+                    place(chosen, resource, exec_time)
                     placed = True
                     break
             if not placed:
                 return MappingDecision.infeasible()  # line 32: exit
             del unmapped[chosen.job_id]
+            del candidates_of[chosen.job_id]
+            sorted_ids.remove(chosen.job_id)
+            # Prune the shrunk resource from the remaining candidates.
+            threshold = capacity[resource] + _EPS
+            for job_id in sorted_ids:
+                candidates = candidates_of[job_id]
+                if (
+                    resource in candidates
+                    and exec_times[job_id][resource] > threshold
+                ):
+                    candidates.remove(resource)
 
         return MappingDecision(
             feasible=True,
@@ -171,17 +305,33 @@ class HeuristicResourceManager(MappingStrategy):
 
     @staticmethod
     def _is_schedulable(
+        timeline: Timeline,
         context: RMContext,
-        mapping: dict[int, int],
         task: PlannedTask,
         resource: int,
+        exec_time: float,
     ) -> bool:
         """The paper's ``IsSchedulable(j*, i*)``.
 
-        Checks the EDF timeline of ``resource`` with the tasks mapped
-        there so far plus ``task``; other resources are unaffected by the
-        placement (assignments only ever add work to one resource).
+        Probes the EDF timeline of ``resource`` (holding the tasks mapped
+        there so far) with ``task`` added; other resources are unaffected
+        by the placement (assignments only ever add work to one
+        resource).
         """
-        trial = dict(mapping)
-        trial[task.job_id] = resource
-        return resource_timeline(context, trial, resource).feasible
+        if task.is_predicted:
+            return timeline.probe(
+                task.job_id,
+                exec_time,
+                task.absolute_deadline,
+                arrival=max(task.arrival or context.time, context.time),
+            )
+        return timeline.probe(
+            task.job_id,
+            exec_time,
+            task.absolute_deadline,
+            must_run_first=(
+                task.running_non_preemptable
+                and task.current_resource == resource
+                and not context.platform.is_preemptable(resource)
+            ),
+        )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 __all__ = ["NOT_EXECUTABLE", "TaskType"]
 
@@ -49,6 +50,21 @@ def _as_matrix(
     return tuple(
         tuple(0.0 if k == i else rows[k][i] for i in range(n)) for k in range(n)
     )
+
+
+@lru_cache(maxsize=8192)
+def _finite_mean(values: tuple[float, ...]) -> float:
+    """Mean of the finite entries (cached: WCET/energy vectors repeat
+    across the requests of a trace, and these aggregates sit on the
+    normalisation path of every simulation)."""
+    finite = [v for v in values if math.isfinite(v)]
+    return sum(finite) / len(finite)
+
+
+@lru_cache(maxsize=8192)
+def _finite_min(values: tuple[float, ...]) -> float:
+    """Minimum of the finite entries (cached, see :func:`_finite_mean`)."""
+    return min(v for v in values if math.isfinite(v))
 
 
 @dataclass(frozen=True)
@@ -132,21 +148,19 @@ class TaskType:
 
     def mean_wcet(self) -> float:
         """Average WCET over the resources the task is executable on."""
-        values = [c for c in self.wcet if math.isfinite(c)]
-        return sum(values) / len(values)
+        return _finite_mean(self.wcet)
 
     def mean_energy(self) -> float:
         """Average energy over the resources the task is executable on."""
-        values = [e for e in self.energy if math.isfinite(e)]
-        return sum(values) / len(values)
+        return _finite_mean(self.energy)
 
     def min_wcet(self) -> float:
         """Fastest possible execution time across resources."""
-        return min(c for c in self.wcet if math.isfinite(c))
+        return _finite_min(self.wcet)
 
     def min_energy(self) -> float:
         """Most efficient possible energy across resources."""
-        return min(e for e in self.energy if math.isfinite(e))
+        return _finite_min(self.energy)
 
     def cm(self, src: int, dst: int) -> float:
         """Migration *time* overhead ``cm[j,src,dst]``."""

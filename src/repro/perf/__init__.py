@@ -1,0 +1,33 @@
+"""Performance harness: deterministic benchmarks of the simulation core.
+
+``repro bench`` (see :mod:`repro.cli`) drives :func:`run_suite` and
+writes ``BENCH_*.json`` trajectory files; :func:`compare_to_baseline`
+turns two payloads into per-benchmark speedup ratios for regression
+gating (``--fail-threshold``).  See DESIGN.md §8 for the methodology.
+"""
+
+from repro.perf.bench import (
+    SCHEMA_VERSION,
+    BenchConfig,
+    BenchResult,
+    attach_baseline,
+    benchmark_names,
+    compare_to_baseline,
+    load_payload,
+    run_bench,
+    run_suite,
+    write_payload,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchConfig",
+    "BenchResult",
+    "attach_baseline",
+    "benchmark_names",
+    "compare_to_baseline",
+    "load_payload",
+    "run_bench",
+    "run_suite",
+    "write_payload",
+]

@@ -1,0 +1,506 @@
+"""Deterministic micro/macro benchmark harness (the `repro bench` CLI).
+
+The harness times the four hot paths of the simulation core on
+fixed-seed workloads and emits a machine-readable ``BENCH_*.json`` so the
+perf trajectory is tracked PR-over-PR:
+
+* ``timeline_build``   — :func:`repro.sched.timeline.build_timeline`
+  replays (the per-probe cost of the naive ``IsSchedulable``);
+* ``timeline_probe``   — the incremental
+  :class:`repro.sched.timeline.Timeline` under mixed
+  insert/remove/probe sequences;
+* ``heuristic_admission`` — Algorithm 1 on real captured activation
+  contexts (the dominant per-event cost);
+* ``predictor_oracle`` / ``predictor_learned`` — predictor updates over
+  a full trace;
+* ``sim_loop``         — one end-to-end :func:`repro.sim.simulator.simulate`
+  cell (event loop + platform state advance);
+* ``smoke_grid``       — the fig2-scale macro grid via
+  :func:`repro.experiments.runner.run_matrix` (the acceptance target).
+
+Every benchmark is fully determined by :class:`BenchConfig` (seed,
+traces, requests, repeats): two back-to-back runs process identical
+event streams, so the ``events`` counts and behavioural fingerprints are
+comparable bit-for-bit while only the wall times vary.  Timing uses
+``time.perf_counter`` (exempted from lint rule RPR002 via
+``monotonic_allowed_prefixes`` — this *is* an observability layer);
+allocation peaks come from a separate untimed ``tracemalloc`` pass so
+instrumentation never pollutes the timed repeats.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchConfig",
+    "BenchResult",
+    "benchmark_names",
+    "run_bench",
+    "run_suite",
+    "compare_to_baseline",
+    "attach_baseline",
+    "write_payload",
+    "load_payload",
+]
+
+SCHEMA_VERSION = 1
+"""Version of the ``BENCH_*.json`` schema (bump on breaking change)."""
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Workload scale and measurement knobs (fully determine a run).
+
+    Attributes
+    ----------
+    n_traces / n_requests / seed / group:
+        The fig2-style workload scale; all benchmark inputs derive from
+        these through the library's seeded generators.
+    repeats:
+        Timed repetitions per benchmark (p50/p95 come from these).
+    alloc:
+        Run the separate ``tracemalloc`` pass (skippable: it is the
+        slowest part of the suite).
+    """
+
+    n_traces: int = 2
+    n_requests: int = 120
+    seed: int = 0
+    group: str = "VT"
+    repeats: int = 5
+    alloc: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_traces < 1 or self.n_requests < 1 or self.repeats < 1:
+            raise ValueError(
+                "n_traces, n_requests and repeats must all be >= 1"
+            )
+        if self.group not in ("VT", "LT"):
+            raise ValueError(f"group must be VT or LT, got {self.group!r}")
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's measurement."""
+
+    name: str
+    events: int
+    repeats: int
+    wall_times: tuple[float, ...]
+    p50: float
+    p95: float
+    events_per_sec: float
+    alloc_peak_bytes: int | None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "events": self.events,
+            "repeats": self.repeats,
+            "wall_times": list(self.wall_times),
+            "p50": self.p50,
+            "p95": self.p95,
+            "events_per_sec": self.events_per_sec,
+            "alloc_peak_bytes": self.alloc_peak_bytes,
+            "extra": dict(self.extra),
+        }
+
+
+@dataclass(frozen=True)
+class _Prepared:
+    """A benchmark after setup: a timeable closure plus its metadata."""
+
+    run: Callable[[], None]
+    events: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _single_trace(config: BenchConfig):
+    """One deterministic trace at the configured scale."""
+    from repro.experiments.common import standard_traces
+    from repro.experiments.config import HarnessScale
+    from repro.workload.tracegen import DeadlineGroup
+
+    scale = HarnessScale(
+        n_traces=1,
+        n_requests=config.n_requests,
+        master_seed=config.seed,
+    )
+    return standard_traces(DeadlineGroup(config.group), scale)[0]
+
+
+# ----------------------------------------------------------------------
+# Benchmark definitions
+# ----------------------------------------------------------------------
+
+
+def _bench_timeline_build(config: BenchConfig) -> _Prepared:
+    import random
+
+    from repro.sched.timeline import FutureJob, ReadyJob, build_timeline
+
+    rng = random.Random(config.seed * 1_000_003 + 1)
+    cases = []
+    n_cases = 50 * max(1, config.n_requests // 30)
+    for _ in range(n_cases):
+        n_jobs = rng.randint(4, 16)
+        ready = [
+            ReadyJob(j, rng.uniform(0.2, 3.0), rng.uniform(2.0, 40.0))
+            for j in range(n_jobs)
+        ]
+        future = (
+            [FutureJob(10**9, rng.uniform(0.5, 5.0), 1.0, 30.0)]
+            if rng.random() < 0.5
+            else []
+        )
+        cases.append((ready, future, rng.random() < 0.3))
+
+    def run() -> None:
+        for ready, future, non_preempt in cases:
+            build_timeline(ready, future, preemptable=not non_preempt)
+
+    return _Prepared(run, events=n_cases, extra={"events_unit": "replays"})
+
+
+def _bench_timeline_probe(config: BenchConfig) -> _Prepared:
+    import random
+
+    from repro.sched.timeline import Timeline
+
+    rng = random.Random(config.seed * 1_000_003 + 2)
+    n_ops = 200 * max(1, config.n_requests // 12)
+    script = []  # pre-draw the op sequence so each repeat is identical
+    live: list[int] = []
+    next_id = 0
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.45 or not live:
+            script.append(
+                ("insert", next_id, rng.uniform(0.2, 2.0), rng.uniform(5, 60))
+            )
+            live.append(next_id)
+            next_id += 1
+        elif op < 0.6:
+            victim = live.pop(rng.randrange(len(live)))
+            script.append(("remove", victim, 0.0, 0.0))
+        else:
+            script.append(
+                (
+                    "probe",
+                    next_id,
+                    rng.uniform(0.2, 2.0),
+                    rng.uniform(5, 60),
+                )
+            )
+            next_id += 1
+
+    def run() -> None:
+        timeline = Timeline(start_time=0.0, preemptable=True)
+        for op, job_id, exec_time, deadline in script:
+            if op == "insert":
+                timeline.insert(job_id, exec_time, deadline)
+            elif op == "remove":
+                timeline.remove(job_id)
+            else:
+                timeline.probe(job_id, exec_time, deadline)
+                timeline.feasible()
+
+    return _Prepared(run, events=n_ops, extra={"events_unit": "operations"})
+
+
+def _captured_contexts(config: BenchConfig):
+    """Replay one trace once and capture every RM activation context."""
+    from repro.core.heuristic import HeuristicResourceManager
+    from repro.experiments.common import standard_platform
+    from repro.sim.simulator import SimulationConfig, Simulator
+
+    contexts = []
+
+    class _Capturing(HeuristicResourceManager):
+        def solve(self, context):  # noqa: D102 - thin capture shim
+            contexts.append(context)
+            return super().solve(context)
+
+    trace = _single_trace(config)
+    platform = standard_platform()
+    simulator = Simulator(
+        platform, _Capturing(), "oracle", SimulationConfig()
+    )
+    simulator.run(trace)
+    return contexts
+
+
+def _bench_heuristic_admission(config: BenchConfig) -> _Prepared:
+    from repro.registry import resolve_strategy
+
+    contexts = _captured_contexts(config)
+    strategy = resolve_strategy("heuristic")
+
+    def run() -> None:
+        for context in contexts:
+            strategy.solve(context)
+
+    return _Prepared(
+        run, events=len(contexts), extra={"events_unit": "activations"}
+    )
+
+
+def _bench_predictor(config: BenchConfig, name: str) -> _Prepared:
+    from repro.registry import resolve_predictor
+
+    trace = _single_trace(config)
+    predictor = resolve_predictor(name)
+
+    def run() -> None:
+        predictor.reset()
+        for index in range(len(trace)):
+            predictor.predict_horizon(trace, index, 1)
+
+    return _Prepared(
+        run, events=len(trace), extra={"events_unit": "predictions"}
+    )
+
+
+def _bench_predictor_oracle(config: BenchConfig) -> _Prepared:
+    return _bench_predictor(config, "oracle")
+
+
+def _bench_predictor_learned(config: BenchConfig) -> _Prepared:
+    return _bench_predictor(config, "learned")
+
+
+def _bench_sim_loop(config: BenchConfig) -> _Prepared:
+    from repro.experiments.common import standard_platform
+    from repro.sim.simulator import simulate
+
+    trace = _single_trace(config)
+    platform = standard_platform()
+    fingerprint: dict[str, Any] = {}
+
+    def run() -> None:
+        result = simulate(trace, platform, "heuristic", "oracle")
+        fingerprint["rejected"] = len(result.rejected)
+        fingerprint["energy"] = result.total_energy
+
+    return _Prepared(
+        run,
+        events=len(trace),
+        extra={"events_unit": "requests", "fingerprint": fingerprint},
+    )
+
+
+def _bench_smoke_grid(config: BenchConfig) -> _Prepared:
+    from repro.experiments.common import standard_platform, standard_traces
+    from repro.experiments.config import HarnessScale
+    from repro.experiments.runner import RunSpec, run_matrix
+    from repro.workload.tracegen import DeadlineGroup
+
+    scale = HarnessScale(
+        n_traces=config.n_traces,
+        n_requests=config.n_requests,
+        master_seed=config.seed,
+    )
+    traces = standard_traces(DeadlineGroup(config.group), scale)
+    platform = standard_platform()
+    specs = [
+        RunSpec.from_names("heuristic-off", "heuristic", None),
+        RunSpec.from_names("heuristic-oracle", "heuristic", "oracle"),
+    ]
+    extra: dict[str, Any] = {"events_unit": "requests"}
+
+    def run() -> None:
+        aggregates = run_matrix(traces, platform, specs)
+        extra["fingerprint"] = {
+            label: {
+                "mean_rejection": agg.mean_rejection,
+                "mean_energy": agg.mean_energy,
+                "solver_calls": agg.total_solver_calls,
+            }
+            for label, agg in aggregates.items()
+        }
+        extra["cell_wall_times"] = {
+            label: [stats.wall_time for stats in agg.cell_stats]
+            for label, agg in aggregates.items()
+        }
+        extra["cell_wall_p50"] = {
+            label: agg.wall_time_p50 for label, agg in aggregates.items()
+        }
+        extra["cell_wall_p95"] = {
+            label: agg.wall_time_p95 for label, agg in aggregates.items()
+        }
+
+    events = len(specs) * len(traces) * config.n_requests
+    return _Prepared(run, events=events, extra=extra)
+
+
+_BENCHMARKS: dict[str, Callable[[BenchConfig], _Prepared]] = {
+    "timeline_build": _bench_timeline_build,
+    "timeline_probe": _bench_timeline_probe,
+    "heuristic_admission": _bench_heuristic_admission,
+    "predictor_oracle": _bench_predictor_oracle,
+    "predictor_learned": _bench_predictor_learned,
+    "sim_loop": _bench_sim_loop,
+    "smoke_grid": _bench_smoke_grid,
+}
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """All registered benchmark names, in suite order."""
+    return tuple(_BENCHMARKS)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def run_bench(name: str, config: BenchConfig) -> BenchResult:
+    """Set up and measure one benchmark.
+
+    The first pass is untimed and doubles as warmup; when
+    ``config.alloc`` it runs under ``tracemalloc`` to record the peak
+    allocation.  The subsequent ``config.repeats`` passes are timed with
+    no instrumentation active.
+    """
+    if name not in _BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(_BENCHMARKS)}"
+        )
+    prepared = _BENCHMARKS[name](config)
+    alloc_peak: int | None = None
+    if config.alloc:
+        tracemalloc.start()
+        try:
+            prepared.run()
+            _, alloc_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    else:
+        prepared.run()
+    wall_times = []
+    for _ in range(config.repeats):
+        start = time.perf_counter()
+        prepared.run()
+        wall_times.append(time.perf_counter() - start)
+    p50 = _percentile(wall_times, 0.50)
+    p95 = _percentile(wall_times, 0.95)
+    return BenchResult(
+        name=name,
+        events=prepared.events,
+        repeats=config.repeats,
+        wall_times=tuple(wall_times),
+        p50=p50,
+        p95=p95,
+        events_per_sec=prepared.events / p50 if p50 > 0 else math.inf,
+        alloc_peak_bytes=alloc_peak,
+        extra=prepared.extra,
+    )
+
+
+def run_suite(
+    config: BenchConfig,
+    *,
+    only: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the (selected) suite and return the ``BENCH_*.json`` payload."""
+    names = list(only) if only else list(_BENCHMARKS)
+    for name in names:
+        if name not in _BENCHMARKS:
+            raise KeyError(
+                f"unknown benchmark {name!r}; known: "
+                f"{', '.join(_BENCHMARKS)}"
+            )
+    results: dict[str, Any] = {}
+    for name in names:
+        if progress is not None:
+            progress(name)
+        results[name] = run_bench(name, config).to_json()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "config": {
+            "n_traces": config.n_traces,
+            "n_requests": config.n_requests,
+            "seed": config.seed,
+            "group": config.group,
+            "repeats": config.repeats,
+            "alloc": config.alloc,
+        },
+        "benchmarks": results,
+    }
+
+
+def compare_to_baseline(
+    payload: Mapping[str, Any], baseline: Mapping[str, Any]
+) -> dict[str, float]:
+    """Per-benchmark throughput ratio ``current / baseline``.
+
+    Only benchmarks present in both payloads are compared; a ratio above
+    1.0 is a speedup.
+    """
+    ratios: dict[str, float] = {}
+    base_benches = baseline.get("benchmarks", {})
+    for name, result in payload.get("benchmarks", {}).items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        base_eps = base.get("events_per_sec", 0.0)
+        if base_eps and base_eps > 0:
+            ratios[name] = result["events_per_sec"] / base_eps
+    return ratios
+
+
+def attach_baseline(
+    payload: dict[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    source: str,
+) -> dict[str, float]:
+    """Embed the baseline and the speedup ratios into ``payload``.
+
+    The trajectory file then carries both measurements, so "≥N× over the
+    recorded baseline" is checkable from the single artefact.
+    """
+    ratios = compare_to_baseline(payload, baseline)
+    payload["baseline"] = {
+        "source": source,
+        "config": dict(baseline.get("config", {})),
+        "benchmarks": {
+            name: dict(result)
+            for name, result in baseline.get("benchmarks", {}).items()
+        },
+    }
+    payload["speedup"] = ratios
+    return ratios
+
+
+def write_payload(payload: Mapping[str, Any], path: Path | str) -> Path:
+    """Write the payload as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_payload(path: Path | str) -> dict[str, Any]:
+    """Load a ``BENCH_*.json`` payload, validating the envelope."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("kind") != "repro-bench":
+        raise ValueError(f"{path}: not a repro-bench payload")
+    return data

@@ -22,6 +22,7 @@ from repro.sched.timeline import (
     FutureJob,
     ReadyJob,
     ResourceTimeline,
+    Timeline,
     build_timeline,
 )
 from repro.sched.feasibility import check_resource_feasible, latest_finish
@@ -32,6 +33,7 @@ __all__ = [
     "FutureJob",
     "Chunk",
     "ResourceTimeline",
+    "Timeline",
     "build_timeline",
     "check_resource_feasible",
     "latest_finish",

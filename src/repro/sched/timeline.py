@@ -28,6 +28,7 @@ considered except for nonpreemptable resources"):
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "FutureJob",
     "Chunk",
     "ResourceTimeline",
+    "Timeline",
     "build_timeline",
 ]
 
@@ -205,24 +207,30 @@ def build_timeline(
     chunks: list[Chunk] = []
     finish_times: dict[int, float] = {}
     time = start_time
+    # The EDF queue: (deadline, job_id) of every arrived job with work
+    # left, kept sorted incrementally instead of rescanned per pick —
+    # remaining work only ever hits zero at completions, and jobs only
+    # join at arrivals, so the queue is cheap to maintain exactly.
+    active = sorted(
+        (state.deadline, job_id)
+        for job_id, state in states.items()
+        if state.arrived and state.remaining > EPS
+    )
+    n_pending = len(pending)
+    next_pending = 0  # cursor into `pending` (no per-arrival list copies)
 
     def mark_arrivals(now: float) -> None:
-        nonlocal pending
-        while pending and pending[0].arrival <= now + EPS:
-            states[pending[0].job_id].arrived = True
-            pending = pending[1:]
-
-    def pick() -> int | None:
-        candidates = [
-            (state.deadline, job_id)
-            for job_id, state in states.items()
-            if state.arrived and state.remaining > EPS
-        ]
-        if not candidates:
-            return None
-        if forced_id is not None and states[forced_id].remaining > EPS:
-            return forced_id
-        return min(candidates)[1]
+        nonlocal next_pending
+        while (
+            next_pending < n_pending
+            and pending[next_pending].arrival <= now + EPS
+        ):
+            job_id = pending[next_pending].job_id
+            state = states[job_id]
+            state.arrived = True
+            if state.remaining > EPS:
+                insort(active, (state.deadline, job_id))
+            next_pending += 1
 
     def emit(job_id: int, start: float, end: float) -> None:
         if end <= start + EPS:
@@ -234,16 +242,25 @@ def build_timeline(
 
     mark_arrivals(time)
     while True:
-        current = pick()
-        if current is None:
-            if not pending:
+        if not active:
+            if next_pending >= n_pending:
                 break
-            time = max(time, pending[0].arrival)
+            time = max(time, pending[next_pending].arrival)
             mark_arrivals(time)
             continue
+        # EDF pick; the forced job (non-preemptable resource) outranks it
+        # while it still has work.
+        if forced_id is not None and states[forced_id].remaining > EPS:
+            current = forced_id
+        else:
+            current = active[0][1]
         state = states[current]
         end = time + state.remaining
-        next_arrival = pending[0].arrival if pending else None
+        next_arrival = (
+            pending[next_pending].arrival
+            if next_pending < n_pending
+            else None
+        )
         interrupt = (
             next_arrival is not None
             and next_arrival < end - EPS
@@ -251,7 +268,10 @@ def build_timeline(
         )
         if interrupt:
             # Run until the arrival, then re-evaluate EDF; the arrival
-            # preempts only if its deadline is earlier (pick() decides).
+            # preempts only if its deadline is earlier (the queue head
+            # decides).  The preempted job keeps remaining > EPS (the
+            # arrival is strictly earlier than its completion), so it
+            # stays in the queue.
             run_until = max(next_arrival, time)
             emit(current, time, run_until)
             state.remaining -= run_until - time
@@ -263,6 +283,7 @@ def build_timeline(
         state.remaining = 0.0
         finish_times[current] = end
         time = end
+        del active[bisect_left(active, (state.deadline, current))]
         mark_arrivals(time)
 
     misses = tuple(
@@ -278,3 +299,437 @@ def build_timeline(
         misses=misses,
         makespan=makespan,
     )
+
+
+class Timeline:
+    """Incremental single-resource EDF timeline with a slack/feasibility
+    cache.
+
+    Maintains the *same* schedule semantics as :func:`build_timeline`
+    under ``insert``/``remove``/``probe`` mutations, but answers
+    feasibility probes from cached prefix finish times instead of
+    replaying the whole resource per query.  This is the structure behind
+    the heuristic's ``IsSchedulable``: an admission activation places
+    jobs one by one, probing many (job, resource) pairs, and a full
+    replay per probe is the dominant cost of the naive implementation.
+
+    Cache design (see DESIGN.md §8 for the invalidation rules):
+
+    * Ready jobs with ``exec_time > EPS`` form the *chain*: parallel
+      arrays sorted by ``(deadline, job_id)`` holding execution times and
+      cached sequential finish times (identical float-addition order to
+      :func:`build_timeline`, so results are bit-identical).
+    * A ``must_run_first`` job on a non-preemptable resource sits in
+      front of the chain; on a preemptable resource the flag is recorded
+      (for validation parity) but ignored, as in :func:`build_timeline`.
+    * Jobs with ``exec_time <= EPS`` never get scheduled by the event
+      loop (it only picks jobs with ``remaining > EPS``); they are kept
+      for bookkeeping but excluded from the chain, mirroring that
+      behaviour.
+    * Future jobs that have effectively arrived
+      (``arrival <= start_time + EPS``) behave exactly like ready jobs
+      and join the chain.  *Pending* future arrivals make slack
+      non-composable (a preemption can split a chunk; a non-preemptive
+      completion boundary can reorder the queue), so any query on a
+      timeline holding pending futures falls back to an authoritative
+      :func:`build_timeline` replay, cached until the next mutation.
+
+    Mutations only mark the cache dirty; the chain is re-accumulated
+    lazily on the next query, and a non-mutating ``probe`` re-accumulates
+    only the suffix starting at the hypothetical insertion point.
+    """
+
+    __slots__ = (
+        "_start",
+        "_preemptable",
+        "_jobs",
+        "_keys",
+        "_execs",
+        "_finish",
+        "_futures",
+        "_tiny",
+        "_forced_id",
+        "_forced_entry",
+        "_forced_finish",
+        "_forced_missed",
+        "_miss_count",
+        "_dirty",
+        "_ref",
+        "_lists",
+    )
+
+    def __init__(
+        self, *, start_time: float = 0.0, preemptable: bool = True
+    ) -> None:
+        self._start = start_time
+        self._preemptable = preemptable
+        # job_id -> (exec_time, deadline, arrival | None, must_run_first)
+        self._jobs: dict[int, tuple[float, float, float | None, bool]] = {}
+        self._keys: list[tuple[float, int]] = []  # (deadline, job_id)
+        self._execs: list[float] = []
+        self._finish: list[float] = []
+        self._futures: dict[int, tuple[float, float, float]] = {}
+        self._tiny: set[int] = set()
+        self._forced_id: int | None = None
+        self._forced_entry: tuple[int, float, float] | None = None
+        self._forced_finish: float | None = None
+        self._forced_missed = False
+        self._miss_count = 0
+        self._dirty = True
+        self._ref: ResourceTimeline | None = None
+        self._lists: tuple[list[ReadyJob], list[FutureJob]] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def start_time(self) -> float:
+        return self._start
+
+    @property
+    def preemptable(self) -> bool:
+        return self._preemptable
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._jobs
+
+    def job_ids(self) -> tuple[int, ...]:
+        """All held job ids, in insertion-agnostic sorted order."""
+        return tuple(sorted(self._jobs))
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        job_id: int,
+        exec_time: float,
+        deadline: float,
+        *,
+        arrival: float | None = None,
+        must_run_first: bool = False,
+    ) -> None:
+        """Add one job; ``arrival`` marks a future job (the predicted
+        task), ``None`` a ready one.
+
+        Raises ``ValueError`` on the same inputs :func:`build_timeline`
+        rejects: non-positive execution time, duplicate ids, a second
+        ``must_run_first`` job, or a forced *future* job.
+        """
+        if exec_time <= 0:
+            raise ValueError(
+                f"job {job_id}: exec_time must be > 0, got {exec_time}"
+            )
+        if job_id in self._jobs:
+            raise ValueError(f"duplicate job_id {job_id}")
+        if must_run_first:
+            if arrival is not None:
+                raise ValueError(
+                    f"job {job_id}: a future job cannot be must_run_first"
+                )
+            if self._forced_id is not None:
+                raise ValueError(
+                    "at most one job may be must_run_first, got "
+                    f"{[self._forced_id, job_id]}"
+                )
+            self._forced_id = job_id
+        self._jobs[job_id] = (exec_time, deadline, arrival, must_run_first)
+        if arrival is not None and arrival > self._start + EPS:
+            self._futures[job_id] = (arrival, exec_time, deadline)
+        elif exec_time <= EPS:
+            self._tiny.add(job_id)
+        elif must_run_first and not self._preemptable:
+            self._forced_entry = (job_id, exec_time, deadline)
+        else:
+            key = (deadline, job_id)
+            pos = bisect_left(self._keys, key)
+            self._keys.insert(pos, key)
+            self._execs.insert(pos, exec_time)
+        self._invalidate()
+
+    def remove(self, job_id: int) -> None:
+        """Remove one job (``KeyError`` when absent)."""
+        exec_time, deadline, arrival, must_run_first = self._jobs.pop(job_id)
+        if must_run_first:
+            self._forced_id = None
+        if job_id in self._futures:
+            del self._futures[job_id]
+        elif job_id in self._tiny:
+            self._tiny.discard(job_id)
+        elif (
+            self._forced_entry is not None
+            and self._forced_entry[0] == job_id
+        ):
+            self._forced_entry = None
+        else:
+            pos = bisect_left(self._keys, (deadline, job_id))
+            del self._keys[pos]
+            del self._execs[pos]
+        self._invalidate()
+
+    def clear(self) -> None:
+        """Drop every job."""
+        self._jobs.clear()
+        self._keys.clear()
+        self._execs.clear()
+        self._futures.clear()
+        self._tiny.clear()
+        self._forced_id = None
+        self._forced_entry = None
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._dirty = True
+        self._ref = None
+        self._lists = None
+
+    # ------------------------------------------------------------------
+    # Cache refresh (ready-chain fast path)
+    # ------------------------------------------------------------------
+
+    def _base_finish(self) -> float:
+        """Completion time of the forced job (or the start time)."""
+        if self._forced_entry is None:
+            return self._start
+        return self._start + self._forced_entry[1]
+
+    def _refresh(self) -> None:
+        """Re-accumulate the chain's finish times if stale (O(chain))."""
+        if not self._dirty:
+            return
+        misses = 0
+        if self._forced_entry is None:
+            self._forced_finish = None
+            self._forced_missed = False
+            time = self._start
+        else:
+            _job_id, exec_time, deadline = self._forced_entry
+            time = self._start + exec_time
+            self._forced_finish = time
+            self._forced_missed = time > deadline + EPS
+        finish = []
+        for key, exec_time in zip(self._keys, self._execs, strict=True):
+            time = time + exec_time
+            finish.append(time)
+            if time > key[0] + EPS:
+                misses += 1
+        self._finish = finish
+        self._miss_count = misses
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def feasible(self) -> bool:
+        """Whether every scheduled job meets its deadline (within EPS);
+        agrees exactly with ``build_timeline(...).feasible`` on the same
+        job set."""
+        if self._futures:
+            return self.as_reference().feasible
+        self._refresh()
+        return self._miss_count == 0 and not self._forced_missed
+
+    def probe(
+        self,
+        job_id: int,
+        exec_time: float,
+        deadline: float,
+        *,
+        arrival: float | None = None,
+        must_run_first: bool = False,
+    ) -> bool:
+        """Feasibility of the current job set *plus* the given job,
+        without mutating the timeline.
+
+        Bit-identical to inserting the job into a fresh
+        :func:`build_timeline` replay; the fast path touches only the
+        suffix of the cached chain at the hypothetical insertion point.
+        """
+        if exec_time <= 0:
+            raise ValueError(
+                f"job {job_id}: exec_time must be > 0, got {exec_time}"
+            )
+        if job_id in self._jobs:
+            raise ValueError(f"duplicate job_id {job_id}")
+        if must_run_first and arrival is not None:
+            raise ValueError(
+                f"job {job_id}: a future job cannot be must_run_first"
+            )
+        if must_run_first and self._forced_id is not None:
+            raise ValueError(
+                "at most one job may be must_run_first, got "
+                f"{[self._forced_id, job_id]}"
+            )
+        if self._futures or (
+            arrival is not None and arrival > self._start + EPS
+        ):
+            return self._probe_reference(
+                job_id,
+                exec_time,
+                deadline,
+                arrival=arrival,
+                must_run_first=must_run_first,
+            )
+        self._refresh()
+        if self._miss_count > 0 or self._forced_missed:
+            # Ready-only EDF: adding work never repairs a miss (finish
+            # times are monotone in the job set).
+            return False
+        if exec_time <= EPS:
+            return True  # never scheduled; nothing shifts
+        if must_run_first and not self._preemptable:
+            # The probe job runs first and shifts the whole chain.
+            time = self._start + exec_time
+            if time > deadline + EPS:
+                return False
+            for key, chain_exec in zip(self._keys, self._execs, strict=True):
+                time = time + chain_exec
+                if time > key[0] + EPS:
+                    return False
+            return True
+        pos = bisect_left(self._keys, (deadline, job_id))
+        time = self._finish[pos - 1] if pos else self._base_finish()
+        time = time + exec_time
+        if time > deadline + EPS:
+            return False
+        for index in range(pos, len(self._keys)):
+            time = time + self._execs[index]
+            if time > self._keys[index][0] + EPS:
+                return False
+        return True
+
+    def finish_times(self) -> dict[int, float]:
+        """Completion time of every scheduled job, in completion order
+        (matches ``build_timeline(...).finish_times`` exactly)."""
+        if self._futures:
+            return dict(self.as_reference().finish_times)
+        self._refresh()
+        times: dict[int, float] = {}
+        if self._forced_entry is not None:
+            assert self._forced_finish is not None
+            times[self._forced_entry[0]] = self._forced_finish
+        for key, finish in zip(self._keys, self._finish, strict=True):
+            times[key[1]] = finish
+        return times
+
+    def slack(self, job_id: int) -> float:
+        """``deadline - finish`` of one scheduled job.
+
+        Raises ``KeyError`` for unknown jobs and for jobs the scheduler
+        never completes (``exec_time <= EPS``).
+        """
+        if job_id not in self._jobs:
+            raise KeyError(f"job {job_id} not in timeline")
+        finish = self.finish_times()
+        if job_id not in finish:
+            raise KeyError(f"job {job_id} never finishes")
+        return self._jobs[job_id][1] - finish[job_id]
+
+    def min_slack(self) -> float:
+        """Smallest ``deadline - finish`` over all scheduled jobs
+        (``inf`` when nothing is scheduled); negative below ``-EPS``
+        exactly when the timeline is infeasible."""
+        finish = self.finish_times()
+        if not finish:
+            return float("inf")
+        return min(
+            self._jobs[job_id][1] - end for job_id, end in finish.items()
+        )
+
+    def as_reference(self) -> ResourceTimeline:
+        """Authoritative :func:`build_timeline` replay of the current job
+        set (cached until the next mutation)."""
+        if self._ref is None:
+            ready, future = self._job_lists()
+            self._ref = build_timeline(
+                ready,
+                future,
+                start_time=self._start,
+                preemptable=self._preemptable,
+            )
+        return self._ref
+
+    # ------------------------------------------------------------------
+    # Reference fallback plumbing
+    # ------------------------------------------------------------------
+
+    def _job_lists(self) -> tuple[list[ReadyJob], list[FutureJob]]:
+        """The current job set as build_timeline inputs (cached until the
+        next mutation; callers must not mutate the returned lists)."""
+        if self._lists is None:
+            ready: list[ReadyJob] = []
+            future: list[FutureJob] = []
+            for job_id, (exec_time, deadline, arrival, forced) in sorted(
+                self._jobs.items()
+            ):
+                if arrival is None:
+                    ready.append(
+                        ReadyJob(
+                            job_id, exec_time, deadline, must_run_first=forced
+                        )
+                    )
+                else:
+                    future.append(
+                        FutureJob(job_id, arrival, exec_time, deadline)
+                    )
+            self._lists = (ready, future)
+        return self._lists
+
+    def _probe_reference(
+        self,
+        job_id: int,
+        exec_time: float,
+        deadline: float,
+        *,
+        arrival: float | None,
+        must_run_first: bool,
+    ) -> bool:
+        ready, future = self._job_lists()
+        if arrival is None:
+            ready = [
+                *ready,
+                ReadyJob(
+                    job_id, exec_time, deadline, must_run_first=must_run_first
+                ),
+            ]
+        else:
+            future = [
+                *future,
+                FutureJob(job_id, arrival, exec_time, deadline),
+            ]
+        return build_timeline(
+            ready,
+            future,
+            start_time=self._start,
+            preemptable=self._preemptable,
+        ).feasible
+
+    @classmethod
+    def from_jobs(
+        cls,
+        ready_jobs: list[ReadyJob] | tuple[ReadyJob, ...],
+        future_jobs: list[FutureJob] | tuple[FutureJob, ...] = (),
+        *,
+        start_time: float = 0.0,
+        preemptable: bool = True,
+    ) -> "Timeline":
+        """Build a timeline holding the given jobs (test convenience)."""
+        timeline = cls(start_time=start_time, preemptable=preemptable)
+        for job in ready_jobs:
+            timeline.insert(
+                job.job_id,
+                job.exec_time,
+                job.deadline,
+                must_run_first=job.must_run_first,
+            )
+        for job in future_jobs:
+            timeline.insert(
+                job.job_id, job.exec_time, job.deadline, arrival=job.arrival
+            )
+        return timeline

@@ -128,6 +128,19 @@ class PlatformState:
         self.execution_log: list[ExecutionSpan] | None = (
             [] if log_execution else None
         )
+        # Per-resource job buckets: queue_of/advance touch only the jobs
+        # actually mapped to a resource instead of scanning every job.
+        # Membership mirrors JobState.resource exactly (updated on every
+        # (re)mapping and completion); unmapped jobs live in no bucket.
+        self._buckets: list[dict[int, JobState]] = [
+            {} for _ in range(platform.size)
+        ]
+
+    def _rebucket(self, job: JobState, old: int | None, new: int) -> None:
+        """Move one job between per-resource buckets."""
+        if old is not None:
+            del self._buckets[old][job.job_id]
+        self._buckets[new][job.job_id] = job
 
     # ------------------------------------------------------------------
     # Queries
@@ -140,23 +153,21 @@ class PlatformState:
     def queue_of(self, resource: int) -> list[JobState]:
         """Execution order of one resource: running-first (if it must),
         then EDF."""
-        assigned = [
-            job
-            for job in self.jobs.values()
-            if job.resource == resource and not job.completed
-        ]
-        running_first = [
-            job
-            for job in assigned
-            if job.running_non_preemptable
-            and not self.platform.is_preemptable(resource)
-        ]
+        running_first: list[JobState] = []
+        rest: list[JobState] = []
+        must_run_first = not self.platform.is_preemptable(resource)
+        for job in self._buckets[resource].values():
+            if job.completed:
+                continue
+            if must_run_first and job.running_non_preemptable:
+                running_first.append(job)
+            else:
+                rest.append(job)
         if len(running_first) > 1:
             raise SimulationError(
                 f"resource {resource} has {len(running_first)} running "
                 "non-preemptable jobs"
             )
-        rest = [job for job in assigned if job not in running_first]
         rest.sort(key=lambda j: (j.absolute_deadline, j.job_id))
         return running_first + rest
 
@@ -200,6 +211,7 @@ class PlatformState:
                 continue
             if old is None:
                 job.resource = resource
+                self._rebucket(job, None, resource)
                 continue
             if job.running_non_preemptable:
                 # Abort & restart from scratch: no state to migrate.
@@ -211,6 +223,7 @@ class PlatformState:
                 job.aborts += 1
                 self.abort_count += 1
                 job.resource = resource
+                self._rebucket(job, old, resource)
                 continue
             if job.started or self.charge_unstarted_migration:
                 overhead = job.task.em(old, resource)
@@ -224,6 +237,7 @@ class PlatformState:
                 job.pending_migration_time = 0.0
             job.running_non_preemptable = False
             job.resource = resource
+            self._rebucket(job, old, resource)
         for job in self.jobs.values():
             if job.resource is None:
                 raise SimulationError(
@@ -252,6 +266,8 @@ class PlatformState:
         completed.sort(key=lambda j: (j.completion_time, j.job_id))
         for job in completed:
             del self.jobs[job.job_id]
+            assert job.resource is not None
+            del self._buckets[job.resource][job.job_id]
             self.finished.append(job)
         self.time = max(self.time, until)
         return completed

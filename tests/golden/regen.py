@@ -1,0 +1,73 @@
+"""Regenerate the golden traces and their digests.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Regeneration policy (see DESIGN.md §8): the digests pin the *behaviour*
+of the simulation core, so they may only be regenerated when a PR
+**intentionally** changes scheduling/accounting semantics — never to
+make a performance refactor pass.  A perf-only change that shifts any
+digest is a bug in the change, by definition.  When regenerating,
+commit the digest diff together with a CHANGES.md entry explaining the
+semantic change that justified it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent))
+
+from repro.experiments.common import standard_traces  # noqa: E402
+from repro.experiments.config import HarnessScale  # noqa: E402
+from repro.workload.tracegen import DeadlineGroup  # noqa: E402
+
+from tests.golden.digest import (  # noqa: E402
+    GOLDEN_PAIRS,
+    pair_key,
+    result_digest,
+)
+
+#: The committed golden workloads: (file stem, deadline group, index
+#: within the generated group, requests per trace).  Two variable-tight
+#: (VT) traces and one loose-tight (LT) trace, all tiny but large enough
+#: to exercise rejection, migration and GPU abort paths.
+GOLDEN_TRACES: tuple[tuple[str, DeadlineGroup, int, int], ...] = (
+    ("vt_s0", DeadlineGroup.VT, 0, 28),
+    ("vt_s1", DeadlineGroup.VT, 1, 28),
+    ("lt_s0", DeadlineGroup.LT, 0, 28),
+)
+
+
+def regenerate() -> dict:
+    digests: dict[str, dict] = {}
+    for stem, group, index, n_requests in GOLDEN_TRACES:
+        scale = HarnessScale(
+            n_traces=index + 1, n_requests=n_requests, master_seed=0
+        )
+        trace = standard_traces(group, scale)[index]
+        trace.save(HERE / f"{stem}.json")
+        digests[stem] = {
+            pair_key(strategy, predictor): result_digest(
+                trace, strategy, predictor
+            )
+            for strategy, predictor in GOLDEN_PAIRS
+        }
+        print(f"{stem}: {len(trace)} requests, {len(GOLDEN_PAIRS)} pairs")
+    return digests
+
+
+def main() -> int:
+    digests = regenerate()
+    out = HERE / "digests.json"
+    out.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"written: {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

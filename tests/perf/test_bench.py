@@ -1,0 +1,181 @@
+"""Tests for the deterministic performance harness and ``repro bench``.
+
+The harness is a measurement instrument, so the tests pin down what must
+be reliable about it: the JSON schema of ``BENCH_*.json``, determinism of
+the *workload* (event counts and result fingerprints — wall times are of
+course non-deterministic), baseline comparison arithmetic, and the CLI
+exit codes around ``--fail-threshold``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    SCHEMA_VERSION,
+    BenchConfig,
+    attach_baseline,
+    benchmark_names,
+    compare_to_baseline,
+    load_payload,
+    run_bench,
+    run_suite,
+    write_payload,
+)
+
+TINY = BenchConfig(n_traces=1, n_requests=10, repeats=2, alloc=False)
+
+RESULT_KEYS = {
+    "events",
+    "repeats",
+    "wall_times",
+    "p50",
+    "p95",
+    "events_per_sec",
+    "alloc_peak_bytes",
+    "extra",
+}
+
+
+class TestConfig:
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            BenchConfig(n_traces=0)
+        with pytest.raises(ValueError):
+            BenchConfig(repeats=0)
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            BenchConfig(group="XL")
+
+
+class TestSuite:
+    def test_registry_contains_the_documented_benchmarks(self):
+        names = benchmark_names()
+        assert "timeline_build" in names
+        assert "heuristic_admission" in names
+        assert "sim_loop" in names
+        assert "smoke_grid" in names
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            run_bench("nope", TINY)
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            run_suite(TINY, only=["timeline_build", "nope"])
+
+    def test_payload_schema(self):
+        payload = run_suite(TINY, only=["timeline_build"])
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == "repro-bench"
+        assert payload["config"]["n_requests"] == 10
+        result = payload["benchmarks"]["timeline_build"]
+        assert set(result) == RESULT_KEYS
+        assert result["events"] > 0
+        assert len(result["wall_times"]) == TINY.repeats
+        assert result["p50"] <= result["p95"]
+        assert result["alloc_peak_bytes"] is None  # alloc=False
+        # The whole payload must be JSON-serialisable as-is.
+        json.dumps(payload)
+
+    def test_alloc_pass_records_peak(self):
+        config = BenchConfig(n_traces=1, n_requests=10, repeats=1, alloc=True)
+        result = run_bench("timeline_build", config)
+        assert result.alloc_peak_bytes is not None
+        assert result.alloc_peak_bytes > 0
+
+    def test_workload_is_deterministic_back_to_back(self):
+        """Same config => same event counts and same result fingerprints
+        (the extras carry simulation outcomes, which must not wobble)."""
+        first = run_suite(TINY, only=["sim_loop", "smoke_grid"])
+        second = run_suite(TINY, only=["sim_loop", "smoke_grid"])
+        for name in ("sim_loop", "smoke_grid"):
+            a, b = first["benchmarks"][name], second["benchmarks"][name]
+            assert a["events"] == b["events"]
+            assert a["extra"]["fingerprint"] == b["extra"]["fingerprint"]
+
+
+class TestBaseline:
+    def _fake(self, eps: float) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "repro-bench",
+            "config": {},
+            "benchmarks": {"x": {"events_per_sec": eps}},
+        }
+
+    def test_compare_ratios(self):
+        current, baseline = self._fake(200.0), self._fake(100.0)
+        assert compare_to_baseline(current, baseline) == {"x": 2.0}
+
+    def test_compare_skips_missing_and_zero(self):
+        current = self._fake(200.0)
+        assert compare_to_baseline(current, self._fake(0.0)) == {}
+        baseline = self._fake(100.0)
+        baseline["benchmarks"] = {"other": {"events_per_sec": 1.0}}
+        assert compare_to_baseline(current, baseline) == {}
+
+    def test_attach_embeds_baseline_and_speedup(self):
+        current, baseline = self._fake(150.0), self._fake(100.0)
+        ratios = attach_baseline(current, baseline, source="b.json")
+        assert ratios == {"x": 1.5}
+        assert current["speedup"] == {"x": 1.5}
+        assert current["baseline"]["source"] == "b.json"
+        assert current["baseline"]["benchmarks"]["x"][
+            "events_per_sec"
+        ] == 100.0
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_payload(self._fake(1.0), tmp_path / "BENCH_x.json")
+        assert load_payload(path)["benchmarks"]["x"]["events_per_sec"] == 1.0
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a repro-bench payload"):
+            load_payload(path)
+
+
+BENCH_TINY_ARGS = [
+    "bench",
+    "--traces", "1",
+    "--requests", "10",
+    "--repeats", "2",
+    "--no-alloc",
+    "--only", "timeline_build",
+]
+
+
+class TestBenchCli:
+    def test_json_output_matches_schema(self, capsys):
+        assert main(BENCH_TINY_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-bench"
+        assert set(payload["benchmarks"]) == {"timeline_build"}
+
+    def test_out_writes_valid_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_t.json"
+        assert main(BENCH_TINY_ARGS + ["--out", str(out)]) == 0
+        payload = load_payload(out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert "events/s" in capsys.readouterr().out
+
+    def test_fail_threshold_requires_baseline(self, capsys):
+        assert main(BENCH_TINY_ARGS + ["--fail-threshold", "0.5"]) == 2
+        assert "requires --baseline" in capsys.readouterr().err
+
+    def test_fail_threshold_exit_codes(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_base.json"
+        assert main(BENCH_TINY_ARGS + ["--out", str(baseline)]) == 0
+        capsys.readouterr()
+        # An absurdly low bar always passes ...
+        assert main(
+            BENCH_TINY_ARGS
+            + ["--baseline", str(baseline), "--fail-threshold", "0.0001"]
+        ) == 0
+        # ... and an unreachable one always fails with exit code 1.
+        assert main(
+            BENCH_TINY_ARGS
+            + ["--baseline", str(baseline), "--fail-threshold", "1e9"]
+        ) == 1
+        assert "REGRESSION: timeline_build" in capsys.readouterr().err

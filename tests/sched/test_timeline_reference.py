@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sched.timeline import FutureJob, ReadyJob, build_timeline
+from repro.sched.timeline import FutureJob, ReadyJob, Timeline, build_timeline
 
 QUANTUM = 0.01
 
@@ -112,6 +112,129 @@ def test_event_driven_matches_time_stepped_reference(
         assert timeline.finish_times[job_id] == pytest.approx(
             expected, abs=QUANTUM / 2
         ), (job_id, timeline.finish_times, reference)
+
+
+op_strategy = st.tuples(
+    st.sampled_from(
+        ["insert", "insert_future", "insert_tiny", "remove", "probe",
+         "probe_future"]
+    ),
+    st.integers(min_value=1, max_value=40),  # exec quanta
+    st.integers(min_value=1, max_value=300),  # deadline quanta
+    st.integers(min_value=0, max_value=120),  # arrival quanta
+    st.integers(min_value=0, max_value=10**6),  # selector (removal/forced)
+)
+
+
+def _has_forced(shadow):
+    return any(
+        isinstance(job, ReadyJob) and job.must_run_first
+        for job in shadow.values()
+    )
+
+
+@given(st.lists(op_strategy, min_size=1, max_size=30), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_incremental_timeline_matches_fresh_replay(ops, preemptable):
+    """The slack/feasibility cache of :class:`Timeline` must stay
+    *bit-identical* to a freshly built, uncached ``build_timeline`` replay
+    under arbitrary insert/remove/probe sequences (strict ``==``, no
+    tolerance — this is the contract the hot path relies on)."""
+    timeline = Timeline(start_time=0.0, preemptable=preemptable)
+    shadow: dict[int, ReadyJob | FutureJob] = {}
+    next_id = 0
+    for op, exec_q, deadline_q, arrival_q, selector in ops:
+        if op == "insert_future":
+            job = FutureJob(
+                next_id,
+                arrival_q * QUANTUM,
+                exec_q * QUANTUM,
+                (arrival_q + deadline_q) * QUANTUM,
+            )
+            timeline.insert(
+                job.job_id, job.exec_time, job.deadline, arrival=job.arrival
+            )
+            shadow[next_id] = job
+            next_id += 1
+        elif op in ("insert", "insert_tiny"):
+            exec_time = 1e-12 if op == "insert_tiny" else exec_q * QUANTUM
+            forced = selector % 7 == 0 and not _has_forced(shadow)
+            job = ReadyJob(
+                next_id, exec_time, deadline_q * QUANTUM, must_run_first=forced
+            )
+            timeline.insert(
+                job.job_id, exec_time, job.deadline, must_run_first=forced
+            )
+            shadow[next_id] = job
+            next_id += 1
+        elif op == "remove":
+            if not shadow:
+                continue
+            job_id = sorted(shadow)[selector % len(shadow)]
+            del shadow[job_id]
+            timeline.remove(job_id)
+        else:  # probe / probe_future: non-mutating feasibility query
+            probe_id = 10_000 + next_id
+            next_id += 1
+            arrival = arrival_q * QUANTUM if op == "probe_future" else None
+            forced = (
+                arrival is None
+                and selector % 5 == 0
+                and not _has_forced(shadow)
+            )
+            probe_job: ReadyJob | FutureJob
+            if arrival is None:
+                probe_job = ReadyJob(
+                    probe_id,
+                    exec_q * QUANTUM,
+                    deadline_q * QUANTUM,
+                    must_run_first=forced,
+                )
+            else:
+                probe_job = FutureJob(
+                    probe_id,
+                    arrival,
+                    exec_q * QUANTUM,
+                    (arrival_q + deadline_q) * QUANTUM,
+                )
+            verdict = timeline.probe(
+                probe_id,
+                probe_job.exec_time,
+                probe_job.deadline,
+                arrival=arrival,
+                must_run_first=forced,
+            )
+            with_probe = list(shadow.values()) + [probe_job]
+            expected = build_timeline(
+                [j for j in with_probe if isinstance(j, ReadyJob)],
+                [j for j in with_probe if isinstance(j, FutureJob)],
+                start_time=0.0,
+                preemptable=preemptable,
+            ).feasible
+            assert verdict == expected, (op, probe_job)
+
+        # After every op the cached answers must equal an uncached replay.
+        reference = build_timeline(
+            [j for j in shadow.values() if isinstance(j, ReadyJob)],
+            [j for j in shadow.values() if isinstance(j, FutureJob)],
+            start_time=0.0,
+            preemptable=preemptable,
+        )
+        assert timeline.feasible() == reference.feasible
+        assert timeline.finish_times() == dict(reference.finish_times)
+        deadlines = {j.job_id: j.deadline for j in shadow.values()}
+        if reference.finish_times:
+            expected_min = min(
+                deadlines[job_id] - end
+                for job_id, end in reference.finish_times.items()
+            )
+            assert timeline.min_slack() == expected_min
+            for job_id, end in reference.finish_times.items():
+                assert timeline.slack(job_id) == deadlines[job_id] - end
+        else:
+            assert timeline.min_slack() == float("inf")
+        assert len(timeline) == len(shadow)
+        assert timeline.job_ids() == tuple(sorted(shadow))
 
 
 def test_reference_sanity_forced_first():

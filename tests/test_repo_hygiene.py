@@ -1,0 +1,46 @@
+"""Repository hygiene: no build artefacts may be tracked by git.
+
+Compiled bytecode is machine- and version-specific noise that bloats
+diffs and can shadow real sources; ``.gitignore`` keeps it out of new
+commits and this test keeps it from ever being re-added.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> list[str]:
+    if shutil.which("git") is None:
+        pytest.skip("git not available")
+    proc = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        pytest.skip(f"not a git checkout: {proc.stderr.strip()}")
+    return proc.stdout.splitlines()
+
+def test_no_bytecode_or_cache_dirs_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__" in path.split("/")
+        or path.endswith((".pyc", ".pyo"))
+    ]
+    assert offenders == [], (
+        "bytecode artefacts are tracked by git (remove them and rely on "
+        f".gitignore): {offenders}"
+    )
+
+
+def test_gitignore_covers_generated_artefacts():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("__pycache__", "/BENCH_*.json", ".hypothesis"):
+        assert pattern in gitignore, f".gitignore misses {pattern!r}"
