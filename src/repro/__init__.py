@@ -58,6 +58,15 @@ from repro.analysis.invariants import (
 )
 from repro.experiments.executor import ParallelConfig
 from repro.experiments.runner import Aggregate, RunSpec, run_matrix
+from repro.faults import (
+    DegradationEvent,
+    FaultPlan,
+    PredictorFault,
+    ResourceOutage,
+    SolverFault,
+    SolverWatchdog,
+    TraceFault,
+)
 from repro.predict import (
     ArrivalNoisePredictor,
     ComposedPredictor,
@@ -147,6 +156,14 @@ __all__ = [
     "Aggregate",
     "run_matrix",
     "ParallelConfig",
+    # faults
+    "FaultPlan",
+    "ResourceOutage",
+    "PredictorFault",
+    "SolverFault",
+    "TraceFault",
+    "DegradationEvent",
+    "SolverWatchdog",
     # analysis
     "verify_result",
     "VerificationReport",

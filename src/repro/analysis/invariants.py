@@ -30,6 +30,8 @@ Checked invariants (codes double as :class:`Violation.code`):
 ``migration-debt``
     The migration delay charged before resumed work matches the task's
     ``cm`` matrix (eqs. (12)-(13)); partial payment never exceeds it.
+    A remap may supersede an in-flight migration, abandoning a partial
+    payment — the final debt must still be paid exactly.
 ``migration-count``
     The log never shows more migrations than the result reports
     (remaps of still-queued jobs leave no trace, so this is a lower
@@ -53,6 +55,25 @@ Checked invariants (codes double as :class:`Violation.code`):
 ``malformed-span``
     Log self-consistency (kinds, time ordering, resource range).
 
+Fault-aware invariants (DESIGN.md §10; active when the run carried a
+:class:`~repro.faults.plan.FaultPlan` and/or recorded degradations):
+
+``down-resource``
+    No execution span overlaps an outage window on the failed resource.
+``predictor-fallback``
+    Every predictor exception/timeout degradation is matched by a
+    no-prediction activation record (the fallback actually happened).
+``eviction-accounting``
+    Evicted jobs are a subset of the admitted ones, each matches a
+    ``job-evicted`` degradation event (and vice versa), and no evicted
+    job executes after its eviction.
+
+Jobs displaced by an outage restart from scratch (the failed resource's
+state is gone), so the replay treats a displacement like an abort that
+is *not* counted in ``abort_count`` — its attempt energy reconciles into
+``wasted_energy`` instead — and evicted jobs are exempt from
+``incomplete-job``.
+
 Every failed check yields a structured :class:`Violation` rather than a
 boolean, so callers can report, count, and filter.
 """
@@ -61,12 +82,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.model.platform import Platform
 from repro.sim.result import SimulationResult
 from repro.sim.state import ExecutionSpan, SimulationError
 from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = [
     "INVARIANTS",
@@ -106,6 +130,18 @@ INVARIANTS: Mapping[str, tuple[str, str]] = {
     "records-mismatch": ("-", "activation records reconcile with totals"),
     "overhead-accounting": ("Sec. 5.5", "prediction overhead reconciles"),
     "malformed-span": ("-", "execution log is self-consistent"),
+    "down-resource": (
+        "DESIGN.md §10",
+        "no execution overlaps an outage window on the failed resource",
+    ),
+    "predictor-fallback": (
+        "DESIGN.md §10",
+        "predictor faults degrade to the no-prediction path",
+    ),
+    "eviction-accounting": (
+        "DESIGN.md §10",
+        "evictions reconcile with events; evicted jobs stop executing",
+    ),
 }
 
 #: Deadline slack mirroring the simulator's own completion assertion.
@@ -207,9 +243,11 @@ class _JobReplay:
     migrations: int = 0
     aborts: int = 0
     wasted: float = 0.0
-    # Migration-debt tracking for the current placement: how much delay
-    # was paid, and whether a payment check is still pending.
-    debt_paid: float = 0.0
+    # Migration-debt tracking for the current placement: the delay paid
+    # so far, as contiguous payment chunks (a gap in the payment starts
+    # a new chunk), and whether a payment check is still pending.
+    debt_chunks: list[float] = field(default_factory=list)
+    debt_last_end: float | None = None
     debt_open: bool = False
     debt_chargeable: bool = True
 
@@ -221,13 +259,15 @@ def verify_result(
     *,
     expected_overhead: float | None = None,
     tol: float = 1e-6,
+    faults: "FaultPlan | None" = None,
 ) -> VerificationReport:
     """Re-check ``result`` against the paper's schedule invariants.
 
     Parameters
     ----------
     trace, platform:
-        The inputs the simulation ran on.
+        The inputs the simulation ran on (for a fault-injected run:
+        the *perturbed* trace the simulator actually replayed).
     result:
         The simulation outcome; its ``execution_log`` must have been
         collected (``collect_execution_log=True`` or ``verify=True``),
@@ -238,6 +278,12 @@ def verify_result(
         check.
     tol:
         Relative/absolute tolerance for floating-point reconciliation.
+    faults:
+        The :class:`~repro.faults.plan.FaultPlan` the run was injected
+        with, if any; enables the ``down-resource`` window check.  The
+        degradation-event reconciliation (displacements, evictions,
+        predictor fallbacks) keys off the result itself and runs either
+        way.
 
     Returns
     -------
@@ -257,12 +303,16 @@ def verify_result(
     accepted = set(result.accepted)
     _check_partition(trace, result, violations)
     _check_spans_well_formed(trace, platform, spans, accepted, violations)
-    replays = _replay_jobs(trace, platform, spans, accepted, violations, tol)
+    replays = _replay_jobs(trace, platform, spans, accepted, violations, tol, result=result)
     _check_totals(result, replays, violations, tol)
     _check_non_overlap(platform, spans, violations, tol)
     _check_records(result, violations)
     if expected_overhead is not None:
         _check_overhead(result, expected_overhead, violations, tol)
+    if faults is not None:
+        _check_down_resource(faults, spans, violations, tol)
+    _check_predictor_fallback(result, violations)
+    _check_evictions(result, spans, violations, tol)
 
     return VerificationReport(
         violations=violations,
@@ -431,27 +481,54 @@ def _settle_debt(
     paid delay must match ``cm[k][dst]`` for *some* source ``k`` — and
     ``0`` is additionally legal while the job has never started (an
     unstarted remap may be uncharged).
+
+    A remap can also *supersede* an in-flight migration before its
+    delay is fully paid: the job bounces away and back without ever
+    executing elsewhere, leaving only the abandoned partial payment in
+    the log.  The payment sequence is therefore legal when some suffix
+    of its contiguous chunks sums to a ``cm[k][dst]`` entry exactly —
+    the final debt, always fully paid before work starts — while every
+    chunk before the split point is a partial payment of a superseded
+    debt, each necessarily bounded by the largest ``cm[*][dst]`` entry.
+    A supersession always leaves a gap in the payment (the bounce spans
+    two distinct RM activations), so chunk boundaries cover every
+    possible split.
     """
     if not replay.debt_open:
         return
     replay.debt_open = False
+    chunks = replay.debt_chunks
+    replay.debt_chunks = []
+    replay.debt_last_end = None
     candidates = [
         task_cm[k][dst] for k in range(len(task_cm)) if k != dst
     ]
+    finals = list(candidates)
     if not replay.debt_chargeable:
-        candidates.append(0.0)
-    if not any(_close(replay.debt_paid, c, tol) for c in candidates):
+        finals.append(0.0)
+    cap = max(candidates, default=0.0) + tol
+    suffix = 0.0
+    settled = False
+    for split in range(len(chunks), -1, -1):  # suffix = chunks[split:]
+        if split < len(chunks):
+            suffix += chunks[split]
+        if any(_close(suffix, c, tol) for c in finals) and all(
+            chunk <= cap for chunk in chunks[:split]
+        ):
+            settled = True
+            break
+    if not settled:
         violations.append(
             Violation(
                 "migration-debt",
-                f"paid migration delay {replay.debt_paid:g} matches no "
-                f"cm[*][{dst}] entry",
+                f"paid migration delay {sum(chunks):g} matches no "
+                f"cm[*][{dst}] entry (even allowing superseded partial "
+                "payments)",
                 job_id=replay.job_id,
                 resource=dst,
                 time=at,
             )
         )
-    replay.debt_paid = 0.0
 
 
 def _replay_jobs(
@@ -461,6 +538,8 @@ def _replay_jobs(
     accepted: set[int],
     violations: list[Violation],
     tol: float,
+    *,
+    result: SimulationResult,
 ) -> list[_JobReplay]:
     """Rebuild every admitted job's life from its spans.
 
@@ -468,11 +547,27 @@ def _replay_jobs(
     (eqs. (8)-(11)) and migration-debt charging (eqs. (12)-(13)); the
     returned replays carry the energy/migration/abort totals for the
     global reconciliation checks.
+
+    Outage displacements (signalled by ``job-readmitted`` /
+    ``job-evicted`` degradation events on the result) restart the job
+    from scratch: the attempt's energy reconciles into the waste total,
+    no migration or abort is counted, and evicted jobs are exempt from
+    the completion requirement (DESIGN.md §10).
     """
     by_job: dict[int, list[ExecutionSpan]] = {}
     for span in spans:
         if span.job_id in accepted and 0 <= span.resource < platform.size:
             by_job.setdefault(span.job_id, []).append(span)
+    displaced_at: dict[int, list[float]] = {}
+    for event in result.degradations:
+        if (
+            event.kind in ("job-readmitted", "job-evicted")
+            and event.job_id is not None
+        ):
+            displaced_at.setdefault(event.job_id, []).append(event.time)
+    for times in displaced_at.values():
+        times.sort()
+    evicted = set(result.evicted)
 
     replays: list[_JobReplay] = []
     for job_id in sorted(accepted):
@@ -489,6 +584,8 @@ def _replay_jobs(
         )
         replays.append(replay)
         last_work_end: float | None = None
+        displacements = displaced_at.get(job_id, [])
+        next_displacement = 0
         for span in by_job.get(job_id, []):
             if replay.completion_time is not None:
                 violations.append(
@@ -502,6 +599,24 @@ def _replay_jobs(
                     )
                 )
                 break
+            while (
+                next_displacement < len(displacements)
+                and displacements[next_displacement] <= span.start + tol
+            ):
+                # Outage displacement before this span: the job restarts
+                # from scratch (work lost, attempt energy wasted, no
+                # migration debt owed — the next placement is fresh).
+                replay.wasted += replay.attempt_energy
+                replay.attempt_energy = 0.0
+                replay.fraction = 1.0
+                replay.ran_on_current = False
+                replay.resource = None
+                replay.debt_open = True
+                replay.debt_chargeable = False
+                replay.debt_chunks = []
+                replay.debt_last_end = None
+                last_work_end = None
+                next_displacement += 1
             if replay.resource is None:
                 replay.resource = span.resource
                 if span.kind == "migration":
@@ -511,26 +626,33 @@ def _replay_jobs(
                     replay.debt_chargeable = False
             elif span.resource != replay.resource:
                 src = replay.resource
-                if replay.debt_open and replay.debt_paid > (
-                    max(
-                        task.cm(k, src)
-                        for k in range(platform.size)
-                        if k != src
-                    )
-                    + tol
-                    if platform.size > 1
-                    else tol
-                ):
-                    violations.append(
-                        Violation(
-                            "migration-debt",
-                            f"paid delay {replay.debt_paid:g} exceeds every "
-                            f"cm[*][{src}] entry",
-                            job_id=job_id,
-                            resource=src,
-                            time=span.start,
+                if replay.debt_open:
+                    # Abandoned payments toward ``src``: each contiguous
+                    # chunk is a (possibly superseded) partial, so none
+                    # may exceed the largest full debt into ``src``.
+                    src_cap = (
+                        max(
+                            task.cm(k, src)
+                            for k in range(platform.size)
+                            if k != src
                         )
+                        + tol
+                        if platform.size > 1
+                        else tol
                     )
+                    for chunk in replay.debt_chunks:
+                        if chunk > src_cap:
+                            violations.append(
+                                Violation(
+                                    "migration-debt",
+                                    f"paid delay {chunk:g} exceeds every "
+                                    f"cm[*][{src}] entry",
+                                    job_id=job_id,
+                                    resource=src,
+                                    time=span.start,
+                                )
+                            )
+                            break
                 if replay.ran_on_current and not platform.is_preemptable(src):
                     # Abort-restart: work resets, attempt energy is waste.
                     replay.aborts += 1
@@ -543,12 +665,21 @@ def _replay_jobs(
                     replay.migrations += 1
                     replay.debt_open = True
                     replay.debt_chargeable = replay.started
-                replay.debt_paid = 0.0
+                replay.debt_chunks = []
+                replay.debt_last_end = None
                 replay.resource = span.resource
                 replay.ran_on_current = False
                 last_work_end = None
             if span.kind == "migration":
-                replay.debt_paid += span.length
+                if (
+                    replay.debt_chunks
+                    and replay.debt_last_end is not None
+                    and abs(span.start - replay.debt_last_end) <= tol
+                ):
+                    replay.debt_chunks[-1] += span.length
+                else:
+                    replay.debt_chunks.append(span.length)
+                replay.debt_last_end = span.end
                 continue
             # Work span.
             _settle_debt(
@@ -600,7 +731,12 @@ def _replay_jobs(
                             time=span.end,
                         )
                     )
-        if replay.completion_time is None:
+        if job_id in evicted:
+            # The final attempt died with the evicting outage; its
+            # energy is waste (matching PlatformState.fail_resource).
+            replay.wasted += replay.attempt_energy
+            replay.attempt_energy = 0.0
+        elif replay.completion_time is None:
             violations.append(
                 Violation(
                     "incomplete-job",
@@ -685,11 +821,19 @@ def _check_records(
             )
         )
     solver_calls = sum(r.solver_calls for r in result.records)
-    if solver_calls != result.solver_calls_total:
+    # Outage displacements re-run the solver outside any activation
+    # record: exactly one remap call per displaced job (DESIGN.md §10).
+    remap_calls = sum(
+        1
+        for event in result.degradations
+        if event.kind in ("job-readmitted", "job-evicted")
+    )
+    if solver_calls + remap_calls != result.solver_calls_total:
         violations.append(
             Violation(
                 "records-mismatch",
-                f"records sum to {solver_calls} solver calls, result "
+                f"records sum to {solver_calls} solver calls "
+                f"(+{remap_calls} displacement remaps), result "
                 f"reports {result.solver_calls_total}",
             )
         )
@@ -732,3 +876,135 @@ def _check_overhead(
                 f"{result.n_requests} activations x {expected_overhead:g}",
             )
         )
+
+
+def _check_down_resource(
+    faults: "FaultPlan",
+    spans: Sequence[ExecutionSpan],
+    violations: list[Violation],
+    tol: float,
+) -> None:
+    """DESIGN.md §10: a down resource executes nothing.
+
+    Every span is checked against every outage window of its resource —
+    including migration-debt spans, since a dead resource can no more
+    absorb a migration than run work.
+    """
+    for span in spans:
+        for outage in faults.outages:
+            if span.resource != outage.resource:
+                continue
+            if span.start < outage.end - tol and span.end > outage.start + tol:
+                violations.append(
+                    Violation(
+                        "down-resource",
+                        f"span [{span.start:g}, {span.end:g}] overlaps "
+                        f"outage [{outage.start:g}, {outage.end:g})",
+                        job_id=span.job_id,
+                        resource=span.resource,
+                        time=span.start,
+                    )
+                )
+
+
+def _check_predictor_fallback(
+    result: SimulationResult, violations: list[Violation]
+) -> None:
+    """DESIGN.md §10: a predictor fault means planning without prediction.
+
+    A ``predictor-exception``/``predictor-timeout`` degradation leaves
+    the activation with no forecast at all, so its record (when records
+    were collected) must show ``had_prediction=False`` — the no-
+    prediction RM path actually ran.  (``predictor-garbage`` only drops
+    the invalid forecasts; with a lookahead > 1 the remainder may still
+    constrain the plan, so it is not checked here.)
+    """
+    if not result.records:
+        return
+    records = {r.request_index: r for r in result.records}
+    for event in result.degradations:
+        if event.kind not in ("predictor-exception", "predictor-timeout"):
+            continue
+        if event.request_index is None:
+            continue
+        record = records.get(event.request_index)
+        if record is None:
+            violations.append(
+                Violation(
+                    "predictor-fallback",
+                    f"{event.kind} for an activation with no record",
+                    job_id=event.request_index,
+                    time=event.time,
+                )
+            )
+        elif record.had_prediction or record.used_prediction:
+            violations.append(
+                Violation(
+                    "predictor-fallback",
+                    f"{event.kind} at t={event.time:g} but the activation "
+                    "still planned with a prediction",
+                    job_id=event.request_index,
+                    time=event.time,
+                )
+            )
+
+
+def _check_evictions(
+    result: SimulationResult,
+    spans: Sequence[ExecutionSpan],
+    violations: list[Violation],
+    tol: float,
+) -> None:
+    """DESIGN.md §10: evictions and events reconcile, both ways."""
+    accepted = set(result.accepted)
+    evicted = set(result.evicted)
+    if len(result.evicted) != len(evicted):
+        violations.append(
+            Violation(
+                "eviction-accounting",
+                "duplicate indices in the evicted list",
+            )
+        )
+    event_times: dict[int, float] = {}
+    for event in result.degradations:
+        if event.kind == "job-evicted" and event.job_id is not None:
+            event_times.setdefault(event.job_id, event.time)
+    for job_id in sorted(evicted):
+        if job_id not in accepted:
+            violations.append(
+                Violation(
+                    "eviction-accounting",
+                    "evicted job was never admitted",
+                    job_id=job_id,
+                )
+            )
+        if job_id not in event_times:
+            violations.append(
+                Violation(
+                    "eviction-accounting",
+                    "evicted job has no job-evicted degradation event",
+                    job_id=job_id,
+                )
+            )
+    for job_id in sorted(event_times):
+        if job_id not in evicted:
+            violations.append(
+                Violation(
+                    "eviction-accounting",
+                    "job-evicted event for a job not in the evicted list",
+                    job_id=job_id,
+                )
+            )
+    for span in spans:
+        etime = event_times.get(span.job_id)
+        if etime is not None and span.end > etime + tol:
+            violations.append(
+                Violation(
+                    "eviction-accounting",
+                    f"evicted at t={etime:g} but executes until "
+                    f"{span.end:g}",
+                    job_id=span.job_id,
+                    resource=span.resource,
+                    time=span.start,
+                )
+            )

@@ -142,6 +142,7 @@ class LintConfig:
         "repro.cli",
         "repro.analysis",
         "repro.perf",
+        "repro.faults",
     )
     registry_allowed_prefixes: tuple[str, ...] = (
         "repro.registry",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's main entry points without writing
+Seven subcommands cover the library's main entry points without writing
 Python::
 
     python -m repro generate --group VT --traces 3 --requests 200 --out traces/
@@ -12,6 +12,8 @@ Python::
     python -m repro analyze --self          # lint the repro package
     python -m repro analyze --smoke         # verified smoke simulation
     python -m repro analyze traces/vt_000.json --strategy milp
+    python -m repro faults --smoke          # verified fault-injection grid
+    python -m repro faults --sweep          # fault-sensitivity experiment
 
 All randomness is controlled by ``--seed``; outputs are plain text (and
 JSON where noted) so runs are scriptable and diffable.
@@ -216,6 +218,47 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--seed", type=int, default=0)
     an.add_argument("--json", action="store_true",
                     help="emit findings / the verification report as JSON")
+
+    fl = sub.add_parser(
+        "faults",
+        help="fault injection: verified smoke grid / sensitivity sweep",
+        description=(
+            "Deterministic fault injection (see repro.faults): --smoke "
+            "runs canonical fault scenarios (outages, predictor faults, "
+            "solver faults) with the fault-aware schedule verifier armed "
+            "and exits 1 on any violation; --sweep measures how "
+            "rejection/energy respond to increasing outage and "
+            "predictor-failure rates."
+        ),
+    )
+    fl.add_argument("--smoke", action="store_true",
+                    help="run the verified fault-scenario grid")
+    fl.add_argument("--sweep", action="store_true",
+                    help="run the fault-sensitivity sweep")
+    fl.add_argument("--traces", type=int, default=2,
+                    help="traces per cell")
+    fl.add_argument("--requests", type=int, default=40,
+                    help="requests per trace")
+    fl.add_argument("--group", choices=["VT", "LT"], default="VT")
+    fl.add_argument(
+        "--strategy", choices=strategy_names(), default="heuristic"
+    )
+    fl.add_argument(
+        "--predictor", choices=predictor_names(), default="oracle",
+        help="predictor for the sweep ('off' disables prediction)"
+    )
+    fl.add_argument("--outage-grid", type=float, nargs="+",
+                    default=[0.0, 1.0, 2.0], metavar="N",
+                    help="sweep: expected outage windows per trace")
+    fl.add_argument("--predictor-fault-grid", type=float, nargs="+",
+                    default=[0.0, 1.0, 2.0], metavar="N",
+                    help="sweep: expected predictor fault windows per trace")
+    fl.add_argument("--seed", type=int, default=0,
+                    help="master seed of traces and fault plans")
+    fl.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    fl.add_argument("--out", type=Path, default=None,
+                    help="also write the JSON report to this file")
     return parser
 
 
@@ -540,6 +583,89 @@ def _cmd_analyze(args) -> int:
     return exit_code
 
 
+def _cmd_faults(args) -> int:
+    # Imported here so the plain simulate/experiment paths never pay for
+    # the fault-injection machinery.
+    from repro.experiments.fault_sweep import (
+        render_fault_sweep,
+        run_fault_sweep,
+    )
+    from repro.faults.smoke import run_fault_smoke
+
+    if not args.smoke and not args.sweep:
+        print("nothing to run: pass --smoke and/or --sweep", file=sys.stderr)
+        return 2
+    exit_code = 0
+    payload: dict = {}
+    scale = HarnessScale(
+        n_traces=args.traces,
+        n_requests=args.requests,
+        master_seed=args.seed,
+    )
+    group = DeadlineGroup(args.group)
+
+    if args.smoke:
+        report = run_fault_smoke(
+            scale,
+            group=group,
+            strategies=(args.strategy,),
+            seed=args.seed,
+            progress=None if args.json else (
+                lambda label: print(f"... {label}")
+            ),
+        )
+        payload["smoke"] = {
+            "ok": report.ok,
+            "n_cells": len(report.cells),
+            "n_violations": report.n_violations,
+            "n_degradations": report.n_degradations,
+            "cells": [
+                {
+                    "label": cell.label,
+                    "scenario": cell.scenario,
+                    "trace_index": cell.trace_index,
+                    "ok": cell.ok,
+                    "n_spans": cell.n_spans,
+                    "n_degradations": cell.n_degradations,
+                    "n_evicted": cell.n_evicted,
+                    "violations": [v.render() for v in cell.violations],
+                }
+                for cell in report.cells
+            ],
+        }
+        if not args.json:
+            print(report.render())
+        if not report.ok:
+            exit_code = 1
+
+    if args.sweep:
+        sweep = run_fault_sweep(
+            scale,
+            group=group,
+            strategy=args.strategy,
+            predictor=None if args.predictor == "off" else args.predictor,
+            outage_grid=tuple(args.outage_grid),
+            predictor_fault_grid=tuple(args.predictor_fault_grid),
+            seed=args.seed,
+            progress=None if args.json else (
+                lambda label: print(f"... {label}")
+            ),
+        )
+        payload["sweep"] = sweep.to_payload()
+        if not args.json:
+            print(render_fault_sweep(sweep))
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    if args.out is not None:
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
+        if not args.json:
+            print(f"written: {args.out}")
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -550,6 +676,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "bench": _cmd_bench,
         "analyze": _cmd_analyze,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

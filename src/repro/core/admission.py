@@ -90,3 +90,25 @@ class AdmissionController:
         return AdmissionOutcome(
             admitted=False, used_prediction=False, decision=None, solver_calls=1
         )
+
+    def remap(self, context: RMContext) -> AdmissionOutcome:
+        """Re-admission of a job displaced by a resource outage.
+
+        The displaced job restarts from scratch (its execution state died
+        with the resource), so its firm-deadline semantics are the same
+        as a fresh arrival's: find a feasible mapping for the whole of
+        ``S-bar`` on the surviving resources, or reject.  No prediction
+        is involved — the RM is reacting to a platform change, not an
+        arrival (DESIGN.md §10).
+        """
+        decision = self.strategy.solve(context)
+        if decision.feasible:
+            return AdmissionOutcome(
+                admitted=True,
+                used_prediction=False,
+                decision=decision,
+                solver_calls=1,
+            )
+        return AdmissionOutcome(
+            admitted=False, used_prediction=False, decision=None, solver_calls=1
+        )

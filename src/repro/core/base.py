@@ -129,13 +129,16 @@ def mapping_feasible(context: RMContext, mapping: dict[int, int]) -> bool:
     """Ground truth: does ``mapping`` meet every deadline?
 
     Requires every task of the context to be mapped to a resource it is
-    executable on, and every per-resource EDF timeline (with the
-    predicted task's arrival and preemption rules) to be feasible.
+    executable on (and not currently down), and every per-resource EDF
+    timeline (with the predicted task's arrival and preemption rules) to
+    be feasible.
     """
     for task in context.tasks:
         if task.job_id not in mapping:
             return False
         if not task.task.executable_on(mapping[task.job_id]):
+            return False
+        if mapping[task.job_id] in context.down_resources:
             return False
     for resource in range(context.platform.size):
         if not resource_timeline(context, mapping, resource).feasible:

@@ -189,18 +189,29 @@ class RMContext:
     charge_unstarted_migration:
         Policy knob (DESIGN.md semantics item 3): whether remapping a
         never-started task pays migration overhead.
+    down_resources:
+        Resources currently unavailable (fault injection, DESIGN.md
+        §10): no task may be mapped there, and
+        :meth:`candidate_resources` excludes them.
     """
 
     time: float
     platform: Platform
     tasks: tuple[PlannedTask, ...]
     charge_unstarted_migration: bool = False
+    down_resources: frozenset[int] = frozenset()
 
     def __post_init__(self) -> None:
         ids = [t.job_id for t in self.tasks]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate job ids in context: {ids}")
         n = self.platform.size
+        for resource in self.down_resources:
+            if not 0 <= resource < n:
+                raise ValueError(
+                    f"down resource {resource} out of range for platform "
+                    f"of size {n}"
+                )
         for t in self.tasks:
             if t.task.n_resources != n:
                 raise ValueError(
@@ -270,16 +281,18 @@ class RMContext:
 
         This is the paper's constraint (2): ``cpm[j,i] <= t_left_j``.
         For the predicted task the deadline is measured from its arrival,
-        since it cannot start before arriving.
+        since it cannot start before arriving.  Down resources are never
+        candidates.
         """
         start = self.time
         if task.is_predicted and task.arrival is not None:
             start = max(self.time, task.arrival)
         budget = task.absolute_deadline - start
+        down = self.down_resources
         return tuple(
             i
             for i in range(self.platform.size)
-            if self.cpm(task, i) <= budget + 1e-9
+            if i not in down and self.cpm(task, i) <= budget + 1e-9
         )
 
     def without_prediction(self) -> "RMContext":
@@ -289,4 +302,5 @@ class RMContext:
             platform=self.platform,
             tasks=self.real_tasks,
             charge_unstarted_migration=self.charge_unstarted_migration,
+            down_resources=self.down_resources,
         )

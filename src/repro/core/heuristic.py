@@ -100,6 +100,7 @@ class HeuristicResourceManager(MappingStrategy):
         charge_unstarted = context.charge_unstarted_migration
         deadline_penalty = self.deadline_penalty
         resources = range(n)
+        down = context.down_resources
 
         # Line 6: desirability f[j,i] = ep + em + M * (cpm > t_left).
         # The rows replicate PlannedTask.exec_time_on/energy_on inline
@@ -135,7 +136,7 @@ class HeuristicResourceManager(MappingStrategy):
             row_c: list[float] = []
             for i in resources:
                 wcet = wcets[i]
-                if wcet == _INF:
+                if wcet == _INF or (down and i in down):
                     row_f.append(_INF)
                     row_c.append(_INF)
                     continue

@@ -11,9 +11,14 @@ aggregates are **bit-identical** to the serial path of
 
 Robustness: a unit that raises inside a worker, times out, or loses its
 worker process (``BrokenProcessPool``) is retried up to
-``ParallelConfig.retries`` times; a unit that still fails is recorded as
-a :class:`~repro.experiments.runner.CellFailure` on its aggregate
-instead of killing the sweep.
+``ParallelConfig.retries`` times with exponential backoff plus seeded
+jitter (deterministic per unit and attempt, so schedules are
+reproducible and retry storms decorrelate); a unit that still fails is
+recorded as a :class:`~repro.experiments.runner.CellFailure` on its
+aggregate instead of killing the sweep.  Passing ``checkpoint=`` makes
+the run crash-safe: every final cell outcome is journaled as it lands
+(:mod:`repro.experiments.checkpoint`), and a re-run against the same
+journal resumes bit-identically, re-executing only incomplete cells.
 
 Work units must pickle, which is why :class:`RunSpec` factories are
 resolved *by registry name* (:meth:`RunSpec.from_names`,
@@ -23,6 +28,7 @@ not pickle are rejected with a diagnostic before any worker starts.
 
 from __future__ import annotations
 
+import heapq
 import os
 import pickle
 import time
@@ -36,6 +42,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.experiments.runner import (
     Aggregate,
     CellFailure,
@@ -45,6 +53,7 @@ from repro.experiments.runner import (
 from repro.model.platform import Platform
 from repro.sim.result import SimulationResult
 from repro.sim.simulator import Simulator
+from repro.util.rng import derive_seed
 from repro.util.validation import check_non_negative
 from repro.workload.trace import Trace
 
@@ -71,12 +80,32 @@ class ParallelConfig:
         ``chunk_size=1`` so budgets are per-unit, not per-chunk.
     retries:
         How many times a failed unit is re-submitted (0 = one attempt).
+    backoff_base:
+        Delay in seconds before the first retry of a unit; subsequent
+        retries multiply by ``backoff_factor`` up to ``backoff_max``.
+        ``0.0`` disables backoff (immediate re-submission).
+    backoff_factor:
+        Exponential growth factor between consecutive retries (>= 1).
+    backoff_max:
+        Cap on the un-jittered delay in seconds.
+    backoff_jitter:
+        Relative jitter: the delay is scaled by a seeded uniform factor
+        in ``[1, 1 + backoff_jitter]``, derived per (unit, attempt) from
+        ``jitter_seed`` — deterministic across runs, decorrelated across
+        units so retry storms do not re-synchronise.
+    jitter_seed:
+        Master seed of the jitter stream (see :meth:`retry_delay`).
     """
 
     jobs: int = 0
     chunk_size: int | None = None
     timeout: float | None = None
     retries: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.25
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -89,6 +118,39 @@ class ParallelConfig:
             check_non_negative("timeout", self.timeout)
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        check_non_negative("backoff_base", self.backoff_base)
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        check_non_negative("backoff_max", self.backoff_max)
+        check_non_negative("backoff_jitter", self.backoff_jitter)
+
+    def retry_delay(
+        self, spec_index: int, trace_index: int, attempt: int
+    ) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based) of
+        one (spec, trace) unit.
+
+        ``min(backoff_max, base * factor**(attempt-1))`` scaled by a
+        seeded jitter factor — a pure function of the config and the
+        unit, so retry schedules are reproducible.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if delay <= 0.0:
+            return 0.0
+        rng = np.random.default_rng(
+            derive_seed(
+                self.jitter_seed,
+                f"backoff:{spec_index}:{trace_index}:{attempt}",
+            )
+        )
+        return delay * (1.0 + self.backoff_jitter * float(rng.random()))
 
     def resolved_jobs(self) -> int:
         """The effective worker count."""
@@ -187,6 +249,7 @@ def execute_matrix(
     keep_results: bool = False,
     progress: Callable[[str, int, int], None] | None = None,
     config: ParallelConfig | None = None,
+    checkpoint: str | os.PathLike[str] | None = None,
 ) -> dict[str, Aggregate]:
     """Run the (spec x trace) matrix on a process pool.
 
@@ -194,6 +257,12 @@ def execute_matrix(
     ``parallel=``; this is the engine behind it.  Aggregates come back
     in spec order with per-trace entries in trace order regardless of
     completion order; failed cells land in ``Aggregate.failures``.
+
+    With ``checkpoint=`` every final cell outcome is journaled as it
+    lands (:mod:`repro.experiments.checkpoint`); re-running against the
+    same journal skips the journaled cells and folds their metrics back
+    from ``float.hex`` records, so a resumed run is bit-identical to an
+    uninterrupted one.
     """
     config = config or ParallelConfig()
     aggregates = {spec.label: Aggregate(spec.label) for spec in specs}
@@ -201,21 +270,45 @@ def execute_matrix(
         return aggregates
     _check_picklable(specs)
 
+    journal = None
+    resumed: dict[tuple[int, int], dict] = {}
+    if checkpoint is not None:
+        if keep_results:
+            raise ValueError(
+                "keep_results cannot be combined with checkpoint= — full "
+                "SimulationResults are not journaled, so a resumed run "
+                "could not reconstruct them"
+            )
+        from repro.experiments.checkpoint import (
+            CheckpointJournal,
+            compute_fingerprint,
+        )
+
+        journal = CheckpointJournal(
+            checkpoint, compute_fingerprint(platform, specs, traces)
+        )
+        resumed = journal.completed
+
     units = [
         (spec_index, trace_index)
         for spec_index in range(len(specs))
         for trace_index in range(len(traces))
+        if (spec_index, trace_index) not in resumed
     ]
-    chunk_size = config.resolved_chunk_size(len(units))
+    chunk_size = config.resolved_chunk_size(max(1, len(units)))
     chunks = [
         units[start:start + chunk_size]
         for start in range(0, len(units), chunk_size)
     ]
     max_attempts = config.retries + 1
 
-    # (spec_index, trace_index) -> latest _UnitOutcome; attempts per unit.
+    # (spec_index, trace_index) -> latest _UnitOutcome; attempts and
+    # charged backoff delays per unit.
     outcomes: dict[tuple[int, int], _UnitOutcome] = {}
     attempts: dict[tuple[int, int], int] = {unit: 0 for unit in units}
+    retry_delays: dict[tuple[int, int], list[float]] = {
+        unit: [] for unit in units
+    }
 
     def make_pool() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -225,7 +318,32 @@ def execute_matrix(
         )
 
     def record(outcome: _UnitOutcome) -> None:
-        outcomes[(outcome.spec_index, outcome.trace_index)] = outcome
+        unit = (outcome.spec_index, outcome.trace_index)
+        outcomes[unit] = outcome
+        if journal is not None:
+            entry: dict = {
+                "spec": outcome.spec_index,
+                "trace": outcome.trace_index,
+                "attempts": attempts[unit],
+                "retry_delays": list(retry_delays[unit]),
+            }
+            if outcome.error is None:
+                assert outcome.result is not None
+                entry.update(
+                    ok=True,
+                    rejection_hex=outcome.result.rejection_percentage.hex(),
+                    energy_hex=outcome.result.normalized_energy.hex(),
+                    wall_time=outcome.wall_time,
+                    solver_calls=outcome.result.solver_calls_total,
+                    verified=(
+                        outcome.result.verification.ok
+                        if outcome.result.verification is not None
+                        else None
+                    ),
+                )
+            else:
+                entry.update(ok=False, error=outcome.error)
+            journal.record(entry)
         if progress is not None:
             progress(
                 specs[outcome.spec_index].label,
@@ -233,25 +351,48 @@ def execute_matrix(
                 len(traces),
             )
 
-    pool = make_pool()
+    # Retries wait out their seeded backoff on a (ready_at, seq, chunk)
+    # heap before re-entering the submission queue.
+    delayed: list[tuple[float, int, list[tuple[int, int]]]] = []
+    delay_seq = 0
+
+    def schedule_retry(unit: tuple[int, int]) -> None:
+        nonlocal delay_seq
+        delay = config.retry_delay(unit[0], unit[1], attempts[unit])
+        retry_delays[unit].append(delay)
+        heapq.heappush(
+            delayed, (time.monotonic() + delay, delay_seq, [unit])
+        )
+        delay_seq += 1
+
+    pool = make_pool() if chunks else None
     try:
         pending: dict[Future, list[tuple[int, int]]] = {}
         deadlines: dict[Future, float] = {}
         queue = list(chunks)
-        while queue or pending:
+        while queue or pending or delayed:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                queue.append(heapq.heappop(delayed)[2])
             while queue and len(pending) < 2 * config.resolved_jobs():
                 chunk = queue.pop(0)
                 for unit in chunk:
                     attempts[unit] += 1
+                assert pool is not None
                 future = pool.submit(_run_chunk, chunk)
                 pending[future] = chunk
                 if config.timeout is not None:
                     deadlines[future] = time.monotonic() + config.timeout
+            if not pending:
+                # Everything outstanding is waiting out its backoff.
+                time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+            wakeups = list(deadlines.values())
+            if delayed:
+                wakeups.append(delayed[0][0])
             wait_budget = None
-            if deadlines:
-                wait_budget = max(
-                    0.0, min(deadlines.values()) - time.monotonic()
-                )
+            if wakeups:
+                wait_budget = max(0.0, min(wakeups) - time.monotonic())
             done, _ = wait(
                 pending, timeout=wait_budget, return_when=FIRST_COMPLETED
             )
@@ -267,25 +408,23 @@ def execute_matrix(
                     # units are retried or recorded; the pool is rebuilt
                     # below once this batch of futures is drained.
                     pool_broken = True
-                    queue.extend(
-                        _requeue_or_fail(
-                            chunk,
-                            attempts,
-                            max_attempts,
-                            "worker process crashed (BrokenProcessPool)",
-                            record,
-                        )
+                    _requeue_or_fail(
+                        chunk,
+                        attempts,
+                        max_attempts,
+                        "worker process crashed (BrokenProcessPool)",
+                        record,
+                        schedule_retry,
                     )
                     continue
                 except Exception as exc:
-                    queue.extend(
-                        _requeue_or_fail(
-                            chunk,
-                            attempts,
-                            max_attempts,
-                            f"{type(exc).__name__}: {exc}",
-                            record,
-                        )
+                    _requeue_or_fail(
+                        chunk,
+                        attempts,
+                        max_attempts,
+                        f"{type(exc).__name__}: {exc}",
+                        record,
+                        schedule_retry,
                     )
                     continue
                 for outcome in chunk_outcomes:
@@ -294,12 +433,13 @@ def execute_matrix(
                         outcome.error is not None
                         and attempts[unit] < max_attempts
                     ):
-                        queue.append([unit])
+                        schedule_retry(unit)
                         continue
                     record(outcome)
             if pool_broken:
                 # In-flight chunks are lost with the pool; requeue them
-                # without charging an attempt (not their failure).
+                # without charging an attempt or a backoff delay (the
+                # crash was not their failure).
                 for future, chunk in pending.items():
                     future.cancel()
                     for unit in chunk:
@@ -307,6 +447,7 @@ def execute_matrix(
                     queue.append(chunk)
                 pending.clear()
                 deadlines.clear()
+                assert pool is not None
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = make_pool()
                 continue
@@ -319,25 +460,33 @@ def execute_matrix(
                 chunk = pending.pop(future)
                 deadlines.pop(future, None)
                 future.cancel()  # a running chunk keeps its slot; see docs
-                queue.extend(
-                    _requeue_or_fail(
-                        chunk,
-                        attempts,
-                        max_attempts,
-                        f"timed out after {config.timeout:g}s "
-                        "(worker still draining)",
-                        record,
-                    )
+                _requeue_or_fail(
+                    chunk,
+                    attempts,
+                    max_attempts,
+                    f"timed out after {config.timeout:g}s "
+                    "(worker still draining)",
+                    record,
+                    schedule_retry,
                 )
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if journal is not None:
+            journal.close()
 
     # Fold in stable spec-major, trace-ascending order: identical floats,
     # identical list order, identical dict order to the serial path.
+    # Resumed cells fold from their journal entries (float.fromhex), so a
+    # resumed aggregate is bit-identical to an uninterrupted run.
     for spec_index, spec in enumerate(specs):
         aggregate = aggregates[spec.label]
         for trace_index in range(len(traces)):
             unit = (spec_index, trace_index)
+            entry = resumed.get(unit)
+            if entry is not None:
+                _fold_journal_entry(aggregate, spec.label, entry)
+                continue
             outcome = outcomes.get(unit)
             if outcome is None or outcome.error is not None:
                 aggregate.failures.append(
@@ -350,6 +499,7 @@ def execute_matrix(
                             else "unit never completed"
                         ),
                         attempts=attempts[unit],
+                        retry_delays=tuple(retry_delays[unit]),
                     )
                 )
                 continue
@@ -367,9 +517,44 @@ def execute_matrix(
                         if outcome.result.verification is not None
                         else None
                     ),
+                    retry_delays=tuple(retry_delays[unit]),
                 )
             )
     return aggregates
+
+
+def _fold_journal_entry(
+    aggregate: Aggregate, label: str, entry: dict
+) -> None:
+    """Fold one journaled cell outcome from a previous (crashed) run."""
+    trace_index = entry["trace"]
+    delays = tuple(entry.get("retry_delays", ()))
+    if not entry["ok"]:
+        aggregate.failures.append(
+            CellFailure(
+                label=label,
+                trace_index=trace_index,
+                error=entry["error"],
+                attempts=entry["attempts"],
+                retry_delays=delays,
+            )
+        )
+        return
+    aggregate.rejection_percentages.append(
+        float.fromhex(entry["rejection_hex"])
+    )
+    aggregate.normalized_energies.append(float.fromhex(entry["energy_hex"]))
+    aggregate.cell_stats.append(
+        CellStats(
+            label=label,
+            trace_index=trace_index,
+            wall_time=entry["wall_time"],
+            solver_calls=entry["solver_calls"],
+            attempts=entry["attempts"],
+            verified=entry["verified"],
+            retry_delays=delays,
+        )
+    )
 
 
 def _requeue_or_fail(
@@ -378,16 +563,18 @@ def _requeue_or_fail(
     max_attempts: int,
     error: str,
     record: Callable[[_UnitOutcome], None],
-) -> list[list[tuple[int, int]]]:
-    """Split a failed chunk into retry singletons; record exhausted units.
+    schedule_retry: Callable[[tuple[int, int]], None],
+) -> None:
+    """Schedule retry singletons for a failed chunk; record exhausted
+    units.
 
     Retrying units one-by-one isolates a poisonous cell from its chunk
-    mates on the second attempt.
+    mates on the second attempt, and each retry waits out its seeded
+    backoff delay before re-submission.
     """
-    retries = []
     for unit in chunk:
         if attempts[unit] < max_attempts:
-            retries.append([unit])
+            schedule_retry(unit)
         else:
             record(
                 _UnitOutcome(
@@ -397,4 +584,3 @@ def _requeue_or_fail(
                     error=error,
                 )
             )
-    return retries

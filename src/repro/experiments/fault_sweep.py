@@ -1,0 +1,223 @@
+"""E8 — fault sensitivity: rejection/energy vs outage and predictor-failure rates.
+
+The paper's evaluation assumes a fault-free platform; this experiment
+quantifies how gracefully the admission pipeline degrades when it is
+not.  A grid of expected {outages} x {predictor-fault windows} per trace
+is swept: each cell generates a seeded :class:`~repro.faults.plan.FaultPlan`
+per trace (``FaultPlan.generate``), replays the same traces under it,
+and reports mean rejection, normalised energy, evictions and recorded
+degradation events.  Everything is derived from ``(master_seed, seed)``,
+so the sweep is bit-reproducible.
+
+Expected shape: rejection and evictions grow with the outage rate (lost
+capacity + displaced jobs that no longer fit), while predictor-fault
+windows push the with-prediction configuration back toward its
+predictor-off baseline — prediction value degrades to zero, it must
+never degrade below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Callable, Sequence
+
+from repro.experiments.common import standard_platform, standard_traces
+from repro.experiments.config import HarnessScale
+from repro.faults.plan import FaultPlan
+from repro.registry import resolve_predictor, resolve_strategy
+from repro.sim.simulator import SimulationConfig, Simulator
+from repro.util.rng import derive_seed
+from repro.util.tables import ascii_table
+from repro.workload.tracegen import DeadlineGroup
+
+__all__ = [
+    "FaultSweepCell",
+    "FaultSweepResult",
+    "run_fault_sweep",
+    "render_fault_sweep",
+]
+
+
+@dataclass(frozen=True)
+class FaultSweepCell:
+    """Mean metrics of one (outage rate, predictor-fault rate) cell."""
+
+    outages_per_trace: float
+    predictor_faults_per_trace: float
+    mean_rejection: float
+    mean_energy: float
+    mean_evictions: float
+    mean_degradations: float
+
+
+@dataclass
+class FaultSweepResult:
+    """All cells of one fault-sensitivity sweep."""
+
+    scale: HarnessScale
+    group: DeadlineGroup
+    strategy: str
+    predictor: str | None
+    seed: int
+    cells: list[FaultSweepCell] = field(default_factory=list)
+
+    def cell(
+        self, outages: float, predictor_faults: float
+    ) -> FaultSweepCell:
+        """Look up one grid cell by its two rates."""
+        for candidate in self.cells:
+            if (
+                candidate.outages_per_trace == outages
+                and candidate.predictor_faults_per_trace == predictor_faults
+            ):
+                return candidate
+        raise KeyError(f"no cell ({outages}, {predictor_faults})")
+
+    def to_payload(self) -> dict:
+        """JSON-safe payload for ``repro faults --sweep --json``."""
+        return {
+            "group": self.group.value,
+            "strategy": self.strategy,
+            "predictor": self.predictor,
+            "seed": self.seed,
+            "n_traces": self.scale.n_traces,
+            "n_requests": self.scale.n_requests,
+            "cells": [
+                {
+                    "outages_per_trace": cell.outages_per_trace,
+                    "predictor_faults_per_trace": (
+                        cell.predictor_faults_per_trace
+                    ),
+                    "mean_rejection": cell.mean_rejection,
+                    "mean_energy": cell.mean_energy,
+                    "mean_evictions": cell.mean_evictions,
+                    "mean_degradations": cell.mean_degradations,
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+def run_fault_sweep(
+    scale: HarnessScale | None = None,
+    *,
+    group: DeadlineGroup = DeadlineGroup.VT,
+    strategy: str = "heuristic",
+    predictor: str | None = "oracle",
+    outage_grid: Sequence[float] = (0.0, 1.0, 2.0),
+    predictor_fault_grid: Sequence[float] = (0.0, 1.0, 2.0),
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> FaultSweepResult:
+    """Sweep fault intensity and measure the degradation it causes.
+
+    ``outage_grid`` and ``predictor_fault_grid`` are *expected events
+    per trace* (Poisson means); each trace in each cell gets its own
+    plan seeded from ``(seed, rates, trace index)``, so cells are
+    independent draws but the whole sweep replays identically.
+    """
+    scale = scale or HarnessScale(n_traces=3, n_requests=60, master_seed=0)
+    platform = standard_platform()
+    traces = standard_traces(group, scale)
+    result = FaultSweepResult(
+        scale=scale,
+        group=group,
+        strategy=strategy,
+        predictor=predictor,
+        seed=seed,
+    )
+    for outages in outage_grid:
+        for predictor_faults in predictor_fault_grid:
+            if progress is not None:
+                progress(
+                    f"outages={outages:g} predictor_faults="
+                    f"{predictor_faults:g}"
+                )
+            rejections: list[float] = []
+            energies: list[float] = []
+            evictions: list[float] = []
+            degradations: list[float] = []
+            for index, trace in enumerate(traces):
+                horizon = (trace.stats().span or 100.0) + 1.0
+                duration = horizon / 6.0
+                # generate() takes coverage *fractions* (expected window
+                # count = rate * horizon / duration); convert the grid's
+                # expected-windows-per-trace into those fractions.
+                faultable = max(1, platform.size - 1)
+                plan = FaultPlan.generate(
+                    derive_seed(
+                        seed,
+                        f"fault-sweep:{outages:g}:{predictor_faults:g}:"
+                        f"{index}",
+                    ),
+                    horizon=horizon,
+                    n_resources=platform.size,
+                    outage_rate=min(
+                        1.0, outages * duration / (horizon * faultable)
+                    ),
+                    outage_duration=duration,
+                    predictor_fault_rate=min(
+                        1.0, predictor_faults * duration / horizon
+                    ),
+                    predictor_fault_duration=duration,
+                    spare_resource=platform.size - 1,
+                )
+                simulator = Simulator(
+                    platform,
+                    resolve_strategy(strategy),
+                    resolve_predictor(predictor)
+                    if predictor is not None
+                    else None,
+                    SimulationConfig(faults=plan),
+                )
+                run = simulator.run(trace)
+                rejections.append(run.rejection_percentage)
+                energies.append(run.normalized_energy)
+                evictions.append(float(len(run.evicted)))
+                degradations.append(float(len(run.degradations)))
+            result.cells.append(
+                FaultSweepCell(
+                    outages_per_trace=outages,
+                    predictor_faults_per_trace=predictor_faults,
+                    mean_rejection=fmean(rejections),
+                    mean_energy=fmean(energies),
+                    mean_evictions=fmean(evictions),
+                    mean_degradations=fmean(degradations),
+                )
+            )
+    return result
+
+
+def render_fault_sweep(sweep: FaultSweepResult) -> str:
+    """ASCII table of the sweep grid."""
+    rows = [
+        [
+            cell.outages_per_trace,
+            cell.predictor_faults_per_trace,
+            cell.mean_rejection,
+            cell.mean_energy,
+            cell.mean_evictions,
+            cell.mean_degradations,
+        ]
+        for cell in sweep.cells
+    ]
+    title = (
+        f"fault sensitivity ({sweep.strategy}"
+        f"-{sweep.predictor or 'off'}, {sweep.group.value}, "
+        f"{sweep.scale.n_traces} traces x {sweep.scale.n_requests} "
+        f"requests, seed {sweep.seed})"
+    )
+    return ascii_table(
+        [
+            "outages/trace",
+            "pred-faults/trace",
+            "rejection %",
+            "norm. energy",
+            "evictions",
+            "degradations",
+        ],
+        rows,
+        title=title,
+        float_digits=3,
+    )

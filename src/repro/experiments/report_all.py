@@ -25,6 +25,7 @@ from repro.experiments.motivational import (
 )
 from repro.experiments.reporting import aggregates_to_dict, save_report
 from repro.experiments.sec52_milp_vs_heuristic import render_sec52, run_sec52
+from repro.util.atomicio import atomic_write_text
 from repro.workload.tracegen import DeadlineGroup
 
 __all__ = ["FullReport", "run_all"]
@@ -60,7 +61,7 @@ class FullReport:
         directory.mkdir(parents=True, exist_ok=True)
         written = []
         report_path = directory / "report.txt"
-        report_path.write_text(self.render())
+        atomic_write_text(report_path, self.render())
         written.append(report_path)
         for name, payload in self.payloads.items():
             path = directory / f"{name}.json"

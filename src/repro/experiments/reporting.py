@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.experiments.runner import Aggregate
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["aggregates_to_dict", "save_report", "load_report"]
 
@@ -34,7 +35,7 @@ def aggregates_to_dict(aggregates: Mapping[str, Aggregate]) -> dict:
 def save_report(path: str | Path, experiment: str, payload: dict) -> None:
     """Write one experiment's JSON report to ``path``."""
     record = {"experiment": experiment, **payload}
-    Path(path).write_text(json.dumps(record, indent=2))
+    atomic_write_text(path, json.dumps(record, indent=2))
 
 
 def load_report(path: str | Path) -> dict:

@@ -107,6 +107,10 @@ class CellStats:
     verification was off (a ``False`` can only appear through a
     tampered-with report: a dirty run raises before reaching the
     aggregate).
+
+    ``retry_delays`` holds the seeded backoff delay (seconds) charged
+    before each re-attempt in the parallel executor — empty for a
+    first-attempt success, one entry per retry otherwise.
     """
 
     label: str
@@ -115,6 +119,7 @@ class CellStats:
     solver_calls: int
     attempts: int = 1
     verified: bool | None = None
+    retry_delays: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -125,6 +130,7 @@ class CellFailure:
     trace_index: int
     error: str
     attempts: int
+    retry_delays: tuple[float, ...] = ()
 
 
 @dataclass
@@ -213,6 +219,7 @@ def run_matrix(
     keep_results: bool = False,
     progress: Callable[[str, int, int], None] | None = None,
     parallel: "ParallelConfig | int | None" = None,
+    checkpoint: str | None = None,
 ) -> dict[str, Aggregate]:
     """Run every spec over every trace.
 
@@ -238,10 +245,21 @@ def run_matrix(
         worker count) fans cells out over a process pool; aggregates are
         bit-identical to the serial path, and failing cells are recorded
         in ``Aggregate.failures`` instead of aborting the sweep.
+    checkpoint:
+        Optional path of a crash-safe checkpoint journal (parallel mode
+        only, see :mod:`repro.experiments.checkpoint`): completed cells
+        are journaled as they finish, and re-running with the same
+        arguments and journal resumes from where the previous run died,
+        bit-identical to an uninterrupted run.
     """
     labels = [spec.label for spec in specs]
     if len(set(labels)) != len(labels):
         raise ValueError(f"duplicate spec labels: {labels}")
+    if checkpoint is not None and parallel is None:
+        raise ValueError(
+            "checkpoint journaling requires the parallel executor; pass "
+            "parallel= (e.g. parallel=1 for a single worker)"
+        )
     if parallel is not None:
         from repro.experiments.executor import ParallelConfig, execute_matrix
 
@@ -254,6 +272,7 @@ def run_matrix(
             keep_results=keep_results,
             progress=progress,
             config=parallel,
+            checkpoint=checkpoint,
         )
     aggregates = {spec.label: Aggregate(spec.label) for spec in specs}
     for spec in specs:

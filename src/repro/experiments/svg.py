@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Sequence
 from xml.sax.saxutils import escape
 
+from repro.util.atomicio import atomic_write_text
 from repro.util.tables import format_float
 
 __all__ = ["bar_chart_svg", "line_chart_svg"]
@@ -109,7 +110,7 @@ def bar_chart_svg(
     lines.append("</svg>")
     markup = "\n".join(lines)
     if path is not None:
-        Path(path).write_text(markup)
+        atomic_write_text(path, markup)
     return markup
 
 
@@ -195,5 +196,5 @@ def line_chart_svg(
     lines.append("</svg>")
     markup = "\n".join(lines)
     if path is not None:
-        Path(path).write_text(markup)
+        atomic_write_text(path, markup)
     return markup

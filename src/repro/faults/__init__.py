@@ -1,0 +1,36 @@
+"""Deterministic fault injection and graceful degradation (DESIGN.md §10).
+
+The subsystem has four parts:
+
+* :mod:`repro.faults.plan` — the seeded :class:`FaultPlan` DSL
+  describing resource outages, predictor faults, solver faults, and
+  request-stream perturbations;
+* :mod:`repro.faults.events` — structured :class:`DegradationEvent`
+  records of every graceful-degradation decision;
+* :mod:`repro.faults.watchdog` — the :class:`SolverWatchdog` guarding
+  primary solves with a heuristic fallback;
+* :mod:`repro.faults.smoke` — the verified fault smoke grid behind
+  ``repro faults --smoke`` (imported lazily: it pulls in the simulator
+  and experiment layers).
+"""
+
+from repro.faults.events import DEGRADATION_KINDS, DegradationEvent
+from repro.faults.plan import (
+    FaultPlan,
+    PredictorFault,
+    ResourceOutage,
+    SolverFault,
+    TraceFault,
+)
+from repro.faults.watchdog import SolverWatchdog
+
+__all__ = [
+    "DEGRADATION_KINDS",
+    "DegradationEvent",
+    "FaultPlan",
+    "PredictorFault",
+    "ResourceOutage",
+    "SolverFault",
+    "SolverWatchdog",
+    "TraceFault",
+]

@@ -1,0 +1,88 @@
+"""Structured degradation records.
+
+Every graceful-degradation decision the runtime makes — falling back to
+the no-prediction path, remapping jobs off a failed resource, evicting a
+job that cannot be re-admitted, substituting a heuristic solve for a
+hung solver — is recorded as one :class:`DegradationEvent` on the
+:class:`~repro.sim.result.SimulationResult`.  The events are plain data
+(no behaviour), so they serialise, diff, and digest cleanly; the
+fault-aware invariants in :mod:`repro.analysis.invariants` reconcile
+them against the execution log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DEGRADATION_KINDS", "DegradationEvent"]
+
+#: Every kind the runtime may emit, with a one-line meaning.
+DEGRADATION_KINDS: dict[str, str] = {
+    "resource-down": "a resource became unavailable",
+    "resource-up": "a failed resource came back",
+    "job-readmitted": "a displaced job found a new feasible mapping",
+    "job-evicted": "a displaced job could not be re-admitted and was lost",
+    "predictor-exception": "the predictor raised; planned without it",
+    "predictor-timeout": "the predictor timed out; planned without it",
+    "predictor-garbage": "the predictor returned an invalid forecast",
+    "solver-timeout": "the solver exceeded its budget; fallback used",
+    "solver-exception": "the solver raised; fallback used",
+    "solver-overrun": "the solver exceeded its wall-clock budget",
+    "solver-unavailable": "primary and fallback both failed; rejected",
+}
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One graceful-degradation decision, anchored in simulated time.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the degradation happened.
+    kind:
+        One of :data:`DEGRADATION_KINDS`.
+    job_id, resource, request_index:
+        Anchors, where applicable (``request_index`` is the trace index
+        of the activation during which the event fired).
+    detail:
+        Free-form human-readable context (exception text, counts, ...).
+    """
+
+    time: float
+    kind: str
+    job_id: int | None = None
+    resource: int | None = None
+    request_index: int | None = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEGRADATION_KINDS:
+            raise ValueError(
+                f"unknown degradation kind {self.kind!r}; expected one of "
+                f"{sorted(DEGRADATION_KINDS)}"
+            )
+
+    def render(self) -> str:
+        """A one-line human-readable rendering."""
+        where = []
+        if self.job_id is not None:
+            where.append(f"job {self.job_id}")
+        if self.resource is not None:
+            where.append(f"resource {self.resource}")
+        if self.request_index is not None:
+            where.append(f"req {self.request_index}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        detail = f": {self.detail}" if self.detail else ""
+        return f"t={self.time:g} {self.kind}{suffix}{detail}"
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "resource": self.resource,
+            "request_index": self.request_index,
+            "detail": self.detail,
+        }

@@ -1,0 +1,552 @@
+"""The seeded fault-injection DSL.
+
+A :class:`FaultPlan` describes *when and how the world misbehaves*
+during one simulation, fully deterministically:
+
+* :class:`ResourceOutage` — a resource is unavailable during
+  ``[start, end)`` (``end = inf`` makes the outage permanent).  Jobs
+  mapped there when the outage begins lose their execution state and are
+  re-admitted or evicted (see :mod:`repro.sim.simulator`).
+* :class:`PredictorFault` — during ``[start, end)`` the predictor
+  raises (``"exception"``), stalls (``"timeout"``) or emits an invalid
+  forecast (``"garbage"``); the RM degrades to the paper's
+  no-prediction path instead of crashing.
+* :class:`SolverFault` — during ``[start, end)`` the primary solver
+  hangs (``"timeout"``) or raises (``"exception"``); the
+  :class:`~repro.faults.watchdog.SolverWatchdog` substitutes the
+  fallback strategy.
+* :class:`TraceFault` — the request stream itself is perturbed before
+  replay: arrival bursts (``"burst"``), timestamp jitter (``"jitter"``)
+  or duplicate re-submissions (``"duplicate"``).
+
+Plans are immutable, picklable, JSON round-trippable, and — because
+every stochastic choice derives from ``(seed, name)`` via
+:func:`repro.util.rng.derive_seed` — two replays of the same plan on the
+same trace produce bit-identical results.  :meth:`FaultPlan.generate`
+draws a plan from outage / fault *rates*, which is what the sensitivity
+experiment (:mod:`repro.experiments.fault_sweep`) sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.request import Request
+from repro.util.rng import derive_seed
+from repro.workload.trace import Trace
+
+__all__ = [
+    "FaultPlan",
+    "PredictorFault",
+    "ResourceOutage",
+    "SolverFault",
+    "TraceFault",
+]
+
+_PREDICTOR_KINDS = ("exception", "timeout", "garbage")
+_SOLVER_KINDS = ("timeout", "exception")
+_TRACE_KINDS = ("burst", "jitter", "duplicate")
+
+
+def _check_window(owner: str, start: float, end: float) -> None:
+    if not math.isfinite(start) or start < 0:
+        raise ValueError(f"{owner}: start must be finite and >= 0, got {start}")
+    if end <= start:
+        raise ValueError(f"{owner}: end ({end}) must be > start ({start})")
+
+
+@dataclass(frozen=True)
+class ResourceOutage:
+    """One resource unavailable during ``[start, end)``."""
+
+    resource: int
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.resource < 0:
+            raise ValueError(f"resource must be >= 0, got {self.resource}")
+        _check_window("outage", self.start, self.end)
+
+    @property
+    def permanent(self) -> bool:
+        return math.isinf(self.end)
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class PredictorFault:
+    """The predictor misbehaves during ``[start, end)``."""
+
+    kind: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PREDICTOR_KINDS:
+            raise ValueError(
+                f"unknown predictor fault kind {self.kind!r}; expected one "
+                f"of {_PREDICTOR_KINDS}"
+            )
+        _check_window("predictor fault", self.start, self.end)
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class SolverFault:
+    """The primary solver misbehaves during ``[start, end)``."""
+
+    kind: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SOLVER_KINDS:
+            raise ValueError(
+                f"unknown solver fault kind {self.kind!r}; expected one of "
+                f"{_SOLVER_KINDS}"
+            )
+        _check_window("solver fault", self.start, self.end)
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class TraceFault:
+    """A perturbation of the request stream inside ``[start, end)``.
+
+    ``factor`` means: for ``"burst"`` the inter-window compression ratio
+    in ``(0, 1]`` (0.2 squeezes the window's arrivals into a fifth of
+    the span — a thundering herd); for ``"jitter"`` the absolute noise
+    amplitude added to each arrival; for ``"duplicate"`` the
+    per-request probability of an immediate duplicate re-submission.
+    """
+
+    kind: str
+    start: float
+    end: float
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TRACE_KINDS:
+            raise ValueError(
+                f"unknown trace fault kind {self.kind!r}; expected one of "
+                f"{_TRACE_KINDS}"
+            )
+        _check_window("trace fault", self.start, self.end)
+        if self.kind == "burst" and not 0.0 < self.factor <= 1.0:
+            raise ValueError(
+                f"burst factor must be in (0, 1], got {self.factor}"
+            )
+        if self.kind == "jitter" and self.factor < 0:
+            raise ValueError(f"jitter amplitude must be >= 0, got {self.factor}")
+        if self.kind == "duplicate" and not 0.0 <= self.factor <= 1.0:
+            raise ValueError(
+                f"duplicate probability must be in [0, 1], got {self.factor}"
+            )
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+def _check_disjoint(name: str, windows: Iterable[tuple[float, float]]) -> None:
+    ordered = sorted(windows)
+    for (s1, e1), (s2, _) in zip(ordered, ordered[1:], strict=False):
+        if s2 < e1:
+            raise ValueError(
+                f"{name} windows overlap: [{s1:g}, {e1:g}) and [{s2:g}, ...)"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded schedule of injected faults.
+
+    Attributes
+    ----------
+    seed:
+        Master seed of every stochastic choice the plan induces at run
+        time (garbage forecasts, trace perturbation draws).
+    outages, predictor_faults, solver_faults, trace_faults:
+        The fault windows (see the respective classes).  Windows of one
+        category must not overlap (per resource, for outages), so the
+        injected behaviour is unambiguous.
+    solver_fallback:
+        Registry name of the strategy the watchdog degrades to when the
+        primary solver faults.
+    """
+
+    seed: int = 0
+    outages: tuple[ResourceOutage, ...] = ()
+    predictor_faults: tuple[PredictorFault, ...] = ()
+    solver_faults: tuple[SolverFault, ...] = ()
+    trace_faults: tuple[TraceFault, ...] = ()
+    solver_fallback: str = "heuristic"
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        # Tuples may arrive as lists (e.g. from from_dict callers).
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(
+            self, "predictor_faults", tuple(self.predictor_faults)
+        )
+        object.__setattr__(self, "solver_faults", tuple(self.solver_faults))
+        object.__setattr__(self, "trace_faults", tuple(self.trace_faults))
+        per_resource: dict[int, list[tuple[float, float]]] = {}
+        for outage in self.outages:
+            per_resource.setdefault(outage.resource, []).append(
+                (outage.start, outage.end)
+            )
+        for resource, windows in per_resource.items():
+            _check_disjoint(f"resource {resource} outage", windows)
+        _check_disjoint(
+            "predictor fault",
+            [(f.start, f.end) for f in self.predictor_faults],
+        )
+        _check_disjoint(
+            "solver fault", [(f.start, f.end) for f in self.solver_faults]
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing at all."""
+        return not (
+            self.outages
+            or self.predictor_faults
+            or self.solver_faults
+            or self.trace_faults
+        )
+
+    def outage_events(self) -> list[tuple[float, str, int]]:
+        """The outage boundaries as ``(time, "down"|"up", resource)``.
+
+        Sorted by time; at equal times, ``"up"`` precedes ``"down"`` so a
+        back-to-back flap never leaves two concurrent down states.
+        Permanent outages contribute no ``"up"`` event.
+        """
+        events: list[tuple[float, int, int]] = []
+        for outage in self.outages:
+            events.append((outage.start, 1, outage.resource))
+            if not outage.permanent:
+                events.append((outage.end, 0, outage.resource))
+        events.sort()
+        return [
+            (time, "down" if flag else "up", resource)
+            for time, flag, resource in events
+        ]
+
+    def predictor_fault_at(self, time: float) -> str | None:
+        """The predictor fault kind active at ``time``, if any."""
+        for fault in self.predictor_faults:
+            if fault.covers(time):
+                return fault.kind
+        return None
+
+    def solver_fault_at(self, time: float) -> str | None:
+        """The solver fault kind active at ``time``, if any."""
+        for fault in self.solver_faults:
+            if fault.covers(time):
+                return fault.kind
+        return None
+
+    def down_at(self, time: float) -> frozenset[int]:
+        """Resources down at ``time`` (for the fault-aware verifier)."""
+        return frozenset(
+            outage.resource for outage in self.outages if outage.covers(time)
+        )
+
+    # ------------------------------------------------------------------
+    # Trace perturbation
+    # ------------------------------------------------------------------
+
+    def perturb_trace(self, trace: Trace) -> Trace:
+        """Apply the plan's trace faults, returning a new trace.
+
+        Bursts compress arrivals toward the window start, jitter adds
+        seeded noise, duplicates inject re-submissions; the result is
+        re-sorted and re-indexed, and the whole transformation is a pure
+        function of ``(plan, trace)``.  With no trace faults the input
+        trace is returned unchanged (``is``-identical), which keeps the
+        zero-fault path digest-identical to a run without a plan.
+        """
+        if not self.trace_faults:
+            return trace
+        rows: list[tuple[float, int, float]] = [
+            (r.arrival, r.type_id, r.deadline) for r in trace
+        ]
+        for position, fault in enumerate(self.trace_faults):
+            rng = np.random.default_rng(
+                derive_seed(self.seed, f"trace-fault:{position}:{fault.kind}")
+            )
+            if fault.kind == "burst":
+                rows = [
+                    (
+                        fault.start + (arrival - fault.start) * fault.factor
+                        if fault.covers(arrival)
+                        else arrival,
+                        type_id,
+                        deadline,
+                    )
+                    for arrival, type_id, deadline in rows
+                ]
+            elif fault.kind == "jitter":
+                rows = [
+                    (
+                        max(
+                            0.0,
+                            arrival
+                            + fault.factor
+                            * float(rng.uniform(-1.0, 1.0)),
+                        )
+                        if fault.covers(arrival)
+                        else arrival,
+                        type_id,
+                        deadline,
+                    )
+                    for arrival, type_id, deadline in rows
+                ]
+            else:  # duplicate
+                extra: list[tuple[float, int, float]] = []
+                for arrival, type_id, deadline in rows:
+                    if fault.covers(arrival) and float(rng.random()) < fault.factor:
+                        extra.append((arrival + 1e-9, type_id, deadline))
+                rows.extend(extra)
+        rows.sort(key=lambda row: (row[0], row[1], row[2]))
+        requests = [
+            Request(
+                index=position,
+                arrival=arrival,
+                type_id=type_id,
+                deadline=deadline,
+            )
+            for position, (arrival, type_id, deadline) in enumerate(rows)
+        ]
+        return Trace(
+            trace.tasks, requests, group=trace.group, seed=trace.seed
+        )
+
+    # ------------------------------------------------------------------
+    # Generation from rates
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        horizon: float,
+        n_resources: int,
+        outage_rate: float = 0.0,
+        outage_duration: float = 50.0,
+        predictor_fault_rate: float = 0.0,
+        predictor_fault_duration: float = 50.0,
+        solver_fault_rate: float = 0.0,
+        solver_fault_duration: float = 50.0,
+        spare_resource: int | None = 0,
+        solver_fallback: str = "heuristic",
+    ) -> "FaultPlan":
+        """Draw a plan from fault *rates*, deterministically from ``seed``.
+
+        ``outage_rate`` is the expected fraction of each resource's time
+        spent down; ``predictor_fault_rate`` / ``solver_fault_rate`` the
+        expected fraction of the horizon covered by the respective fault
+        windows.  Expected outage count per resource is
+        ``rate * horizon / duration`` (Poisson), each outage lasting an
+        exponential of the given mean, truncated to the horizon.
+        ``spare_resource`` (default: resource 0) is never taken down, so
+        the platform always retains one live resource.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if n_resources < 1:
+            raise ValueError(f"n_resources must be >= 1, got {n_resources}")
+        for label, rate in (
+            ("outage_rate", outage_rate),
+            ("predictor_fault_rate", predictor_fault_rate),
+            ("solver_fault_rate", solver_fault_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+
+        outages: list[ResourceOutage] = []
+        if outage_rate > 0:
+            for resource in range(n_resources):
+                if resource == spare_resource:
+                    continue
+                rng = np.random.default_rng(
+                    derive_seed(seed, f"gen:outage:{resource}")
+                )
+                mean_count = outage_rate * horizon / outage_duration
+                count = int(rng.poisson(mean_count))
+                windows: list[tuple[float, float]] = []
+                for _ in range(count):
+                    start = float(rng.uniform(0.0, horizon))
+                    length = float(rng.exponential(outage_duration))
+                    end = min(start + max(length, 1e-6), horizon)
+                    windows.append((start, end))
+                for start, end in _merge_windows(windows):
+                    outages.append(ResourceOutage(resource, start, end))
+
+        predictor_faults = [
+            PredictorFault(kind, start, end)
+            for kind, start, end in _draw_fault_windows(
+                seed,
+                "gen:predictor",
+                horizon,
+                predictor_fault_rate,
+                predictor_fault_duration,
+                _PREDICTOR_KINDS,
+            )
+        ]
+        solver_faults = [
+            SolverFault(kind, start, end)
+            for kind, start, end in _draw_fault_windows(
+                seed,
+                "gen:solver",
+                horizon,
+                solver_fault_rate,
+                solver_fault_duration,
+                _SOLVER_KINDS,
+            )
+        ]
+        return cls(
+            seed=seed,
+            outages=tuple(outages),
+            predictor_faults=tuple(predictor_faults),
+            solver_faults=tuple(solver_faults),
+            solver_fallback=solver_fallback,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation (``inf`` encoded as a string)."""
+        def enc(value: float) -> float | str:
+            return "inf" if math.isinf(value) else value
+
+        return {
+            "seed": self.seed,
+            "solver_fallback": self.solver_fallback,
+            "outages": [
+                {"resource": o.resource, "start": o.start, "end": enc(o.end)}
+                for o in self.outages
+            ],
+            "predictor_faults": [
+                {"kind": f.kind, "start": f.start, "end": f.end}
+                for f in self.predictor_faults
+            ],
+            "solver_faults": [
+                {"kind": f.kind, "start": f.start, "end": f.end}
+                for f in self.solver_faults
+            ],
+            "trace_faults": [
+                {
+                    "kind": f.kind,
+                    "start": f.start,
+                    "end": f.end,
+                    "factor": f.factor,
+                }
+                for f in self.trace_faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        def dec(value: float | str) -> float:
+            return math.inf if value == "inf" else float(value)
+
+        return cls(
+            seed=int(data.get("seed", 0)),
+            solver_fallback=str(data.get("solver_fallback", "heuristic")),
+            outages=tuple(
+                ResourceOutage(
+                    resource=int(o["resource"]),
+                    start=float(o["start"]),
+                    end=dec(o["end"]),
+                )
+                for o in data.get("outages", ())
+            ),
+            predictor_faults=tuple(
+                PredictorFault(
+                    kind=str(f["kind"]),
+                    start=float(f["start"]),
+                    end=float(f["end"]),
+                )
+                for f in data.get("predictor_faults", ())
+            ),
+            solver_faults=tuple(
+                SolverFault(
+                    kind=str(f["kind"]),
+                    start=float(f["start"]),
+                    end=float(f["end"]),
+                )
+                for f in data.get("solver_faults", ())
+            ),
+            trace_faults=tuple(
+                TraceFault(
+                    kind=str(f["kind"]),
+                    start=float(f["start"]),
+                    end=float(f["end"]),
+                    factor=float(f.get("factor", 0.5)),
+                )
+                for f in data.get("trace_faults", ())
+            ),
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """A copy of the plan under a different seed."""
+        return replace(self, seed=seed)
+
+
+def _merge_windows(
+    windows: Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Merge overlapping ``(start, end)`` windows into disjoint ones."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _draw_fault_windows(
+    seed: int,
+    stream: str,
+    horizon: float,
+    rate: float,
+    duration: float,
+    kinds: Sequence[str],
+) -> list[tuple[str, float, float]]:
+    """Disjoint seeded fault windows covering ~``rate`` of the horizon."""
+    if rate <= 0:
+        return []
+    rng = np.random.default_rng(derive_seed(seed, stream))
+    count = int(rng.poisson(rate * horizon / duration))
+    windows: list[tuple[float, float]] = []
+    for _ in range(count):
+        start = float(rng.uniform(0.0, horizon))
+        length = float(rng.exponential(duration))
+        windows.append((start, min(start + max(length, 1e-6), horizon)))
+    return [
+        (kinds[int(rng.integers(len(kinds)))], start, end)
+        for start, end in _merge_windows(windows)
+    ]

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.util.atomicio import atomic_write_text
+
 __all__ = [
     "SCHEMA_VERSION",
     "BenchConfig",
@@ -494,7 +496,7 @@ def write_payload(payload: Mapping[str, Any], path: Path | str) -> Path:
     """Write the payload as pretty-printed JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

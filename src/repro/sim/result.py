@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.invariants import VerificationReport
+    from repro.faults.events import DegradationEvent
 
 __all__ = ["ActivationRecord", "SimulationResult"]
 
@@ -58,6 +59,13 @@ class SimulationResult:
         The schedule-invariant verifier's report when the simulation ran
         with ``verify=True`` (see :mod:`repro.analysis.invariants`);
         ``None`` otherwise.
+    degradations:
+        Structured :class:`~repro.faults.events.DegradationEvent`
+        records of every graceful-degradation decision (empty on a clean
+        run; see DESIGN.md §10).
+    evicted:
+        Indices of admitted requests later lost to a resource outage
+        (displaced and not re-admittable).  A subset of ``accepted``.
     """
 
     n_requests: int
@@ -75,6 +83,8 @@ class SimulationResult:
     records: list[ActivationRecord] = field(default_factory=list)
     execution_log: list = field(default_factory=list)
     verification: "VerificationReport | None" = None
+    degradations: "list[DegradationEvent]" = field(default_factory=list)
+    evicted: list[int] = field(default_factory=list)
 
     @property
     def n_accepted(self) -> int:
@@ -114,4 +124,6 @@ class SimulationResult:
             "abort_count": self.abort_count,
             "predictions_used": self.predictions_used,
             "solver_calls_total": self.solver_calls_total,
+            "n_degradations": len(self.degradations),
+            "n_evicted": len(self.evicted),
         }

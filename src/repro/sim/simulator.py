@@ -21,11 +21,14 @@ enforced by admission); the simulator asserts this invariant and raises
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.admission import AdmissionController
 from repro.core.base import MappingStrategy
 from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
+from repro.faults.events import DegradationEvent
 from repro.model.platform import Platform
 from repro.model.request import PredictedRequest
 from repro.predict.base import NullPredictor, Predictor
@@ -33,6 +36,9 @@ from repro.sim.result import ActivationRecord, SimulationResult
 from repro.sim.state import PlatformState
 from repro.util.validation import check_non_negative
 from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["SimulationConfig", "Simulator", "simulate"]
 
@@ -70,6 +76,13 @@ class SimulationConfig:
         :class:`~repro.analysis.invariants.VerificationReport` to the
         result, a dirty one raises
         :class:`~repro.analysis.invariants.VerificationError`.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into the
+        run: the trace is perturbed, resources go down and come back,
+        predictor and solver faults degrade to the no-prediction /
+        fallback paths, and every degradation is recorded on the result
+        (DESIGN.md §10).  ``None`` (the default) is the clean run —
+        bit-identical to a run with an empty plan.
     """
 
     prediction_overhead: float = 0.0
@@ -78,6 +91,7 @@ class SimulationConfig:
     lookahead: int = 1
     collect_execution_log: bool = False
     verify: bool = False
+    faults: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         check_non_negative("prediction_overhead", self.prediction_overhead)
@@ -122,6 +136,9 @@ class Simulator:
 
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate one trace end-to-end and return the metrics."""
+        plan = self.config.faults
+        if plan is not None and plan.trace_faults:
+            trace = plan.perturb_trace(trace)
         if trace.n_resources != self.platform.size:
             raise ValueError(
                 f"trace built for {trace.n_resources} resources, platform "
@@ -138,19 +155,36 @@ class Simulator:
         result = SimulationResult(
             n_requests=len(trace), energy_demand=trace.stats().energy_demand
         )
+        admission = self._faulted_admission(plan)
+        fault_events: deque[tuple[float, str, int]] = deque(
+            plan.outage_events() if plan is not None else ()
+        )
+
+        def advance_to(until: float) -> None:
+            # Outage boundaries are applied *before* execution crosses
+            # them, so a failing resource never runs past its outage
+            # start.  With no plan this is exactly state.advance(until).
+            while fault_events and fault_events[0][0] <= until:
+                etime, ekind, resource = fault_events.popleft()
+                if etime > state.time:
+                    state.advance(etime)
+                self._apply_outage(
+                    state, result, admission, etime, ekind, resource
+                )
+            state.advance(until)
 
         for index, request in enumerate(trace):
             # With a decision overhead, the previous activation may have
             # finished *after* this request arrived; the RM handles
             # arrivals in order, so this decision starts no earlier.
             decision_time = max(request.arrival, state.time)
-            state.advance(decision_time)
-            predictions = self.predictor.predict_horizon(
-                trace, index, self.config.lookahead
+            advance_to(decision_time)
+            predictions = self._safe_predictions(
+                trace, index, decision_time, result
             )
             if self.prediction_enabled and self.config.prediction_overhead > 0:
                 decision_time += self.config.prediction_overhead
-                state.advance(decision_time)
+                advance_to(decision_time)
                 result.prediction_overhead_total += (
                     self.config.prediction_overhead
                 )
@@ -173,9 +207,11 @@ class Simulator:
                 charge_unstarted_migration=(
                     self.config.charge_unstarted_migration
                 ),
+                down_resources=frozenset(state.down),
             )
-            outcome = self._admission.decide(context)
+            outcome = admission.decide(context)
             result.solver_calls_total += outcome.solver_calls
+            self._drain_strategy_events(admission, result, decision_time, index)
             if outcome.admitted:
                 assert outcome.decision is not None
                 state.admit(request, trace.task_of(request))
@@ -209,6 +245,10 @@ class Simulator:
                     )
                 )
 
+        # Drain: outages striking before the backlog finishes still
+        # displace jobs; boundaries past the horizon change nothing.
+        while fault_events and fault_events[0][0] < state.completion_horizon():
+            advance_to(fault_events[0][0])
         state.advance(state.completion_horizon())
         if state.jobs:  # pragma: no cover - invariant
             raise RuntimeError(
@@ -224,6 +264,222 @@ class Simulator:
             self._verify(trace, result)
         return result
 
+    def _faulted_admission(
+        self, plan: "FaultPlan | None"
+    ) -> AdmissionController:
+        """The admission controller for one run, watchdogged if needed.
+
+        A plan with solver fault windows wraps the strategy in a
+        :class:`~repro.faults.watchdog.SolverWatchdog` (fallback resolved
+        from the registry by the plan's ``solver_fallback`` name), unless
+        the caller already supplied a watchdog of their own.
+        """
+        if plan is None or not plan.solver_faults:
+            return self._admission
+        # Imported lazily: the watchdog and registry pull in every
+        # strategy implementation, which this module must not.
+        from repro.faults.watchdog import SolverWatchdog
+        from repro.registry import resolve_strategy
+
+        if isinstance(self.strategy, SolverWatchdog):
+            return self._admission
+        watchdog = SolverWatchdog(
+            self.strategy,
+            resolve_strategy(plan.solver_fallback),
+            plan=plan,
+        )
+        return AdmissionController(watchdog)
+
+    def _apply_outage(
+        self,
+        state: PlatformState,
+        result: SimulationResult,
+        admission: AdmissionController,
+        etime: float,
+        kind: str,
+        resource: int,
+    ) -> None:
+        """Apply one outage boundary at ``etime`` (state already there).
+
+        A ``"down"`` boundary displaces every job on the resource (their
+        execution state is lost) and attempts re-admission in EDF order:
+        each displaced job restarts from scratch on the surviving
+        resources if the RM finds a feasible mapping, and is evicted
+        otherwise — the firm-deadline analogue of rejecting an arrival.
+        """
+        if kind == "up":
+            state.restore_resource(resource)
+            result.degradations.append(
+                DegradationEvent(
+                    time=etime, kind="resource-up", resource=resource
+                )
+            )
+            return
+        displaced = state.fail_resource(resource)
+        result.degradations.append(
+            DegradationEvent(
+                time=etime,
+                kind="resource-down",
+                resource=resource,
+                detail=f"{len(displaced)} job(s) displaced",
+            )
+        )
+        for job in displaced:
+            views = [*state.active_views(), job.planned_view()]
+            context = RMContext(
+                time=state.time,
+                platform=self.platform,
+                tasks=tuple(views),
+                charge_unstarted_migration=(
+                    self.config.charge_unstarted_migration
+                ),
+                down_resources=frozenset(state.down),
+            )
+            outcome = admission.remap(context)
+            result.solver_calls_total += outcome.solver_calls
+            self._drain_strategy_events(admission, result, etime, None)
+            if outcome.admitted:
+                assert outcome.decision is not None
+                state.readmit(job)
+                real_mapping = {
+                    job_id: target
+                    for job_id, target in outcome.decision.mapping.items()
+                    if job_id < PREDICTED_JOB_ID
+                }
+                state.apply_mapping(real_mapping)
+                result.degradations.append(
+                    DegradationEvent(
+                        time=etime,
+                        kind="job-readmitted",
+                        job_id=job.job_id,
+                        resource=job.resource,
+                    )
+                )
+            else:
+                result.evicted.append(job.job_id)
+                result.degradations.append(
+                    DegradationEvent(
+                        time=etime,
+                        kind="job-evicted",
+                        job_id=job.job_id,
+                        detail="no feasible mapping on surviving resources",
+                    )
+                )
+
+    def _safe_predictions(
+        self,
+        trace: Trace,
+        index: int,
+        decision_time: float,
+        result: SimulationResult,
+    ) -> list[PredictedRequest]:
+        """Query the predictor, degrading on any fault.
+
+        Injected predictor faults (from the plan) and real predictor
+        misbehaviour (exceptions, invalid forecasts) both reduce to the
+        paper's no-prediction RM path: the activation plans without a
+        predicted task and the degradation is recorded on the result.
+        """
+        plan = self.config.faults
+        injected = (
+            plan.predictor_fault_at(decision_time)
+            if plan is not None and self.prediction_enabled
+            else None
+        )
+        if injected in ("exception", "timeout"):
+            result.degradations.append(
+                DegradationEvent(
+                    time=decision_time,
+                    kind=f"predictor-{injected}",
+                    request_index=index,
+                    detail="injected fault; planning without prediction",
+                )
+            )
+            return []
+        if injected == "garbage":
+            # An out-of-range forecast, fed through the same validation
+            # path a real garbage predictor would hit.
+            predictions: list[PredictedRequest] = [
+                PredictedRequest(
+                    arrival=decision_time,
+                    type_id=len(trace.tasks),
+                    deadline=1.0,
+                )
+            ]
+        else:
+            try:
+                predictions = list(
+                    self.predictor.predict_horizon(
+                        trace, index, self.config.lookahead
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                result.degradations.append(
+                    DegradationEvent(
+                        time=decision_time,
+                        kind="predictor-exception",
+                        request_index=index,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                return []
+        valid: list[PredictedRequest] = []
+        for prediction in predictions:
+            problem = self._prediction_problem(trace, prediction)
+            if problem is None:
+                valid.append(prediction)
+            else:
+                result.degradations.append(
+                    DegradationEvent(
+                        time=decision_time,
+                        kind="predictor-garbage",
+                        request_index=index,
+                        detail=problem,
+                    )
+                )
+        return valid
+
+    @staticmethod
+    def _prediction_problem(
+        trace: Trace, prediction: PredictedRequest
+    ) -> str | None:
+        """Why a forecast is unusable, or ``None`` if it is fine."""
+        if not 0 <= prediction.type_id < len(trace.tasks):
+            return (
+                f"predicted type {prediction.type_id} outside the task set "
+                f"(0..{len(trace.tasks) - 1})"
+            )
+        if not math.isfinite(prediction.arrival):
+            return f"non-finite predicted arrival {prediction.arrival}"
+        if not math.isfinite(prediction.deadline) or prediction.deadline <= 0:
+            return f"invalid predicted deadline {prediction.deadline}"
+        return None
+
+    @staticmethod
+    def _drain_strategy_events(
+        admission: AdmissionController,
+        result: SimulationResult,
+        time: float,
+        request_index: int | None,
+    ) -> None:
+        """Convert buffered watchdog degradations into timestamped events.
+
+        Duck-typed on ``drain_events`` so any strategy wrapper (not just
+        :class:`~repro.faults.watchdog.SolverWatchdog`) can report.
+        """
+        drain = getattr(admission.strategy, "drain_events", None)
+        if drain is None:
+            return
+        for kind, detail in drain():
+            result.degradations.append(
+                DegradationEvent(
+                    time=time,
+                    kind=kind,
+                    request_index=request_index,
+                    detail=detail,
+                )
+            )
+
     def _verify(self, trace: Trace, result: SimulationResult) -> None:
         """Replay the execution log through the independent invariant
         verifier; raise on any violation (see ``SimulationConfig.verify``)."""
@@ -237,7 +493,11 @@ class Simulator:
             else 0.0
         )
         report = verify_result(
-            trace, self.platform, result, expected_overhead=overhead
+            trace,
+            self.platform,
+            result,
+            expected_overhead=overhead,
+            faults=self.config.faults,
         )
         result.verification = report
         if not self.config.collect_execution_log:

@@ -128,6 +128,10 @@ class PlatformState:
         self.execution_log: list[ExecutionSpan] | None = (
             [] if log_execution else None
         )
+        # Resources currently unavailable (fault injection, DESIGN.md
+        # §10).  Down resources execute nothing; fail_resource() empties
+        # their bucket, apply_mapping() refuses to place jobs there.
+        self.down: set[int] = set()
         # Per-resource job buckets: queue_of/advance touch only the jobs
         # actually mapped to a resource instead of scanning every job.
         # Membership mirrors JobState.resource exactly (updated on every
@@ -206,6 +210,10 @@ class PlatformState:
                     f"job {job_id} mapped to resource {resource} where it "
                     "cannot execute"
                 )
+            if resource in self.down:
+                raise SimulationError(
+                    f"job {job_id} mapped to down resource {resource}"
+                )
             old = job.resource
             if old == resource:
                 continue
@@ -243,6 +251,57 @@ class PlatformState:
                 raise SimulationError(
                     f"job {job.job_id} left unmapped by the RM decision"
                 )
+
+    # ------------------------------------------------------------------
+    # Fault injection (DESIGN.md §10)
+    # ------------------------------------------------------------------
+
+    def fail_resource(self, resource: int) -> list[JobState]:
+        """Take ``resource`` down at the current time.
+
+        Jobs mapped there lose their execution state (the work of the
+        current attempt is wasted, exactly as in a non-preemptable
+        abort), are unregistered from the platform, and are returned in
+        EDF order so the simulator can attempt re-admission one by one.
+        Progress must have been advanced to the outage time first.
+        """
+        if not 0 <= resource < self.platform.size:
+            raise SimulationError(f"resource {resource} out of range")
+        if resource in self.down:
+            raise SimulationError(f"resource {resource} is already down")
+        self.down.add(resource)
+        displaced = sorted(
+            self._buckets[resource].values(),
+            key=lambda j: (j.absolute_deadline, j.job_id),
+        )
+        for job in displaced:
+            self.wasted_energy += job.energy_this_attempt
+            job.remaining_fraction = 1.0
+            job.energy_this_attempt = 0.0
+            job.pending_migration_time = 0.0
+            job.running_non_preemptable = False
+            job.resource = None
+            del self.jobs[job.job_id]
+        self._buckets[resource].clear()
+        return displaced
+
+    def restore_resource(self, resource: int) -> None:
+        """Bring a failed resource back (empty; jobs return only via the
+        RM remapping them there at a later activation)."""
+        if resource not in self.down:
+            raise SimulationError(f"resource {resource} is not down")
+        self.down.discard(resource)
+
+    def readmit(self, job: JobState) -> None:
+        """Re-register a displaced job ahead of applying its new mapping."""
+        if job.job_id in self.jobs:
+            raise SimulationError(f"job {job.job_id} readmitted twice")
+        if job.resource is not None:
+            raise SimulationError(
+                f"displaced job {job.job_id} still holds resource "
+                f"{job.resource}"
+            )
+        self.jobs[job.job_id] = job
 
     # ------------------------------------------------------------------
     # Execution

@@ -1,0 +1,43 @@
+"""Crash-safe file writes (temp file + atomic rename).
+
+A plain ``write_text`` that dies mid-write — crash, OOM kill, full disk
+— leaves a truncated file behind, silently corrupting reports, saved
+traces and benchmark baselines.  :func:`atomic_write_text` writes to a
+temporary file in the *same directory* (so the final rename never
+crosses a filesystem boundary) and publishes it with :func:`os.replace`,
+which is atomic on POSIX and Windows: readers see either the old
+complete content or the new complete content, never a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | os.PathLike[str], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (all-or-nothing).
+
+    The temporary file is fsync'd before the rename so the content is
+    durable once the new name is visible; on any failure the temp file
+    is removed and the destination is left untouched.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except FileNotFoundError:
+            pass
+        raise

@@ -16,7 +16,7 @@ Implements Sec. 5.1 of the paper:
 """
 
 from repro.workload.taskgen import TaskSetConfig, generate_task_set
-from repro.workload.trace import Trace, TraceStats
+from repro.workload.trace import Trace, TraceFormatError, TraceStats
 from repro.workload.tracegen import (
     DeadlineGroup,
     TraceConfig,
@@ -39,6 +39,7 @@ __all__ = [
     "TaskSetConfig",
     "generate_task_set",
     "Trace",
+    "TraceFormatError",
     "TraceStats",
     "DeadlineGroup",
     "TraceConfig",

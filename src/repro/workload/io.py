@@ -28,7 +28,7 @@ import numpy as np
 from repro.model.request import Request
 from repro.model.task import TaskType
 from repro.util.validation import check_non_empty, check_positive
-from repro.workload.trace import Trace
+from repro.workload.trace import Trace, TraceFormatError
 from repro.workload.tracegen import DeadlineGroup, _draw_deadline
 
 __all__ = [
@@ -62,6 +62,11 @@ def import_requests_csv(
     """Read a request stream written by :func:`export_requests_csv`.
 
     ``tasks`` supplies the task set the ``type_id`` column refers to.
+
+    Malformed input (wrong header, short rows, unparsable or
+    out-of-range fields) raises
+    :class:`~repro.workload.trace.TraceFormatError` with the offending
+    line number.
     """
     check_non_empty("tasks", tasks)
     requests: list[Request] = []
@@ -69,21 +74,33 @@ def import_requests_csv(
         reader = csv.reader(handle)
         header = next(reader, None)
         if header != _CSV_HEADER:
-            raise ValueError(
-                f"unexpected CSV header {header!r}; expected {_CSV_HEADER}"
+            raise TraceFormatError(
+                f"{path}: unexpected CSV header {header!r}; "
+                f"expected {_CSV_HEADER}"
             )
-        for row in reader:
+        for line, row in enumerate(reader, start=2):
             if not row:
                 continue
-            requests.append(
-                Request(
-                    index=int(row[0]),
-                    arrival=float(row[1]),
-                    type_id=int(row[2]),
-                    deadline=float(row[3]),
+            if len(row) != len(_CSV_HEADER):
+                raise TraceFormatError(
+                    f"{path}:{line}: expected {len(_CSV_HEADER)} columns, "
+                    f"got {len(row)} (truncated row?)"
                 )
-            )
-    return Trace(tasks, requests, group=group)
+            try:
+                requests.append(
+                    Request(
+                        index=int(row[0]),
+                        arrival=float(row[1]),
+                        type_id=int(row[2]),
+                        deadline=float(row[3]),
+                    )
+                )
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{line}: {exc}") from exc
+    try:
+        return Trace(tasks, requests, group=group)
+    except ValueError as exc:
+        raise TraceFormatError(f"{path}: {exc}") from exc
 
 
 @dataclass(frozen=True)

@@ -15,8 +15,20 @@ from typing import Iterator, Sequence
 
 from repro.model.request import Request
 from repro.model.task import NOT_EXECUTABLE, TaskType
+from repro.util.atomicio import atomic_write_text
 
-__all__ = ["Trace", "TraceStats"]
+__all__ = ["Trace", "TraceFormatError", "TraceStats"]
+
+
+class TraceFormatError(ValueError):
+    """A serialised trace failed structural validation on load.
+
+    Raised (instead of a raw ``KeyError``/``TypeError``/``JSONDecodeError``)
+    for truncated or corrupted JSON, missing or mistyped fields,
+    out-of-range values, and duplicate request arrival times — so callers
+    reading untrusted trace files get one catchable, descriptive error
+    type.
+    """
 
 
 @dataclass(frozen=True)
@@ -164,42 +176,109 @@ class Trace:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Trace":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Raises :class:`TraceFormatError` on structurally invalid input
+        (missing/mistyped fields, non-finite or out-of-range values,
+        duplicate request arrival times) instead of leaking raw
+        ``KeyError``/``TypeError``.
+        """
         def decode(v: float | str) -> float:
             return NOT_EXECUTABLE if v == "inf" else float(v)
 
-        tasks = [
-            TaskType(
-                type_id=t["type_id"],
-                name=t.get("name", ""),
-                wcet=tuple(decode(c) for c in t["wcet"]),
-                energy=tuple(decode(e) for e in t["energy"]),
-                migration_time=tuple(tuple(row) for row in t["migration_time"]),
-                migration_energy=tuple(tuple(row) for row in t["migration_energy"]),
+        if not isinstance(data, dict):
+            raise TraceFormatError(
+                f"trace document must be a JSON object, "
+                f"got {type(data).__name__}"
             )
-            for t in data["tasks"]
-        ]
-        requests = [
-            Request(
-                index=r["index"],
-                arrival=r["arrival"],
-                type_id=r["type_id"],
-                deadline=r["deadline"],
+        for key in ("tasks", "requests"):
+            if not isinstance(data.get(key), list):
+                raise TraceFormatError(
+                    f"trace document needs a {key!r} list "
+                    f"(truncated or corrupted file?)"
+                )
+        tasks = []
+        for position, t in enumerate(data["tasks"]):
+            try:
+                tasks.append(
+                    TaskType(
+                        type_id=t["type_id"],
+                        name=t.get("name", ""),
+                        wcet=tuple(decode(c) for c in t["wcet"]),
+                        energy=tuple(decode(e) for e in t["energy"]),
+                        migration_time=tuple(
+                            tuple(row) for row in t["migration_time"]
+                        ),
+                        migration_energy=tuple(
+                            tuple(row) for row in t["migration_energy"]
+                        ),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"task {position}: {type(exc).__name__}: {exc}"
+                ) from exc
+        requests = []
+        for position, r in enumerate(data["requests"]):
+            try:
+                request = Request(
+                    index=int(r["index"]),
+                    arrival=float(r["arrival"]),
+                    type_id=int(r["type_id"]),
+                    deadline=float(r["deadline"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"request {position}: {type(exc).__name__}: {exc}"
+                ) from exc
+            if not math.isfinite(request.arrival):
+                raise TraceFormatError(
+                    f"request {position}: arrival must be finite, "
+                    f"got {request.arrival}"
+                )
+            if not math.isfinite(request.deadline):
+                raise TraceFormatError(
+                    f"request {position}: deadline must be finite, "
+                    f"got {request.deadline}"
+                )
+            if requests and request.arrival == requests[-1].arrival:
+                raise TraceFormatError(
+                    f"request {position}: duplicate arrival time "
+                    f"{request.arrival} (requests {requests[-1].index} and "
+                    f"{request.index})"
+                )
+            requests.append(request)
+        try:
+            return cls(
+                tasks,
+                requests,
+                group=data.get("group", ""),
+                seed=data.get("seed"),
             )
-            for r in data["requests"]
-        ]
-        return cls(
-            tasks, requests, group=data.get("group", ""), seed=data.get("seed")
-        )
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(str(exc)) from exc
 
     def save(self, path: str | Path) -> None:
-        """Write the trace to ``path`` as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict()))
+        """Write the trace to ``path`` as JSON (atomically)."""
+        atomic_write_text(path, json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
-        """Read a trace previously written by :meth:`save`."""
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Read a trace previously written by :meth:`save`.
+
+        Raises :class:`TraceFormatError` for unreadable JSON (e.g. a
+        file truncated by a crash) or a structurally invalid document.
+        """
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{path}: not valid JSON (truncated or corrupted?): {exc}"
+            ) from exc
+        try:
+            return cls.from_dict(data)
+        except TraceFormatError as exc:
+            raise TraceFormatError(f"{path}: {exc}") from exc
 
     def __repr__(self) -> str:
         label = f" group={self.group}" if self.group else ""

@@ -248,6 +248,79 @@ class TestRobustness:
         assert aggregates["closure"].n_traces == 1
 
 
+class TestBackoff:
+    def test_retry_delay_deterministic_and_bounded(self):
+        config = ParallelConfig(
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            backoff_max=1.0,
+            backoff_jitter=0.25,
+            jitter_seed=7,
+        )
+        for attempt in (1, 2, 3, 10):
+            base = min(1.0, 0.1 * 2.0 ** (attempt - 1))
+            delay = config.retry_delay(0, 1, attempt)
+            assert delay == config.retry_delay(0, 1, attempt)  # pure
+            assert base <= delay <= base * 1.25
+
+    def test_retry_delay_decorrelates_units(self):
+        config = ParallelConfig(backoff_jitter=1.0)
+        delays = {
+            config.retry_delay(spec, trace, 1)
+            for spec in range(3)
+            for trace in range(3)
+        }
+        assert len(delays) == 9  # every unit draws its own jitter
+
+    def test_retry_delay_seed_changes_schedule(self):
+        a = ParallelConfig(jitter_seed=1).retry_delay(0, 0, 1)
+        b = ParallelConfig(jitter_seed=2).retry_delay(0, 0, 1)
+        assert a != b
+
+    def test_zero_base_disables_backoff(self):
+        config = ParallelConfig(backoff_base=0.0)
+        assert config.retry_delay(0, 0, 1) == 0.0
+
+    def test_bad_attempt_rejected(self):
+        with pytest.raises(ValueError, match="attempt"):
+            ParallelConfig().retry_delay(0, 0, 0)
+
+    def test_failure_records_charged_delays(self, matrix):
+        platform, traces, _ = matrix
+        specs = [RunSpec(label="boom", strategy=ExplodingStrategy)]
+        config = ParallelConfig(
+            jobs=1, retries=2, backoff_base=0.01, backoff_max=0.02
+        )
+        aggregates = run_matrix(
+            traces[:1], platform, specs, parallel=config
+        )
+        failure = aggregates["boom"].failures[0]
+        assert failure.attempts == 3
+        # one charged delay per retry, exactly the seeded schedule
+        assert failure.retry_delays == (
+            config.retry_delay(0, 0, 1),
+            config.retry_delay(0, 0, 2),
+        )
+
+    def test_recovered_cell_keeps_its_delays(self, matrix, tmp_path):
+        platform, traces, _ = matrix
+        specs = [
+            RunSpec(label="flaky", strategy=FlakyOnceStrategy(str(tmp_path)))
+        ]
+        aggregates = run_matrix(
+            traces[:1],
+            platform,
+            specs,
+            parallel=ParallelConfig(
+                jobs=1, chunk_size=1, retries=2, backoff_base=0.01
+            ),
+        )
+        stats = aggregates["flaky"].cell_stats[0]
+        assert stats.attempts >= 2
+        assert len(stats.retry_delays) == stats.attempts - 1
+        assert all(delay > 0 for delay in stats.retry_delays)
+
+
 class TestParallelConfig:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -258,6 +331,12 @@ class TestParallelConfig:
             ParallelConfig(retries=-1)
         with pytest.raises(ValueError):
             ParallelConfig(timeout=-1.0)
+        with pytest.raises(ValueError):
+            ParallelConfig(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            ParallelConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ParallelConfig(backoff_jitter=-1.0)
 
     def test_resolved_jobs_defaults_to_cpu_count(self):
         import os

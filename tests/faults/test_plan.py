@@ -1,0 +1,237 @@
+"""Tests for the fault-plan DSL (repro.faults.plan)."""
+
+import math
+
+import pytest
+
+from repro.faults.plan import (
+    FaultPlan,
+    PredictorFault,
+    ResourceOutage,
+    SolverFault,
+    TraceFault,
+)
+from tests.conftest import make_task, make_trace
+
+
+class TestValidation:
+    def test_window_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="must be > start"):
+            ResourceOutage(0, 10.0, 5.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="finite and >= 0"):
+            PredictorFault("exception", -1.0, 5.0)
+
+    def test_unknown_predictor_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown predictor fault kind"):
+            PredictorFault("segfault", 0.0, 5.0)
+
+    def test_unknown_solver_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver fault kind"):
+            SolverFault("garbage", 0.0, 5.0)
+
+    def test_burst_factor_range(self):
+        with pytest.raises(ValueError, match="burst factor"):
+            TraceFault("burst", 0.0, 5.0, factor=0.0)
+        with pytest.raises(ValueError, match="burst factor"):
+            TraceFault("burst", 0.0, 5.0, factor=1.5)
+
+    def test_overlapping_outages_same_resource_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan(
+                outages=(
+                    ResourceOutage(0, 0.0, 10.0),
+                    ResourceOutage(0, 5.0, 15.0),
+                )
+            )
+
+    def test_overlapping_outages_different_resources_allowed(self):
+        plan = FaultPlan(
+            outages=(
+                ResourceOutage(0, 0.0, 10.0),
+                ResourceOutage(1, 5.0, 15.0),
+            )
+        )
+        assert plan.down_at(7.0) == frozenset({0, 1})
+
+    def test_overlapping_predictor_faults_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan(
+                predictor_faults=(
+                    PredictorFault("exception", 0.0, 10.0),
+                    PredictorFault("garbage", 9.0, 20.0),
+                )
+            )
+
+
+class TestQueries:
+    def test_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(outages=(ResourceOutage(0, 1.0),)).is_empty
+
+    def test_outage_events_up_before_down_at_tie(self):
+        plan = FaultPlan(
+            outages=(
+                ResourceOutage(0, 0.0, 10.0),
+                ResourceOutage(1, 10.0, 20.0),
+            )
+        )
+        events = plan.outage_events()
+        assert events == [
+            (0.0, "down", 0),
+            (10.0, "up", 0),
+            (10.0, "down", 1),
+            (20.0, "up", 1),
+        ]
+
+    def test_permanent_outage_has_no_up_event(self):
+        plan = FaultPlan(outages=(ResourceOutage(2, 5.0),))
+        assert plan.outages[0].permanent
+        assert plan.outage_events() == [(5.0, "down", 2)]
+        assert plan.down_at(1e9) == frozenset({2})
+
+    def test_fault_at_window_boundaries(self):
+        plan = FaultPlan(
+            predictor_faults=(PredictorFault("timeout", 5.0, 10.0),),
+            solver_faults=(SolverFault("exception", 5.0, 10.0),),
+        )
+        # half-open [start, end)
+        assert plan.predictor_fault_at(5.0) == "timeout"
+        assert plan.predictor_fault_at(10.0) is None
+        assert plan.solver_fault_at(9.999) == "exception"
+        assert plan.solver_fault_at(4.999) is None
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        kwargs = dict(
+            horizon=500.0,
+            n_resources=4,
+            outage_rate=0.3,
+            outage_duration=40.0,
+            predictor_fault_rate=0.2,
+            predictor_fault_duration=30.0,
+            solver_fault_rate=0.2,
+            solver_fault_duration=30.0,
+        )
+        a = FaultPlan.generate(7, **kwargs)
+        b = FaultPlan.generate(7, **kwargs)
+        assert a == b
+        c = FaultPlan.generate(8, **kwargs)
+        assert a != c
+
+    def test_spare_resource_never_down(self):
+        plan = FaultPlan.generate(
+            3,
+            horizon=1000.0,
+            n_resources=3,
+            outage_rate=0.8,
+            outage_duration=50.0,
+            spare_resource=1,
+        )
+        assert plan.outages  # rate high enough to draw something
+        assert all(o.resource != 1 for o in plan.outages)
+
+    def test_windows_within_horizon_and_disjoint(self):
+        plan = FaultPlan.generate(
+            11,
+            horizon=300.0,
+            n_resources=2,
+            outage_rate=0.6,
+            outage_duration=30.0,
+            predictor_fault_rate=0.6,
+            predictor_fault_duration=30.0,
+        )
+        for outage in plan.outages:
+            assert 0.0 <= outage.start < outage.end <= 300.0
+        # __post_init__ would have raised on overlap; double-check sorting
+        starts = [f.start for f in plan.predictor_faults]
+        assert starts == sorted(starts)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="outage_rate"):
+            FaultPlan.generate(0, horizon=10.0, n_resources=2, outage_rate=1.5)
+
+
+class TestSerialisation:
+    def test_round_trip_including_infinite_end(self):
+        plan = FaultPlan(
+            seed=5,
+            outages=(
+                ResourceOutage(0, 1.0, 2.0),
+                ResourceOutage(1, 3.0),  # permanent
+            ),
+            predictor_faults=(PredictorFault("garbage", 0.0, 4.0),),
+            solver_faults=(SolverFault("timeout", 1.0, 2.0),),
+            trace_faults=(TraceFault("burst", 0.0, 5.0, factor=0.25),),
+            solver_fallback="heuristic",
+        )
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert math.isinf(restored.outages[1].end)
+
+    def test_json_safe(self):
+        import json
+
+        plan = FaultPlan(outages=(ResourceOutage(0, 1.0),))
+        text = json.dumps(plan.to_dict())
+        assert FaultPlan.from_dict(json.loads(text)) == plan
+
+    def test_with_seed(self):
+        plan = FaultPlan(seed=1, outages=(ResourceOutage(0, 1.0, 2.0),))
+        reseeded = plan.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.outages == plan.outages
+
+
+def _two_type_tasks():
+    return [
+        make_task(type_id=0),
+        make_task(type_id=1, wcet=(8.0, 9.0, 3.0), energy=(4.0, 4.5, 0.9)),
+    ]
+
+
+class TestPerturbTrace:
+    def test_no_trace_faults_returns_same_object(self):
+        trace = make_trace(_two_type_tasks(), [(0.0, 0, 50.0)])
+        plan = FaultPlan(outages=(ResourceOutage(0, 1.0, 2.0),))
+        assert plan.perturb_trace(trace) is trace
+
+    def test_burst_compresses_window(self):
+        trace = make_trace(
+            _two_type_tasks(),
+            [(0.0, 0, 50.0), (10.0, 1, 50.0), (20.0, 0, 50.0), (40.0, 1, 50.0)],
+        )
+        plan = FaultPlan(trace_faults=(TraceFault("burst", 10.0, 30.0, 0.5),))
+        perturbed = plan.perturb_trace(trace)
+        arrivals = [r.arrival for r in perturbed]
+        # inside the window: compressed toward the window start
+        assert arrivals == [0.0, 10.0, 15.0, 40.0]
+        # re-indexed contiguously
+        assert [r.index for r in perturbed] == [0, 1, 2, 3]
+
+    def test_duplicate_appends_resubmissions(self):
+        trace = make_trace(
+            _two_type_tasks(), [(0.0, 0, 50.0), (10.0, 1, 50.0)]
+        )
+        plan = FaultPlan(
+            seed=3,
+            trace_faults=(TraceFault("duplicate", 0.0, 20.0, factor=1.0),),
+        )
+        perturbed = plan.perturb_trace(trace)
+        assert len(perturbed) == 4
+        assert [r.type_id for r in perturbed] == [0, 0, 1, 1]
+
+    def test_jitter_deterministic(self):
+        trace = make_trace(
+            _two_type_tasks(), [(0.0, 0, 50.0), (10.0, 1, 50.0)]
+        )
+        plan = FaultPlan(
+            seed=4,
+            trace_faults=(TraceFault("jitter", 0.0, 20.0, factor=2.0),),
+        )
+        a = plan.perturb_trace(trace)
+        b = plan.perturb_trace(trace)
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        assert all(r.arrival >= 0.0 for r in a)

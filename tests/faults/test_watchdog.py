@@ -1,0 +1,155 @@
+"""Unit tests for the solver watchdog (repro.faults.watchdog).
+
+The watchdog only reads ``context.time``, so a ``SimpleNamespace``
+stands in for the full RMContext.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.base import MappingDecision, MappingStrategy
+from repro.faults.plan import FaultPlan, SolverFault
+from repro.faults.watchdog import SolverWatchdog
+
+
+class Primary(MappingStrategy):
+    name = "primary"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def solve(self, context) -> MappingDecision:
+        self.calls += 1
+        return MappingDecision(feasible=True, mapping={1: 0}, energy=5.0)
+
+
+class Exploding(MappingStrategy):
+    name = "exploding"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def solve(self, context) -> MappingDecision:
+        self.calls += 1
+        raise RuntimeError("solver blew up")
+
+
+class Fallback(MappingStrategy):
+    name = "fallback"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def solve(self, context) -> MappingDecision:
+        self.calls += 1
+        return MappingDecision(feasible=True, mapping={1: 1}, energy=9.0)
+
+
+def ctx(time: float = 0.0) -> SimpleNamespace:
+    return SimpleNamespace(time=time)
+
+
+def test_healthy_primary_passes_through():
+    primary, fallback = Primary(), Fallback()
+    watchdog = SolverWatchdog(primary, fallback)
+    decision = watchdog.solve(ctx())
+    assert decision.mapping == {1: 0}
+    assert primary.calls == 1
+    assert fallback.calls == 0
+    assert watchdog.drain_events() == []
+
+
+def test_raising_primary_degrades_to_fallback_with_event():
+    primary, fallback = Exploding(), Fallback()
+    watchdog = SolverWatchdog(primary, fallback)
+    decision = watchdog.solve(ctx())
+    assert decision.mapping == {1: 1}
+    assert fallback.calls == 1
+    events = watchdog.drain_events()
+    assert len(events) == 1
+    kind, detail = events[0]
+    assert kind == "solver-exception"
+    assert "RuntimeError" in detail and "solver blew up" in detail
+
+
+def test_injected_window_skips_primary_entirely():
+    primary, fallback = Primary(), Fallback()
+    plan = FaultPlan(solver_faults=(SolverFault("timeout", 10.0, 20.0),))
+    watchdog = SolverWatchdog(primary, fallback, plan=plan)
+
+    # outside the window: the primary solves
+    assert watchdog.solve(ctx(5.0)).mapping == {1: 0}
+    assert primary.calls == 1
+    assert watchdog.drain_events() == []
+
+    # inside the window: the primary is never called (deterministic)
+    decision = watchdog.solve(ctx(15.0))
+    assert decision.mapping == {1: 1}
+    assert primary.calls == 1
+    assert fallback.calls == 1
+    events = watchdog.drain_events()
+    assert [kind for kind, _ in events] == ["solver-timeout"]
+
+
+def test_no_fallback_yields_infeasible_and_unavailable_event():
+    watchdog = SolverWatchdog(Exploding(), None)
+    decision = watchdog.solve(ctx())
+    assert not decision.feasible
+    kinds = [kind for kind, _ in watchdog.drain_events()]
+    assert kinds == ["solver-exception", "solver-unavailable"]
+
+
+def test_raising_fallback_is_last_line_of_defence():
+    watchdog = SolverWatchdog(Exploding(), Exploding())
+    decision = watchdog.solve(ctx())
+    assert not decision.feasible
+    kinds = [kind for kind, _ in watchdog.drain_events()]
+    assert kinds == ["solver-exception", "solver-unavailable"]
+
+
+def test_drain_events_clears_buffer():
+    watchdog = SolverWatchdog(Exploding(), Fallback())
+    watchdog.solve(ctx())
+    assert len(watchdog.drain_events()) == 1
+    assert watchdog.drain_events() == []
+
+
+def test_wall_budget_observes_without_enforcing():
+    class Slow(MappingStrategy):
+        name = "slow"
+
+        def solve(self, context) -> MappingDecision:
+            import time
+
+            time.sleep(0.02)
+            return MappingDecision(feasible=True, mapping={1: 0}, energy=1.0)
+
+    watchdog = SolverWatchdog(Slow(), Fallback(), wall_budget=1e-6)
+    decision = watchdog.solve(ctx())
+    # observes only: the primary's decision is kept, the overrun logged
+    assert decision.mapping == {1: 0}
+    kinds = [kind for kind, _ in watchdog.drain_events()]
+    assert kinds == ["solver-overrun"]
+
+
+def test_wall_budget_enforced_substitutes_fallback():
+    class Slow(MappingStrategy):
+        name = "slow"
+
+        def solve(self, context) -> MappingDecision:
+            import time
+
+            time.sleep(0.02)
+            return MappingDecision(feasible=True, mapping={1: 0}, energy=1.0)
+
+    watchdog = SolverWatchdog(
+        Slow(), Fallback(), wall_budget=1e-6, enforce_budget=True
+    )
+    decision = watchdog.solve(ctx())
+    assert decision.mapping == {1: 1}
+
+
+def test_bad_wall_budget_rejected():
+    with pytest.raises(ValueError, match="wall_budget"):
+        SolverWatchdog(Primary(), wall_budget=0.0)

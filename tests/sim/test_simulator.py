@@ -114,14 +114,21 @@ class TestPredictionPlumbing:
         assert with_none.rejected == with_null.rejected
         assert with_none.total_energy == pytest.approx(with_null.total_energy)
 
-    def test_bad_predicted_type_rejected(self, platform3):
+    def test_bad_predicted_type_degrades(self, platform3):
+        # A garbage forecast must not crash the run: the activation
+        # degrades to the no-prediction path and records the event.
         trace = make_trace(easy_tasks(), [(0.0, 0, 50.0), (5.0, 1, 50.0)])
         predictor = ScriptedPredictor(
             {0: PredictedRequest(arrival=5.0, type_id=99, deadline=50.0)}
         )
         sim = Simulator(platform3, HeuristicResourceManager(), predictor)
-        with pytest.raises(ValueError, match="predicted type"):
-            sim.run(trace)
+        result = sim.run(trace)
+        assert result.n_accepted == 2
+        garbage = [
+            e for e in result.degradations if e.kind == "predictor-garbage"
+        ]
+        assert [e.request_index for e in garbage] == [0]
+        assert "predicted type 99" in garbage[0].detail
 
     def test_stale_prediction_clamped_to_now(self, platform3):
         # prediction in the past must not crash; it is clamped to the

@@ -196,3 +196,72 @@ class TestEvaluate:
     def test_learned_runs(self, trace_file, capsys):
         assert main(["evaluate", str(trace_file)]) == 0
         assert "NRMSE" in capsys.readouterr().out
+
+
+class TestFaults:
+    def test_requires_a_mode(self, capsys):
+        assert main(["faults"]) == 2
+        assert "--smoke" in capsys.readouterr().err
+
+    def test_smoke_tiny(self, capsys):
+        code = main(
+            ["faults", "--smoke", "--traces", "1", "--requests", "25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-injection smoke run" in out
+        assert "OK" in out
+
+    def test_sweep_json_parses(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--sweep",
+                "--traces",
+                "1",
+                "--requests",
+                "25",
+                "--outage-grid",
+                "0",
+                "1",
+                "--predictor-fault-grid",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        cells = payload["sweep"]["cells"]
+        assert len(cells) == 2  # 2 outage levels x 1 predictor level
+        assert {c["outages_per_trace"] for c in cells} == {0.0, 1.0}
+
+    def test_out_writes_json_file(self, tmp_path, capsys):
+        out = tmp_path / "faults.json"
+        code = main(
+            [
+                "faults",
+                "--smoke",
+                "--traces",
+                "1",
+                "--requests",
+                "25",
+                "--json",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        on_disk = json.loads(out.read_text())
+        assert on_disk["smoke"]["ok"] is True
+        # stdout carries the same payload
+        assert json.loads(capsys.readouterr().out) == on_disk
+
+    def test_smoke_deterministic(self, capsys):
+        argv = [
+            "faults", "--smoke", "--traces", "1", "--requests", "25",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

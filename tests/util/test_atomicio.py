@@ -1,0 +1,66 @@
+"""Crash-safe writer tests (repro.util.atomicio)."""
+
+import os
+
+import pytest
+
+from repro.util.atomicio import atomic_write_text
+
+
+def test_writes_content(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "hello\n")
+    assert path.read_text() == "hello\n"
+
+
+def test_overwrites_existing(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("old")
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "x")
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_failure_leaves_destination_untouched(tmp_path, monkeypatch):
+    path = tmp_path / "out.txt"
+    path.write_text("precious")
+
+    def exploding_replace(src, dst):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(OSError, match="disk on fire"):
+        atomic_write_text(path, "half-written garbage")
+    assert path.read_text() == "precious"
+    # and the temp file was cleaned up
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_relative_path_in_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    atomic_write_text("bare.txt", "content")
+    assert (tmp_path / "bare.txt").read_text() == "content"
+
+
+def test_trace_save_is_atomic(tmp_path, monkeypatch):
+    """Trace.save goes through the atomic writer: a failed save never
+    corrupts the previously saved file."""
+    from tests.conftest import make_task, make_trace
+
+    trace = make_trace([make_task()], [(0.0, 0, 50.0)])
+    path = tmp_path / "trace.json"
+    trace.save(path)
+    good = path.read_text()
+
+    def exploding_replace(src, dst):
+        raise OSError("kill -9 mid-save")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        trace.save(path)
+    assert path.read_text() == good
