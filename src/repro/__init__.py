@@ -67,6 +67,20 @@ from repro.faults import (
     SolverWatchdog,
     TraceFault,
 )
+from repro.obs import (
+    CollectingTracer,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullTracer,
+    SimEvent,
+    TraceOptions,
+    Tracer,
+    chrome_trace,
+    event_stream_digest,
+    events_to_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+)
 from repro.predict import (
     ArrivalNoisePredictor,
     ComposedPredictor,
@@ -169,4 +183,17 @@ __all__ = [
     "VerificationReport",
     "VerificationError",
     "Violation",
+    # obs
+    "SimEvent",
+    "Tracer",
+    "NullTracer",
+    "CollectingTracer",
+    "TraceOptions",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "events_to_jsonl",
+    "event_stream_digest",
+    "write_events_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

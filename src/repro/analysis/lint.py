@@ -143,6 +143,7 @@ class LintConfig:
         "repro.analysis",
         "repro.perf",
         "repro.faults",
+        "repro.obs",
     )
     registry_allowed_prefixes: tuple[str, ...] = (
         "repro.registry",

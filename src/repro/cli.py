@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the library's main entry points without writing
+Eight subcommands cover the library's main entry points without writing
 Python::
 
     python -m repro generate --group VT --traces 3 --requests 200 --out traces/
@@ -14,6 +14,8 @@ Python::
     python -m repro analyze traces/vt_000.json --strategy milp
     python -m repro faults --smoke          # verified fault-injection grid
     python -m repro faults --sweep          # fault-sensitivity experiment
+    python -m repro obs traces/vt_000.json --export-chrome trace.json \
+        --summary                           # structured tracing + metrics
 
 All randomness is controlled by ``--seed``; outputs are plain text (and
 JSON where noted) so runs are scriptable and diffable.
@@ -259,6 +261,48 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the report as JSON")
     fl.add_argument("--out", type=Path, default=None,
                     help="also write the JSON report to this file")
+
+    obs = sub.add_parser(
+        "obs",
+        help="structured tracing: event stream, metrics, Chrome trace",
+        description=(
+            "Replay one trace with the observability layer armed "
+            "(repro.obs, DESIGN.md §11): collect the structured event "
+            "stream and metrics registry, print event counts and the "
+            "deterministic stream digest, and optionally export the "
+            "events as canonical JSONL (--export-jsonl) or as a Chrome "
+            "trace_event JSON (--export-chrome) viewable in Perfetto "
+            "(https://ui.perfetto.dev) or chrome://tracing."
+        ),
+    )
+    obs.add_argument("trace", type=Path, help="trace JSON file")
+    obs.add_argument("--cpus", type=int, default=5)
+    obs.add_argument("--gpus", type=int, default=1)
+    obs.add_argument(
+        "--strategy", choices=strategy_names(), default="heuristic"
+    )
+    obs.add_argument(
+        "--predictor", choices=predictor_names(), default="off"
+    )
+    obs.add_argument("--accuracy", type=float, default=0.75,
+                     help="accuracy level for the noise predictors")
+    obs.add_argument("--overhead", type=float, default=0.0,
+                     help="prediction overhead (absolute time units)")
+    obs.add_argument("--lookahead", type=int, default=1)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--export-chrome", type=Path, default=None,
+                     metavar="PATH",
+                     help="write a Chrome trace_event JSON here")
+    obs.add_argument("--export-jsonl", type=Path, default=None,
+                     metavar="PATH",
+                     help="write the canonical event stream as JSONL here")
+    obs.add_argument("--include-volatile", action="store_true",
+                     help="keep wall-clock fields in the JSONL export "
+                     "(breaks byte-reproducibility)")
+    obs.add_argument("--summary", action="store_true",
+                     help="print the metrics summary")
+    obs.add_argument("--json", action="store_true",
+                     help="emit digest, counts, and metrics as JSON")
     return parser
 
 
@@ -666,6 +710,74 @@ def _cmd_faults(args) -> int:
     return exit_code
 
 
+def _cmd_obs(args) -> int:
+    # Imported here so the plain simulate/experiment paths never pay for
+    # the observability exporters.
+    from repro.obs import (
+        TraceOptions,
+        event_stream_digest,
+        render_metrics,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+
+    trace = Trace.load(args.trace)
+    platform = Platform.cpu_gpu(args.cpus, args.gpus)
+    strategy = resolve_strategy(args.strategy)
+    predictor = _cli_predictor(args.predictor, args.accuracy, args.seed)
+    config = SimulationConfig(
+        prediction_overhead=args.overhead,
+        lookahead=args.lookahead,
+        collect_execution_log=True,
+        trace=TraceOptions(),
+    )
+    result = simulate(trace, platform, strategy, predictor, config)
+    assert result.metrics is not None  # TraceOptions() collects metrics
+    digest = event_stream_digest(result.events)
+    counts: dict[str, int] = {}
+    for event in result.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    if args.export_chrome is not None:
+        write_chrome_trace(
+            args.export_chrome,
+            result.events,
+            result.execution_log,
+            n_resources=platform.size,
+        )
+    if args.export_jsonl is not None:
+        write_events_jsonl(
+            args.export_jsonl,
+            result.events,
+            include_volatile=args.include_volatile,
+        )
+    if args.json:
+        print(json.dumps(
+            {
+                "digest": digest,
+                "n_events": len(result.events),
+                "event_counts": dict(sorted(counts.items())),
+                "metrics": result.metrics.deterministic().to_dict(),
+                "summary": result.summary(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(f"trace        : {args.trace} ({len(trace)} requests)")
+    print(f"strategy     : {args.strategy}, predictor: {args.predictor}")
+    print(f"events       : {len(result.events)}")
+    for kind in sorted(counts):
+        print(f"  {kind:18s} {counts[kind]}")
+    print(f"event digest : {digest}")
+    if args.summary:
+        print(render_metrics(result.metrics.deterministic()))
+    if args.export_chrome is not None:
+        print(f"written: {args.export_chrome}")
+    if args.export_jsonl is not None:
+        print(f"written: {args.export_jsonl}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -677,6 +789,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "analyze": _cmd_analyze,
         "faults": _cmd_faults,
+        "obs": _cmd_obs,
     }[args.command]
     return handler(args)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.base import MappingDecision, MappingStrategy
 from repro.core.context import RMContext
+from repro.obs.events import NULL_TRACER, Tracer, monotonic_now
 
 __all__ = ["AdmissionOutcome", "AdmissionController"]
 
@@ -45,10 +46,40 @@ class AdmissionOutcome:
 
 
 class AdmissionController:
-    """Wraps a mapping strategy with the paper's admission protocol."""
+    """Wraps a mapping strategy with the paper's admission protocol.
 
-    def __init__(self, strategy: MappingStrategy) -> None:
+    ``tracer`` receives one ``solver-call`` event per strategy
+    invocation, carrying the phase (with-prediction / fallback / plain /
+    remap), feasibility, and the measured wall time as a *volatile*
+    field (DESIGN.md §11).  The default tracer is disabled and costs one
+    attribute check per solve.
+    """
+
+    def __init__(
+        self, strategy: MappingStrategy, tracer: Tracer = NULL_TRACER
+    ) -> None:
         self.strategy = strategy
+        self.tracer = tracer
+
+    def _solve(self, context: RMContext, phase: str) -> MappingDecision:
+        """One traced strategy invocation."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self.strategy.solve(context)
+        start = monotonic_now()
+        decision = self.strategy.solve(context)
+        tracer.emit(
+            "solver-call",
+            time=context.time,
+            detail=phase,
+            data=(
+                ("context_size", len(context.tasks)),
+                ("feasible", decision.feasible),
+                ("strategy", self.strategy.name),
+            ),
+            wall_time=monotonic_now() - start,
+        )
+        return decision
 
     def decide(self, context: RMContext) -> AdmissionOutcome:
         """Decide admission for the activation described by ``context``.
@@ -57,7 +88,7 @@ class AdmissionController:
         the new arrival; it may additionally contain one predicted task.
         """
         if context.predicted is not None:
-            with_prediction = self.strategy.solve(context)
+            with_prediction = self._solve(context, "with-prediction")
             if with_prediction.feasible:
                 return AdmissionOutcome(
                     admitted=True,
@@ -65,7 +96,7 @@ class AdmissionController:
                     decision=with_prediction,
                     solver_calls=1,
                 )
-            fallback = self.strategy.solve(context.without_prediction())
+            fallback = self._solve(context.without_prediction(), "fallback")
             if fallback.feasible:
                 return AdmissionOutcome(
                     admitted=True,
@@ -79,7 +110,7 @@ class AdmissionController:
                 decision=None,
                 solver_calls=2,
             )
-        decision = self.strategy.solve(context)
+        decision = self._solve(context, "plain")
         if decision.feasible:
             return AdmissionOutcome(
                 admitted=True,
@@ -101,7 +132,7 @@ class AdmissionController:
         is involved — the RM is reacting to a platform change, not an
         arrival (DESIGN.md §10).
         """
-        decision = self.strategy.solve(context)
+        decision = self._solve(context, "remap")
         if decision.feasible:
             return AdmissionOutcome(
                 admitted=True,

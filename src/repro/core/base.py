@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.context import RMContext
+from repro.obs.events import NULL_TRACER, Tracer
 from repro.sched.timeline import FutureJob, ReadyJob, build_timeline
 
 __all__ = [
@@ -58,6 +59,13 @@ class MappingStrategy(abc.ABC):
 
     #: short identifier used in experiment reports
     name: str = "strategy"
+
+    #: event sink for structured tracing (DESIGN.md §11).  The class
+    #: default is the disabled :data:`~repro.obs.events.NULL_TRACER`;
+    #: the simulator installs a collecting tracer for the duration of a
+    #: traced run.  Implementations guard every emit with
+    #: ``tracer.enabled`` so untraced runs pay one attribute check.
+    tracer: Tracer = NULL_TRACER
 
     @abc.abstractmethod
     def solve(self, context: RMContext) -> MappingDecision:

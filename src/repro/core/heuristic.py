@@ -92,6 +92,8 @@ class HeuristicResourceManager(MappingStrategy):
         tasks = list(context.tasks)
         if not tasks:
             return MappingDecision(feasible=True, mapping={}, energy=0.0)
+        tracer = self.tracer
+        tracing = tracer.enabled
         platform = context.platform
         n = platform.size
         window = context.window
@@ -275,6 +277,20 @@ class HeuristicResourceManager(MappingStrategy):
                     capacity[resource] -= exec_time
                     place(chosen, resource, exec_time)
                     placed = True
+                    if tracing:
+                        tracer.emit(
+                            "heuristic-place",
+                            time=time,
+                            job_id=chosen.job_id,
+                            resource=resource,
+                            data=(
+                                ("desirability", tuple(
+                                    desirability[chosen.job_id]
+                                )),
+                                ("predicted", chosen.is_predicted),
+                                ("regret", best_regret),
+                            ),
+                        )
                     break
             if not placed:
                 return MappingDecision.infeasible()  # line 32: exit

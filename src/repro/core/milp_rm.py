@@ -168,9 +168,10 @@ class MilpResourceManager(MappingStrategy):
         # mapping that fails the exact EDF timeline is therefore excluded
         # with a no-good cut and the model re-solved; cut mappings are
         # infeasible in the true semantics, so optimality is preserved.
-        for _ in range(self.max_repairs):
+        for repairs in range(self.max_repairs):
             solution = model.solve(self.backend, **self._solver_options())
             if not solution.optimal:
+                self._trace_solve(context, feasible=False, repairs=repairs)
                 return MappingDecision.infeasible()
 
             mapping: dict[int, int] = {}
@@ -187,6 +188,7 @@ class MilpResourceManager(MappingStrategy):
                 mapping[task.job_id] = chosen[0]
 
             if not self.validate or mapping_feasible(context, mapping):
+                self._trace_solve(context, feasible=True, repairs=repairs)
                 return MappingDecision(
                     feasible=True,
                     mapping=mapping,
@@ -203,6 +205,23 @@ class MilpResourceManager(MappingStrategy):
             f"MILP kept returning timeline-infeasible mappings after "
             f"{self.max_repairs} no-good cuts at t={context.time}"
         )
+
+    def _trace_solve(
+        self, context: RMContext, *, feasible: bool, repairs: int
+    ) -> None:
+        """Emit one ``milp-solve`` event (no-op when tracing is off)."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "milp-solve",
+                time=context.time,
+                detail=self.backend,
+                data=(
+                    ("context_size", len(context.tasks)),
+                    ("feasible", feasible),
+                    ("repairs", repairs),
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -341,6 +341,13 @@ def execute_matrix(
                         else None
                     ),
                 )
+                if outcome.result.metrics is not None:
+                    # Hex floats survive the JSON round trip exactly, so
+                    # a resumed aggregate's merged metrics stay
+                    # bit-identical to an uninterrupted run.
+                    entry["metrics"] = outcome.result.metrics.to_dict(
+                        hex_floats=True
+                    )
             else:
                 entry.update(ok=False, error=outcome.error)
             journal.record(entry)
@@ -518,6 +525,7 @@ def execute_matrix(
                         else None
                     ),
                     retry_delays=tuple(retry_delays[unit]),
+                    metrics=outcome.result.metrics,
                 )
             )
     return aggregates
@@ -544,6 +552,13 @@ def _fold_journal_entry(
         float.fromhex(entry["rejection_hex"])
     )
     aggregate.normalized_energies.append(float.fromhex(entry["energy_hex"]))
+    metrics_dict = entry.get("metrics")
+    if metrics_dict is not None:
+        from repro.obs.metrics import MetricsSnapshot
+
+        metrics = MetricsSnapshot.from_dict(metrics_dict)
+    else:
+        metrics = None
     aggregate.cell_stats.append(
         CellStats(
             label=label,
@@ -553,6 +568,7 @@ def _fold_journal_entry(
             attempts=entry["attempts"],
             verified=entry["verified"],
             retry_delays=delays,
+            metrics=metrics,
         )
     )
 

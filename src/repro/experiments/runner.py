@@ -30,6 +30,7 @@ from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.executor import ParallelConfig
+    from repro.obs.metrics import MetricsSnapshot
 
 __all__ = [
     "RunSpec",
@@ -111,6 +112,10 @@ class CellStats:
     ``retry_delays`` holds the seeded backoff delay (seconds) charged
     before each re-attempt in the parallel executor — empty for a
     first-attempt success, one entry per retry otherwise.
+
+    ``metrics`` is the cell's :class:`~repro.obs.metrics.MetricsSnapshot`
+    when the spec ran with ``SimulationConfig(trace=TraceOptions(...))``
+    and metrics collection on; ``None`` otherwise (DESIGN.md §11).
     """
 
     label: str
@@ -120,6 +125,7 @@ class CellStats:
     attempts: int = 1
     verified: bool | None = None
     retry_delays: tuple[float, ...] = ()
+    metrics: "MetricsSnapshot | None" = None
 
 
 @dataclass(frozen=True)
@@ -210,6 +216,22 @@ class Aggregate:
         """Cells whose schedule passed the invariant verifier."""
         return sum(1 for stats in self.cell_stats if stats.verified)
 
+    @property
+    def metrics(self) -> "MetricsSnapshot | None":
+        """The configuration's metrics, merged across all cells.
+
+        Counters sum, gauges take the max, histograms add bucket-wise
+        (the algebra is associative and commutative, so the merged
+        snapshot is identical across serial and parallel execution and
+        across chunkings; DESIGN.md §11).  ``None`` when no cell
+        collected metrics.
+        """
+        from repro.obs.metrics import MetricsSnapshot
+
+        return MetricsSnapshot.merge_all(
+            stats.metrics for stats in self.cell_stats
+        )
+
 
 def run_matrix(
     traces: Sequence[Trace],
@@ -297,6 +319,7 @@ def run_matrix(
                         if result.verification is not None
                         else None
                     ),
+                    metrics=result.metrics,
                 )
             )
     return aggregates

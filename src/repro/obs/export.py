@@ -1,0 +1,257 @@
+"""Event-stream and metrics exporters (DESIGN.md §11).
+
+Two on-disk formats, both written through
+:func:`repro.util.atomicio.atomic_write_text`:
+
+* **canonical JSONL** — one minified, key-sorted JSON object per event,
+  volatile fields excluded; :func:`event_stream_digest` is the sha256 of
+  exactly these bytes, so equal digests mean byte-identical streams
+  (the golden event-stream suite in ``tests/golden`` pins them);
+* **Chrome ``trace_event`` JSON** — loadable in Perfetto / chrome://
+  tracing: execution spans become ``"X"`` complete events on one thread
+  lane per resource, simulation events become ``"i"`` instants on an
+  ``rm`` lane, and ``"M"`` metadata names the lanes.  One simulation
+  time unit maps to 1 ms (timestamps are microseconds in the format).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.events import SimEvent, encode_value
+from repro.obs.metrics import MetricsSnapshot
+from repro.util.atomicio import atomic_write_text
+
+__all__ = [
+    "events_to_jsonl",
+    "event_stream_digest",
+    "write_events_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "render_metrics",
+]
+
+#: Simulation time unit -> trace_event microseconds (1 unit = 1 ms).
+_US_PER_UNIT = 1000.0
+
+#: trace_event phases this exporter produces / the validator accepts.
+_KNOWN_PHASES = frozenset({"X", "i", "I", "M", "B", "E", "C"})
+
+
+def events_to_jsonl(
+    events: Iterable[SimEvent], *, include_volatile: bool = False
+) -> str:
+    """The canonical JSONL serialisation: one event per line.
+
+    Minified, key-sorted JSON — byte-identical across runs for the same
+    (seed, spec) unless ``include_volatile`` adds wall times.
+    """
+    lines = [
+        json.dumps(
+            event.to_dict(include_volatile=include_volatile),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for event in events
+    ]
+    return "".join(line + "\n" for line in lines)
+
+
+def event_stream_digest(events: Iterable[SimEvent]) -> str:
+    """sha256 hex digest of the canonical JSONL bytes."""
+    return hashlib.sha256(
+        events_to_jsonl(events).encode("utf-8")
+    ).hexdigest()
+
+
+def write_events_jsonl(
+    path: str | Path,
+    events: Iterable[SimEvent],
+    *,
+    include_volatile: bool = False,
+) -> None:
+    """Atomically write the canonical JSONL to ``path``."""
+    atomic_write_text(
+        path, events_to_jsonl(events, include_volatile=include_volatile)
+    )
+
+
+def _instant_args(event: SimEvent) -> dict:
+    args: dict = {}
+    if event.job_id is not None:
+        args["job_id"] = event.job_id
+    if event.request_index is not None:
+        args["request_index"] = event.request_index
+    if event.detail is not None:
+        args["detail"] = event.detail
+    if event.data:
+        for key, value in event.data:
+            args[key] = encode_value(value)
+    return args
+
+
+def chrome_trace(
+    events: Sequence[SimEvent],
+    execution_log: Sequence = (),
+    *,
+    n_resources: int | None = None,
+) -> dict:
+    """Build a Chrome ``trace_event`` payload (Perfetto-viewable).
+
+    ``execution_log`` takes the simulator's
+    :class:`~repro.sim.state.ExecutionSpan` records (duck-typed:
+    ``job_id``/``resource``/``start``/``end``/``kind``).  Resources get
+    one thread lane each; instants land on a dedicated ``rm`` lane after
+    the last resource.
+    """
+    max_resource = -1
+    for span in execution_log:
+        max_resource = max(max_resource, span.resource)
+    for event in events:
+        if event.resource is not None:
+            max_resource = max(max_resource, event.resource)
+    lanes = n_resources if n_resources is not None else max_resource + 1
+    rm_lane = lanes
+
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro-sim"},
+        }
+    ]
+    for resource in range(lanes):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": resource,
+                "args": {"name": f"resource {resource}"},
+            }
+        )
+    trace_events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": rm_lane,
+            "args": {"name": "rm"},
+        }
+    )
+    for span in execution_log:
+        trace_events.append(
+            {
+                "name": f"job {span.job_id}",
+                "cat": span.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": span.resource,
+                "ts": span.start * _US_PER_UNIT,
+                "dur": (span.end - span.start) * _US_PER_UNIT,
+                "args": {"job_id": span.job_id, "kind": span.kind},
+            }
+        )
+    for event in events:
+        trace_events.append(
+            {
+                "name": event.kind,
+                "cat": "sim-event",
+                "ph": "i",
+                "pid": 0,
+                "tid": (
+                    event.resource if event.resource is not None else rm_lane
+                ),
+                "ts": event.time * _US_PER_UNIT,
+                "s": "t",
+                "args": _instant_args(event),
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "sim_time_unit_us": _US_PER_UNIT},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: Sequence[SimEvent],
+    execution_log: Sequence = (),
+    *,
+    n_resources: int | None = None,
+) -> None:
+    """Atomically write a Chrome trace JSON to ``path``."""
+    payload = chrome_trace(
+        events, execution_log, n_resources=n_resources
+    )
+    atomic_write_text(path, json.dumps(payload, sort_keys=True) + "\n")
+
+
+def validate_chrome_trace(payload: object) -> list[str]:
+    """Schema-check a trace_event payload; returns problem strings.
+
+    An empty list means the payload is structurally loadable by
+    Perfetto / chrome://tracing (object format, well-typed events,
+    non-negative durations).
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["payload needs a 'traceEvents' list"]
+    for index, event in enumerate(trace_events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: 'name' must be a string")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key!r} must be an integer")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+                problems.append(f"{where}: 'ts' must be a number >= 0")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+                problems.append(f"{where}: 'dur' must be a number >= 0")
+    return problems
+
+
+def render_metrics(snapshot: MetricsSnapshot) -> str:
+    """Plain-text summary of one snapshot (``repro obs --summary``)."""
+    lines: list[str] = []
+    if snapshot.counters:
+        lines.append("counters:")
+        for name, value in snapshot.counters.items():
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:32s} {rendered}")
+    if snapshot.gauges:
+        lines.append("gauges (high-water marks):")
+        for name, value in snapshot.gauges.items():
+            lines.append(f"  {name:32s} {value:g}")
+    if snapshot.histograms:
+        lines.append("histograms:")
+        for name, histogram in snapshot.histograms.items():
+            mean = histogram.total / histogram.n if histogram.n else 0.0
+            lines.append(
+                f"  {name:32s} n={histogram.n} mean={mean:g} "
+                f"buckets={list(histogram.counts)}"
+            )
+    if not lines:
+        lines.append("(no metrics collected)")
+    return "\n".join(lines)

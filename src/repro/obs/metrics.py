@@ -1,0 +1,322 @@
+"""Counters, gauges and histograms with a deterministic merge algebra.
+
+A :class:`MetricsRegistry` is the mutable collection point of one
+simulation run; :meth:`~MetricsRegistry.snapshot` freezes it into a
+:class:`MetricsSnapshot`, which the experiment harness folds per cell
+and merges matrix-wide (DESIGN.md §11).
+
+The merge algebra is chosen so that folding is order-insensitive
+wherever exactness allows:
+
+* **counters** add (ints stay ints; float counters are sums, exact for
+  integer-valued observations);
+* **gauges** merge by ``max`` — documented high-water-mark semantics,
+  which makes the merge commutative and associative (a last-writer
+  gauge would depend on fold order);
+* **histograms** add bucket-wise; both operands must share bucket
+  bounds (mismatches raise instead of silently mis-binning).
+
+Metrics whose name starts with :data:`VOLATILE_METRIC_PREFIX`
+(``"wall/"``) carry measured wall time and are dropped by
+:meth:`MetricsSnapshot.deterministic`, so deterministic snapshots
+compare equal across runs and across ``--jobs`` counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_HISTOGRAM_BOUNDS",
+    "VOLATILE_METRIC_PREFIX",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]
+
+#: Default log-ish bucket upper bounds; the last bucket is +inf.
+DEFAULT_HISTOGRAM_BOUNDS: tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0,
+)
+
+#: Name prefix of metrics carrying measured wall time (volatile).
+VOLATILE_METRIC_PREFIX = "wall/"
+
+
+def _encode_float(value: float, *, hex_floats: bool) -> float | str:
+    if hex_floats:
+        return float(value).hex()
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return value
+
+
+def _decode_float(value: float | str) -> float:
+    if isinstance(value, str):
+        if value == "inf":
+            return math.inf
+        if value == "-inf":
+            return -math.inf
+        if value == "nan":
+            return math.nan
+        return float.fromhex(value)
+    return float(value)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """One frozen histogram: counts per bucket plus the running total.
+
+    ``bounds`` are the inclusive upper edges of the first
+    ``len(bounds)`` buckets; one overflow bucket follows, so
+    ``len(counts) == len(bounds) + 1``.  ``total`` is the sum of all
+    observed values (exact for integer-valued observations).
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram needs {len(self.bounds) + 1} counts for "
+                f"{len(self.bounds)} bounds, got {len(self.counts)}"
+            )
+        if any(b >= a for b, a in zip(self.bounds, self.bounds[1:],
+                                      strict=False)):
+            raise ValueError(f"bounds must strictly increase: {self.bounds}")
+
+    @property
+    def n(self) -> int:
+        """Total number of observations."""
+        return sum(self.counts)
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Bucket-wise sum; bounds must match exactly."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(
+                a + b for a, b in zip(self.counts, other.counts, strict=True)
+            ),
+            total=self.total + other.total,
+        )
+
+    def to_dict(self, *, hex_floats: bool = False) -> dict:
+        return {
+            "bounds": [
+                _encode_float(b, hex_floats=hex_floats) for b in self.bounds
+            ],
+            "counts": list(self.counts),
+            "total": _encode_float(self.total, hex_floats=hex_floats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramSnapshot":
+        return cls(
+            bounds=tuple(_decode_float(b) for b in data["bounds"]),
+            counts=tuple(int(c) for c in data["counts"]),
+            total=_decode_float(data["total"]),
+        )
+
+
+class _Histogram:
+    """Mutable accumulation form of :class:`HistogramSnapshot`."""
+
+    __slots__ = ("bounds", "counts", "total")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+
+
+class MetricsRegistry:
+    """Mutable metrics collection point for one run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int | float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (high-water mark)."""
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: tuple[float, ...] = DEFAULT_HISTOGRAM_BOUNDS,
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        The first observation fixes the bucket bounds; later calls with
+        different bounds raise.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = _Histogram(tuple(bounds))
+        elif histogram.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} already uses bounds "
+                f"{histogram.bounds}, got {tuple(bounds)}"
+            )
+        histogram.observe(value)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Freeze the current state (name-sorted, merge-ready)."""
+        return MetricsSnapshot(
+            counters=dict(sorted(self._counters.items())),
+            gauges=dict(sorted(self._gauges.items())),
+            histograms={
+                name: HistogramSnapshot(
+                    bounds=h.bounds,
+                    counts=tuple(h.counts),
+                    total=h.total,
+                )
+                for name, h in sorted(self._histograms.items())
+            },
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable metrics state; merges with the documented algebra."""
+
+    counters: dict[str, int | float]
+    gauges: dict[str, float]
+    histograms: dict[str, HistogramSnapshot]
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """The merge identity."""
+        return cls(counters={}, gauges={}, histograms={})
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold two snapshots (counters add, gauges max, buckets add)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            current = gauges.get(name)
+            if current is None or value > current:
+                gauges[name] = value
+        histograms = dict(self.histograms)
+        for name, histogram in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = (
+                histogram if mine is None else mine.merge(histogram)
+            )
+        return MetricsSnapshot(
+            counters=dict(sorted(counters.items())),
+            gauges=dict(sorted(gauges.items())),
+            histograms=dict(sorted(histograms.items())),
+        )
+
+    @classmethod
+    def merge_all(
+        cls, snapshots: "list[MetricsSnapshot | None]"
+    ) -> "MetricsSnapshot | None":
+        """Left fold over ``snapshots`` (``None`` entries skipped).
+
+        Returns ``None`` when nothing was collected at all.
+        """
+        merged: MetricsSnapshot | None = None
+        for snapshot in snapshots:
+            if snapshot is None:
+                continue
+            merged = snapshot if merged is None else merged.merge(snapshot)
+        return merged
+
+    def deterministic(self) -> "MetricsSnapshot":
+        """Drop volatile (``wall/``-prefixed) metrics.
+
+        The remainder is a pure function of (trace, spec, seed) and
+        compares equal across runs and across ``--jobs`` counts.
+        """
+        prefix = VOLATILE_METRIC_PREFIX
+        return MetricsSnapshot(
+            counters={
+                k: v for k, v in self.counters.items()
+                if not k.startswith(prefix)
+            },
+            gauges={
+                k: v for k, v in self.gauges.items()
+                if not k.startswith(prefix)
+            },
+            histograms={
+                k: v for k, v in self.histograms.items()
+                if not k.startswith(prefix)
+            },
+        )
+
+    def counter(self, name: str, default: int | float = 0) -> int | float:
+        return self.counters.get(name, default)
+
+    def to_dict(self, *, hex_floats: bool = False) -> dict:
+        """JSON-safe form; ``hex_floats`` gives a bit-exact round trip
+        (used by the checkpoint journal)."""
+        return {
+            "counters": {
+                name: (
+                    _encode_float(value, hex_floats=hex_floats)
+                    if isinstance(value, float)
+                    else value
+                )
+                for name, value in self.counters.items()
+            },
+            "gauges": {
+                name: _encode_float(value, hex_floats=hex_floats)
+                for name, value in self.gauges.items()
+            },
+            "histograms": {
+                name: histogram.to_dict(hex_floats=hex_floats)
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        """Inverse of :meth:`to_dict` (either float encoding)."""
+        return cls(
+            counters={
+                name: (
+                    value if isinstance(value, int)
+                    else _decode_float(value)
+                )
+                for name, value in sorted(data["counters"].items())
+            },
+            gauges={
+                name: _decode_float(value)
+                for name, value in sorted(data["gauges"].items())
+            },
+            histograms={
+                name: HistogramSnapshot.from_dict(payload)
+                for name, payload in sorted(data["histograms"].items())
+            },
+        )

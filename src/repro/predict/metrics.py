@@ -34,6 +34,17 @@ class PredictionReport:
         inter-arrival time (the paper's normalised error; 0 = perfect).
     arrival_mean_abs_error:
         Mean absolute arrival error, same normalisation.
+
+    Degenerate traces have *defined* (never NaN, never a division by
+    zero) error values:
+
+    * a trace whose mean inter-arrival time is zero — e.g. a single
+      request, where there are no gaps to average — normalises by 1.0
+      instead, so the errors degrade to their *unnormalised* values;
+    * a predictor that never forecasts reports ``arrival_nrmse`` and
+      ``arrival_mean_abs_error`` of ``inf`` (no information is worse
+      than any finite error), with ``type_accuracy`` 0.0;
+    * exact forecasts on any trace score exactly ``0.0``.
     """
 
     n_predictions: int
@@ -77,6 +88,9 @@ def evaluate_predictor(predictor: Predictor, trace: Trace) -> PredictionReport:
         abs_error += abs(error)
     if n_predictions == 0:
         return PredictionReport(0, n_abstained, 0.0, math.inf, math.inf)
+    # A zero (or pathological) mean gap must not divide the RMS error:
+    # fall back to the unnormalised error rather than returning NaN/inf
+    # for a perfectly good forecast (see the class docstring).
     norm = mean_gap if mean_gap > 0 else 1.0
     return PredictionReport(
         n_predictions=n_predictions,

@@ -5,8 +5,13 @@ strategy under admission control, modelling execution, migrations, GPU
 abort-restarts, energy dissipation and prediction overhead;
 :class:`~repro.sim.result.SimulationResult` carries the paper's metrics
 (rejection percentage, normalised energy).
+
+Passing ``SimulationConfig(trace=TraceOptions())`` additionally collects
+the structured event stream and metrics snapshot of :mod:`repro.obs`
+(re-exported here for convenience; see DESIGN.md §11).
 """
 
+from repro.obs.events import TraceOptions
 from repro.sim.gantt import merge_spans, render_gantt
 from repro.sim.result import ActivationRecord, SimulationResult
 from repro.sim.simulator import SimulationConfig, Simulator, simulate
@@ -29,4 +34,5 @@ __all__ = [
     "ExecutionSpan",
     "render_gantt",
     "merge_spans",
+    "TraceOptions",
 ]

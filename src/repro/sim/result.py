@@ -8,6 +8,8 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.invariants import VerificationReport
     from repro.faults.events import DegradationEvent
+    from repro.obs.events import SimEvent
+    from repro.obs.metrics import MetricsSnapshot
 
 __all__ = ["ActivationRecord", "SimulationResult"]
 
@@ -66,6 +68,13 @@ class SimulationResult:
     evicted:
         Indices of admitted requests later lost to a resource outage
         (displaced and not re-admittable).  A subset of ``accepted``.
+    events:
+        Structured :class:`~repro.obs.events.SimEvent` stream of the run
+        (empty unless ``SimulationConfig(trace=TraceOptions())`` enabled
+        event collection; see DESIGN.md §11).
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsSnapshot`, ``None``
+        unless metrics collection was enabled.
     """
 
     n_requests: int
@@ -85,6 +94,8 @@ class SimulationResult:
     verification: "VerificationReport | None" = None
     degradations: "list[DegradationEvent]" = field(default_factory=list)
     evicted: list[int] = field(default_factory=list)
+    events: "list[SimEvent]" = field(default_factory=list)
+    metrics: "MetricsSnapshot | None" = None
 
     @property
     def n_accepted(self) -> int:

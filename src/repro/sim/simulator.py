@@ -31,6 +31,14 @@ from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
 from repro.faults.events import DegradationEvent
 from repro.model.platform import Platform
 from repro.model.request import PredictedRequest
+from repro.obs.events import (
+    NULL_TRACER,
+    CollectingTracer,
+    TraceOptions,
+    Tracer,
+    monotonic_now,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.predict.base import NullPredictor, Predictor
 from repro.sim.result import ActivationRecord, SimulationResult
 from repro.sim.state import PlatformState
@@ -83,6 +91,14 @@ class SimulationConfig:
         fallback paths, and every degradation is recorded on the result
         (DESIGN.md §10).  ``None`` (the default) is the clean run —
         bit-identical to a run with an empty plan.
+    trace:
+        Optional :class:`~repro.obs.events.TraceOptions` enabling the
+        observability layer (DESIGN.md §11): the run collects a
+        structured :class:`~repro.obs.events.SimEvent` stream and/or a
+        :class:`~repro.obs.metrics.MetricsSnapshot` onto the result.
+        ``None`` (the default) traces nothing and stays within noise of
+        an untraced build (the NullTracer overhead contract).  Tracing
+        never changes simulation behaviour — only what is recorded.
     """
 
     prediction_overhead: float = 0.0
@@ -92,6 +108,7 @@ class SimulationConfig:
     collect_execution_log: bool = False
     verify: bool = False
     faults: "FaultPlan | None" = None
+    trace: TraceOptions | None = None
 
     def __post_init__(self) -> None:
         check_non_negative("prediction_overhead", self.prediction_overhead)
@@ -135,7 +152,40 @@ class Simulator:
         return not isinstance(self.predictor, NullPredictor)
 
     def run(self, trace: Trace) -> SimulationResult:
-        """Simulate one trace end-to-end and return the metrics."""
+        """Simulate one trace end-to-end and return the metrics.
+
+        With ``SimulationConfig(trace=TraceOptions())`` the run also
+        collects the structured event stream and metrics snapshot onto
+        the result (DESIGN.md §11); the tracer is installed on the
+        strategy and admission controller only for the duration of this
+        call, so untraced runs through the same objects stay clean.
+        """
+        options = self.config.trace
+        if options is None:
+            return self._run(trace, NULL_TRACER, None)
+        tracer: Tracer = CollectingTracer() if options.events else NULL_TRACER
+        metrics = MetricsRegistry() if options.metrics else None
+        wall_start = monotonic_now()
+        self.strategy.tracer = tracer
+        try:
+            result = self._run(trace, tracer, metrics)
+        finally:
+            self.strategy.tracer = NULL_TRACER
+        if isinstance(tracer, CollectingTracer):
+            result.events = tracer.events
+        if metrics is not None:
+            metrics.gauge_max(
+                "wall/run_seconds", monotonic_now() - wall_start
+            )
+            result.metrics = metrics.snapshot()
+        return result
+
+    def _run(
+        self,
+        trace: Trace,
+        tracer: Tracer,
+        metrics: MetricsRegistry | None,
+    ) -> SimulationResult:
         plan = self.config.faults
         if plan is not None and plan.trace_faults:
             trace = plan.perturb_trace(trace)
@@ -151,11 +201,25 @@ class Simulator:
             log_execution=(
                 self.config.collect_execution_log or self.config.verify
             ),
+            tracer=tracer,
         )
         result = SimulationResult(
             n_requests=len(trace), energy_demand=trace.stats().energy_demand
         )
         admission = self._faulted_admission(plan)
+        admission.tracer = tracer
+        if tracer.enabled:
+            tracer.emit(
+                "sim-start",
+                time=0.0,
+                data=(
+                    ("lookahead", self.config.lookahead),
+                    ("n_requests", len(trace)),
+                    ("n_resources", self.platform.size),
+                    ("predictor", type(self.predictor).__name__),
+                    ("strategy", self.strategy.name),
+                ),
+            )
         fault_events: deque[tuple[float, str, int]] = deque(
             plan.outage_events() if plan is not None else ()
         )
@@ -169,7 +233,7 @@ class Simulator:
                 if etime > state.time:
                     state.advance(etime)
                 self._apply_outage(
-                    state, result, admission, etime, ekind, resource
+                    state, result, admission, etime, ekind, resource, tracer
                 )
             state.advance(until)
 
@@ -180,7 +244,7 @@ class Simulator:
             decision_time = max(request.arrival, state.time)
             advance_to(decision_time)
             predictions = self._safe_predictions(
-                trace, index, decision_time, result
+                trace, index, decision_time, result, tracer
             )
             if self.prediction_enabled and self.config.prediction_overhead > 0:
                 decision_time += self.config.prediction_overhead
@@ -211,7 +275,36 @@ class Simulator:
             )
             outcome = admission.decide(context)
             result.solver_calls_total += outcome.solver_calls
-            self._drain_strategy_events(admission, result, decision_time, index)
+            self._drain_strategy_events(
+                admission, result, decision_time, index, tracer
+            )
+            if tracer.enabled:
+                tracer.emit(
+                    "admission-accept" if outcome.admitted
+                    else "admission-reject",
+                    time=decision_time,
+                    job_id=request.index,
+                    request_index=index,
+                    data=(
+                        ("context_size", len(context.tasks)),
+                        ("energy", (
+                            outcome.decision.energy
+                            if outcome.decision is not None
+                            else math.inf
+                        )),
+                        ("solver_calls", outcome.solver_calls),
+                        ("used_prediction", outcome.used_prediction),
+                    ),
+                )
+            if metrics is not None:
+                metrics.observe(
+                    "sim/context_size",
+                    len(context.tasks),
+                    bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+                )
+                metrics.observe(
+                    "sim/decision_latency", decision_time - request.arrival
+                )
             if outcome.admitted:
                 assert outcome.decision is not None
                 state.admit(request, trace.task_of(request))
@@ -226,6 +319,10 @@ class Simulator:
                     result.predictions_used += 1
             else:
                 result.rejected.append(index)
+            if metrics is not None:
+                metrics.gauge_max(
+                    "sim/peak_active_jobs", float(len(state.jobs))
+                )
             if self.config.collect_records:
                 result.records.append(
                     ActivationRecord(
@@ -260,9 +357,53 @@ class Simulator:
         result.migration_energy = state.migration_energy
         result.migration_count = state.migration_count
         result.abort_count = state.abort_count
+        if tracer.enabled:
+            tracer.emit(
+                "sim-end",
+                time=state.time,
+                data=(
+                    ("aborts", result.abort_count),
+                    ("migrations", result.migration_count),
+                    ("n_accepted", result.n_accepted),
+                    ("n_rejected", result.n_rejected),
+                    ("solver_calls", result.solver_calls_total),
+                    ("total_energy", result.total_energy),
+                ),
+            )
+        if metrics is not None:
+            self._fold_metrics(metrics, result, state)
         if self.config.verify:
             self._verify(trace, result)
         return result
+
+    @staticmethod
+    def _fold_metrics(
+        metrics: MetricsRegistry,
+        result: SimulationResult,
+        state: PlatformState,
+    ) -> None:
+        """Record the run's headline totals into the metrics registry.
+
+        Counters sum across executor cells (ints stay ints; energies
+        are float sums); gauges are per-run high-water marks that merge
+        by ``max`` (DESIGN.md §11).
+        """
+        metrics.inc("energy/migration", result.migration_energy)
+        metrics.inc("energy/total", result.total_energy)
+        metrics.inc("energy/wasted", result.wasted_energy)
+        metrics.inc("platform/aborts", result.abort_count)
+        metrics.inc("platform/migrations", result.migration_count)
+        metrics.inc("sim/accepted", result.n_accepted)
+        metrics.inc("sim/degradations", len(result.degradations))
+        metrics.inc("sim/evicted", len(result.evicted))
+        metrics.inc("sim/predictions_used", result.predictions_used)
+        metrics.inc(
+            "sim/prediction_overhead", result.prediction_overhead_total
+        )
+        metrics.inc("sim/rejected", result.n_rejected)
+        metrics.inc("sim/requests", result.n_requests)
+        metrics.inc("solver/calls", result.solver_calls_total)
+        metrics.gauge_max("sim/horizon", state.time)
 
     def _faulted_admission(
         self, plan: "FaultPlan | None"
@@ -290,6 +431,35 @@ class Simulator:
         )
         return AdmissionController(watchdog)
 
+    @staticmethod
+    def _degrade(
+        result: SimulationResult,
+        tracer: Tracer,
+        event: DegradationEvent,
+    ) -> None:
+        """Record one degradation, mirroring it into the event stream.
+
+        Every graceful-degradation decision lands on the result as
+        before; with tracing enabled it is additionally passed through
+        as a ``degradation`` :class:`~repro.obs.events.SimEvent` whose
+        ``detail`` is the degradation kind (DESIGN.md §11).
+        """
+        result.degradations.append(event)
+        if tracer.enabled:
+            data = (
+                (("detail", event.detail),) if event.detail is not None
+                else ()
+            )
+            tracer.emit(
+                "degradation",
+                time=event.time,
+                job_id=event.job_id,
+                resource=event.resource,
+                request_index=event.request_index,
+                detail=event.kind,
+                data=data,
+            )
+
     def _apply_outage(
         self,
         state: PlatformState,
@@ -298,6 +468,7 @@ class Simulator:
         etime: float,
         kind: str,
         resource: int,
+        tracer: Tracer,
     ) -> None:
         """Apply one outage boundary at ``etime`` (state already there).
 
@@ -309,20 +480,24 @@ class Simulator:
         """
         if kind == "up":
             state.restore_resource(resource)
-            result.degradations.append(
+            self._degrade(
+                result,
+                tracer,
                 DegradationEvent(
                     time=etime, kind="resource-up", resource=resource
-                )
+                ),
             )
             return
         displaced = state.fail_resource(resource)
-        result.degradations.append(
+        self._degrade(
+            result,
+            tracer,
             DegradationEvent(
                 time=etime,
                 kind="resource-down",
                 resource=resource,
                 detail=f"{len(displaced)} job(s) displaced",
-            )
+            ),
         )
         for job in displaced:
             views = [*state.active_views(), job.planned_view()]
@@ -337,7 +512,7 @@ class Simulator:
             )
             outcome = admission.remap(context)
             result.solver_calls_total += outcome.solver_calls
-            self._drain_strategy_events(admission, result, etime, None)
+            self._drain_strategy_events(admission, result, etime, None, tracer)
             if outcome.admitted:
                 assert outcome.decision is not None
                 state.readmit(job)
@@ -347,23 +522,27 @@ class Simulator:
                     if job_id < PREDICTED_JOB_ID
                 }
                 state.apply_mapping(real_mapping)
-                result.degradations.append(
+                self._degrade(
+                    result,
+                    tracer,
                     DegradationEvent(
                         time=etime,
                         kind="job-readmitted",
                         job_id=job.job_id,
                         resource=job.resource,
-                    )
+                    ),
                 )
             else:
                 result.evicted.append(job.job_id)
-                result.degradations.append(
+                self._degrade(
+                    result,
+                    tracer,
                     DegradationEvent(
                         time=etime,
                         kind="job-evicted",
                         job_id=job.job_id,
                         detail="no feasible mapping on surviving resources",
-                    )
+                    ),
                 )
 
     def _safe_predictions(
@@ -372,6 +551,7 @@ class Simulator:
         index: int,
         decision_time: float,
         result: SimulationResult,
+        tracer: Tracer,
     ) -> list[PredictedRequest]:
         """Query the predictor, degrading on any fault.
 
@@ -379,7 +559,30 @@ class Simulator:
         misbehaviour (exceptions, invalid forecasts) both reduce to the
         paper's no-prediction RM path: the activation plans without a
         predicted task and the degradation is recorded on the result.
+        With tracing enabled, every query of a real predictor emits one
+        ``predictor-call`` event carrying the usable forecast count.
         """
+        valid = self._query_predictor(
+            trace, index, decision_time, result, tracer
+        )
+        if tracer.enabled and self.prediction_enabled:
+            tracer.emit(
+                "predictor-call",
+                time=decision_time,
+                request_index=index,
+                detail=type(self.predictor).__name__,
+                data=(("n_forecasts", len(valid)),),
+            )
+        return valid
+
+    def _query_predictor(
+        self,
+        trace: Trace,
+        index: int,
+        decision_time: float,
+        result: SimulationResult,
+        tracer: Tracer,
+    ) -> list[PredictedRequest]:
         plan = self.config.faults
         injected = (
             plan.predictor_fault_at(decision_time)
@@ -387,13 +590,15 @@ class Simulator:
             else None
         )
         if injected in ("exception", "timeout"):
-            result.degradations.append(
+            self._degrade(
+                result,
+                tracer,
                 DegradationEvent(
                     time=decision_time,
                     kind=f"predictor-{injected}",
                     request_index=index,
                     detail="injected fault; planning without prediction",
-                )
+                ),
             )
             return []
         if injected == "garbage":
@@ -414,13 +619,15 @@ class Simulator:
                     )
                 )
             except Exception as exc:  # noqa: BLE001 - degrade, don't die
-                result.degradations.append(
+                self._degrade(
+                    result,
+                    tracer,
                     DegradationEvent(
                         time=decision_time,
                         kind="predictor-exception",
                         request_index=index,
                         detail=f"{type(exc).__name__}: {exc}",
-                    )
+                    ),
                 )
                 return []
         valid: list[PredictedRequest] = []
@@ -429,13 +636,15 @@ class Simulator:
             if problem is None:
                 valid.append(prediction)
             else:
-                result.degradations.append(
+                self._degrade(
+                    result,
+                    tracer,
                     DegradationEvent(
                         time=decision_time,
                         kind="predictor-garbage",
                         request_index=index,
                         detail=problem,
-                    )
+                    ),
                 )
         return valid
 
@@ -461,6 +670,7 @@ class Simulator:
         result: SimulationResult,
         time: float,
         request_index: int | None,
+        tracer: Tracer,
     ) -> None:
         """Convert buffered watchdog degradations into timestamped events.
 
@@ -471,13 +681,15 @@ class Simulator:
         if drain is None:
             return
         for kind, detail in drain():
-            result.degradations.append(
+            Simulator._degrade(
+                result,
+                tracer,
                 DegradationEvent(
                     time=time,
                     kind=kind,
                     request_index=request_index,
                     detail=detail,
-                )
+                ),
             )
 
     def _verify(self, trace: Trace, result: SimulationResult) -> None:

@@ -26,6 +26,7 @@ from repro.core.context import PlannedTask
 from repro.model.platform import Platform
 from repro.model.request import Request
 from repro.model.task import TaskType
+from repro.obs.events import NULL_TRACER, Tracer
 
 __all__ = ["JobState", "PlatformState", "SimulationError", "ExecutionSpan"]
 
@@ -114,9 +115,11 @@ class PlatformState:
         *,
         charge_unstarted_migration: bool = False,
         log_execution: bool = False,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.platform = platform
         self.charge_unstarted_migration = charge_unstarted_migration
+        self.tracer = tracer
         self.time = 0.0
         self.jobs: dict[int, JobState] = {}  # unfinished admitted jobs
         self.finished: list[JobState] = []
@@ -223,7 +226,8 @@ class PlatformState:
                 continue
             if job.running_non_preemptable:
                 # Abort & restart from scratch: no state to migrate.
-                self.wasted_energy += job.energy_this_attempt
+                wasted = job.energy_this_attempt
+                self.wasted_energy += wasted
                 job.remaining_fraction = 1.0
                 job.energy_this_attempt = 0.0
                 job.pending_migration_time = 0.0
@@ -232,6 +236,14 @@ class PlatformState:
                 self.abort_count += 1
                 job.resource = resource
                 self._rebucket(job, old, resource)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "abort-restart",
+                        time=self.time,
+                        job_id=job_id,
+                        resource=resource,
+                        data=(("from", old), ("wasted_energy", wasted)),
+                    )
                 continue
             if job.started or self.charge_unstarted_migration:
                 overhead = job.task.em(old, resource)
@@ -241,6 +253,18 @@ class PlatformState:
                 self.migration_energy += overhead
                 job.migrations += 1
                 self.migration_count += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "migration-start",
+                        time=self.time,
+                        job_id=job_id,
+                        resource=resource,
+                        data=(
+                            ("cm", job.pending_migration_time),
+                            ("em", overhead),
+                            ("from", old),
+                        ),
+                    )
             else:
                 job.pending_migration_time = 0.0
             job.running_non_preemptable = False
@@ -369,6 +393,13 @@ class PlatformState:
                 self._log(job.job_id, resource, now, now + debt, "migration")
                 now += debt
                 available -= debt
+                if job.pending_migration_time <= 0 and self.tracer.enabled:
+                    self.tracer.emit(
+                        "migration-settle",
+                        time=now,
+                        job_id=job.job_id,
+                        resource=resource,
+                    )
                 if available <= _EPS:
                     break
             wcet = job.task.wcet[resource]
@@ -397,6 +428,14 @@ class PlatformState:
                         f"finished {now}, deadline {job.absolute_deadline}"
                     )
                 completed.append(job)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "job-complete",
+                        time=now,
+                        job_id=job.job_id,
+                        resource=resource,
+                        data=(("energy", job.energy_consumed),),
+                    )
             else:
                 break  # ran out of time mid-job; nothing behind it runs
         return completed

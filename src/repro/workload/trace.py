@@ -280,6 +280,24 @@ class Trace:
         except TraceFormatError as exc:
             raise TraceFormatError(f"{path}: {exc}") from exc
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same tasks, requests, group and seed.
+
+        Exact (float-by-float), so ``Trace.from_dict(t.to_dict()) == t``
+        holds for every valid trace — the round-trip contract pinned by
+        the workload I/O property tests.
+        """
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.tasks == other.tasks
+            and self.requests == other.requests
+            and self.group == other.group
+            and self.seed == other.seed
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container semantics
+
     def __repr__(self) -> str:
         label = f" group={self.group}" if self.group else ""
         return (

@@ -65,3 +65,27 @@ def result_digest(trace: Trace, strategy: str, predictor: str | None) -> dict[st
             "\n".join(span_lines).encode()
         ).hexdigest(),
     }
+
+
+def event_digest(
+    trace: Trace, strategy: str, predictor: str | None
+) -> str:
+    """sha256 of the canonical event-stream JSONL for one traced replay.
+
+    Pins the *observability* behaviour the same way :func:`result_digest`
+    pins the simulation behaviour: any change to what events are emitted,
+    their order, or their payloads shifts this digest.  Volatile fields
+    (wall times) are excluded by the canonical serialisation, so the
+    digest is reproducible across machines and runs.
+    """
+    from repro.obs import TraceOptions, event_stream_digest
+
+    platform = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
+    result = simulate(
+        trace,
+        platform,
+        strategy,
+        predictor,
+        SimulationConfig(trace=TraceOptions()),
+    )
+    return event_stream_digest(result.events)

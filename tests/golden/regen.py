@@ -28,6 +28,7 @@ from repro.workload.tracegen import DeadlineGroup  # noqa: E402
 
 from tests.golden.digest import (  # noqa: E402
     GOLDEN_PAIRS,
+    event_digest,
     pair_key,
     result_digest,
 )
@@ -42,9 +43,14 @@ GOLDEN_TRACES: tuple[tuple[str, DeadlineGroup, int, int], ...] = (
     ("lt_s0", DeadlineGroup.LT, 0, 28),
 )
 
+#: The trace whose structured *event streams* are also pinned
+#: (``obs_digests.json``; see tests/golden/test_event_stream.py).
+EVENT_DIGEST_STEM = "vt_s0"
 
-def regenerate() -> dict:
+
+def regenerate() -> tuple[dict, dict]:
     digests: dict[str, dict] = {}
+    obs_digests: dict[str, dict] = {}
     for stem, group, index, n_requests in GOLDEN_TRACES:
         scale = HarnessScale(
             n_traces=index + 1, n_requests=n_requests, master_seed=0
@@ -57,15 +63,27 @@ def regenerate() -> dict:
             )
             for strategy, predictor in GOLDEN_PAIRS
         }
+        if stem == EVENT_DIGEST_STEM:
+            obs_digests[stem] = {
+                pair_key(strategy, predictor): event_digest(
+                    trace, strategy, predictor
+                )
+                for strategy, predictor in GOLDEN_PAIRS
+            }
         print(f"{stem}: {len(trace)} requests, {len(GOLDEN_PAIRS)} pairs")
-    return digests
+    return digests, obs_digests
 
 
 def main() -> int:
-    digests = regenerate()
+    digests, obs_digests = regenerate()
     out = HERE / "digests.json"
     out.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
     print(f"written: {out}")
+    obs_out = HERE / "obs_digests.json"
+    obs_out.write_text(
+        json.dumps(obs_digests, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"written: {obs_out}")
     return 0
 
 

@@ -1,0 +1,56 @@
+"""Golden event-stream regression suite.
+
+Replays the pinned fixed-seed trace through every golden strategy x
+predictor pair with tracing enabled and compares the canonical JSONL
+event-stream digest against ``obs_digests.json``.  This pins the
+*observability* behaviour (event kinds, ordering, payloads) the way
+``digests.json`` pins the simulation behaviour: any change to what the
+simulator emits — a new event kind, a reordered emit, a renamed data
+key — fails here.  Volatile fields (wall time) are excluded from the
+canonical form, so the digests are reproducible across machines.
+
+Digests may only be regenerated for *intentional* changes to the event
+taxonomy (see ``regen.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workload.trace import Trace
+
+from tests.golden.digest import GOLDEN_PAIRS, event_digest, pair_key
+
+HERE = Path(__file__).resolve().parent
+
+with (HERE / "obs_digests.json").open() as fh:
+    OBS_DIGESTS = json.load(fh)
+
+TRACE_STEMS = tuple(sorted(OBS_DIGESTS))
+
+
+def test_obs_fixtures_present():
+    """The digested trace is committed and covers every golden pair."""
+    assert TRACE_STEMS == ("vt_s0",)
+    for stem in TRACE_STEMS:
+        assert (HERE / f"{stem}.json").is_file(), f"missing {stem}.json"
+        assert set(OBS_DIGESTS[stem]) == {
+            pair_key(strategy, predictor)
+            for strategy, predictor in GOLDEN_PAIRS
+        }
+
+
+@pytest.mark.parametrize("stem", TRACE_STEMS)
+@pytest.mark.parametrize(
+    "strategy,predictor",
+    GOLDEN_PAIRS,
+    ids=[pair_key(s, p) for s, p in GOLDEN_PAIRS],
+)
+def test_golden_event_digest(stem: str, strategy: str, predictor: str | None):
+    trace = Trace.load(HERE / f"{stem}.json")
+    expected = OBS_DIGESTS[stem][pair_key(strategy, predictor)]
+    actual = event_digest(trace, strategy, predictor)
+    assert actual == expected

@@ -1,0 +1,202 @@
+"""End-to-end CLI smoke: every ``repro`` subcommand, exit codes, artefacts.
+
+Each test drives :func:`repro.cli.main` the way a shell user would —
+tiny workloads, real temp-dir artefacts — and asserts both the exit
+code and that the promised files appear on disk.  ``COVERED_COMMANDS``
+plus the meta-tests guarantee the suite can never silently fall behind
+the parser: adding a ninth subcommand without a smoke test here fails
+``test_every_subcommand_has_a_smoke_test``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: Every subcommand exercised by this module.  Must match the parser.
+COVERED_COMMANDS = {
+    "generate",
+    "simulate",
+    "experiment",
+    "evaluate",
+    "bench",
+    "analyze",
+    "faults",
+    "obs",
+}
+
+
+def _subparser_choices() -> set[str]:
+    parser = build_parser()
+    for action in parser._actions:
+        if action.dest == "command":
+            return set(action.choices)
+    raise AssertionError("no 'command' subparsers action found")
+
+
+class TestParserCoverage:
+    def test_every_subcommand_has_a_smoke_test(self):
+        assert _subparser_choices() == COVERED_COMMANDS
+
+    @pytest.mark.parametrize("command", sorted(COVERED_COMMANDS))
+    def test_help_exits_zero(self, command, capsys):
+        """Each subcommand's --help renders and exits 0 (argparse)."""
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code == 0
+        assert command in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """One tiny trace generated through the CLI itself."""
+    out = tmp_path_factory.mktemp("traces")
+    code = main(
+        [
+            "generate", "--group", "VT", "--traces", "1",
+            "--requests", "20", "--seed", "3", "--out", str(out),
+        ]
+    )
+    assert code == 0
+    files = list(out.glob("*.json"))
+    assert len(files) == 1
+    return files[0]
+
+
+class TestGenerateSmoke:
+    def test_writes_artefacts(self, tmp_path, capsys):
+        out = tmp_path / "traces"
+        code = main(
+            ["generate", "--traces", "2", "--requests", "10",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert sorted(p.name for p in out.glob("*.json")) == [
+            "vt_000.json", "vt_001.json",
+        ]
+        assert "vt_000.json" in capsys.readouterr().out
+
+
+class TestSimulateSmoke:
+    def test_json_summary(self, trace_file, capsys):
+        code = main(
+            ["simulate", str(trace_file), "--predictor", "oracle", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] == 20
+
+
+class TestExperimentSmoke:
+    def test_fig2_tiny(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--traces", "1", "--requests", "15"]
+        )
+        assert code == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_all_writes_report_dir(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        code = main(
+            ["experiment", "all", "--traces", "1", "--requests", "15",
+             "--out", str(out)]
+        )
+        assert code == 0
+        written = list(out.iterdir())
+        assert written, "experiment all --out produced no artefacts"
+        assert "written:" in capsys.readouterr().out
+
+
+class TestEvaluateSmoke:
+    def test_oracle(self, trace_file, capsys):
+        assert main(
+            ["evaluate", str(trace_file), "--predictor", "oracle"]
+        ) == 0
+        assert "type accuracy" in capsys.readouterr().out
+
+
+class TestBenchSmoke:
+    def test_writes_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        code = main(
+            ["bench", "--only", "timeline_build", "--repeats", "1",
+             "--no-alloc", "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "timeline_build" in payload["benchmarks"]
+        assert "events/s" in capsys.readouterr().out
+
+    def test_fail_threshold_requires_baseline(self, capsys):
+        assert main(["bench", "--fail-threshold", "0.5"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+
+class TestAnalyzeSmoke:
+    def test_requires_a_mode(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "nothing to analyze" in capsys.readouterr().err
+
+    def test_verified_trace_replay(self, trace_file, capsys):
+        code = main(["analyze", str(trace_file), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+
+class TestFaultsSmoke:
+    def test_requires_a_mode(self, capsys):
+        assert main(["faults"]) == 2
+        assert "--smoke" in capsys.readouterr().err
+
+    def test_smoke_writes_json_artefact(self, tmp_path, capsys):
+        out = tmp_path / "faults.json"
+        code = main(
+            ["faults", "--smoke", "--traces", "1", "--requests", "25",
+             "--json", "--out", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["smoke"]["ok"] is True
+
+
+class TestObsSmoke:
+    def test_text_report(self, trace_file, capsys):
+        code = main(["obs", str(trace_file), "--summary"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event digest" in out
+        assert "sim-start" in out
+        assert "counters:" in out
+
+    def test_exports_are_created_and_valid(self, trace_file, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        chrome = tmp_path / "chrome.json"
+        jsonl = tmp_path / "events.jsonl"
+        code = main(
+            ["obs", str(trace_file), "--predictor", "oracle",
+             "--export-chrome", str(chrome), "--export-jsonl", str(jsonl)]
+        )
+        assert code == 0
+        assert validate_chrome_trace(json.loads(chrome.read_text())) == []
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line) for line in lines)
+
+    def test_json_digest_matches_jsonl_export(self, trace_file, tmp_path, capsys):
+        import hashlib
+
+        jsonl = tmp_path / "events.jsonl"
+        argv = [
+            "obs", str(trace_file), "--json", "--export-jsonl", str(jsonl),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        on_disk = hashlib.sha256(jsonl.read_bytes()).hexdigest()
+        assert payload["digest"] == on_disk
+        assert payload["n_events"] == len(jsonl.read_text().splitlines())
+        assert payload["metrics"]["counters"]["sim/requests"] == 20
+        # The same CLI invocation is byte-reproducible.
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == payload

@@ -1,0 +1,122 @@
+"""Unit tests for the event model and tracer protocol (repro.obs.events)."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    VOLATILE_FIELDS,
+    CollectingTracer,
+    NullTracer,
+    SimEvent,
+    TraceOptions,
+    Tracer,
+    encode_value,
+)
+
+
+class TestSimEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            SimEvent(seq=0, time=0.0, kind="not-a-kind")
+
+    def test_every_kind_constructible(self):
+        for kind in EVENT_KINDS:
+            event = SimEvent(seq=0, time=1.0, kind=kind)
+            assert event.kind == kind
+
+    def test_to_dict_omits_unset_anchors(self):
+        event = SimEvent(seq=3, time=2.5, kind="sim-start")
+        assert event.to_dict() == {"seq": 3, "time": 2.5, "kind": "sim-start"}
+
+    def test_to_dict_excludes_wall_time_by_default(self):
+        event = SimEvent(
+            seq=0, time=1.0, kind="solver-call", wall_time=0.0123
+        )
+        assert "wall_time" not in event.to_dict()
+        assert event.to_dict(include_volatile=True)["wall_time"] == 0.0123
+
+    def test_volatile_fields_constant_names_real_fields(self):
+        for name in VOLATILE_FIELDS:
+            assert hasattr(SimEvent(seq=0, time=0.0, kind="sim-end"), name)
+
+    def test_data_pairs_become_dict(self):
+        event = SimEvent(
+            seq=0,
+            time=0.0,
+            kind="admission-accept",
+            job_id=7,
+            resource=2,
+            request_index=7,
+            detail="x",
+            data=(("energy", 1.5), ("solver_calls", 3)),
+        )
+        payload = event.to_dict()
+        assert payload["data"] == {"energy": 1.5, "solver_calls": 3}
+        assert payload["job_id"] == 7
+        assert payload["resource"] == 2
+
+    def test_events_are_picklable(self):
+        event = SimEvent(
+            seq=1, time=0.5, kind="migration-start", data=(("cm", 0.1),)
+        )
+        assert pickle.loads(pickle.dumps(event)) == event
+
+
+class TestEncodeValue:
+    def test_non_finite_floats_become_names(self):
+        assert encode_value(math.inf) == "inf"
+        assert encode_value(-math.inf) == "-inf"
+        assert encode_value(math.nan) == "nan"
+
+    def test_finite_values_pass_through(self):
+        assert encode_value(1.5) == 1.5
+        assert encode_value(3) == 3
+        assert encode_value("x") == "x"
+
+    def test_tuples_recurse_to_lists(self):
+        assert encode_value((1.0, math.inf, (2,))) == [1.0, "inf", [2]]
+
+
+class TestTracers:
+    def test_null_tracer_is_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        NULL_TRACER.emit("sim-start", time=0.0)  # no-op, no error
+
+    def test_base_tracer_disabled(self):
+        assert Tracer.enabled is False
+
+    def test_collecting_tracer_assigns_seq_in_order(self):
+        tracer = CollectingTracer()
+        assert tracer.enabled is True
+        tracer.emit("sim-start", time=0.0)
+        tracer.emit("admission-accept", time=1.0, job_id=0)
+        tracer.emit("sim-end", time=2.0)
+        assert [e.seq for e in tracer.events] == [0, 1, 2]
+        assert [e.kind for e in tracer.events] == [
+            "sim-start", "admission-accept", "sim-end",
+        ]
+        assert len(tracer) == 3
+
+    def test_collecting_tracer_validates_kind(self):
+        tracer = CollectingTracer()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            tracer.emit("bogus", time=0.0)
+
+
+class TestTraceOptions:
+    def test_defaults_collect_everything(self):
+        options = TraceOptions()
+        assert options.events and options.metrics
+
+    def test_all_off_rejected(self):
+        with pytest.raises(ValueError, match="collects\nnothing|collects "):
+            TraceOptions(events=False, metrics=False)
+
+    def test_picklable(self):
+        options = TraceOptions(events=True, metrics=False)
+        assert pickle.loads(pickle.dumps(options)) == options

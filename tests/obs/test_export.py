@@ -1,0 +1,150 @@
+"""Exporter tests: canonical JSONL, digests, Chrome trace schema."""
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.events import CollectingTracer, SimEvent
+from repro.obs.export import (
+    chrome_trace,
+    event_stream_digest,
+    events_to_jsonl,
+    render_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+
+@dataclass(frozen=True)
+class _Span:
+    """Minimal stand-in for sim.state.ExecutionSpan (duck-typed)."""
+
+    job_id: int
+    resource: int
+    start: float
+    end: float
+    kind: str = "run"
+
+
+def _events() -> list[SimEvent]:
+    tracer = CollectingTracer()
+    tracer.emit("sim-start", time=0.0, data=(("n_requests", 2),))
+    tracer.emit(
+        "admission-accept", time=1.0, job_id=0, request_index=0,
+        data=(("energy", 2.5),),
+    )
+    tracer.emit(
+        "solver-call", time=1.0, detail="plain", wall_time=0.001,
+    )
+    tracer.emit("sim-end", time=9.0)
+    return tracer.events
+
+
+class TestJsonl:
+    def test_one_minified_sorted_object_per_line(self):
+        text = events_to_jsonl(_events())
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert text.endswith("\n")
+        for line in lines:
+            payload = json.loads(line)
+            assert list(payload) == sorted(payload)
+            assert ": " not in line and ", " not in line
+
+    def test_volatile_fields_excluded_by_default(self):
+        text = events_to_jsonl(_events())
+        assert "wall_time" not in text
+        assert "wall_time" in events_to_jsonl(
+            _events(), include_volatile=True
+        )
+
+    def test_digest_is_sha256_of_canonical_bytes(self):
+        events = _events()
+        digest = event_stream_digest(events)
+        assert len(digest) == 64
+        assert digest == event_stream_digest(events)
+        # Wall time never shifts the digest (it is volatile).
+        other = [
+            SimEvent(**{**e.__dict__, "wall_time": 42.0}) for e in events
+        ]
+        assert event_stream_digest(other) == digest
+
+    def test_write_events_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(path, _events())
+        assert path.read_text() == events_to_jsonl(_events())
+
+
+class TestChromeTrace:
+    def test_payload_passes_validator(self):
+        spans = [_Span(0, 0, 1.0, 3.0), _Span(1, 2, 2.0, 2.5, kind="migration")]
+        payload = chrome_trace(_events(), spans, n_resources=3)
+        assert validate_chrome_trace(payload) == []
+
+    def test_lanes_and_phases(self):
+        spans = [_Span(0, 1, 1.0, 3.0)]
+        payload = chrome_trace(_events(), spans, n_resources=2)
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        # process_name + one thread_name per resource + the rm lane.
+        assert len(metadata) == 1 + 2 + 1
+        spans_out = [e for e in events if e["ph"] == "X"]
+        assert spans_out[0]["tid"] == 1
+        assert spans_out[0]["ts"] == 1000.0  # 1 sim unit = 1000 us
+        assert spans_out[0]["dur"] == 2000.0
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 4
+        # Events without a resource anchor land on the rm lane (tid 2).
+        assert {e["tid"] for e in instants} == {2}
+
+    def test_lane_count_inferred_without_n_resources(self):
+        spans = [_Span(0, 4, 0.0, 1.0)]
+        payload = chrome_trace([], spans)
+        rm_meta = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["args"].get("name") == "rm"
+        ]
+        assert rm_meta[0]["tid"] == 5  # after resources 0..4
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, _events(), [], n_resources=1)
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        bad_phase = {"traceEvents": [
+            {"name": "x", "ph": "Z", "pid": 0, "tid": 0, "ts": 0}
+        ]}
+        assert any("phase" in p for p in validate_chrome_trace(bad_phase))
+        bad_ts = {"traceEvents": [
+            {"name": "x", "ph": "i", "pid": 0, "tid": 0, "ts": -1}
+        ]}
+        assert any("'ts'" in p for p in validate_chrome_trace(bad_ts))
+        bad_dur = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0,
+             "dur": float("nan")}
+        ]}
+        assert any("'dur'" in p for p in validate_chrome_trace(bad_dur))
+        not_obj = {"traceEvents": ["nope"]}
+        assert any("not an object" in p for p in validate_chrome_trace(not_obj))
+
+
+class TestRenderMetrics:
+    def test_empty_snapshot(self):
+        assert "no metrics" in render_metrics(MetricsSnapshot.empty())
+
+    def test_sections_present(self):
+        registry = MetricsRegistry()
+        registry.inc("sim/requests", 3)
+        registry.gauge_max("sim/horizon", 12.5)
+        registry.observe("sim/context_size", 4.0, bounds=(2.0, 8.0))
+        text = render_metrics(registry.snapshot())
+        assert "counters:" in text
+        assert "gauges (high-water marks):" in text
+        assert "histograms:" in text
+        assert "sim/requests" in text
+        assert "n=1" in text

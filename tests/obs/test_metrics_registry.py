@@ -1,0 +1,194 @@
+"""Metrics registry semantics and the merge algebra (repro.obs.metrics).
+
+The property tests draw *integer-valued* floats so the counter/total
+sums are exact and the associativity/commutativity assertions can demand
+strict equality — matching how the simulator's own metrics behave when
+folded across executor chunks in any order.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_HISTOGRAM_BOUNDS,
+    VOLATILE_METRIC_PREFIX,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestRegistry:
+    def test_counters_add_and_ints_stay_ints(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 2)
+        registry.inc("b", 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot.counters["a"] == 3
+        assert isinstance(snapshot.counters["a"], int)
+        assert snapshot.counters["b"] == 1.5
+
+    def test_gauges_keep_high_water_mark(self):
+        registry = MetricsRegistry()
+        registry.gauge_max("g", 2.0)
+        registry.gauge_max("g", 1.0)
+        registry.gauge_max("g", 5.0)
+        assert registry.snapshot().gauges["g"] == 5.0
+
+    def test_histogram_bins_by_upper_bound(self):
+        registry = MetricsRegistry()
+        for value in (0.0005, 0.5, 5.0, 5000.0):
+            registry.observe("h", value)
+        histogram = registry.snapshot().histograms["h"]
+        assert histogram.bounds == DEFAULT_HISTOGRAM_BOUNDS
+        assert histogram.n == 4
+        assert histogram.counts[-1] == 1  # 5000 overflows the last bound
+
+    def test_histogram_bounds_fixed_by_first_observation(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0, bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already uses bounds"):
+            registry.observe("h", 1.0, bounds=(1.0, 3.0))
+
+    def test_snapshot_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        registry.gauge_max("m", 1.0)
+        registry.gauge_max("b", 1.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot.counters) == ["a", "z"]
+        assert list(snapshot.gauges) == ["b", "m"]
+
+
+class TestHistogramSnapshot:
+    def test_counts_length_validated(self):
+        with pytest.raises(ValueError, match="needs 3 counts"):
+            HistogramSnapshot(bounds=(1.0, 2.0), counts=(1, 2))
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            HistogramSnapshot(bounds=(2.0, 1.0), counts=(0, 0, 0))
+
+    def test_merge_requires_identical_bounds(self):
+        a = HistogramSnapshot(bounds=(1.0,), counts=(1, 0), total=0.5)
+        b = HistogramSnapshot(bounds=(2.0,), counts=(1, 0), total=0.5)
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+    def test_round_trip_both_encodings(self):
+        histogram = HistogramSnapshot(
+            bounds=(0.5, 1.5), counts=(2, 1, 4), total=7.25
+        )
+        for hex_floats in (False, True):
+            payload = histogram.to_dict(hex_floats=hex_floats)
+            assert HistogramSnapshot.from_dict(payload) == histogram
+
+
+def _snapshot(counter: int, gauge: float, values: list[float]) -> MetricsSnapshot:
+    registry = MetricsRegistry()
+    registry.inc("c", counter)
+    registry.inc("f", float(counter))
+    registry.gauge_max("g", gauge)
+    for value in values:
+        registry.observe("h", value, bounds=(1.0, 10.0, 100.0))
+    return registry.snapshot()
+
+
+_snapshots = st.builds(
+    _snapshot,
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=50).map(float),
+    st.lists(
+        st.integers(min_value=0, max_value=500).map(float), max_size=8
+    ),
+)
+
+
+class TestMergeAlgebra:
+    @given(a=_snapshots, b=_snapshots)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(a=_snapshots, b=_snapshots, c=_snapshots)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(a=_snapshots)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_is_identity(self, a):
+        empty = MetricsSnapshot.empty()
+        assert empty.merge(a) == a
+        assert a.merge(empty) == a
+
+    @given(a=_snapshots, b=_snapshots)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_totals(self, a, b):
+        merged = a.merge(b)
+        assert merged.counters["c"] == a.counters["c"] + b.counters["c"]
+        assert isinstance(merged.counters["c"], int)
+        assert merged.gauges["g"] == max(a.gauges["g"], b.gauges["g"])
+
+        def observations(snapshot):
+            histogram = snapshot.histograms.get("h")
+            return histogram.n if histogram is not None else 0
+
+        assert observations(merged) == observations(a) + observations(b)
+
+    @given(a=_snapshots)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_exact(self, a):
+        for hex_floats in (False, True):
+            assert MetricsSnapshot.from_dict(
+                a.to_dict(hex_floats=hex_floats)
+            ) == a
+
+    @given(
+        chunks=st.lists(st.lists(_snapshots, max_size=3), max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunked_fold_equals_flat_fold(self, chunks):
+        """Folding per-chunk then across chunks == folding flat — the
+        property that makes the executor's per-chunk aggregation safe."""
+        flat = [snapshot for chunk in chunks for snapshot in chunk]
+        flat_merged = MetricsSnapshot.merge_all(flat)
+        per_chunk = [MetricsSnapshot.merge_all(chunk) for chunk in chunks]
+        chunk_merged = MetricsSnapshot.merge_all(per_chunk)
+        assert flat_merged == chunk_merged
+
+
+class TestSnapshot:
+    def test_merge_all_skips_none(self):
+        a = _snapshot(1, 1.0, [])
+        assert MetricsSnapshot.merge_all([None, a, None]) == a
+        assert MetricsSnapshot.merge_all([None, None]) is None
+        assert MetricsSnapshot.merge_all([]) is None
+
+    def test_deterministic_drops_wall_metrics(self):
+        registry = MetricsRegistry()
+        registry.inc("sim/requests", 5)
+        registry.gauge_max(VOLATILE_METRIC_PREFIX + "run_seconds", 0.3)
+        registry.inc(VOLATILE_METRIC_PREFIX + "ticks", 2)
+        snapshot = registry.snapshot().deterministic()
+        assert list(snapshot.counters) == ["sim/requests"]
+        assert snapshot.gauges == {}
+
+    def test_counter_accessor_default(self):
+        snapshot = MetricsSnapshot.empty()
+        assert snapshot.counter("missing") == 0
+        assert snapshot.counter("missing", -1) == -1
+
+    def test_non_finite_floats_survive_json_encoding(self):
+        registry = MetricsRegistry()
+        registry.gauge_max("g", math.inf)
+        registry.inc("c", 1)
+        snapshot = registry.snapshot()
+        payload = snapshot.to_dict()
+        assert payload["gauges"]["g"] == "inf"
+        assert MetricsSnapshot.from_dict(payload) == snapshot

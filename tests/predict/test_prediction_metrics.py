@@ -1,0 +1,114 @@
+"""Regression tests for predictor scoring on degenerate traces.
+
+``evaluate_predictor`` normalises arrival errors by the trace's mean
+inter-arrival time.  A constant-arrival trace has a zero mean gap, which
+naively divides by zero; the report must instead degrade to the
+*unnormalised* errors (never NaN, never inf for a finite forecast) per
+the :class:`PredictionReport` docstring contract.
+"""
+
+import math
+
+import pytest
+
+from repro.model.request import PredictedRequest, Request
+from repro.model.task import TaskType
+from repro.predict.base import Predictor
+from repro.predict.metrics import evaluate_predictor
+from repro.workload.trace import Trace
+
+_TASK = TaskType(type_id=0, wcet=(2.0, 3.0), energy=(1.0, 1.5))
+
+
+def _trace(arrivals) -> Trace:
+    requests = tuple(
+        Request(index=i, arrival=a, type_id=0, deadline=5.0)
+        for i, a in enumerate(arrivals)
+    )
+    return Trace((_TASK,), requests)
+
+
+class _Exact(Predictor):
+    """Forecasts the actual next request — the zero-error reference."""
+
+    name = "exact"
+
+    def predict(self, trace, index):
+        nxt = trace[index + 1]
+        return PredictedRequest(
+            arrival=nxt.arrival, type_id=nxt.type_id, deadline=nxt.deadline
+        )
+
+
+class _Offset(Predictor):
+    """Always half a time unit late — a known constant error."""
+
+    name = "offset"
+
+    def predict(self, trace, index):
+        nxt = trace[index + 1]
+        return PredictedRequest(
+            arrival=nxt.arrival + 0.5, type_id=nxt.type_id, deadline=nxt.deadline
+        )
+
+
+class _Never(Predictor):
+    name = "never"
+
+    def predict(self, trace, index):
+        return None
+
+
+class TestZeroMeanGap:
+    """Constant-arrival traces: the divide-by-zero regression."""
+
+    def test_exact_forecast_scores_zero_not_nan(self):
+        trace = _trace([1.0, 1.0, 1.0, 1.0])
+        assert trace.mean_interarrival() == 0.0
+        report = evaluate_predictor(_Exact(), trace)
+        assert report.arrival_nrmse == 0.0
+        assert report.arrival_mean_abs_error == 0.0
+        assert report.type_accuracy == 1.0
+
+    def test_imperfect_forecast_degrades_to_unnormalised_error(self):
+        trace = _trace([2.0, 2.0, 2.0])
+        report = evaluate_predictor(_Offset(), trace)
+        # norm falls back to 1.0, so the errors come back raw.
+        assert report.arrival_nrmse == pytest.approx(0.5)
+        assert report.arrival_mean_abs_error == pytest.approx(0.5)
+        assert math.isfinite(report.arrival_nrmse)
+        assert not math.isnan(report.arrival_nrmse)
+
+    def test_single_request_trace_is_defined(self):
+        report = evaluate_predictor(_Exact(), _trace([3.0]))
+        # Nothing to forecast: no predictions, inf error by contract.
+        assert report.n_predictions == 0
+        assert report.n_abstained == 0
+        assert report.arrival_nrmse == math.inf
+        assert report.coverage == 0.0
+
+
+class TestNeverForecasting:
+    def test_all_abstentions_score_inf(self):
+        trace = _trace([0.0, 1.0, 2.0, 3.0])
+        report = evaluate_predictor(_Never(), trace)
+        assert report.n_predictions == 0
+        assert report.n_abstained == len(trace) - 1
+        assert report.arrival_nrmse == math.inf
+        assert report.arrival_mean_abs_error == math.inf
+        assert report.type_accuracy == 0.0
+
+
+class TestNormalisedPath:
+    def test_exact_forecasts_score_exactly_zero(self):
+        trace = _trace([0.0, 1.0, 2.5, 4.0])
+        report = evaluate_predictor(_Exact(), trace)
+        assert report.arrival_nrmse == 0.0
+        assert report.arrival_mean_abs_error == 0.0
+        assert report.coverage == 1.0
+
+    def test_constant_error_normalised_by_mean_gap(self):
+        trace = _trace([0.0, 2.0, 4.0, 6.0])  # mean gap 2.0
+        report = evaluate_predictor(_Offset(), trace)
+        assert report.arrival_nrmse == pytest.approx(0.25)
+        assert report.arrival_mean_abs_error == pytest.approx(0.25)

@@ -1,8 +1,11 @@
-"""Repository hygiene: no build artefacts may be tracked by git.
+"""Repository hygiene: no build artefacts, no untested packages.
 
 Compiled bytecode is machine- and version-specific noise that bloats
 diffs and can shadow real sources; ``.gitignore`` keeps it out of new
-commits and this test keeps it from ever being re-added.
+commits and this test keeps it from ever being re-added.  The mirror
+check keeps the test tree honest: every ``src/repro/*`` package must
+have a ``tests/`` package of the same name with at least one test
+module, so a new subsystem cannot land without a home for its tests.
 """
 
 import shutil
@@ -44,3 +47,45 @@ def test_gitignore_covers_generated_artefacts():
     gitignore = (REPO_ROOT / ".gitignore").read_text()
     for pattern in ("__pycache__", "/BENCH_*.json", ".hypothesis"):
         assert pattern in gitignore, f".gitignore misses {pattern!r}"
+
+
+#: Top-level ``src/repro/*.py`` modules whose tests live in flat
+#: ``tests/test_<name>.py`` files rather than a mirror package.
+_UNMIRRORED_MODULES = {
+    "__init__": "tests/test_public_api.py",
+    "__main__": "tests/test_cli.py",
+    "cli": "tests/test_cli.py",
+    "registry": "tests/test_registry.py",
+}
+
+
+def _source_packages() -> list[Path]:
+    return sorted(
+        path
+        for path in (REPO_ROOT / "src" / "repro").iterdir()
+        if path.is_dir() and (path / "__init__.py").is_file()
+    )
+
+
+def test_every_source_package_has_a_mirror_test_package():
+    missing = []
+    for package in _source_packages():
+        mirror = REPO_ROOT / "tests" / package.name
+        if not any(mirror.glob("test_*.py")):
+            missing.append(f"{package.name} -> tests/{package.name}/")
+    assert missing == [], (
+        "source packages without a mirror tests/ package holding at "
+        f"least one test_*.py module: {missing}"
+    )
+
+
+def test_every_top_level_module_is_tested():
+    for path in sorted((REPO_ROOT / "src" / "repro").glob("*.py")):
+        covering = _UNMIRRORED_MODULES.get(path.stem)
+        assert covering is not None, (
+            f"src/repro/{path.name} has no entry in _UNMIRRORED_MODULES; "
+            "add its test file mapping (or move it into a package)"
+        )
+        assert (REPO_ROOT / covering).is_file(), (
+            f"{covering} (claimed cover of src/repro/{path.name}) is missing"
+        )
