@@ -91,11 +91,17 @@ from repro.predict import (
     evaluate_predictor,
 )
 from repro.registry import (
+    register_clock,
     register_predictor,
     register_strategy,
+    resolve_clock,
     resolve_predictor,
     resolve_strategy,
 )
+from repro.serve import Clock, VirtualClock, WallClock
+
+if False:  # pragma: no cover - typing-time only, see __getattr__ below
+    from repro.serve import AdmissionServer, ServeClient, ServeConfig
 from repro.sim import (
     SimulationConfig,
     SimulationResult,
@@ -163,8 +169,17 @@ __all__ = [
     # registry
     "resolve_strategy",
     "resolve_predictor",
+    "resolve_clock",
     "register_strategy",
     "register_predictor",
+    "register_clock",
+    # serve
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "AdmissionServer",
+    "ServeClient",
+    "ServeConfig",
     # experiments
     "RunSpec",
     "Aggregate",
@@ -197,3 +212,16 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
 ]
+
+#: Server-stack names resolved lazily (PEP 562) so ``import repro``
+#: stays free of asyncio and the daemon; the clock family above is
+#: stdlib-only and imported eagerly.
+_LAZY_SERVE = ("AdmissionServer", "ServeClient", "ServeConfig")
+
+
+def __getattr__(name: str) -> object:
+    if name in _LAZY_SERVE:
+        import repro.serve
+
+        return getattr(repro.serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -144,6 +144,7 @@ class LintConfig:
         "repro.perf",
         "repro.faults",
         "repro.obs",
+        "repro.serve",
     )
     registry_allowed_prefixes: tuple[str, ...] = (
         "repro.registry",

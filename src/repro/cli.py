@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the library's main entry points without writing
+Nine subcommands cover the library's main entry points without writing
 Python::
 
     python -m repro generate --group VT --traces 3 --requests 200 --out traces/
@@ -16,6 +16,8 @@ Python::
     python -m repro faults --sweep          # fault-sensitivity experiment
     python -m repro obs traces/vt_000.json --export-chrome trace.json \
         --summary                           # structured tracing + metrics
+    python -m repro serve --port 8787       # live admission daemon
+    python -m repro serve --smoke           # CI smoke pass of the daemon
 
 All randomness is controlled by ``--seed``; outputs are plain text (and
 JSON where noted) so runs are scriptable and diffable.
@@ -303,6 +305,58 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the metrics summary")
     obs.add_argument("--json", action="store_true",
                      help="emit digest, counts, and metrics as JSON")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the live admission daemon (repro.serve)",
+        description=(
+            "Boot the online resource-management service (DESIGN.md "
+            "§12): an asyncio daemon admitting per-tenant request "
+            "streams over a newline-delimited-JSON socket protocol, "
+            "with live metrics on the same port via GET /metrics.  "
+            "--smoke instead runs the self-contained smoke pass "
+            "(boot, drive a seeded workload, scrape metrics, clean "
+            "shutdown) and prints the throughput report."
+        ),
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8787,
+                     help="listen port (0 picks a free port)")
+    srv.add_argument("--cpus", type=int, default=5)
+    srv.add_argument("--gpus", type=int, default=1)
+    srv.add_argument("--tasks", type=int, default=20,
+                     help="task types in the service catalog")
+    srv.add_argument(
+        "--strategy", choices=strategy_names(), default="heuristic"
+    )
+    srv.add_argument(
+        "--predictor", choices=predictor_names(), default="off"
+    )
+    srv.add_argument("--mode", choices=["live", "replay"], default="live",
+                     help="live stamps wall-clock arrivals; replay "
+                     "requires declared arrivals on every frame")
+    srv.add_argument("--speed", type=float, default=1.0,
+                     help="simulation time units per wall second "
+                     "(live mode time compression)")
+    srv.add_argument("--queue-depth", type=int, default=64,
+                     help="per-tenant admission queue bound (beyond it "
+                     "requests are shed)")
+    srv.add_argument("--tenant-quota", type=int, default=None,
+                     help="max unfinished jobs per tenant "
+                     "(over-quota rejects beyond it)")
+    srv.add_argument("--lookahead", type=int, default=1)
+    srv.add_argument("--overhead", type=float, default=0.0,
+                     help="prediction overhead (simulation time units)")
+    srv.add_argument("--solver-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall budget per solve; over it the watchdog "
+                     "degrades to the heuristic fallback")
+    srv.add_argument("--smoke", action="store_true",
+                     help="run the CI smoke pass instead of serving")
+    srv.add_argument("--smoke-requests", type=int, default=100,
+                     help="requests driven through the smoke pass")
+    srv.add_argument("--json", action="store_true",
+                     help="emit the smoke report as JSON")
     return parser
 
 
@@ -729,7 +783,7 @@ def _cmd_obs(args) -> int:
         prediction_overhead=args.overhead,
         lookahead=args.lookahead,
         collect_execution_log=True,
-        trace=TraceOptions(),
+        tracer=TraceOptions(),
     )
     result = simulate(trace, platform, strategy, predictor, config)
     assert result.metrics is not None  # TraceOptions() collects metrics
@@ -778,6 +832,87 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported here so every other subcommand stays free of the server
+    # stack (and of asyncio).
+    import asyncio
+
+    from repro.serve.server import AdmissionServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        speed=args.speed,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        prediction_overhead=args.overhead,
+        lookahead=args.lookahead,
+        solver_wall_budget=args.solver_budget,
+    )
+    if args.smoke:
+        from repro.serve.smoke import run_smoke
+
+        report = run_smoke(
+            n_requests=args.smoke_requests,
+            strategy=args.strategy,
+            config=ServeConfig(
+                host=args.host,
+                port=0,
+                speed=1e6,
+                queue_depth=args.queue_depth,
+                tenant_quota=args.tenant_quota,
+                solver_wall_budget=args.solver_budget,
+            ),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"requests          : {report.requests}")
+            print(f"accepted          : {report.accepted}")
+            print(f"rejected          : {report.rejected}")
+            print(f"shed              : {report.shed}")
+            print(f"over-quota        : {report.over_quota}")
+            print(f"wall time         : {report.wall_time:.3f}s")
+            print(f"decisions/s       : {report.decisions_per_sec:.0f}")
+            print(f"metrics lines     : {report.metrics_lines}")
+            print(f"clean shutdown    : {report.clean_shutdown}")
+        healthy = (
+            report.requests == args.smoke_requests
+            and report.clean_shutdown
+            and report.metrics_lines > 0
+        )
+        return 0 if healthy else 1
+
+    platform = Platform.cpu_gpu(args.cpus, args.gpus)
+    tasks = generate_task_set(platform)[: args.tasks]
+    predictor = (
+        None if args.predictor == "off"
+        else resolve_predictor(args.predictor)
+    )
+    server = AdmissionServer(
+        platform, args.strategy, predictor, tasks=tasks, config=config
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro serve: {args.mode} mode on "
+            f"{args.host}:{server.port} "
+            f"({len(tasks)} task types, strategy={args.strategy}, "
+            f"predictor={args.predictor})"
+        )
+        print("  NDJSON admit/control frames on the socket; "
+              "GET /metrics for Prometheus text")
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -790,6 +925,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "faults": _cmd_faults,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -169,7 +169,7 @@ def run_fault_sweep(
                     resolve_predictor(predictor)
                     if predictor is not None
                     else None,
-                    SimulationConfig(faults=plan),
+                    SimulationConfig(fault_plan=plan),
                 )
                 run = simulator.run(trace)
                 rejections.append(run.rejection_percentage)

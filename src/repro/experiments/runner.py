@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import statistics
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.core.base import MappingStrategy
@@ -30,6 +30,8 @@ from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.executor import ParallelConfig
+    from repro.faults.plan import FaultPlan
+    from repro.obs.events import TraceOptions
     from repro.obs.metrics import MetricsSnapshot
 
 __all__ = [
@@ -114,7 +116,7 @@ class CellStats:
     first-attempt success, one entry per retry otherwise.
 
     ``metrics`` is the cell's :class:`~repro.obs.metrics.MetricsSnapshot`
-    when the spec ran with ``SimulationConfig(trace=TraceOptions(...))``
+    when the spec ran with ``SimulationConfig(tracer=TraceOptions(...))``
     and metrics collection on; ``None`` otherwise (DESIGN.md §11).
     """
 
@@ -242,6 +244,9 @@ def run_matrix(
     progress: Callable[[str, int, int], None] | None = None,
     parallel: "ParallelConfig | int | None" = None,
     checkpoint: str | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    tracer: "TraceOptions | None" = None,
+    verify: bool | None = None,
 ) -> dict[str, Aggregate]:
     """Run every spec over every trace.
 
@@ -256,6 +261,14 @@ def run_matrix(
     keep_results:
         Retain each :class:`SimulationResult` (memory-heavy) in addition
         to the aggregated metrics.
+    fault_plan, tracer, verify:
+        The same keyword family :func:`~repro.sim.simulator.simulate`
+        takes, applied uniformly to *every* spec's
+        :class:`~repro.sim.simulator.SimulationConfig` (a keyword given
+        here overrides the per-spec field): inject one
+        :class:`~repro.faults.plan.FaultPlan` across the sweep, collect
+        observability with one :class:`~repro.obs.events.TraceOptions`,
+        or force invariant verification matrix-wide.
     progress:
         Optional callback ``(label, trace_index, n_traces)``.  Serially
         it fires before each simulation; in parallel mode it fires as
@@ -277,6 +290,18 @@ def run_matrix(
     labels = [spec.label for spec in specs]
     if len(set(labels)) != len(labels):
         raise ValueError(f"duplicate spec labels: {labels}")
+    overrides: dict[str, object] = {}
+    if fault_plan is not None:
+        overrides["fault_plan"] = fault_plan
+    if tracer is not None:
+        overrides["tracer"] = tracer
+    if verify is not None:
+        overrides["verify"] = verify
+    if overrides:
+        specs = [
+            replace(spec, sim_config=replace(spec.sim_config, **overrides))
+            for spec in specs
+        ]
     if checkpoint is not None and parallel is None:
         raise ValueError(
             "checkpoint journaling requires the parallel executor; pass "

@@ -169,7 +169,7 @@ def run_fault_smoke(
                     if progress is not None:
                         progress(f"{label} / {scenario} / trace {index}")
                     config = SimulationConfig(
-                        verify=True, collect_records=True, faults=plan
+                        verify=True, collect_records=True, fault_plan=plan
                     )
                     simulator = Simulator(
                         platform,

@@ -5,7 +5,7 @@ The simulator and the mapping strategies accept a
 :data:`~repro.obs.events.NULL_TRACER` is disabled and makes every emit
 site a single attribute check, so an untraced run pays nothing
 measurable (the overhead contract is enforced against the PR3 bench
-baseline, see DESIGN.md §11).  With ``SimulationConfig(trace=
+baseline, see DESIGN.md §11).  With ``SimulationConfig(tracer=
 TraceOptions())`` the run collects seed-deterministic
 :class:`~repro.obs.events.SimEvent` records and a
 :class:`~repro.obs.metrics.MetricsSnapshot`, exportable as canonical

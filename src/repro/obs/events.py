@@ -226,7 +226,7 @@ class CollectingTracer(Tracer):
 
 @dataclass(frozen=True)
 class TraceOptions:
-    """What one simulation run collects (``SimulationConfig(trace=...)``).
+    """What one simulation run collects (``SimulationConfig(tracer=...)``).
 
     A small frozen value object (not a tracer instance) so simulation
     configs stay picklable through the parallel executor; the simulator
@@ -241,7 +241,7 @@ class TraceOptions:
         if not (self.events or self.metrics):
             raise ValueError(
                 "TraceOptions with events=False and metrics=False collects "
-                "nothing; pass SimulationConfig(trace=None) instead"
+                "nothing; pass SimulationConfig(tracer=None) instead"
             )
 
 

@@ -30,16 +30,21 @@ from repro.predict.base import NullPredictor, Predictor
 from repro.predict.markov import ComposedPredictor
 from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
 from repro.predict.oracle import OraclePredictor
+from repro.serve.clock import Clock, VirtualClock, WallClock
 
 __all__ = [
+    "CLOCKS",
     "STRATEGIES",
     "PREDICTORS",
     "PredictorFactory",
     "StrategyFactory",
+    "clock_names",
     "predictor_factory",
     "predictor_names",
+    "register_clock",
     "register_predictor",
     "register_strategy",
+    "resolve_clock",
     "resolve_predictor",
     "resolve_strategy",
     "strategy_factory",
@@ -60,6 +65,11 @@ _PREDICTORS: dict[str, Callable[..., Predictor]] = {
     "arrival-noise": ArrivalNoisePredictor,
 }
 
+_CLOCKS: dict[str, Callable[..., Clock]] = {
+    "virtual": VirtualClock,
+    "wall": WallClock,
+}
+
 #: Read-only views for introspection (`dict(STRATEGIES)` to copy).
 STRATEGIES: Mapping[str, Callable[..., MappingStrategy]] = MappingProxyType(
     _STRATEGIES
@@ -67,6 +77,7 @@ STRATEGIES: Mapping[str, Callable[..., MappingStrategy]] = MappingProxyType(
 PREDICTORS: Mapping[str, Callable[..., Predictor]] = MappingProxyType(
     _PREDICTORS
 )
+CLOCKS: Mapping[str, Callable[..., Clock]] = MappingProxyType(_CLOCKS)
 
 
 def strategy_names() -> list[str]:
@@ -77,6 +88,11 @@ def strategy_names() -> list[str]:
 def predictor_names() -> list[str]:
     """All registered predictor names, sorted."""
     return sorted(_PREDICTORS)
+
+
+def clock_names() -> list[str]:
+    """All registered clock names, sorted."""
+    return sorted(_CLOCKS)
 
 
 def register_strategy(
@@ -107,6 +123,18 @@ def register_predictor(
     _PREDICTORS[name] = constructor
 
 
+def register_clock(
+    name: str,
+    constructor: Callable[..., Clock],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Add a clock constructor to the registry."""
+    if name in _CLOCKS and not overwrite:
+        raise ValueError(f"clock {name!r} is already registered")
+    _CLOCKS[name] = constructor
+
+
 def resolve_strategy(name: str, **kwargs: Any) -> MappingStrategy:
     """Build a fresh strategy instance from its registry name."""
     try:
@@ -129,6 +157,21 @@ def resolve_predictor(name: str, **kwargs: Any) -> Predictor:
     except KeyError:
         raise ValueError(
             f"unknown predictor {name!r}; choose from {predictor_names()}"
+        ) from None
+    return constructor(**kwargs)
+
+
+def resolve_clock(name: str, **kwargs: Any) -> Clock:
+    """Build a fresh clock instance from its registry name.
+
+    ``kwargs`` are forwarded to the constructor (e.g. ``speed`` for the
+    wall clock, ``start`` for the virtual clock).
+    """
+    try:
+        constructor = _CLOCKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown clock {name!r}; choose from {clock_names()}"
         ) from None
     return constructor(**kwargs)
 

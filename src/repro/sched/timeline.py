@@ -334,9 +334,16 @@ class Timeline:
       timeline holding pending futures falls back to an authoritative
       :func:`build_timeline` replay, cached until the next mutation.
 
-    Mutations only mark the cache dirty; the chain is re-accumulated
-    lazily on the next query, and a non-mutating ``probe`` re-accumulates
-    only the suffix starting at the hypothetical insertion point.
+    Mutations are *suffix-dirty*: a chain edit at position ``p`` records
+    ``p`` (keeping the minimum across stacked edits) and the next query
+    re-accumulates only ``chain[p:]`` from the cached prefix finish —
+    the float-addition order is identical to a full re-accumulation, so
+    cached results stay bit-identical to :func:`build_timeline`.  Per-
+    entry miss flags (invariant: ``_miss_count == sum(_missed)`` after
+    every mutation and refresh) keep the feasibility count exact without
+    rescanning the clean prefix; future/tiny bookkeeping edits never
+    touch the chain cache at all.  A non-mutating ``probe`` likewise
+    re-accumulates only the suffix at the hypothetical insertion point.
     """
 
     __slots__ = (
@@ -346,6 +353,7 @@ class Timeline:
         "_keys",
         "_execs",
         "_finish",
+        "_missed",
         "_futures",
         "_tiny",
         "_forced_id",
@@ -353,7 +361,7 @@ class Timeline:
         "_forced_finish",
         "_forced_missed",
         "_miss_count",
-        "_dirty",
+        "_dirty_from",
         "_ref",
         "_lists",
     )
@@ -368,6 +376,7 @@ class Timeline:
         self._keys: list[tuple[float, int]] = []  # (deadline, job_id)
         self._execs: list[float] = []
         self._finish: list[float] = []
+        self._missed: list[bool] = []
         self._futures: dict[int, tuple[float, float, float]] = {}
         self._tiny: set[int] = set()
         self._forced_id: int | None = None
@@ -375,7 +384,10 @@ class Timeline:
         self._forced_finish: float | None = None
         self._forced_missed = False
         self._miss_count = 0
-        self._dirty = True
+        # First chain index whose cached finish/missed entries are stale
+        # (None = clean).  0 additionally re-derives the forced job's
+        # finish, the base of the chain.
+        self._dirty_from: int | None = 0
         self._ref: ResourceTimeline | None = None
         self._lists: tuple[list[ReadyJob], list[FutureJob]] | None = None
 
@@ -441,16 +453,24 @@ class Timeline:
         self._jobs[job_id] = (exec_time, deadline, arrival, must_run_first)
         if arrival is not None and arrival > self._start + EPS:
             self._futures[job_id] = (arrival, exec_time, deadline)
+            self._invalidate_refs()
         elif exec_time <= EPS:
             self._tiny.add(job_id)
+            self._invalidate_refs()
         elif must_run_first and not self._preemptable:
             self._forced_entry = (job_id, exec_time, deadline)
+            self._mark_chain_dirty(0)
         else:
             key = (deadline, job_id)
             pos = bisect_left(self._keys, key)
             self._keys.insert(pos, key)
             self._execs.insert(pos, exec_time)
-        self._invalidate()
+            # Placeholders keep the parallel arrays aligned; False is not
+            # counted, preserving _miss_count == sum(_missed) until the
+            # suffix refresh computes the real values.
+            self._finish.insert(pos, 0.0)
+            self._missed.insert(pos, False)
+            self._mark_chain_dirty(pos)
 
     def remove(self, job_id: int) -> None:
         """Remove one job (``KeyError`` when absent)."""
@@ -459,32 +479,50 @@ class Timeline:
             self._forced_id = None
         if job_id in self._futures:
             del self._futures[job_id]
+            self._invalidate_refs()
         elif job_id in self._tiny:
             self._tiny.discard(job_id)
+            self._invalidate_refs()
         elif (
             self._forced_entry is not None
             and self._forced_entry[0] == job_id
         ):
             self._forced_entry = None
+            self._mark_chain_dirty(0)
         else:
             pos = bisect_left(self._keys, (deadline, job_id))
             del self._keys[pos]
             del self._execs[pos]
-        self._invalidate()
+            if self._missed[pos]:
+                self._miss_count -= 1
+            del self._finish[pos]
+            del self._missed[pos]
+            self._mark_chain_dirty(pos)
 
     def clear(self) -> None:
         """Drop every job."""
         self._jobs.clear()
         self._keys.clear()
         self._execs.clear()
+        self._finish.clear()
+        self._missed.clear()
         self._futures.clear()
         self._tiny.clear()
         self._forced_id = None
         self._forced_entry = None
-        self._invalidate()
+        self._miss_count = 0
+        self._mark_chain_dirty(0)
 
-    def _invalidate(self) -> None:
-        self._dirty = True
+    def _mark_chain_dirty(self, pos: int) -> None:
+        """Chain edited at ``pos``: everything from there is stale."""
+        if self._dirty_from is None or pos < self._dirty_from:
+            self._dirty_from = pos
+        self._ref = None
+        self._lists = None
+
+    def _invalidate_refs(self) -> None:
+        """Non-chain mutation (future/tiny bookkeeping): the ready-chain
+        cache stays valid, only the reference replay is stale."""
         self._ref = None
         self._lists = None
 
@@ -499,28 +537,42 @@ class Timeline:
         return self._start + self._forced_entry[1]
 
     def _refresh(self) -> None:
-        """Re-accumulate the chain's finish times if stale (O(chain))."""
-        if not self._dirty:
+        """Re-accumulate the stale suffix of the chain (O(suffix)).
+
+        Starts from the cached prefix finish (the same partial sum a
+        full left-to-right pass would have reached), so the sequential
+        float-addition order — and with it bit-identity to
+        :func:`build_timeline` — is preserved.
+        """
+        first = self._dirty_from
+        if first is None:
             return
-        misses = 0
-        if self._forced_entry is None:
-            self._forced_finish = None
-            self._forced_missed = False
-            time = self._start
+        if first == 0:
+            if self._forced_entry is None:
+                self._forced_finish = None
+                self._forced_missed = False
+                time = self._start
+            else:
+                _job_id, exec_time, deadline = self._forced_entry
+                time = self._start + exec_time
+                self._forced_finish = time
+                self._forced_missed = time > deadline + EPS
         else:
-            _job_id, exec_time, deadline = self._forced_entry
-            time = self._start + exec_time
-            self._forced_finish = time
-            self._forced_missed = time > deadline + EPS
-        finish = []
-        for key, exec_time in zip(self._keys, self._execs, strict=True):
-            time = time + exec_time
-            finish.append(time)
-            if time > key[0] + EPS:
-                misses += 1
-        self._finish = finish
+            time = self._finish[first - 1]
+        keys = self._keys
+        execs = self._execs
+        finish = self._finish
+        missed = self._missed
+        misses = self._miss_count
+        for index in range(first, len(keys)):
+            time = time + execs[index]
+            finish[index] = time
+            miss = time > keys[index][0] + EPS
+            if miss != missed[index]:
+                misses += 1 if miss else -1
+                missed[index] = miss
         self._miss_count = misses
-        self._dirty = False
+        self._dirty_from = None
 
     # ------------------------------------------------------------------
     # Queries

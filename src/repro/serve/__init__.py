@@ -1,0 +1,80 @@
+"""Online resource-management service (live daemon) — DESIGN.md §12.
+
+Two layers live here:
+
+* :mod:`repro.serve.clock` — the dual-mode :class:`Clock` protocol
+  (:class:`VirtualClock` for discrete-event replay, :class:`WallClock`
+  for live operation).  Import-light (stdlib only): the simulator
+  depends on it, so it must not pull the server stack in.
+* the daemon itself — :mod:`repro.serve.server` (asyncio NDJSON
+  admission service), :mod:`repro.serve.protocol` (wire frames),
+  :mod:`repro.serve.depository` (Elasecutor-style per-tenant usage
+  depository), :mod:`repro.serve.client` (blocking test client) and
+  :mod:`repro.serve.smoke` (self-test driver used by CI and
+  ``repro serve --smoke``).
+
+The server stack imports :mod:`repro.sim`, which imports this package
+for the clock — so everything except the clock is loaded lazily via
+module ``__getattr__`` (PEP 562) to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.serve.clock import Clock, VirtualClock, WallClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.client import ServeClient
+    from repro.serve.depository import TenantUsage, UsageDepository
+    from repro.serve.protocol import (
+        AdmitRequest,
+        AdmitResponse,
+        ProtocolError,
+        decode_frame,
+        encode_frame,
+    )
+    from repro.serve.server import AdmissionServer, ServeConfig
+    from repro.serve.smoke import SmokeReport, run_smoke
+
+__all__ = [
+    "AdmissionServer",
+    "AdmitRequest",
+    "AdmitResponse",
+    "Clock",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "SmokeReport",
+    "TenantUsage",
+    "UsageDepository",
+    "VirtualClock",
+    "WallClock",
+    "decode_frame",
+    "encode_frame",
+    "run_smoke",
+]
+
+_LAZY = {
+    "AdmissionServer": "repro.serve.server",
+    "AdmitRequest": "repro.serve.protocol",
+    "AdmitResponse": "repro.serve.protocol",
+    "ProtocolError": "repro.serve.protocol",
+    "ServeClient": "repro.serve.client",
+    "ServeConfig": "repro.serve.server",
+    "SmokeReport": "repro.serve.smoke",
+    "TenantUsage": "repro.serve.depository",
+    "UsageDepository": "repro.serve.depository",
+    "decode_frame": "repro.serve.protocol",
+    "encode_frame": "repro.serve.protocol",
+    "run_smoke": "repro.serve.smoke",
+}
+
+
+def __getattr__(name: str) -> object:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,136 @@
+"""Blocking NDJSON client for the live admission service.
+
+A thin synchronous wrapper over one socket connection — enough for the
+test suite, the smoke driver and interactive use, without pulling
+asyncio into the caller.  One request per call; responses are read in
+order (the server pipelines per connection, so interleaving is safe as
+long as a single thread owns the client).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.serve.protocol import decode_frame as _decode_frame  # re-export aid
+from repro.serve.protocol import encode_frame
+
+__all__ = ["ServeClient", "fetch_metrics_text"]
+
+
+class ServeClient:
+    """One blocking connection to an :class:`~repro.serve.server.AdmissionServer`.
+
+    Usable as a context manager::
+
+        with ServeClient("127.0.0.1", 8787) as client:
+            response = client.admit("tenant-a", task=3, deadline=50.0)
+            assert response["status"] in ("accepted", "rejected")
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def send_raw(self, line: bytes) -> None:
+        """Ship one pre-encoded line (malformed-frame tests use this)."""
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        self._sock.sendall(line)
+
+    def read_response(self) -> dict:
+        """Block for the next response line and decode it."""
+        import json
+
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, payload: dict) -> dict:
+        """One round trip: send ``payload``, return the response."""
+        self.send_raw(encode_frame(payload))
+        return self.read_response()
+
+    # ------------------------------------------------------------------
+    # Frame helpers
+    # ------------------------------------------------------------------
+
+    def admit(
+        self,
+        tenant: str,
+        *,
+        task: int,
+        deadline: float,
+        arrival: float | None = None,
+        id: str | int | None = None,
+        final: bool = False,
+    ) -> dict:
+        payload: dict = {
+            "op": "admit",
+            "tenant": tenant,
+            "task": task,
+            "deadline": deadline,
+        }
+        if arrival is not None:
+            payload["arrival"] = arrival
+        if id is not None:
+            payload["id"] = id
+        if final:
+            payload["final"] = True
+        return self.request(payload)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def fetch_metrics_text(
+    host: str, port: int, *, timeout: float = 10.0
+) -> str:
+    """``GET /metrics`` over a fresh connection; returns the exposition
+    body (raises on a non-200 status)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            b"GET /metrics HTTP/1.1\r\nHost: repro\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks)
+    head, _, body = response.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0]
+    if b"200" not in status_line:
+        raise ConnectionError(
+            f"metrics endpoint answered {status_line.decode('latin-1')!r}"
+        )
+    return body.decode("utf-8")

@@ -1,0 +1,239 @@
+"""Wire protocol of the live admission service (newline-delimited JSON).
+
+One request per line, one JSON object per request; responses mirror the
+request's correlation ``id``.  The frame family is deliberately tiny:
+
+``admit``
+    ``{"op": "admit", "tenant": "t0", "task": 2, "deadline": 5.0}``
+    plus optional ``arrival`` (declared request time for replay
+    sessions; omitted in live sessions, where the server stamps its
+    wall clock), ``id`` (client correlation token, echoed back) and
+    ``final`` (marks the last request of a replay stream so online
+    predictors stop forecasting past the end, exactly like the
+    simulator at end-of-trace).
+``ping`` / ``metrics`` / ``stats`` / ``shutdown``
+    Control operations: liveness, a metrics snapshot, the usage
+    depository's per-tenant view, and a clean drain-and-stop.
+
+Responses are ``{"ok": true, ...}`` or, for violations of this module's
+schema, ``{"ok": false, "error": <code>, "detail": <human text>}``.
+Admission *outcomes* are not errors: a rejected or shed request gets an
+``ok`` response with ``status`` ``"rejected"`` / ``"shed"`` /
+``"over-quota"`` — backpressure is part of the service contract, not a
+failure of it.
+
+The same port speaks just enough HTTP for ``GET /metrics``: a line
+starting with ``GET `` switches the connection to a one-shot
+Prometheus-style text exposition (see
+:meth:`repro.serve.server.AdmissionServer`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "AdmitRequest",
+    "AdmitResponse",
+    "ControlRequest",
+    "ProtocolError",
+    "CONTROL_OPS",
+    "STATUSES",
+    "decode_frame",
+    "encode_frame",
+    "error_payload",
+]
+
+#: Control operations (everything except ``admit``).
+CONTROL_OPS = frozenset({"ping", "metrics", "stats", "shutdown"})
+
+#: Admission decision statuses carried by :class:`AdmitResponse`.
+STATUSES = ("accepted", "rejected", "shed", "over-quota")
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire schema.
+
+    ``code`` is a stable machine-readable identifier (returned to the
+    client in the ``error`` field); ``str(exc)`` is the human detail.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class AdmitRequest:
+    """One decoded ``admit`` frame (validated)."""
+
+    tenant: str
+    task: int
+    deadline: float
+    arrival: float | None = None
+    id: str | int | None = None
+    final: bool = False
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """One decoded control frame (``op`` in :data:`CONTROL_OPS`)."""
+
+    op: str
+    id: str | int | None = None
+
+
+def _finite_number(
+    payload: dict, key: str, *, required: bool, positive: bool = False
+) -> float | None:
+    value = payload.get(key)
+    if value is None:
+        if required:
+            raise ProtocolError(
+                "missing-field", f"admit frame needs a {key!r} number"
+            )
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            "bad-type",
+            f"{key!r} must be a number, got {type(value).__name__}",
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError("bad-value", f"{key!r} must be finite, got {value}")
+    if positive and value <= 0:
+        raise ProtocolError("bad-value", f"{key!r} must be > 0, got {value}")
+    if not positive and value < 0:
+        raise ProtocolError("bad-value", f"{key!r} must be >= 0, got {value}")
+    return value
+
+
+def decode_frame(line: str | bytes) -> AdmitRequest | ControlRequest:
+    """Parse and validate one wire line.
+
+    Raises :class:`ProtocolError` (never a raw ``json``/``KeyError``/
+    ``TypeError``) on malformed input, so the server can answer every
+    bad frame with a structured error instead of dropping the
+    connection.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("malformed-frame", f"not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("malformed-frame", f"not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "malformed-frame",
+            f"frame must be a JSON object, got {type(payload).__name__}",
+        )
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("missing-field", "frame needs an 'op' string")
+    correlation = payload.get("id")
+    if correlation is not None and not isinstance(correlation, (str, int)):
+        raise ProtocolError(
+            "bad-type",
+            f"'id' must be a string or integer, "
+            f"got {type(correlation).__name__}",
+        )
+    if op in CONTROL_OPS:
+        return ControlRequest(op=op, id=correlation)
+    if op != "admit":
+        raise ProtocolError(
+            "unknown-op",
+            f"unknown op {op!r} (expected 'admit' or one of "
+            f"{sorted(CONTROL_OPS)})",
+        )
+    tenant = payload.get("tenant")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(
+            "missing-field", "admit frame needs a non-empty 'tenant' string"
+        )
+    task = payload.get("task")
+    if isinstance(task, bool) or not isinstance(task, int):
+        raise ProtocolError(
+            "bad-type",
+            f"'task' must be an integer type id, "
+            f"got {type(task).__name__}",
+        )
+    if task < 0:
+        raise ProtocolError("bad-value", f"'task' must be >= 0, got {task}")
+    deadline = _finite_number(payload, "deadline", required=True, positive=True)
+    arrival = _finite_number(payload, "arrival", required=False)
+    final = payload.get("final", False)
+    if not isinstance(final, bool):
+        raise ProtocolError(
+            "bad-type",
+            f"'final' must be a boolean, got {type(final).__name__}",
+        )
+    assert deadline is not None
+    return AdmitRequest(
+        tenant=tenant,
+        task=task,
+        deadline=deadline,
+        arrival=arrival,
+        id=correlation,
+        final=final,
+    )
+
+
+@dataclass(frozen=True)
+class AdmitResponse:
+    """One admission decision, as sent back to the client."""
+
+    status: str
+    tenant: str
+    job_id: int | None = None
+    decision_time: float | None = None
+    used_prediction: bool = False
+    solver_calls: int = 0
+    id: str | int | None = None
+    detail: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"status must be one of {STATUSES}, got {self.status!r}"
+            )
+
+    def to_payload(self) -> dict:
+        payload: dict = {
+            "ok": True,
+            "op": "admit",
+            "status": self.status,
+            "tenant": self.tenant,
+        }
+        if self.id is not None:
+            payload["id"] = self.id
+        if self.job_id is not None:
+            payload["job_id"] = self.job_id
+        if self.decision_time is not None:
+            payload["decision_time"] = self.decision_time
+        if self.status == "accepted":
+            payload["used_prediction"] = self.used_prediction
+        if self.solver_calls:
+            payload["solver_calls"] = self.solver_calls
+        if self.detail is not None:
+            payload["detail"] = self.detail
+        return payload
+
+
+def error_payload(
+    code: str, detail: str, *, id: str | int | None = None
+) -> dict:
+    """The structured-reject body for one bad frame."""
+    payload: dict = {"ok": False, "error": code, "detail": detail}
+    if id is not None:
+        payload["id"] = id
+    return payload
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise one response as an NDJSON line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")

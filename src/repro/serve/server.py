@@ -1,0 +1,832 @@
+"""The live admission daemon: the simulator's engine behind a socket.
+
+One :class:`AdmissionEngine` holds exactly the objects a
+:class:`~repro.sim.simulator.Simulator` run holds — a
+:class:`~repro.sim.state.PlatformState`, an
+:class:`~repro.core.admission.AdmissionController` over a registry
+strategy, an (optional) predictor — but consumes an *open-ended* stream
+of per-tenant requests instead of a finite
+:class:`~repro.workload.trace.Trace`.  Its decision path mirrors the
+simulator's step for step (decision time, prediction overhead,
+``S-bar`` construction, mapping application), which is what the
+sim/live parity suite pins: the same declared-arrival stream produces
+the same accept/reject sequence through either front end.
+
+:class:`AdmissionServer` wraps the engine in an asyncio daemon speaking
+the NDJSON protocol of :mod:`repro.serve.protocol`:
+
+* per-tenant bounded admission queues — a tenant whose backlog is full
+  gets an explicit ``"shed"`` response instead of unbounded buffering;
+* per-tenant active-job quotas — ``"over-quota"`` structured rejects;
+* live degradation via the PR-4 fault machinery: the strategy can be
+  wrapped in a :class:`~repro.faults.watchdog.SolverWatchdog`
+  (``solver_wall_budget``), predictor misbehaviour degrades to the
+  paper's no-prediction path, and every degradation is counted;
+* an Elasecutor-style :class:`~repro.serve.depository.UsageDepository`
+  that scores forecasts against actual arrivals and triggers a
+  reprovision pass (prediction cooldown + re-solve of the active
+  mapping) when the windowed error rate crosses its threshold;
+* live :class:`~repro.obs.metrics.MetricsRegistry` export — the
+  ``metrics`` control op returns a snapshot, and a plain
+  ``GET /metrics`` on the same port answers with a Prometheus-style
+  text exposition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.admission import AdmissionController
+from repro.core.base import MappingStrategy
+from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
+from repro.model.platform import Platform
+from repro.model.request import PredictedRequest, Request
+from repro.model.task import TaskType
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.predict.base import NullPredictor, Predictor
+from repro.serve.clock import Clock, VirtualClock, WallClock
+from repro.serve.depository import UsageDepository
+from repro.serve.protocol import (
+    AdmitRequest,
+    AdmitResponse,
+    ControlRequest,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_payload,
+)
+from repro.sim.state import PlatformState
+
+__all__ = [
+    "AdmissionEngine",
+    "AdmissionServer",
+    "RequestLog",
+    "ServeConfig",
+    "prometheus_exposition",
+]
+
+_HISTOGRAM_BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service knobs (the live analogue of ``SimulationConfig``).
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port 0 picks a free port (``AdmissionServer.port``
+        reports the actual one after :meth:`AdmissionServer.start`).
+    mode:
+        ``"live"`` stamps undeclared arrivals from a
+        :class:`~repro.serve.clock.WallClock` scaled by ``speed``;
+        ``"replay"`` runs a :class:`~repro.serve.clock.VirtualClock` and
+        requires every admit frame to declare its arrival — the mode the
+        parity suite uses to compare against ``simulate()``.
+    speed:
+        Simulation time units per wall second in live mode (time
+        compression; ignored in replay mode).
+    queue_depth:
+        Per-tenant bound on requests queued for dispatch; the excess is
+        shed with an explicit response (backpressure, not buffering).
+    dispatch_depth:
+        Global bound on the dispatch queue across all tenants.
+    tenant_quota:
+        Maximum unfinished admitted jobs one tenant may hold; admits
+        beyond it get a structured ``"over-quota"`` reject.  ``None``
+        disables quotas.
+    prediction_overhead, lookahead, charge_unstarted_migration:
+        Exactly the :class:`~repro.sim.simulator.SimulationConfig`
+        semantics, applied per live activation.
+    solver_wall_budget:
+        Optional wall-clock budget (seconds) per primary solve; set, it
+        wraps the strategy in an enforcing
+        :class:`~repro.faults.watchdog.SolverWatchdog` over
+        ``solver_fallback``.
+    error_window, error_threshold, min_observations:
+        Forwarded to the :class:`~repro.serve.depository.UsageDepository`
+        reprovision trigger.
+    reprovision_cooldown:
+        Decisions after a reprovision pass during which predictions are
+        suppressed (the no-prediction fallback path).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    mode: str = "live"
+    speed: float = 1.0
+    queue_depth: int = 64
+    dispatch_depth: int = 1024
+    tenant_quota: int | None = None
+    prediction_overhead: float = 0.0
+    lookahead: int = 1
+    charge_unstarted_migration: bool = False
+    solver_wall_budget: float | None = None
+    solver_fallback: str = "heuristic"
+    error_window: int = 32
+    error_threshold: float = 0.5
+    min_observations: int = 8
+    reprovision_cooldown: int = 16
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("live", "replay"):
+            raise ValueError(
+                f"mode must be 'live' or 'replay', got {self.mode!r}"
+            )
+        if self.speed <= 0:
+            raise ValueError(f"speed must be > 0, got {self.speed}")
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ValueError(
+                f"tenant_quota must be >= 1, got {self.tenant_quota}"
+            )
+        if self.lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {self.lookahead}")
+        if self.prediction_overhead < 0:
+            raise ValueError(
+                "prediction_overhead must be >= 0, "
+                f"got {self.prediction_overhead}"
+            )
+
+    def make_clock(self) -> Clock:
+        """The clock implied by the mode."""
+        if self.mode == "replay":
+            return VirtualClock()
+        return WallClock(speed=self.speed)
+
+
+class RequestLog:
+    """The live stream's stand-in for a :class:`~repro.workload.trace.Trace`.
+
+    Online predictors consume a trace *prefix*; the log grows one
+    admitted-or-rejected request at a time and presents itself one
+    longer than what has arrived (``len = observed + 1``), so
+    :meth:`~repro.predict.base.OnlinePredictor.predict` at the newest
+    index forecasts the next, still-unseen request.  A ``final`` frame
+    closes the log, after which the length is exact and predictors
+    return ``None`` at the tail — byte-for-byte the simulator's
+    end-of-trace behaviour (the hinge of the parity tests).
+
+    Oracle-style predictors that read ``trace[index + 1]`` ground truth
+    simply raise ``IndexError`` here; the engine degrades that to the
+    no-prediction path, so configuring an emulated predictor on a live
+    server is safe but pointless.
+    """
+
+    def __init__(self, tasks: Sequence[TaskType]) -> None:
+        if not tasks:
+            raise ValueError("the service catalog needs at least one task")
+        self.tasks = tuple(tasks)
+        self.requests: list[Request] = []
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def n_resources(self) -> int:
+        return self.tasks[0].n_resources
+
+    def append(self, request: Request) -> None:
+        if self._closed:
+            raise RuntimeError("request log is closed (a 'final' frame "
+                               "already ended the stream)")
+        self.requests.append(request)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def task_of(self, request: Request) -> TaskType:
+        return self.tasks[request.type_id]
+
+    def __len__(self) -> int:
+        return len(self.requests) + (0 if self._closed else 1)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> Request:
+        return self.requests[index]
+
+
+class AdmissionEngine:
+    """The synchronous decision core shared by server and smoke driver.
+
+    Mirrors ``Simulator._run``'s per-arrival step on an open-ended
+    stream; see the module docstring for the parity contract.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        strategy: MappingStrategy,
+        predictor: Predictor | None,
+        tasks: Sequence[TaskType],
+        config: ServeConfig,
+        *,
+        clock: Clock | None = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config
+        self.clock = clock if clock is not None else config.make_clock()
+        self.strategy = strategy
+        self.predictor = predictor or NullPredictor()
+        self.predictor.reset()
+        self._admission = AdmissionController(strategy)
+        self.state = PlatformState(
+            platform,
+            charge_unstarted_migration=config.charge_unstarted_migration,
+            clock=self.clock,
+        )
+        self.log = RequestLog(tasks)
+        self.metrics = MetricsRegistry()
+        self.depository = UsageDepository(
+            error_window=config.error_window,
+            error_threshold=config.error_threshold,
+            min_observations=config.min_observations,
+        )
+        self.decisions = 0
+        self._job_tenants: dict[int, str] = {}
+        self._last_arrival = 0.0
+        self._pending_forecast: PredictedRequest | None = None
+        self._cooldown = 0
+
+    @property
+    def prediction_enabled(self) -> bool:
+        return not isinstance(self.predictor, NullPredictor)
+
+    @property
+    def catalog(self) -> tuple[TaskType, ...]:
+        return self.log.tasks
+
+    # ------------------------------------------------------------------
+    # Decision path
+    # ------------------------------------------------------------------
+
+    def decide(self, frame: AdmitRequest) -> AdmitResponse:
+        """Make one admission decision (dispatcher thread/task only)."""
+        if not 0 <= frame.task < len(self.catalog):
+            raise ValueError(
+                f"task {frame.task} outside the service catalog "
+                f"(0..{len(self.catalog) - 1})"
+            )
+        arrival = frame.arrival
+        if arrival is None:
+            arrival = self.clock.now()
+        # The stream is totally ordered by the dispatcher; a stale wall
+        # reading or out-of-order declaration never moves time backwards.
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
+
+        if self._cooldown > 0:
+            self._cooldown -= 1
+        decision_time = max(arrival, self.state.time)
+        self._complete(self.state.advance(decision_time))
+
+        # Quota is judged *after* execution catches up to the arrival, so
+        # jobs that finished in the meantime free their slots first.
+        quota = self.config.tenant_quota
+        if (
+            quota is not None
+            and self.depository.active_jobs(frame.tenant) >= quota
+        ):
+            return self._refuse(
+                frame,
+                "over-quota",
+                detail=(
+                    f"tenant {frame.tenant!r} holds "
+                    f"{self.depository.active_jobs(frame.tenant)} active "
+                    f"job(s), quota is {quota}"
+                ),
+            )
+
+        index = len(self.log.requests)
+        request = Request(
+            index=index,
+            arrival=arrival,
+            type_id=frame.task,
+            deadline=frame.deadline,
+        )
+        forecast = self._pending_forecast
+        if forecast is not None:
+            self.depository.score_forecast(
+                predicted_type=forecast.type_id,
+                actual_type=request.type_id,
+                predicted_arrival=forecast.arrival,
+                actual_arrival=request.arrival,
+            )
+            self._pending_forecast = None
+        self.log.append(request)
+        if frame.final:
+            self.log.close()
+
+        predictions = self._safe_predictions(index, decision_time)
+        if self.prediction_enabled and self.config.prediction_overhead > 0:
+            decision_time += self.config.prediction_overhead
+            self._complete(self.state.advance(decision_time))
+
+        new_task = PlannedTask(
+            job_id=request.index,
+            task=self.catalog[request.type_id],
+            absolute_deadline=request.absolute_deadline,
+        )
+        tasks = [*self.state.active_views(), new_task]
+        tasks.extend(
+            self._predicted_view(p, decision_time, offset)
+            for offset, p in enumerate(predictions)
+        )
+        context = RMContext(
+            time=decision_time,
+            platform=self.platform,
+            tasks=tuple(tasks),
+            charge_unstarted_migration=(
+                self.config.charge_unstarted_migration
+            ),
+            down_resources=frozenset(self.state.down),
+        )
+        outcome = self._admission.decide(context)
+        self._drain_degradations()
+        if outcome.admitted:
+            assert outcome.decision is not None
+            self.state.admit(request, self.catalog[request.type_id])
+            self.state.apply_mapping(
+                {
+                    job_id: resource
+                    for job_id, resource in outcome.decision.mapping.items()
+                    if job_id < PREDICTED_JOB_ID
+                }
+            )
+            self._job_tenants[request.index] = frame.tenant
+            status = "accepted"
+        else:
+            status = "rejected"
+        if predictions:
+            self._pending_forecast = predictions[0]
+
+        self.decisions += 1
+        self.depository.record_decision(frame.tenant, status, decision_time)
+        self._record_metrics(status, decision_time - arrival, outcome)
+        self._maybe_reprovision(decision_time)
+        return AdmitResponse(
+            status=status,
+            tenant=frame.tenant,
+            job_id=request.index,
+            decision_time=decision_time,
+            used_prediction=outcome.used_prediction,
+            solver_calls=outcome.solver_calls,
+            id=frame.id,
+        )
+
+    def record_shed(
+        self, tenant: str, correlation: str | int | None = None
+    ) -> AdmitResponse:
+        """A request refused at the door because the tenant's queue is
+        full (counted like any decision, but the solver never runs)."""
+        frame = AdmitRequest(
+            tenant=tenant, task=0, deadline=1.0, id=correlation
+        )
+        return self._refuse(
+            frame, "shed", detail="per-tenant admission queue is full"
+        )
+
+    def _refuse(
+        self, frame: AdmitRequest, status: str, *, detail: str
+    ) -> AdmitResponse:
+        decision_time = self.state.time
+        self.decisions += 1
+        self.depository.record_decision(frame.tenant, status, decision_time)
+        self._record_metrics(status, 0.0, None)
+        return AdmitResponse(
+            status=status,
+            tenant=frame.tenant,
+            decision_time=decision_time,
+            id=frame.id,
+            detail=detail,
+        )
+
+    def drain(self) -> int:
+        """Run the platform to completion (shutdown path); returns how
+        many jobs finished during the drain."""
+        completed = self.state.advance(self.state.completion_horizon())
+        self._complete(completed)
+        return len(completed)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _complete(self, jobs: list) -> None:
+        for job in jobs:
+            tenant = self._job_tenants.pop(job.job_id, None)
+            if tenant is not None:
+                self.depository.record_completion(tenant)
+            self.metrics.inc("serve/completed")
+
+    def _safe_predictions(
+        self, index: int, decision_time: float
+    ) -> list[PredictedRequest]:
+        """Query the predictor, degrading any fault to no-prediction
+        (the simulator's ``_safe_predictions`` for a live stream)."""
+        if not self.prediction_enabled or self._cooldown > 0:
+            return []
+        try:
+            predictions = list(
+                self.predictor.predict_horizon(
+                    self.log, index, self.config.lookahead
+                )
+            )
+        except Exception:  # noqa: BLE001 - degrade, don't die
+            self.metrics.inc("serve/degradations")
+            return []
+        valid: list[PredictedRequest] = []
+        for prediction in predictions:
+            if (
+                0 <= prediction.type_id < len(self.catalog)
+                and math.isfinite(prediction.arrival)
+                and math.isfinite(prediction.deadline)
+                and prediction.deadline > 0
+            ):
+                valid.append(prediction)
+            else:
+                self.metrics.inc("serve/degradations")
+        return valid
+
+    def _predicted_view(
+        self,
+        prediction: PredictedRequest,
+        decision_time: float,
+        offset: int = 0,
+    ) -> PlannedTask:
+        arrival = max(prediction.arrival, decision_time)
+        return PlannedTask(
+            job_id=PREDICTED_JOB_ID + offset,
+            task=self.catalog[prediction.type_id],
+            absolute_deadline=arrival + prediction.deadline,
+            is_predicted=True,
+            arrival=arrival,
+        )
+
+    def _drain_degradations(self) -> None:
+        drain = getattr(self._admission.strategy, "drain_events", None)
+        if drain is None:
+            return
+        for _kind, _detail in drain():
+            self.metrics.inc("serve/degradations")
+
+    def _record_metrics(
+        self, status: str, latency: float, outcome: object
+    ) -> None:
+        self.metrics.inc("serve/requests")
+        self.metrics.inc(f"serve/{status.replace('-', '_')}")
+        if outcome is not None:
+            self.metrics.inc("solver/calls", outcome.solver_calls)
+        self.metrics.observe(
+            "serve/decision_latency", latency, bounds=_HISTOGRAM_BOUNDS
+        )
+        self.metrics.gauge_max(
+            "serve/peak_active_jobs", float(len(self.state.jobs))
+        )
+
+    def _maybe_reprovision(self, decision_time: float) -> None:
+        """Elasecutor-style reaction to sustained prediction error: cool
+        the predictor down and re-solve the active mapping."""
+        if self._cooldown > 0 or not self.depository.should_reprovision():
+            return
+        self._cooldown = self.config.reprovision_cooldown
+        self.depository.mark_reprovisioned()
+        self.metrics.inc("serve/reprovisions")
+        if not self.state.jobs:
+            return
+        context = RMContext(
+            time=decision_time,
+            platform=self.platform,
+            tasks=tuple(self.state.active_views()),
+            charge_unstarted_migration=(
+                self.config.charge_unstarted_migration
+            ),
+            down_resources=frozenset(self.state.down),
+        )
+        outcome = self._admission.remap(context)
+        self._drain_degradations()
+        if outcome.admitted and outcome.decision is not None:
+            self.state.apply_mapping(
+                {
+                    job_id: resource
+                    for job_id, resource in outcome.decision.mapping.items()
+                    if job_id < PREDICTED_JOB_ID
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def stats(self) -> dict:
+        return {
+            "mode": self.config.mode,
+            "time": self.state.time,
+            "clock": self.clock.now(),
+            "decisions": self.decisions,
+            "active_jobs": len(self.state.jobs),
+            "depository": self.depository.snapshot(),
+        }
+
+
+def prometheus_exposition(snapshot: MetricsSnapshot) -> str:
+    """Render one metrics snapshot as Prometheus text exposition.
+
+    Metric names are mangled ``serve/accepted`` → ``repro_serve_accepted``;
+    histograms expose cumulative ``_bucket{le=...}`` plus ``_sum`` and
+    ``_count`` series, counters and gauges one sample each.
+    """
+
+    def mangle(name: str) -> str:
+        return "repro_" + name.replace("/", "_").replace("-", "_")
+
+    lines: list[str] = []
+    for name, value in snapshot.counters.items():
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.gauges.items():
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, histogram in snapshot.histograms.items():
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(
+            histogram.bounds, histogram.counts, strict=False
+        ):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += histogram.counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {histogram.total}")
+        lines.append(f"{metric}_count {cumulative}")
+    return "\n".join(lines) + "\n"
+
+
+_STOP = object()
+
+
+class AdmissionServer:
+    """The asyncio daemon (see module docstring).
+
+    ``strategy`` and ``predictor`` accept instances or registry names,
+    exactly like :class:`~repro.sim.simulator.Simulator`.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        strategy: MappingStrategy | str,
+        predictor: Predictor | str | None = None,
+        *,
+        tasks: Sequence[TaskType],
+        config: ServeConfig | None = None,
+    ) -> None:
+        config = config or ServeConfig()
+        if isinstance(strategy, str) or isinstance(predictor, str):
+            from repro.registry import resolve_predictor, resolve_strategy
+
+            if isinstance(strategy, str):
+                strategy = resolve_strategy(strategy)
+            if isinstance(predictor, str):
+                predictor = resolve_predictor(predictor)
+        if config.solver_wall_budget is not None:
+            from repro.faults.watchdog import SolverWatchdog
+            from repro.registry import resolve_strategy
+
+            strategy = SolverWatchdog(
+                strategy,
+                resolve_strategy(config.solver_fallback),
+                wall_budget=config.solver_wall_budget,
+                enforce_budget=True,
+            )
+        self.config = config
+        self.engine = AdmissionEngine(
+            platform, strategy, predictor, tasks, config
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatch: asyncio.Queue = asyncio.Queue(
+            maxsize=config.dispatch_depth
+        )
+        self._pending: dict[str, int] = {}
+        self._dispatcher: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start dispatching (returns immediately)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def request_shutdown(self) -> None:
+        """Begin a clean shutdown (idempotent)."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`),
+        then drain queued work and the platform, and close."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        await self._dispatch.put((_STOP, None))
+        assert self._dispatcher is not None
+        await self._dispatcher
+        self.engine.drain()
+
+    async def run(self) -> None:
+        """Start and serve until shutdown (the CLI entry point)."""
+        await self.start()
+        await self.serve_until_shutdown()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            frame, future = await self._dispatch.get()
+            if frame is _STOP:
+                break
+            try:
+                payload = self.engine.decide(frame).to_payload()
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                self.engine.metrics.inc("serve/errors")
+                payload = error_payload(
+                    "internal-error",
+                    f"{type(exc).__name__}: {exc}",
+                    id=frame.id,
+                )
+            self._pending[frame.tenant] -= 1
+            if not future.done():
+                future.set_result(payload)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if line.startswith(b"GET "):
+                await self._serve_http(line, reader, writer)
+                return
+            responses: asyncio.Queue = asyncio.Queue()
+            pump = asyncio.create_task(self._response_pump(responses, writer))
+            try:
+                while line:
+                    await self._handle_line(line, responses)
+                    if self._shutdown.is_set():
+                        break
+                    line = await reader.readline()
+            finally:
+                await responses.put(_STOP)
+                await pump
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _response_pump(
+        self, responses: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        """Write responses in request order while the reader keeps
+        reading — per-connection pipelining."""
+        while True:
+            item = await responses.get()
+            if item is _STOP:
+                return
+            payload = await item if isinstance(item, asyncio.Future) else item
+            writer.write(encode_frame(payload))
+            await writer.drain()
+
+    async def _handle_line(
+        self, line: bytes, responses: asyncio.Queue
+    ) -> None:
+        stripped = line.strip()
+        if not stripped:
+            return
+        try:
+            frame = decode_frame(stripped)
+        except ProtocolError as exc:
+            self.engine.metrics.inc("serve/protocol_errors")
+            await responses.put(error_payload(exc.code, str(exc)))
+            return
+        if isinstance(frame, ControlRequest):
+            await responses.put(self._control(frame))
+            return
+        if not 0 <= frame.task < len(self.engine.catalog):
+            await responses.put(
+                error_payload(
+                    "bad-value",
+                    f"task {frame.task} outside the service catalog "
+                    f"(0..{len(self.engine.catalog) - 1})",
+                    id=frame.id,
+                )
+            )
+            return
+        if self.config.mode == "replay" and frame.arrival is None:
+            await responses.put(
+                error_payload(
+                    "missing-field",
+                    "replay sessions must declare 'arrival' on every "
+                    "admit frame",
+                    id=frame.id,
+                )
+            )
+            return
+        pending = self._pending.get(frame.tenant, 0)
+        if pending >= self.config.queue_depth:
+            shed = self.engine.record_shed(frame.tenant, frame.id)
+            await responses.put(shed.to_payload())
+            return
+        self._pending[frame.tenant] = pending + 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._dispatch.put((frame, future))
+        await responses.put(future)
+
+    def _control(self, frame: ControlRequest) -> dict:
+        if frame.op == "ping":
+            payload: dict = {
+                "ok": True,
+                "op": "pong",
+                "time": self.engine.state.time,
+            }
+        elif frame.op == "metrics":
+            payload = {
+                "ok": True,
+                "op": "metrics",
+                "metrics": self.engine.metrics_snapshot().to_dict(),
+            }
+        elif frame.op == "stats":
+            payload = {"ok": True, "op": "stats", **self.engine.stats()}
+        else:  # shutdown
+            self.request_shutdown()
+            payload = {"ok": True, "op": "shutdown"}
+        if frame.id is not None:
+            payload["id"] = frame.id
+        return payload
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One-shot ``GET /metrics`` (anything else is a 404)."""
+        while True:  # drain the header block
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        target = request_line.split()[1].decode("latin-1")
+        if target in ("/metrics", "/metrics/"):
+            body = prometheus_exposition(self.engine.metrics_snapshot())
+            status = "200 OK"
+        else:
+            body = f"not found: {target}\n"
+            status = "404 Not Found"
+        payload = body.encode("utf-8")
+        writer.write(
+            (
+                f"HTTP/1.1 {status}\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + payload
+        )
+        await writer.drain()

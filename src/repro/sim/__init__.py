@@ -6,7 +6,7 @@ abort-restarts, energy dissipation and prediction overhead;
 :class:`~repro.sim.result.SimulationResult` carries the paper's metrics
 (rejection percentage, normalised energy).
 
-Passing ``SimulationConfig(trace=TraceOptions())`` additionally collects
+Passing ``SimulationConfig(tracer=TraceOptions())`` additionally collects
 the structured event stream and metrics snapshot of :mod:`repro.obs`
 (re-exported here for convenience; see DESIGN.md §11).
 """

@@ -21,8 +21,9 @@ enforced by admission); the simulator asserts this invariant and raises
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.core.admission import AdmissionController
@@ -40,6 +41,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.predict.base import NullPredictor, Predictor
+from repro.serve.clock import Clock
 from repro.sim.result import ActivationRecord, SimulationResult
 from repro.sim.state import PlatformState
 from repro.util.validation import check_non_negative
@@ -84,14 +86,14 @@ class SimulationConfig:
         :class:`~repro.analysis.invariants.VerificationReport` to the
         result, a dirty one raises
         :class:`~repro.analysis.invariants.VerificationError`.
-    faults:
+    fault_plan:
         Optional :class:`~repro.faults.plan.FaultPlan` injected into the
         run: the trace is perturbed, resources go down and come back,
         predictor and solver faults degrade to the no-prediction /
         fallback paths, and every degradation is recorded on the result
         (DESIGN.md §10).  ``None`` (the default) is the clean run —
         bit-identical to a run with an empty plan.
-    trace:
+    tracer:
         Optional :class:`~repro.obs.events.TraceOptions` enabling the
         observability layer (DESIGN.md §11): the run collects a
         structured :class:`~repro.obs.events.SimEvent` stream and/or a
@@ -99,6 +101,20 @@ class SimulationConfig:
         ``None`` (the default) traces nothing and stays within noise of
         an untraced build (the NullTracer overhead contract).  Tracing
         never changes simulation behaviour — only what is recorded.
+    clock:
+        Optional :class:`~repro.serve.clock.Clock` the run keeps in step
+        with platform progress (DESIGN.md §12).  ``None`` (the default)
+        gives each run a private
+        :class:`~repro.serve.clock.VirtualClock`.  The simulator is the
+        virtual-clock mode of the shared engine: the clock observes
+        simulation time, it never drives decisions, so results are
+        clock-independent (and bit-identical to the pre-``Clock`` code).
+
+    .. deprecated::
+        The ``faults=`` and ``trace=`` keywords (and the matching read
+        properties) are deprecated aliases of ``fault_plan=`` /
+        ``tracer=``; they emit :class:`DeprecationWarning` and will be
+        removed after one release cycle.
     """
 
     prediction_overhead: float = 0.0
@@ -107,13 +123,77 @@ class SimulationConfig:
     lookahead: int = 1
     collect_execution_log: bool = False
     verify: bool = False
-    faults: "FaultPlan | None" = None
-    trace: TraceOptions | None = None
+    fault_plan: "FaultPlan | None" = None
+    tracer: TraceOptions | None = None
+    clock: Clock | None = None
 
     def __post_init__(self) -> None:
         check_non_negative("prediction_overhead", self.prediction_overhead)
         if self.lookahead < 1:
             raise ValueError(f"lookahead must be >= 1, got {self.lookahead}")
+
+    @property
+    def faults(self) -> "FaultPlan | None":
+        """Deprecated alias of :attr:`fault_plan`."""
+        warnings.warn(
+            "SimulationConfig.faults is deprecated; use .fault_plan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.fault_plan
+
+    @property
+    def trace(self) -> TraceOptions | None:
+        """Deprecated alias of :attr:`tracer`."""
+        warnings.warn(
+            "SimulationConfig.trace is deprecated; use .tracer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.tracer
+
+
+_CONFIG_INIT = SimulationConfig.__init__
+_UNSET = object()
+
+
+def _config_compat_init(
+    self: SimulationConfig,
+    *args: object,
+    faults: object = _UNSET,
+    trace: object = _UNSET,
+    **kwargs: object,
+) -> None:
+    """Accept the pre-rename keywords with a :class:`DeprecationWarning`.
+
+    Installed over the dataclass-generated ``__init__`` so frozen-field
+    semantics, ``__eq__``/``__repr__`` and ``dataclasses.replace`` (which
+    only sees the canonical field names) are untouched.
+    """
+    if faults is not _UNSET:
+        warnings.warn(
+            "SimulationConfig(faults=...) is deprecated; "
+            "use SimulationConfig(fault_plan=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if "fault_plan" in kwargs:
+            raise TypeError("pass fault_plan= or faults=, not both")
+        kwargs["fault_plan"] = faults
+    if trace is not _UNSET:
+        warnings.warn(
+            "SimulationConfig(trace=...) is deprecated; "
+            "use SimulationConfig(tracer=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if "tracer" in kwargs:
+            raise TypeError("pass tracer= or trace=, not both")
+        kwargs["tracer"] = trace
+    _CONFIG_INIT(self, *args, **kwargs)  # type: ignore[arg-type]
+
+
+SimulationConfig.__init__ = _config_compat_init  # type: ignore[method-assign]
 
 
 class Simulator:
@@ -154,13 +234,13 @@ class Simulator:
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate one trace end-to-end and return the metrics.
 
-        With ``SimulationConfig(trace=TraceOptions())`` the run also
+        With ``SimulationConfig(tracer=TraceOptions())`` the run also
         collects the structured event stream and metrics snapshot onto
         the result (DESIGN.md §11); the tracer is installed on the
         strategy and admission controller only for the duration of this
         call, so untraced runs through the same objects stay clean.
         """
-        options = self.config.trace
+        options = self.config.tracer
         if options is None:
             return self._run(trace, NULL_TRACER, None)
         tracer: Tracer = CollectingTracer() if options.events else NULL_TRACER
@@ -186,7 +266,7 @@ class Simulator:
         tracer: Tracer,
         metrics: MetricsRegistry | None,
     ) -> SimulationResult:
-        plan = self.config.faults
+        plan = self.config.fault_plan
         if plan is not None and plan.trace_faults:
             trace = plan.perturb_trace(trace)
         if trace.n_resources != self.platform.size:
@@ -202,6 +282,7 @@ class Simulator:
                 self.config.collect_execution_log or self.config.verify
             ),
             tracer=tracer,
+            clock=self.config.clock,
         )
         result = SimulationResult(
             n_requests=len(trace), energy_demand=trace.stats().energy_demand
@@ -583,7 +664,7 @@ class Simulator:
         result: SimulationResult,
         tracer: Tracer,
     ) -> list[PredictedRequest]:
-        plan = self.config.faults
+        plan = self.config.fault_plan
         injected = (
             plan.predictor_fault_at(decision_time)
             if plan is not None and self.prediction_enabled
@@ -709,7 +790,7 @@ class Simulator:
             self.platform,
             result,
             expected_overhead=overhead,
-            faults=self.config.faults,
+            faults=self.config.fault_plan,
         )
         result.verification = report
         if not self.config.collect_execution_log:
@@ -745,11 +826,37 @@ def simulate(
     strategy: MappingStrategy | str,
     predictor: Predictor | str | None = None,
     config: SimulationConfig | None = None,
+    *,
+    fault_plan: "FaultPlan | None" = None,
+    tracer: TraceOptions | None = None,
+    verify: bool | None = None,
+    clock: Clock | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`.
 
     ``strategy`` and ``predictor`` may be registry names::
 
         simulate(trace, platform, "heuristic", "oracle")
+
+    The common :class:`SimulationConfig` knobs are also accepted directly
+    (the same keyword family :func:`~repro.experiments.runner.run_matrix`
+    takes)::
+
+        simulate(trace, platform, "heuristic", "oracle",
+                 fault_plan=plan, tracer=TraceOptions(), verify=True)
+
+    A keyword given here overrides the corresponding field of ``config``.
     """
+    config = config or SimulationConfig()
+    overrides: dict[str, object] = {}
+    if fault_plan is not None:
+        overrides["fault_plan"] = fault_plan
+    if tracer is not None:
+        overrides["tracer"] = tracer
+    if verify is not None:
+        overrides["verify"] = verify
+    if clock is not None:
+        overrides["clock"] = clock
+    if overrides:
+        config = replace(config, **overrides)
     return Simulator(platform, strategy, predictor, config).run(trace)

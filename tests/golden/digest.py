@@ -86,6 +86,6 @@ def event_digest(
         platform,
         strategy,
         predictor,
-        SimulationConfig(trace=TraceOptions()),
+        SimulationConfig(tracer=TraceOptions()),
     )
     return event_stream_digest(result.events)

@@ -24,6 +24,7 @@ COVERED_COMMANDS = {
     "analyze",
     "faults",
     "obs",
+    "serve",
 }
 
 
@@ -200,3 +201,22 @@ class TestObsSmoke:
         # The same CLI invocation is byte-reproducible.
         assert main(argv) == 0
         assert json.loads(capsys.readouterr().out) == payload
+
+
+class TestServeSmoke:
+    def test_smoke_reports_throughput(self, capsys):
+        code = main(
+            ["serve", "--smoke", "--smoke-requests", "50", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests"] == 50
+        assert report["clean_shutdown"] is True
+        assert report["metrics_lines"] > 0
+
+    def test_smoke_human_output(self, capsys):
+        code = main(["serve", "--smoke", "--smoke-requests", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decisions/s" in out
+        assert "clean shutdown    : True" in out

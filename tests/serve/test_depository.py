@@ -1,0 +1,133 @@
+"""Usage depository: per-tenant aggregation and the reprovision trigger."""
+
+import pytest
+
+from repro.serve.depository import TenantUsage, UsageDepository
+
+
+class TestTenantBookkeeping:
+    def test_tenant_created_on_first_use(self):
+        depository = UsageDepository()
+        usage = depository.tenant("a")
+        assert isinstance(usage, TenantUsage)
+        assert depository.tenant("a") is usage
+
+    def test_decisions_fold_into_counts(self):
+        depository = UsageDepository()
+        depository.record_decision("a", "accepted", 1.0)
+        depository.record_decision("a", "rejected", 2.0)
+        depository.record_decision("a", "shed", 3.0)
+        depository.record_decision("a", "over-quota", 4.0)
+        usage = depository.tenant("a")
+        assert usage.submitted == 4
+        assert usage.accepted == 1
+        assert usage.rejected == 1
+        assert usage.shed == 1
+        assert usage.over_quota == 1
+        assert usage.last_decision_time == 4.0
+        assert usage.acceptance_rate == 0.25
+
+    def test_unknown_status_raises(self):
+        with pytest.raises(ValueError, match="unknown decision status"):
+            UsageDepository().record_decision("a", "maybe", 0.0)
+
+    def test_active_jobs_track_accept_and_completion(self):
+        depository = UsageDepository()
+        depository.record_decision("a", "accepted", 1.0)
+        depository.record_decision("a", "accepted", 2.0)
+        assert depository.active_jobs("a") == 2
+        depository.record_completion("a")
+        assert depository.active_jobs("a") == 1
+        assert depository.tenant("a").completed_jobs == 1
+
+    def test_active_jobs_of_unseen_tenant(self):
+        assert UsageDepository().active_jobs("ghost") == 0
+
+    def test_tenants_sorted_by_name(self):
+        depository = UsageDepository()
+        for name in ("c", "a", "b"):
+            depository.record_decision(name, "accepted", 0.0)
+        assert [u.tenant for u in depository.tenants()] == ["a", "b", "c"]
+
+
+class TestReprovisionTrigger:
+    def make(self, **kwargs):
+        defaults = dict(error_window=8, error_threshold=0.5,
+                        min_observations=4)
+        defaults.update(kwargs)
+        return UsageDepository(**defaults)
+
+    def test_type_miss_scored(self):
+        depository = self.make()
+        assert depository.score_forecast(
+            predicted_type=1, actual_type=2
+        ) is True
+        assert depository.score_forecast(
+            predicted_type=1, actual_type=1
+        ) is False
+        assert depository.scored_forecasts == 2
+        assert depository.error_rate() == 0.5
+
+    def test_arrival_tolerance(self):
+        depository = self.make(arrival_tolerance=1.0)
+        assert depository.score_forecast(
+            predicted_type=1, actual_type=1,
+            predicted_arrival=10.0, actual_arrival=10.5,
+        ) is False
+        assert depository.score_forecast(
+            predicted_type=1, actual_type=1,
+            predicted_arrival=10.0, actual_arrival=12.0,
+        ) is True
+
+    def test_no_trigger_below_min_observations(self):
+        depository = self.make()
+        for _ in range(3):
+            depository.score_forecast(predicted_type=0, actual_type=1)
+        assert depository.should_reprovision() is False
+
+    def test_triggers_above_threshold(self):
+        depository = self.make()
+        for _ in range(4):
+            depository.score_forecast(predicted_type=0, actual_type=1)
+        assert depository.should_reprovision() is True
+
+    def test_accurate_window_never_triggers(self):
+        depository = self.make()
+        for _ in range(20):
+            depository.score_forecast(predicted_type=1, actual_type=1)
+        assert depository.should_reprovision() is False
+
+    def test_window_slides(self):
+        depository = self.make()
+        for _ in range(8):
+            depository.score_forecast(predicted_type=0, actual_type=1)
+        for _ in range(8):  # a good spell displaces the bad one
+            depository.score_forecast(predicted_type=1, actual_type=1)
+        assert depository.error_rate() == 0.0
+        assert depository.should_reprovision() is False
+
+    def test_mark_reprovisioned_resets_window(self):
+        depository = self.make()
+        for _ in range(4):
+            depository.score_forecast(predicted_type=0, actual_type=1)
+        assert depository.should_reprovision() is True
+        depository.mark_reprovisioned()
+        assert depository.should_reprovision() is False
+        assert depository.reprovisions == 1
+
+    def test_snapshot_shape(self):
+        depository = self.make()
+        depository.record_decision("a", "accepted", 1.0)
+        depository.score_forecast(predicted_type=0, actual_type=1)
+        snapshot = depository.snapshot()
+        assert snapshot["tenants"][0]["tenant"] == "a"
+        prediction = snapshot["prediction"]
+        assert prediction["scored"] == 1
+        assert prediction["misses"] == 1
+        assert prediction["reprovisions"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="error_window"):
+            UsageDepository(error_window=0)
+        with pytest.raises(ValueError, match="min_observations"):
+            UsageDepository(min_observations=0)

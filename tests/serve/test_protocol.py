@@ -1,0 +1,162 @@
+"""Wire-protocol validation (repro.serve.protocol).
+
+Every malformed frame must map to a :class:`ProtocolError` with a
+stable machine-readable code — never a raw ``json``/``KeyError``/
+``TypeError`` escaping to the connection handler.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    AdmitRequest,
+    AdmitResponse,
+    ControlRequest,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_payload,
+)
+
+
+def code_of(call, *args):
+    with pytest.raises(ProtocolError) as excinfo:
+        call(*args)
+    return excinfo.value.code
+
+
+class TestDecodeAdmit:
+    def test_minimal_admit(self):
+        frame = decode_frame(
+            '{"op": "admit", "tenant": "t0", "task": 3, "deadline": 5.0}'
+        )
+        assert isinstance(frame, AdmitRequest)
+        assert frame.tenant == "t0"
+        assert frame.task == 3
+        assert frame.deadline == 5.0
+        assert frame.arrival is None
+        assert frame.final is False
+
+    def test_full_admit(self):
+        frame = decode_frame(json.dumps({
+            "op": "admit", "tenant": "a", "task": 0, "deadline": 1,
+            "arrival": 2.5, "id": "req-7", "final": True,
+        }))
+        assert frame.arrival == 2.5
+        assert frame.id == "req-7"
+        assert frame.final is True
+
+    def test_bytes_input(self):
+        frame = decode_frame(
+            b'{"op": "admit", "tenant": "t", "task": 0, "deadline": 1}'
+        )
+        assert isinstance(frame, AdmitRequest)
+
+
+class TestDecodeControl:
+    @pytest.mark.parametrize("op", ["ping", "metrics", "stats", "shutdown"])
+    def test_control_ops(self, op):
+        frame = decode_frame(json.dumps({"op": op, "id": 9}))
+        assert isinstance(frame, ControlRequest)
+        assert frame.op == op
+        assert frame.id == 9
+
+
+class TestMalformedFrames:
+    def test_not_json(self):
+        assert code_of(decode_frame, "{nope") == "malformed-frame"
+
+    def test_not_utf8(self):
+        assert code_of(decode_frame, b"\xff\xfe{}") == "malformed-frame"
+
+    def test_not_an_object(self):
+        assert code_of(decode_frame, "[1, 2]") == "malformed-frame"
+        assert code_of(decode_frame, '"admit"') == "malformed-frame"
+
+    def test_missing_op(self):
+        assert code_of(decode_frame, "{}") == "missing-field"
+
+    def test_unknown_op(self):
+        assert code_of(decode_frame, '{"op": "fly"}') == "unknown-op"
+
+    def test_missing_tenant(self):
+        line = '{"op": "admit", "task": 0, "deadline": 1}'
+        assert code_of(decode_frame, line) == "missing-field"
+
+    def test_empty_tenant(self):
+        line = '{"op": "admit", "tenant": "", "task": 0, "deadline": 1}'
+        assert code_of(decode_frame, line) == "missing-field"
+
+    def test_task_not_integer(self):
+        line = '{"op": "admit", "tenant": "t", "task": "x", "deadline": 1}'
+        assert code_of(decode_frame, line) == "bad-type"
+
+    def test_task_boolean_rejected(self):
+        # bool is an int subclass; the schema still refuses it.
+        line = '{"op": "admit", "tenant": "t", "task": true, "deadline": 1}'
+        assert code_of(decode_frame, line) == "bad-type"
+
+    def test_task_negative(self):
+        line = '{"op": "admit", "tenant": "t", "task": -1, "deadline": 1}'
+        assert code_of(decode_frame, line) == "bad-value"
+
+    def test_missing_deadline(self):
+        line = '{"op": "admit", "tenant": "t", "task": 0}'
+        assert code_of(decode_frame, line) == "missing-field"
+
+    def test_nonpositive_deadline(self):
+        line = '{"op": "admit", "tenant": "t", "task": 0, "deadline": 0}'
+        assert code_of(decode_frame, line) == "bad-value"
+
+    def test_nonfinite_deadline(self):
+        line = '{"op": "admit", "tenant": "t", "task": 0, "deadline": 1e999}'
+        assert code_of(decode_frame, line) == "bad-value"
+
+    def test_negative_arrival(self):
+        line = (
+            '{"op": "admit", "tenant": "t", "task": 0, "deadline": 1,'
+            ' "arrival": -2}'
+        )
+        assert code_of(decode_frame, line) == "bad-value"
+
+    def test_bad_final(self):
+        line = (
+            '{"op": "admit", "tenant": "t", "task": 0, "deadline": 1,'
+            ' "final": "yes"}'
+        )
+        assert code_of(decode_frame, line) == "bad-type"
+
+    def test_bad_id_type(self):
+        assert code_of(decode_frame, '{"op": "ping", "id": [1]}') == "bad-type"
+
+
+class TestResponses:
+    def test_accepted_payload(self):
+        response = AdmitResponse(
+            status="accepted", tenant="t", job_id=4,
+            decision_time=1.5, used_prediction=True, solver_calls=2,
+            id="r1",
+        )
+        payload = response.to_payload()
+        assert payload["ok"] is True
+        assert payload["status"] == "accepted"
+        assert payload["job_id"] == 4
+        assert payload["used_prediction"] is True
+        assert payload["solver_calls"] == 2
+        assert payload["id"] == "r1"
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError, match="status"):
+            AdmitResponse(status="maybe", tenant="t")
+
+    def test_error_payload(self):
+        payload = error_payload("bad-type", "nope", id=3)
+        assert payload == {
+            "ok": False, "error": "bad-type", "detail": "nope", "id": 3,
+        }
+
+    def test_encode_frame_roundtrip(self):
+        line = encode_frame({"ok": True, "x": 1.5})
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"ok": True, "x": 1.5}

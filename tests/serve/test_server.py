@@ -1,0 +1,245 @@
+"""Socket-level behaviour of the live admission daemon.
+
+Each test boots a real :class:`AdmissionServer` on a loopback port in a
+background thread and talks to it through :class:`ServeClient` — the
+full wire path, not engine internals.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.model.platform import Platform
+from repro.serve.client import ServeClient, fetch_metrics_text
+from repro.serve.server import AdmissionServer, ServeConfig
+from repro.serve.smoke import run_smoke
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+
+HOST = "127.0.0.1"
+
+
+class ServerHarness:
+    """Boot one daemon in a thread; join it on exit."""
+
+    def __init__(self, config: ServeConfig, *, strategy: str = "heuristic",
+                 predictor: str | None = None, n_tasks: int = 5):
+        self.platform = Platform.cpu_gpu(n_cpus=2, n_gpus=1)
+        self.tasks = generate_task_set(
+            self.platform, TaskSetConfig(n_tasks=n_tasks)
+        )
+        self.config = config
+        self.strategy = strategy
+        self.predictor = predictor
+        self.server: AdmissionServer | None = None
+        self._started = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "ServerHarness":
+        def boot():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self.server = AdmissionServer(
+                self.platform,
+                self.strategy,
+                self.predictor,
+                tasks=self.tasks,
+                config=self.config,
+            )
+            loop.run_until_complete(self.server.start())
+            self._started.set()
+            loop.run_until_complete(self.server.serve_until_shutdown())
+            loop.close()
+
+        self._thread = threading.Thread(target=boot, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=30.0), "server failed to start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self.server is not None
+        try:
+            with self.client() as client:
+                client.shutdown()
+        except (ConnectionError, OSError):
+            self.server.request_shutdown()
+        assert self._thread is not None
+        self._thread.join(timeout=30.0)
+        assert not self._thread.is_alive(), "server did not shut down"
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    def client(self) -> ServeClient:
+        return ServeClient(HOST, self.port)
+
+
+def replay_config(**kwargs) -> ServeConfig:
+    defaults = dict(host=HOST, port=0, mode="replay")
+    defaults.update(kwargs)
+    return ServeConfig(**defaults)
+
+
+class TestLifecycle:
+    def test_ping_and_clean_shutdown(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                pong = client.ping()
+                assert pong["ok"] is True
+                assert pong["op"] == "pong"
+
+    def test_admission_roundtrip(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                response = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=0.0, id="r1"
+                )
+                assert response["ok"] is True
+                assert response["status"] == "accepted"
+                assert response["job_id"] == 0
+                assert response["id"] == "r1"
+
+    def test_stats_reflect_decisions(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                client.admit("t0", task=0, deadline=1000.0, arrival=0.0)
+                stats = client.stats()
+                assert stats["decisions"] == 1
+                tenants = stats["depository"]["tenants"]
+                assert tenants[0]["tenant"] == "t0"
+                assert tenants[0]["accepted"] == 1
+
+
+class TestProtocolErrors:
+    def test_malformed_frame_gets_structured_error(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                client.send_raw(b"{not json")
+                response = client.read_response()
+                assert response["ok"] is False
+                assert response["error"] == "malformed-frame"
+                # The connection survives a bad frame.
+                assert client.ping()["ok"] is True
+
+    def test_unknown_op(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                response = client.request({"op": "fly"})
+                assert response["ok"] is False
+                assert response["error"] == "unknown-op"
+
+    def test_task_outside_catalog(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                response = client.admit(
+                    "t0", task=999, deadline=1.0, arrival=0.0
+                )
+                assert response["ok"] is False
+                assert response["error"] == "bad-value"
+
+    def test_replay_requires_declared_arrival(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                response = client.admit("t0", task=0, deadline=1.0)
+                assert response["ok"] is False
+                assert response["error"] == "missing-field"
+
+
+class TestBackpressure:
+    def test_over_quota_structured_reject(self):
+        config = replay_config(tenant_quota=1)
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                first = client.admit(
+                    "t0", task=0, deadline=10000.0, arrival=0.0
+                )
+                assert first["status"] == "accepted"
+                # The first job is still active (tiny arrival step, huge
+                # deadline), so the tenant is at its quota.
+                second = client.admit(
+                    "t0", task=0, deadline=10000.0, arrival=0.1
+                )
+                assert second["ok"] is True
+                assert second["status"] == "over-quota"
+                assert "quota" in second["detail"]
+                # Another tenant is unaffected.
+                other = client.admit(
+                    "t1", task=0, deadline=10000.0, arrival=0.2
+                )
+                assert other["status"] == "accepted"
+
+    def test_quota_frees_on_completion(self):
+        config = replay_config(tenant_quota=1)
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                client.admit("t0", task=0, deadline=10000.0, arrival=0.0)
+                # Far-future arrival: the first job finishes long before,
+                # freeing the quota slot.
+                late = client.admit(
+                    "t0", task=0, deadline=10000.0, arrival=100000.0
+                )
+                assert late["status"] == "accepted"
+
+
+class TestMetricsSurfaces:
+    def test_metrics_control_op(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                client.admit("t0", task=0, deadline=1000.0, arrival=0.0)
+                snapshot = client.metrics()
+                assert snapshot["ok"] is True
+                counters = snapshot["metrics"]["counters"]
+                assert counters["serve/requests"] == 1
+                assert counters["serve/accepted"] == 1
+
+    def test_http_metrics_endpoint(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                client.admit("t0", task=0, deadline=1000.0, arrival=0.0)
+            text = fetch_metrics_text(HOST, harness.port)
+            assert "repro_serve_requests 1" in text
+            assert "# TYPE repro_serve_requests counter" in text
+            assert "repro_serve_decision_latency_count" in text
+
+    def test_http_unknown_path_is_404(self):
+        import socket
+
+        with ServerHarness(replay_config()) as harness:
+            with socket.create_connection((HOST, harness.port), 10) as sock:
+                sock.sendall(b"GET /nope HTTP/1.1\r\n\r\n")
+                data = sock.recv(65536)
+            assert b"404" in data.split(b"\r\n", 1)[0]
+
+
+class TestSmoke:
+    def test_smoke_run_meets_throughput_floor(self):
+        report = run_smoke(n_requests=100)
+        assert report.requests == 100
+        assert report.clean_shutdown is True
+        assert report.metrics_lines > 0
+        # The acceptance floor: >= 1k admissions/s on the smoke workload.
+        assert report.decisions_per_sec >= 1000.0
+
+
+class TestConfigValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ServeConfig(mode="warp")
+
+    def test_bad_speed(self):
+        with pytest.raises(ValueError, match="speed"):
+            ServeConfig(speed=-1.0)
+
+    def test_bad_queue_depth(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            ServeConfig(queue_depth=0)
+
+    def test_bad_quota(self):
+        with pytest.raises(ValueError, match="tenant_quota"):
+            ServeConfig(tenant_quota=0)
+
+    def test_make_clock_by_mode(self):
+        assert ServeConfig(mode="replay").make_clock().mode == "virtual"
+        assert ServeConfig(mode="live").make_clock().mode == "wall"

@@ -1,0 +1,81 @@
+"""The unified keyword family (fault_plan=/tracer=) and its shims.
+
+PR 4 introduced ``SimulationConfig(faults=...)`` and PR 5
+``SimulationConfig(trace=...)``; the serve redesign renames both to the
+``simulate()``-wide family (``fault_plan=``, ``tracer=``).  The old
+spellings keep working through a DeprecationWarning shim — these tests
+pin that the warnings actually fire and that both spellings configure
+the same field.
+"""
+
+import warnings
+
+import pytest
+
+from repro.faults.plan import FaultPlan, ResourceOutage
+from repro.obs.events import TraceOptions
+from repro.sim.simulator import SimulationConfig
+
+
+def make_plan() -> FaultPlan:
+    return FaultPlan(outages=(ResourceOutage(resource=0, start=5.0),))
+
+
+class TestDeprecatedKeywords:
+    def test_faults_keyword_warns_and_maps(self):
+        plan = make_plan()
+        with pytest.warns(DeprecationWarning, match="fault_plan"):
+            config = SimulationConfig(faults=plan)
+        assert config.fault_plan is plan
+
+    def test_trace_keyword_warns_and_maps(self):
+        options = TraceOptions()
+        with pytest.warns(DeprecationWarning, match="tracer"):
+            config = SimulationConfig(trace=options)
+        assert config.tracer is options
+
+    def test_canonical_keywords_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = SimulationConfig(
+                fault_plan=make_plan(), tracer=TraceOptions()
+            )
+        assert config.fault_plan is not None
+        assert config.tracer is not None
+
+    def test_both_spellings_conflict(self):
+        plan = make_plan()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="not both"):
+                SimulationConfig(faults=plan, fault_plan=plan)
+
+    def test_trace_conflict(self):
+        options = TraceOptions()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="not both"):
+                SimulationConfig(trace=options, tracer=options)
+
+
+class TestDeprecatedProperties:
+    def test_faults_property_warns(self):
+        plan = make_plan()
+        config = SimulationConfig(fault_plan=plan)
+        with pytest.warns(DeprecationWarning, match="fault_plan"):
+            assert config.faults is plan
+
+    def test_trace_property_warns(self):
+        options = TraceOptions()
+        config = SimulationConfig(tracer=options)
+        with pytest.warns(DeprecationWarning, match="tracer"):
+            assert config.trace is options
+
+
+class TestReplaceStaysCanonical:
+    def test_dataclasses_replace_roundtrip(self):
+        from dataclasses import replace
+
+        plan = make_plan()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = replace(SimulationConfig(), fault_plan=plan)
+        assert config.fault_plan is plan

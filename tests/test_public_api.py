@@ -13,6 +13,49 @@ class TestPublicApi:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_all_is_sorted_within_sections_and_unique(self):
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
+    def test_no_private_names_advertised(self):
+        for name in repro.__all__:
+            assert not name.startswith("_") or name == "__version__", name
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_symbol
+
+    def test_serve_names_resolve_lazily(self):
+        # The server stack must not load with `import repro`...
+        import subprocess
+        import sys
+
+        probe = (
+            "import sys, repro; "
+            "assert 'repro.serve.server' not in sys.modules, 'eager'; "
+            "assert 'asyncio' not in sys.modules, 'asyncio leaked'; "
+            "repro.ServeConfig; "
+            "assert 'repro.serve.server' in sys.modules, 'lazy broken'"
+        )
+        subprocess.run(
+            [sys.executable, "-c", probe], check=True, timeout=120
+        )
+
+    def test_serve_classes_importable_from_top_level(self):
+        from repro import (
+            AdmissionServer,
+            Clock,
+            ServeClient,
+            ServeConfig,
+            VirtualClock,
+            WallClock,
+        )
+
+        assert issubclass(VirtualClock, Clock)
+        assert issubclass(WallClock, Clock)
+        assert ServeConfig().mode == "live"
+        assert AdmissionServer is not None
+        assert ServeClient is not None
+
     def test_version(self):
         assert repro.__version__ == "1.0.0"
 
@@ -28,6 +71,7 @@ class TestPublicApi:
             "repro.sim",
             "repro.experiments",
             "repro.util",
+            "repro.serve",
         ],
     )
     def test_subpackage_all_resolves(self, module):
