@@ -1,0 +1,155 @@
+"""Committed, justified suppressions for the custom lint pass.
+
+Some findings are intentional: the smoke driver really does read the
+wall clock to report throughput, the shed path really does touch engine
+counters from the connection task (await-free, so atomic on a
+single-threaded loop).  Rather than sprinkling ``# noqa`` through the
+code — invisible to review and silently orphaned when code moves — such
+exemptions live in one committed *baseline file*, each with a one-line
+justification the PR that adds it has to defend:
+
+.. code-block:: text
+
+    # analysis-baseline.txt
+    RPR104 src/repro/serve/smoke.py -- driver-side throughput timing, not engine time
+
+Format: ``<rule-id> <path> -- <justification>``, one entry per line,
+``#`` comments and blank lines ignored.  Paths are slash-style and
+matched as suffixes of the finding's path, so the file works from the
+repo root, from CI checkouts, and against the absolute paths
+``lint_package`` produces.  An entry with no justification is a parse
+error; an entry that suppresses nothing is reported as *unused* (and
+fails ``repro analyze``), so the baseline can only shrink or stay
+honest — it never rots.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import LintFinding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "BaselineResult",
+    "DEFAULT_BASELINE_NAME",
+    "default_baseline_path",
+]
+
+#: The conventional baseline filename at the repository root.
+DEFAULT_BASELINE_NAME = "analysis-baseline.txt"
+
+_ENTRY_RE = re.compile(
+    r"^(?P<rule>RPR\d{3})\s+(?P<path>\S+)\s+--\s+(?P<why>\S.*)$"
+)
+
+
+class BaselineError(ValueError):
+    """The baseline file itself is malformed (bad line, no justification)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppression: a rule, a path suffix, and its justification."""
+
+    rule: str
+    path: str
+    justification: str
+    line: int = 0
+
+    def matches(self, finding: LintFinding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        candidate = Path(finding.path).as_posix()
+        return candidate == self.path or candidate.endswith("/" + self.path)
+
+    def render(self) -> str:
+        return f"{self.rule} {self.path} -- {self.justification}"
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    kept: list[LintFinding]
+    suppressed: list[LintFinding]
+    unused: list[BaselineEntry]
+
+    @property
+    def ok(self) -> bool:
+        """Clean means nothing kept *and* no stale entries."""
+        return not self.kept and not self.unused
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A parsed baseline file (or an empty in-memory one)."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+    source: str | None = None
+
+    @classmethod
+    def parse(cls, text: str, *, source: str | None = None) -> "Baseline":
+        entries: list[BaselineEntry] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _ENTRY_RE.match(line)
+            if match is None:
+                raise BaselineError(
+                    f"{source or '<baseline>'}:{lineno}: cannot parse "
+                    f"{line!r}; expected '<rule> <path> -- <justification>'"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=match.group("rule"),
+                    path=Path(match.group("path")).as_posix(),
+                    justification=match.group("why").strip(),
+                    line=lineno,
+                )
+            )
+        return cls(entries=tuple(entries), source=source)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        return cls.parse(path.read_text(encoding="utf-8"), source=str(path))
+
+    def apply(self, findings: Sequence[LintFinding]) -> BaselineResult:
+        """Split findings into kept / suppressed; report stale entries."""
+        kept: list[LintFinding] = []
+        suppressed: list[LintFinding] = []
+        used: set[BaselineEntry] = set()
+        for finding in findings:
+            entry = next(
+                (e for e in self.entries if e.matches(finding)), None
+            )
+            if entry is None:
+                kept.append(finding)
+            else:
+                suppressed.append(finding)
+                used.add(entry)
+        unused = [e for e in self.entries if e not in used]
+        return BaselineResult(kept=kept, suppressed=suppressed, unused=unused)
+
+    def render(self) -> str:
+        lines = [
+            "# Static-analysis baseline: justified suppressions for",
+            "# `repro analyze` (format: <rule> <path> -- <justification>).",
+        ]
+        lines.extend(entry.render() for entry in self.entries)
+        return "\n".join(lines) + "\n"
+
+
+def default_baseline_path() -> Path | None:
+    """The repo-root ``analysis-baseline.txt`` of a source checkout
+    (``None`` for an installed package or when the file is absent)."""
+    package_root = Path(__file__).resolve().parent.parent
+    candidate = package_root.parent.parent / DEFAULT_BASELINE_NAME
+    return candidate if candidate.is_file() else None

@@ -1,476 +1,86 @@
-"""Custom AST lint rules the generic linters cannot express.
+"""Custom lint rules the generic linters cannot express — the facade.
 
-The rules encode repo-wide contracts that keep the reproduction
-deterministic and the parallel executor safe:
+Since PR 7 this module is a thin entry point over the rule-registry
+engine (:mod:`repro.analysis.engine`); the rules themselves live in
+family modules and register with the engine at import time:
 
-``RPR001`` — unseeded / global-state randomness.
-    Calls into ``random``'s module-level functions or ``numpy.random``'s
-    legacy global-state API, and ``numpy.random.default_rng()`` /
-    ``RandomState()`` without a seed.  Every stochastic component must
-    draw from an explicitly seeded generator (:mod:`repro.util.rng`), or
-    results stop being reproducible.
-``RPR002`` — wall-clock reads in deterministic logic.
-    ``time.time()``-style wall-clock reads are banned everywhere;
-    monotonic duration timers (``perf_counter`` ...) are allowed only in
-    observability layers (``repro.experiments``, ``repro.cli``,
-    ``repro.analysis``) — never in sim/sched/core logic, where they
-    would leak host timing into results.
-``RPR003`` — registry bypass.
-    Direct construction of a registered strategy/predictor class
-    outside its defining packages or :mod:`repro.registry`.  By-name
-    resolution keeps specs picklable and keeps the registry the single
-    source of truth (``NullPredictor``, the null object, is exempt).
-``RPR004`` — unpicklable ``RunSpec`` factories.
-    Lambdas (or closures over enclosing-function locals) passed to
-    ``RunSpec`` do not pickle and break the process-pool executor; use
-    ``RunSpec.from_names`` or module-level factories.
+* :mod:`repro.analysis.rules_core` — the determinism/picklability
+  family: ``RPR001`` unseeded randomness (with a helper-taint dataflow
+  leg), ``RPR002`` wall-clock reads, ``RPR003`` registry bypass,
+  ``RPR004`` unpicklable ``RunSpec`` factories.
+* :mod:`repro.analysis.rules_async` — the async-safety family guarding
+  :mod:`repro.serve`: ``RPR101`` blocking calls in ``async def``,
+  ``RPR102`` unawaited coroutines, ``RPR103`` shared engine state
+  mutated off the dispatch queue, ``RPR104`` OS-clock reads bypassing
+  the Clock protocol.
+* :mod:`repro.analysis.rules_protocol` — the wire-contract family:
+  ``RPR201`` declared-but-unhandled control ops, ``RPR202``
+  declared-but-dead error codes, ``RPR203`` emitted-but-undeclared
+  error codes (cross-file checks over protocol/server/client trios).
+
+``RPR000`` (file does not parse) is the engine's own pseudo-rule.
 
 Findings can be suppressed per line with ``# noqa: RPR00x`` (bare
-``# noqa`` also works), mirroring the convention of standard linters.
+``# noqa`` also works), or — for intentional, reviewed exemptions — via
+the committed baseline file (:mod:`repro.analysis.baseline`).
+
+:data:`LINT_RULES` (rule id -> one-line description) remains the public
+contract of the pass: ids and descriptions are stable, and the rule-id
+stability test pins them.
 """
 
 from __future__ import annotations
 
-import ast
-import re
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+# The engine carries the framework; importing the family modules is what
+# populates the registry (each rule registers itself on import).
+from repro.analysis import rules_async, rules_core, rules_protocol  # noqa: F401
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    BaselineResult,
+    default_baseline_path,
+)
+from repro.analysis.engine import (
+    PROJECT_RULE_REGISTRY,
+    RULE_REGISTRY,
+    LintConfig,
+    LintFinding,
+    LintRule,
+    ProjectRule,
+    all_rule_descriptions,
+    findings_to_payload,
+    lint_file,
+    lint_package,
+    lint_paths,
+    lint_source,
+    register_rule,
+    render_findings,
+    select_rules,
+)
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "BaselineResult",
     "LINT_RULES",
     "LintConfig",
     "LintFinding",
+    "LintRule",
+    "PROJECT_RULE_REGISTRY",
+    "ProjectRule",
+    "RULE_REGISTRY",
+    "default_baseline_path",
+    "findings_to_payload",
     "lint_file",
     "lint_package",
     "lint_paths",
     "lint_source",
+    "register_rule",
     "render_findings",
+    "select_rules",
 ]
 
 #: Rule id -> one-line description (the lint pass's public contract).
-LINT_RULES: dict[str, str] = {
-    "RPR000": "file does not parse",
-    "RPR001": "unseeded or global-state randomness",
-    "RPR002": "wall-clock read in deterministic logic",
-    "RPR003": "strategy/predictor construction bypassing repro.registry",
-    "RPR004": "unpicklable lambda/closure in RunSpec construction",
-}
-
-#: Module-level functions of the stdlib ``random`` module (global state).
-_STDLIB_RANDOM_FNS = frozenset(
-    {
-        "betavariate", "choice", "choices", "expovariate", "gammavariate",
-        "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
-        "paretovariate", "randbytes", "randint", "random", "randrange",
-        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
-        "vonmisesvariate", "weibullvariate",
-    }
-)
-
-#: ``numpy.random`` attributes that are *not* the legacy global-state API.
-_NUMPY_RANDOM_SAFE = frozenset(
-    {
-        "BitGenerator", "Generator", "MT19937", "PCG64", "PCG64DXSM",
-        "Philox", "RandomState", "SFC64", "SeedSequence", "default_rng",
-    }
-)
-
-#: Wall-clock reads: never acceptable in this library.
-_WALL_CLOCK = frozenset(
-    {
-        "time.asctime", "time.ctime", "time.gmtime", "time.localtime",
-        "time.strftime", "time.time", "time.time_ns",
-        "datetime.date.today", "datetime.datetime.now",
-        "datetime.datetime.today", "datetime.datetime.utcnow",
-    }
-)
-
-#: Monotonic duration timers: fine for observability, not for logic.
-_MONOTONIC_CLOCK = frozenset(
-    {
-        "time.monotonic", "time.monotonic_ns", "time.perf_counter",
-        "time.perf_counter_ns", "time.process_time", "time.process_time_ns",
-    }
-)
-
-#: Registered classes whose direct construction bypasses the registry.
-_REGISTRY_CLASSES = frozenset(
-    {
-        "HeuristicResourceManager", "MilpResourceManager",
-        "ExactResourceManager", "OraclePredictor", "ComposedPredictor",
-        "TypeNoisePredictor", "ArrivalNoisePredictor",
-    }
-)
-
-_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
-
-
-@dataclass(frozen=True)
-class LintFinding:
-    """One rule violation at a source location."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
-
-
-@dataclass(frozen=True)
-class LintConfig:
-    """Which rules run and where exemptions apply.
-
-    Attributes
-    ----------
-    rules:
-        Enabled rule ids; defaults to every rule.
-    monotonic_allowed_prefixes:
-        Module prefixes where monotonic duration timers are legitimate
-        (observability layers).
-    registry_allowed_prefixes:
-        Module prefixes allowed to construct strategy/predictor classes
-        directly (the registry itself and the defining packages).
-    """
-
-    rules: frozenset[str] = frozenset(LINT_RULES)
-    monotonic_allowed_prefixes: tuple[str, ...] = (
-        "repro.experiments",
-        "repro.cli",
-        "repro.analysis",
-        "repro.perf",
-        "repro.faults",
-        "repro.obs",
-        "repro.serve",
-    )
-    registry_allowed_prefixes: tuple[str, ...] = (
-        "repro.registry",
-        "repro.core",
-        "repro.predict",
-    )
-
-
-def _module_matches(module: str, prefixes: Sequence[str]) -> bool:
-    return any(
-        module == prefix or module.startswith(prefix + ".")
-        for prefix in prefixes
-    )
-
-
-class _Visitor(ast.NodeVisitor):
-    """Single-file rule engine: alias-aware call inspection."""
-
-    def __init__(self, module: str, config: LintConfig) -> None:
-        self.module = module
-        self.config = config
-        self.findings: list[LintFinding] = []
-        # Local alias -> canonical dotted module/attribute path.
-        self.aliases: dict[str, str] = {}
-        # Names of functions defined inside enclosing functions (closure
-        # candidates for RPR004), per scope depth.
-        self._function_depth = 0
-        self._nested_defs: set[str] = set()
-
-    # -- imports ------------------------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self.aliases[alias.asname or alias.name.split(".")[0]] = (
-                alias.name if alias.asname else alias.name.split(".")[0]
-            )
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module and node.level == 0:
-            for alias in node.names:
-                self.aliases[alias.asname or alias.name] = (
-                    f"{node.module}.{alias.name}"
-                )
-        self.generic_visit(node)
-
-    # -- scopes (for RPR004 closure detection) ------------------------
-
-    def _visit_function(
-        self, node: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> None:
-        if self._function_depth > 0:
-            self._nested_defs.add(node.name)
-        self._function_depth += 1
-        self.generic_visit(node)
-        self._function_depth -= 1
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._visit_function(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_function(node)
-
-    # -- helpers ------------------------------------------------------
-
-    def _dotted(self, node: ast.expr) -> str | None:
-        """Canonical dotted path of a Name/Attribute chain, alias-resolved."""
-        parts: list[str] = []
-        current = node
-        while isinstance(current, ast.Attribute):
-            parts.append(current.attr)
-            current = current.value
-        if not isinstance(current, ast.Name):
-            return None
-        head = self.aliases.get(current.id, current.id)
-        parts.append(head)
-        return ".".join(reversed(parts))
-
-    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
-        if rule not in self.config.rules:
-            return
-        self.findings.append(
-            LintFinding(
-                rule=rule,
-                path="",  # filled in by lint_source
-                line=getattr(node, "lineno", 0),
-                col=getattr(node, "col_offset", 0),
-                message=message,
-            )
-        )
-
-    # -- calls (all four rules) ---------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        dotted = self._dotted(node.func)
-        if dotted is not None:
-            self._check_randomness(node, dotted)
-            self._check_wall_clock(node, dotted)
-            self._check_registry_bypass(node, dotted)
-            self._check_runspec(node, dotted)
-        self.generic_visit(node)
-
-    def _check_randomness(self, node: ast.Call, dotted: str) -> None:
-        parts = dotted.split(".")
-        if parts[0] == "random" and len(parts) == 2:
-            if parts[1] in _STDLIB_RANDOM_FNS:
-                self._emit(
-                    "RPR001",
-                    node,
-                    f"call to global-state random.{parts[1]}(); draw from "
-                    "a seeded numpy Generator (repro.util.rng) instead",
-                )
-            return
-        if len(parts) >= 2 and parts[0] == "numpy" and parts[1] == "random":
-            tail = parts[-1]
-            if len(parts) == 3 and tail not in _NUMPY_RANDOM_SAFE:
-                self._emit(
-                    "RPR001",
-                    node,
-                    f"call to legacy global-state numpy.random.{tail}(); "
-                    "use an explicitly seeded Generator",
-                )
-                return
-            if tail in ("default_rng", "RandomState") and _unseeded(node):
-                self._emit(
-                    "RPR001",
-                    node,
-                    f"numpy.random.{tail}() without a seed is "
-                    "nondeterministic; pass a derived seed "
-                    "(repro.util.rng.derive_seed)",
-                )
-
-    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
-        if dotted in _WALL_CLOCK:
-            self._emit(
-                "RPR002",
-                node,
-                f"wall-clock read {dotted}(); simulated time must come "
-                "from the event loop, never the host clock",
-            )
-        elif dotted in _MONOTONIC_CLOCK and not _module_matches(
-            self.module, self.config.monotonic_allowed_prefixes
-        ):
-            self._emit(
-                "RPR002",
-                node,
-                f"{dotted}() outside the observability layers "
-                f"({', '.join(self.config.monotonic_allowed_prefixes)}); "
-                "sim/sched/core logic must stay clock-free",
-            )
-
-    def _check_registry_bypass(self, node: ast.Call, dotted: str) -> None:
-        terminal = dotted.split(".")[-1]
-        if terminal not in _REGISTRY_CLASSES:
-            return
-        if _module_matches(
-            self.module, self.config.registry_allowed_prefixes
-        ):
-            return
-        self._emit(
-            "RPR003",
-            node,
-            f"direct {terminal}() construction bypasses repro.registry; "
-            "use resolve_strategy/resolve_predictor (or RunSpec.from_names)",
-        )
-
-    def _check_runspec(self, node: ast.Call, dotted: str) -> None:
-        if dotted.split(".")[-1] != "RunSpec":
-            return
-        suspicious: list[ast.expr] = list(node.args[1:3])
-        suspicious.extend(
-            kw.value
-            for kw in node.keywords
-            if kw.arg in ("strategy", "predictor")
-        )
-        for value in suspicious:
-            if isinstance(value, ast.Lambda):
-                self._emit(
-                    "RPR004",
-                    value,
-                    "lambda passed to RunSpec does not pickle and cannot "
-                    "be dispatched to worker processes; use "
-                    "RunSpec.from_names or a module-level factory",
-                )
-            elif (
-                isinstance(value, ast.Name)
-                and value.id in self._nested_defs
-            ):
-                self._emit(
-                    "RPR004",
-                    value,
-                    f"nested function {value.id!r} passed to RunSpec is a "
-                    "closure and does not pickle; hoist it to module level "
-                    "or use RunSpec.from_names",
-                )
-
-
-def _unseeded(node: ast.Call) -> bool:
-    """True when a generator-constructor call carries no usable seed."""
-    if node.keywords:
-        return all(
-            isinstance(kw.value, ast.Constant) and kw.value.value is None
-            for kw in node.keywords
-        ) and not node.args
-    if not node.args:
-        return True
-    return all(
-        isinstance(arg, ast.Constant) and arg.value is None
-        for arg in node.args
-    )
-
-
-def _suppressed(lines: Sequence[str], finding: LintFinding) -> bool:
-    """Whether the finding's source line carries a matching ``# noqa``."""
-    if not 1 <= finding.line <= len(lines):
-        return False
-    match = _NOQA_RE.search(lines[finding.line - 1])
-    if match is None:
-        return False
-    codes = match.group("codes")
-    if codes is None:
-        return True
-    return finding.rule in {c.strip().upper() for c in codes.split(",")}
-
-
-def _derive_module(path: Path) -> str:
-    """Best-effort dotted module name for ``path`` (``repro.x.y`` when the
-    file sits inside the package, its stem otherwise)."""
-    parts = list(path.with_suffix("").parts)
-    if "repro" in parts:
-        parts = parts[parts.index("repro"):]
-    else:
-        parts = parts[-1:]
-    if parts and parts[-1] == "__init__":
-        parts = parts[:-1] or ["repro"]
-    return ".".join(parts)
-
-
-def lint_source(
-    source: str,
-    *,
-    path: str = "<string>",
-    module: str | None = None,
-    config: LintConfig | None = None,
-) -> list[LintFinding]:
-    """Lint one source text; returns findings sorted by location."""
-    config = config or LintConfig()
-    if module is None:
-        module = _derive_module(Path(path))
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            LintFinding(
-                rule="RPR000",
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    visitor = _Visitor(module, config)
-    visitor.visit(tree)
-    lines = source.splitlines()
-    findings = [
-        LintFinding(
-            rule=f.rule, path=path, line=f.line, col=f.col, message=f.message
-        )
-        for f in visitor.findings
-        if not _suppressed(lines, f)
-    ]
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
-    return findings
-
-
-def lint_file(
-    path: str | Path,
-    *,
-    module: str | None = None,
-    config: LintConfig | None = None,
-) -> list[LintFinding]:
-    """Lint one file on disk."""
-    path = Path(path)
-    return lint_source(
-        path.read_text(encoding="utf-8"),
-        path=str(path),
-        module=module,
-        config=config,
-    )
-
-
-def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
-    for entry in paths:
-        entry = Path(entry)
-        if entry.is_dir():
-            yield from sorted(entry.rglob("*.py"))
-        elif entry.suffix == ".py":
-            yield entry
-
-
-def lint_paths(
-    paths: Iterable[str | Path],
-    *,
-    config: LintConfig | None = None,
-) -> list[LintFinding]:
-    """Lint every ``.py`` file under the given files/directories."""
-    findings: list[LintFinding] = []
-    for file in _iter_python_files(paths):
-        findings.extend(lint_file(file, config=config))
-    return findings
-
-
-def lint_package(config: LintConfig | None = None) -> list[LintFinding]:
-    """Lint the installed ``repro`` package's own source tree.
-
-    This is what ``repro analyze --self`` and the CI ``static-analysis``
-    job run; a clean result is part of the repo's contract.
-    """
-    package_root = Path(__file__).resolve().parent.parent
-    return lint_paths([package_root], config=config)
-
-
-def render_findings(findings: Sequence[LintFinding]) -> str:
-    """Human-readable report, one finding per line plus a tally."""
-    if not findings:
-        return "lint: clean (0 findings)"
-    lines = [f.render() for f in findings]
-    lines.append(f"lint: {len(findings)} finding(s)")
-    return "\n".join(lines)
+LINT_RULES: dict[str, str] = all_rule_descriptions()

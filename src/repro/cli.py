@@ -199,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint specific files or directories",
     )
     an.add_argument(
+        "--rules", default=None, metavar="SELECTORS",
+        help="comma-separated rule ids or family prefixes to enable "
+        "(e.g. 'RPR001,RPR10' for seeding + the async family); "
+        "default: all rules",
+    )
+    an.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="baseline-suppression file of justified findings "
+        "(with --self, defaults to the repo's analysis-baseline.txt "
+        "when present).  Unused entries fail the run.",
+    )
+    an.add_argument(
         "--smoke", action="store_true",
         help="run the verified fig2-shaped smoke grid",
     )
@@ -569,40 +581,80 @@ def _cmd_analyze(args) -> int:
     # Imported here so the plain simulate/experiment paths never pay for
     # the analysis package.
     from repro.analysis import (
+        Baseline,
+        LintConfig,
         VerificationError,
+        default_baseline_path,
+        findings_to_payload,
         lint_package,
         lint_paths,
         render_findings,
         run_verified_smoke,
+        select_rules,
     )
 
     exit_code = 0
     ran_anything = False
 
     if args.self_lint or args.lint:
+        lint_config = LintConfig()
+        if args.rules is not None:
+            try:
+                lint_config = LintConfig(
+                    rules=select_rules(args.rules.split(","))
+                )
+            except ValueError as exc:
+                print(f"--rules: {exc}", file=sys.stderr)
+                return 2
+        baseline_path = args.baseline
+        if baseline_path is None and args.self_lint:
+            # Only whole-tree runs inherit the repo baseline; a spot
+            # check of one path would trip its entries as "unused".
+            baseline_path = default_baseline_path()
+        baseline = (
+            Baseline.load(baseline_path)
+            if baseline_path is not None
+            else Baseline()
+        )
+        # An entry for a rule that is not enabled this run is dormant,
+        # not stale: only entries the selected rules could have used
+        # count toward unused-baseline detection.
+        enabled = set(lint_config.rules)
+        baseline = Baseline(
+            entries=tuple(
+                e for e in baseline.entries if e.rule in enabled
+            ),
+            source=baseline.source,
+        )
         findings = []
         if args.self_lint:
-            findings.extend(lint_package())
+            findings.extend(lint_package(lint_config))
         if args.lint:
-            findings.extend(lint_paths(args.lint))
+            findings.extend(lint_paths(args.lint, config=lint_config))
+        result = baseline.apply(findings)
         ran_anything = True
         if args.json:
             print(json.dumps(
-                [
-                    {
-                        "rule": f.rule,
-                        "path": str(f.path),
-                        "line": f.line,
-                        "col": f.col,
-                        "message": f.message,
-                    }
-                    for f in findings
-                ],
+                findings_to_payload(
+                    result.kept,
+                    suppressed=len(result.suppressed),
+                    unused_baseline=[e.render() for e in result.unused],
+                ),
                 indent=2,
             ))
         else:
-            print(render_findings(findings))
-        if findings:
+            print(render_findings(result.kept))
+            if result.suppressed:
+                print(
+                    f"lint: {len(result.suppressed)} finding(s) suppressed "
+                    f"by baseline {baseline.source}"
+                )
+            for entry in result.unused:
+                print(
+                    f"lint: unused baseline entry: {entry.render()}",
+                    file=sys.stderr,
+                )
+        if not result.ok:
             exit_code = 1
 
     if args.smoke:

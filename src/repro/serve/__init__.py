@@ -77,4 +77,5 @@ def __getattr__(name: str) -> object:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     import importlib
 
-    return getattr(importlib.import_module(module_name), name)
+    value: object = getattr(importlib.import_module(module_name), name)
+    return value

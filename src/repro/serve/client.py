@@ -50,7 +50,13 @@ class ServeClient:
         line = self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
-        return json.loads(line)
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise ConnectionError(
+                "expected a JSON object response, got "
+                f"{type(payload).__name__}"
+            )
+        return payload
 
     def request(self, payload: dict) -> dict:
         """One round trip: send ``payload``, return the response."""

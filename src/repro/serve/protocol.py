@@ -40,6 +40,7 @@ __all__ = [
     "ControlRequest",
     "ProtocolError",
     "CONTROL_OPS",
+    "ERROR_CODES",
     "STATUSES",
     "decode_frame",
     "encode_frame",
@@ -51,6 +52,23 @@ CONTROL_OPS = frozenset({"ping", "metrics", "stats", "shutdown"})
 
 #: Admission decision statuses carried by :class:`AdmitResponse`.
 STATUSES = ("accepted", "rejected", "shed", "over-quota")
+
+#: The stable machine-readable error codes of the wire contract.  Every
+#: :class:`ProtocolError` / :func:`error_payload` site must use one of
+#: these, and every entry must have a live emit site — the RPR2xx
+#: protocol-exhaustiveness checker (:mod:`repro.analysis.rules_protocol`)
+#: cross-references this registry against the server and client sources,
+#: and :func:`error_payload` enforces it at runtime.
+ERROR_CODES = frozenset(
+    {
+        "bad-type",
+        "bad-value",
+        "internal-error",
+        "malformed-frame",
+        "missing-field",
+        "unknown-op",
+    }
+)
 
 
 class ProtocolError(ValueError):
@@ -227,7 +245,16 @@ class AdmitResponse:
 def error_payload(
     code: str, detail: str, *, id: str | int | None = None
 ) -> dict:
-    """The structured-reject body for one bad frame."""
+    """The structured-reject body for one bad frame.
+
+    ``code`` must come from :data:`ERROR_CODES` — undeclared codes are a
+    programming error, caught here rather than shipped to clients.
+    """
+    if code not in ERROR_CODES:
+        raise ValueError(
+            f"undeclared error code {code!r}; add it to ERROR_CODES "
+            "(and keep it stable) before emitting it"
+        )
     payload: dict = {"ok": False, "error": code, "detail": detail}
     if id is not None:
         payload["id"] = id

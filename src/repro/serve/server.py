@@ -39,7 +39,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.core.admission import AdmissionController
+from repro.core.admission import AdmissionController, AdmissionOutcome
 from repro.core.base import MappingStrategy
 from repro.core.context import PREDICTED_JOB_ID, PlannedTask, RMContext
 from repro.model.platform import Platform
@@ -481,7 +481,7 @@ class AdmissionEngine:
             self.metrics.inc("serve/degradations")
 
     def _record_metrics(
-        self, status: str, latency: float, outcome: object
+        self, status: str, latency: float, outcome: AdmissionOutcome | None
     ) -> None:
         self.metrics.inc("serve/requests")
         self.metrics.inc(f"serve/{status.replace('-', '_')}")

@@ -1,0 +1,22 @@
+"""Deliberately blocking coroutines — every call here trips RPR101."""
+
+import socket
+import subprocess
+import time
+
+from repro.serve.client import ServeClient
+
+
+async def handler() -> tuple:
+    time.sleep(0.1)
+    data = open("state.txt").read()
+    socket.create_connection(("localhost", 8787))
+    subprocess.run(["true"])
+    client = ServeClient("127.0.0.1", 8787)
+    return data, client
+
+
+def sync_path() -> None:
+    # The same calls outside ``async def`` are fine: nothing to stall.
+    time.sleep(0.0)
+    subprocess.run(["true"])

@@ -1,0 +1,20 @@
+"""Unseeded generators laundered through helpers — RPR001 taint fixture."""
+
+import numpy as np
+
+
+def make_rng(seed=None):
+    # Seeded *when the caller passes a seed*; the taint pass marks this
+    # helper so unseeded call sites below are flagged, not this line.
+    return np.random.default_rng(seed)
+
+
+def always_fresh():
+    return np.random.default_rng()  # flagged: directly unseeded
+
+
+rng_bad = make_rng()
+rng_bad2 = make_rng(seed=None)
+rng_ok = make_rng(123)
+rng_ok2 = make_rng(seed=7)
+fresh = always_fresh()

@@ -1,0 +1,16 @@
+"""OS clock reads inside serve logic — RPR104 fixture.
+
+Linted with ``module="repro.serve.<fixture>"``; the wall/monotonic reads
+additionally trip the everywhere-rules (RPR002), which the tests filter.
+"""
+
+import asyncio
+import time
+
+
+async def stamp_decision(engine):
+    started = time.monotonic()
+    wall = time.time()
+    loop = asyncio.get_running_loop()
+    loop_now = loop.time()
+    return started, wall, loop_now

@@ -1,0 +1,15 @@
+"""Coroutine objects dropped on the floor — RPR102 fixture."""
+
+import asyncio
+
+
+async def worker() -> int:
+    return 1
+
+
+async def main() -> int:
+    asyncio.sleep(0.5)
+    worker()
+    value = await worker()
+    task = asyncio.create_task(worker())
+    return value + await task

@@ -1,0 +1,18 @@
+"""A well-behaved serve coroutine — every RPR10x rule stays silent."""
+
+import asyncio
+
+
+async def _dispatch_loop(engine, queue):
+    while True:
+        job = await queue.get()
+        if job is None:
+            break
+        engine.admit(job)
+
+
+async def handler(queue, payload):
+    await asyncio.sleep(0)
+    await queue.put(payload)
+    task = asyncio.create_task(asyncio.sleep(0))
+    await task

@@ -1,0 +1,90 @@
+"""The baseline-suppression file: parsing, suffix matching, staleness
+detection, and the repo's own committed baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    default_baseline_path,
+)
+from repro.analysis.engine import LintFinding
+
+
+def finding(rule="RPR001", path="src/repro/sim/state.py", line=3):
+    return LintFinding(rule=rule, path=path, line=line, col=0, message="m")
+
+
+class TestParsing:
+    def test_entries_comments_and_blanks(self):
+        baseline = Baseline.parse(
+            "# header\n"
+            "\n"
+            "RPR104 src/repro/serve/smoke.py -- driver-side timing\n"
+            "RPR001 helpers.py -- fixture helper\n"
+        )
+        assert [e.rule for e in baseline.entries] == ["RPR104", "RPR001"]
+        assert baseline.entries[0].justification == "driver-side timing"
+        assert baseline.entries[0].line == 3
+
+    def test_justification_is_mandatory(self):
+        with pytest.raises(BaselineError, match="cannot parse"):
+            Baseline.parse("RPR104 src/repro/serve/smoke.py\n")
+        with pytest.raises(BaselineError, match="cannot parse"):
+            Baseline.parse("RPR104 src/repro/serve/smoke.py --\n")
+
+    def test_unknown_shape_is_an_error(self):
+        with pytest.raises(BaselineError, match="<baseline>:1"):
+            Baseline.parse("suppress everything please\n")
+
+    def test_render_roundtrip(self):
+        baseline = Baseline.parse("RPR001 a.py -- why\n")
+        reparsed = Baseline.parse(baseline.render()).entries
+        assert [(e.rule, e.path, e.justification) for e in reparsed] == [
+            ("RPR001", "a.py", "why")
+        ]
+
+
+class TestMatching:
+    BASELINE = Baseline.parse("RPR001 repro/sim/state.py -- justified\n")
+
+    def test_suffix_match(self):
+        result = self.BASELINE.apply(
+            [finding(path="/checkout/src/repro/sim/state.py")]
+        )
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+    def test_partial_component_does_not_match(self):
+        # 'im/state.py' is not a path suffix of components.
+        baseline = Baseline.parse("RPR001 im/state.py -- nope\n")
+        result = baseline.apply([finding()])
+        assert result.kept and result.unused
+
+    def test_rule_must_match(self):
+        result = self.BASELINE.apply([finding(rule="RPR002")])
+        assert [f.rule for f in result.kept] == ["RPR002"]
+        assert len(result.unused) == 1
+
+    def test_unused_entries_fail_ok(self):
+        result = self.BASELINE.apply([])
+        assert not result.ok
+        assert [e.rule for e in result.unused] == ["RPR001"]
+
+    def test_empty_baseline_keeps_everything(self):
+        result = Baseline().apply([finding()])
+        assert len(result.kept) == 1
+        assert not result.ok
+
+
+class TestRepoBaseline:
+    def test_default_path_exists_and_parses(self):
+        path = default_baseline_path()
+        assert path is not None and path.name == "analysis-baseline.txt"
+        baseline = Baseline.load(path)
+        # Every committed entry carries a real justification.
+        assert all(
+            len(e.justification.split()) >= 3 for e in baseline.entries
+        )

@@ -97,25 +97,70 @@ class TestMatrixVerificationStat:
 
 class TestAnalyzeCli:
     def test_self_lint_is_clean(self, capsys):
+        # Clean modulo the committed baseline: that is CI's exact gate.
         assert main(["analyze", "--self"]) == 0
         assert "lint: clean" in capsys.readouterr().out
 
     def test_lint_fixture_directory_fails(self, capsys):
         from tests.analysis.test_lint import FIXTURES
 
-        code = main(["analyze", "--lint", str(FIXTURES / "bad_registry.py")])
+        code = main(["analyze", "--lint", str(FIXTURES / "bad_randomness.py")])
         assert code == 1
-        assert "RPR003" in capsys.readouterr().out
+        assert "RPR001" in capsys.readouterr().out
 
     def test_lint_json_output(self, capsys):
         from tests.analysis.test_lint import FIXTURES
 
         code = main([
-            "analyze", "--lint", str(FIXTURES / "bad_registry.py"), "--json",
+            "analyze", "--lint", str(FIXTURES / "bad_randomness.py"), "--json",
         ])
         assert code == 1
-        findings = json.loads(capsys.readouterr().out)
-        assert {f["rule"] for f in findings} == {"RPR003"}
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"RPR001"}
+        assert payload["unused_baseline"] == []
+
+    def test_rules_selector_filters_findings(self, capsys):
+        from tests.analysis.test_lint import FIXTURES
+
+        code = main([
+            "analyze", "--lint", str(FIXTURES / "bad_registry.py"),
+            "--rules", "RPR10",
+        ])
+        assert code == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_unknown_rules_selector_is_an_error(self, capsys):
+        assert main(["analyze", "--self", "--rules", "RPR9"]) == 2
+        assert "unknown rule selector" in capsys.readouterr().err
+
+    def test_unused_baseline_entry_fails(self, capsys, tmp_path):
+        from tests.analysis.test_lint import FIXTURES
+
+        stale = tmp_path / "baseline.txt"
+        stale.write_text(
+            "RPR001 nowhere/such_module.py -- justification for nothing\n"
+        )
+        code = main([
+            "analyze", "--lint", str(FIXTURES / "clean_module.py"),
+            "--baseline", str(stale),
+        ])
+        assert code == 1
+        assert "unused baseline entry" in capsys.readouterr().err
+
+    def test_baseline_suppresses_findings(self, capsys, tmp_path):
+        from tests.analysis.test_lint import FIXTURES
+
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "RPR001 fixtures/bad_randomness.py -- fixture is deliberately bad\n"
+        )
+        code = main([
+            "analyze", "--lint", str(FIXTURES / "bad_randomness.py"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "suppressed by baseline" in capsys.readouterr().out
 
     def test_smoke_grid(self, capsys):
         code = main([

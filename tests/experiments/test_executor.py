@@ -229,7 +229,8 @@ class TestRobustness:
         platform, traces, _ = matrix
         specs = [
             RunSpec(
-                label="closure", strategy=lambda: HeuristicResourceManager()
+                # The unpicklable factory IS the scenario under test.
+                label="closure", strategy=lambda: HeuristicResourceManager()  # noqa: RPR004
             )
         ]
         with pytest.raises(ValueError, match="closure.*from_names"):
@@ -241,7 +242,8 @@ class TestRobustness:
         platform, traces, _ = matrix
         specs = [
             RunSpec(
-                label="closure", strategy=lambda: HeuristicResourceManager()
+                # The unpicklable factory IS the scenario under test.
+                label="closure", strategy=lambda: HeuristicResourceManager()  # noqa: RPR004
             )
         ]
         aggregates = run_matrix(traces[:1], platform, specs)
