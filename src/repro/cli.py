@@ -33,6 +33,7 @@ from pathlib import Path
 from repro.experiments.config import HarnessScale
 from repro.experiments.executor import ParallelConfig
 from repro.registry import (
+    kernel_names,
     predictor_names,
     resolve_predictor,
     resolve_strategy,
@@ -109,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="prediction overhead (absolute time units)")
     run.add_argument("--lookahead", type=int, default=1)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--shards", type=int, default=1,
+                     help="split the trace at idle points and simulate "
+                     "the shards independently (bit-identical to serial)")
+    run.add_argument("--kernel", choices=kernel_names(), default=None,
+                     help="event-core kernel (default: registry default; "
+                     "'vector' falls back per-segment where its proof "
+                     "does not apply)")
     run.add_argument("--json", action="store_true",
                      help="emit the result summary as JSON")
 
@@ -159,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--group", choices=["VT", "LT"], default="VT")
     bench.add_argument("--repeats", type=int, default=5,
                        help="timed repetitions per benchmark")
+    bench.add_argument("--scenario", choices=["default", "huge"],
+                       default="default",
+                       help="'huge' swaps sim_loop for the 10^7-request "
+                       "idle-point trace through the vector kernel and "
+                       "runs only the scaling benchmarks")
+    bench.add_argument("--scenario-events", type=int, default=10_000_000,
+                       metavar="N",
+                       help="requests in the huge-scenario trace")
     bench.add_argument("--only", nargs="+", default=None, metavar="NAME",
                        help="run only the named benchmarks")
     bench.add_argument("--no-alloc", action="store_true",
@@ -409,12 +425,23 @@ def _cmd_simulate(args) -> int:
     config = SimulationConfig(
         prediction_overhead=args.overhead, lookahead=args.lookahead
     )
-    result = simulate(trace, platform, strategy, predictor, config)
+    result = simulate(
+        trace,
+        platform,
+        strategy,
+        predictor,
+        config,
+        kernel=args.kernel,
+        shards=args.shards,
+    )
     if args.json:
         print(json.dumps(result.summary(), indent=2))
         return 0
     print(f"trace       : {args.trace} ({len(trace)} requests)")
     print(f"strategy    : {args.strategy}, predictor: {args.predictor}")
+    if args.shards > 1 or args.kernel:
+        print(f"execution   : shards={args.shards}, "
+              f"kernel={args.kernel or 'default'}")
     print(f"rejection   : {result.rejection_percentage:.2f}% "
           f"({result.n_rejected}/{result.n_requests})")
     print(f"energy      : {result.total_energy:.2f} "
@@ -529,6 +556,8 @@ def _cmd_bench(args) -> int:
         group=args.group,
         repeats=args.repeats,
         alloc=not args.no_alloc,
+        scenario=args.scenario,
+        scenario_events=args.scenario_events,
     )
     payload = run_suite(
         config,

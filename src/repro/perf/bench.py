@@ -71,6 +71,15 @@ class BenchConfig:
     alloc:
         Run the separate ``tracemalloc`` pass (skippable: it is the
         slowest part of the suite).
+    scenario:
+        ``"default"`` is the fig2-scale micro/macro suite.  ``"huge"``
+        is the scaling scenario: ``sim_loop`` becomes a
+        ``scenario_events``-request idle-point trace driven through the
+        vectorised struct-of-arrays kernel sharded across the machine's
+        cores (:mod:`repro.sim.kernels`), and only the scaling-relevant
+        benchmarks run.
+    scenario_events:
+        Requests in the huge-scenario trace (default 10^7).
     """
 
     n_traces: int = 2
@@ -79,6 +88,8 @@ class BenchConfig:
     group: str = "VT"
     repeats: int = 5
     alloc: bool = True
+    scenario: str = "default"
+    scenario_events: int = 10_000_000
 
     def __post_init__(self) -> None:
         if self.n_traces < 1 or self.n_requests < 1 or self.repeats < 1:
@@ -87,6 +98,14 @@ class BenchConfig:
             )
         if self.group not in ("VT", "LT"):
             raise ValueError(f"group must be VT or LT, got {self.group!r}")
+        if self.scenario not in ("default", "huge"):
+            raise ValueError(
+                f"scenario must be default or huge, got {self.scenario!r}"
+            )
+        if self.scenario_events < 1:
+            raise ValueError(
+                f"scenario_events must be >= 1, got {self.scenario_events}"
+            )
 
 
 @dataclass(frozen=True)
@@ -287,6 +306,8 @@ def _bench_predictor_learned(config: BenchConfig) -> _Prepared:
 
 
 def _bench_sim_loop(config: BenchConfig) -> _Prepared:
+    if config.scenario == "huge":
+        return _bench_sim_loop_huge(config)
     from repro.experiments.common import standard_platform
     from repro.sim.simulator import simulate
 
@@ -303,6 +324,108 @@ def _bench_sim_loop(config: BenchConfig) -> _Prepared:
         run,
         events=len(trace),
         extra={"events_unit": "requests", "fingerprint": fingerprint},
+    )
+
+
+def _bench_sim_loop_huge(config: BenchConfig) -> _Prepared:
+    """The scaling scenario: 10^7 idle-point requests, vector kernel.
+
+    The trace is generated once as struct-of-arrays (never materialising
+    Python request objects — 10^7 of them would dwarf the simulation
+    itself) and admitted through :func:`repro.sim.kernels.run_vector_core`
+    shard-by-shard: the array is split at idle-point boundaries into one
+    contiguous shard per core (every boundary of an idle trace is a legal
+    cut).  On a single-core machine that is one shard, executed inline —
+    the shard count is recorded in ``extra`` either way.
+    """
+    import os
+
+    from repro.experiments.common import standard_platform
+    from repro.sim.kernels import run_vector_core
+    from repro.workload.soa import SoATrace, generate_idle_soa
+
+    platform = standard_platform()
+    soa = generate_idle_soa(
+        config.scenario_events,
+        seed=config.seed,
+        n_resources=platform.size,
+    )
+    shards = os.cpu_count() or 1
+    bounds = [
+        round(len(soa) * index / shards) for index in range(shards + 1)
+    ]
+    pieces = [
+        SoATrace(
+            arrival=soa.arrival[lo:hi],
+            type_id=soa.type_id[lo:hi],
+            deadline=soa.deadline[lo:hi],
+            wcet=soa.wcet,
+            energy=soa.energy,
+        )
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+    fingerprint: dict[str, Any] = {}
+
+    def run() -> None:
+        accepted = 0
+        energy = 0.0
+        for piece in pieces:
+            outcome = run_vector_core(piece, platform)
+            accepted += int(outcome["accepted"])
+            energy += float(outcome["total_energy"])
+        fingerprint["accepted"] = accepted
+        fingerprint["energy"] = energy
+
+    return _Prepared(
+        run,
+        events=len(soa),
+        extra={
+            "events_unit": "requests",
+            "scenario": "huge",
+            "kernel": "vector",
+            "shards": len(pieces),
+            "fingerprint": fingerprint,
+        },
+    )
+
+
+def _bench_timeline_probe_vector(config: BenchConfig) -> _Prepared:
+    """Batched feasibility probes through :class:`VectorTimeline`.
+
+    New name (no PR6 baseline): establishes the trajectory for the
+    vectorised probe kernel alongside the scalar ``timeline_probe``.
+    """
+    import random
+
+    from repro.sched.vector_timeline import VectorTimeline
+
+    rng = random.Random(config.seed * 1_000_003 + 7)
+    n_chains = 20 * max(1, config.n_requests // 60)
+    batch = 64
+    cases = []
+    for _ in range(n_chains):
+        deadline = 0.0
+        jobs = []
+        for job_id in range(rng.randint(2, 12)):
+            exec_time = rng.uniform(0.1, 2.0)
+            deadline += rng.uniform(exec_time, exec_time * 3.0)
+            jobs.append((job_id, exec_time, deadline))
+        probes = (
+            [100 + index for index in range(batch)],
+            [rng.uniform(0.1, 2.5) for _ in range(batch)],
+            [rng.uniform(0.5, deadline * 1.5) for _ in range(batch)],
+        )
+        cases.append((jobs, probes))
+
+    def run() -> None:
+        for jobs, (ids, execs, deadlines) in cases:
+            VectorTimeline(jobs).probe_batch(ids, execs, deadlines)
+
+    return _Prepared(
+        run,
+        events=n_chains * batch,
+        extra={"events_unit": "probes"},
     )
 
 
@@ -358,7 +481,12 @@ _BENCHMARKS: dict[str, Callable[[BenchConfig], _Prepared]] = {
     "predictor_learned": _bench_predictor_learned,
     "sim_loop": _bench_sim_loop,
     "smoke_grid": _bench_smoke_grid,
+    "timeline_probe_vector": _bench_timeline_probe_vector,
 }
+
+#: The subset the huge scaling scenario runs (the rest measure
+#: fig2-scale workloads that the scenario does not change).
+_HUGE_SCENARIO_BENCHMARKS = ("sim_loop", "timeline_probe_vector")
 
 
 def benchmark_names() -> tuple[str, ...]:
@@ -421,7 +549,12 @@ def run_suite(
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
     """Run the (selected) suite and return the ``BENCH_*.json`` payload."""
-    names = list(only) if only else list(_BENCHMARKS)
+    if only:
+        names = list(only)
+    elif config.scenario == "huge":
+        names = list(_HUGE_SCENARIO_BENCHMARKS)
+    else:
+        names = list(_BENCHMARKS)
     for name in names:
         if name not in _BENCHMARKS:
             raise KeyError(
@@ -443,6 +576,8 @@ def run_suite(
             "group": config.group,
             "repeats": config.repeats,
             "alloc": config.alloc,
+            "scenario": config.scenario,
+            "scenario_events": config.scenario_events,
         },
         "benchmarks": results,
     }

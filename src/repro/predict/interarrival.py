@@ -136,12 +136,17 @@ class TwoPhaseInterarrival(InterarrivalModel):
             maxlen=context_length
         )
         self._table: dict[tuple[int, ...], collections.Counter] = {}
+        # Cached ``min((-count, bin))`` per context, kept exact
+        # incrementally: counts only grow, so the stored best stays
+        # valid until the incremented bin beats (or is) it.
+        self._table_best: dict[tuple[int, ...], tuple[int, int]] = {}
 
     def reset(self) -> None:
         self._fallback.reset()
         self._mean.reset()
         self._recent.clear()
         self._table.clear()
+        self._table_best.clear()
 
     def _bin_of(self, gap: float) -> int:
         mean = self._mean.forecast() or gap or 1.0
@@ -159,21 +164,23 @@ class TwoPhaseInterarrival(InterarrivalModel):
         new_bin = self._bin_of(gap)
         if len(self._recent) == self.context_length:
             key = tuple(self._recent)
-            self._table.setdefault(key, collections.Counter())[new_bin] += 1
+            histogram = self._table.setdefault(key, collections.Counter())
+            histogram[new_bin] += 1
+            # Most frequent successor bin; ties to the smaller bin so
+            # the forecast is deterministic.
+            candidate = (-histogram[new_bin], new_bin)
+            best = self._table_best.get(key)
+            if best is None or candidate < best or best[1] == new_bin:
+                self._table_best[key] = candidate
         self._recent.append(new_bin)
         self._fallback.update(gap)
         self._mean.update(gap)
 
     def forecast(self) -> float | None:
         if len(self._recent) == self.context_length:
-            histogram = self._table.get(tuple(self._recent))
-            if histogram:
-                # Most frequent successor bin; ties to the smaller bin so
-                # the forecast is deterministic.
-                best_bin = min(
-                    histogram, key=lambda b: (-histogram[b], b)
-                )
-                return self._bin_centre(best_bin)
+            best = self._table_best.get(tuple(self._recent))
+            if best is not None:
+                return self._bin_centre(best[1])
         return self._fallback.forecast()
 
     @property

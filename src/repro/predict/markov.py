@@ -38,27 +38,44 @@ class MarkovTypePredictor:
         self._transitions: dict[int, collections.Counter] = {}
         self._frequency: collections.Counter = collections.Counter()
         self._last_type: int | None = None
+        # Cached ``min((-count, type))`` per context and globally, kept
+        # exact incrementally: counts only ever grow, so a stored best
+        # stays valid until the incremented entry beats (or is) it.
+        self._best: dict[int, tuple[int, int]] = {}
+        self._best_frequency: tuple[int, int] | None = None
 
     def reset(self) -> None:
         self._transitions.clear()
         self._frequency.clear()
         self._last_type = None
+        self._best.clear()
+        self._best_frequency = None
 
     def update(self, type_id: int) -> None:
-        if self._last_type is not None:
-            self._transitions.setdefault(
-                self._last_type, collections.Counter()
-            )[type_id] += 1
+        last = self._last_type
+        if last is not None:
+            successors = self._transitions.setdefault(
+                last, collections.Counter()
+            )
+            successors[type_id] += 1
+            candidate = (-successors[type_id], type_id)
+            best = self._best.get(last)
+            if best is None or candidate < best or best[1] == type_id:
+                self._best[last] = candidate
         self._frequency[type_id] += 1
+        candidate = (-self._frequency[type_id], type_id)
+        best = self._best_frequency
+        if best is None or candidate < best or best[1] == type_id:
+            self._best_frequency = candidate
         self._last_type = type_id
 
     def forecast(self) -> int | None:
         if self._last_type is not None:
-            successors = self._transitions.get(self._last_type)
-            if successors:
-                return min(successors, key=lambda t: (-successors[t], t))
-        if self._frequency:
-            return min(self._frequency, key=lambda t: (-self._frequency[t], t))
+            best = self._best.get(self._last_type)
+            if best is not None:
+                return best[1]
+        if self._best_frequency is not None:
+            return self._best_frequency[1]
         return None
 
 

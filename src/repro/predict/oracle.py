@@ -21,11 +21,12 @@ class OraclePredictor(Predictor):
     name = "oracle"
 
     def predict(self, trace: Trace, index: int) -> PredictedRequest | None:
-        if index < 0 or index >= len(trace):
+        requests = trace.requests
+        if index < 0 or index >= len(requests):
             raise IndexError(f"request index {index} out of range")
-        if index + 1 >= len(trace):
+        if index + 1 >= len(requests):
             return None
-        nxt = trace[index + 1]
+        nxt = requests[index + 1]
         return PredictedRequest(
             arrival=nxt.arrival, type_id=nxt.type_id, deadline=nxt.deadline
         )

@@ -621,6 +621,12 @@ class Timeline:
         if self._futures or (
             arrival is not None and arrival > self._start + EPS
         ):
+            if not must_run_first:
+                fast = self._probe_one_future_fast(
+                    job_id, exec_time, deadline, arrival
+                )
+                if fast is not None:
+                    return fast
             return self._probe_reference(
                 job_id,
                 exec_time,
@@ -732,6 +738,125 @@ class Timeline:
                     )
             self._lists = (ready, future)
         return self._lists
+
+    def _probe_one_future_fast(
+        self,
+        job_id: int,
+        exec_time: float,
+        deadline: float,
+        arrival: float | None,
+    ) -> bool | None:
+        """Exact probe for job sets holding exactly one pending future.
+
+        Covers the two shapes the admission loop hammers: probing the
+        predicted (future) job against a futures-free chain, and probing
+        a ready job against a chain holding one pending future.  A single
+        arrival cannot cascade — once it is in the queue no further event
+        reorders the EDF pick — so :func:`build_timeline`'s event loop
+        collapses to three linear phases over the cached parallel arrays:
+        drain ready work until the arrival, slot the future at its EDF
+        position, accumulate the displaced suffix.  Every float operation
+        below mirrors the replay's (same additions, same order, same
+        ``EPS`` comparisons), so the boolean is bit-identical.  Returns
+        ``None`` when the job set is outside this proof (several
+        futures, tiny executions); the caller falls back to the
+        authoritative replay.  A forced (``must_run_first``) job *is*
+        covered: on a non-preemptable resource it runs to completion
+        before anything else — arrivals only mark at completion
+        boundaries there — so it merely shifts the chain base to
+        :meth:`_base_finish`; on a preemptable resource the flag is
+        ignored and the job sits in the chain, exactly as in the replay.
+        """
+        if exec_time <= EPS:
+            return None
+        start = self._start
+        if arrival is not None and arrival > start + EPS:
+            if self._futures:
+                return None  # two pending futures: outside the proof
+            future = (arrival, exec_time, deadline, job_id)
+            ready = None
+        else:
+            if len(self._futures) != 1:
+                return None
+            ((f_id, (f_arrival, f_exec, f_deadline)),) = self._futures.items()
+            if f_exec <= EPS:
+                return None  # never scheduled; rare enough for the replay
+            future = (f_arrival, f_exec, f_deadline, f_id)
+            ready = (deadline, job_id, exec_time)
+        self._refresh()
+        if self._miss_count > 0 or self._forced_missed:
+            # Adding work never repairs a miss (finish times are
+            # monotone in the job set), so the superset misses too.
+            return False
+        jobs = list(zip(self._keys, self._execs))
+        if ready is not None:
+            rkey = (ready[0], ready[1])
+            jobs.insert(bisect_left(self._keys, rkey), (rkey, ready[2]))
+        a, f_exec, f_deadline, f_id = future
+        fkey = (f_deadline, f_id)
+        time = self._base_finish()
+        index = 0
+        n = len(jobs)
+        # Phase 1: drain ready work until the future arrives.
+        while index < n:
+            if a <= time + EPS:
+                break  # joins the queue at this completion boundary
+            key, chain_exec = jobs[index]
+            end = time + chain_exec
+            if self._preemptable and a < end - EPS:
+                # The arrival splits the running job (the replay's
+                # interrupt branch: run until ``a``, then re-pick EDF).
+                remaining = chain_exec - (a - time)
+                time = a
+                if fkey < key:
+                    time = time + f_exec
+                    if time > f_deadline + EPS:
+                        return False
+                    time = time + remaining
+                    if time > key[0] + EPS:
+                        return False
+                    index += 1
+                    # The future already completed; only the suffix
+                    # of the chain is displaced (by its execution).
+                    while index < n:
+                        key, chain_exec = jobs[index]
+                        time = time + chain_exec
+                        if time > key[0] + EPS:
+                            return False
+                        index += 1
+                    return True
+                # Later-deadline arrival: the split job runs on to
+                # completion, then the future is in the queue.
+                time = time + remaining
+                if time > key[0] + EPS:
+                    return False
+                index += 1
+                break
+            time = end
+            if time > key[0] + EPS:
+                return False
+            index += 1
+        else:
+            if a > time + EPS:
+                time = a  # idle gap: work-conserving jump to the arrival
+        # Phase 2: the future is queued; earlier-deadline jobs first.
+        while index < n and jobs[index][0] < fkey:
+            key, chain_exec = jobs[index]
+            time = time + chain_exec
+            if time > key[0] + EPS:
+                return False
+            index += 1
+        time = time + f_exec
+        if time > f_deadline + EPS:
+            return False
+        # Phase 3: the displaced suffix.
+        while index < n:
+            key, chain_exec = jobs[index]
+            time = time + chain_exec
+            if time > key[0] + EPS:
+                return False
+            index += 1
+        return True
 
     def _probe_reference(
         self,

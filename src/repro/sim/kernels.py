@@ -1,0 +1,328 @@
+"""The vectorised simulation kernel (``SimulationConfig(kernel="vector")``).
+
+Batches the admission inner loop over numpy struct-of-arrays state for
+*isolated* requests — those separated from both neighbours by an
+idle-point boundary (DESIGN.md §14).  For such a request the serial
+pipeline collapses to a closed form whose float operations can be
+mirrored exactly, elementwise:
+
+* decision time = arrival (platform idle, no overhead without a real
+  predictor);
+* the heuristic sees a single fresh task: capacity = window = deadline
+  budget, so a resource is a candidate iff ``wcet <= budget + 1e-9`` —
+  the *same* comparison that would apply the deadline penalty, which
+  therefore never reorders candidates; preference order per type is
+  ``sorted((energy, resource))`` over executable resources;
+* the probe against an empty timeline is ``not (arrival + wcet >
+  absolute_deadline + 1e-9)``;
+* on admission the single execution chunk runs to completion during the
+  advance to the next arrival, dissipating exactly
+  ``(energy * wcet) / wcet`` with a span ``[arrival, arrival + wcet]``.
+
+Requests that overlap (and the trace's final request, whose drain uses
+``completion_horizon()`` float arithmetic) run through the reference
+Python loop as windowed residual segments — the same shard machinery
+:mod:`repro.sim.sharded` uses — and everything is stitched with the
+same delta-stream refold.  The kernel *declines* (returns ``None``, and
+``Simulator.run`` silently falls back to the reference loop) whenever
+any feature outside this proof obligation is active: faults, tracing,
+activation records, non-heuristic strategies, real predictors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.heuristic import HeuristicResourceManager
+from repro.predict.base import NullPredictor
+from repro.sim.result import SimulationResult
+from repro.sim.sharded import ShardWindow, _refold_deltas
+from repro.sim.state import ExecutionSpan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.platform import Platform
+    from repro.sim.simulator import Simulator
+    from repro.workload.soa import SoATrace
+    from repro.workload.trace import Trace
+
+__all__ = ["run_vector_core", "try_run_vectorised", "vector_eligible"]
+
+_EPS = 1e-9
+# Singleton runs shorter than this go through the Python loop with the
+# rest of the residual segment: numpy setup costs more than it saves.
+_MIN_VECTOR_RUN = 8
+
+
+def vector_eligible(simulator: "Simulator", trace: "Trace") -> bool:
+    """Whether the vector kernel's bit-identity proof covers this run."""
+    config = simulator.config
+    plan = config.fault_plan
+    return (
+        type(simulator.strategy) is HeuristicResourceManager
+        and isinstance(simulator.predictor, NullPredictor)
+        and (plan is None or plan.is_empty)
+        and config.tracer is None
+        and config.clock is None
+        and not config.collect_records
+        and trace.n_resources == simulator.platform.size
+        and len(trace) > 0
+    )
+
+
+def _isolation_mask(
+    arrival: np.ndarray, absolute_deadline: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Boundary legality and per-request isolation, vectorised.
+
+    ``boundary_ok[b]`` mirrors :func:`repro.sim.sharded.find_cut_points`
+    (no overhead term — the kernel requires a null predictor): every
+    earlier absolute deadline sits the idle-cut margin below
+    ``arrival[b]``.  A request is isolated when both its boundaries are
+    legal.
+    """
+    n = len(arrival)
+    boundary_ok = np.ones(n + 1, dtype=bool)
+    if n > 1:
+        prefix = np.maximum.accumulate(absolute_deadline)
+        margin = 1e-6 + 4.0 * np.spacing(arrival[1:])
+        boundary_ok[1:n] = prefix[: n - 1] + margin <= arrival[1:]
+    isolated = boundary_ok[:n] & boundary_ok[1:]
+    return isolated, boundary_ok
+
+
+def _admit_batch(
+    arrival: np.ndarray,
+    absolute_deadline: np.ndarray,
+    budget: np.ndarray,
+    type_ids: np.ndarray,
+    wcet: np.ndarray,
+    energy: np.ndarray,
+) -> np.ndarray:
+    """Resource choice per isolated request (-1 = rejected).
+
+    The exact vector mirror of the heuristic + empty-timeline probe for
+    a single fresh task (see module docstring): first resource in
+    ``sorted((energy, i))`` order passing both the capacity filter and
+    the probe, elementwise over the batch.
+    """
+    choice = np.full(len(arrival), -1, dtype=np.int64)
+    unassigned = np.ones(len(arrival), dtype=bool)
+    for type_index in np.unique(type_ids):
+        type_mask = type_ids == type_index
+        order = sorted(
+            (float(energy[type_index, i]), i)
+            for i in range(wcet.shape[1])
+            if math.isfinite(wcet[type_index, i])
+        )
+        for _, resource in order:
+            exec_time = wcet[type_index, resource]
+            admit = (
+                type_mask
+                & unassigned
+                & (exec_time <= budget + _EPS)
+                & ~(arrival + exec_time > absolute_deadline + _EPS)
+            )
+            if admit.any():
+                choice[admit] = resource
+                unassigned &= ~admit
+    return choice
+
+
+def _delta_table(soa: "SoATrace") -> np.ndarray:
+    """Per-(type, resource) energy delta, ``(energy * wcet) / wcet``.
+
+    The serial loop dissipates ``power * elapsed`` where power is
+    ``energy / wcet``; folding the two float ops in this order mirrors
+    it exactly.  Blocked pairs (``inf`` WCET) yield NaN — harmless,
+    they are never selected — so the invalid-divide warning is muted.
+    """
+    with np.errstate(invalid="ignore"):
+        return (soa.energy * soa.wcet) / soa.wcet
+
+
+def _segments(isolated: np.ndarray) -> list[tuple[str, int, int]]:
+    """Split ``[0, n)`` into ordered ("vector"|"python", start, stop) runs.
+
+    Maximal isolated runs of at least ``_MIN_VECTOR_RUN`` become vector
+    segments; everything else (including the trace's final request,
+    whose drain arithmetic only the reference loop reproduces) merges
+    into python segments.
+    """
+    n = len(isolated)
+    flags = isolated.copy()
+    flags[n - 1] = False  # final request: completion_horizon drain
+    segments: list[tuple[str, int, int]] = []
+    index = 0
+    while index < n:
+        start = index
+        value = bool(flags[index])
+        while index < n and bool(flags[index]) == value:
+            index += 1
+        if value and index - start >= _MIN_VECTOR_RUN:
+            segments.append(("vector", start, index))
+        elif segments and segments[-1][0] == "python":
+            segments[-1] = ("python", segments[-1][1], index)
+        else:
+            segments.append(("python", start, index))
+    return segments
+
+
+def try_run_vectorised(
+    simulator: "Simulator", trace: "Trace"
+) -> SimulationResult | None:
+    """Run ``trace`` through the vector kernel, or decline with ``None``.
+
+    A ``None`` return means the caller must use the reference loop —
+    either the configuration is outside the proof (``vector_eligible``)
+    or the trace has no isolated run long enough to pay for numpy.
+    """
+    from repro.sim.simulator import Simulator
+    from repro.workload.soa import SoATrace
+
+    if not vector_eligible(simulator, trace):
+        return None
+    config = simulator.config
+    soa = SoATrace.from_trace(trace)
+    absolute_deadline = soa.arrival + soa.deadline
+    isolated, _ = _isolation_mask(soa.arrival, absolute_deadline)
+    segments = _segments(isolated)
+    if not any(kind == "vector" for kind, _, _ in segments):
+        return None
+    need_spans = config.collect_execution_log or config.verify
+    n = len(trace)
+    stitched = SimulationResult(
+        n_requests=n, energy_demand=trace.stats().energy_demand
+    )
+    deltas: list[tuple[str, float]] = []
+    delta_table = _delta_table(soa)
+    window_config = replace(
+        config,
+        verify=False,
+        collect_execution_log=need_spans,
+        kernel="python",
+    )
+    window_simulator: Simulator | None = None
+    for kind, start, stop in segments:
+        if kind == "python":
+            if window_simulator is None:
+                window_simulator = Simulator(
+                    simulator.platform,
+                    simulator.strategy,
+                    simulator.predictor,
+                    window_config,
+                )
+            window = ShardWindow(
+                start=start,
+                stop=stop,
+                drain_until=(
+                    float(soa.arrival[stop]) if stop < n else None
+                ),
+            )
+            part = window_simulator.run(trace, window=window)
+            stitched.accepted.extend(part.accepted)
+            stitched.rejected.extend(part.rejected)
+            stitched.execution_log.extend(part.execution_log)
+            stitched.degradations.extend(part.degradations)
+            stitched.evicted.extend(part.evicted)
+            stitched.migration_count += part.migration_count
+            stitched.abort_count += part.abort_count
+            stitched.predictions_used += part.predictions_used
+            stitched.solver_calls_total += part.solver_calls_total
+            deltas.extend(part.delta_log or ())
+            continue
+        arrival = soa.arrival[start:stop]
+        deadline_abs = absolute_deadline[start:stop]
+        types = soa.type_id[start:stop]
+        budget = deadline_abs - arrival
+        choice = _admit_batch(
+            arrival, deadline_abs, budget, types, soa.wcet, soa.energy
+        )
+        admitted = choice >= 0
+        indices = np.arange(start, stop, dtype=np.int64)
+        stitched.accepted.extend(indices[admitted].tolist())
+        stitched.rejected.extend(indices[~admitted].tolist())
+        stitched.solver_calls_total += stop - start
+        chosen_types = types[admitted]
+        chosen = choice[admitted]
+        deltas.extend(
+            ("w", value)
+            for value in delta_table[chosen_types, chosen].tolist()
+        )
+        if need_spans:
+            starts = arrival[admitted]
+            execs = soa.wcet[chosen_types, chosen]
+            ends = starts + execs
+            keep = ~(ends <= starts + _EPS)  # _log's tiny-span skip
+            for job_id, resource, span_start, span_end in zip(
+                indices[admitted][keep].tolist(),
+                chosen[keep].tolist(),
+                starts[keep].tolist(),
+                ends[keep].tolist(),
+                strict=True,
+            ):
+                stitched.execution_log.append(
+                    ExecutionSpan(
+                        job_id=job_id,
+                        resource=resource,
+                        start=span_start,
+                        end=span_end,
+                        kind="work",
+                    )
+                )
+    _refold_deltas(stitched, deltas)
+    if config.verify:
+        simulator._verify(trace, stitched)
+    if not config.collect_execution_log and not config.verify:
+        stitched.execution_log = []
+    return stitched
+
+
+def run_vector_core(
+    soa: "SoATrace", platform: "Platform"
+) -> dict[str, float | int]:
+    """The benchmark entry point: pure-numpy admission over a SoA trace.
+
+    Requires every request to be an idle-point singleton (the layout
+    :func:`repro.workload.soa.generate_idle_soa` produces) — the shape
+    the 10⁷-event scenario measures.  Returns headline totals only; the
+    reported energy uses ``np.sum`` (pairwise, reporting precision) —
+    bit-exactness against the serial loop is the job of
+    :func:`try_run_vectorised`, which this shares its admission mirror
+    with.
+    """
+    if soa.n_resources != platform.size:
+        raise ValueError(
+            f"SoA trace built for {soa.n_resources} resources, platform "
+            f"has {platform.size}"
+        )
+    absolute_deadline = soa.arrival + soa.deadline
+    isolated, _ = _isolation_mask(soa.arrival, absolute_deadline)
+    if not bool(isolated.all()):
+        raise ValueError(
+            "run_vector_core requires a fully idle-point trace; use "
+            "simulate(..., kernel='vector') for mixed traces"
+        )
+    budget = absolute_deadline - soa.arrival
+    choice = _admit_batch(
+        soa.arrival,
+        absolute_deadline,
+        budget,
+        soa.type_id,
+        soa.wcet,
+        soa.energy,
+    )
+    admitted = choice >= 0
+    delta_table = _delta_table(soa)
+    total_energy = float(
+        np.sum(delta_table[soa.type_id[admitted], choice[admitted]])
+    )
+    return {
+        "events": len(soa),
+        "accepted": int(np.count_nonzero(admitted)),
+        "rejected": int(len(soa) - np.count_nonzero(admitted)),
+        "total_energy": total_energy,
+    }

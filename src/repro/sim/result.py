@@ -75,6 +75,15 @@ class SimulationResult:
     metrics:
         The run's :class:`~repro.obs.metrics.MetricsSnapshot`, ``None``
         unless metrics collection was enabled.
+    delta_log:
+        Shard-internal handoff data (DESIGN.md §14): the ordered
+        ``(tag, value)`` energy-delta stream of this run, collected only
+        for shard runs so the sharded stitcher can refold the serial
+        accumulators bit-identically.  ``None`` on ordinary runs.
+    final_time:
+        The platform time when this run finished (shard runs only;
+        ``None`` otherwise).  The stitcher's ``sim/horizon`` gauge and
+        verifier need the last shard's value.
     """
 
     n_requests: int
@@ -96,6 +105,12 @@ class SimulationResult:
     evicted: list[int] = field(default_factory=list)
     events: "list[SimEvent]" = field(default_factory=list)
     metrics: "MetricsSnapshot | None" = None
+    delta_log: list[tuple[str, float]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    final_time: float | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_accepted(self) -> int:

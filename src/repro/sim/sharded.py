@@ -1,0 +1,436 @@
+"""Sharded trace simulation, bit-identical to the serial run.
+
+Splits one trace at *idle points* — request boundaries where every
+admitted job has provably completed and the decision chain has caught up
+— simulates each shard independently (optionally on a process pool), and
+stitches the shard results back into one
+:class:`~repro.sim.result.SimulationResult` that is bit-identical to
+``Simulator.run`` on the whole trace (DESIGN.md §14).
+
+Why this is possible without approximation:
+
+* **Idle-point cuts.** A cut before request ``b`` is legal only when the
+  running maximum of absolute deadlines over requests ``< b`` sits a
+  safety margin below ``arrival_b`` (admitted jobs never run past their
+  deadline plus the simulator's ``1e-6`` tolerance, so all prior work is
+  finished), and when the prediction-overhead decision chain has drained
+  (``t_{b-1} <= arrival_b``).  At such a boundary the serial simulator's
+  platform state is empty: the handoff record reduces to the down-set,
+  the predictor state, and the outage-event window — no carried-over
+  active jobs, no migration debt, by construction.
+* **Exact drain replay.** An interior shard finishes by advancing to the
+  next shard's first arrival — the exact advance target the serial run
+  uses — never to ``completion_horizon()``, whose float arithmetic can
+  differ in the last chunk by one ulp.
+* **Delta-stream refold.** Float addition is not associative, so shard
+  energy totals are never summed.  Each shard records every accumulator
+  increment in order (``PlatformState.delta_log``); the stitcher refolds
+  the concatenated stream left-to-right, reproducing the serial
+  accumulator bit patterns exactly.
+* **Predictor warm-up.** Stateful predictors replay the pre-shard query
+  sequence (including injected faults, which skip real queries) so the
+  shard's first real query sees the serial predictor state.
+* **Metrics rebuild.** Histograms and counters are rebuilt from the
+  stitched per-activation records and refolded totals in one fresh
+  registry — the same observation sequence the serial run made.
+
+Structured event collection (``TraceOptions(events=True)``) is the one
+unsupported feature: per-shard event streams would need the same global
+reordering machinery for no consumer; ask for ``shards=1`` or
+``TraceOptions(events=False)``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.base import MappingStrategy
+from repro.model.platform import Platform
+from repro.obs.events import monotonic_now
+from repro.obs.metrics import MetricsRegistry
+from repro.predict.base import Predictor
+from repro.sim.result import SimulationResult
+from repro.sim.simulator import SimulationConfig, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.workload.trace import Trace
+
+__all__ = [
+    "ShardWindow",
+    "find_cut_points",
+    "plan_windows",
+    "simulate_sharded",
+]
+
+
+@dataclass(frozen=True)
+class ShardWindow:
+    """The boundary-handoff record for one shard (DESIGN.md §14).
+
+    ``start``/``stop`` delimit the request range; ``preset_down`` is the
+    set of resources already failed at the boundary (outage boundaries
+    at or before ``events_lo`` replayed silently); outage events with
+    time in ``(events_lo, events_hi]`` belong to this shard; interior
+    shards drain by advancing to ``drain_until`` (the next shard's first
+    arrival), the last shard (``drain_until is None``) drains to the
+    completion horizon exactly like the serial run.
+
+    The idle-point cut rule guarantees the rest of the serial state is
+    empty at the boundary: no active jobs, no migration debt.
+    """
+
+    start: int
+    stop: int
+    preset_down: frozenset[int] = frozenset()
+    events_lo: float = -math.inf
+    events_hi: float = math.inf
+    drain_until: float | None = None
+
+
+def _cut_margin(arrival: float) -> float:
+    """Safety margin a cut needs below the next arrival.
+
+    ``1e-6`` covers the simulator's deadline-miss tolerance (admitted
+    work may run up to ``deadline + 1e-6``); the ulp term keeps the
+    margin meaningful for traces whose arrival times are large enough
+    that ``1e-6`` is close to one ulp.
+    """
+    return 1e-6 + 4.0 * math.ulp(arrival)
+
+
+def find_cut_points(
+    trace: "Trace",
+    *,
+    prediction_overhead: float = 0.0,
+    prediction_enabled: bool = False,
+) -> list[int]:
+    """Indices ``b`` where the trace may be cut before request ``b``.
+
+    A boundary is legal when (a) every request before it has an absolute
+    deadline at least :func:`_cut_margin` below ``arrival_b`` — so all
+    prior admitted work has provably completed — and (b) the decision
+    chain (with prediction overhead) has drained: ``t_{b-1} <=
+    arrival_b``.  Without overhead (b) is automatic, because decisions
+    happen at arrival times.
+    """
+    requests = trace.requests
+    n = len(requests)
+    if n < 2:
+        return []
+    charge = prediction_enabled and prediction_overhead > 0
+    cuts: list[int] = []
+    prefix_deadline = -math.inf
+    chain = 0.0
+    for index in range(1, n):
+        previous = requests[index - 1]
+        prefix_deadline = max(prefix_deadline, previous.absolute_deadline)
+        if charge:
+            # Mirror of the serial decision chain: decisions start at
+            # max(arrival, previous finish) and take `overhead`.
+            chain = max(previous.arrival, chain) + prediction_overhead
+        arrival = requests[index].arrival
+        if prefix_deadline + _cut_margin(arrival) <= arrival and (
+            not charge or chain <= arrival
+        ):
+            cuts.append(index)
+    return cuts
+
+
+def _snap_cuts(requested: Sequence[int], legal: list[int], n: int) -> list[int]:
+    """Snap requested cut indices to the nearest legal idle point.
+
+    Mid-burst requests move to the closest legal boundary (ties toward
+    the earlier one); duplicates and out-of-range values collapse away.
+    """
+    if not legal:
+        return []
+    snapped: set[int] = set()
+    for want in requested:
+        if not 1 <= want <= n - 1:
+            continue
+        position = bisect_left(legal, want)
+        best: int | None = None
+        for candidate in legal[max(position - 1, 0):position + 1]:
+            if best is None or abs(candidate - want) < abs(best - want):
+                best = candidate
+        if best is not None:
+            snapped.add(best)
+    return sorted(snapped)
+
+
+def plan_windows(
+    trace: "Trace",
+    shards: int,
+    plan: "FaultPlan | None",
+    *,
+    prediction_overhead: float = 0.0,
+    prediction_enabled: bool = False,
+    requested_cuts: Sequence[int] | None = None,
+) -> list[ShardWindow]:
+    """Split ``trace`` into up to ``shards`` handoff windows.
+
+    Cuts are chosen from the legal idle points (evenly spaced targets
+    snapped to the nearest legal boundary), or snapped from
+    ``requested_cuts`` when given.  Fewer legal points than requested
+    shards simply yields fewer shards — correctness never bends to the
+    shard count.
+    """
+    n = len(trace)
+    legal = find_cut_points(
+        trace,
+        prediction_overhead=prediction_overhead,
+        prediction_enabled=prediction_enabled,
+    )
+    if requested_cuts is not None:
+        cuts = _snap_cuts(requested_cuts, legal, n)
+    elif shards <= 1 or not legal:
+        cuts = []
+    else:
+        targets = [round(n * k / shards) for k in range(1, shards)]
+        cuts = _snap_cuts(targets, legal, n)
+    boundaries = [0, *cuts, n]
+    events = list(plan.outage_events()) if plan is not None else []
+    arrivals = [trace.requests[b].arrival for b in boundaries[:-1]]
+    windows: list[ShardWindow] = []
+    down: set[int] = set()
+    pointer = 0
+    for k in range(len(boundaries) - 1):
+        start, stop = boundaries[k], boundaries[k + 1]
+        events_lo = -math.inf if k == 0 else arrivals[k]
+        # Replay outage boundaries up to this shard's entry: they were
+        # applied (and recorded) by earlier shards; here only the net
+        # down-set crosses the boundary.
+        while pointer < len(events) and events[pointer][0] <= events_lo:
+            _, kind, resource = events[pointer]
+            if kind == "down":
+                down.add(resource)
+            else:
+                down.discard(resource)
+            pointer += 1
+        last = k == len(boundaries) - 2
+        events_hi = math.inf if last else arrivals[k + 1]
+        windows.append(
+            ShardWindow(
+                start=start,
+                stop=stop,
+                preset_down=frozenset(down),
+                events_lo=events_lo,
+                events_hi=events_hi,
+                drain_until=None if last else events_hi,
+            )
+        )
+    return windows
+
+
+# Per-worker state for the optional process pool: built once per worker
+# by the initializer so each shard ships only its (tiny) window.
+_SHARD_STATE: tuple[Simulator, "Trace"] | None = None
+
+
+def _init_shard_worker(
+    platform: Platform,
+    strategy: MappingStrategy,
+    predictor: Predictor,
+    config: SimulationConfig,
+    trace: "Trace",
+) -> None:
+    global _SHARD_STATE  # noqa: PLW0603 - worker-process cache
+    _SHARD_STATE = (Simulator(platform, strategy, predictor, config), trace)
+
+
+def _run_shard_worker(window: ShardWindow) -> SimulationResult:
+    assert _SHARD_STATE is not None, "worker initializer did not run"
+    simulator, trace = _SHARD_STATE
+    return simulator.run(trace, window=window)
+
+
+def _refold_deltas(
+    stitched: SimulationResult, deltas: list[tuple[str, float]]
+) -> None:
+    """Refold the concatenated energy-delta stream into the accumulators.
+
+    One sequential left fold per accumulator, in the exact order the
+    serial run performed the additions — reproducing its floats
+    bit-for-bit (see module docstring).
+    """
+    total = 0.0
+    migration = 0.0
+    wasted = 0.0
+    for tag, value in deltas:
+        if tag == "w":
+            total += value
+        elif tag == "m":
+            total += value
+            migration += value
+        else:  # "x"
+            wasted += value
+    stitched.total_energy = total
+    stitched.migration_energy = migration
+    stitched.wasted_energy = wasted
+
+
+def _rebuild_metrics(
+    stitched: SimulationResult,
+    shard_results: list[SimulationResult],
+    horizon: float,
+    wall_start: float,
+) -> None:
+    """Reconstruct the serial run's metrics snapshot from stitched data.
+
+    Histograms replay the per-activation observations in global request
+    order; gauges merge by max across shards; counters come from the
+    already-refolded result totals (the same values the serial
+    ``_fold_metrics`` increments with).
+    """
+    registry = MetricsRegistry()
+    for record in stitched.records:
+        registry.observe(
+            "sim/context_size",
+            record.context_size,
+            bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        registry.observe(
+            "sim/decision_latency", record.decision_time - record.arrival
+        )
+    for result in shard_results:
+        if result.metrics is None:
+            continue
+        peak = result.metrics.gauges.get("sim/peak_active_jobs")
+        if peak is not None:
+            registry.gauge_max("sim/peak_active_jobs", peak)
+    Simulator._fold_metrics(registry, stitched, horizon)
+    registry.gauge_max("wall/run_seconds", monotonic_now() - wall_start)
+    stitched.metrics = registry.snapshot()
+
+
+def simulate_sharded(
+    trace: "Trace",
+    platform: Platform,
+    strategy: MappingStrategy | str,
+    predictor: Predictor | str | None = None,
+    config: SimulationConfig | None = None,
+    *,
+    shards: int,
+    shard_jobs: int | None = None,
+    cuts: Sequence[int] | None = None,
+) -> SimulationResult:
+    """Simulate ``trace`` in shards; bit-identical to the serial run.
+
+    ``shards`` is an upper bound — the splitter uses at most that many
+    idle-point windows.  ``shard_jobs > 1`` runs the shards on a process
+    pool (each worker re-resolves its simulator from pickled pieces);
+    the default runs them in-process, which is still the vehicle the
+    vectorised kernel uses for residual segments.  ``cuts`` forces
+    specific boundaries (snapped to the nearest legal idle point) — the
+    property-test hook for mid-burst cut requests.
+    """
+    config = config or SimulationConfig()
+    options = config.tracer
+    if options is not None and options.events:
+        raise ValueError(
+            "shards > 1 cannot collect the structured event stream; use "
+            "TraceOptions(events=False) or shards=1"
+        )
+    if config.clock is not None:
+        raise ValueError(
+            "shards > 1 requires the default per-run virtual clock; an "
+            "external Clock cannot observe shards consistently"
+        )
+    wall_start = monotonic_now()
+    driver = Simulator(platform, strategy, predictor, config)
+    plan = config.fault_plan
+    if plan is not None and plan.trace_faults:
+        # Perturb exactly once so all shards agree on indices; shard
+        # configs carry the stripped plan.
+        perturbed = plan.perturb_trace(trace)
+        shard_plan = replace(plan, trace_faults=())
+    else:
+        perturbed = trace
+        shard_plan = plan
+    windows = plan_windows(
+        perturbed,
+        shards,
+        shard_plan,
+        prediction_overhead=config.prediction_overhead,
+        prediction_enabled=driver.prediction_enabled,
+        requested_cuts=cuts,
+    )
+    if len(windows) <= 1:
+        # No legal cut (one dense burst): the serial run *is* the
+        # sharded run.
+        return driver.run(trace)
+    shard_config = replace(
+        config,
+        fault_plan=shard_plan,
+        verify=False,
+        collect_records=True,
+        collect_execution_log=config.collect_execution_log or config.verify,
+    )
+    if shard_jobs is not None and shard_jobs > 1:
+        # Imported lazily: plain in-process sharding must not pay for
+        # the pool machinery.
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(shard_jobs, len(windows))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_shard_worker,
+            initargs=(
+                platform,
+                driver.strategy,
+                driver.predictor,
+                shard_config,
+                perturbed,
+            ),
+        ) as pool:
+            shard_results = list(pool.map(_run_shard_worker, windows))
+    else:
+        shard_simulator = Simulator(
+            platform, driver.strategy, driver.predictor, shard_config
+        )
+        shard_results = [
+            shard_simulator.run(perturbed, window=window)
+            for window in windows
+        ]
+
+    stitched = SimulationResult(
+        n_requests=len(perturbed),
+        energy_demand=perturbed.stats().energy_demand,
+    )
+    deltas: list[tuple[str, float]] = []
+    for result in shard_results:
+        stitched.accepted.extend(result.accepted)
+        stitched.rejected.extend(result.rejected)
+        stitched.records.extend(result.records)
+        stitched.execution_log.extend(result.execution_log)
+        stitched.degradations.extend(result.degradations)
+        stitched.evicted.extend(result.evicted)
+        stitched.migration_count += result.migration_count
+        stitched.abort_count += result.abort_count
+        stitched.predictions_used += result.predictions_used
+        stitched.solver_calls_total += result.solver_calls_total
+        deltas.extend(result.delta_log or ())
+    _refold_deltas(stitched, deltas)
+    if driver.prediction_enabled and config.prediction_overhead > 0:
+        # The serial run charges the overhead once per request with a
+        # sequential float fold; replay the same n additions.
+        overhead_total = 0.0
+        for _ in range(len(perturbed)):
+            overhead_total += config.prediction_overhead
+        stitched.prediction_overhead_total = overhead_total
+    final_time = shard_results[-1].final_time
+    assert final_time is not None
+    if options is not None and options.metrics:
+        _rebuild_metrics(stitched, shard_results, final_time, wall_start)
+    if config.verify:
+        driver._verify(perturbed, stitched)
+    if not config.collect_records:
+        stitched.records = []
+    if not config.collect_execution_log and not config.verify:
+        # verify=True already normalised the log inside _verify.
+        stitched.execution_log = []
+    return stitched

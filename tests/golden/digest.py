@@ -35,8 +35,21 @@ def pair_key(strategy: str, predictor: str | None) -> str:
     return f"{strategy}+{predictor or 'off'}"
 
 
-def result_digest(trace: Trace, strategy: str, predictor: str | None) -> dict[str, Any]:
-    """Replay ``trace`` and produce its bit-exact behavioural digest."""
+def result_digest(
+    trace: Trace,
+    strategy: str,
+    predictor: str | None,
+    *,
+    kernel: str = "python",
+    shards: int = 1,
+) -> dict[str, Any]:
+    """Replay ``trace`` and produce its bit-exact behavioural digest.
+
+    ``kernel``/``shards`` select the execution path; every path is
+    required to reproduce the *same* digest as the serial pure-Python
+    run — that is the whole point of the golden suite's kernel
+    parametrisation.
+    """
     platform = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
     result = simulate(
         trace,
@@ -44,6 +57,8 @@ def result_digest(trace: Trace, strategy: str, predictor: str | None) -> dict[st
         strategy,
         predictor,
         SimulationConfig(collect_execution_log=True),
+        kernel=kernel,
+        shards=shards,
     )
     span_lines = [
         f"{span.job_id},{span.resource},{span.kind},"

@@ -49,6 +49,12 @@ class TestConfig:
         with pytest.raises(ValueError):
             BenchConfig(group="XL")
 
+    def test_rejects_bad_scenario(self):
+        with pytest.raises(ValueError, match="scenario must be"):
+            BenchConfig(scenario="enormous")
+        with pytest.raises(ValueError, match="scenario_events"):
+            BenchConfig(scenario="huge", scenario_events=0)
+
 
 class TestSuite:
     def test_registry_contains_the_documented_benchmarks(self):
@@ -83,6 +89,46 @@ class TestSuite:
         result = run_bench("timeline_build", config)
         assert result.alloc_peak_bytes is not None
         assert result.alloc_peak_bytes > 0
+
+    def test_huge_scenario_runs_only_the_scaling_subset(self):
+        """``scenario=huge`` narrows the suite to the benchmarks the
+        scaling trace actually changes, records the scenario knobs in
+        the config block, and reports the vector kernel."""
+        config = BenchConfig(
+            n_traces=1,
+            n_requests=10,
+            repeats=1,
+            alloc=False,
+            scenario="huge",
+            scenario_events=500,
+        )
+        payload = run_suite(config)
+        assert set(payload["benchmarks"]) == {
+            "sim_loop",
+            "timeline_probe_vector",
+        }
+        assert payload["config"]["scenario"] == "huge"
+        assert payload["config"]["scenario_events"] == 500
+        extra = payload["benchmarks"]["sim_loop"]["extra"]
+        assert extra["scenario"] == "huge"
+        assert extra["kernel"] == "vector"
+        assert extra["shards"] >= 1
+
+    def test_huge_scenario_is_deterministic(self):
+        config = BenchConfig(
+            n_traces=1,
+            n_requests=10,
+            repeats=1,
+            alloc=False,
+            scenario="huge",
+            scenario_events=500,
+        )
+        first = run_suite(config, only=["sim_loop"])
+        second = run_suite(config, only=["sim_loop"])
+        a = first["benchmarks"]["sim_loop"]
+        b = second["benchmarks"]["sim_loop"]
+        assert a["events"] == b["events"] == 500
+        assert a["extra"]["fingerprint"] == b["extra"]["fingerprint"]
 
     def test_workload_is_deterministic_back_to_back(self):
         """Same config => same event counts and same result fingerprints
@@ -159,6 +205,23 @@ class TestBenchCli:
         payload = load_payload(out)
         assert payload["schema_version"] == SCHEMA_VERSION
         assert "events/s" in capsys.readouterr().out
+
+    def test_scenario_flag_selects_the_scaling_suite(self, capsys):
+        argv = [
+            "bench",
+            "--repeats", "1",
+            "--no-alloc",
+            "--scenario", "huge",
+            "--scenario-events", "500",
+            "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["benchmarks"]) == {
+            "sim_loop",
+            "timeline_probe_vector",
+        }
+        assert payload["config"]["scenario_events"] == 500
 
     def test_fail_threshold_requires_baseline(self, capsys):
         assert main(BENCH_TINY_ARGS + ["--fail-threshold", "0.5"]) == 2

@@ -1,0 +1,194 @@
+"""Differential suite for the one-pending-future probe fast path.
+
+``Timeline.probe`` used to fall back to a full :func:`build_timeline`
+replay whenever the probed job set held a pending future arrival — the
+dominant cost of the admission loop under lookahead prediction.  The
+fast path (:meth:`Timeline._probe_one_future_fast`) answers the
+single-future shapes from the cached chain arrays with bit-identical
+float arithmetic.  Every test here compares the public ``probe`` answer
+against the authoritative ``_probe_reference`` replay on the same
+timeline, so any divergence — including a single flipped EPS comparison
+— fails loudly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.timeline import EPS, Timeline
+
+QUANTA = 0.125  # exactly representable: keeps case generation unbiased
+
+
+def build(start, preemptable, chain, forced, future):
+    """A timeline from quantised specs.
+
+    ``chain`` is ``[(exec_q, deadline_q), ...]``, ``forced`` an optional
+    ``(exec_q, deadline_q)`` running job, ``future`` an optional
+    ``(arrival_q, exec_q, deadline_q)`` pending arrival.
+    """
+    timeline = Timeline(start_time=start, preemptable=preemptable)
+    job_id = 0
+    if forced is not None:
+        exec_q, deadline_q = forced
+        timeline.insert(
+            job_id,
+            exec_q * QUANTA,
+            start + deadline_q * QUANTA,
+            must_run_first=True,
+        )
+        job_id += 1
+    for exec_q, deadline_q in chain:
+        timeline.insert(job_id, exec_q * QUANTA, start + deadline_q * QUANTA)
+        job_id += 1
+    if future is not None:
+        arrival_q, exec_q, deadline_q = future
+        timeline.insert(
+            job_id,
+            exec_q * QUANTA,
+            start + deadline_q * QUANTA,
+            arrival=start + arrival_q * QUANTA,
+        )
+        job_id += 1
+    return timeline, job_id
+
+
+def assert_probe_matches_reference(timeline, job_id, exec_time, deadline,
+                                   arrival):
+    expected = timeline._probe_reference(
+        job_id, exec_time, deadline, arrival=arrival, must_run_first=False
+    )
+    actual = timeline.probe(job_id, exec_time, deadline, arrival=arrival)
+    assert actual == expected
+
+
+chain_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=24),   # exec quanta
+        st.integers(min_value=1, max_value=120),  # deadline quanta
+    ),
+    min_size=0,
+    max_size=6,
+)
+forced_strategy = st.none() | st.tuples(
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=1, max_value=120),
+)
+job_strategy = st.tuples(
+    st.integers(min_value=1, max_value=96),   # arrival quanta
+    st.integers(min_value=1, max_value=24),   # exec quanta
+    st.integers(min_value=1, max_value=140),  # deadline quanta
+)
+
+
+class TestFutureProbeAgainstChain:
+    """Probing the predicted (future) job against a futures-free chain."""
+
+    @given(
+        chain=chain_strategy,
+        forced=forced_strategy,
+        probe=job_strategy,
+        preemptable=st.booleans(),
+        start=st.sampled_from([0.0, 7.25]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference(self, chain, forced, probe, preemptable,
+                               start):
+        timeline, job_id = build(start, preemptable, chain, forced, None)
+        arrival_q, exec_q, deadline_q = probe
+        assert_probe_matches_reference(
+            timeline,
+            job_id,
+            exec_q * QUANTA,
+            start + deadline_q * QUANTA,
+            start + arrival_q * QUANTA,
+        )
+
+
+class TestReadyProbeAgainstPendingFuture:
+    """Probing a ready job against a chain holding one pending future."""
+
+    @given(
+        chain=chain_strategy,
+        forced=forced_strategy,
+        future=job_strategy,
+        probe=st.tuples(
+            st.integers(min_value=1, max_value=24),
+            st.integers(min_value=1, max_value=140),
+        ),
+        preemptable=st.booleans(),
+        start=st.sampled_from([0.0, 7.25]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference(self, chain, forced, future, probe,
+                               preemptable, start):
+        timeline, job_id = build(start, preemptable, chain, forced, future)
+        exec_q, deadline_q = probe
+        assert_probe_matches_reference(
+            timeline,
+            job_id,
+            exec_q * QUANTA,
+            start + deadline_q * QUANTA,
+            None,
+        )
+
+
+class TestEpsilonBoundaries:
+    """Arrivals snapped exactly onto completion boundaries (the region
+    where a single flipped EPS comparison would change the answer)."""
+
+    @given(
+        chain=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=24),
+                st.integers(min_value=1, max_value=120),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        pick=st.integers(min_value=0, max_value=4),
+        offset=st.sampled_from(
+            [0.0, EPS, -EPS, EPS / 2, -EPS / 2, 2 * EPS, -2 * EPS]
+        ),
+        probe=st.tuples(
+            st.integers(min_value=1, max_value=24),
+            st.integers(min_value=1, max_value=140),
+        ),
+        preemptable=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_boundary_snapped_arrival(self, chain, pick, offset, probe,
+                                      preemptable):
+        timeline, job_id = build(0.0, preemptable, chain, None, None)
+        finishes = sorted(timeline.finish_times().values())
+        arrival = finishes[pick % len(finishes)] + offset
+        if arrival <= EPS:
+            return  # an effectively-ready probe exercises no fallback
+        exec_q, deadline_q = probe
+        assert_probe_matches_reference(
+            timeline, job_id, exec_q * QUANTA, deadline_q * QUANTA, arrival
+        )
+
+
+class TestOutsideTheProof:
+    """Shapes the fast path must decline, answered by the replay."""
+
+    def test_two_pending_futures_still_exact(self):
+        timeline, job_id = build(
+            0.0, True, [(8, 40), (8, 60)], None, (16, 8, 80)
+        )
+        timeline.insert(job_id, 1.0, 12.0, arrival=3.0)
+        assert_probe_matches_reference(timeline, job_id + 1, 1.0, 11.0, 5.0)
+
+    def test_tiny_future_still_exact(self):
+        timeline = Timeline(start_time=0.0, preemptable=True)
+        timeline.insert(0, 2.0, 8.0)
+        timeline.insert(1, EPS / 2, 9.0, arrival=4.0)  # never scheduled
+        assert_probe_matches_reference(timeline, 2, 1.0, 10.0, None)
+
+    def test_must_run_first_probe_still_exact(self):
+        timeline, job_id = build(0.0, False, [(8, 40)], None, (16, 8, 80))
+        expected = timeline._probe_reference(
+            job_id, 1.0, 2.0, arrival=None, must_run_first=True
+        )
+        actual = timeline.probe(job_id, 1.0, 2.0, must_run_first=True)
+        assert actual == expected

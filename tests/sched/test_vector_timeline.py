@@ -1,0 +1,155 @@
+"""Fallback equivalence of the vectorised timeline-probe kernel.
+
+:class:`~repro.sched.vector_timeline.VectorTimeline` promises that every
+probe answer — scalar or batched — is bit-identical to the reference
+:class:`~repro.sched.timeline.Timeline` on the same chain.  These tests
+enforce that with parametrised hand-built chains (empty, tiny, tie-heavy)
+and a Hypothesis sweep over random chains and probe positions, including
+the interior-probe path that forces the scalar suffix replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.timeline import EPS, Timeline
+from repro.sched.vector_timeline import VectorTimeline
+
+
+def reference_probe(
+    jobs: list[tuple[int, float, float]],
+    job_id: int,
+    exec_time: float,
+    deadline: float,
+    start_time: float = 0.0,
+) -> bool:
+    timeline = Timeline(start_time=start_time)
+    for jid, exc, dl in jobs:
+        timeline.insert(jid, exc, dl)
+    return timeline.probe(job_id, exec_time, deadline)
+
+
+def random_chain(rng: random.Random, n: int) -> list[tuple[int, float, float]]:
+    jobs = []
+    deadline = 0.0
+    for job_id in range(n):
+        exec_time = rng.uniform(0.05, 2.0)
+        deadline += rng.uniform(exec_time, exec_time * 3.0)
+        jobs.append((job_id, exec_time, deadline))
+    return jobs
+
+
+CHAIN_CASES = [
+    pytest.param([], id="empty"),
+    pytest.param([(0, 1.0, 2.0)], id="single"),
+    pytest.param([(0, 1.0, 2.0), (1, 1.0, 4.0), (2, 0.5, 6.0)], id="feasible"),
+    pytest.param([(0, 1.0, 2.0), (1, 1.0, 2.0), (2, 1.0, 2.0)], id="missed"),
+    pytest.param(
+        [(0, 0.5, 3.0), (1, 0.5, 3.0), (2, 0.5, 3.0)], id="deadline-ties"
+    ),
+]
+
+PROBE_CASES = [
+    pytest.param(10, 0.5, 1.0, id="early-deadline"),
+    pytest.param(10, 0.5, 3.0, id="tie-deadline"),
+    pytest.param(10, 0.5, 100.0, id="append-at-end"),
+    pytest.param(10, EPS / 2, 0.1, id="tiny-exec"),
+    pytest.param(10, 50.0, 55.0, id="infeasible-exec"),
+]
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("jobs", CHAIN_CASES)
+    @pytest.mark.parametrize("job_id,exec_time,deadline", PROBE_CASES)
+    def test_probe_matches_reference(self, jobs, job_id, exec_time, deadline):
+        vector = VectorTimeline(jobs)
+        assert vector.probe(job_id, exec_time, deadline) == reference_probe(
+            jobs, job_id, exec_time, deadline
+        )
+
+    @pytest.mark.parametrize("jobs", CHAIN_CASES)
+    def test_feasible_matches_reference(self, jobs):
+        timeline = Timeline()
+        for jid, exc, dl in jobs:
+            timeline.insert(jid, exc, dl)
+        assert VectorTimeline(jobs).feasible() == timeline.feasible()
+
+    def test_rejects_non_positive_exec(self):
+        vector = VectorTimeline([(0, 1.0, 2.0)])
+        with pytest.raises(ValueError, match="exec_time"):
+            vector.probe(1, 0.0, 5.0)
+        with pytest.raises(ValueError, match="exec_time"):
+            VectorTimeline([(0, -1.0, 2.0)])
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("jobs", CHAIN_CASES)
+    def test_batch_equals_scalar_loop(self, jobs):
+        probes = [
+            (10, 0.5, 1.0),
+            (11, 0.5, 3.0),
+            (12, 0.5, 100.0),
+            (13, 2.0, 2.5),
+        ]
+        vector = VectorTimeline(jobs)
+        batch = vector.probe_batch(
+            [p[0] for p in probes],
+            [p[1] for p in probes],
+            [p[2] for p in probes],
+        )
+        for answer, (job_id, exec_time, deadline) in zip(batch, probes):
+            assert bool(answer) == vector.probe(job_id, exec_time, deadline)
+            assert bool(answer) == reference_probe(
+                jobs, job_id, exec_time, deadline
+            )
+
+    def test_batch_validates_lengths(self):
+        vector = VectorTimeline()
+        with pytest.raises(ValueError, match="equal length"):
+            vector.probe_batch([1, 2], [0.5], [1.0, 2.0])
+
+    def test_finish_times_match_reference_fold(self):
+        jobs = [(0, 0.25, 1.0), (1, 0.5, 2.0), (2, 0.125, 3.0)]
+        vector = VectorTimeline(jobs)
+        finish = vector.finish_times()
+        expected = 0.0
+        for index, (_, exec_time, _) in enumerate(jobs):
+            expected = expected + exec_time
+            assert finish[index] == expected
+
+
+class TestHypothesisEquivalence:
+    @given(
+        chain_seed=st.integers(min_value=0, max_value=10_000),
+        n_jobs=st.integers(min_value=0, max_value=12),
+        probe_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_chains_random_probes(self, chain_seed, n_jobs, probe_seed):
+        chain_rng = random.Random(chain_seed)
+        jobs = random_chain(chain_rng, n_jobs)
+        vector = VectorTimeline(jobs)
+        probe_rng = random.Random(probe_seed)
+        horizon = (jobs[-1][2] if jobs else 1.0) * 1.5
+        probes = [
+            (
+                100 + index,
+                probe_rng.uniform(0.05, 3.0),
+                probe_rng.uniform(0.1, horizon),
+            )
+            for index in range(6)
+        ]
+        batch = vector.probe_batch(
+            np.array([p[0] for p in probes]),
+            np.array([p[1] for p in probes]),
+            np.array([p[2] for p in probes]),
+        )
+        for answer, (job_id, exec_time, deadline) in zip(batch, probes):
+            expected = reference_probe(jobs, job_id, exec_time, deadline)
+            assert bool(answer) == expected
+            assert vector.probe(job_id, exec_time, deadline) == expected

@@ -1,0 +1,214 @@
+"""The vectorised simulation kernel: engagement, fallback, bit-identity.
+
+Three behaviours matter and each gets its own class: the kernel must
+*engage* on traces with long isolated runs (not silently fall back, or
+the benchmark numbers are a lie), it must *decline* whenever its proof
+obligation is not met, and whenever it runs — pure-vector, mixed
+vector/python segments, or full fallback — the result must be
+bit-identical to the serial pure-Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.platform import Platform
+from repro.obs.events import TraceOptions
+from repro.sim import kernels
+from repro.sim.simulator import SimulationConfig, Simulator, simulate
+from repro.workload.soa import SoATrace, generate_idle_soa
+from repro.workload.tracegen import (
+    DeadlineGroup,
+    TraceConfig,
+    generate_trace_group,
+)
+
+PLATFORM = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
+
+
+def idle_trace(n: int = 400, seed: int = 3):
+    """Fully isolated requests — the kernel's best case."""
+    return generate_idle_soa(n, seed=seed, n_resources=PLATFORM.size)
+
+
+def mixed_trace(seed: int = 9):
+    """Isolated runs interleaved with dense bursts: vector + python
+    segments in one stitched run."""
+    rng = np.random.default_rng(seed)
+    base = generate_idle_soa(300, seed=seed, n_resources=PLATFORM.size)
+    arrival = base.arrival.copy()
+    for lo in (40, 120, 250):
+        span = arrival[lo + 12] - arrival[lo]
+        arrival[lo:lo + 12] = arrival[lo] + np.sort(
+            rng.uniform(0, span * 0.02, 12)
+        )
+    arrival = np.maximum.accumulate(arrival)
+    return SoATrace(
+        arrival=arrival,
+        type_id=base.type_id,
+        deadline=base.deadline,
+        wcet=base.wcet,
+        energy=base.energy,
+    )
+
+
+def assert_identical(serial, vectorised) -> None:
+    assert vectorised.accepted == serial.accepted
+    assert vectorised.rejected == serial.rejected
+    assert vectorised.total_energy.hex() == serial.total_energy.hex()
+    assert vectorised == serial
+
+
+class TestEngagement:
+    def test_kernel_engages_on_idle_trace(self):
+        trace = idle_trace().to_trace()
+        simulator = Simulator(PLATFORM, "heuristic", "off", SimulationConfig())
+        result = kernels.try_run_vectorised(simulator, trace)
+        assert result is not None, "kernel must engage, not fall back"
+        assert len(result.accepted) + len(result.rejected) == len(trace)
+
+    def test_segments_cover_trace_in_order(self):
+        soa = mixed_trace()
+        isolated, _ = kernels._isolation_mask(
+            soa.arrival, soa.arrival + soa.deadline
+        )
+        segments = kernels._segments(isolated)
+        assert segments[0][1] == 0
+        assert segments[-1][2] == len(soa)
+        for (_, _, stop), (_, start, _) in zip(segments, segments[1:]):
+            assert stop == start
+        kinds = {kind for kind, _, _ in segments}
+        assert kinds == {"vector", "python"}
+
+    def test_final_request_always_python(self):
+        soa = idle_trace(50)
+        isolated, _ = kernels._isolation_mask(
+            soa.arrival, soa.arrival + soa.deadline
+        )
+        segments = kernels._segments(isolated)
+        kind, _, stop = segments[-1]
+        assert stop == len(soa)
+        assert kind == "python"
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("verify", [False, True])
+    @pytest.mark.parametrize("log", [False, True])
+    def test_idle_trace(self, verify, log):
+        trace = idle_trace().to_trace()
+        config = SimulationConfig(verify=verify, collect_execution_log=log)
+        serial = simulate(trace, PLATFORM, "heuristic", "off", config)
+        vectorised = simulate(
+            trace, PLATFORM, "heuristic", "off", config, kernel="vector"
+        )
+        assert_identical(serial, vectorised)
+
+    @pytest.mark.parametrize("seed", [9, 10, 11])
+    def test_mixed_trace(self, seed):
+        trace = mixed_trace(seed).to_trace()
+        config = SimulationConfig(verify=True, collect_execution_log=True)
+        serial = simulate(trace, PLATFORM, "heuristic", "off", config)
+        vectorised = simulate(
+            trace, PLATFORM, "heuristic", "off", config, kernel="vector"
+        )
+        assert_identical(serial, vectorised)
+
+    def test_dense_trace_full_fallback(self):
+        trace = generate_trace_group(
+            1,
+            group=DeadlineGroup.LT,
+            trace_config=TraceConfig(
+                group=DeadlineGroup.LT, n_requests=60, arrival_scale=0.5
+            ),
+            master_seed=0,
+        )[0]
+        serial = simulate(trace, PLATFORM, "heuristic", "off")
+        vectorised = simulate(
+            trace, PLATFORM, "heuristic", "off", kernel="vector"
+        )
+        assert_identical(serial, vectorised)
+
+    def test_vector_kernel_composes_with_shards(self):
+        trace = mixed_trace().to_trace()
+        serial = simulate(trace, PLATFORM, "heuristic", "off")
+        sharded = simulate(trace, PLATFORM, "heuristic", "off", shards=3)
+        assert_identical(serial, sharded)
+
+
+class TestEligibility:
+    def test_declines_predictors_faults_and_tracers(self):
+        trace = idle_trace(50).to_trace()
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.generate(
+            1,
+            horizon=100.0,
+            n_resources=PLATFORM.size,
+            outage_rate=0.01,
+            outage_duration=5.0,
+            predictor_fault_rate=0.0,
+            predictor_fault_duration=0.0,
+            solver_fault_rate=0.0,
+            solver_fault_duration=0.0,
+        )
+        declined = [
+            Simulator(PLATFORM, "heuristic", "oracle", SimulationConfig()),
+            Simulator(
+                PLATFORM,
+                "heuristic",
+                "off",
+                SimulationConfig(fault_plan=plan),
+            ),
+            Simulator(
+                PLATFORM,
+                "heuristic",
+                "off",
+                SimulationConfig(tracer=TraceOptions()),
+            ),
+            Simulator(
+                PLATFORM,
+                "heuristic",
+                "off",
+                SimulationConfig(collect_records=True),
+            ),
+            Simulator(PLATFORM, "milp", "off", SimulationConfig()),
+        ]
+        for simulator in declined:
+            assert not kernels.vector_eligible(simulator, trace)
+            assert kernels.try_run_vectorised(simulator, trace) is None
+
+    def test_unknown_kernel_name_rejected(self):
+        trace = idle_trace(20).to_trace()
+        with pytest.raises(ValueError, match="kernel"):
+            simulate(trace, PLATFORM, "heuristic", "off", kernel="simd9000")
+
+
+class TestRunVectorCore:
+    def test_counts_match_full_simulation(self):
+        soa = idle_trace(500)
+        outcome = kernels.run_vector_core(soa, PLATFORM)
+        result = simulate(soa.to_trace(), PLATFORM, "heuristic", "off")
+        assert outcome["events"] == 500
+        assert outcome["accepted"] == len(result.accepted)
+        assert outcome["rejected"] == len(result.rejected)
+
+    def test_rejects_non_idle_trace(self):
+        soa = mixed_trace()
+        with pytest.raises(ValueError, match="idle-point"):
+            kernels.run_vector_core(soa, PLATFORM)
+
+    def test_rejects_platform_size_mismatch(self):
+        soa = generate_idle_soa(20, n_resources=PLATFORM.size + 1)
+        with pytest.raises(ValueError, match="resources"):
+            kernels.run_vector_core(soa, PLATFORM)
+
+    def test_energy_close_to_serial(self):
+        # np.sum may pairwise-reassociate, so "close", not bit-equal —
+        # the bit-exact path is try_run_vectorised.
+        soa = idle_trace(500)
+        outcome = kernels.run_vector_core(soa, PLATFORM)
+        result = simulate(soa.to_trace(), PLATFORM, "heuristic", "off")
+        assert outcome["total_energy"] == pytest.approx(
+            result.total_energy, rel=1e-12
+        )

@@ -1,0 +1,393 @@
+"""Sharded simulation: bit-identical to the serial run, always.
+
+The whole contract of :mod:`repro.sim.sharded` is a single sentence —
+``simulate(shards=N)`` equals ``simulate(shards=1)`` on every observable
+field, bit-for-bit — so nearly every test here is an equality assertion
+between the two paths under some feature combination: predictors with
+warm-up state, fault plans (outages, predictor faults, trace
+perturbations), forced mid-burst cut requests, process-pool workers,
+and metrics snapshots compared through exact ``float.hex`` encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultPlan, TraceFault
+from repro.model.platform import Platform
+from repro.obs.events import TraceOptions
+from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
+from repro.sim.sharded import (
+    ShardWindow,
+    find_cut_points,
+    plan_windows,
+    simulate_sharded,
+)
+from repro.sim.simulator import SimulationConfig, simulate
+from repro.workload.tracegen import (
+    DeadlineGroup,
+    TraceConfig,
+    generate_trace_group,
+)
+
+PLATFORM = Platform.cpu_gpu(n_cpus=5, n_gpus=1)
+
+
+def sparse_trace(seed: int, n_requests: int = 120, arrival_scale: float = 40.0):
+    """A trace with genuine idle points, so the splitter finds cuts."""
+    return generate_trace_group(
+        1,
+        group=DeadlineGroup.VT,
+        trace_config=TraceConfig(
+            group=DeadlineGroup.VT,
+            n_requests=n_requests,
+            arrival_scale=arrival_scale,
+        ),
+        master_seed=seed,
+    )[0]
+
+
+def dense_trace(seed: int):
+    """A bursty trace where legal cuts are rare or absent."""
+    return generate_trace_group(
+        1,
+        group=DeadlineGroup.LT,
+        trace_config=TraceConfig(
+            group=DeadlineGroup.LT, n_requests=60, arrival_scale=0.5
+        ),
+        master_seed=seed,
+    )[0]
+
+
+def assert_identical(serial, sharded) -> None:
+    """Dataclass equality plus hex-exact metrics, with a useful diff."""
+    assert sharded.accepted == serial.accepted
+    assert sharded.rejected == serial.rejected
+    assert sharded.total_energy.hex() == serial.total_energy.hex()
+    assert sharded.wasted_energy.hex() == serial.wasted_energy.hex()
+    assert sharded.migration_energy.hex() == serial.migration_energy.hex()
+    assert sharded == serial
+    if serial.metrics is not None:
+        assert sharded.metrics is not None
+        assert sharded.metrics.deterministic().to_dict(
+            hex_floats=True
+        ) == serial.metrics.deterministic().to_dict(hex_floats=True)
+
+
+def standard_fault_plan(trace) -> FaultPlan:
+    plan = FaultPlan.generate(
+        7,
+        horizon=float(trace.requests[-1].arrival),
+        n_resources=PLATFORM.size,
+        outage_rate=0.004,
+        outage_duration=30.0,
+        predictor_fault_rate=0.002,
+        predictor_fault_duration=20.0,
+        solver_fault_rate=0.001,
+        solver_fault_duration=10.0,
+    )
+    return replace(
+        plan,
+        trace_faults=(
+            TraceFault(kind="jitter", start=100.0, end=400.0, factor=1.5),
+            TraceFault(kind="duplicate", start=900.0, end=1200.0, factor=0.3),
+        ),
+    )
+
+
+class TestCutPoints:
+    def test_cuts_are_strictly_interior_and_sorted(self):
+        trace = sparse_trace(11)
+        cuts = find_cut_points(trace)
+        assert cuts == sorted(set(cuts))
+        assert all(0 < cut < len(trace) for cut in cuts)
+
+    def test_sparse_trace_has_cuts_dense_may_not(self):
+        assert len(find_cut_points(sparse_trace(11))) > 10
+        sparse = sparse_trace(11, arrival_scale=40.0)
+        squeezed = find_cut_points(dense_trace(0))
+        assert len(squeezed) < len(find_cut_points(sparse))
+
+    def test_cut_respects_prefix_deadlines(self):
+        trace = sparse_trace(11)
+        for cut in find_cut_points(trace):
+            arrival = trace.requests[cut].arrival
+            prefix_max = max(
+                request.absolute_deadline for request in trace.requests[:cut]
+            )
+            assert prefix_max < arrival
+
+    def test_prediction_overhead_shrinks_cut_set(self):
+        trace = sparse_trace(11)
+        free = find_cut_points(trace)
+        charged = find_cut_points(
+            trace, prediction_overhead=5.0, prediction_enabled=True
+        )
+        assert set(charged) <= set(free)
+
+
+class TestPlanWindows:
+    def test_windows_partition_the_trace(self):
+        trace = sparse_trace(11)
+        windows = plan_windows(
+            trace, 4, None, prediction_overhead=0.0, prediction_enabled=False
+        )
+        assert windows[0].start == 0
+        assert windows[-1].stop == len(trace)
+        for before, after in zip(windows, windows[1:]):
+            assert before.stop == after.start
+        assert windows[-1].drain_until is None
+        assert all(
+            window.drain_until is not None for window in windows[:-1]
+        )
+
+    def test_shards_is_an_upper_bound(self):
+        trace = sparse_trace(11)
+        for shards in (2, 3, 8, 64):
+            windows = plan_windows(
+                trace,
+                shards,
+                None,
+                prediction_overhead=0.0,
+                prediction_enabled=False,
+            )
+            assert 1 <= len(windows) <= shards
+
+    def test_requested_cuts_snap_to_legal_boundaries(self):
+        trace = sparse_trace(11)
+        legal = set(find_cut_points(trace))
+        windows = plan_windows(
+            trace,
+            4,
+            None,
+            prediction_overhead=0.0,
+            prediction_enabled=False,
+            requested_cuts=[5, 50, 100],
+        )
+        interior = {window.start for window in windows[1:]}
+        assert interior <= legal
+
+
+class TestShardedEquality:
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_plain_run(self, shards):
+        trace = sparse_trace(11)
+        serial = simulate(trace, PLATFORM, "heuristic", "off")
+        sharded = simulate(
+            trace, PLATFORM, "heuristic", "off", shards=shards
+        )
+        assert_identical(serial, sharded)
+
+    @pytest.mark.parametrize(
+        "predictor_factory",
+        [
+            lambda: "oracle",
+            lambda: "learned",
+            lambda: TypeNoisePredictor(0.8, seed=5),
+            lambda: ArrivalNoisePredictor(0.7, seed=5),
+        ],
+        ids=["oracle", "learned", "type-noise", "arrival-noise"],
+    )
+    def test_stateful_predictors_with_overhead(self, predictor_factory):
+        trace = sparse_trace(13)
+        config = SimulationConfig(prediction_overhead=0.05)
+        serial = simulate(
+            trace, PLATFORM, "heuristic", predictor_factory(), config
+        )
+        sharded = simulate(
+            trace,
+            PLATFORM,
+            "heuristic",
+            predictor_factory(),
+            config,
+            shards=3,
+        )
+        assert_identical(serial, sharded)
+
+    def test_under_active_fault_plan(self):
+        trace = sparse_trace(17, n_requests=150)
+        plan = standard_fault_plan(trace)
+        config = SimulationConfig(fault_plan=plan)
+        serial = simulate(trace, PLATFORM, "heuristic", "oracle", config)
+        sharded = simulate(
+            trace, PLATFORM, "heuristic", "oracle", config, shards=4
+        )
+        assert_identical(serial, sharded)
+
+    def test_forced_mid_burst_cuts_snap_and_match(self):
+        trace = sparse_trace(11)
+        serial = simulate(trace, PLATFORM, "heuristic", "off")
+        sharded = simulate_sharded(
+            trace,
+            PLATFORM,
+            "heuristic",
+            "off",
+            shards=4,
+            cuts=[1, 2, 3],  # deliberately mid-burst; must snap, not split
+        )
+        assert_identical(serial, sharded)
+
+    def test_dense_trace_falls_back_to_serial(self):
+        trace = dense_trace(0)
+        serial = simulate(trace, PLATFORM, "heuristic", "off")
+        sharded = simulate(trace, PLATFORM, "heuristic", "off", shards=8)
+        assert_identical(serial, sharded)
+
+    def test_process_pool_matches_in_process(self):
+        trace = sparse_trace(11)
+        serial = simulate(trace, PLATFORM, "heuristic", "oracle")
+        pooled = simulate_sharded(
+            trace,
+            PLATFORM,
+            "heuristic",
+            "oracle",
+            shards=4,
+            shard_jobs=2,
+        )
+        assert_identical(serial, pooled)
+
+    def test_verify_runs_on_the_stitched_result(self):
+        trace = sparse_trace(11)
+        config = SimulationConfig(verify=True)
+        sharded = simulate(
+            trace, PLATFORM, "heuristic", "off", config, shards=3
+        )
+        assert sharded.verification is not None
+        assert sharded.verification.ok
+
+    def test_metrics_snapshot_matches_hex_exact(self):
+        trace = sparse_trace(11)
+        config = SimulationConfig(tracer=TraceOptions(events=False))
+        serial = simulate(trace, PLATFORM, "heuristic", "off", config)
+        sharded = simulate(
+            trace, PLATFORM, "heuristic", "off", config, shards=3
+        )
+        assert serial.metrics is not None
+        assert sharded.metrics is not None
+        assert sharded.metrics.deterministic().to_dict(
+            hex_floats=True
+        ) == serial.metrics.deterministic().to_dict(hex_floats=True)
+
+
+class TestUnsupportedCombinations:
+    def test_event_stream_tracer_rejected(self):
+        trace = sparse_trace(11)
+        config = SimulationConfig(tracer=TraceOptions(events=True))
+        with pytest.raises(ValueError, match="event stream"):
+            simulate(trace, PLATFORM, "heuristic", "off", config, shards=2)
+
+    def test_external_clock_rejected(self):
+        from repro.serve.clock import VirtualClock
+
+        trace = sparse_trace(11)
+        config = SimulationConfig(clock=VirtualClock())
+        with pytest.raises(ValueError, match="[Cc]lock"):
+            simulate(trace, PLATFORM, "heuristic", "off", config, shards=2)
+
+    def test_zero_shards_rejected(self):
+        trace = sparse_trace(11)
+        with pytest.raises(ValueError, match="shards"):
+            simulate(trace, PLATFORM, "heuristic", "off", shards=0)
+
+    def test_shard_window_is_frozen(self):
+        window = ShardWindow(start=0, stop=5)
+        with pytest.raises(AttributeError):
+            window.start = 1  # type: ignore[misc]
+
+
+@pytest.mark.slow
+class TestShardedProperty:
+    """The Hypothesis determinism harness.
+
+    Random traces, seeds and shard counts — with and without forced
+    mid-burst cuts and an active fault plan — must all stitch to the
+    bit-identical serial result.  Slow lane: tier-1 keeps the
+    deterministic equality matrix above; this sweep runs under
+    ``pytest -m slow`` (and in CI's shard-determinism job).
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=400),
+        shards=st.integers(min_value=2, max_value=9),
+        arrival_scale=st.sampled_from([4.0, 15.0, 40.0]),
+        predictor=st.sampled_from([None, "oracle", "learned"]),
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_traces_and_shard_counts(
+        self, seed, shards, arrival_scale, predictor
+    ):
+        trace = sparse_trace(
+            seed, n_requests=80, arrival_scale=arrival_scale
+        )
+        serial = simulate(trace, PLATFORM, "heuristic", predictor)
+        sharded = simulate(
+            trace, PLATFORM, "heuristic", predictor, shards=shards
+        )
+        assert_identical(serial, sharded)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=400),
+        cut_seed=st.integers(min_value=0, max_value=10_000),
+        n_cuts=st.integers(min_value=1, max_value=6),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_forced_mid_burst_cuts(self, seed, cut_seed, n_cuts):
+        import random
+
+        trace = sparse_trace(seed, n_requests=80)
+        rng = random.Random(cut_seed)
+        cuts = sorted(
+            rng.sample(range(1, len(trace)), min(n_cuts, len(trace) - 1))
+        )
+        serial = simulate(trace, PLATFORM, "heuristic", "off")
+        sharded = simulate_sharded(
+            trace,
+            PLATFORM,
+            "heuristic",
+            "off",
+            shards=len(cuts) + 1,
+            cuts=cuts,
+        )
+        assert_identical(serial, sharded)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        fault_seed=st.integers(min_value=0, max_value=100),
+        shards=st.integers(min_value=2, max_value=6),
+    )
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_under_fault_plan(self, seed, fault_seed, shards):
+        trace = sparse_trace(seed, n_requests=80)
+        plan = FaultPlan.generate(
+            fault_seed,
+            horizon=float(trace.requests[-1].arrival),
+            n_resources=PLATFORM.size,
+            outage_rate=0.003,
+            outage_duration=25.0,
+            predictor_fault_rate=0.002,
+            predictor_fault_duration=15.0,
+            solver_fault_rate=0.001,
+            solver_fault_duration=10.0,
+        )
+        config = SimulationConfig(fault_plan=plan)
+        serial = simulate(trace, PLATFORM, "heuristic", "oracle", config)
+        sharded = simulate(
+            trace, PLATFORM, "heuristic", "oracle", config, shards=shards
+        )
+        assert_identical(serial, sharded)

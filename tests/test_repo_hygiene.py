@@ -89,3 +89,48 @@ def test_every_top_level_module_is_tested():
         assert (REPO_ROOT / covering).is_file(), (
             f"{covering} (claimed cover of src/repro/{path.name}) is missing"
         )
+
+
+def test_every_test_module_is_collected():
+    """A test file pytest cannot collect is silent coverage loss.
+
+    Guards the classic failure modes: a module whose import crashes at
+    collection, a basename collision between test packages (rootdir
+    collection without ``__init__.py`` files errors on duplicates), or a
+    file full of helpers with nothing pytest recognises as a test.  The
+    subprocess neutralises ``addopts`` so slow-marked modules are
+    collected too.
+    """
+    import sys
+
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--collect-only",
+            "-q",
+            "-o",
+            "addopts=",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, (
+        f"collection failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+    collected = {
+        line.split("::", 1)[0]
+        for line in proc.stdout.splitlines()
+        if "::" in line
+    }
+    on_disk = {
+        str(path.relative_to(REPO_ROOT))
+        for path in (REPO_ROOT / "tests").rglob("test_*.py")
+    }
+    uncollected = sorted(on_disk - collected)
+    assert uncollected == [], (
+        "test modules on disk that pytest collected nothing from "
+        f"(import error, duplicate basename, or no tests): {uncollected}"
+    )

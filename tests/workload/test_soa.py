@@ -1,0 +1,111 @@
+"""Struct-of-arrays trace representation and the idle-trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.soa import SoATrace, generate_idle_soa
+from repro.workload.tracegen import (
+    DeadlineGroup,
+    TraceConfig,
+    generate_trace_group,
+)
+
+
+def object_trace(seed: int = 5):
+    return generate_trace_group(
+        1,
+        group=DeadlineGroup.VT,
+        trace_config=TraceConfig(group=DeadlineGroup.VT, n_requests=40),
+        master_seed=seed,
+    )[0]
+
+
+class TestRoundTrip:
+    def test_from_trace_preserves_every_field_bitwise(self):
+        trace = object_trace()
+        soa = SoATrace.from_trace(trace)
+        assert len(soa) == len(trace)
+        for index, request in enumerate(trace.requests):
+            assert soa.arrival[index] == request.arrival
+            assert soa.type_id[index] == request.type_id
+            assert soa.deadline[index] == request.deadline
+        for type_index, task in enumerate(trace.tasks):
+            assert tuple(soa.wcet[type_index].tolist()) == task.wcet
+            assert tuple(soa.energy[type_index].tolist()) == task.energy
+
+    def test_to_trace_round_trips(self):
+        soa = generate_idle_soa(30, seed=1)
+        trace = soa.to_trace(group="VT")
+        back = SoATrace.from_trace(trace)
+        assert np.array_equal(back.arrival, soa.arrival)
+        assert np.array_equal(back.type_id, soa.type_id)
+        assert np.array_equal(back.deadline, soa.deadline)
+        assert np.array_equal(back.wcet, soa.wcet)
+        assert np.array_equal(back.energy, soa.energy)
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        soa = generate_idle_soa(10)
+        with pytest.raises(ValueError, match="lengths"):
+            SoATrace(
+                arrival=soa.arrival[:-1],
+                type_id=soa.type_id,
+                deadline=soa.deadline,
+                wcet=soa.wcet,
+                energy=soa.energy,
+            )
+
+    def test_decreasing_arrivals_rejected(self):
+        soa = generate_idle_soa(10)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            SoATrace(
+                arrival=soa.arrival[::-1].copy(),
+                type_id=soa.type_id,
+                deadline=soa.deadline,
+                wcet=soa.wcet,
+                energy=soa.energy,
+            )
+
+    def test_type_out_of_range_rejected(self):
+        soa = generate_idle_soa(10, n_types=4)
+        bad = soa.type_id.copy()
+        bad[0] = 99
+        with pytest.raises(ValueError, match="type_id"):
+            SoATrace(
+                arrival=soa.arrival,
+                type_id=bad,
+                deadline=soa.deadline,
+                wcet=soa.wcet,
+                energy=soa.energy,
+            )
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        first = generate_idle_soa(100, seed=6)
+        second = generate_idle_soa(100, seed=6)
+        assert np.array_equal(first.arrival, second.arrival)
+        assert np.array_equal(first.type_id, second.type_id)
+        assert not np.array_equal(
+            first.arrival, generate_idle_soa(100, seed=7).arrival
+        )
+
+    def test_every_request_is_an_idle_singleton(self):
+        from repro.sim.kernels import _isolation_mask
+
+        soa = generate_idle_soa(500, seed=2)
+        isolated, _ = _isolation_mask(
+            soa.arrival, soa.arrival + soa.deadline
+        )
+        assert bool(isolated.all())
+
+    def test_every_type_keeps_an_executable_resource(self):
+        soa = generate_idle_soa(10, seed=4)
+        assert bool(np.isfinite(soa.wcet).any(axis=1).all())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="n_requests"):
+            generate_idle_soa(0)
