@@ -185,6 +185,7 @@ class LintConfig:
         "repro.obs",
         "repro.serve.clock",
         "repro.serve.smoke",
+        "repro.serve.chaos",
         "tests",
     )
 

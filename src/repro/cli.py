@@ -379,12 +379,64 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="wall budget per solve; over it the watchdog "
                      "degrades to the heuristic fallback")
+    srv.add_argument("--journal", type=Path, default=None, metavar="FILE",
+                     help="write-ahead admission journal; an existing "
+                     "journal is replayed before serving (crash "
+                     "recovery, DESIGN.md §15)")
+    srv.add_argument("--no-journal-fsync", action="store_true",
+                     help="skip the per-append fsync (faster, durable "
+                     "against process death only)")
+    srv.add_argument("--snapshot-every", type=int, default=64,
+                     help="journal a fingerprint snapshot every N "
+                     "decisions (0 disables)")
+    srv.add_argument("--fault-plan", type=Path, default=None,
+                     metavar="FILE",
+                     help="arm a ServeFaultPlan JSON file (chaos "
+                     "testing: wire/journal fault injection)")
     srv.add_argument("--smoke", action="store_true",
                      help="run the CI smoke pass instead of serving")
     srv.add_argument("--smoke-requests", type=int, default=100,
                      help="requests driven through the smoke pass")
     srv.add_argument("--json", action="store_true",
                      help="emit the smoke report as JSON")
+
+    cha = sub.add_parser(
+        "chaos",
+        help="chaos-test the live service (SIGKILL + journal recovery)",
+        description=(
+            "Run a seeded fault schedule against a live repro serve "
+            "subprocess: inject wire and journal faults, SIGKILL the "
+            "daemon mid-workload, restart it from the write-ahead "
+            "journal, and assert the §15 recovery invariants — "
+            "bit-identical engine fingerprint on local replay, no "
+            "lost or double admissions, idempotent retries, and "
+            "reconciled decision counters."
+        ),
+    )
+    cha.add_argument("--seed", type=int, default=0)
+    cha.add_argument("--requests", type=int, default=40)
+    cha.add_argument("--kill-at", type=int, default=None,
+                     help="request index at which the server is "
+                     "SIGKILLed (default: half-way)")
+    cha.add_argument("--tenants", type=int, default=2)
+    cha.add_argument("--cpus", type=int, default=5)
+    cha.add_argument("--gpus", type=int, default=1)
+    cha.add_argument("--tasks", type=int, default=20)
+    cha.add_argument(
+        "--strategy", choices=strategy_names(), default="heuristic"
+    )
+    cha.add_argument("--queue-depth", type=int, default=64)
+    cha.add_argument("--tenant-quota", type=int, default=None)
+    cha.add_argument("--snapshot-every", type=int, default=8)
+    cha.add_argument("--latency-rate", type=float, default=0.05)
+    cha.add_argument("--corruption-rate", type=float, default=0.05)
+    cha.add_argument("--drop-rate", type=float, default=0.05)
+    cha.add_argument("--journal-fault-rate", type=float, default=0.05)
+    cha.add_argument("--workdir", type=Path, default=None,
+                     help="where the journal and fault plan live "
+                     "(default: a fresh temporary directory)")
+    cha.add_argument("--json", action="store_true",
+                     help="emit the chaos report as JSON")
     return parser
 
 
@@ -930,6 +982,11 @@ def _cmd_serve(args) -> int:
         prediction_overhead=args.overhead,
         lookahead=args.lookahead,
         solver_wall_budget=args.solver_budget,
+        journal_path=(
+            None if args.journal is None else str(args.journal)
+        ),
+        journal_fsync=not args.no_journal_fsync,
+        snapshot_every=args.snapshot_every,
     )
     if args.smoke:
         from repro.serve.smoke import run_smoke
@@ -965,6 +1022,14 @@ def _cmd_serve(args) -> int:
         )
         return 0 if healthy else 1
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults.serve import ServeFaultPlan
+
+        fault_plan = ServeFaultPlan.from_dict(
+            json.loads(args.fault_plan.read_text(encoding="utf-8"))
+        )
+
     platform = Platform.cpu_gpu(args.cpus, args.gpus)
     tasks = generate_task_set(platform)[: args.tasks]
     predictor = (
@@ -972,11 +1037,34 @@ def _cmd_serve(args) -> int:
         else resolve_predictor(args.predictor)
     )
     server = AdmissionServer(
-        platform, args.strategy, predictor, tasks=tasks, config=config
+        platform,
+        args.strategy,
+        predictor,
+        tasks=tasks,
+        config=config,
+        fault_plan=fault_plan,
     )
+    if server.recovery is not None:
+        report = server.recovery
+        print(
+            f"repro serve: recovered {report.decisions} decisions, "
+            f"{report.sheds} sheds, {report.unacked} unacked, "
+            f"{report.snapshots_checked} snapshots verified from "
+            f"{args.journal}"
+        )
 
     async def _run() -> None:
+        import signal
+
         await server.start()
+        # Graceful drain on SIGTERM/SIGINT: the handler only flips the
+        # shutdown event; serve_until_shutdown() does the orderly work.
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
         print(
             f"repro serve: {args.mode} mode on "
             f"{args.host}:{server.port} "
@@ -994,6 +1082,61 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import tempfile
+
+    from repro.serve.chaos import ChaosConfig, run_chaos
+
+    workdir = (
+        str(args.workdir)
+        if args.workdir is not None
+        else tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    kill_at = (
+        args.kill_at if args.kill_at is not None else args.requests // 2
+    )
+    config = ChaosConfig(
+        workdir=workdir,
+        seed=args.seed,
+        requests=args.requests,
+        kill_at=kill_at,
+        tenants=args.tenants,
+        cpus=args.cpus,
+        gpus=args.gpus,
+        tasks=args.tasks,
+        strategy=args.strategy,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        snapshot_every=args.snapshot_every,
+        latency_rate=args.latency_rate,
+        corruption_rate=args.corruption_rate,
+        drop_rate=args.drop_rate,
+        journal_fault_rate=args.journal_fault_rate,
+    )
+    report = run_chaos(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"requests          : {report.requests}")
+        print(f"accepted          : {report.accepted}")
+        print(f"rejected          : {report.rejected}")
+        print(f"shed              : {report.shed}")
+        print(f"over-quota        : {report.over_quota}")
+        print(f"duplicates        : {report.duplicates}")
+        print(f"journal refusals  : {report.journal_refusals}")
+        print(f"restarts          : {report.restarts}")
+        print(f"clean shutdown    : {report.clean_shutdown}")
+        print(f"live fingerprint  : {report.live_fingerprint[:16]}…")
+        print(f"replay fingerprint: {report.replay_fingerprint[:16]}…")
+        if report.violations:
+            print("violations:")
+            for violation in report.violations:
+                print(f"  - {violation}")
+        else:
+            print("all recovery invariants held")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1007,6 +1150,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "obs": _cmd_obs,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 

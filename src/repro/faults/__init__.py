@@ -9,6 +9,10 @@ The subsystem has four parts:
   records of every graceful-degradation decision;
 * :mod:`repro.faults.watchdog` — the :class:`SolverWatchdog` guarding
   primary solves with a heuristic fallback;
+* :mod:`repro.faults.serve` — the seeded :class:`ServeFaultPlan` DSL of
+  wire/journal faults (response latency, NDJSON corruption, mid-frame
+  connection drops, journal-write failures) the chaos harness drives
+  against the live service;
 * :mod:`repro.faults.smoke` — the verified fault smoke grid behind
   ``repro faults --smoke`` (imported lazily: it pulls in the simulator
   and experiment layers).
@@ -22,14 +26,26 @@ from repro.faults.plan import (
     SolverFault,
     TraceFault,
 )
+from repro.faults.serve import (
+    ConnectionDrop,
+    JournalFault,
+    ResponseCorruption,
+    ResponseLatency,
+    ServeFaultPlan,
+)
 from repro.faults.watchdog import SolverWatchdog
 
 __all__ = [
     "DEGRADATION_KINDS",
+    "ConnectionDrop",
     "DegradationEvent",
     "FaultPlan",
+    "JournalFault",
     "PredictorFault",
     "ResourceOutage",
+    "ResponseCorruption",
+    "ResponseLatency",
+    "ServeFaultPlan",
     "SolverFault",
     "SolverWatchdog",
     "TraceFault",

@@ -1,0 +1,333 @@
+"""Seeded wire-level fault plans for the live admission service.
+
+The PR 4 :class:`~repro.faults.plan.FaultPlan` perturbs the *simulated*
+world (resources, predictors, solvers, traces).  A
+:class:`ServeFaultPlan` perturbs the *service* itself — the socket and
+the journal — which is what the chaos harness (``repro chaos``) drives
+against a live :class:`~repro.serve.server.AdmissionServer`:
+
+* :class:`ResponseLatency` — responses in an ordinal window are delayed
+  by ``delay`` wall seconds before hitting the wire (tests client
+  timeouts and retry backoff);
+* :class:`ResponseCorruption` — one response line is truncated mid-frame
+  (``"truncate"``: the newline never arrives, the client times out) or
+  replaced with garbage bytes (``"garbage"``: malformed NDJSON, the
+  client must resynchronise by reconnecting);
+* :class:`ConnectionDrop` — the connection is aborted mid-frame at one
+  response ordinal (half the line is written, then RST), the classic
+  crash-during-reply window that idempotency keys exist for;
+* :class:`JournalFault` — journal appends fail for a window of
+  operation sequence numbers (tests the pending-queue re-append path
+  and the ``journal-failed`` refusal policy).
+
+Windows are indexed by **response ordinal / operation sequence**, not
+wall time: wall time is nondeterministic, ordinals make a fault
+schedule exactly reproducible across runs.  Every stochastic draw in
+:meth:`ServeFaultPlan.generate` derives from ``(seed, name)`` via
+:func:`repro.util.rng.derive_seed`, and plans round-trip through JSON
+so the chaos CLI can hand one to a server subprocess.
+
+Slow-loris clients are the one fault injected from the *client* side
+(``ServeClient.send_raw(..., chunk_size=..., inter_chunk_delay=...)``):
+a server cannot inject its own slow reader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "ConnectionDrop",
+    "JournalFault",
+    "ResponseCorruption",
+    "ResponseLatency",
+    "ServeFaultPlan",
+]
+
+_CORRUPTION_KINDS = ("truncate", "garbage")
+
+
+def _check_ordinal_window(owner: str, start: int, end: int) -> None:
+    if start < 0:
+        raise ValueError(f"{owner}: start must be >= 0, got {start}")
+    if end <= start:
+        raise ValueError(f"{owner}: end ({end}) must be > start ({start})")
+
+
+def _check_disjoint(owner: str, windows: Iterable[tuple[int, int]]) -> None:
+    ordered = sorted(windows)
+    for (_, prev_end), (next_start, _) in zip(
+        ordered, ordered[1:], strict=False
+    ):
+        if next_start < prev_end:
+            raise ValueError(f"{owner}: windows overlap")
+
+
+@dataclass(frozen=True)
+class ResponseLatency:
+    """Responses with ordinal in ``[start, end)`` are delayed."""
+
+    start: int
+    end: int
+    delay: float
+
+    def __post_init__(self) -> None:
+        _check_ordinal_window("response latency", self.start, self.end)
+        if not self.delay > 0:
+            raise ValueError(f"delay must be > 0, got {self.delay}")
+
+    def covers(self, ordinal: int) -> bool:
+        return self.start <= ordinal < self.end
+
+
+@dataclass(frozen=True)
+class ResponseCorruption:
+    """One response line is truncated or replaced with garbage."""
+
+    at: int
+    kind: str = "truncate"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.kind not in _CORRUPTION_KINDS:
+            raise ValueError(
+                f"unknown corruption kind {self.kind!r}; expected one of "
+                f"{_CORRUPTION_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class ConnectionDrop:
+    """The connection is aborted mid-frame at one response ordinal."""
+
+    at: int
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class JournalFault:
+    """Journal appends fail for operation seqs in ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        _check_ordinal_window("journal fault", self.start, self.end)
+
+    def covers(self, seq: int) -> bool:
+        return self.start <= seq < self.end
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """One deterministic wire/journal fault schedule (see module doc)."""
+
+    seed: int = 0
+    latencies: tuple[ResponseLatency, ...] = field(default=())
+    corruptions: tuple[ResponseCorruption, ...] = field(default=())
+    drops: tuple[ConnectionDrop, ...] = field(default=())
+    journal_faults: tuple[JournalFault, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "latencies", tuple(self.latencies))
+        object.__setattr__(self, "corruptions", tuple(self.corruptions))
+        object.__setattr__(self, "drops", tuple(self.drops))
+        object.__setattr__(
+            self, "journal_faults", tuple(self.journal_faults)
+        )
+        _check_disjoint(
+            "response latency",
+            ((w.start, w.end) for w in self.latencies),
+        )
+        _check_disjoint(
+            "journal fault",
+            ((w.start, w.end) for w in self.journal_faults),
+        )
+        touched = [c.at for c in self.corruptions] + [
+            d.at for d in self.drops
+        ]
+        if len(touched) != len(set(touched)):
+            raise ValueError(
+                "corruptions and drops must target distinct response "
+                "ordinals (one mutilation per frame)"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.latencies
+            or self.corruptions
+            or self.drops
+            or self.journal_faults
+        )
+
+    # ------------------------------------------------------------------
+    # Schedule queries (server-side injection points)
+    # ------------------------------------------------------------------
+
+    def latency_at(self, ordinal: int) -> float:
+        for window in self.latencies:
+            if window.covers(ordinal):
+                return window.delay
+        return 0.0
+
+    def corruption_at(self, ordinal: int) -> str | None:
+        for corruption in self.corruptions:
+            if corruption.at == ordinal:
+                return corruption.kind
+        return None
+
+    def drop_at(self, ordinal: int) -> bool:
+        return any(drop.at == ordinal for drop in self.drops)
+
+    def journal_fault_at(self, seq: int) -> bool:
+        return any(window.covers(seq) for window in self.journal_faults)
+
+    def garbage_line(self, ordinal: int) -> bytes:
+        """Deterministic non-JSON bytes for a ``"garbage"`` corruption."""
+        digest = sha256(f"{self.seed}:garbage:{ordinal}".encode())
+        return b"!garbage " + digest.hexdigest().encode("ascii")
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        horizon: int,
+        latency_rate: float = 0.0,
+        latency_delay: float = 0.05,
+        latency_span: int = 3,
+        corruption_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        journal_fault_rate: float = 0.0,
+        journal_fault_span: int = 4,
+    ) -> "ServeFaultPlan":
+        """Draw a fault schedule over ``horizon`` response ordinals.
+
+        Each ``*_rate`` is the expected fraction of ordinals affected;
+        all draws derive from ``(seed, stream-name)`` so two calls with
+        the same arguments yield the identical plan.
+        """
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        latencies = tuple(
+            ResponseLatency(start, min(start + latency_span, horizon), latency_delay)
+            for start in _draw_starts(
+                seed, "latency", horizon, latency_rate, latency_span
+            )
+        )
+        corrupt_points = set(
+            _draw_points(seed, "corrupt", horizon, corruption_rate)
+        )
+        drop_points = (
+            set(_draw_points(seed, "drop", horizon, drop_rate))
+            - corrupt_points
+        )
+        kind_rng = np.random.default_rng(derive_seed(seed, "corrupt-kind"))
+        corruptions = [
+            ResponseCorruption(
+                ordinal, _CORRUPTION_KINDS[int(kind_rng.integers(2))]
+            )
+            for ordinal in sorted(corrupt_points)
+        ]
+        drops = [ConnectionDrop(ordinal) for ordinal in sorted(drop_points)]
+        journal_faults = tuple(
+            JournalFault(start, min(start + journal_fault_span, horizon))
+            for start in _draw_starts(
+                seed,
+                "journal",
+                horizon,
+                journal_fault_rate,
+                journal_fault_span,
+            )
+        )
+        return cls(
+            seed=seed,
+            latencies=latencies,
+            corruptions=tuple(corruptions),
+            drops=tuple(drops),
+            journal_faults=journal_faults,
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "latencies": [
+                {"start": w.start, "end": w.end, "delay": w.delay}
+                for w in self.latencies
+            ],
+            "corruptions": [
+                {"at": c.at, "kind": c.kind} for c in self.corruptions
+            ],
+            "drops": [{"at": d.at} for d in self.drops],
+            "journal_faults": [
+                {"start": w.start, "end": w.end}
+                for w in self.journal_faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeFaultPlan":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            latencies=tuple(
+                ResponseLatency(
+                    int(w["start"]), int(w["end"]), float(w["delay"])
+                )
+                for w in payload.get("latencies", [])
+            ),
+            corruptions=tuple(
+                ResponseCorruption(int(c["at"]), str(c.get("kind", "truncate")))
+                for c in payload.get("corruptions", [])
+            ),
+            drops=tuple(
+                ConnectionDrop(int(d["at"]))
+                for d in payload.get("drops", [])
+            ),
+            journal_faults=tuple(
+                JournalFault(int(w["start"]), int(w["end"]))
+                for w in payload.get("journal_faults", [])
+            ),
+        )
+
+
+def _draw_points(
+    seed: int, name: str, horizon: int, rate: float
+) -> list[int]:
+    """Seeded ordinal draw: each ordinal is hit with probability ``rate``."""
+    if rate <= 0:
+        return []
+    rng = np.random.default_rng(derive_seed(seed, f"serve-fault:{name}"))
+    hits = rng.random(horizon) < rate
+    return [int(i) for i in np.flatnonzero(hits)]
+
+
+def _draw_starts(
+    seed: int, name: str, horizon: int, rate: float, span: int
+) -> list[int]:
+    """Window starts drawn like points, then pruned to disjointness."""
+    starts: list[int] = []
+    last_end = -1
+    for point in _draw_points(seed, name, horizon, rate / max(span, 1)):
+        if point > last_end:
+            starts.append(point)
+            last_end = point + span
+    return starts

@@ -1,4 +1,4 @@
-"""Online resource-management service (live daemon) — DESIGN.md §12.
+"""Online resource-management service (live daemon) — DESIGN.md §12/§15.
 
 Two layers live here:
 
@@ -9,9 +9,12 @@ Two layers live here:
 * the daemon itself — :mod:`repro.serve.server` (asyncio NDJSON
   admission service), :mod:`repro.serve.protocol` (wire frames),
   :mod:`repro.serve.depository` (Elasecutor-style per-tenant usage
-  depository), :mod:`repro.serve.client` (blocking test client) and
+  depository), :mod:`repro.serve.journal` (write-ahead admission
+  journal: crash recovery by replay), :mod:`repro.serve.client`
+  (blocking test client with typed timeouts and idempotent retry),
   :mod:`repro.serve.smoke` (self-test driver used by CI and
-  ``repro serve --smoke``).
+  ``repro serve --smoke``) and :mod:`repro.serve.chaos` (the seeded
+  SIGKILL/fault-injection harness behind ``repro chaos``).
 
 The server stack imports :mod:`repro.sim`, which imports this package
 for the clock — so everything except the clock is loaded lazily via
@@ -25,8 +28,18 @@ from typing import TYPE_CHECKING
 from repro.serve.clock import Clock, VirtualClock, WallClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.serve.client import ServeClient
+    from repro.serve.chaos import ChaosConfig, ChaosReport, run_chaos
+    from repro.serve.client import (
+        RetryPolicy,
+        ServeClient,
+        ServeTimeoutError,
+    )
     from repro.serve.depository import TenantUsage, UsageDepository
+    from repro.serve.journal import (
+        AdmissionJournal,
+        ServeJournalError,
+        service_fingerprint,
+    )
     from repro.serve.protocol import (
         AdmitRequest,
         AdmitResponse,
@@ -34,17 +47,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         decode_frame,
         encode_frame,
     )
-    from repro.serve.server import AdmissionServer, ServeConfig
+    from repro.serve.server import (
+        AdmissionServer,
+        RecoveryReport,
+        ServeConfig,
+        recover_engine,
+    )
     from repro.serve.smoke import SmokeReport, run_smoke
 
 __all__ = [
+    "AdmissionJournal",
     "AdmissionServer",
     "AdmitRequest",
     "AdmitResponse",
+    "ChaosConfig",
+    "ChaosReport",
     "Clock",
     "ProtocolError",
+    "RecoveryReport",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
+    "ServeJournalError",
+    "ServeTimeoutError",
     "SmokeReport",
     "TenantUsage",
     "UsageDepository",
@@ -52,22 +77,35 @@ __all__ = [
     "WallClock",
     "decode_frame",
     "encode_frame",
+    "recover_engine",
+    "run_chaos",
     "run_smoke",
+    "service_fingerprint",
 ]
 
 _LAZY = {
+    "AdmissionJournal": "repro.serve.journal",
     "AdmissionServer": "repro.serve.server",
     "AdmitRequest": "repro.serve.protocol",
     "AdmitResponse": "repro.serve.protocol",
+    "ChaosConfig": "repro.serve.chaos",
+    "ChaosReport": "repro.serve.chaos",
     "ProtocolError": "repro.serve.protocol",
+    "RecoveryReport": "repro.serve.server",
+    "RetryPolicy": "repro.serve.client",
     "ServeClient": "repro.serve.client",
     "ServeConfig": "repro.serve.server",
+    "ServeJournalError": "repro.serve.journal",
+    "ServeTimeoutError": "repro.serve.client",
     "SmokeReport": "repro.serve.smoke",
     "TenantUsage": "repro.serve.depository",
     "UsageDepository": "repro.serve.depository",
     "decode_frame": "repro.serve.protocol",
     "encode_frame": "repro.serve.protocol",
+    "recover_engine": "repro.serve.server",
+    "run_chaos": "repro.serve.chaos",
     "run_smoke": "repro.serve.smoke",
+    "service_fingerprint": "repro.serve.journal",
 }
 
 

@@ -1,0 +1,464 @@
+"""Chaos harness for the live admission service (``repro chaos``).
+
+Runs a seeded fault schedule against a *real* server subprocess and
+asserts the crash-safety invariants of DESIGN.md §15:
+
+1. boot ``repro serve`` with a write-ahead journal and an armed
+   :class:`~repro.faults.serve.ServeFaultPlan` (injected latency,
+   corrupt/truncated response frames, mid-frame connection drops,
+   journal write failures);
+2. drive a seeded replay workload through a retrying
+   :class:`~repro.serve.client.ServeClient`, every request carrying an
+   idempotency key;
+3. half-way through, SIGKILL the server, restart it from the same
+   journal, re-issue the last acknowledged request (which must come
+   back as a byte-identical ``duplicate``), and keep going;
+4. finish with a SIGTERM and require a clean (exit 0) drain;
+5. replay the journal locally through a fresh engine and require
+
+   * a **bit-identical engine fingerprint** against the live server's
+     final ``stats`` report,
+   * **no lost acknowledgement**: every accepted job the client saw is
+     in the journal,
+   * **no double admission**: accepted job ids are unique, and every
+     idempotency key maps to exactly one decision,
+   * **reconciled counters**: the decision counters of the local replay
+     equal the live server's (the PR 5 merge-algebra discipline).
+
+Everything stochastic derives from ``ChaosConfig.seed``, so a failing
+schedule reruns exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.faults.serve import ServeFaultPlan
+from repro.model.platform import Platform
+from repro.serve.client import RetryPolicy, ServeClient
+from repro.serve.journal import load_journal_records
+from repro.serve.server import AdmissionServer, ServeConfig
+from repro.workload.taskgen import generate_task_set
+from repro.workload.tracegen import TraceConfig, generate_trace
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos"]
+
+#: Counters driven purely by journaled operations — these must
+#: reconcile exactly between a local replay and the live server.
+_DECISION_COUNTERS = (
+    "serve/accepted",
+    "serve/over_quota",
+    "serve/rejected",
+    "serve/requests",
+    "serve/shed",
+)
+
+_PORT_RE = re.compile(r" on [^\s:]+:(\d+) ")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One seeded chaos schedule (see the module docstring)."""
+
+    workdir: str
+    seed: int = 0
+    requests: int = 40
+    kill_at: int = 20
+    tenants: int = 2
+    cpus: int = 5
+    gpus: int = 1
+    tasks: int = 20
+    strategy: str = "heuristic"
+    queue_depth: int = 64
+    tenant_quota: int | None = None
+    snapshot_every: int = 8
+    latency_rate: float = 0.05
+    latency_delay: float = 0.02
+    corruption_rate: float = 0.05
+    drop_rate: float = 0.05
+    journal_fault_rate: float = 0.05
+    timeout: float = 10.0
+    boot_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 2:
+            raise ValueError(f"requests must be >= 2, got {self.requests}")
+        if not 1 <= self.kill_at < self.requests:
+            raise ValueError(
+                f"kill_at must be in [1, {self.requests}), got {self.kill_at}"
+            )
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run observed and asserted."""
+
+    requests: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    over_quota: int = 0
+    duplicates: int = 0
+    journal_refusals: int = 0
+    restarts: int = 0
+    recovery: dict = field(default_factory=dict)
+    live_fingerprint: str = ""
+    replay_fingerprint: str = ""
+    clean_shutdown: bool = False
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "over_quota": self.over_quota,
+            "duplicates": self.duplicates,
+            "journal_refusals": self.journal_refusals,
+            "restarts": self.restarts,
+            "recovery": self.recovery,
+            "live_fingerprint": self.live_fingerprint,
+            "replay_fingerprint": self.replay_fingerprint,
+            "fingerprint_match": (
+                bool(self.live_fingerprint)
+                and self.live_fingerprint == self.replay_fingerprint
+            ),
+            "clean_shutdown": self.clean_shutdown,
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+class _ServerProcess:
+    """One ``repro serve`` subprocess plus its parsed listen port."""
+
+    def __init__(self, argv: list[str], boot_timeout: float) -> None:
+        self.proc = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.port = self._await_port(boot_timeout)
+
+    def _await_port(self, boot_timeout: float) -> int:
+        deadline = time.monotonic() + boot_timeout
+        lines: list[str] = []
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            match = _PORT_RE.search(line)
+            if match:
+                return int(match.group(1))
+        self.proc.kill()
+        self.proc.wait()
+        raise RuntimeError(
+            "chaos server never announced its port; output was:\n"
+            + "".join(lines)
+        )
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+        self.proc.wait()
+
+    def sigterm(self, timeout: float) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            return -1
+
+
+def _server_argv(config: ChaosConfig, journal: str, plan_path: str) -> list:
+    argv = [
+        sys.executable,
+        "-u",
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        "--mode",
+        "replay",
+        "--strategy",
+        config.strategy,
+        "--cpus",
+        str(config.cpus),
+        "--gpus",
+        str(config.gpus),
+        "--tasks",
+        str(config.tasks),
+        "--queue-depth",
+        str(config.queue_depth),
+        "--journal",
+        journal,
+        "--fault-plan",
+        plan_path,
+        "--snapshot-every",
+        str(config.snapshot_every),
+    ]
+    if config.tenant_quota is not None:
+        argv += ["--tenant-quota", str(config.tenant_quota)]
+    return argv
+
+
+def _admit_with_chaos(
+    client: ServeClient,
+    *,
+    tenant: str,
+    task: int,
+    deadline: float,
+    arrival: float,
+    idem: str,
+    retry: RetryPolicy,
+    report: ChaosReport,
+    give_up_after: float,
+) -> dict:
+    """One admit, riding out journal-failed refusals (each refusal burns
+    a seq, so a bounded fault window always clears)."""
+    deadline_wall = time.monotonic() + give_up_after
+    while True:
+        response = client.admit(
+            tenant,
+            task=task,
+            deadline=deadline,
+            arrival=arrival,
+            idem=idem,
+            retry=retry,
+        )
+        if response.get("ok", True) or response.get("error") != "journal-failed":
+            return response
+        report.journal_refusals += 1
+        if time.monotonic() > deadline_wall:
+            raise RuntimeError(
+                f"journal-failed refusals never cleared for {idem}"
+            )
+        time.sleep(0.01)
+
+
+def _local_replay(
+    config: ChaosConfig, journal: str
+) -> tuple[str, dict, dict]:
+    """Replay the journal through a fresh in-process engine.
+
+    Returns ``(fingerprint, counters, recovery dict)``.  Construction
+    mirrors the CLI exactly; the journal header's service fingerprint
+    check enforces that it really does.
+    """
+    replay_copy = os.path.join(
+        os.path.dirname(journal) or ".", "replay-copy.ndjson"
+    )
+    shutil.copyfile(journal, replay_copy)
+    platform = Platform.cpu_gpu(config.cpus, config.gpus)
+    tasks = generate_task_set(platform)[: config.tasks]
+    serve_config = ServeConfig(
+        port=0,
+        mode="replay",
+        queue_depth=config.queue_depth,
+        tenant_quota=config.tenant_quota,
+        journal_path=replay_copy,
+        journal_fsync=False,
+        snapshot_every=config.snapshot_every,
+    )
+    server = AdmissionServer(
+        platform, config.strategy, tasks=tasks, config=serve_config
+    )
+    fingerprint = server.engine.fingerprint()
+    counters = dict(server.engine.metrics_snapshot().counters)
+    recovery = server.recovery.to_dict() if server.recovery else {}
+    if server._journal is not None:
+        server._journal.close()
+    return fingerprint, counters, recovery
+
+
+def run_chaos(config: ChaosConfig) -> ChaosReport:
+    """Execute one chaos schedule; see the module docstring."""
+    os.makedirs(config.workdir, exist_ok=True)
+    journal = os.path.join(config.workdir, "admission.ndjson")
+    plan_path = os.path.join(config.workdir, "fault-plan.json")
+    plan = ServeFaultPlan.generate(
+        config.seed,
+        horizon=config.requests * 2,
+        latency_rate=config.latency_rate,
+        latency_delay=config.latency_delay,
+        corruption_rate=config.corruption_rate,
+        drop_rate=config.drop_rate,
+        journal_fault_rate=config.journal_fault_rate,
+    )
+    with open(plan_path, "w", encoding="utf-8") as handle:
+        json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
+
+    platform = Platform.cpu_gpu(config.cpus, config.gpus)
+    tasks = generate_task_set(platform)[: config.tasks]
+    trace = generate_trace(
+        tasks, TraceConfig(n_requests=config.requests), seed=config.seed
+    )
+    retry = RetryPolicy(retries=5, backoff_base=0.02, seed=config.seed)
+
+    report = ChaosReport()
+    argv = _server_argv(config, journal, plan_path)
+    server = _ServerProcess(argv, config.boot_timeout)
+    client = ServeClient("127.0.0.1", server.port, timeout=config.timeout)
+    acked: list[tuple[str, dict]] = []  # (idem, response)
+
+    def send(index: int) -> dict:
+        request = trace.requests[index]
+        idem = f"chaos-{config.seed}-{index}"
+        response = _admit_with_chaos(
+            client,
+            tenant=f"tenant-{index % config.tenants}",
+            task=request.type_id,
+            deadline=request.deadline,
+            arrival=request.arrival,
+            idem=idem,
+            retry=retry,
+            report=report,
+            give_up_after=config.timeout,
+        )
+        acked.append((idem, response))
+        report.requests += 1
+        status = response.get("status", "error")
+        key = status.replace("-", "_")
+        if key in ("accepted", "rejected", "shed", "over_quota"):
+            setattr(report, key, getattr(report, key) + 1)
+        if response.get("duplicate"):
+            report.duplicates += 1
+        return response
+
+    try:
+        for index in range(config.kill_at):
+            send(index)
+
+        # --- SIGKILL + restart-from-journal ---------------------------
+        server.sigkill()
+        client.close()
+        report.restarts += 1
+        server = _ServerProcess(argv, config.boot_timeout)
+        client = ServeClient(
+            "127.0.0.1", server.port, timeout=config.timeout
+        )
+
+        # The last acknowledged decision must survive the crash: its
+        # idempotent re-issue answers the original, as a duplicate.
+        last_idem, last_response = acked[-1]
+        request = trace.requests[config.kill_at - 1]
+        reissued = client.admit(
+            f"tenant-{(config.kill_at - 1) % config.tenants}",
+            task=request.type_id,
+            deadline=request.deadline,
+            arrival=request.arrival,
+            idem=last_idem,
+            retry=retry,
+        )
+        if last_response.get("status") in ("accepted", "rejected"):
+            if not reissued.get("duplicate"):
+                report.violations.append(
+                    f"{last_idem}: re-issue after SIGKILL was re-decided, "
+                    "not served from the recovered idempotency map"
+                )
+            for field_name in ("status", "job_id", "decision_time"):
+                if reissued.get(field_name) != last_response.get(field_name):
+                    report.violations.append(
+                        f"{last_idem}: {field_name} changed across the "
+                        f"crash ({last_response.get(field_name)!r} -> "
+                        f"{reissued.get(field_name)!r})"
+                    )
+        if reissued.get("duplicate"):
+            report.duplicates += 1
+
+        for index in range(config.kill_at, config.requests):
+            send(index)
+
+        # Reads are idempotent; retry through any tail-end wire faults.
+        stats = client.request_with_retry(
+            {"op": "stats"}, retry, key="stats"
+        )
+        metrics = client.request_with_retry(
+            {"op": "metrics"}, retry, key="metrics"
+        )
+        report.live_fingerprint = str(stats.get("fingerprint", ""))
+        report.recovery = dict(stats.get("recovery", {}))
+    finally:
+        try:
+            client.close()
+        except OSError:
+            pass
+
+    rc = server.sigterm(config.boot_timeout)
+    report.clean_shutdown = rc == 0
+    if rc != 0:
+        report.violations.append(
+            f"SIGTERM drain exited {rc}, expected a clean 0"
+        )
+
+    # --- invariants over the journal ----------------------------------
+    replay_fp, replay_counters, _ = _local_replay(config, journal)
+    report.replay_fingerprint = replay_fp
+    if replay_fp != report.live_fingerprint:
+        report.violations.append(
+            "engine fingerprint diverged: live "
+            f"{report.live_fingerprint} != replayed {replay_fp}"
+        )
+    live_counters = metrics.get("metrics", {}).get("counters", {})
+    for name in _DECISION_COUNTERS:
+        if live_counters.get(name, 0) != replay_counters.get(name, 0):
+            report.violations.append(
+                f"counter {name} diverged: live "
+                f"{live_counters.get(name, 0)} != replayed "
+                f"{replay_counters.get(name, 0)}"
+            )
+
+    journaled_accepted: dict[int, int] = {}
+    for record in load_journal_records(journal):
+        if record.get("k") != "d":
+            continue
+        response = record.get("response") or {}
+        if response.get("status") == "accepted":
+            job_id = response.get("job_id")
+            journaled_accepted[job_id] = (
+                journaled_accepted.get(job_id, 0) + 1
+            )
+    doubled = sorted(j for j, n in journaled_accepted.items() if n > 1)
+    if doubled:
+        report.violations.append(
+            f"double admission in the journal: job ids {doubled}"
+        )
+
+    idem_outcomes: dict[str, set] = {}
+    for idem, response in acked:
+        if response.get("status") != "accepted":
+            continue
+        job_id = response.get("job_id")
+        idem_outcomes.setdefault(idem, set()).add(job_id)
+        if job_id not in journaled_accepted:
+            report.violations.append(
+                f"lost admission: acked accepted job {job_id} ({idem}) "
+                "is not in the journal"
+            )
+    for idem, job_ids in sorted(idem_outcomes.items()):
+        if len(job_ids) > 1:
+            report.violations.append(
+                f"idempotency violated: {idem} admitted as "
+                f"{sorted(job_ids)}"
+            )
+    return report

@@ -1,20 +1,100 @@
 """Blocking NDJSON client for the live admission service.
 
 A thin synchronous wrapper over one socket connection — enough for the
-test suite, the smoke driver and interactive use, without pulling
-asyncio into the caller.  One request per call; responses are read in
-order (the server pipelines per connection, so interleaving is safe as
-long as a single thread owns the client).
+test suite, the smoke driver, the chaos harness and interactive use,
+without pulling asyncio into the caller.  One request per call;
+responses are read in order (the server pipelines per connection, so
+interleaving is safe as long as a single thread owns the client).
+
+Fault tolerance (DESIGN.md §15):
+
+* the constructor ``timeout`` applies to *reads* as well as connects —
+  a server that dies after accepting raises :class:`ServeTimeoutError`
+  instead of hanging forever;
+* :meth:`admit` takes an ``idem`` idempotency key and an optional
+  :class:`RetryPolicy`; on a connection error or timeout the client
+  reconnects and re-issues the *same* key, so a decision whose reply
+  was lost mid-frame comes back as the original decision (flagged
+  ``"duplicate": true`` by the server) rather than a double admission;
+* retry backoff jitter derives from ``(seed, key, attempt)`` via
+  :func:`repro.util.rng.derive_seed` — chaos runs replay identically;
+* :meth:`send_raw` can dribble a frame out in tiny chunks with delays
+  (client-side slow-loris injection for the chaos harness).
 """
 
 from __future__ import annotations
 
+import json
 import socket
+import time
+from dataclasses import dataclass
 
 from repro.serve.protocol import decode_frame as _decode_frame  # re-export aid
 from repro.serve.protocol import encode_frame
+from repro.util.rng import derive_seed
 
-__all__ = ["ServeClient", "fetch_metrics_text"]
+__all__ = [
+    "RetryPolicy",
+    "ServeClient",
+    "ServeTimeoutError",
+    "fetch_metrics_text",
+]
+
+
+class ServeTimeoutError(ConnectionError):
+    """A read or connect exceeded the client's timeout.
+
+    Subclasses :class:`ConnectionError` so existing ``except
+    ConnectionError`` call sites keep working while new code can tell a
+    dead-silent server apart from an actively closed connection.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded-jitter retry schedule for idempotent re-issue.
+
+    ``delay(key, attempt)`` grows geometrically from ``backoff_base``
+    by ``backoff_factor``, capped at ``backoff_max``, then jittered by
+    up to ``jitter`` of itself.  The jitter draw is a pure function of
+    ``(seed, key, attempt)`` so a chaos run's timing schedule is
+    reproducible.
+    """
+
+    retries: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if not self.backoff_base >= 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if not self.backoff_factor >= 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based) of operation ``key``."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if self.jitter == 0:
+            return base
+        draw = derive_seed(self.seed, f"retry:{key}:{attempt}")
+        unit = (draw % 10**6) / 10**6  # uniform-ish in [0, 1)
+        return base * (1.0 - self.jitter * unit)
 
 
 class ServeClient:
@@ -30,27 +110,83 @@ class ServeClient:
     def __init__(
         self, host: str, port: int, *, timeout: float = 10.0
     ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._buffer = b""
         self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("rb")
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def send_raw(self, line: bytes) -> None:
-        """Ship one pre-encoded line (malformed-frame tests use this)."""
+    def reconnect(self) -> None:
+        """Drop the current connection and dial a fresh one."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._buffer = b""
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+
+    def send_raw(
+        self,
+        line: bytes,
+        *,
+        chunk_size: int | None = None,
+        inter_chunk_delay: float = 0.0,
+    ) -> None:
+        """Ship one pre-encoded line (malformed-frame tests use this).
+
+        ``chunk_size``/``inter_chunk_delay`` turn the send into a
+        slow-loris dribble: the frame goes out ``chunk_size`` bytes at
+        a time with a sleep in between, exercising the server's
+        patience with half-delivered frames.
+        """
         if not line.endswith(b"\n"):
             line += b"\n"
-        self._sock.sendall(line)
+        if chunk_size is None or chunk_size >= len(line):
+            self._sock.sendall(line)
+            return
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, len(line), chunk_size):
+            self._sock.sendall(line[start : start + chunk_size])
+            if inter_chunk_delay > 0 and start + chunk_size < len(line):
+                time.sleep(inter_chunk_delay)
+
+    def _readline(self) -> bytes:
+        """One newline-terminated response line, honouring the timeout."""
+        while True:
+            head, sep, tail = self._buffer.partition(b"\n")
+            if sep:
+                self._buffer = tail
+                return head
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout as exc:
+                raise ServeTimeoutError(
+                    f"no response within {self._timeout}s "
+                    f"(server at {self._host}:{self._port} silent)"
+                ) from exc
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk
 
     def read_response(self) -> dict:
         """Block for the next response line and decode it."""
-        import json
-
-        line = self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        payload = json.loads(line)
+        line = self._readline()
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            # Corrupt frame (chaos injection or a torn write): surface
+            # as a connection-level failure so retry paths reconnect —
+            # the stream can no longer be framed reliably.
+            raise ConnectionError(
+                f"unparseable response frame: {line[:64]!r}"
+            ) from exc
         if not isinstance(payload, dict):
             raise ConnectionError(
                 "expected a JSON object response, got "
@@ -62,6 +198,32 @@ class ServeClient:
         """One round trip: send ``payload``, return the response."""
         self.send_raw(encode_frame(payload))
         return self.read_response()
+
+    def request_with_retry(
+        self, payload: dict, retry: RetryPolicy, *, key: str
+    ) -> dict:
+        """Round trip with reconnect-and-re-issue on connection faults.
+
+        Safe only for idempotent frames — callers must put the
+        idempotency key *inside* ``payload`` (``admit`` does) so the
+        re-issued frame answers with the original decision.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.request(payload)
+            except (ConnectionError, OSError) as exc:
+                attempt += 1
+                if attempt > retry.retries:
+                    raise
+                time.sleep(retry.delay(key, attempt))
+                try:
+                    self.reconnect()
+                except OSError:
+                    # Server may still be restarting; the next attempt
+                    # (or exhaustion) handles it.
+                    if attempt >= retry.retries:
+                        raise exc from None
 
     # ------------------------------------------------------------------
     # Frame helpers
@@ -75,7 +237,9 @@ class ServeClient:
         deadline: float,
         arrival: float | None = None,
         id: str | int | None = None,
+        idem: str | None = None,
         final: bool = False,
+        retry: RetryPolicy | None = None,
     ) -> dict:
         payload: dict = {
             "op": "admit",
@@ -87,9 +251,18 @@ class ServeClient:
             payload["arrival"] = arrival
         if id is not None:
             payload["id"] = id
+        if idem is not None:
+            payload["idem"] = idem
         if final:
             payload["final"] = True
-        return self.request(payload)
+        if retry is None:
+            return self.request(payload)
+        if idem is None:
+            raise ValueError(
+                "retrying admits requires an 'idem' idempotency key — "
+                "re-issuing without one risks a double admission"
+            )
+        return self.request_with_retry(payload, retry, key=idem)
 
     def ping(self) -> dict:
         return self.request({"op": "ping"})
@@ -104,10 +277,7 @@ class ServeClient:
         return self.request({"op": "shutdown"})
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
 
     def __enter__(self) -> "ServeClient":
         return self

@@ -161,6 +161,17 @@ class UsageDepository:
         usage.active_jobs = max(0, usage.active_jobs - n)
         usage.completed_jobs += n
 
+    def remove_tenant(self, name: str) -> bool:
+        """Forget one tenant's usage record (offboarding).
+
+        Returns whether the tenant existed.  The prediction-error
+        window is deliberately left alone: scored forecasts are a
+        service-level signal, not per-tenant state.  A completion or
+        decision arriving for a removed tenant recreates the record
+        from zero (so mid-flight jobs cannot drive counters negative).
+        """
+        return self._tenants.pop(name, None) is not None
+
     def active_jobs(self, tenant: str) -> int:
         usage = self._tenants.get(tenant)
         return 0 if usage is None else usage.active_jobs
@@ -210,6 +221,11 @@ class UsageDepository:
         if not window:
             return 0.0
         return sum(window) / len(window)
+
+    def window_state(self) -> tuple[bool, ...]:
+        """The sliding window's miss flags, oldest first (exposed so the
+        engine fingerprint can cover trigger state exactly)."""
+        return tuple(self._errors.outcomes)
 
     def should_reprovision(self) -> bool:
         """Whether the windowed error rate demands a reprovision pass."""

@@ -7,10 +7,13 @@ request's correlation ``id``.  The frame family is deliberately tiny:
     ``{"op": "admit", "tenant": "t0", "task": 2, "deadline": 5.0}``
     plus optional ``arrival`` (declared request time for replay
     sessions; omitted in live sessions, where the server stamps its
-    wall clock), ``id`` (client correlation token, echoed back) and
-    ``final`` (marks the last request of a replay stream so online
-    predictors stop forecasting past the end, exactly like the
-    simulator at end-of-trace).
+    wall clock), ``id`` (client correlation token, echoed back),
+    ``idem`` (client-supplied idempotency key: re-issuing a frame with
+    a key the server has already decided returns the *original*
+    decision, marked ``"duplicate": true`` — the retry contract that
+    makes crash/retry loops safe) and ``final`` (marks the last
+    request of a replay stream so online predictors stop forecasting
+    past the end, exactly like the simulator at end-of-trace).
 ``ping`` / ``metrics`` / ``stats`` / ``shutdown``
     Control operations: liveness, a metrics snapshot, the usage
     depository's per-tenant view, and a clean drain-and-stop.
@@ -20,7 +23,12 @@ schema, ``{"ok": false, "error": <code>, "detail": <human text>}``.
 Admission *outcomes* are not errors: a rejected or shed request gets an
 ``ok`` response with ``status`` ``"rejected"`` / ``"shed"`` /
 ``"over-quota"`` — backpressure is part of the service contract, not a
-failure of it.
+failure of it.  Admit responses may additionally carry ``"arrival"``
+(the server-stamped arrival actually used — what the admission journal
+records so a wall-clock session replays deterministically),
+``"duplicate": true`` (this response was served from the idempotency
+cache, not re-decided) and ``"durable": false`` (the decision could not
+be journaled yet; it is queued for re-append — see DESIGN.md §15).
 
 The same port speaks just enough HTTP for ``GET /metrics``: a line
 starting with ``GET `` switches the connection to a one-shot
@@ -41,6 +49,8 @@ __all__ = [
     "ProtocolError",
     "CONTROL_OPS",
     "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "MAX_IDEM_BYTES",
     "STATUSES",
     "decode_frame",
     "encode_frame",
@@ -53,6 +63,16 @@ CONTROL_OPS = frozenset({"ping", "metrics", "stats", "shutdown"})
 #: Admission decision statuses carried by :class:`AdmitResponse`.
 STATUSES = ("accepted", "rejected", "shed", "over-quota")
 
+#: Hard bound on one NDJSON line (matches the server's stream-reader
+#: limit).  Anything longer answers ``frame-too-large`` and the
+#: connection is closed — an oversized line means the stream can no
+#: longer be framed reliably.
+MAX_FRAME_BYTES = 65536
+
+#: Bound on one idempotency key (keys live in a server-side cache and
+#: in every journal record; unbounded keys would be a memory lever).
+MAX_IDEM_BYTES = 128
+
 #: The stable machine-readable error codes of the wire contract.  Every
 #: :class:`ProtocolError` / :func:`error_payload` site must use one of
 #: these, and every entry must have a live emit site — the RPR2xx
@@ -63,7 +83,9 @@ ERROR_CODES = frozenset(
     {
         "bad-type",
         "bad-value",
+        "frame-too-large",
         "internal-error",
+        "journal-failed",
         "malformed-frame",
         "missing-field",
         "unknown-op",
@@ -92,6 +114,7 @@ class AdmitRequest:
     deadline: float
     arrival: float | None = None
     id: str | int | None = None
+    idem: str | None = None
     final: bool = False
 
 
@@ -136,6 +159,11 @@ def decode_frame(line: str | bytes) -> AdmitRequest | ControlRequest:
     bad frame with a structured error instead of dropping the
     connection.
     """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame-too-large",
+            f"frame is {len(line)} bytes, limit is {MAX_FRAME_BYTES}",
+        )
     if isinstance(line, bytes):
         try:
             line = line.decode("utf-8")
@@ -184,6 +212,20 @@ def decode_frame(line: str | bytes) -> AdmitRequest | ControlRequest:
         raise ProtocolError("bad-value", f"'task' must be >= 0, got {task}")
     deadline = _finite_number(payload, "deadline", required=True, positive=True)
     arrival = _finite_number(payload, "arrival", required=False)
+    idem = payload.get("idem")
+    if idem is not None:
+        if not isinstance(idem, str):
+            raise ProtocolError(
+                "bad-type",
+                f"'idem' must be a string, got {type(idem).__name__}",
+            )
+        if not idem:
+            raise ProtocolError("bad-value", "'idem' must be non-empty")
+        if len(idem.encode("utf-8")) > MAX_IDEM_BYTES:
+            raise ProtocolError(
+                "bad-value",
+                f"'idem' exceeds {MAX_IDEM_BYTES} bytes",
+            )
     final = payload.get("final", False)
     if not isinstance(final, bool):
         raise ProtocolError(
@@ -197,6 +239,7 @@ def decode_frame(line: str | bytes) -> AdmitRequest | ControlRequest:
         deadline=deadline,
         arrival=arrival,
         id=correlation,
+        idem=idem,
         final=final,
     )
 
@@ -213,6 +256,7 @@ class AdmitResponse:
     solver_calls: int = 0
     id: str | int | None = None
     detail: str | None = None
+    arrival: float | None = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -233,6 +277,8 @@ class AdmitResponse:
             payload["job_id"] = self.job_id
         if self.decision_time is not None:
             payload["decision_time"] = self.decision_time
+        if self.arrival is not None:
+            payload["arrival"] = self.arrival
         if self.status == "accepted":
             payload["used_prediction"] = self.used_prediction
         if self.solver_calls:

@@ -29,15 +29,33 @@ the NDJSON protocol of :mod:`repro.serve.protocol`:
 * live :class:`~repro.obs.metrics.MetricsRegistry` export — the
   ``metrics`` control op returns a snapshot, and a plain
   ``GET /metrics`` on the same port answers with a Prometheus-style
-  text exposition.
+  text exposition;
+* crash safety (DESIGN.md §15): with ``ServeConfig.journal_path`` set,
+  every operation is recorded in a write-ahead
+  :class:`~repro.serve.journal.AdmissionJournal` (intent before the
+  decision, outcome before the reply), a restarted server replays the
+  journal to the exact pre-crash engine state
+  (:func:`recover_engine` — bit-identical fingerprint under
+  :class:`~repro.serve.clock.VirtualClock`), and client-supplied
+  idempotency keys make retried ops return the original decision
+  instead of re-admitting;
+* wire-level fault injection: an optional
+  :class:`~repro.faults.serve.ServeFaultPlan` mutilates the response
+  path (injected latency, truncated/garbage NDJSON, mid-frame
+  connection aborts) and the journal (write failures) on a seeded,
+  ordinal-indexed schedule — the transport shim the chaos harness
+  (``repro chaos``) drives.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import math
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.core.admission import AdmissionController, AdmissionOutcome
 from repro.core.base import MappingStrategy
@@ -49,7 +67,13 @@ from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.predict.base import NullPredictor, Predictor
 from repro.serve.clock import Clock, VirtualClock, WallClock
 from repro.serve.depository import UsageDepository
+from repro.serve.journal import (
+    AdmissionJournal,
+    ServeJournalError,
+    service_fingerprint,
+)
 from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
     AdmitRequest,
     AdmitResponse,
     ControlRequest,
@@ -60,15 +84,29 @@ from repro.serve.protocol import (
 )
 from repro.sim.state import PlatformState
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.serve import ServeFaultPlan
+
 __all__ = [
     "AdmissionEngine",
     "AdmissionServer",
+    "RecoveryReport",
     "RequestLog",
     "ServeConfig",
     "prometheus_exposition",
+    "recover_engine",
 ]
 
 _HISTOGRAM_BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+#: Admission statuses the idempotency cache remembers.  Backpressure
+#: outcomes (shed / over-quota) are transient by design: a retry with
+#: the same key *should* be re-decided once capacity frees up.
+_CACHEABLE_STATUSES = frozenset({"accepted", "rejected"})
+
+
+def _fhex(value: float) -> str:
+    return "inf" if math.isinf(value) else float(value).hex()
 
 
 @dataclass(frozen=True)
@@ -112,6 +150,26 @@ class ServeConfig:
     reprovision_cooldown:
         Decisions after a reprovision pass during which predictions are
         suppressed (the no-prediction fallback path).
+    journal_path:
+        Write-ahead admission journal file (DESIGN.md §15); ``None``
+        (default) disables durability.  An existing journal from the
+        same service (matching :func:`~repro.serve.journal.service_fingerprint`)
+        is replayed on construction — the crash-recovery path.
+    journal_fsync:
+        Whether every journal append is fsynced (default on: durable
+        against power loss, not just process death).
+    journal_required:
+        With a journal configured, whether an admit whose *intent*
+        record cannot be written is refused with ``journal-failed``
+        (fail-stop, the safe default) instead of decided undurably.
+        Outcome-append failures are always queued for re-append and
+        flagged ``"durable": false`` — the decision already happened.
+    snapshot_every:
+        Decisions between journal snapshot records (engine fingerprint
+        + metrics + depository — recovery verification waypoints);
+        ``0`` disables snapshots.
+    idempotency_cache:
+        Bound on remembered idempotency keys (LRU beyond it).
     """
 
     host: str = "127.0.0.1"
@@ -130,6 +188,11 @@ class ServeConfig:
     error_threshold: float = 0.5
     min_observations: int = 8
     reprovision_cooldown: int = 16
+    journal_path: str | None = None
+    journal_fsync: bool = True
+    journal_required: bool = True
+    snapshot_every: int = 64
+    idempotency_cache: int = 4096
 
     def __post_init__(self) -> None:
         if self.mode not in ("live", "replay"):
@@ -152,6 +215,15 @@ class ServeConfig:
             raise ValueError(
                 "prediction_overhead must be >= 0, "
                 f"got {self.prediction_overhead}"
+            )
+        if self.snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        if self.idempotency_cache < 1:
+            raise ValueError(
+                "idempotency_cache must be >= 1, "
+                f"got {self.idempotency_cache}"
             )
 
     def make_clock(self) -> Clock:
@@ -305,6 +377,7 @@ class AdmissionEngine:
                     f"{self.depository.active_jobs(frame.tenant)} active "
                     f"job(s), quota is {quota}"
                 ),
+                arrival=arrival,
             )
 
         index = len(self.log.requests)
@@ -382,6 +455,7 @@ class AdmissionEngine:
             used_prediction=outcome.used_prediction,
             solver_calls=outcome.solver_calls,
             id=frame.id,
+            arrival=arrival,
         )
 
     def record_shed(
@@ -397,7 +471,12 @@ class AdmissionEngine:
         )
 
     def _refuse(
-        self, frame: AdmitRequest, status: str, *, detail: str
+        self,
+        frame: AdmitRequest,
+        status: str,
+        *,
+        detail: str,
+        arrival: float | None = None,
     ) -> AdmitResponse:
         decision_time = self.state.time
         self.decisions += 1
@@ -409,6 +488,7 @@ class AdmissionEngine:
             decision_time=decision_time,
             id=frame.id,
             detail=detail,
+            arrival=arrival,
         )
 
     def drain(self) -> int:
@@ -528,6 +608,79 @@ class AdmissionEngine:
     # Reporting
     # ------------------------------------------------------------------
 
+    def fingerprint(self) -> str:
+        """Digest of the engine's replayable decision state.
+
+        Covers exactly the state a journal replay reconstructs —
+        platform state (``float.hex`` encoded, the PR 4 discipline),
+        request log, depository (including the sliding error window),
+        job→tenant map, pending forecast, cooldown — and deliberately
+        *excludes* metrics: protocol errors and idempotent cache hits
+        are live-path events a replay cannot (and need not) reproduce.
+        A recovered server matching the pre-crash fingerprint is the
+        chaos harness's central invariant.
+        """
+        digest = sha256()
+        state = self.state
+        digest.update(
+            f"time:{_fhex(state.time)}|decisions:{self.decisions}".encode()
+        )
+        digest.update(
+            (
+                f"|energy:{_fhex(state.total_energy)},"
+                f"{_fhex(state.migration_energy)},"
+                f"{_fhex(state.wasted_energy)}"
+                f"|migrations:{state.migration_count}"
+                f"|aborts:{state.abort_count}"
+                f"|finished:{len(state.finished)}"
+            ).encode()
+        )
+        for job_id in sorted(state.jobs):
+            job = state.jobs[job_id]
+            digest.update(
+                (
+                    f"|job:{job_id}:{job.resource}:"
+                    f"{_fhex(job.remaining_fraction)}:"
+                    f"{int(job.started)}{int(job.running_non_preemptable)}:"
+                    f"{_fhex(job.pending_migration_time)}:"
+                    f"{_fhex(job.energy_consumed)}:"
+                    f"{job.migrations}:{job.aborts}"
+                ).encode()
+            )
+        digest.update(
+            (
+                f"|log:{len(self.log.requests)}:{int(self.log.closed)}"
+                f"|last_arrival:{_fhex(self._last_arrival)}"
+                f"|cooldown:{self._cooldown}"
+            ).encode()
+        )
+        forecast = self._pending_forecast
+        if forecast is not None:
+            digest.update(
+                (
+                    f"|forecast:{forecast.type_id}:"
+                    f"{_fhex(forecast.arrival)}:{_fhex(forecast.deadline)}"
+                ).encode()
+            )
+        for job_id in sorted(self._job_tenants):
+            digest.update(
+                f"|tenant:{job_id}:{self._job_tenants[job_id]}".encode()
+            )
+        digest.update(b"|depository:")
+        digest.update(
+            json.dumps(self.depository.snapshot(), sort_keys=True).encode()
+        )
+        digest.update(
+            (
+                "|window:"
+                + ",".join(
+                    "1" if miss else "0"
+                    for miss in self.depository.window_state()
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
     def metrics_snapshot(self) -> MetricsSnapshot:
         return self.metrics.snapshot()
 
@@ -540,6 +693,220 @@ class AdmissionEngine:
             "active_jobs": len(self.state.jobs),
             "depository": self.depository.snapshot(),
         }
+
+
+@dataclass
+class RecoveryReport:
+    """What a journal replay reconstructed (DESIGN.md §15).
+
+    ``mismatches`` lists replayed decisions that diverged from the
+    recorded ones — always empty under strict recovery, which raises
+    instead.  ``idempotency`` maps recovered idempotency keys to their
+    original response payloads so retried duplicates keep answering
+    the original decision across the restart.
+    """
+
+    records: int = 0
+    decisions: int = 0
+    sheds: int = 0
+    unacked: int = 0
+    snapshots_checked: int = 0
+    mismatches: list[str] = field(default_factory=list)
+    idempotency: dict[str, dict] = field(default_factory=dict)
+    #: (seq, arrival, response payload) of each re-decided unacked
+    #: intent — the restarting server journals these outcomes *before*
+    #: serving, so the next replay sees them in mutation order.
+    unacked_results: list[tuple[int, float, dict]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "records": self.records,
+            "decisions": self.decisions,
+            "sheds": self.sheds,
+            "unacked": self.unacked,
+            "snapshots_checked": self.snapshots_checked,
+            "mismatches": list(self.mismatches),
+            "idempotency_keys": len(self.idempotency),
+            "ok": self.ok,
+        }
+
+
+def _frame_payload(frame: AdmitRequest) -> dict:
+    """The journal's canonical encoding of one admit frame.
+
+    The correlation ``id`` is deliberately dropped: it names a
+    connection-lifetime conversation, not the operation, and replay
+    must not depend on it.
+    """
+    payload: dict = {
+        "tenant": frame.tenant,
+        "task": frame.task,
+        "deadline": frame.deadline,
+    }
+    if frame.arrival is not None:
+        payload["arrival"] = frame.arrival
+    if frame.idem is not None:
+        payload["idem"] = frame.idem
+    if frame.final:
+        payload["final"] = True
+    return payload
+
+
+def _frame_from_payload(
+    payload: dict, arrival: float | None
+) -> AdmitRequest:
+    declared = payload.get("arrival")
+    if arrival is None and declared is not None:
+        arrival = float(declared)
+    return AdmitRequest(
+        tenant=str(payload["tenant"]),
+        task=int(payload["task"]),
+        deadline=float(payload["deadline"]),
+        arrival=arrival,
+        idem=payload.get("idem"),
+        final=bool(payload.get("final", False)),
+    )
+
+
+def _parse_arrival(encoded: object) -> float | None:
+    if not isinstance(encoded, str):
+        return None
+    if encoded == "inf":
+        return math.inf
+    try:
+        return float.fromhex(encoded)
+    except ValueError:
+        return None
+
+
+def recover_engine(
+    engine: AdmissionEngine,
+    records: Sequence[dict],
+    *,
+    strict: bool = True,
+) -> RecoveryReport:
+    """Replay journal records through a *freshly constructed* engine.
+
+    The engine is a deterministic fold over the dispatched operation
+    stream, so replaying every record in journal order reconstructs
+    the pre-crash state exactly — snapshots are verified as waypoints,
+    not used as truncation points (online predictor state is a fold
+    over the full request log and cannot be resumed mid-stream).
+
+    Outcome records carry the server-stamped arrival, so a journal
+    written under a :class:`~repro.serve.clock.WallClock` still replays
+    deterministically; only the clock itself restarts (§15's bounded
+    divergence).  A trailing intent without an outcome — the crash
+    window — is re-decided: its client never received a response, so
+    whatever the replay decides *becomes* the decision, and the
+    client's idempotent retry will return it.
+
+    ``strict`` raises :class:`~repro.serve.journal.ServeJournalError`
+    on any divergence between recorded and replayed decisions; pass
+    ``False`` (the server does, when a wall-budget watchdog makes
+    solves machine-dependent) to collect mismatches in the report
+    instead.
+    """
+    report = RecoveryReport()
+    intents: dict[int, dict] = {}
+
+    def diverged(message: str) -> None:
+        if strict:
+            raise ServeJournalError(message)
+        report.mismatches.append(message)
+
+    def replay_decision(
+        frame_payload: dict, arrival: float | None
+    ) -> AdmitResponse | None:
+        frame = _frame_from_payload(frame_payload, arrival)
+        try:
+            return engine.decide(frame)
+        except Exception:  # noqa: BLE001 - the original op failed too
+            return None
+
+    def remember(frame_payload: dict, response: AdmitResponse | None) -> None:
+        idem = frame_payload.get("idem")
+        if (
+            isinstance(idem, str)
+            and response is not None
+            and response.status in _CACHEABLE_STATUSES
+        ):
+            report.idempotency[idem] = response.to_payload()
+
+    for record in records:
+        report.records += 1
+        kind = record.get("k")
+        seq = record.get("seq")
+        if kind == "i":
+            intents[int(seq)] = dict(record.get("frame") or {})
+        elif kind == "d":
+            frame_payload = intents.pop(int(seq), None)
+            recorded = record.get("response") or {}
+            if frame_payload is None:
+                diverged(f"seq {seq}: outcome record without intent")
+                continue
+            replayed = replay_decision(
+                frame_payload, _parse_arrival(record.get("arrival"))
+            )
+            report.decisions += 1
+            if recorded.get("ok", True):
+                if replayed is None:
+                    diverged(
+                        f"seq {seq}: recorded {recorded.get('status')!r} "
+                        "but replay raised"
+                    )
+                elif (
+                    replayed.status != recorded.get("status")
+                    or replayed.job_id != recorded.get("job_id")
+                ):
+                    diverged(
+                        f"seq {seq}: recorded "
+                        f"{recorded.get('status')}/{recorded.get('job_id')} "
+                        f"but replayed {replayed.status}/{replayed.job_id}"
+                    )
+            elif replayed is not None:
+                diverged(
+                    f"seq {seq}: recorded an error outcome but replay "
+                    f"decided {replayed.status!r}"
+                )
+            remember(frame_payload, replayed)
+        elif kind == "s":
+            engine.record_shed(str(record.get("tenant")))
+            report.sheds += 1
+        elif kind == "snap":
+            report.snapshots_checked += 1
+            expected = record.get("engine_fingerprint")
+            actual = engine.fingerprint()
+            if expected != actual:
+                diverged(
+                    f"seq {seq}: snapshot fingerprint {expected} != "
+                    f"replayed {actual}"
+                )
+    # The crash window: intents whose outcome never hit the disk.  The
+    # client never saw a response, so replay's verdict becomes *the*
+    # decision (idempotent retries will return it).
+    for seq in sorted(intents):
+        frame_payload = intents[seq]
+        replayed = replay_decision(frame_payload, None)
+        report.unacked += 1
+        if replayed is not None:
+            outcome = {
+                k: v for k, v in replayed.to_payload().items() if k != "id"
+            }
+        else:
+            outcome = error_payload(
+                "internal-error",
+                "replay of an unacknowledged intent raised",
+            )
+        report.unacked_results.append((seq, engine._last_arrival, outcome))
+        remember(frame_payload, replayed)
+    return report
 
 
 def prometheus_exposition(snapshot: MetricsSnapshot) -> str:
@@ -586,6 +953,9 @@ class AdmissionServer:
 
     ``strategy`` and ``predictor`` accept instances or registry names,
     exactly like :class:`~repro.sim.simulator.Simulator`.
+
+    ``fault_plan`` arms the wire/journal fault-injection shim (chaos
+    and fault tests only; ``None`` in production).
     """
 
     def __init__(
@@ -596,8 +966,21 @@ class AdmissionServer:
         *,
         tasks: Sequence[TaskType],
         config: ServeConfig | None = None,
+        fault_plan: "ServeFaultPlan | None" = None,
     ) -> None:
         config = config or ServeConfig()
+        strategy_label = (
+            strategy if isinstance(strategy, str) else type(strategy).__name__
+        )
+        predictor_label = (
+            "off"
+            if predictor is None
+            else (
+                predictor
+                if isinstance(predictor, str)
+                else type(predictor).__name__
+            )
+        )
         if isinstance(strategy, str) or isinstance(predictor, str):
             from repro.registry import resolve_predictor, resolve_strategy
 
@@ -627,6 +1010,46 @@ class AdmissionServer:
         self._dispatcher: asyncio.Task | None = None
         self._shutdown = asyncio.Event()
         self.port: int | None = None
+        self._fault_plan = fault_plan
+        self._responses = 0
+        self._idem_cache: OrderedDict[str, dict] = OrderedDict()
+        self._journal: AdmissionJournal | None = None
+        self._next_seq = 0
+        self.recovery: RecoveryReport | None = None
+        if config.journal_path is not None:
+            fingerprint = service_fingerprint(
+                platform,
+                tasks,
+                config,
+                strategy=strategy_label,
+                predictor=predictor_label,
+            )
+            journal = AdmissionJournal(
+                config.journal_path,
+                fingerprint,
+                fsync=config.journal_fsync,
+                fault_hook=(
+                    self._journal_fault_hook if fault_plan is not None else None
+                ),
+            )
+            if journal.records:
+                # Replay from genesis; strict unless a wall-budget
+                # watchdog makes individual solves machine-dependent.
+                self.recovery = recover_engine(
+                    self.engine,
+                    journal.records,
+                    strict=config.solver_wall_budget is None,
+                )
+                for key, payload in self.recovery.idempotency.items():
+                    self._remember(key, payload)
+                # Unacked intents were re-decided during recovery;
+                # journal their outcomes now, before any new op, so the
+                # next replay sees them in mutation order.
+                for seq, arrival, outcome in self.recovery.unacked_results:
+                    if not journal.append_outcome(seq, arrival, outcome):
+                        self.engine.metrics.inc("serve/journal_errors")
+            self._journal = journal
+            self._next_seq = journal.next_seq
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -637,7 +1060,10 @@ class AdmissionServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_FRAME_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
@@ -659,6 +1085,11 @@ class AdmissionServer:
         assert self._dispatcher is not None
         await self._dispatcher
         self.engine.drain()
+        if self._journal is not None:
+            # Drain completions are not journaled (replay re-derives
+            # them from the decision stream); just settle pending
+            # appends and release the handle.
+            self._journal.close()
 
     async def run(self) -> None:
         """Start and serve until shutdown (the CLI entry point)."""
@@ -674,22 +1105,121 @@ class AdmissionServer:
             frame, future = await self._dispatch.get()
             if frame is _STOP:
                 break
-            try:
-                payload = self.engine.decide(frame).to_payload()
-            except Exception as exc:  # noqa: BLE001 - report, don't die
-                self.engine.metrics.inc("serve/errors")
-                payload = error_payload(
-                    "internal-error",
-                    f"{type(exc).__name__}: {exc}",
-                    id=frame.id,
-                )
+            payload = self._execute(frame)
             self._pending[frame.tenant] -= 1
             if not future.done():
                 future.set_result(payload)
 
+    def _execute(self, frame: AdmitRequest) -> dict:
+        """One admit op: idempotency check, write-ahead intent, decision,
+        commit-before-reply outcome.  Synchronous, so the whole sequence
+        is atomic on the single-threaded event loop — journal order *is*
+        engine mutation order, which is what makes replay exact.
+        """
+        if frame.idem is not None:
+            cached = self._idem_cache.get(frame.idem)
+            if cached is not None:
+                self.engine.metrics.inc("serve/idempotent_hits")
+                payload = dict(cached)
+                payload["duplicate"] = True
+                if frame.id is not None:
+                    payload["id"] = frame.id
+                return payload
+        journal = self._journal
+        seq = self._next_seq
+        self._next_seq += 1
+        durable = True
+        if journal is not None:
+            # Write-ahead half.  When durability is required, a frame
+            # whose intent cannot be journaled is refused *before* any
+            # engine mutation — no decision exists, so a retry after the
+            # journal recovers is fresh, not a duplicate.
+            wrote = journal.append_intent(
+                seq,
+                _frame_payload(frame),
+                queue_on_failure=not self.config.journal_required,
+            )
+            if not wrote:
+                self.engine.metrics.inc("serve/journal_errors")
+                if self.config.journal_required:
+                    return error_payload(
+                        "journal-failed",
+                        "admission journal unavailable; retry later",
+                        id=frame.id,
+                    )
+                durable = False
+        try:
+            payload = self.engine.decide(frame).to_payload()
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            self.engine.metrics.inc("serve/errors")
+            payload = error_payload(
+                "internal-error",
+                f"{type(exc).__name__}: {exc}",
+                id=frame.id,
+            )
+        if journal is not None:
+            record = {k: v for k, v in payload.items() if k != "id"}
+            if not journal.append_outcome(
+                seq, self.engine._last_arrival, record
+            ):
+                self.engine.metrics.inc("serve/journal_errors")
+                durable = False
+            self._maybe_snapshot()
+        if (
+            frame.idem is not None
+            and payload.get("status") in _CACHEABLE_STATUSES
+        ):
+            self._remember(
+                frame.idem, {k: v for k, v in payload.items() if k != "id"}
+            )
+        if not durable:
+            payload["durable"] = False
+        return payload
+
+    def _remember(self, key: str, payload: dict) -> None:
+        cache = self._idem_cache
+        cache[key] = payload
+        cache.move_to_end(key)
+        while len(cache) > self.config.idempotency_cache:
+            cache.popitem(last=False)
+
+    def _journal_fault_hook(self, record: dict) -> bool:
+        plan = self._fault_plan
+        seq = record.get("seq")
+        return (
+            plan is not None
+            and isinstance(seq, int)
+            and plan.journal_fault_at(seq)
+        )
+
+    def _maybe_snapshot(self) -> None:
+        journal = self._journal
+        every = self.config.snapshot_every
+        if journal is None or every <= 0:
+            return
+        if self.engine.decisions == 0 or self.engine.decisions % every != 0:
+            return
+        wrote = journal.append_snapshot(
+            self._next_seq - 1,
+            self.engine.fingerprint(),
+            metrics=self.engine.metrics_snapshot().to_dict(hex_floats=True),
+            depository=self.engine.depository.snapshot(),
+        )
+        if not wrote:
+            self.engine.metrics.inc("serve/journal_errors")
+
     # ------------------------------------------------------------------
     # Connections
     # ------------------------------------------------------------------
+
+    @staticmethod
+    async def _read_line(reader: asyncio.StreamReader) -> bytes | None:
+        """One NDJSON line; ``None`` when it exceeds the frame limit
+        (the stream can no longer be framed reliably)."""
+        try:
+            return await reader.readline()
+        except ValueError:
+            return None
 
     async def _handle_connection(
         self,
@@ -697,7 +1227,12 @@ class AdmissionServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         try:
-            line = await reader.readline()
+            line = await self._read_line(reader)
+            if line is None:
+                self.engine.metrics.inc("serve/protocol_errors")
+                writer.write(encode_frame(self._frame_too_large()))
+                await writer.drain()
+                return
             if line.startswith(b"GET "):
                 await self._serve_http(line, reader, writer)
                 return
@@ -708,7 +1243,13 @@ class AdmissionServer:
                     await self._handle_line(line, responses)
                     if self._shutdown.is_set():
                         break
-                    line = await reader.readline()
+                    line = await self._read_line(reader)
+                    if line is None:
+                        # Oversized frame: answer, then drop the
+                        # connection — framing is gone past this point.
+                        self.engine.metrics.inc("serve/protocol_errors")
+                        await responses.put(self._frame_too_large())
+                        break
             finally:
                 await responses.put(_STOP)
                 await pump
@@ -721,17 +1262,55 @@ class AdmissionServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    @staticmethod
+    def _frame_too_large() -> dict:
+        return error_payload(
+            "frame-too-large",
+            f"frame exceeds {MAX_FRAME_BYTES} bytes; closing connection",
+        )
+
     async def _response_pump(
         self, responses: asyncio.Queue, writer: asyncio.StreamWriter
     ) -> None:
         """Write responses in request order while the reader keeps
-        reading — per-connection pipelining."""
+        reading — per-connection pipelining.
+
+        This is also the wire-fault injection point: an armed
+        :class:`~repro.faults.serve.ServeFaultPlan` can delay, truncate,
+        garble, or abort mid-frame, keyed by the server-wide response
+        ordinal (deterministic under a single driving client).
+        """
         while True:
             item = await responses.get()
             if item is _STOP:
                 return
             payload = await item if isinstance(item, asyncio.Future) else item
-            writer.write(encode_frame(payload))
+            data = encode_frame(payload)
+            plan = self._fault_plan
+            if plan is not None:
+                ordinal = self._responses
+                self._responses += 1
+                delay = plan.latency_at(ordinal)
+                if delay > 0:
+                    self.engine.metrics.inc("serve/injected_latency")
+                    await asyncio.sleep(delay)
+                if plan.drop_at(ordinal):
+                    # Half the frame, then RST: the crash-during-reply
+                    # window idempotency keys exist for.
+                    self.engine.metrics.inc("serve/injected_drops")
+                    writer.write(data[: max(1, len(data) // 2)])
+                    transport = writer.transport
+                    if isinstance(transport, asyncio.WriteTransport):
+                        transport.abort()
+                    return
+                kind = plan.corruption_at(ordinal)
+                if kind == "truncate":
+                    self.engine.metrics.inc("serve/injected_corruptions")
+                    data = data[: max(1, len(data) // 2)]
+                elif kind == "garbage":
+                    self.engine.metrics.inc("serve/injected_corruptions")
+                    data = plan.garbage_line(ordinal) + b"\n"
+            writer.write(data)
             await writer.drain()
 
     async def _handle_line(
@@ -769,15 +1348,45 @@ class AdmissionServer:
                 )
             )
             return
+        if frame.idem is not None and frame.idem in self._idem_cache:
+            # Duplicate of an already-committed decision: answer from the
+            # cache even when the queue is full (a retry must never be
+            # shed into a different outcome than its original).
+            self.engine.metrics.inc("serve/idempotent_hits")
+            cached = dict(self._idem_cache[frame.idem])
+            cached["duplicate"] = True
+            if frame.id is not None:
+                cached["id"] = frame.id
+            await responses.put(cached)
+            return
         pending = self._pending.get(frame.tenant, 0)
         if pending >= self.config.queue_depth:
-            shed = self.engine.record_shed(frame.tenant, frame.id)
-            await responses.put(shed.to_payload())
+            await responses.put(self._shed(frame))
             return
         self._pending[frame.tenant] = pending + 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         await self._dispatch.put((frame, future))
         await responses.put(future)
+
+    def _shed(self, frame: AdmitRequest) -> dict:
+        """Queue-full shed — journaled like every other engine mutation
+        (``record_shed`` bumps the decision counters and depository, so
+        replay has to see it too).  Sync, hence atomic w.r.t. the loop."""
+        shed = self.engine.record_shed(frame.tenant, frame.id)
+        payload = shed.to_payload()
+        if self._journal is not None:
+            seq = self._next_seq
+            self._next_seq += 1
+            durable = self._journal.append_shed(
+                seq,
+                frame.tenant,
+                {k: v for k, v in payload.items() if k != "id"},
+            )
+            if not durable:
+                self.engine.metrics.inc("serve/journal_errors")
+                payload["durable"] = False
+            self._maybe_snapshot()
+        return payload
 
     def _control(self, frame: ControlRequest) -> dict:
         if frame.op == "ping":
@@ -794,6 +1403,11 @@ class AdmissionServer:
             }
         elif frame.op == "stats":
             payload = {"ok": True, "op": "stats", **self.engine.stats()}
+            payload["fingerprint"] = self.engine.fingerprint()
+            if self._journal is not None:
+                payload["journal"] = self._journal.stats().to_dict()
+            if self.recovery is not None:
+                payload["recovery"] = self.recovery.to_dict()
         else:  # shutdown
             self.request_shutdown()
             payload = {"ok": True, "op": "shutdown"}

@@ -1,0 +1,166 @@
+"""ServeFaultPlan: window validation, schedule queries, seeded
+generation determinism, and the JSON round-trip the chaos CLI relies
+on to hand a plan to a server subprocess."""
+
+import json
+
+import pytest
+
+from repro.faults.serve import (
+    ConnectionDrop,
+    JournalFault,
+    ResponseCorruption,
+    ResponseLatency,
+    ServeFaultPlan,
+)
+
+
+class TestValidation:
+    def test_latency_window_must_be_ordered(self):
+        with pytest.raises(ValueError, match="end"):
+            ResponseLatency(start=5, end=5, delay=0.1)
+
+    def test_negative_ordinals_refused(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ResponseLatency(start=-1, end=3, delay=0.1)
+        with pytest.raises(ValueError, match=">= 0"):
+            ResponseCorruption(at=-1)
+        with pytest.raises(ValueError, match=">= 0"):
+            ConnectionDrop(at=-2)
+
+    def test_zero_delay_refused(self):
+        with pytest.raises(ValueError, match="delay"):
+            ResponseLatency(start=0, end=1, delay=0.0)
+
+    def test_unknown_corruption_kind_refused(self):
+        with pytest.raises(ValueError, match="unknown corruption kind"):
+            ResponseCorruption(at=0, kind="scramble")
+
+    def test_overlapping_latency_windows_refused(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ServeFaultPlan(
+                latencies=(
+                    ResponseLatency(0, 5, 0.1),
+                    ResponseLatency(3, 8, 0.1),
+                )
+            )
+
+    def test_overlapping_journal_windows_refused(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ServeFaultPlan(
+                journal_faults=(JournalFault(0, 4), JournalFault(2, 6))
+            )
+
+    def test_one_mutilation_per_frame(self):
+        with pytest.raises(ValueError, match="distinct response"):
+            ServeFaultPlan(
+                corruptions=(ResponseCorruption(at=3),),
+                drops=(ConnectionDrop(at=3),),
+            )
+
+    def test_is_empty(self):
+        assert ServeFaultPlan().is_empty
+        assert not ServeFaultPlan(drops=(ConnectionDrop(at=0),)).is_empty
+
+
+class TestQueries:
+    def plan(self) -> ServeFaultPlan:
+        return ServeFaultPlan(
+            seed=11,
+            latencies=(ResponseLatency(2, 4, 0.25),),
+            corruptions=(ResponseCorruption(5, "garbage"),),
+            drops=(ConnectionDrop(7),),
+            journal_faults=(JournalFault(1, 3),),
+        )
+
+    def test_latency_window(self):
+        plan = self.plan()
+        assert plan.latency_at(1) == 0.0
+        assert plan.latency_at(2) == 0.25
+        assert plan.latency_at(3) == 0.25
+        assert plan.latency_at(4) == 0.0
+
+    def test_corruption_and_drop_points(self):
+        plan = self.plan()
+        assert plan.corruption_at(5) == "garbage"
+        assert plan.corruption_at(6) is None
+        assert plan.drop_at(7)
+        assert not plan.drop_at(5)
+
+    def test_journal_fault_window(self):
+        plan = self.plan()
+        assert not plan.journal_fault_at(0)
+        assert plan.journal_fault_at(1)
+        assert plan.journal_fault_at(2)
+        assert not plan.journal_fault_at(3)
+
+    def test_garbage_line_is_deterministic_non_json(self):
+        plan = self.plan()
+        line = plan.garbage_line(5)
+        assert line == plan.garbage_line(5)
+        assert line != plan.garbage_line(6)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(line)
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            horizon=200,
+            latency_rate=0.1,
+            corruption_rate=0.1,
+            drop_rate=0.1,
+            journal_fault_rate=0.05,
+        )
+        assert ServeFaultPlan.generate(3, **kwargs) == ServeFaultPlan.generate(
+            3, **kwargs
+        )
+        assert ServeFaultPlan.generate(3, **kwargs) != ServeFaultPlan.generate(
+            4, **kwargs
+        )
+
+    def test_rates_roughly_honoured(self):
+        plan = ServeFaultPlan.generate(
+            0, horizon=500, corruption_rate=0.1, drop_rate=0.1
+        )
+        assert 10 <= len(plan.corruptions) <= 100
+        assert 10 <= len(plan.drops) <= 100
+        # Drops never collide with corruptions (one mutilation per frame).
+        corrupted = {c.at for c in plan.corruptions}
+        assert all(d.at not in corrupted for d in plan.drops)
+
+    def test_zero_rates_give_empty_plan(self):
+        assert ServeFaultPlan.generate(0, horizon=100).is_empty
+
+    def test_horizon_validated(self):
+        with pytest.raises(ValueError, match="horizon"):
+            ServeFaultPlan.generate(0, horizon=0)
+
+    def test_windows_clamped_to_horizon(self):
+        plan = ServeFaultPlan.generate(
+            1, horizon=10, latency_rate=0.4, journal_fault_rate=0.4
+        )
+        for window in plan.latencies:
+            assert window.end <= 10
+        for window in plan.journal_faults:
+            assert window.end <= 10
+
+
+class TestRoundTrip:
+    def test_json_round_trip_equality(self):
+        plan = ServeFaultPlan.generate(
+            9,
+            horizon=100,
+            latency_rate=0.1,
+            corruption_rate=0.1,
+            drop_rate=0.1,
+            journal_fault_rate=0.1,
+        )
+        assert not plan.is_empty
+        wire = json.dumps(plan.to_dict())
+        assert ServeFaultPlan.from_dict(json.loads(wire)) == plan
+
+    def test_from_dict_defaults(self):
+        plan = ServeFaultPlan.from_dict({})
+        assert plan.is_empty
+        assert plan.seed == 0

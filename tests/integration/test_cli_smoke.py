@@ -25,6 +25,7 @@ COVERED_COMMANDS = {
     "faults",
     "obs",
     "serve",
+    "chaos",
 }
 
 
@@ -220,3 +221,23 @@ class TestServeSmoke:
         out = capsys.readouterr().out
         assert "decisions/s" in out
         assert "clean shutdown    : True" in out
+
+
+class TestChaosSmoke:
+    def test_tiny_run_reports_recovery(self, tmp_path, capsys):
+        """Smallest honest chaos pass: 8 requests, SIGKILL after 4,
+        no stochastic wire faults (those have dedicated suites)."""
+        code = main(
+            ["chaos", "--requests", "8", "--kill-at", "4",
+             "--tasks", "6", "--snapshot-every", "4",
+             "--latency-rate", "0", "--corruption-rate", "0",
+             "--drop-rate", "0", "--journal-fault-rate", "0",
+             "--workdir", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["restarts"] == 1
+        assert report["fingerprint_match"] is True
+        assert report["clean_shutdown"] is True
+        assert report["violations"] == []

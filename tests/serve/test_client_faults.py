@@ -1,0 +1,185 @@
+"""Client-side fault handling: typed timeouts, seeded retry backoff,
+idempotent re-issue through injected wire faults, slow-loris sends.
+
+The injection tests arm a :class:`~repro.faults.serve.ServeFaultPlan`
+on a real server and drive it through the blocking client — the same
+shim the chaos harness uses, at unit scale.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.faults.serve import ConnectionDrop, ResponseCorruption, ServeFaultPlan
+from repro.serve.client import RetryPolicy, ServeClient, ServeTimeoutError
+
+from tests.serve.test_server import HOST, ServerHarness, replay_config
+
+
+class TestTimeout:
+    def test_silent_server_raises_typed_timeout(self):
+        """A server that accepts but never answers must not hang the
+        client forever — the constructor timeout applies to reads."""
+        listener = socket.socket()
+        listener.bind((HOST, 0))
+        listener.listen(1)
+        accepted = []
+        thread = threading.Thread(
+            target=lambda: accepted.append(listener.accept()),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            client = ServeClient(
+                HOST, listener.getsockname()[1], timeout=0.2
+            )
+            with pytest.raises(ServeTimeoutError):
+                client.ping()
+            client.close()
+        finally:
+            listener.close()
+            thread.join(timeout=5.0)
+            for sock, _ in accepted:
+                sock.close()
+
+    def test_timeout_error_is_a_connection_error(self):
+        assert issubclass(ServeTimeoutError, ConnectionError)
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay("k", 1) == policy.delay("k", 1)
+        assert policy.delay("k", 1) != policy.delay("k", 2)
+        assert policy.delay("k", 1) != policy.delay("other", 1)
+
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3, jitter=0
+        )
+        assert policy.delay("k", 1) == pytest.approx(0.1)
+        assert policy.delay("k", 2) == pytest.approx(0.2)
+        assert policy.delay("k", 5) == pytest.approx(0.3)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_max=1.0, jitter=0.25, seed=3
+        )
+        for attempt in range(1, 20):
+            delay = policy.delay("k", attempt)
+            assert 0.75 <= delay <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_retry_without_idem_refused(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                with pytest.raises(ValueError, match="idem"):
+                    client.admit(
+                        "t0", task=0, deadline=1.0, arrival=0.0,
+                        retry=RetryPolicy(),
+                    )
+
+
+class TestInjectedWireFaults:
+    def retry(self) -> RetryPolicy:
+        return RetryPolicy(retries=4, backoff_base=0.01, seed=0)
+
+    def test_mid_frame_drop_rides_on_idempotent_retry(self):
+        """Response ordinal 1 is aborted mid-frame; the retried re-issue
+        must answer the original decision, not a second admission."""
+        plan = ServeFaultPlan(drops=(ConnectionDrop(at=1),))
+        with ServerHarness(replay_config(), fault_plan=plan) as harness:
+            with harness.client() as client:
+                first = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=0.0,
+                    idem="d0", retry=self.retry(),
+                )
+                assert first["status"] == "accepted"
+                second = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=1.0,
+                    idem="d1", retry=self.retry(),
+                )
+                assert second["duplicate"] is True
+                assert second["job_id"] != first["job_id"]
+                counters = client.metrics()["metrics"]["counters"]
+                assert counters["serve/injected_drops"] == 1
+                assert counters["serve/requests"] == 2
+
+    def test_garbage_frame_forces_reconnect_and_reissue(self):
+        plan = ServeFaultPlan(
+            corruptions=(ResponseCorruption(at=1, kind="garbage"),)
+        )
+        with ServerHarness(replay_config(), fault_plan=plan) as harness:
+            with harness.client() as client:
+                client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=0.0,
+                    idem="g0", retry=self.retry(),
+                )
+                response = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=1.0,
+                    idem="g1", retry=self.retry(),
+                )
+                assert response["duplicate"] is True
+                counters = client.metrics()["metrics"]["counters"]
+                assert counters["serve/injected_corruptions"] == 1
+
+    def test_truncated_frame_times_out_then_recovers(self):
+        plan = ServeFaultPlan(
+            corruptions=(ResponseCorruption(at=0, kind="truncate"),)
+        )
+        with ServerHarness(replay_config(), fault_plan=plan) as harness:
+            client = ServeClient(HOST, harness.port, timeout=0.3)
+            response = client.admit(
+                "t0", task=0, deadline=1000.0, arrival=0.0,
+                idem="t0-k", retry=self.retry(),
+            )
+            assert response["duplicate"] is True
+            assert response["status"] == "accepted"
+            client.close()
+
+    def test_exhausted_retries_surface_the_error(self):
+        plan = ServeFaultPlan(
+            drops=tuple(ConnectionDrop(at=i) for i in range(8))
+        )
+        with ServerHarness(replay_config(), fault_plan=plan) as harness:
+            client = ServeClient(HOST, harness.port, timeout=0.3)
+            with pytest.raises((ConnectionError, OSError)):
+                client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=0.0,
+                    idem="x", retry=RetryPolicy(
+                        retries=2, backoff_base=0.01
+                    ),
+                )
+            client.close()
+
+
+class TestSlowLoris:
+    def test_dribbled_frame_still_decodes(self):
+        from repro.serve.protocol import encode_frame
+
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                frame = encode_frame({
+                    "op": "admit", "tenant": "t0", "task": 0,
+                    "deadline": 1000.0, "arrival": 0.0, "id": "slow",
+                })
+                client.send_raw(
+                    frame, chunk_size=3, inter_chunk_delay=0.002
+                )
+                response = client.read_response()
+                assert response["id"] == "slow"
+                assert response["status"] == "accepted"
+
+    def test_bad_chunk_size(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                with pytest.raises(ValueError, match="chunk_size"):
+                    client.send_raw(b"x" * 10, chunk_size=0)

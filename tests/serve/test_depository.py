@@ -131,3 +131,71 @@ class TestReprovisionTrigger:
             UsageDepository(error_window=0)
         with pytest.raises(ValueError, match="min_observations"):
             UsageDepository(min_observations=0)
+
+
+class TestTriggerEdgeCases:
+    """Window edge cases called out by the chaos work: empty and
+    single-sample windows, and tenant offboarding mid-window."""
+
+    def test_empty_window(self):
+        depository = UsageDepository()
+        assert depository.error_rate() == 0.0
+        assert depository.window_state() == ()
+        assert depository.should_reprovision() is False
+
+    def test_single_sample_window_can_trip(self):
+        depository = UsageDepository(
+            error_window=1, min_observations=1, error_threshold=0.5
+        )
+        depository.score_forecast(predicted_type=0, actual_type=1)
+        assert depository.error_rate() == 1.0
+        assert depository.should_reprovision() is True
+        # One hit fully displaces the miss in a width-1 window.
+        depository.score_forecast(predicted_type=1, actual_type=1)
+        assert depository.error_rate() == 0.0
+        assert depository.should_reprovision() is False
+
+    def test_window_state_tracks_order(self):
+        depository = UsageDepository(error_window=3)
+        depository.score_forecast(predicted_type=0, actual_type=1)
+        depository.score_forecast(predicted_type=1, actual_type=1)
+        depository.score_forecast(predicted_type=0, actual_type=1)
+        assert depository.window_state() == (True, False, True)
+
+
+class TestTenantRemoval:
+    def test_remove_reports_existence(self):
+        depository = UsageDepository()
+        depository.record_decision("a", "accepted", 1.0)
+        assert depository.remove_tenant("a") is True
+        assert depository.remove_tenant("a") is False
+        assert depository.remove_tenant("never-seen") is False
+
+    def test_removed_tenant_gone_from_snapshot(self):
+        depository = UsageDepository()
+        depository.record_decision("a", "accepted", 1.0)
+        depository.record_decision("b", "rejected", 2.0)
+        depository.remove_tenant("a")
+        names = [t["tenant"] for t in depository.snapshot()["tenants"]]
+        assert names == ["b"]
+        assert depository.active_jobs("a") == 0
+
+    def test_completion_after_removal_recreates_from_zero(self):
+        """A job admitted before offboarding may still complete after —
+        the record must come back clean, never with negative counters."""
+        depository = UsageDepository()
+        depository.record_decision("a", "accepted", 1.0)
+        depository.remove_tenant("a")
+        depository.record_completion("a")
+        usage = depository.tenant("a")
+        assert usage.active_jobs == 0
+        assert usage.completed_jobs == 1
+        assert usage.submitted == 0
+
+    def test_removal_leaves_prediction_window_alone(self):
+        depository = UsageDepository(error_window=4, min_observations=1)
+        depository.record_decision("a", "accepted", 1.0)
+        depository.score_forecast(predicted_type=0, actual_type=1)
+        depository.remove_tenant("a")
+        assert depository.window_state() == (True,)
+        assert depository.scored_forecasts == 1

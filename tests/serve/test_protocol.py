@@ -10,6 +10,9 @@ import json
 import pytest
 
 from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    MAX_IDEM_BYTES,
     AdmitRequest,
     AdmitResponse,
     ControlRequest,
@@ -160,3 +163,76 @@ class TestResponses:
         line = encode_frame({"ok": True, "x": 1.5})
         assert line.endswith(b"\n")
         assert json.loads(line) == {"ok": True, "x": 1.5}
+
+
+class TestIdempotencyField:
+    def admit(self, **extra) -> str:
+        payload = {
+            "op": "admit", "tenant": "t", "task": 0, "deadline": 1,
+        }
+        payload.update(extra)
+        return json.dumps(payload)
+
+    def test_valid_key_decoded(self):
+        frame = decode_frame(self.admit(idem="client-7"))
+        assert frame.idem == "client-7"
+
+    def test_absent_key_is_none(self):
+        assert decode_frame(self.admit()).idem is None
+
+    def test_non_string_key(self):
+        assert code_of(decode_frame, self.admit(idem=7)) == "bad-type"
+
+    def test_empty_key(self):
+        assert code_of(decode_frame, self.admit(idem="")) == "bad-value"
+
+    def test_oversized_key(self):
+        key = "k" * (MAX_IDEM_BYTES + 1)
+        assert code_of(decode_frame, self.admit(idem=key)) == "bad-value"
+
+    def test_key_budget_counts_utf8_bytes(self):
+        # 43 three-byte chars = 129 bytes: over budget despite only
+        # 43 characters.
+        key = "€" * 43
+        assert code_of(decode_frame, self.admit(idem=key)) == "bad-value"
+
+
+class TestFrameSize:
+    def test_oversized_frame_refused(self):
+        padding = "x" * MAX_FRAME_BYTES
+        frame = json.dumps({
+            "op": "admit", "tenant": "t", "task": 0, "deadline": 1,
+            "pad": padding,
+        })
+        assert code_of(decode_frame, frame) == "frame-too-large"
+
+    def test_limit_is_exact(self):
+        line = b'{"op": "ping"}'
+        padded = line[:-1] + b', "pad": "' + b"y" * (
+            MAX_FRAME_BYTES - len(line) - 11
+        ) + b'"}'
+        assert len(padded) == MAX_FRAME_BYTES
+        assert isinstance(decode_frame(padded), ControlRequest)
+
+
+class TestErrorCodeRegistry:
+    def test_new_codes_declared(self):
+        assert "frame-too-large" in ERROR_CODES
+        assert "journal-failed" in ERROR_CODES
+
+    def test_undeclared_code_is_a_bug(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            error_payload("made-up-code", "nope")
+
+
+class TestResponseArrival:
+    def test_arrival_included_when_stamped(self):
+        response = AdmitResponse(
+            status="accepted", tenant="t", job_id=1,
+            decision_time=2.0, arrival=1.25,
+        )
+        assert response.to_payload()["arrival"] == 1.25
+
+    def test_arrival_omitted_when_unset(self):
+        response = AdmitResponse(status="rejected", tenant="t")
+        assert "arrival" not in response.to_payload()

@@ -23,7 +23,8 @@ class ServerHarness:
     """Boot one daemon in a thread; join it on exit."""
 
     def __init__(self, config: ServeConfig, *, strategy: str = "heuristic",
-                 predictor: str | None = None, n_tasks: int = 5):
+                 predictor: str | None = None, n_tasks: int = 5,
+                 fault_plan=None):
         self.platform = Platform.cpu_gpu(n_cpus=2, n_gpus=1)
         self.tasks = generate_task_set(
             self.platform, TaskSetConfig(n_tasks=n_tasks)
@@ -31,6 +32,7 @@ class ServerHarness:
         self.config = config
         self.strategy = strategy
         self.predictor = predictor
+        self.fault_plan = fault_plan
         self.server: AdmissionServer | None = None
         self._started = threading.Event()
         self._thread: threading.Thread | None = None
@@ -45,6 +47,7 @@ class ServerHarness:
                 self.predictor,
                 tasks=self.tasks,
                 config=self.config,
+                fault_plan=self.fault_plan,
             )
             loop.run_until_complete(self.server.start())
             self._started.set()
@@ -221,6 +224,145 @@ class TestSmoke:
         assert report.metrics_lines > 0
         # The acceptance floor: >= 1k admissions/s on the smoke workload.
         assert report.decisions_per_sec >= 1000.0
+
+
+class TestOversizedFrames:
+    def test_oversized_frame_answered_then_closed(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                client.ping()  # healthy first
+                huge = (
+                    b'{"op": "admit", "tenant": "'
+                    + b"x" * 70000
+                    + b'", "task": 0, "deadline": 1.0}'
+                )
+                client.send_raw(huge)
+                response = client.read_response()
+                assert response["ok"] is False
+                assert response["error"] == "frame-too-large"
+                # Framing is gone: the server closes the connection.
+                with pytest.raises(ConnectionError):
+                    client.read_response()
+
+    def test_oversized_first_frame(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                client.send_raw(b"x" * 70000)
+                response = client.read_response()
+                assert response["error"] == "frame-too-large"
+
+
+class TestInterleavedOps:
+    def test_pipelined_mixed_ops_answer_in_order(self):
+        """Admit/control frames interleaved on one connection come back
+        strictly in request order (per-connection pipelining)."""
+        from repro.serve.protocol import encode_frame
+
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                batch = (
+                    encode_frame({
+                        "op": "admit", "tenant": "t0", "task": 0,
+                        "deadline": 1000.0, "arrival": 0.0, "id": "a",
+                    })
+                    + encode_frame({"op": "ping", "id": "b"})
+                    + encode_frame({
+                        "op": "admit", "tenant": "t1", "task": 0,
+                        "deadline": 1000.0, "arrival": 0.5, "id": "c",
+                    })
+                    + encode_frame({"op": "stats", "id": "d"})
+                )
+                client.send_raw(batch)
+                ids = [client.read_response()["id"] for _ in range(4)]
+                assert ids == ["a", "b", "c", "d"]
+
+    def test_protocol_error_does_not_skew_ordering(self):
+        from repro.serve.protocol import encode_frame
+
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                batch = (
+                    encode_frame({"op": "ping", "id": 1})
+                    + b"{broken\n"
+                    + encode_frame({"op": "ping", "id": 2})
+                )
+                client.send_raw(batch)
+                first = client.read_response()
+                second = client.read_response()
+                third = client.read_response()
+                assert first["id"] == 1
+                assert second["error"] == "malformed-frame"
+                assert third["id"] == 2
+
+
+class TestIdempotency:
+    def test_duplicate_returns_original_decision(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                first = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=0.0, idem="k1"
+                )
+                assert first["status"] == "accepted"
+                assert "duplicate" not in first
+                again = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=9.0, idem="k1"
+                )
+                assert again["duplicate"] is True
+                assert again["job_id"] == first["job_id"]
+                assert again["decision_time"] == first["decision_time"]
+                counters = client.metrics()["metrics"]["counters"]
+                assert counters["serve/idempotent_hits"] == 1
+                # Only one real decision happened.
+                assert counters["serve/requests"] == 1
+
+    def test_distinct_keys_decide_independently(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                a = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=0.0, idem="a"
+                )
+                b = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=1.0, idem="b"
+                )
+                assert a["job_id"] != b["job_id"]
+
+    def test_cache_eviction_is_lru(self):
+        config = replay_config(idempotency_cache=2)
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                for i, key in enumerate(["a", "b", "c"]):
+                    client.admit(
+                        "t0", task=0, deadline=1000.0,
+                        arrival=float(i), idem=key,
+                    )
+                # "a" was evicted: its re-issue is a fresh decision.
+                again = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=3.0, idem="a"
+                )
+                assert "duplicate" not in again
+
+
+class TestStatsSurface:
+    def test_stats_expose_fingerprint(self):
+        with ServerHarness(replay_config()) as harness:
+            with harness.client() as client:
+                before = client.stats()["fingerprint"]
+                client.admit("t0", task=0, deadline=1000.0, arrival=0.0)
+                after = client.stats()["fingerprint"]
+                assert len(before) == 64
+                assert before != after
+
+    def test_stats_expose_journal_health(self, tmp_path):
+        config = replay_config(
+            journal_path=str(tmp_path / "j.ndjson"), journal_fsync=False
+        )
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                client.admit("t0", task=0, deadline=1000.0, arrival=0.0)
+                journal = client.stats()["journal"]
+                assert journal["records"] == 2  # intent + outcome
+                assert journal["write_errors"] == 0
+                assert journal["pending"] == 0
 
 
 class TestConfigValidation:

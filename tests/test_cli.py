@@ -265,3 +265,49 @@ class TestFaults:
         first = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestServeParsing:
+    def test_journal_flags(self, tmp_path):
+        args = build_parser().parse_args([
+            "serve", "--journal", str(tmp_path / "j.ndjson"),
+            "--no-journal-fsync", "--snapshot-every", "16",
+        ])
+        assert args.journal.name == "j.ndjson"
+        assert args.no_journal_fsync is True
+        assert args.snapshot_every == 16
+
+    def test_journal_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.journal is None
+        assert args.no_journal_fsync is False
+        assert args.snapshot_every == 64
+        assert args.fault_plan is None
+
+    def test_fault_plan_flag(self, tmp_path):
+        args = build_parser().parse_args([
+            "serve", "--fault-plan", str(tmp_path / "plan.json"),
+        ])
+        assert args.fault_plan.name == "plan.json"
+
+
+class TestChaosParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 0
+        assert args.requests == 40
+        assert args.kill_at is None  # resolved to half-way at run time
+        assert args.snapshot_every == 8
+        assert args.drop_rate == 0.05
+        assert args.workdir is None
+        assert args.json is False
+
+    def test_overrides(self, tmp_path):
+        args = build_parser().parse_args([
+            "chaos", "--requests", "12", "--kill-at", "6",
+            "--drop-rate", "0", "--workdir", str(tmp_path), "--json",
+        ])
+        assert args.requests == 12
+        assert args.kill_at == 6
+        assert args.drop_rate == 0.0
+        assert args.json is True
