@@ -16,9 +16,12 @@ against a live :class:`~repro.serve.server.AdmissionServer`:
 * :class:`ConnectionDrop` — the connection is aborted mid-frame at one
   response ordinal (half the line is written, then RST), the classic
   crash-during-reply window that idempotency keys exist for;
-* :class:`JournalFault` — journal appends fail for a window of
-  operation sequence numbers (tests the pending-queue re-append path
-  and the ``journal-failed`` refusal policy).
+* :class:`JournalFault` — journal append *attempts* fail for a window
+  of append ordinals (tests the pending-queue re-append path and the
+  ``journal-failed`` refusal policy).  Windows are keyed on the
+  monotonically increasing attempt counter, not the record's own seq:
+  a queued record retries under fresh ordinals, so a bounded window
+  always clears instead of wedging the pending queue.
 
 Windows are indexed by **response ordinal / operation sequence**, not
 wall time: wall time is nondeterministic, ordinals make a fault
@@ -116,7 +119,7 @@ class ConnectionDrop:
 
 @dataclass(frozen=True)
 class JournalFault:
-    """Journal appends fail for operation seqs in ``[start, end)``."""
+    """Journal append attempts fail for ordinals in ``[start, end)``."""
 
     start: int
     end: int
@@ -124,8 +127,8 @@ class JournalFault:
     def __post_init__(self) -> None:
         _check_ordinal_window("journal fault", self.start, self.end)
 
-    def covers(self, seq: int) -> bool:
-        return self.start <= seq < self.end
+    def covers(self, ordinal: int) -> bool:
+        return self.start <= ordinal < self.end
 
 
 @dataclass(frozen=True)
@@ -190,8 +193,8 @@ class ServeFaultPlan:
     def drop_at(self, ordinal: int) -> bool:
         return any(drop.at == ordinal for drop in self.drops)
 
-    def journal_fault_at(self, seq: int) -> bool:
-        return any(window.covers(seq) for window in self.journal_faults)
+    def journal_fault_at(self, ordinal: int) -> bool:
+        return any(window.covers(ordinal) for window in self.journal_faults)
 
     def garbage_line(self, ordinal: int) -> bytes:
         """Deterministic non-JSON bytes for a ``"garbage"`` corruption."""

@@ -398,6 +398,11 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
         )
         report.live_fingerprint = str(stats.get("fingerprint", ""))
         report.recovery = dict(stats.get("recovery", {}))
+    except BaseException:
+        # Don't leak a live server subprocess when the workload loop
+        # dies (e.g. journal-failed refusals never clearing).
+        server.sigkill()
+        raise
     finally:
         try:
             client.close()

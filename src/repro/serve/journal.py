@@ -35,10 +35,12 @@ Format (append-only NDJSON, one JSON object per line):
   so recovery always replays from genesis and asserts each recorded
   fingerprint along the way.
 
-Torn final lines (the crash happened mid-write) are detected and
-dropped on load, exactly like the experiment checkpoint journal; a
-corrupt line *followed by valid records* is real corruption and
-refuses to load.
+Torn final lines (the crash happened mid-write) are detected on load
+and truncated off the file before any new append — dropping them from
+memory alone would leave the next append concatenated onto the torn
+bytes, turning a recoverable tear into real corruption one restart
+later.  A corrupt line *followed by valid records* is real corruption
+and refuses to load.
 
 Write failures never kill the service: a record that cannot be
 appended is queued in memory and re-appended (in order) before any
@@ -202,14 +204,81 @@ class AdmissionJournal:
     # ------------------------------------------------------------------
 
     def _load(self) -> None:
-        """Replay an existing journal file, tolerating a torn last line."""
+        """Replay an existing journal file, tolerating a torn last line.
+
+        The torn tail — the crash's final, partially persisted write:
+        invalid JSON, or a record missing its trailing newline — is not
+        just dropped from memory but **truncated on disk**.  Appends
+        reopen the file in append mode, so without the truncation the
+        first post-recovery record would be concatenated onto the torn
+        bytes and the *next* load would refuse the journal as corrupt.
+        Only newline-terminated records count as persisted: an append
+        returns (and the response is externalised) strictly after the
+        full line, newline included, was handed to the file, so an
+        unterminated record was never acknowledged and is safe to drop.
+        """
         if not os.path.exists(self.path):
             return
-        with open(self.path, encoding="utf-8") as handle:
-            lines = handle.read().split("\n")
-        if not lines or not lines[0].strip():
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        if not raw.strip():
+            if raw:  # stray whitespace would corrupt the header line
+                os.truncate(self.path, 0)
             return
-        header = self._parse(lines[0])
+        cut = raw.rfind(b"\n") + 1
+        body, tail = raw[:cut], raw[cut:]
+        if not body:
+            # A single unterminated line: the header itself was torn by
+            # a crash during journal creation (no record can precede
+            # the header, so truncating to empty is a safe recovery).
+            self._recover_torn_header(tail)
+            return
+        lines = body.split(b"\n")[:-1]
+        self._check_header(
+            self._parse(lines[0].decode("utf-8", errors="replace"))
+        )
+        # Byte offset just past the last valid newline-terminated
+        # record — the truncation point when the tail is torn.
+        good_end = len(lines[0]) + 1
+        offset = good_end
+        torn_at: int | None = None
+        position = 1
+        for raw_line in lines[1:]:
+            position += 1
+            line_end = offset + len(raw_line) + 1
+            text = raw_line.decode("utf-8", errors="replace")
+            if not text.strip():
+                offset = good_end = line_end
+                continue
+            record = self._parse(text)
+            if record is None or record.get("k") not in RECORD_KINDS:
+                torn_at = position
+                break
+            self.records.append(record)
+            seq = record.get("seq")
+            if isinstance(seq, int) and seq > self._last_seq:
+                self._last_seq = seq
+            offset = good_end = line_end
+        if torn_at is not None:
+            # A torn line can only be the crash's final write; any
+            # valid line after it means real corruption.
+            remainder = lines[position:]
+            if tail:
+                remainder = [*remainder, tail]
+            if any(
+                self._parse(rest.decode("utf-8", errors="replace"))
+                is not None
+                for rest in remainder
+                if rest.strip()
+            ):
+                raise ServeJournalError(
+                    f"{self.path}:{torn_at}: corrupt journal line "
+                    "followed by valid records"
+                )
+        if good_end < len(raw):
+            os.truncate(self.path, good_end)
+
+    def _check_header(self, header: dict | None) -> None:
         if header is None or header.get("magic") != SERVE_JOURNAL_MAGIC:
             raise ServeJournalError(
                 f"{self.path}: not a {SERVE_JOURNAL_MAGIC} journal"
@@ -219,28 +288,26 @@ class AdmissionJournal:
                 f"{self.path}: journal belongs to a different service "
                 "(platform/catalog/config changed); refusing to replay"
             )
-        for position, line in enumerate(lines[1:], start=2):
-            if not line.strip():
-                continue
-            record = self._parse(line)
-            if record is None or record.get("k") not in RECORD_KINDS:
-                # A torn line can only be the crash's final write; any
-                # valid line after it means real corruption.
-                remainder = lines[position:]
-                if any(
-                    self._parse(rest) is not None
-                    for rest in remainder
-                    if rest.strip()
-                ):
-                    raise ServeJournalError(
-                        f"{self.path}:{position}: corrupt journal line "
-                        "followed by valid records"
-                    )
-                break
-            self.records.append(record)
-            seq = record.get("seq")
-            if isinstance(seq, int) and seq > self._last_seq:
-                self._last_seq = seq
+
+    def _recover_torn_header(self, tail: bytes) -> None:
+        text = tail.decode("utf-8", errors="replace")
+        header = self._parse(text)
+        if header is not None:
+            # Complete header, missing only its newline: verify it is
+            # ours, then start the journal over.
+            self._check_header(header)
+            os.truncate(self.path, 0)
+            return
+        expected = json.dumps(
+            {"magic": SERVE_JOURNAL_MAGIC, "fingerprint": self.fingerprint},
+            sort_keys=True,
+        )
+        if expected.startswith(text):
+            os.truncate(self.path, 0)
+            return
+        raise ServeJournalError(
+            f"{self.path}: not a {SERVE_JOURNAL_MAGIC} journal"
+        )
 
     @staticmethod
     def _parse(line: str) -> dict | None:

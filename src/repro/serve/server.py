@@ -1012,6 +1012,7 @@ class AdmissionServer:
         self.port: int | None = None
         self._fault_plan = fault_plan
         self._responses = 0
+        self._journal_appends = 0
         self._idem_cache: OrderedDict[str, dict] = OrderedDict()
         self._journal: AdmissionJournal | None = None
         self._next_seq = 0
@@ -1105,8 +1106,21 @@ class AdmissionServer:
             frame, future = await self._dispatch.get()
             if frame is _STOP:
                 break
-            payload = self._execute(frame)
-            self._pending[frame.tenant] -= 1
+            # The dispatcher must survive anything _execute lets
+            # through (e.g. a fault hook raising a non-OSError): an
+            # unhandled exception here would kill the task silently and
+            # hang every queued and future admit.
+            try:
+                payload = self._execute(frame)
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                self.engine.metrics.inc("serve/errors")
+                payload = error_payload(
+                    "internal-error",
+                    f"{type(exc).__name__}: {exc}",
+                    id=frame.id,
+                )
+            finally:
+                self._pending[frame.tenant] -= 1
             if not future.done():
                 future.set_result(payload)
 
@@ -1184,13 +1198,18 @@ class AdmissionServer:
             cache.popitem(last=False)
 
     def _journal_fault_hook(self, record: dict) -> bool:
+        # Keyed on a monotonically increasing append *attempt* ordinal,
+        # not the record's own seq: a queued record retries with fresh
+        # ordinals, so a bounded fault window always clears.  Keying on
+        # the fixed seq would wedge the pending queue forever once a
+        # queued record's seq landed inside a window.
+        del record
         plan = self._fault_plan
-        seq = record.get("seq")
-        return (
-            plan is not None
-            and isinstance(seq, int)
-            and plan.journal_fault_at(seq)
-        )
+        if plan is None:
+            return False
+        ordinal = self._journal_appends
+        self._journal_appends += 1
+        return plan.journal_fault_at(ordinal)
 
     def _maybe_snapshot(self) -> None:
         journal = self._journal

@@ -10,6 +10,7 @@ import json
 
 import pytest
 
+from repro.faults.serve import JournalFault, ServeFaultPlan
 from repro.model.platform import Platform
 from repro.serve.journal import (
     SERVE_JOURNAL_MAGIC,
@@ -66,6 +67,88 @@ class TestFormat:
         reloaded = make_journal(path)
         assert len(reloaded.records) == 2
         assert reloaded.next_seq == 1
+
+    def test_append_after_torn_tail_survives_second_restart(self, tmp_path):
+        """Recovery must truncate the torn bytes off the file: append
+        mode would otherwise concatenate the first post-recovery record
+        onto them, and the *second* restart would refuse the journal as
+        corrupt (torn line followed by valid records)."""
+        path = tmp_path / "j.ndjson"
+        with make_journal(path) as journal:
+            journal.append_intent(0, {})
+            journal.append_outcome(0, 0.0, {"status": "rejected"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"k": "i", "seq": 1, "fra')  # crash mid-write
+        with make_journal(path) as journal:  # first restart: recover
+            assert len(journal.records) == 2
+            assert journal.append_intent(journal.next_seq, {"tenant": "t"})
+        reloaded = make_journal(path)  # second restart must still load
+        assert [(r["k"], r["seq"]) for r in reloaded.records] == [
+            ("i", 0), ("d", 0), ("i", 1),
+        ]
+        reloaded.close()
+
+    def test_unterminated_record_dropped_and_truncated(self, tmp_path):
+        # A record whose newline never reached the file was never
+        # acknowledged (append returns after the full line): drop it
+        # and truncate back to the last line boundary.
+        path = tmp_path / "j.ndjson"
+        with make_journal(path) as journal:
+            journal.append_intent(0, {})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"k": "i", "seq": 1, "frame": {}}))
+        reloaded = make_journal(path)
+        assert len(reloaded.records) == 1
+        assert reloaded.next_seq == 1
+        assert path.read_bytes().endswith(b"\n")
+        reloaded.close()
+
+    def test_torn_header_recovers_to_empty_journal(self, tmp_path):
+        # A crash during journal creation can tear the header itself;
+        # no record can precede it, so recovery restarts from empty.
+        path = tmp_path / "j.ndjson"
+        with make_journal(path) as journal:
+            journal.append_intent(0, {})
+        header_line = path.read_text().split("\n")[0]
+        path.write_text(header_line[: len(header_line) // 2])
+        with make_journal(path) as journal:
+            assert journal.records == []
+            assert journal.append_intent(0, {"tenant": "t"})
+        assert [r["k"] for r in load_journal_records(path)] == ["i"]
+
+    def test_unterminated_full_header_recovers(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        header = json.dumps(
+            {"magic": SERVE_JOURNAL_MAGIC, "fingerprint": "fp"},
+            sort_keys=True,
+        )
+        path.write_text(header)  # complete header, newline never landed
+        with make_journal(path) as journal:
+            assert journal.records == []
+            assert journal.append_intent(0, {})
+        assert [r["k"] for r in load_journal_records(path)] == ["i"]
+
+    def test_torn_line_of_foreign_file_refuses(self, tmp_path):
+        # An unterminated first line that is not a prefix of *our*
+        # header is some other file, not a torn journal: never truncate.
+        path = tmp_path / "j.ndjson"
+        path.write_text('{"some": "other file')
+        with pytest.raises(ServeJournalError, match="not a"):
+            make_journal(path)
+        assert path.read_text() == '{"some": "other file'
+
+    def test_corrupt_line_followed_by_unterminated_valid_refuses(
+        self, tmp_path
+    ):
+        # Two writes landed after the garbage: that is real corruption,
+        # not a torn tail, even though the last line is unterminated.
+        path = tmp_path / "j.ndjson"
+        with make_journal(path) as journal:
+            journal.append_intent(0, {})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('!garbage!\n{"k": "i", "seq": 1, "frame": {}}')
+        with pytest.raises(ServeJournalError, match="corrupt"):
+            make_journal(path)
 
     def test_corrupt_line_followed_by_valid_refuses(self, tmp_path):
         path = tmp_path / "j.ndjson"
@@ -190,6 +273,64 @@ class TestPendingQueue:
         failing["on"] = False
         journal.close()
         assert [r["k"] for r in load_journal_records(path)] == ["i", "d"]
+
+
+class TestFaultHookKeying:
+    def test_window_keyed_on_append_attempts_not_record_seq(self):
+        """A queued record retries with its seq frozen: keying the
+        fault window on that seq would wedge the pending queue forever.
+        The hook must burn a fresh append-attempt ordinal per call so a
+        bounded window always clears."""
+        plan = ServeFaultPlan(journal_faults=(JournalFault(start=0, end=2),))
+        platform = Platform.cpu_gpu(n_cpus=2, n_gpus=1)
+        tasks = generate_task_set(platform, TaskSetConfig(n_tasks=3))
+        server = AdmissionServer(
+            platform,
+            "heuristic",
+            tasks=tasks,
+            config=replay_config(),
+            fault_plan=plan,
+        )
+        record = {"k": "s", "seq": 0}
+        assert server._journal_fault_hook(record)
+        assert server._journal_fault_hook(record)
+        # Third attempt of the *same* record exits the [0, 2) window.
+        assert not server._journal_fault_hook(record)
+
+
+class TestDispatcherResilience:
+    def test_raising_fault_hook_does_not_kill_dispatcher(self, tmp_path):
+        """A fault hook may raise (its documented contract) and a
+        non-OSError escapes the journal's OSError handling: the
+        dispatcher must answer internal-error and keep serving instead
+        of dying silently and hanging every later admit."""
+        config = replay_config(
+            journal_path=str(tmp_path / "j.ndjson"), journal_fsync=False
+        )
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                first = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=0.0
+                )
+                assert first["ok"] is True
+                assert harness.server is not None
+                journal = harness.server._journal
+                assert journal is not None
+
+                def hook(record: dict) -> bool:
+                    raise ValueError("non-OSError from fault hook")
+
+                journal.fault_hook = hook
+                broken = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=1.0
+                )
+                assert broken["ok"] is False
+                assert broken["error"] == "internal-error"
+                journal.fault_hook = None
+                after = client.admit(
+                    "t0", task=0, deadline=1000.0, arrival=2.0
+                )
+                assert after["ok"] is True
 
 
 class RecoveryHarness(ServerHarness):
