@@ -9,9 +9,13 @@ These are the PR-2 rules, re-hosted on the rule-registry engine:
     follows generator construction through helper functions: a helper
     whose seed parameter defaults to ``None`` and flows into
     ``default_rng``/``RandomState`` is itself treated as a generator
-    constructor, so ``make_rng()`` with the seed omitted is flagged at
-    the call site (an unseeded rng cannot be laundered through one level
-    of indirection).
+    constructor — whether the generator is returned directly or through
+    a local variable — so ``make_rng()`` with the seed omitted is
+    flagged at the call site (an unseeded rng cannot be laundered
+    through one level of indirection).  Classes whose ``__init__``
+    stores a generator built from a ``None``-defaulted seed parameter
+    (the ``repro.predict`` drift-detector/AR-fitter shape) are taint
+    sources too: constructing one without a seed is flagged.
 ``RPR002`` — wall-clock reads in deterministic logic.
     ``time.time()``-style wall-clock reads are banned everywhere;
     monotonic duration timers (``perf_counter`` ...) are allowed only in
@@ -61,14 +65,18 @@ def _unseeded(node: ast.Call) -> bool:
 
 
 class _RngHelperScanner(ast.NodeVisitor):
-    """Find module-level helpers that construct a Generator from their
+    """Find helpers and classes that construct a Generator from their
     own seed parameter (the taint sources of the RPR001 dataflow pass).
 
-    A function qualifies when some ``return`` statement calls
-    ``numpy.random.default_rng``/``RandomState`` (alias-resolved via the
-    module's import table) with either no arguments or a plain name that
-    is one of the function's parameters defaulting to ``None``.  Calling
-    such a helper without a concrete seed is then equivalent to calling
+    A *function* qualifies when some ``return`` statement hands back a
+    ``numpy.random.default_rng``/``RandomState`` call (alias-resolved
+    via the module's import table) — either directly or through a local
+    variable assigned from one — with no arguments or with a plain name
+    that is one of the function's parameters defaulting to ``None``.  A
+    *class* qualifies when its ``__init__`` stores such a generator on
+    ``self`` built from a ``None``-defaulted constructor parameter (the
+    drift-detector/AR-fitter shape: ``self._rng = default_rng(seed)``).
+    Calling either without a concrete seed is then equivalent to calling
     ``default_rng()`` directly.
     """
 
@@ -76,27 +84,117 @@ class _RngHelperScanner(ast.NodeVisitor):
 
     def __init__(self, ctx: RuleContext) -> None:
         self.ctx = ctx
-        #: helper name -> name of the seed parameter (or None when the
-        #: helper takes no seed at all and is *always* unseeded).
-        self.helpers: dict[str, str | None] = {}
+        #: helper/class name -> ``(seed param, positional index)`` — the
+        #: index is None for keyword-only seeds — or None when it takes
+        #: no seed at all and is *always* unseeded.
+        self.helpers: dict[str, tuple[str, int | None] | None] = {}
+        #: names registered via a class ``__init__`` (message selection).
+        self.class_like: set[str] = set()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         optional = self._optional_params(node)
+        assigned = self._rng_locals(node)
         for stmt in ast.walk(node):
-            if not isinstance(stmt, ast.Return) or not isinstance(
+            if not isinstance(stmt, ast.Return):
+                continue
+            if isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                dotted = self.ctx.dotted(call.func)
+                if dotted not in self._RNG_CONSTRUCTORS:
+                    continue
+                seed_arg = self._seed_argument(call)
+            elif (
+                isinstance(stmt.value, ast.Name)
+                and stmt.value.id in assigned
+            ):
+                # `rng = default_rng(seed); ...; return rng` launders
+                # exactly like the direct-return shape
+                seed_arg = assigned[stmt.value.id]
+            else:
+                continue
+            self._register(node.name, seed_arg, optional, node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "__init__"
+            ):
+                self._scan_init(node.name, stmt)
+        self.generic_visit(node)
+
+    def _scan_init(self, class_name: str, init: ast.FunctionDef) -> None:
+        optional = self._optional_params(init)
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, ast.Assign) or not isinstance(
                 stmt.value, ast.Call
             ):
                 continue
-            call = stmt.value
-            dotted = self.ctx.dotted(call.func)
-            if dotted not in self._RNG_CONSTRUCTORS:
+            if self.ctx.dotted(stmt.value.func) not in self._RNG_CONSTRUCTORS:
                 continue
-            seed_arg = self._seed_argument(call)
-            if seed_arg is _ALWAYS_UNSEEDED:
-                self.helpers[node.name] = None
-            elif isinstance(seed_arg, str) and seed_arg in optional:
-                self.helpers[node.name] = seed_arg
-        self.generic_visit(node)
+            stores_on_self = any(
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                for target in stmt.targets
+            )
+            if not stores_on_self:
+                continue
+            seed_arg = self._seed_argument(stmt.value)
+            if self._register(
+                class_name, seed_arg, optional, init, skip_self=True
+            ):
+                self.class_like.add(class_name)
+
+    def _register(
+        self,
+        name: str,
+        seed_arg: object,
+        optional: set[str],
+        node: ast.FunctionDef,
+        *,
+        skip_self: bool = False,
+    ) -> bool:
+        if seed_arg is _ALWAYS_UNSEEDED:
+            self.helpers[name] = None
+            return True
+        if isinstance(seed_arg, str) and seed_arg in optional:
+            self.helpers[name] = (
+                seed_arg,
+                self._positional_index(node, seed_arg, skip_self=skip_self),
+            )
+            return True
+        return False
+
+    @staticmethod
+    def _positional_index(
+        node: ast.FunctionDef, param: str, *, skip_self: bool
+    ) -> int | None:
+        """Where ``param`` sits in a call's positional args (None when it
+        is keyword-only).  ``skip_self`` drops ``self`` for methods."""
+        positional = [a.arg for a in node.args.posonlyargs + node.args.args]
+        if skip_self and positional and positional[0] == "self":
+            positional = positional[1:]
+        if param in positional:
+            return positional.index(param)
+        return None
+
+    def _rng_locals(self, node: ast.FunctionDef) -> dict[str, object]:
+        """Plain locals assigned straight from a generator constructor,
+        mapped to the seed argument of that construction."""
+        assigned: dict[str, object] = {}
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, ast.Assign) or not isinstance(
+                stmt.value, ast.Call
+            ):
+                continue
+            if self.ctx.dotted(stmt.value.func) not in self._RNG_CONSTRUCTORS:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    assigned[target.id] = self._seed_argument(stmt.value)
+        return assigned
 
     @staticmethod
     def _optional_params(node: ast.FunctionDef) -> set[str]:
@@ -146,6 +244,7 @@ class RandomnessRule(LintRule):
 
     def __init__(self) -> None:
         self._helpers: dict[str, str | None] = {}
+        self._class_like: set[str] = set()
 
     def begin_module(self, ctx: RuleContext, tree: ast.Module) -> None:
         # The taint pre-scan needs the alias table, which the engine
@@ -169,6 +268,7 @@ class RandomnessRule(LintRule):
         scanner = _RngHelperScanner(prescan)
         scanner.visit(tree)
         self._helpers = scanner.helpers
+        self._class_like = scanner.class_like
 
     def visit_call(
         self, ctx: RuleContext, node: ast.Call, dotted: str | None
@@ -214,22 +314,47 @@ class RandomnessRule(LintRule):
         name = parts[-1]
         if len(parts) != 1 or name not in self._helpers:
             return
-        seed_param = self._helpers[name]
-        if seed_param is None:
+        info = self._helpers[name]
+        if info is None:
             unseeded = True
         else:
-            supplied = bool(node.args) and not all(
-                isinstance(arg, ast.Constant) and arg.value is None
-                for arg in node.args
+            seed_param, position = info
+            # *args / **kwargs defeat static alignment: assume the seed
+            # is inside rather than risk a false positive
+            supplied = any(
+                isinstance(arg, ast.Starred) for arg in node.args
             )
+            if (
+                not supplied
+                and position is not None
+                and len(node.args) > position
+            ):
+                arg = node.args[position]
+                if not (
+                    isinstance(arg, ast.Constant) and arg.value is None
+                ):
+                    supplied = True
             for kw in node.keywords:
-                if kw.arg == seed_param and not (
+                if kw.arg is None:  # **kwargs: assume the seed is inside
+                    supplied = True
+                elif kw.arg == seed_param and not (
                     isinstance(kw.value, ast.Constant)
                     and kw.value.value is None
                 ):
                     supplied = True
             unseeded = not supplied
-        if unseeded:
+        if not unseeded:
+            return
+        if name in self._class_like:
+            ctx.emit(
+                self.id,
+                node,
+                f"{name}() stores a numpy.random generator built from its "
+                "seed parameter and was constructed without one; the "
+                "unseeded rng is laundered through __init__ — pass a "
+                "derived seed (repro.util.rng.derive_seed)",
+            )
+        else:
             ctx.emit(
                 self.id,
                 node,

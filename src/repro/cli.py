@@ -8,6 +8,7 @@ Python::
         --predictor oracle --overhead 0.05
     python -m repro experiment fig2 --traces 5 --requests 120
     python -m repro evaluate traces/vt_000.json --predictor learned
+    python -m repro predict --frontier --csv frontier.csv
     python -m repro bench --out BENCH.json  # deterministic perf suite
     python -m repro analyze --self          # lint the repro package
     python -m repro analyze --smoke         # verified smoke simulation
@@ -144,6 +145,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ev.add_argument("--accuracy", type=float, default=0.75)
     ev.add_argument("--seed", type=int, default=0)
+
+    pred = sub.add_parser(
+        "predict",
+        help="online predictor suite: drift frontier experiment",
+        description=(
+            "Entry point of the online-learning predictor suite "
+            "(repro.predict, DESIGN.md §16).  --frontier runs the E8 "
+            "accuracy-vs-energy frontier: every registered online "
+            "predictor earns its own accuracy on drift-perturbed "
+            "traces, and the resulting (accuracy, energy, rejection) "
+            "cells are printed as one table per drift scenario — "
+            "optionally written as deterministic CSV with --csv."
+        ),
+    )
+    pred.add_argument("--frontier", action="store_true",
+                      help="run the E8 accuracy-vs-energy frontier")
+    pred.add_argument("--traces", type=int, default=4,
+                      help="frontier: traces per cell")
+    pred.add_argument("--requests", type=int, default=100,
+                      help="frontier: requests per trace")
+    pred.add_argument("--seed", type=int, default=0)
+    pred.add_argument(
+        "--strategy", choices=strategy_names(), default="heuristic"
+    )
+    pred.add_argument("--group", choices=["VT", "LT"], default="VT")
+    pred.add_argument("--jobs", type=_jobs_count, default=1,
+                      help="worker processes for the frontier matrix "
+                      "(0 = all cores; 1 = serial)")
+    pred.add_argument("--csv", type=Path, default=None, metavar="PATH",
+                      help="also write the frontier as CSV here")
+    pred.add_argument("--json", action="store_true",
+                      help="emit the frontier cells as JSON")
 
     bench = sub.add_parser(
         "bench",
@@ -584,6 +617,52 @@ def _cmd_evaluate(args) -> int:
           f"(abstained {report.n_abstained})")
     print(f"type accuracy : {100 * report.type_accuracy:.1f}%")
     print(f"arrival NRMSE : {100 * report.arrival_nrmse:.1f}%")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    # Imported here so the plain simulate/experiment paths never pay for
+    # the frontier machinery.
+    from dataclasses import asdict
+
+    from repro.experiments.fig4_frontier import (
+        frontier_csv,
+        render_fig4_frontier,
+        run_frontier,
+        write_frontier_csv,
+    )
+
+    if not args.frontier:
+        print("nothing to run: pass --frontier", file=sys.stderr)
+        return 2
+    scale = HarnessScale(
+        n_traces=args.traces, n_requests=args.requests, master_seed=args.seed
+    )
+    parallel = None if args.jobs == 1 else ParallelConfig(jobs=args.jobs)
+    result = run_frontier(
+        scale,
+        strategy=args.strategy,
+        group=DeadlineGroup(args.group),
+        parallel=parallel,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "strategy": result.strategy,
+                "scenarios": list(result.scenarios),
+                "predictors": list(result.predictors),
+                "cells": [asdict(cell) for cell in result.cells],
+            },
+            indent=2,
+        ))
+    else:
+        print(render_fig4_frontier(result))
+    if args.csv is not None:
+        write_frontier_csv(result, args.csv)
+        print(f"written: {args.csv}")
+    elif not args.json:
+        print()
+        print(frontier_csv(result), end="")
     return 0
 
 
@@ -1145,6 +1224,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
         "evaluate": _cmd_evaluate,
+        "predict": _cmd_predict,
         "bench": _cmd_bench,
         "analyze": _cmd_analyze,
         "faults": _cmd_faults,

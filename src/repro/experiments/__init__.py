@@ -8,7 +8,9 @@ One module per table/figure (see DESIGN.md's experiment index):
 * E3  ``fig3_energy`` — normalised energy of the same runs;
 * E4/E5  ``fig4_accuracy`` — rejection vs type / arrival-time accuracy;
 * E6  ``fig5_overhead`` — rejection vs prediction overhead (crossover);
-* E7  ``motivational`` — Table 1 / Fig. 1 scenario, exact outcomes.
+* E7  ``motivational`` — Table 1 / Fig. 1 scenario, exact outcomes;
+* E8  ``fig4_frontier`` — accuracy-vs-energy frontier of the online
+  predictor suite under drift scenarios (DESIGN.md §16).
 
 Every experiment accepts a :class:`~repro.experiments.config.HarnessScale`
 and defaults to a reduced configuration controlled by ``REPRO_TRACES`` /
@@ -38,6 +40,17 @@ from repro.experiments.fig4_accuracy import (
     AccuracySweepResult,
     render_fig4,
     run_accuracy_sweep,
+)
+from repro.experiments.fig4_frontier import (
+    DEFAULT_FRONTIER_PREDICTORS,
+    DRIFT_SCENARIOS,
+    FrontierCell,
+    FrontierResult,
+    drift_plan,
+    frontier_csv,
+    render_fig4_frontier,
+    run_frontier,
+    write_frontier_csv,
 )
 from repro.experiments.fig5_overhead import (
     DEFAULT_OVERHEAD_COEFFICIENTS,
@@ -89,6 +102,15 @@ __all__ = [
     "AccuracySweepResult",
     "DEFAULT_ACCURACY_LEVELS",
     "render_fig4",
+    "run_frontier",
+    "FrontierCell",
+    "FrontierResult",
+    "DEFAULT_FRONTIER_PREDICTORS",
+    "DRIFT_SCENARIOS",
+    "drift_plan",
+    "frontier_csv",
+    "write_frontier_csv",
+    "render_fig4_frontier",
     "run_overhead_sweep",
     "OverheadSweepResult",
     "DEFAULT_OVERHEAD_COEFFICIENTS",

@@ -18,6 +18,11 @@ from repro.experiments.fig2_rejection import (
 )
 from repro.experiments.fig3_energy import render_fig3
 from repro.experiments.fig4_accuracy import render_fig4, run_accuracy_sweep
+from repro.experiments.fig4_frontier import (
+    frontier_csv,
+    render_fig4_frontier,
+    run_frontier,
+)
 from repro.experiments.fig5_overhead import render_fig5, run_overhead_sweep
 from repro.experiments.motivational import (
     render_motivational,
@@ -207,5 +212,15 @@ def run_all(
     overhead = run_overhead_sweep(scale, strategies=strategies, parallel=parallel)
     report.sections["E6 Fig. 5 (overhead sweep)"] = render_fig5(overhead)
     report.payloads["fig5"] = aggregates_to_dict(overhead.aggregates)
+
+    step("E8 fig4 frontier")
+    frontier = run_frontier(scale, parallel=parallel)
+    report.sections["E8 Fig. 4 frontier (accuracy vs energy under drift)"] = (
+        render_fig4_frontier(frontier)
+    )
+    report.payloads["fig4_frontier"] = {
+        "csv": frontier_csv(frontier),
+        "aggregates": aggregates_to_dict(frontier.aggregates),
+    }
 
     return report

@@ -25,6 +25,9 @@ DEGRADATION_KINDS: dict[str, str] = {
     "predictor-exception": "the predictor raised; planned without it",
     "predictor-timeout": "the predictor timed out; planned without it",
     "predictor-garbage": "the predictor returned an invalid forecast",
+    "predictor-drift": "a drift detector fired on the forecast error stream",
+    "predictor-retrain": "the online predictor dropped its model to relearn",
+    "predictor-fallback": "drift exhausted the retrain budget; predictions off",
     "solver-timeout": "the solver exceeded its budget; fallback used",
     "solver-exception": "the solver raised; fallback used",
     "solver-overrun": "the solver exceeded its wall-clock budget",

@@ -16,8 +16,11 @@ during one simulation, fully deterministically:
   :class:`~repro.faults.watchdog.SolverWatchdog` substitutes the
   fallback strategy.
 * :class:`TraceFault` — the request stream itself is perturbed before
-  replay: arrival bursts (``"burst"``), timestamp jitter (``"jitter"``)
-  or duplicate re-submissions (``"duplicate"``).
+  replay: arrival bursts (``"burst"``), timestamp jitter (``"jitter"``),
+  duplicate re-submissions (``"duplicate"``) or a workload regime shift
+  (``"regime-shift"``: the type mix is remapped through a seeded
+  permutation and the arrival cadence rescaled — the drift scenario the
+  online-learning predictors must detect, DESIGN.md §16).
 
 Plans are immutable, picklable, JSON round-trippable, and — because
 every stochastic choice derives from ``(seed, name)`` via
@@ -49,7 +52,7 @@ __all__ = [
 
 _PREDICTOR_KINDS = ("exception", "timeout", "garbage")
 _SOLVER_KINDS = ("timeout", "exception")
-_TRACE_KINDS = ("burst", "jitter", "duplicate")
+_TRACE_KINDS = ("burst", "jitter", "duplicate", "regime-shift")
 
 
 def _check_window(owner: str, start: float, end: float) -> None:
@@ -128,7 +131,12 @@ class TraceFault:
     in ``(0, 1]`` (0.2 squeezes the window's arrivals into a fifth of
     the span — a thundering herd); for ``"jitter"`` the absolute noise
     amplitude added to each arrival; for ``"duplicate"`` the
-    per-request probability of an immediate duplicate re-submission.
+    per-request probability of an immediate duplicate re-submission;
+    for ``"regime-shift"`` the cadence rescale ratio (> 0: 0.5 doubles
+    the request rate inside the window, 2.0 halves it) applied together
+    with a seeded permutation of the task-type ids — after the shift
+    boundary a learned model's type table and gap estimate are both
+    stale.
     """
 
     kind: str
@@ -152,6 +160,13 @@ class TraceFault:
         if self.kind == "duplicate" and not 0.0 <= self.factor <= 1.0:
             raise ValueError(
                 f"duplicate probability must be in [0, 1], got {self.factor}"
+            )
+        if self.kind == "regime-shift" and not (
+            math.isfinite(self.factor) and self.factor > 0
+        ):
+            raise ValueError(
+                f"regime-shift factor must be finite and > 0, got "
+                f"{self.factor}"
             )
 
     def covers(self, time: float) -> bool:
@@ -317,6 +332,24 @@ class FaultPlan:
                         type_id,
                         deadline,
                     )
+                    for arrival, type_id, deadline in rows
+                ]
+            elif fault.kind == "regime-shift":
+                # One seeded permutation of the *full* type universe, so
+                # the remap is stable however many types the window sees.
+                type_ids = sorted({type_id for _, type_id, _ in rows})
+                shuffled = [
+                    type_ids[int(i)] for i in rng.permutation(len(type_ids))
+                ]
+                remap = dict(zip(type_ids, shuffled, strict=True))
+                rows = [
+                    (
+                        fault.start + (arrival - fault.start) * fault.factor,
+                        remap[type_id],
+                        deadline,
+                    )
+                    if fault.covers(arrival)
+                    else (arrival, type_id, deadline)
                     for arrival, type_id, deadline in rows
                 ]
             else:  # duplicate

@@ -1,0 +1,425 @@
+"""Per-task resource-demand time-series forecasting.
+
+The paper's predictor answers *which request comes next*; the related
+work goes further — Elasecutor profiles each executor's **resource
+demand vector over time** and schedules against the forecast, and
+Lotaru estimates task runtimes on heterogeneous nodes it never profiled
+by scaling a reference profile with a microbenchmark-derived node
+factor (arXiv 2309.06918).  This module provides both families in pure
+numpy (no new dependencies):
+
+* :class:`DemandPredictor` — the interface: observe one demand vector
+  (one value per resource) per step, forecast the next ``horizon``
+  vectors.  Implementations are registered in
+  :data:`repro.registry.DEMAND_PREDICTORS` beside the request
+  predictors.
+* :class:`EwmaDemandPredictor` — exponentially weighted level per
+  resource (flat forecast).
+* :class:`HoltWintersDemandPredictor` — Holt-Winters-style additive
+  seasonal smoothing: a level plus a per-phase seasonal correction,
+  which tracks periodic demand (batch windows, diurnal load).
+* :class:`ArDemandPredictor` — an AR(p) model fitted per resource by
+  ridge-regularised least squares over a sliding history window,
+  rolled forward for multi-step forecasts.
+* :class:`LotaruRuntimeEstimator` — the heterogeneity story: scale
+  profiled per-resource runtimes by ``reference_score / node_score``.
+
+Everything here is deterministic: the AR fit is a closed-form linear
+solve, smoothing is a fold, and no module draws randomness.  (The
+RPR001 lint taint pass is extended to ``repro.predict`` so an unseeded
+generator sneaking into a fitter fails ``repro analyze``.)
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.task import NOT_EXECUTABLE, TaskType
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+from repro.workload.trace import Trace
+
+__all__ = [
+    "DemandPredictor",
+    "EwmaDemandPredictor",
+    "HoltWintersDemandPredictor",
+    "ArDemandPredictor",
+    "LotaruRuntimeEstimator",
+    "demand_series",
+    "fit_ar_coefficients",
+]
+
+
+def fit_ar_coefficients(
+    series: Sequence[float] | np.ndarray,
+    order: int,
+    *,
+    ridge: float = 1e-6,
+) -> np.ndarray:
+    """Fit AR(``order``) coefficients to a scalar series.
+
+    Returns ``[intercept, c_1, ..., c_p]`` where ``c_1`` weights the
+    most recent lag: the one-step forecast is
+    ``intercept + sum(c_k * x[t - k])``.  The fit solves the
+    ridge-regularised normal equations — a deterministic closed-form
+    linear solve, unlike iterative or driver-dependent least squares.
+
+    Requires at least ``order + 1`` samples (one usable regression row).
+    """
+    check_positive("order", order)
+    check_non_negative("ridge", ridge)
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {values.shape}")
+    if not np.all(np.isfinite(values)):
+        raise ValueError("series must be finite")
+    n_rows = values.size - order
+    if n_rows < 1:
+        raise ValueError(
+            f"need at least order + 1 = {order + 1} samples to fit AR"
+            f"({order}), got {values.size}"
+        )
+    # Row t regresses x[t] on [1, x[t-1], ..., x[t-p]].
+    design = np.ones((n_rows, order + 1))
+    for lag in range(1, order + 1):
+        design[:, lag] = values[order - lag : order - lag + n_rows]
+    target = values[order:]
+    gram = design.T @ design + ridge * np.eye(order + 1)
+    coefficients: np.ndarray = np.linalg.solve(gram, design.T @ target)
+    return coefficients
+
+
+def _predict_ar(coefficients: np.ndarray, recent: np.ndarray) -> float:
+    """One-step AR forecast from ``recent`` (oldest first)."""
+    order = coefficients.size - 1
+    lags = recent[-order:][::-1]  # c_1 weights the newest sample
+    return float(coefficients[0] + coefficients[1:] @ lags)
+
+
+class DemandPredictor(abc.ABC):
+    """Forecasts a per-resource demand vector over a horizon.
+
+    One :meth:`observe` call per time step feeds the demand vector that
+    materialised (e.g. the requested type's WCET per resource, or a
+    measured utilisation sample); :meth:`forecast` returns the next
+    ``horizon`` expected vectors as a ``(horizon, n_resources)`` array.
+
+    The resource dimension is pinned by the first observation; every
+    later vector must match it.
+    """
+
+    #: short identifier used in reports and the registry
+    name: str = "demand"
+
+    def __init__(self) -> None:
+        self._n_resources: int | None = None
+        self._observed = 0
+
+    @property
+    def n_resources(self) -> int | None:
+        """Width of the demand vector (``None`` before any observation)."""
+        return self._n_resources
+
+    @property
+    def observed(self) -> int:
+        """Number of demand vectors observed so far."""
+        return self._observed
+
+    def reset(self) -> None:
+        """Clear learned state before a new series."""
+        self._n_resources = None
+        self._observed = 0
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        """Clear implementation state (override as needed)."""
+
+    def observe(self, demand: Sequence[float] | np.ndarray) -> None:
+        """Ingest one demand vector (one entry per resource, in order)."""
+        vector = np.asarray(demand, dtype=float)
+        if vector.ndim != 1 or vector.size == 0:
+            raise ValueError(
+                f"demand must be a non-empty 1-D vector, got shape "
+                f"{vector.shape}"
+            )
+        if not np.all(np.isfinite(vector)) or np.any(vector < 0):
+            raise ValueError("demand entries must be finite and >= 0")
+        if self._n_resources is None:
+            self._n_resources = vector.size
+        elif vector.size != self._n_resources:
+            raise ValueError(
+                f"demand width changed: expected {self._n_resources} "
+                f"resources, got {vector.size}"
+            )
+        self._observed += 1
+        self._ingest(vector)
+
+    @abc.abstractmethod
+    def _ingest(self, vector: np.ndarray) -> None:
+        """Fold one validated demand vector into the model."""
+
+    @abc.abstractmethod
+    def forecast(self, horizon: int = 1) -> np.ndarray:
+        """The next ``horizon`` demand vectors, ``(horizon, n_resources)``.
+
+        Raises :class:`ValueError` on ``horizon < 1``; before any
+        observation the forecast is all zeros (nothing is known, and a
+        non-negative demand floor is the safe default).
+        """
+
+    def _check_horizon(self, horizon: int) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class EwmaDemandPredictor(DemandPredictor):
+    """Exponentially weighted level per resource; flat forecast."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        super().__init__()
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=True)
+        if alpha == 0.0:
+            raise ValueError("alpha must be > 0")
+        self.alpha = alpha
+        self._level: np.ndarray | None = None
+
+    def _reset_state(self) -> None:
+        self._level = None
+
+    def _ingest(self, vector: np.ndarray) -> None:
+        if self._level is None:
+            self._level = vector.copy()
+        else:
+            self._level = self.alpha * vector + (1.0 - self.alpha) * self._level
+
+    def forecast(self, horizon: int = 1) -> np.ndarray:
+        self._check_horizon(horizon)
+        if self._level is None:
+            return np.zeros((horizon, self._n_resources or 1))
+        return np.tile(self._level, (horizon, 1))
+
+
+class HoltWintersDemandPredictor(DemandPredictor):
+    """Additive seasonal smoothing: level plus per-phase correction.
+
+    Parameters
+    ----------
+    period:
+        Season length in steps; phase ``t % period`` indexes the
+        seasonal correction.
+    alpha:
+        Level smoothing weight in ``(0, 1]``.
+    gamma:
+        Seasonal smoothing weight in ``(0, 1]``.
+
+    Forecasts are clipped at zero — demand is non-negative by
+    definition, and a strongly negative seasonal correction on a small
+    level must not forecast negative work.
+    """
+
+    name = "holt-winters"
+
+    def __init__(
+        self, period: int = 8, alpha: float = 0.4, gamma: float = 0.3
+    ) -> None:
+        super().__init__()
+        check_positive("period", period)
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=True)
+        check_in_range("gamma", gamma, 0.0, 1.0, inclusive=True)
+        if alpha == 0.0 or gamma == 0.0:
+            raise ValueError("alpha and gamma must be > 0")
+        self.period = period
+        self.alpha = alpha
+        self.gamma = gamma
+        self._level: np.ndarray | None = None
+        self._season: np.ndarray | None = None  # (period, n_resources)
+
+    def _reset_state(self) -> None:
+        self._level = None
+        self._season = None
+
+    def _ingest(self, vector: np.ndarray) -> None:
+        if self._level is None or self._season is None:
+            self._level = vector.copy()
+            self._season = np.zeros((self.period, vector.size))
+            return
+        phase = (self._observed - 1) % self.period
+        seasonal = self._season[phase].copy()
+        self._level = (
+            self.alpha * (vector - seasonal)
+            + (1.0 - self.alpha) * self._level
+        )
+        self._season[phase] = (
+            self.gamma * (vector - self._level) + (1.0 - self.gamma) * seasonal
+        )
+
+    def forecast(self, horizon: int = 1) -> np.ndarray:
+        self._check_horizon(horizon)
+        if self._level is None or self._season is None:
+            return np.zeros((horizon, self._n_resources or 1))
+        steps = np.empty((horizon, self._level.size))
+        for step in range(horizon):
+            phase = (self._observed + step) % self.period
+            steps[step] = self._level + self._season[phase]
+        return np.clip(steps, 0.0, None)
+
+
+class ArDemandPredictor(DemandPredictor):
+    """AR(p) per resource over a sliding history window.
+
+    The fit (:func:`fit_ar_coefficients`) happens at forecast time over
+    the retained window, so the forecast is a pure function of the
+    observed history.  Multi-step forecasts roll the model forward on
+    its own outputs.  With fewer than ``order + 1`` retained samples the
+    predictor falls back to repeating the last observation (and to
+    zeros before any observation).
+    """
+
+    name = "ar"
+
+    def __init__(
+        self, order: int = 3, window: int = 64, *, ridge: float = 1e-6
+    ) -> None:
+        super().__init__()
+        check_positive("order", order)
+        check_positive("window", window)
+        check_non_negative("ridge", ridge)
+        if window < order + 1:
+            raise ValueError(
+                f"window ({window}) must be >= order + 1 ({order + 1})"
+            )
+        self.order = order
+        self.window = window
+        self.ridge = ridge
+        self._history: list[np.ndarray] = []
+
+    def _reset_state(self) -> None:
+        self._history.clear()
+
+    def _ingest(self, vector: np.ndarray) -> None:
+        self._history.append(vector.copy())
+        if len(self._history) > self.window:
+            del self._history[0]
+
+    def forecast(self, horizon: int = 1) -> np.ndarray:
+        self._check_horizon(horizon)
+        if not self._history:
+            return np.zeros((horizon, self._n_resources or 1))
+        history = np.stack(self._history)  # (samples, n_resources)
+        if history.shape[0] < self.order + 1:
+            return np.tile(history[-1], (horizon, 1))
+        forecastT = np.empty((history.shape[1], horizon))
+        for resource in range(history.shape[1]):
+            series = history[:, resource]
+            coefficients = fit_ar_coefficients(
+                series, self.order, ridge=self.ridge
+            )
+            rolling = series.copy()
+            for step in range(horizon):
+                value = max(_predict_ar(coefficients, rolling), 0.0)
+                forecastT[resource, step] = value
+                rolling = np.append(rolling, value)
+        return forecastT.T
+
+
+class LotaruRuntimeEstimator:
+    """Scale profiled runtimes onto unprofiled heterogeneous nodes.
+
+    Lotaru's local estimation: profile a task once on a *reference*
+    node, run a quick microbenchmark on every node, and estimate the
+    task's runtime on node ``n`` as
+    ``profiled_runtime * reference_score / node_score`` — a node twice
+    as fast (double score) halves the estimate.  Scores are throughput
+    measures (work per second), one per resource of the platform.
+
+    Parameters
+    ----------
+    reference_scores:
+        Per-resource microbenchmark scores of the node the profile was
+        taken on.
+    node_scores:
+        Per-resource scores of the target node (same length).
+    """
+
+    def __init__(
+        self,
+        reference_scores: Sequence[float],
+        node_scores: Sequence[float],
+    ) -> None:
+        reference = np.asarray(reference_scores, dtype=float)
+        node = np.asarray(node_scores, dtype=float)
+        if reference.ndim != 1 or reference.size == 0:
+            raise ValueError("reference_scores must be a non-empty 1-D vector")
+        if node.shape != reference.shape:
+            raise ValueError(
+                f"score vectors must match: reference has {reference.size} "
+                f"entries, node has {node.size}"
+            )
+        for label, scores in (
+            ("reference", reference),
+            ("node", node),
+        ):
+            if not np.all(np.isfinite(scores)) or np.any(scores <= 0):
+                raise ValueError(
+                    f"{label} scores must be finite and > 0"
+                )
+        self._factors = reference / node
+
+    @property
+    def factors(self) -> np.ndarray:
+        """Per-resource runtime scale factors (``reference / node``)."""
+        return self._factors.copy()
+
+    def estimate(
+        self, profiled_runtimes: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """Scale a profiled per-resource runtime vector onto the node.
+
+        ``inf`` entries (non-executable resources) pass through as
+        ``inf``.
+        """
+        profiled = np.asarray(profiled_runtimes, dtype=float)
+        if profiled.shape != self._factors.shape:
+            raise ValueError(
+                f"expected {self._factors.size} runtimes, got "
+                f"{profiled.size}"
+            )
+        if np.any(np.isnan(profiled)) or np.any(profiled < 0):
+            raise ValueError("profiled runtimes must be >= 0 (inf allowed)")
+        return profiled * self._factors
+
+    def estimate_task(self, task: TaskType) -> tuple[float, ...]:
+        """The task's WCET vector rescaled onto the node.
+
+        Non-executable resources stay :data:`NOT_EXECUTABLE`.
+        """
+        scaled = self.estimate(np.asarray(task.wcet, dtype=float))
+        return tuple(
+            NOT_EXECUTABLE if math.isinf(value) else float(value)
+            for value in scaled
+        )
+
+
+def demand_series(trace: Trace) -> np.ndarray:
+    """The trace's demand matrix: row ``j`` is request ``j``'s WCET vector.
+
+    Non-executable resources contribute zero demand (no work can be
+    placed there), which keeps the series finite for the forecasters.
+    """
+    rows = np.zeros((len(trace), trace.n_resources))
+    for position, request in enumerate(trace):
+        wcet = np.asarray(trace.tasks[request.type_id].wcet, dtype=float)
+        rows[position] = np.where(np.isinf(wcet), 0.0, wcet)
+    return rows

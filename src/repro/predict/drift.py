@@ -1,0 +1,350 @@
+"""Drift detection and the online-learning drift wrapper.
+
+A learned predictor trained on one workload regime silently decays when
+the stream shifts (new request mix, new arrival process).  This module
+adds the standard remedy from the online-learning literature:
+
+* :class:`PageHinkley` — the Page-Hinkley cumulative-deviation test over
+  a scalar error stream; fires when the stream's recent mean rises
+  persistently above its running mean.
+* :class:`WindowedNrmse` — a sliding-window RMS error threshold; fires
+  when the normalised forecast error over the last ``window`` scored
+  forecasts exceeds a budget.
+* :class:`DriftingPredictor` — an :class:`~repro.predict.base.Predictor`
+  wrapper that scores every forecast of a wrapped *online* base
+  predictor against the request that actually arrived, feeds the error
+  into both detectors, and reacts to a detection by **retraining**
+  (dropping the stale model and relearning from the post-shift stream
+  only) up to ``retrain_budget`` times, after which it **falls back** to
+  the no-prediction path (:class:`~repro.predict.base.NullPredictor`
+  behaviour) for the rest of the stream.
+
+Every reaction is surfaced as a ``(kind, detail)`` event through
+:meth:`DriftingPredictor.drain_events` — the same duck-typed drain
+protocol the :class:`~repro.faults.watchdog.SolverWatchdog` uses — so
+the simulator records :class:`~repro.faults.events.DegradationEvent`\\ s
+and the live engine counts them in its metrics.
+
+Both detectors and the wrapper are **pure deterministic folds over the
+observed stream**: no randomness, no wall-clock reads.  That is what
+makes a drift-triggered fallback replay bit-identically through the
+admission journal (DESIGN.md §15) — a recovered engine re-observes the
+same prefix and reaches the same detector state, retrain count and
+fallback flag.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+from typing import Sequence
+
+from repro.model.request import PredictedRequest, Request
+from repro.predict.base import OnlinePredictor
+from repro.predict.markov import ComposedPredictor
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["PageHinkley", "WindowedNrmse", "DriftingPredictor"]
+
+
+class PageHinkley:
+    """Page-Hinkley test for an upward shift in a scalar error stream.
+
+    Maintains the running mean of all inputs and the cumulative sum of
+    deviations ``m_t = sum(x_i - mean_i - delta)``; drift is signalled
+    when ``m_t`` rises more than ``threshold`` above its historical
+    minimum.  ``delta`` is the magnitude of change tolerated without
+    firing, ``min_samples`` suppresses detections before the mean has
+    stabilised.
+
+    The test is a deterministic fold over its inputs: same stream, same
+    verdicts — a property the admission-journal replay relies on.
+    """
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.05,
+        threshold: float = 4.0,
+        min_samples: int = 8,
+    ) -> None:
+        check_non_negative("delta", delta)
+        check_positive("threshold", threshold)
+        check_positive("min_samples", min_samples)
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def reset(self) -> None:
+        """Forget the error history (after a retrain)."""
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    @property
+    def statistic(self) -> float:
+        """The current test statistic ``m_t - min(m)`` (>= 0)."""
+        return self._cumulative - self._minimum
+
+    def update(self, value: float) -> bool:
+        """Ingest one error sample; ``True`` when drift is detected."""
+        if not math.isfinite(value):
+            raise ValueError(f"error sample must be finite, got {value}")
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._count < self.min_samples:
+            return False
+        return self.statistic > self.threshold
+
+
+class WindowedNrmse:
+    """RMS error over a sliding window, against a fixed threshold.
+
+    The inputs are already-normalised forecast errors (see
+    :meth:`DriftingPredictor._score`); the detector fires when the RMS
+    over the last ``window`` samples exceeds ``threshold`` and at least
+    ``min_samples`` samples have been scored since the last reset.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 32,
+        threshold: float = 2.5,
+        min_samples: int = 8,
+    ) -> None:
+        check_positive("window", window)
+        check_positive("threshold", threshold)
+        check_positive("min_samples", min_samples)
+        if min_samples > window:
+            raise ValueError(
+                f"min_samples ({min_samples}) must be <= window ({window})"
+            )
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._squares: collections.deque[float] = collections.deque(
+            maxlen=window
+        )
+
+    def reset(self) -> None:
+        """Forget the error window (after a retrain)."""
+        self._squares.clear()
+
+    @property
+    def value(self) -> float:
+        """The current windowed RMS error (0.0 while empty)."""
+        if not self._squares:
+            return 0.0
+        return math.sqrt(sum(self._squares) / len(self._squares))
+
+    def update(self, error: float) -> bool:
+        """Ingest one error sample; ``True`` when the RMS exceeds budget."""
+        if not math.isfinite(error):
+            raise ValueError(f"error sample must be finite, got {error}")
+        self._squares.append(error * error)
+        if len(self._squares) < self.min_samples:
+            return False
+        return self.value > self.threshold
+
+
+class DriftingPredictor(OnlinePredictor):
+    """Online-learning wrapper: score, detect drift, retrain, fall back.
+
+    Wraps an :class:`~repro.predict.base.OnlinePredictor` (the composed
+    learned predictor by default).  Each arrived request first settles
+    the forecast made for it: the normalised arrival error plus a unit
+    penalty for a type miss feeds both drift detectors.  On detection:
+
+    * while the retrain budget lasts, the base model is dropped and
+      relearns **from the post-shift stream only** (its internal state
+      is reset; it is never re-fed the stale prefix), and both detectors
+      restart;
+    * once the budget is exhausted, the wrapper permanently degrades to
+      the no-prediction path — ``predict`` returns ``None`` for the rest
+      of the stream, exactly the :class:`NullPredictor` behaviour the
+      resource manager already plans without.
+
+    Reactions are queued as ``(kind, detail)`` pairs — kinds are
+    registered in :data:`repro.faults.events.DEGRADATION_KINDS` — and
+    collected by the simulator / live engine via :meth:`drain_events`.
+
+    The wrapper (detectors included) is a pure deterministic fold over
+    the observed prefix of the stream: no RNG, no clock.  Causality is
+    inherited from :class:`OnlinePredictor` — the future of the trace is
+    never read.
+    """
+
+    name = "drift"
+
+    def __init__(
+        self,
+        base: OnlinePredictor | None = None,
+        *,
+        delta: float = 0.05,
+        threshold: float = 4.0,
+        nrmse_window: int = 32,
+        nrmse_threshold: float = 2.5,
+        min_samples: int = 8,
+        retrain_budget: int = 2,
+    ) -> None:
+        super().__init__()
+        if base is None:
+            base = ComposedPredictor()
+        if not isinstance(base, OnlinePredictor):
+            raise TypeError(
+                "DriftingPredictor requires an OnlinePredictor base (it "
+                f"feeds observations directly), got {type(base).__name__}"
+            )
+        check_non_negative("retrain_budget", retrain_budget)
+        self.retrain_budget = retrain_budget
+        self._base = base
+        self._page_hinkley = PageHinkley(
+            delta=delta, threshold=threshold, min_samples=min_samples
+        )
+        self._nrmse = WindowedNrmse(
+            window=nrmse_window,
+            threshold=nrmse_threshold,
+            min_samples=min_samples,
+        )
+        self._pending: PredictedRequest | None = None
+        self._fallen_back = False
+        self._retrains = 0
+        self._scored = 0
+        self._events: list[tuple[str, str]] = []
+        self._gap_total = 0.0
+        self._gap_count = 0
+        self._last_arrival: float | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def fallen_back(self) -> bool:
+        """Whether the wrapper degraded to the no-prediction path."""
+        return self._fallen_back
+
+    @property
+    def retrains(self) -> int:
+        """Retrains performed so far (capped by ``retrain_budget``)."""
+        return self._retrains
+
+    def drain_events(self) -> list[tuple[str, str]]:
+        """Pop queued ``(kind, detail)`` degradation events.
+
+        The same drain protocol as
+        :meth:`repro.faults.watchdog.SolverWatchdog.drain_events`; the
+        simulator turns them into
+        :class:`~repro.faults.events.DegradationEvent` records, the live
+        engine into metrics counters.
+        """
+        events, self._events = self._events, []
+        return events
+
+    # ------------------------------------------------------------------
+    # OnlinePredictor protocol
+    # ------------------------------------------------------------------
+
+    def _reset_state(self) -> None:
+        self._base.reset()
+        self._page_hinkley.reset()
+        self._nrmse.reset()
+        self._pending = None
+        self._fallen_back = False
+        self._retrains = 0
+        self._scored = 0
+        self._events.clear()
+        self._gap_total = 0.0
+        self._gap_count = 0
+        self._last_arrival = None
+
+    def observe(self, request: Request) -> None:
+        pending, self._pending = self._pending, None
+        if pending is not None and not self._fallen_back:
+            error = self._score(pending, request)
+            self._scored += 1
+            # Evaluate both detectors unconditionally so their state
+            # advances in lockstep regardless of which one fires.
+            ph_fired = self._page_hinkley.update(error)
+            rms_fired = self._nrmse.update(error)
+            if ph_fired or rms_fired:
+                self._on_drift(
+                    "page-hinkley" if ph_fired else "windowed-nrmse", error
+                )
+        if self._last_arrival is not None:
+            self._gap_total += request.arrival - self._last_arrival
+            self._gap_count += 1
+        self._last_arrival = request.arrival
+        if not self._fallen_back:
+            self._base.observe(request)
+
+    def forecast(self, history: Sequence[Request]) -> PredictedRequest | None:
+        if self._fallen_back:
+            return None
+        forecast = self._base.forecast(history)
+        self._pending = forecast
+        return forecast
+
+    # ------------------------------------------------------------------
+    # Scoring and the drift state machine
+    # ------------------------------------------------------------------
+
+    def _score(self, forecast: PredictedRequest, actual: Request) -> float:
+        """Normalised error of one settled forecast.
+
+        Arrival error is normalised by the running mean inter-arrival
+        gap of the *observed past* (1.0 before any gap exists), and a
+        type miss adds a unit penalty — the same two quality measures
+        :func:`repro.predict.metrics.evaluate_predictor` reports.
+        """
+        norm = (
+            self._gap_total / self._gap_count if self._gap_count > 0 else 1.0
+        )
+        if norm <= 0:
+            norm = 1.0
+        error = abs(forecast.arrival - actual.arrival) / norm
+        if forecast.type_id != actual.type_id:
+            error += 1.0
+        return error
+
+    def _on_drift(self, detector: str, error: float) -> None:
+        self._events.append(
+            (
+                "predictor-drift",
+                f"{detector} fired at error {error:.3g} after "
+                f"{self._scored} scored forecasts",
+            )
+        )
+        if self._retrains >= self.retrain_budget:
+            self._fallen_back = True
+            # The base model is never consulted again; drop its state so
+            # a fallen-back wrapper carries no stale tables around.
+            self._base.reset()
+            self._events.append(
+                (
+                    "predictor-fallback",
+                    f"retrain budget {self.retrain_budget} exhausted; "
+                    "degraded to the no-prediction path",
+                )
+            )
+            return
+        self._retrains += 1
+        self._base.reset()
+        self._page_hinkley.reset()
+        self._nrmse.reset()
+        self._scored = 0
+        self._events.append(
+            (
+                "predictor-retrain",
+                f"retrain {self._retrains}/{self.retrain_budget}: model "
+                "relearns from the post-shift stream",
+            )
+        )

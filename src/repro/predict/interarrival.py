@@ -14,6 +14,14 @@ Three models are provided:
   mirrors the structure of the two-phase predictor of [12]: exploit
   repeating patterns when present, degrade gracefully to smoothing when
   not.
+
+Two time-series models back the richer predictors of the online
+learning suite (DESIGN.md §16):
+
+* :class:`ArInterarrival` — an AR(p) fit over a sliding gap window
+  (closed-form ridge least squares, :mod:`repro.predict.demand`);
+* :class:`SeasonalInterarrival` — Holt-Winters-style additive seasonal
+  smoothing of the gap sequence, for workloads with periodic cadence.
 """
 
 from __future__ import annotations
@@ -21,13 +29,19 @@ from __future__ import annotations
 import abc
 import collections
 
-from repro.util.validation import check_in_range, check_positive
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
 
 __all__ = [
     "InterarrivalModel",
     "MeanInterarrival",
     "EwmaInterarrival",
     "TwoPhaseInterarrival",
+    "ArInterarrival",
+    "SeasonalInterarrival",
 ]
 
 
@@ -187,3 +201,107 @@ class TwoPhaseInterarrival(InterarrivalModel):
     def table_size(self) -> int:
         """Number of learned contexts (diagnostics)."""
         return len(self._table)
+
+
+class ArInterarrival(InterarrivalModel):
+    """AR(p) over the recent gap history.
+
+    Keeps the last ``window`` gaps; the forecast fits AR(``order``)
+    coefficients by closed-form ridge least squares
+    (:func:`repro.predict.demand.fit_ar_coefficients`) and extrapolates
+    one step, clamped at zero.  With fewer than ``order + 1`` retained
+    gaps it degrades to the running mean of what it has; with none it
+    abstains.
+    """
+
+    def __init__(
+        self, order: int = 3, window: int = 64, *, ridge: float = 1e-6
+    ) -> None:
+        check_positive("order", order)
+        check_positive("window", window)
+        check_non_negative("ridge", ridge)
+        if window < order + 1:
+            raise ValueError(
+                f"window ({window}) must be >= order + 1 ({order + 1})"
+            )
+        self.order = order
+        self.window = window
+        self.ridge = ridge
+        self._gaps: collections.deque[float] = collections.deque(maxlen=window)
+
+    def reset(self) -> None:
+        self._gaps.clear()
+
+    def update(self, gap: float) -> None:
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        self._gaps.append(gap)
+
+    def forecast(self) -> float | None:
+        # Imported lazily to keep module import costs flat for callers
+        # that never touch the AR model (numpy-free paths).
+        from repro.predict.demand import fit_ar_coefficients, _predict_ar
+
+        import numpy as np
+
+        if not self._gaps:
+            return None
+        if len(self._gaps) < self.order + 1:
+            return sum(self._gaps) / len(self._gaps)
+        series = np.asarray(self._gaps, dtype=float)
+        coefficients = fit_ar_coefficients(
+            series, self.order, ridge=self.ridge
+        )
+        return max(_predict_ar(coefficients, series), 0.0)
+
+
+class SeasonalInterarrival(InterarrivalModel):
+    """Holt-Winters-style additive seasonal smoothing of the gaps.
+
+    A scalar level plus a per-phase seasonal correction of length
+    ``period``; phase is the observation count modulo the period.
+    Forecasts are clamped at zero.
+    """
+
+    def __init__(
+        self, period: int = 8, alpha: float = 0.4, gamma: float = 0.3
+    ) -> None:
+        check_positive("period", period)
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=True)
+        check_in_range("gamma", gamma, 0.0, 1.0, inclusive=True)
+        if alpha == 0.0 or gamma == 0.0:
+            raise ValueError("alpha and gamma must be > 0")
+        self.period = period
+        self.alpha = alpha
+        self.gamma = gamma
+        self._level: float | None = None
+        self._season: list[float] = [0.0] * period
+        self._count = 0
+
+    def reset(self) -> None:
+        self._level = None
+        self._season = [0.0] * self.period
+        self._count = 0
+
+    def update(self, gap: float) -> None:
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        if self._level is None:
+            self._level = gap
+            self._count = 1
+            return
+        phase = self._count % self.period
+        seasonal = self._season[phase]
+        self._level = (
+            self.alpha * (gap - seasonal) + (1.0 - self.alpha) * self._level
+        )
+        self._season[phase] = (
+            self.gamma * (gap - self._level) + (1.0 - self.gamma) * seasonal
+        )
+        self._count += 1
+
+    def forecast(self) -> float | None:
+        if self._level is None:
+            return None
+        phase = self._count % self.period
+        return max(self._level + self._season[phase], 0.0)

@@ -20,9 +20,20 @@ from typing import Sequence
 
 from repro.model.request import PredictedRequest, Request
 from repro.predict.base import OnlinePredictor
-from repro.predict.interarrival import InterarrivalModel, TwoPhaseInterarrival
+from repro.predict.interarrival import (
+    ArInterarrival,
+    InterarrivalModel,
+    SeasonalInterarrival,
+    TwoPhaseInterarrival,
+)
 
-__all__ = ["MarkovTypePredictor", "NGramTypePredictor", "ComposedPredictor"]
+__all__ = [
+    "MarkovTypePredictor",
+    "NGramTypePredictor",
+    "ComposedPredictor",
+    "make_ar_predictor",
+    "make_seasonal_predictor",
+]
 
 
 class MarkovTypePredictor:
@@ -203,3 +214,42 @@ class ComposedPredictor(OnlinePredictor):
             type_id=type_id,
             deadline=deadline,
         )
+
+
+def make_ar_predictor(
+    order: int = 3, window: int = 64, *, warmup: int = 5
+) -> ComposedPredictor:
+    """The ``"ar"`` registry predictor: Markov types + AR(p) gap model.
+
+    Same composition as the learned predictor, with the two-phase gap
+    model replaced by a sliding-window autoregressive fit
+    (:class:`~repro.predict.interarrival.ArInterarrival`) — better on
+    streams whose cadence trends rather than repeats.
+    """
+    predictor = ComposedPredictor(
+        ArInterarrival(order=order, window=window), warmup=warmup
+    )
+    predictor.name = "ar"
+    return predictor
+
+
+def make_seasonal_predictor(
+    period: int = 8,
+    alpha: float = 0.4,
+    gamma: float = 0.3,
+    *,
+    warmup: int = 5,
+) -> ComposedPredictor:
+    """The ``"seasonal"`` registry predictor: Markov types + Holt-Winters gaps.
+
+    The gap model
+    (:class:`~repro.predict.interarrival.SeasonalInterarrival`) smooths
+    a level plus a per-phase correction, tracking periodic arrival
+    cadence the EWMA family averages away.
+    """
+    predictor = ComposedPredictor(
+        SeasonalInterarrival(period=period, alpha=alpha, gamma=gamma),
+        warmup=warmup,
+    )
+    predictor.name = "seasonal"
+    return predictor

@@ -10,11 +10,64 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.predict.base import Predictor
 from repro.workload.trace import Trace
 
-__all__ = ["PredictionReport", "evaluate_predictor"]
+__all__ = ["PredictionReport", "evaluate_predictor", "nrmse", "type_accuracy"]
+
+
+def nrmse(
+    predicted: Sequence[float],
+    actual: Sequence[float],
+    *,
+    norm: float | None = None,
+) -> float:
+    """Normalised RMS error of paired forecasts.
+
+    ``sqrt(mean((predicted - actual)^2)) / norm``; when ``norm`` is
+    omitted it defaults to the mean first difference of ``actual`` (the
+    trace-level convention of :func:`evaluate_predictor`), falling back
+    to ``1.0`` when that mean is not strictly positive — degenerate
+    inputs (constant series, a single sample) degrade to the
+    unnormalised error rather than NaN or a zero division.
+
+    Raises :class:`ValueError` on mismatched lengths, on empty inputs,
+    and on a non-positive explicit ``norm``.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs "
+            f"{len(actual)} actuals"
+        )
+    if not actual:
+        raise ValueError("cannot score zero forecasts")
+    if norm is not None and not norm > 0:
+        raise ValueError(f"norm must be > 0, got {norm}")
+    if norm is None:
+        gaps = [b - a for a, b in zip(actual, actual[1:], strict=False)]
+        mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
+        norm = mean_gap if mean_gap > 0 else 1.0
+    squared = sum((p - a) ** 2 for p, a in zip(predicted, actual, strict=True))
+    return math.sqrt(squared / len(actual)) / norm
+
+
+def type_accuracy(predicted: Sequence[int], actual: Sequence[int]) -> float:
+    """Fraction of matching entries in two equal-length type sequences.
+
+    Raises :class:`ValueError` on mismatched lengths and on empty
+    inputs (an accuracy over nothing is undefined, not 0 or 1).
+    """
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs "
+            f"{len(actual)} actuals"
+        )
+    if not actual:
+        raise ValueError("cannot score zero forecasts")
+    hits = sum(1 for p, a in zip(predicted, actual, strict=True) if p == a)
+    return hits / len(actual)
 
 
 @dataclass(frozen=True)

@@ -27,13 +27,25 @@ from repro.core.exact import ExactResourceManager
 from repro.core.heuristic import HeuristicResourceManager
 from repro.core.milp_rm import MilpResourceManager
 from repro.predict.base import NullPredictor, Predictor
-from repro.predict.markov import ComposedPredictor
+from repro.predict.demand import (
+    ArDemandPredictor,
+    DemandPredictor,
+    EwmaDemandPredictor,
+    HoltWintersDemandPredictor,
+)
+from repro.predict.drift import DriftingPredictor
+from repro.predict.markov import (
+    ComposedPredictor,
+    make_ar_predictor,
+    make_seasonal_predictor,
+)
 from repro.predict.noisy import ArrivalNoisePredictor, TypeNoisePredictor
 from repro.predict.oracle import OraclePredictor
 from repro.serve.clock import Clock, VirtualClock, WallClock
 
 __all__ = [
     "CLOCKS",
+    "DEMAND_PREDICTORS",
     "KERNELS",
     "STRATEGIES",
     "PREDICTORS",
@@ -41,14 +53,17 @@ __all__ = [
     "PredictorFactory",
     "StrategyFactory",
     "clock_names",
+    "demand_predictor_names",
     "kernel_names",
     "predictor_factory",
     "predictor_names",
     "register_clock",
+    "register_demand_predictor",
     "register_kernel",
     "register_predictor",
     "register_strategy",
     "resolve_clock",
+    "resolve_demand_predictor",
     "resolve_kernel",
     "resolve_predictor",
     "resolve_strategy",
@@ -83,6 +98,19 @@ _PREDICTORS: dict[str, Callable[..., Predictor]] = {
     "learned": ComposedPredictor,
     "type-noise": TypeNoisePredictor,
     "arrival-noise": ArrivalNoisePredictor,
+    "ar": make_ar_predictor,
+    "seasonal": make_seasonal_predictor,
+    "drift": DriftingPredictor,
+}
+
+#: Demand-vector forecasters (DESIGN.md §16) — a separate namespace
+#: from the request predictors: they answer "how much of each resource
+#: next", not "which request next", so a name like ``"ar"`` may appear
+#: in both tables without ambiguity.
+_DEMAND_PREDICTORS: dict[str, Callable[..., DemandPredictor]] = {
+    "ewma": EwmaDemandPredictor,
+    "holt-winters": HoltWintersDemandPredictor,
+    "ar": ArDemandPredictor,
 }
 
 _CLOCKS: dict[str, Callable[..., Clock]] = {
@@ -102,6 +130,9 @@ STRATEGIES: Mapping[str, Callable[..., MappingStrategy]] = MappingProxyType(
 PREDICTORS: Mapping[str, Callable[..., Predictor]] = MappingProxyType(
     _PREDICTORS
 )
+DEMAND_PREDICTORS: Mapping[str, Callable[..., DemandPredictor]] = (
+    MappingProxyType(_DEMAND_PREDICTORS)
+)
 CLOCKS: Mapping[str, Callable[..., Clock]] = MappingProxyType(_CLOCKS)
 KERNELS: Mapping[str, KernelSpec] = MappingProxyType(_KERNELS)
 
@@ -114,6 +145,11 @@ def strategy_names() -> list[str]:
 def predictor_names() -> list[str]:
     """All registered predictor names, sorted."""
     return sorted(_PREDICTORS)
+
+
+def demand_predictor_names() -> list[str]:
+    """All registered demand-predictor names, sorted."""
+    return sorted(_DEMAND_PREDICTORS)
 
 
 def clock_names() -> list[str]:
@@ -152,6 +188,18 @@ def register_predictor(
     if name in _PREDICTORS and not overwrite:
         raise ValueError(f"predictor {name!r} is already registered")
     _PREDICTORS[name] = constructor
+
+
+def register_demand_predictor(
+    name: str,
+    constructor: Callable[..., DemandPredictor],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Add a demand-predictor constructor to the registry."""
+    if name in _DEMAND_PREDICTORS and not overwrite:
+        raise ValueError(f"demand predictor {name!r} is already registered")
+    _DEMAND_PREDICTORS[name] = constructor
 
 
 def register_clock(
@@ -210,6 +258,22 @@ def resolve_predictor(name: str, **kwargs: Any) -> Predictor:
     except KeyError:
         raise ValueError(
             f"unknown predictor {name!r}; choose from {predictor_names()}"
+        ) from None
+    return constructor(**kwargs)
+
+
+def resolve_demand_predictor(name: str, **kwargs: Any) -> DemandPredictor:
+    """Build a fresh demand predictor from its registry name.
+
+    ``kwargs`` are forwarded to the constructor (e.g. ``alpha`` for the
+    EWMA, ``period`` for Holt-Winters, ``order`` for the AR model).
+    """
+    try:
+        constructor = _DEMAND_PREDICTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown demand predictor {name!r}; choose from "
+            f"{demand_predictor_names()}"
         ) from None
     return constructor(**kwargs)
 

@@ -240,6 +240,16 @@ class UsageDepository:
         self._errors.outcomes.clear()
         self.reprovisions += 1
 
+    def clear_error_window(self) -> None:
+        """Drop the forecast-error window without counting a reprovision.
+
+        Called when the predictor takes itself offline (the drift
+        wrapper's fallback): no further forecasts will be scored, so a
+        stale excursion must not trip :meth:`should_reprovision` on
+        errors from a model that no longer exists.
+        """
+        self._errors.outcomes.clear()
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------

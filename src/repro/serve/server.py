@@ -401,6 +401,7 @@ class AdmissionEngine:
             self.log.close()
 
         predictions = self._safe_predictions(index, decision_time)
+        self._drain_predictor_events()
         if self.prediction_enabled and self.config.prediction_overhead > 0:
             decision_time += self.config.prediction_overhead
             self._complete(self.state.advance(decision_time))
@@ -559,6 +560,29 @@ class AdmissionEngine:
             return
         for _kind, _detail in drain():
             self.metrics.inc("serve/degradations")
+
+    def _drain_predictor_events(self) -> None:
+        """Fold drift-wrapper reactions into the live service state.
+
+        The simulator's predictor drain for a live stream: each queued
+        ``(kind, detail)`` pair (drift detection, retrain, fallback —
+        see :class:`~repro.predict.drift.DriftingPredictor`) counts as a
+        degradation plus a per-kind counter.  A ``predictor-fallback``
+        additionally clears the depository's forecast-error window: the
+        reprovision trigger must not fire later on the stale errors of a
+        model that just took itself offline.  Everything here is a
+        deterministic reaction to the request log, so a journal replay
+        reproduces it bit-for-bit (metrics are outside the fingerprint;
+        the window clear is inside and replays identically).
+        """
+        drain = getattr(self.predictor, "drain_events", None)
+        if drain is None:
+            return
+        for kind, _detail in drain():
+            self.metrics.inc("serve/degradations")
+            self.metrics.inc(f"serve/{kind.replace('-', '_')}")
+            if kind == "predictor-fallback":
+                self.depository.clear_error_window()
 
     def _record_metrics(
         self, status: str, latency: float, outcome: AdmissionOutcome | None

@@ -565,6 +565,12 @@ class Simulator:
             if overhead > 0:
                 decision_time += overhead
             time = decision_time
+        # Reactions fired before the window (drift detections, retrains)
+        # were recorded by the shard that owns those requests; only the
+        # predictor *state* carries across the cut.
+        drain = getattr(self.predictor, "drain_events", None)
+        if drain is not None:
+            drain()
 
     @staticmethod
     def _fold_metrics(
@@ -757,6 +763,7 @@ class Simulator:
         valid = self._query_predictor(
             trace, index, decision_time, result, tracer
         )
+        self._drain_predictor_events(result, decision_time, index, tracer)
         if tracer.enabled and self.prediction_enabled:
             tracer.emit(
                 "predictor-call",
@@ -839,6 +846,38 @@ class Simulator:
                     ),
                 )
         return valid
+
+    def _drain_predictor_events(
+        self,
+        result: SimulationResult,
+        time: float,
+        request_index: int | None,
+        tracer: Tracer,
+    ) -> None:
+        """Convert buffered predictor reactions into timestamped events.
+
+        Duck-typed on ``drain_events``, mirroring
+        :meth:`_drain_strategy_events`: the drift wrapper
+        (:class:`~repro.predict.drift.DriftingPredictor`) queues
+        ``(kind, detail)`` pairs — drift detections, retrains, the final
+        fallback — which become
+        :class:`~repro.faults.events.DegradationEvent` records anchored
+        at the activation that settled the offending forecast.
+        """
+        drain = getattr(self.predictor, "drain_events", None)
+        if drain is None:
+            return
+        for kind, detail in drain():
+            self._degrade(
+                result,
+                tracer,
+                DegradationEvent(
+                    time=time,
+                    kind=kind,
+                    request_index=request_index,
+                    detail=detail,
+                ),
+            )
 
     @staticmethod
     def _prediction_problem(

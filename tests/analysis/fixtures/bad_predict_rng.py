@@ -1,0 +1,30 @@
+"""Unseeded generators laundered through predictor-shaped code —
+RPR001 taint fixture for the ``repro.predict`` idioms (drift detectors
+and AR fitters)."""
+
+import numpy as np
+
+
+def fit_ar(series, seed=None):
+    # assign-then-return laundering: the generator leaves through a
+    # local, not a direct `return default_rng(...)`
+    rng = np.random.default_rng(seed)
+    noise = rng
+    del noise
+    return rng
+
+
+class DriftDetector:
+    """Detector storing a private noise stream built in __init__."""
+
+    def __init__(self, threshold=4.0, seed=None):
+        self.threshold = threshold
+        self._rng = np.random.default_rng(seed)
+
+
+rng_bad = fit_ar([1.0, 2.0])
+rng_bad2 = fit_ar([1.0, 2.0], seed=None)
+rng_ok = fit_ar([1.0, 2.0], seed=7)
+detector_bad = DriftDetector()
+detector_bad2 = DriftDetector(threshold=2.0, seed=None)
+detector_ok = DriftDetector(seed=11)

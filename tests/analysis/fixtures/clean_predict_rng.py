@@ -1,0 +1,38 @@
+"""Seeded predictor-shaped code the RPR001 taint pass must NOT flag."""
+
+import numpy as np
+
+
+def fit_ar(series, seed=None):
+    rng = np.random.default_rng(seed)
+    return rng
+
+
+class DriftDetector:
+    def __init__(self, threshold=4.0, seed=None):
+        self.threshold = threshold
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self):
+        # rebuilding from stored state is not a fresh unseeded draw
+        self._rng = np.random.default_rng(self.threshold)
+
+
+class RequiredSeedDetector:
+    """A mandatory seed parameter makes every construction seeded."""
+
+    def __init__(self, seed):
+        self._rng = np.random.default_rng(seed)
+
+
+class DefaultSeedDetector:
+    """An int-defaulted seed is deterministic even when omitted."""
+
+    def __init__(self, seed=0):
+        self._rng = np.random.default_rng(seed)
+
+
+rng_ok = fit_ar([1.0], seed=3)
+detector_ok = DriftDetector(seed=5)
+required_ok = RequiredSeedDetector(9)
+defaulted_ok = DefaultSeedDetector()

@@ -268,6 +268,65 @@ class TestRngTaint:
         )
         assert lint_source(source) == []
 
+    def test_assign_then_return_helper_is_a_taint_source(self):
+        # the generator can leave through a local, not just a direct
+        # `return default_rng(...)`
+        source = (
+            "import numpy as np\n"
+            "def fit_ar(series, seed=None):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng\n"
+            "coeffs = fit_ar([1.0])\n"
+        )
+        findings = lint_source(source, module="repro.predict.demand")
+        assert rules_of(findings) == {"RPR001"}
+        assert lines_of(findings, "RPR001") == [5]
+
+    def test_class_seed_laundering_flagged_at_construction(self):
+        source = (
+            "import numpy as np\n"
+            "class Detector:\n"
+            "    def __init__(self, seed=None):\n"
+            "        self._rng = np.random.default_rng(seed)\n"
+            "detector = Detector()\n"
+        )
+        findings = lint_source(source, module="repro.predict.drift")
+        assert rules_of(findings) == {"RPR001"}
+        assert lines_of(findings, "RPR001") == [5]
+        assert "__init__" in findings[0].message
+
+    def test_seeded_class_construction_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "class Detector:\n"
+            "    def __init__(self, seed=None):\n"
+            "        self._rng = np.random.default_rng(seed)\n"
+            "detector = Detector(seed=7)\n"
+        )
+        assert lint_source(source, module="repro.predict.drift") == []
+
+    def test_int_defaulted_class_seed_is_not_a_taint_source(self):
+        # the repro.predict.noisy shape: seed=0 is deterministic even
+        # when the caller omits it
+        source = (
+            "import numpy as np\n"
+            "class Noisy:\n"
+            "    def __init__(self, seed=0):\n"
+            "        self._rng = np.random.default_rng(seed)\n"
+            "noisy = Noisy()\n"
+        )
+        assert lint_source(source) == []
+
+    def test_predict_fixture_trips_taint_pass(self):
+        findings = lint_file(FIXTURES / "bad_predict_rng.py")
+        assert rules_of(findings) == {"RPR001"}
+        # two unseeded fit_ar calls + two unseeded Detector constructions
+        assert len(findings) == 4
+        assert lines_of(findings, "RPR001") == [25, 26, 28, 29]
+
+    def test_clean_predict_fixture_is_clean(self):
+        assert lint_file(FIXTURES / "clean_predict_rng.py") == []
+
 
 class TestMonotonicAllowlist:
     """Satellite #2: the RPR002 allowlist moved into LintConfig; the

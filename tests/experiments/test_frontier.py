@@ -1,0 +1,136 @@
+"""The accuracy-vs-energy frontier experiment (paper Fig. 4 extension).
+
+The frontier sweeps ``drift scenario x predictor`` and reduces each
+point to prediction quality plus admission cost.  Its CSV text is
+rendered with ``repr`` floats, so a sha256 of the whole artefact pins
+the experiment bit-for-bit — the frontier's own golden digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.experiments.config import HarnessScale
+from repro.experiments.fig4_frontier import (
+    DEFAULT_FRONTIER_PREDICTORS,
+    DRIFT_SCENARIOS,
+    drift_plan,
+    frontier_csv,
+    render_fig4_frontier,
+    run_frontier,
+    write_frontier_csv,
+)
+
+TINY = HarnessScale(n_traces=1, n_requests=20, master_seed=2)
+
+#: sha256 of ``frontier_csv(run_frontier(TINY))``.  Regenerate only for
+#: an *intentional* behaviour change, alongside the golden digests:
+#:   PYTHONPATH=src python -c "import hashlib; \
+#:     from repro.experiments.config import HarnessScale; \
+#:     from repro.experiments.fig4_frontier import *; \
+#:     print(hashlib.sha256(frontier_csv(run_frontier( \
+#:       HarnessScale(n_traces=1, n_requests=20, master_seed=2) \
+#:     )).encode()).hexdigest())"
+TINY_CSV_SHA256 = (
+    "7e7e705c0819056e6dd30d64bc15d3209c9e6b34409ecc0092a11084adbe431b"
+)
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return run_frontier(TINY)
+
+
+class TestDriftPlan:
+    def test_stable_is_none(self):
+        assert drift_plan("stable", 100.0) is None
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown drift scenario"):
+            drift_plan("chaos", 100.0)
+
+    @pytest.mark.parametrize("horizon", [0.0, -5.0])
+    def test_non_positive_horizon_rejected(self, horizon):
+        with pytest.raises(ValueError, match="horizon"):
+            drift_plan("stable", horizon)
+
+    def test_mid_shift_shape(self):
+        plan = drift_plan("mid-shift", 100.0)
+        assert plan is not None
+        (fault,) = plan.trace_faults
+        assert fault.kind == "regime-shift"
+        assert fault.start == pytest.approx(45.0)
+        assert fault.factor == pytest.approx(1.5)
+
+    def test_double_shift_shape(self):
+        plan = drift_plan("double-shift", 100.0)
+        assert plan is not None
+        first, second = plan.trace_faults
+        assert first.end == pytest.approx(second.start)
+        assert (first.factor, second.factor) == (1.5, 0.5)
+
+    def test_scenario_seeds_differ(self):
+        mid = drift_plan("mid-shift", 100.0, master_seed=7)
+        double = drift_plan("double-shift", 100.0, master_seed=7)
+        assert mid is not None and double is not None
+        assert mid.seed != double.seed
+
+
+class TestFrontierCoverage:
+    def test_full_grid_of_cells(self, frontier):
+        expected = len(DRIFT_SCENARIOS) * (
+            len(DEFAULT_FRONTIER_PREDICTORS) + 1  # + the "off" baseline
+        )
+        assert len(frontier.cells) == expected
+        for scenario in DRIFT_SCENARIOS:
+            for name in (*DEFAULT_FRONTIER_PREDICTORS, "off"):
+                cell = frontier.cell(scenario, name)
+                assert cell.scenario == scenario
+                assert cell.predictor == name
+                assert 0.0 <= cell.type_accuracy <= 1.0
+                assert 0.0 <= cell.coverage <= 1.0
+                assert cell.mean_energy > 0.0
+
+    def test_off_baseline_has_no_forecasts(self, frontier):
+        for scenario in DRIFT_SCENARIOS:
+            assert frontier.cell(scenario, "off").coverage == 0.0
+
+    def test_missing_cell_raises(self, frontier):
+        with pytest.raises(KeyError, match="oracle@stable"):
+            frontier.cell("stable", "oracle")
+
+    def test_aggregates_keyed_by_label(self, frontier):
+        assert "drift@double-shift" in frontier.aggregates
+        assert "off@stable" in frontier.aggregates
+
+
+class TestFrontierDigest:
+    def test_csv_digest_pinned(self, frontier):
+        digest = hashlib.sha256(frontier_csv(frontier).encode()).hexdigest()
+        assert digest == TINY_CSV_SHA256
+
+    def test_two_runs_identical(self, frontier):
+        assert frontier_csv(run_frontier(TINY)) == frontier_csv(frontier)
+
+    def test_csv_shape(self, frontier):
+        lines = frontier_csv(frontier).splitlines()
+        assert lines[0] == (
+            "scenario,predictor,type_accuracy,arrival_nrmse,coverage,"
+            "mean_energy,mean_rejection"
+        )
+        assert len(lines) == 1 + len(frontier.cells)
+
+    def test_write_csv_roundtrip(self, frontier, tmp_path):
+        target = write_frontier_csv(frontier, tmp_path / "frontier.csv")
+        assert target.read_text() == frontier_csv(frontier)
+
+
+class TestRender:
+    def test_render_mentions_every_scenario_and_predictor(self, frontier):
+        rendered = render_fig4_frontier(frontier)
+        for scenario in DRIFT_SCENARIOS:
+            assert f"scenario: {scenario}" in rendered
+        for name in (*DEFAULT_FRONTIER_PREDICTORS, "off"):
+            assert name in rendered

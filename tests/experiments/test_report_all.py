@@ -18,7 +18,7 @@ def report():
 class TestRunAll:
     def test_all_sections_present(self, report):
         names = "\n".join(report.sections)
-        for marker in ("E1", "E2", "E3", "E4/E5", "E6", "E7"):
+        for marker in ("E1", "E2", "E3", "E4/E5", "E6", "E7", "E8"):
             assert marker in names
 
     def test_motivational_payload(self, report):

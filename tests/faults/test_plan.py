@@ -235,3 +235,96 @@ class TestPerturbTrace:
         b = plan.perturb_trace(trace)
         assert [r.arrival for r in a] == [r.arrival for r in b]
         assert all(r.arrival >= 0.0 for r in a)
+
+
+class TestRegimeShift:
+    """The ``"regime-shift"`` trace fault: seeded type remap plus a
+    cadence rescale inside the window."""
+
+    def _five_type_tasks(self):
+        return [
+            make_task(
+                type_id=i,
+                wcet=(4.0 + i, 5.0 + i, 2.0),
+                energy=(2.0, 2.5, 0.8),
+            )
+            for i in range(5)
+        ]
+
+    def _trace(self):
+        rows = [(float(2 * i), i % 5, 40.0) for i in range(20)]
+        return make_trace(self._five_type_tasks(), rows)
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError, match="regime-shift factor"):
+            TraceFault("regime-shift", 0.0, 5.0, factor=0.0)
+        with pytest.raises(ValueError, match="regime-shift factor"):
+            TraceFault("regime-shift", 0.0, 5.0, factor=-1.0)
+        with pytest.raises(ValueError, match="regime-shift factor"):
+            TraceFault("regime-shift", 0.0, 5.0, factor=math.inf)
+        # any finite positive factor is legal (unlike burst's (0, 1])
+        TraceFault("regime-shift", 0.0, 5.0, factor=2.0)
+
+    def test_cadence_rescaled_inside_window_only(self):
+        plan = FaultPlan(
+            seed=5,
+            trace_faults=(TraceFault("regime-shift", 10.0, 30.0, factor=0.5),),
+        )
+        perturbed = plan.perturb_trace(self._trace())
+        arrivals = [r.arrival for r in perturbed]
+        # outside the window arrivals are untouched
+        assert arrivals[:5] == [0.0, 2.0, 4.0, 6.0, 8.0]
+        # inside: start + (arrival - start) * factor
+        assert 10.0 in arrivals and 15.0 in arrivals
+        assert arrivals == sorted(arrivals)
+
+    def test_type_remap_is_a_permutation(self):
+        trace = self._trace()
+        plan = FaultPlan(
+            seed=5,
+            trace_faults=(
+                TraceFault("regime-shift", 0.0, 100.0, factor=1.0),
+            ),
+        )
+        perturbed = plan.perturb_trace(trace)
+        original_types = [r.type_id for r in trace]
+        new_types = [r.type_id for r in perturbed]
+        # a bijection: same multiset of types, and a consistent mapping
+        assert sorted(new_types) == sorted(original_types)
+        mapping = {}
+        for before, after in zip(original_types, new_types, strict=True):
+            assert mapping.setdefault(before, after) == after
+
+    def test_seed_changes_the_remap(self):
+        trace = self._trace()
+        fault = TraceFault("regime-shift", 0.0, 100.0, factor=1.0)
+        a = FaultPlan(seed=1, trace_faults=(fault,)).perturb_trace(trace)
+        b = FaultPlan(seed=2, trace_faults=(fault,)).perturb_trace(trace)
+        assert [r.type_id for r in a] != [r.type_id for r in b]
+
+    def test_deterministic_replay(self):
+        trace = self._trace()
+        plan = FaultPlan(
+            seed=9,
+            trace_faults=(TraceFault("regime-shift", 4.0, 30.0, factor=1.5),),
+        )
+        a = plan.perturb_trace(trace)
+        b = plan.perturb_trace(trace)
+        assert [(r.arrival, r.type_id, r.deadline) for r in a] == [
+            (r.arrival, r.type_id, r.deadline) for r in b
+        ]
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=7,
+            trace_faults=(
+                TraceFault("regime-shift", 3.0, 12.0, factor=2.0),
+            ),
+        )
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored.trace_faults == plan.trace_faults
+        assert restored.seed == plan.seed
+        trace = self._trace()
+        assert [
+            (r.arrival, r.type_id) for r in restored.perturb_trace(trace)
+        ] == [(r.arrival, r.type_id) for r in plan.perturb_trace(trace)]

@@ -25,6 +25,9 @@ GOLDEN_PAIRS: tuple[tuple[str, str | None], ...] = (
     ("heuristic", None),
     ("heuristic", "oracle"),
     ("heuristic", "learned"),
+    ("heuristic", "ar"),
+    ("heuristic", "seasonal"),
+    ("heuristic", "drift"),
     ("milp", None),
     ("milp", "oracle"),
 )

@@ -26,6 +26,7 @@ COVERED_COMMANDS = {
     "obs",
     "serve",
     "chaos",
+    "predict",
 }
 
 
@@ -160,6 +161,34 @@ class TestFaultsSmoke:
         )
         assert code == 0
         assert json.loads(out.read_text())["smoke"]["ok"] is True
+
+
+class TestPredictSmoke:
+    def test_requires_a_mode(self, capsys):
+        assert main(["predict"]) == 2
+        assert "--frontier" in capsys.readouterr().err
+
+    def test_frontier_writes_csv_artefact(self, tmp_path, capsys):
+        out = tmp_path / "frontier.csv"
+        code = main(
+            ["predict", "--frontier", "--traces", "1", "--requests", "20",
+             "--seed", "2", "--csv", str(out)]
+        )
+        assert code == 0
+        header, *rows = out.read_text().splitlines()
+        assert header.startswith("scenario,predictor,type_accuracy")
+        assert len(rows) == 15  # 3 scenarios x (4 predictors + off)
+        assert "Fig. 4 frontier" in capsys.readouterr().out
+
+    def test_frontier_json(self, capsys):
+        code = main(
+            ["predict", "--frontier", "--traces", "1", "--requests", "20",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "heuristic"
+        assert {c["predictor"] for c in payload["cells"]} >= {"drift", "off"}
 
 
 class TestObsSmoke:

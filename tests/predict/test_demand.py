@@ -1,0 +1,270 @@
+"""Resource-demand forecasting and the Lotaru runtime estimator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.task import NOT_EXECUTABLE
+from repro.predict.demand import (
+    ArDemandPredictor,
+    EwmaDemandPredictor,
+    HoltWintersDemandPredictor,
+    LotaruRuntimeEstimator,
+    demand_series,
+    fit_ar_coefficients,
+)
+
+from tests.conftest import make_task, make_trace
+
+
+class TestFitArCoefficients:
+    def test_recovers_exact_ar1(self):
+        # x[t] = 2 + 0.5 x[t-1], noiseless, still far from the fixed
+        # point (a fully converged series is constant, hence singular)
+        series = [0.0]
+        for _ in range(12):
+            series.append(2.0 + 0.5 * series[-1])
+        coefficients = fit_ar_coefficients(series, order=1, ridge=1e-12)
+        assert coefficients[0] == pytest.approx(2.0, abs=1e-4)
+        assert coefficients[1] == pytest.approx(0.5, abs=1e-4)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError, match="at least order"):
+            fit_ar_coefficients([1.0, 2.0], order=2)
+
+    def test_non_finite_series_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_ar_coefficients([1.0, math.inf, 2.0], order=1)
+
+    def test_2d_series_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            fit_ar_coefficients(np.ones((3, 2)), order=1)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            fit_ar_coefficients([1.0, 2.0, 3.0], order=0)
+
+
+class TestDemandPredictorInterface:
+    @pytest.mark.parametrize(
+        "predictor_cls",
+        [EwmaDemandPredictor, HoltWintersDemandPredictor, ArDemandPredictor],
+    )
+    def test_zero_forecast_before_observation(self, predictor_cls):
+        predictor = predictor_cls()
+        forecast = predictor.forecast(horizon=3)
+        assert forecast.shape == (3, 1)
+        assert np.all(forecast == 0.0)
+
+    @pytest.mark.parametrize(
+        "predictor_cls",
+        [EwmaDemandPredictor, HoltWintersDemandPredictor, ArDemandPredictor],
+    )
+    def test_forecast_shape_and_nonnegativity(self, predictor_cls):
+        predictor = predictor_cls()
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            predictor.observe(rng.uniform(0.0, 10.0, size=3))
+        forecast = predictor.forecast(horizon=4)
+        assert forecast.shape == (4, 3)
+        assert np.all(forecast >= 0.0)
+        assert np.all(np.isfinite(forecast))
+
+    @pytest.mark.parametrize(
+        "predictor_cls",
+        [EwmaDemandPredictor, HoltWintersDemandPredictor, ArDemandPredictor],
+    )
+    def test_width_pinned_by_first_observation(self, predictor_cls):
+        predictor = predictor_cls()
+        predictor.observe([1.0, 2.0])
+        with pytest.raises(ValueError, match="width changed"):
+            predictor.observe([1.0, 2.0, 3.0])
+
+    def test_invalid_vectors_rejected(self):
+        predictor = EwmaDemandPredictor()
+        with pytest.raises(ValueError):
+            predictor.observe([])
+        with pytest.raises(ValueError):
+            predictor.observe([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            predictor.observe([1.0, -2.0])
+        with pytest.raises(ValueError):
+            predictor.observe([1.0, math.nan])
+
+    def test_invalid_horizon(self):
+        predictor = EwmaDemandPredictor()
+        with pytest.raises(ValueError, match="horizon"):
+            predictor.forecast(horizon=0)
+
+    @pytest.mark.parametrize(
+        "predictor_cls",
+        [EwmaDemandPredictor, HoltWintersDemandPredictor, ArDemandPredictor],
+    )
+    def test_reset_reproduces_first_run(self, predictor_cls):
+        predictor = predictor_cls()
+        rng = np.random.default_rng(11)
+        series = rng.uniform(0.0, 5.0, size=(25, 2))
+        for vector in series:
+            predictor.observe(vector)
+        first = predictor.forecast(horizon=3)
+        predictor.reset()
+        assert predictor.observed == 0
+        assert predictor.n_resources is None
+        for vector in series:
+            predictor.observe(vector)
+        assert np.array_equal(predictor.forecast(horizon=3), first)
+
+
+class TestEwmaDemand:
+    def test_first_observation_seeds_level(self):
+        predictor = EwmaDemandPredictor(alpha=0.5)
+        predictor.observe([4.0, 8.0])
+        assert np.array_equal(predictor.forecast()[0], [4.0, 8.0])
+
+    def test_smoothing(self):
+        predictor = EwmaDemandPredictor(alpha=0.5)
+        predictor.observe([4.0])
+        predictor.observe([8.0])
+        assert predictor.forecast()[0, 0] == pytest.approx(6.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaDemandPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDemandPredictor(alpha=1.5)
+
+
+class TestHoltWintersDemand:
+    def test_learns_pure_seasonal_pattern(self):
+        """A strict period-4 cycle is forecast phase-correctly."""
+        cycle = [2.0, 10.0, 4.0, 6.0]
+        predictor = HoltWintersDemandPredictor(period=4, alpha=0.3, gamma=0.5)
+        for step in range(80):
+            predictor.observe([cycle[step % 4]])
+        forecast = predictor.forecast(horizon=4)[:, 0]
+        for step in range(4):
+            expected = cycle[(predictor.observed + step) % 4]
+            assert forecast[step] == pytest.approx(expected, rel=0.15)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HoltWintersDemandPredictor(period=0)
+        with pytest.raises(ValueError):
+            HoltWintersDemandPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltWintersDemandPredictor(gamma=1.2)
+
+    def test_forecast_clipped_at_zero(self):
+        predictor = HoltWintersDemandPredictor(period=2, alpha=1.0, gamma=1.0)
+        predictor.observe([5.0])
+        predictor.observe([0.0])
+        assert np.all(predictor.forecast(horizon=4) >= 0.0)
+
+
+class TestArDemand:
+    def test_window_must_cover_order(self):
+        with pytest.raises(ValueError, match="window"):
+            ArDemandPredictor(order=4, window=4)
+
+    def test_repeats_last_before_enough_samples(self):
+        predictor = ArDemandPredictor(order=3)
+        predictor.observe([2.0, 7.0])
+        forecast = predictor.forecast(horizon=2)
+        assert np.array_equal(forecast, [[2.0, 7.0], [2.0, 7.0]])
+
+    def test_tracks_linear_ramp(self):
+        """AR(2) represents x[t] = 2x[t-1] - x[t-2] exactly, so a ramp
+        extrapolates almost perfectly."""
+        predictor = ArDemandPredictor(order=2, ridge=1e-9)
+        for step in range(30):
+            predictor.observe([float(step)])
+        forecast = predictor.forecast(horizon=3)[:, 0]
+        assert forecast == pytest.approx([30.0, 31.0, 32.0], rel=1e-3)
+
+    def test_window_slides(self):
+        predictor = ArDemandPredictor(order=1, window=4)
+        for value in (100.0, 1.0, 1.0, 1.0, 1.0, 1.0):
+            predictor.observe([value])
+        # the 100.0 left the window; forecast hugs the recent level
+        assert predictor.forecast()[0, 0] == pytest.approx(1.0, abs=0.5)
+
+
+class TestLotaru:
+    def test_factor_definition(self):
+        estimator = LotaruRuntimeEstimator([10.0, 4.0], [20.0, 2.0])
+        assert np.array_equal(estimator.factors, [0.5, 2.0])
+
+    def test_estimate_scales_elementwise(self):
+        estimator = LotaruRuntimeEstimator([10.0, 4.0], [20.0, 2.0])
+        assert np.array_equal(
+            estimator.estimate([8.0, 3.0]), [4.0, 6.0]
+        )
+
+    def test_inf_passes_through(self):
+        estimator = LotaruRuntimeEstimator([1.0, 1.0], [2.0, 2.0])
+        scaled = estimator.estimate([math.inf, 4.0])
+        assert math.isinf(scaled[0])
+        assert scaled[1] == 2.0
+
+    def test_estimate_task_preserves_not_executable(self):
+        task = make_task(
+            wcet=(10.0, NOT_EXECUTABLE, 4.0),
+            energy=(5.0, NOT_EXECUTABLE, 1.0),
+        )
+        estimator = LotaruRuntimeEstimator(
+            [1.0, 1.0, 1.0], [2.0, 2.0, 4.0]
+        )
+        scaled = estimator.estimate_task(task)
+        assert scaled[0] == 5.0
+        assert scaled[1] is NOT_EXECUTABLE or math.isinf(scaled[1])
+        assert scaled[2] == 1.0
+
+    def test_score_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            LotaruRuntimeEstimator([], [])
+        with pytest.raises(ValueError, match="match"):
+            LotaruRuntimeEstimator([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="> 0"):
+            LotaruRuntimeEstimator([1.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="> 0"):
+            LotaruRuntimeEstimator([1.0, 1.0], [1.0, -2.0])
+
+    def test_negative_runtime_rejected(self):
+        estimator = LotaruRuntimeEstimator([1.0], [1.0])
+        with pytest.raises(ValueError):
+            estimator.estimate([-1.0])
+        with pytest.raises(ValueError, match="expected"):
+            estimator.estimate([1.0, 2.0])
+
+
+class TestDemandSeries:
+    def test_rows_are_wcet_vectors(self):
+        tasks = [
+            make_task(type_id=0, wcet=(4.0, 5.0, 2.0)),
+            make_task(
+                type_id=1,
+                wcet=(8.0, NOT_EXECUTABLE, 3.0),
+                energy=(4.0, NOT_EXECUTABLE, 0.9),
+            ),
+        ]
+        trace = make_trace(
+            tasks, [(0.0, 0, 30.0), (2.0, 1, 30.0), (4.0, 0, 30.0)]
+        )
+        series = demand_series(trace)
+        assert series.shape == (3, 3)
+        assert np.array_equal(series[0], [4.0, 5.0, 2.0])
+        # non-executable resources contribute zero demand, not inf
+        assert np.array_equal(series[1], [8.0, 0.0, 3.0])
+        assert np.all(np.isfinite(series))
+
+    def test_feeds_predictors(self, tiny_trace):
+        series = demand_series(tiny_trace)
+        predictor = ArDemandPredictor(order=2)
+        for row in series:
+            predictor.observe(row)
+        forecast = predictor.forecast(horizon=2)
+        assert forecast.shape == (2, tiny_trace.n_resources)
+        assert np.all(np.isfinite(forecast))

@@ -1,0 +1,414 @@
+"""Drift detection and the online-learning wrapper (DESIGN.md §16).
+
+Three layers of pinning:
+
+* deterministic unit tests of the detectors' edge behaviour and of the
+  wrapper's retrain → fallback state machine;
+* hypothesis properties — a detector never fires on a stationary seeded
+  error stream, always fires within a bounded number of samples of an
+  injected shift, and every online predictor is past-only (permuting
+  the future of the trace cannot change a forecast);
+* determinism: the wrapper is a pure fold, so replaying the same stream
+  twice (with a reset between) reproduces forecasts and events
+  bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.events import DEGRADATION_KINDS
+from repro.model.request import Request
+from repro.predict.base import NullPredictor
+from repro.predict.drift import DriftingPredictor, PageHinkley, WindowedNrmse
+from repro.predict.markov import ComposedPredictor
+from repro.registry import resolve_predictor
+from repro.workload.trace import Trace
+
+from tests.conftest import make_task, make_trace
+
+#: Online predictors whose causality the property suite pins.
+ONLINE_PREDICTORS = ("learned", "ar", "seasonal", "drift")
+
+
+def _tasks(n_types: int = 5):
+    return [
+        make_task(
+            type_id=i,
+            wcet=(4.0 + i, 5.0 + i, 2.0 + 0.5 * i),
+            energy=(2.0, 2.5, 0.8),
+        )
+        for i in range(n_types)
+    ]
+
+
+def _cyclic_trace(n_requests: int = 80, gap: float = 3.0) -> Trace:
+    """Perfectly regular arrivals, deterministic type cycle 0-1-2."""
+    rows = [
+        (gap * i, i % 3, 30.0)
+        for i in range(n_requests)
+    ]
+    return make_trace(_tasks(), rows)
+
+
+def _shifted_trace(n_requests: int = 150) -> Trace:
+    """A stream whose regime flips twice: the first shift spends the
+    retrain, the second exhausts a budget of one."""
+    rows = []
+    time = 0.0
+    for i in range(n_requests):
+        if i < n_requests // 3:
+            rows.append((time, i % 3, 30.0))
+            time += 3.0
+        elif i < 2 * n_requests // 3:
+            rows.append((time, 3 + (i % 2), 30.0))
+            time += 12.0
+        else:
+            rows.append((time, (2 * i) % 5, 30.0))
+            time += 1.0
+    return make_trace(_tasks(), rows)
+
+
+def _replay(predictor, trace):
+    """Forecast at every step; returns (forecasts, events)."""
+    forecasts = []
+    events = []
+    for index in range(len(trace) - 1):
+        forecasts.append(predictor.predict(trace, index))
+        drain = getattr(predictor, "drain_events", None)
+        if drain is not None:
+            events.extend(drain())
+    return forecasts, events
+
+
+class TestPageHinkley:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_samples=0)
+
+    def test_non_finite_sample_rejected(self):
+        detector = PageHinkley()
+        with pytest.raises(ValueError, match="finite"):
+            detector.update(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            detector.update(float("inf"))
+
+    def test_silent_before_min_samples(self):
+        detector = PageHinkley(min_samples=8, threshold=0.1, delta=0.0)
+        assert all(not detector.update(100.0) for _ in range(7))
+
+    def test_fires_on_step_change(self):
+        detector = PageHinkley()
+        for _ in range(20):
+            assert detector.update(0.1) is False
+        fired = [detector.update(2.0) for _ in range(10)]
+        assert any(fired)
+
+    def test_statistic_monotone_under_sustained_shift(self):
+        detector = PageHinkley()
+        for _ in range(10):
+            detector.update(0.1)
+        before = detector.statistic
+        detector.update(3.0)
+        assert detector.statistic > before
+
+    def test_reset_forgets(self):
+        detector = PageHinkley()
+        for _ in range(20):
+            detector.update(0.1)
+        for _ in range(10):
+            detector.update(2.0)
+        detector.reset()
+        assert detector.statistic == 0.0
+        assert all(not detector.update(0.1) for _ in range(20))
+
+
+class TestWindowedNrmse:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedNrmse(window=0)
+        with pytest.raises(ValueError):
+            WindowedNrmse(threshold=0.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            WindowedNrmse(window=4, min_samples=5)
+
+    def test_non_finite_sample_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            WindowedNrmse().update(float("nan"))
+
+    def test_value_is_windowed_rms(self):
+        detector = WindowedNrmse(window=4, min_samples=1, threshold=10.0)
+        for error in (3.0, 4.0):
+            detector.update(error)
+        assert detector.value == pytest.approx(np.sqrt((9 + 16) / 2))
+
+    def test_good_spell_displaces_bad_window(self):
+        detector = WindowedNrmse(window=4, min_samples=2, threshold=1.0)
+        assert detector.update(5.0) is False  # below min_samples
+        assert detector.update(5.0) is True
+        fired = [detector.update(0.0) for _ in range(4)]
+        assert fired[-1] is False  # the bad samples slid out
+
+    def test_reset_clears_window(self):
+        detector = WindowedNrmse(window=4, min_samples=1, threshold=1.0)
+        detector.update(5.0)
+        detector.reset()
+        assert detector.value == 0.0
+
+
+class TestDriftingPredictorStateMachine:
+    def make(self, **kwargs) -> DriftingPredictor:
+        """A hair-trigger wrapper: tiny thresholds, tiny budget."""
+        defaults = dict(
+            threshold=0.5, nrmse_threshold=0.5, min_samples=2,
+            retrain_budget=1,
+        )
+        defaults.update(kwargs)
+        return DriftingPredictor(**defaults)
+
+    def test_requires_online_base(self):
+        with pytest.raises(TypeError, match="OnlinePredictor"):
+            DriftingPredictor(NullPredictor())
+
+    def test_default_base_is_composed(self):
+        assert isinstance(DriftingPredictor()._base, ComposedPredictor)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DriftingPredictor(retrain_budget=-1)
+
+    def test_stable_regular_stream_never_degrades(self):
+        predictor = DriftingPredictor()  # default thresholds
+        forecasts, events = _replay(predictor, _cyclic_trace())
+        assert events == []
+        assert predictor.retrains == 0
+        assert not predictor.fallen_back
+        # the base actually learns the cycle
+        assert any(f is not None for f in forecasts)
+
+    def test_shift_walks_retrain_then_fallback(self):
+        predictor = self.make()
+        _, events = _replay(predictor, _shifted_trace())
+        kinds = [kind for kind, _ in events]
+        assert "predictor-drift" in kinds
+        assert "predictor-retrain" in kinds
+        assert "predictor-fallback" in kinds
+        # the state machine is ordered: retrain happens before fallback
+        assert kinds.index("predictor-retrain") < kinds.index(
+            "predictor-fallback"
+        )
+        assert predictor.retrains == 1
+        assert predictor.fallen_back
+
+    def test_event_kinds_are_registered(self):
+        predictor = self.make()
+        _, events = _replay(predictor, _shifted_trace())
+        assert events  # the scenario must actually produce events
+        for kind, detail in events:
+            assert kind in DEGRADATION_KINDS
+            assert detail
+
+    def test_fallback_silences_forecasts_forever(self):
+        predictor = self.make()
+        trace = _shifted_trace()
+        forecasts, events = _replay(predictor, trace)
+        fallback_at = next(
+            i for i, (kind, _) in enumerate(events)
+            if kind == "predictor-fallback"
+        )
+        assert fallback_at >= 0
+        assert predictor.fallen_back
+        # every forecast after the fallback is an abstention
+        tail = forecasts[-(len(trace) // 4):]
+        assert all(f is None for f in tail)
+
+    def test_zero_budget_falls_back_on_first_drift(self):
+        predictor = self.make(retrain_budget=0)
+        _, events = _replay(predictor, _shifted_trace())
+        kinds = [kind for kind, _ in events]
+        assert "predictor-retrain" not in kinds
+        assert "predictor-fallback" in kinds
+        assert predictor.retrains == 0
+
+    def test_drain_events_pops(self):
+        trace = _shifted_trace()
+        predictor = self.make()
+        for index in range(len(trace) - 1):
+            predictor.predict(trace, index)
+        first = predictor.drain_events()
+        assert first
+        assert predictor.drain_events() == []
+
+    def test_reset_restores_full_replay_bit_for_bit(self):
+        trace = _shifted_trace()
+        predictor = self.make()
+        first_forecasts, first_events = _replay(predictor, trace)
+        assert predictor.fallen_back
+        predictor.reset()
+        assert not predictor.fallen_back
+        assert predictor.retrains == 0
+        second_forecasts, second_events = _replay(predictor, trace)
+        assert second_forecasts == first_forecasts
+        assert second_events == first_events
+
+    def test_causality_guard_inherited(self):
+        predictor = self.make()
+        trace = _cyclic_trace()
+        predictor.predict(trace, 10)
+        with pytest.raises(RuntimeError, match="backwards"):
+            predictor.predict(trace, 3)
+
+
+class TestDetectorProperties:
+    """Hypothesis: stationarity never fires, shifts always fire."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_page_hinkley_stationary_never_fires(self, seed):
+        rng = np.random.default_rng(seed)
+        detector = PageHinkley()
+        for value in rng.uniform(0.0, 0.3, size=200):
+            assert detector.update(float(value)) is False
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        prefix=st.integers(min_value=8, max_value=60),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_page_hinkley_fires_within_ten_samples_of_shift(
+        self, seed, prefix
+    ):
+        rng = np.random.default_rng(seed)
+        detector = PageHinkley()
+        for value in rng.uniform(0.0, 0.3, size=prefix):
+            assert detector.update(float(value)) is False
+        fired_after = None
+        for position, value in enumerate(
+            rng.uniform(1.5, 2.5, size=10), start=1
+        ):
+            if detector.update(float(value)):
+                fired_after = position
+                break
+        assert fired_after is not None and fired_after <= 10
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_windowed_nrmse_stationary_never_fires(self, seed):
+        rng = np.random.default_rng(seed)
+        detector = WindowedNrmse()
+        bound = 0.8 * detector.threshold
+        for value in rng.uniform(0.0, bound, size=200):
+            assert detector.update(float(value)) is False
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        prefix=st.integers(min_value=8, max_value=32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_windowed_nrmse_fires_within_window_of_shift(self, seed, prefix):
+        rng = np.random.default_rng(seed)
+        detector = WindowedNrmse()
+        for value in rng.uniform(0.0, 0.5, size=prefix):
+            detector.update(float(value))
+        shift = 2.0 * detector.threshold
+        fired = [detector.update(shift) for _ in range(detector.window)]
+        assert any(fired)
+
+
+def _random_trace(seed: int, n_requests: int = 30, n_types: int = 5) -> Trace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.uniform(0.5, 4.0, size=n_requests))
+    rows = [
+        (
+            float(arrivals[i]),
+            int(rng.integers(0, n_types)),
+            float(rng.uniform(10.0, 40.0)),
+        )
+        for i in range(n_requests)
+    ]
+    return make_trace(_tasks(n_types), rows)
+
+
+def _mutate_future(trace: Trace, index: int) -> Trace:
+    """Rewrite every request after ``index``: new types, new deadlines."""
+    n_types = len(trace.tasks)
+    requests = []
+    for request in trace.requests:
+        if request.index <= index:
+            requests.append(request)
+        else:
+            requests.append(
+                Request(
+                    index=request.index,
+                    arrival=request.arrival,
+                    type_id=(request.type_id + 1) % n_types,
+                    deadline=request.deadline + 7.0,
+                )
+            )
+    return Trace(list(trace.tasks), requests)
+
+
+class TestPastOnlyProperty:
+    """Permuting the future of the stream must not change a forecast."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        index=st.integers(min_value=0, max_value=27),
+    )
+    @settings(max_examples=20, deadline=None)
+    @pytest.mark.parametrize("name", ONLINE_PREDICTORS)
+    def test_forecast_ignores_the_future(self, name, seed, index):
+        trace = _random_trace(seed)
+        mutated = _mutate_future(trace, index)
+        original = resolve_predictor(name).predict(trace, index)
+        shadowed = resolve_predictor(name).predict(mutated, index)
+        assert original == shadowed
+
+    @pytest.mark.slow
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_forecast_ignores_the_future_exhaustive(self, seed):
+        trace = _random_trace(seed, n_requests=50)
+        for name in ONLINE_PREDICTORS:
+            for index in (0, 10, 25, 48):
+                mutated = _mutate_future(trace, index)
+                assert resolve_predictor(name).predict(
+                    trace, index
+                ) == resolve_predictor(name).predict(mutated, index)
+
+
+@pytest.mark.slow
+class TestDriftPropertiesExhaustive:
+    """Deeper hypothesis sweeps for the CI slow lane."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_page_hinkley_stationary_long_stream(self, seed):
+        rng = np.random.default_rng(seed)
+        detector = PageHinkley()
+        for value in rng.uniform(0.0, 0.3, size=1000):
+            assert detector.update(float(value)) is False
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        prefix=st.integers(min_value=8, max_value=200),
+        magnitude=st.floats(min_value=1.5, max_value=10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_page_hinkley_always_fires_on_shift(
+        self, seed, prefix, magnitude
+    ):
+        rng = np.random.default_rng(seed)
+        detector = PageHinkley()
+        for value in rng.uniform(0.0, 0.3, size=prefix):
+            assert detector.update(float(value)) is False
+        assert any(
+            detector.update(magnitude) for _ in range(detector.min_samples + 4)
+        )

@@ -199,3 +199,74 @@ class TestTenantRemoval:
         depository.remove_tenant("a")
         assert depository.window_state() == (True,)
         assert depository.scored_forecasts == 1
+
+
+class TestSustainedExcursion:
+    """One sustained excursion must reprovision exactly once: the mark
+    clears the window, so re-arming takes ``min_observations`` *fresh*
+    misses — not a second firing on the same stale evidence."""
+
+    def make(self, **kwargs):
+        defaults = dict(error_window=8, error_threshold=0.5,
+                        min_observations=4)
+        defaults.update(kwargs)
+        return UsageDepository(**defaults)
+
+    def drive(self, depository, misses: int) -> int:
+        """Score ``misses`` bad forecasts with the engine's fire-once
+        protocol; returns how many times reprovision fired."""
+        fired = 0
+        for _ in range(misses):
+            depository.score_forecast(predicted_type=0, actual_type=1)
+            if depository.should_reprovision():
+                depository.mark_reprovisioned()
+                fired += 1
+        return fired
+
+    def test_exactly_once_per_sustained_excursion(self):
+        depository = self.make()
+        assert self.drive(depository, 4) == 1
+        # the same excursion keeps missing: the cleared window needs
+        # min_observations fresh samples before it may fire again
+        assert depository.window_state() == ()
+        assert self.drive(depository, 3) == 0
+        assert depository.reprovisions == 1
+
+    def test_second_excursion_fires_again(self):
+        depository = self.make()
+        assert self.drive(depository, 4) == 1
+        for _ in range(8):  # a good spell ends the first excursion
+            depository.score_forecast(predicted_type=1, actual_type=1)
+        assert self.drive(depository, 8) == 1
+        assert depository.reprovisions == 2
+
+    def test_clear_error_window_does_not_count_reprovision(self):
+        depository = self.make()
+        for _ in range(4):
+            depository.score_forecast(predicted_type=0, actual_type=1)
+        assert depository.should_reprovision() is True
+        depository.clear_error_window()
+        assert depository.should_reprovision() is False
+        assert depository.reprovisions == 0
+        assert depository.window_state() == ()
+        # counters other than the window survive the clear
+        assert depository.scored_forecasts == 4
+
+    def test_remove_tenant_during_excursion_no_leak(self):
+        """Offboarding a tenant mid-excursion must neither clear nor
+        corrupt the service-wide error window."""
+        depository = self.make()
+        depository.record_decision("a", "accepted", 1.0)
+        depository.record_decision("b", "accepted", 2.0)
+        for _ in range(3):
+            depository.score_forecast(predicted_type=0, actual_type=1)
+        depository.remove_tenant("a")
+        assert depository.window_state() == (True, True, True)
+        assert depository.should_reprovision() is False  # still < min
+        depository.score_forecast(predicted_type=0, actual_type=1)
+        assert depository.should_reprovision() is True
+        depository.mark_reprovisioned()
+        # the removed tenant's record is gone, the trigger state is sane
+        assert depository.active_jobs("a") == 0
+        assert depository.reprovisions == 1
+        assert depository.window_state() == ()

@@ -1,0 +1,146 @@
+"""Sim/live parity of the drift wrapper, through the journal.
+
+The :class:`~repro.predict.drift.DriftingPredictor` is a pure
+deterministic fold over the observed request stream — no RNG, no clock.
+These tests pin the property end to end:
+
+* the simulator and a replay-mode server reach identical admission
+  decisions while the wrapper retrains and finally falls back
+  mid-stream;
+* a journaled server that degraded to the fallback recovers onto a
+  bit-identical engine fingerprint — the re-observed prefix walks the
+  detector state machine through the *same* retrains and the same
+  fallback point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.platform import Platform
+from repro.predict.drift import DriftingPredictor
+from repro.serve.server import AdmissionServer, ServeConfig
+from repro.sim.simulator import SimulationConfig, simulate
+from repro.workload.taskgen import TaskSetConfig, generate_task_set
+from repro.workload.tracegen import TraceConfig, generate_trace
+
+from tests.serve.test_parity import serve_decisions, simulated_decisions
+from tests.serve.test_server import HOST, ServerHarness, replay_config
+
+N_REQUESTS = 80
+
+
+def hair_trigger() -> DriftingPredictor:
+    """Tight thresholds and a budget of one: on an unstructured stream
+    the wrapper drifts, retrains once, and falls back mid-trace."""
+    return DriftingPredictor(
+        threshold=0.5,
+        nrmse_threshold=0.5,
+        min_samples=2,
+        retrain_budget=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    platform = Platform.cpu_gpu(n_cpus=2, n_gpus=1)
+    tasks = generate_task_set(platform, TaskSetConfig(n_tasks=10))
+    trace = generate_trace(
+        tasks, TraceConfig(n_requests=N_REQUESTS), seed=21
+    )
+    return platform, tasks, trace
+
+
+def test_scenario_actually_falls_back(workload):
+    """Guard: the shared workload must walk the full state machine —
+    otherwise the parity assertions below would pass vacuously."""
+    platform, _, trace = workload
+    predictor = hair_trigger()
+    result = simulate(
+        trace, platform, "heuristic", predictor,
+        SimulationConfig(collect_records=True),
+    )
+    kinds = {event.kind for event in result.degradations}
+    assert "predictor-drift" in kinds
+    assert "predictor-retrain" in kinds
+    assert "predictor-fallback" in kinds
+    assert predictor.fallen_back
+
+
+def test_replay_server_matches_simulate_through_fallback(workload):
+    platform, tasks, trace = workload
+    simulated = simulated_decisions(
+        platform, trace, predictor=hair_trigger()
+    )
+    served = serve_decisions(
+        platform, tasks, trace,
+        # quiesce the reprovision trigger: it is a live-service
+        # extension the simulator does not have
+        config=ServeConfig(
+            host=HOST, port=0, mode="replay",
+            error_threshold=float("inf"),
+        ),
+        predictor=hair_trigger(),
+    )
+    assert served == simulated
+
+
+class TestJournalRecovery:
+    def drive(self, harness, trace) -> dict:
+        with harness.client() as client:
+            for request in trace.requests:
+                response = client.admit(
+                    "t0",
+                    task=request.type_id,
+                    deadline=request.deadline,
+                    arrival=request.arrival,
+                    idem=f"k{request.index}",
+                    final=(request.index == len(trace.requests) - 1),
+                )
+                assert response["ok"] is True, response
+            return client.stats()
+
+    def test_fallback_replays_bit_identically_from_journal(self, tmp_path):
+        config = replay_config(
+            journal_path=str(tmp_path / "j.ndjson"),
+            journal_fsync=False,
+            snapshot_every=16,
+            error_threshold=float("inf"),
+        )
+        harness = ServerHarness(config, predictor=hair_trigger(), n_tasks=10)
+        trace = generate_trace(
+            harness.tasks, TraceConfig(n_requests=N_REQUESTS), seed=21
+        )
+        with harness:
+            live = self.drive(harness, trace)
+            assert harness.server is not None
+            live_predictor = harness.server.engine.predictor
+            assert isinstance(live_predictor, DriftingPredictor)
+            assert live_predictor.fallen_back
+            live_metrics = harness.server.engine.metrics.snapshot().counters
+
+        # Restart from the journal with a FRESH wrapper: recovery must
+        # re-walk the drift state machine to the same end state.
+        restarted = AdmissionServer(
+            harness.platform,
+            "heuristic",
+            hair_trigger(),
+            tasks=harness.tasks,
+            config=config,
+        )
+        assert restarted.recovery is not None
+        assert restarted.recovery.ok
+        assert restarted.engine.fingerprint() == live["fingerprint"]
+        recovered = restarted.engine.predictor
+        assert isinstance(recovered, DriftingPredictor)
+        assert recovered.fallen_back
+        assert recovered.retrains == 1
+        # degradation counters replay identically too
+        replay_metrics = restarted.engine.metrics.snapshot().counters
+        for key in (
+            "serve/predictor_drift",
+            "serve/predictor_retrain",
+            "serve/predictor_fallback",
+        ):
+            assert key in live_metrics
+            assert replay_metrics.get(key) == live_metrics[key]
